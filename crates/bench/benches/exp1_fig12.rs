@@ -1,0 +1,28 @@
+//! Experiment 1 / Figure 12: read, write and overall I/O time per update
+//! operation for IPL(18KB), IPL(64KB), PDL(2KB), PDL(256B), OPU and IPU.
+//!
+//! Run with `cargo bench -p pdl-bench --bench exp1_fig12`; set
+//! `PDL_SCALE=quick|default|paper` to choose the scale.
+
+use pdl_bench::experiments::{exp1, table1_banner};
+use pdl_workload::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Experiment 1 (Figure 12)");
+    println!("{}", table1_banner(scale));
+    println!("parameters: N_updates_till_write = 1, %ChangedByOneU_Op = 2\n");
+    let started = std::time::Instant::now();
+    match exp1(scale) {
+        Ok(tables) => {
+            for t in tables {
+                println!("{}", t.render());
+            }
+            println!("(wall time: {:.1?})", started.elapsed());
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

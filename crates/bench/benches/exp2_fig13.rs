@@ -1,0 +1,24 @@
+//! Experiment 2 / Figure 13: overall time per update operation as
+//! `N_updates_till_write` varies from 1 to 8, for 2 Kbyte (a) and 8 Kbyte
+//! (b) logical pages.
+
+use pdl_bench::experiments::{exp2, table1_banner};
+use pdl_workload::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Experiment 2 (Figure 13)");
+    println!("{}", table1_banner(scale));
+    println!("parameters: %ChangedByOneU_Op = 2, N_updates_till_write = 1..8\n");
+    let started = std::time::Instant::now();
+    for frames in [1u32, 4] {
+        match exp2(scale, frames) {
+            Ok(t) => println!("{}", t.render()),
+            Err(e) => {
+                eprintln!("experiment failed (frames={frames}): {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("(wall time: {:.1?})", started.elapsed());
+}

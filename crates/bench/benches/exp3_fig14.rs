@@ -1,0 +1,24 @@
+//! Experiment 3 / Figure 14: overall time per update operation as
+//! `%ChangedByOneU_Op` varies from 0.1 to 100, for `N_updates_till_write`
+//! of 1 (a) and 5 (b).
+
+use pdl_bench::experiments::{exp3, table1_banner};
+use pdl_workload::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Experiment 3 (Figure 14)");
+    println!("{}", table1_banner(scale));
+    println!("parameters: %ChangedByOneU_Op = 0.1..100, N_updates_till_write = 1, 5\n");
+    let started = std::time::Instant::now();
+    for n in [1u32, 5] {
+        match exp3(scale, n) {
+            Ok(t) => println!("{}", t.render()),
+            Err(e) => {
+                eprintln!("experiment failed (N={n}): {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("(wall time: {:.1?})", started.elapsed());
+}

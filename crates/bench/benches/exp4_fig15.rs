@@ -1,0 +1,24 @@
+//! Experiment 4 / Figure 15: overall time per operation for mixes of
+//! read-only and update operations as `%UpdateOps` varies from 0 to 100,
+//! for `N_updates_till_write` of 1 (a) and 5 (b).
+
+use pdl_bench::experiments::{exp4, table1_banner};
+use pdl_workload::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Experiment 4 (Figure 15)");
+    println!("{}", table1_banner(scale));
+    println!("parameters: %ChangedByOneU_Op = 2, %UpdateOps = 0..100\n");
+    let started = std::time::Instant::now();
+    for n in [1u32, 5] {
+        match exp4(scale, n) {
+            Ok(t) => println!("{}", t.render()),
+            Err(e) => {
+                eprintln!("experiment failed (N={n}): {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("(wall time: {:.1?})", started.elapsed());
+}

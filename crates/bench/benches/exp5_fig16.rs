@@ -1,0 +1,24 @@
+//! Experiment 5 / Figure 16: overall time per update operation as the
+//! performance parameters of flash memory vary — `T_read` from 10 to 1500
+//! µs, with `T_write` of 500 (a) and 1000 (b) µs, `T_erase = 1500 µs`.
+
+use pdl_bench::experiments::{exp5, table1_banner};
+use pdl_workload::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Experiment 5 (Figure 16)");
+    println!("{}", table1_banner(scale));
+    println!("parameters: N_updates_till_write = 1, %ChangedByOneU_Op = 2\n");
+    let started = std::time::Instant::now();
+    for t_write in [500u64, 1000] {
+        match exp5(scale, t_write) {
+            Ok(t) => println!("{}", t.render()),
+            Err(e) => {
+                eprintln!("experiment failed (T_write={t_write}): {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("(wall time: {:.1?})", started.elapsed());
+}

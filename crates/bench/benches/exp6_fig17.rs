@@ -1,0 +1,22 @@
+//! Experiment 6 / Figure 17: the number of erase operations per update
+//! operation (flash longevity) as `N_updates_till_write` varies, for the
+//! five methods of the paper's figure.
+
+use pdl_bench::experiments::{exp6, table1_banner};
+use pdl_workload::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Experiment 6 (Figure 17)");
+    println!("{}", table1_banner(scale));
+    println!("parameters: %ChangedByOneU_Op = 2, N_updates_till_write = 1..8\n");
+    let started = std::time::Instant::now();
+    match exp6(scale) {
+        Ok(t) => println!("{}", t.render()),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("(wall time: {:.1?})", started.elapsed());
+}

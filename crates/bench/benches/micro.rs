@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks: wall-clock cost of the hot primitives
+//! (differential codec, emulator operations, method round trips, B+-tree
+//! operations). These measure *our implementation's* speed, complementing
+//! the experiment benches which report *simulated flash* time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pdl_core::diff::Differential;
+use pdl_core::{build_store, MethodKind, StoreOptions};
+use pdl_flash::{fnv1a32, FlashChip, FlashConfig, PageKind, Ppn, SpareInfo};
+use pdl_storage::{BTree, Database, KeyBuf};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+fn bench_diff_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff_codec");
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut base = vec![0u8; 2048];
+    rng.fill_bytes(&mut base);
+    for pct in [2usize, 20, 90] {
+        let mut new = base.clone();
+        let len = 2048 * pct / 100;
+        let at = rng.gen_range(0..=2048 - len);
+        rng.fill_bytes(&mut new[at..at + len]);
+        g.bench_function(format!("compute_{pct}pct"), |b| {
+            b.iter(|| Differential::compute(1, 2, &base, &new, 8))
+        });
+        let d = Differential::compute(1, 2, &base, &new, 8);
+        let mut buf = vec![0xFFu8; d.encoded_len() + 16];
+        g.bench_function(format!("encode_{pct}pct"), |b| b.iter(|| d.encode(&mut buf).unwrap()));
+        g.bench_function(format!("apply_{pct}pct"), |b| {
+            b.iter_batched(|| base.clone(), |mut page| d.apply(&mut page), BatchSize::SmallInput)
+        });
+    }
+    g.finish();
+}
+
+fn bench_flash_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flash_emulator");
+    let config = FlashConfig::scaled(16);
+    let data = vec![0xA5u8; 2048];
+    let mut spare = vec![0xFFu8; 64];
+    SpareInfo::new(PageKind::Data, 1, 1, fnv1a32(&data)).encode(&mut spare).unwrap();
+    g.bench_function("program_page", |b| {
+        b.iter_batched(
+            || FlashChip::new(config),
+            |mut chip| chip.program_page(Ppn(0), &data, &spare).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut chip = FlashChip::new(config);
+    chip.program_page(Ppn(0), &data, &spare).unwrap();
+    let mut out = vec![0u8; 2048];
+    g.bench_function("read_data", |b| b.iter(|| chip.read_data(Ppn(0), &mut out).unwrap()));
+    g.bench_function("read_spare", |b| b.iter(|| chip.read_spare(Ppn(0)).unwrap()));
+    g.finish();
+}
+
+fn bench_method_round_trips(c: &mut Criterion) {
+    let mut g = c.benchmark_group("method_round_trip");
+    g.sample_size(20);
+    for kind in [
+        MethodKind::Opu,
+        MethodKind::Pdl { max_diff_size: 256 },
+        MethodKind::Ipl { log_bytes_per_block: 18 * 1024 },
+    ] {
+        let chip = FlashChip::new(FlashConfig::scaled(32));
+        let mut store = build_store(chip, kind, StoreOptions::new(400)).unwrap();
+        let mut page = vec![0u8; store.logical_page_size()];
+        let mut rng = StdRng::seed_from_u64(1);
+        for pid in 0..400u64 {
+            rng.fill_bytes(&mut page);
+            store.write_page(pid, &page).unwrap();
+        }
+        g.bench_function(format!("update_cycle_{}", store.name()), |b| {
+            let mut pid = 0u64;
+            b.iter(|| {
+                pid = (pid + 17) % 400;
+                store.read_page(pid, &mut page).unwrap();
+                let at = (pid as usize * 13) % (page.len() - 41);
+                rng.fill_bytes(&mut page[at..at + 41]);
+                store.apply_update(pid, &page, &[pdl_core::ChangeRange::new(at, 41)]).unwrap();
+                store.evict_page(pid, &page).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(20);
+    let chip = FlashChip::new(FlashConfig::scaled(64));
+    let store = build_store(chip, MethodKind::Opu, StoreOptions::new(1000)).unwrap();
+    let mut db = Database::new(store, 256);
+    let mut tree = BTree::create(&mut db).unwrap();
+    for v in 0..5_000u64 {
+        tree.insert(&mut db, &KeyBuf::new().push_u64(v * 7 % 5_000).finish(), v).unwrap();
+    }
+    let mut i = 0u64;
+    g.bench_function("get_hot", |b| {
+        b.iter(|| {
+            i = (i + 13) % 5_000;
+            tree.get(&mut db, &KeyBuf::new().push_u64(i).finish()).unwrap()
+        })
+    });
+    // Insert + delete pairs keep the tree size bounded across criterion's
+    // millions of warm-up iterations.
+    let mut next = 10_000u64;
+    g.bench_function("insert_delete", |b| {
+        b.iter(|| {
+            next += 1;
+            let key = KeyBuf::new().push_u64(10_000 + next % 1_000).finish();
+            tree.insert(&mut db, &key, next).unwrap();
+            tree.delete(&mut db, &key).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_diff_codec, bench_flash_ops, bench_method_round_trips, bench_btree);
+criterion_main!(benches);

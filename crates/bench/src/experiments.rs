@@ -1,0 +1,363 @@
+//! One module per experiment of §5 of the paper. Each function runs the
+//! parameter sweep of one figure and returns printable tables whose rows /
+//! series match what the figure plots.
+
+use crate::runner::{five_methods, run_points, six_methods, PointSpec};
+use pdl_core::Result;
+use pdl_flash::FlashTiming;
+use pdl_workload::{Scale, Table};
+
+fn fmt1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Experiment 1 / Figure 12: read, write, and overall time per update
+/// operation for the six methods (`N_updates_till_write = 1`,
+/// `%ChangedByOneU_Op = 2`).
+pub fn exp1(scale: Scale) -> Result<Vec<Table>> {
+    let kinds = six_methods();
+    let specs: Vec<PointSpec> = kinds.iter().map(|k| PointSpec::new(*k)).collect();
+    let results = run_points(scale, &specs)?;
+
+    let mut read = Table::new(
+        "Figure 12(a): I/O time of the reading step per update operation (us)",
+        &["method", "read us/op", "reads/op"],
+    );
+    let mut write = Table::new(
+        "Figure 12(b): I/O time of the writing step per update operation (us; gc = slashed area)",
+        &["method", "write us/op", "gc us/op", "writes/op", "erases/op"],
+    );
+    let mut overall = Table::new(
+        "Figure 12(c): overall time per update operation (us)",
+        &["method", "overall us/op"],
+    );
+    for (kind, m) in kinds.iter().zip(results.iter()) {
+        let label = kind.label();
+        read.row(vec![
+            label.clone(),
+            fmt1(m.read_us_per_op()),
+            fmt3(m.read_step.total().reads as f64 / m.cycles as f64),
+        ]);
+        write.row(vec![
+            label.clone(),
+            fmt1(m.write_us_per_op()),
+            fmt1(m.gc_us_per_op()),
+            fmt3(m.write_step.total().writes as f64 / m.cycles as f64),
+            fmt3(m.write_step.total().erases as f64 / m.cycles as f64),
+        ]);
+        overall.row(vec![label, fmt1(m.overall_us_per_op())]);
+    }
+    Ok(vec![read, write, overall])
+}
+
+/// Experiment 2 / Figure 13: overall time per update operation as
+/// `N_updates_till_write` varies from 1 to 8; (a) 2 Kbyte logical pages,
+/// (b) 8 Kbyte logical pages.
+pub fn exp2(scale: Scale, frames_per_page: u32) -> Result<Table> {
+    let kinds = six_methods();
+    let ns: Vec<u32> = (1..=8).collect();
+    let mut specs = Vec::new();
+    for kind in &kinds {
+        for n in &ns {
+            specs.push(PointSpec::new(*kind).with_frames(frames_per_page).with_n_updates(*n));
+        }
+    }
+    let results = run_points(scale, &specs)?;
+    let page_kb = frames_per_page * 2;
+    let sub = if frames_per_page == 1 { "a" } else { "b" };
+    let mut header: Vec<String> = vec!["method".into()];
+    header.extend(ns.iter().map(|n| format!("N={n}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        format!(
+            "Figure 13({sub}): overall us per update operation vs N_updates_till_write \
+             (logical page = {page_kb}KB)"
+        ),
+        &header_refs,
+    );
+    for (i, kind) in kinds.iter().enumerate() {
+        let mut row = vec![kind.label()];
+        for j in 0..ns.len() {
+            row.push(fmt1(results[i * ns.len() + j].overall_us_per_op()));
+        }
+        t.row(row);
+    }
+    Ok(t)
+}
+
+/// Experiment 3 / Figure 14: overall time per update operation as
+/// `%ChangedByOneU_Op` varies (0.1 — 100), for `N_updates_till_write` of
+/// 1 (a) or 5 (b).
+pub fn exp3(scale: Scale, n_updates: u32) -> Result<Table> {
+    let kinds = six_methods();
+    let pcts = [0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 90.0, 100.0];
+    let mut specs = Vec::new();
+    for kind in &kinds {
+        for pct in pcts {
+            specs.push(PointSpec::new(*kind).with_pct_changed(pct).with_n_updates(n_updates));
+        }
+    }
+    let results = run_points(scale, &specs)?;
+    let sub = if n_updates == 1 { "a" } else { "b" };
+    let mut header: Vec<String> = vec!["method".into()];
+    header.extend(pcts.iter().map(|p| format!("{p}%")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        format!(
+            "Figure 14({sub}): overall us per update operation vs %ChangedByOneU_Op \
+             (N_updates_till_write = {n_updates})"
+        ),
+        &header_refs,
+    );
+    for (i, kind) in kinds.iter().enumerate() {
+        let mut row = vec![kind.label()];
+        for j in 0..pcts.len() {
+            row.push(fmt1(results[i * pcts.len() + j].overall_us_per_op()));
+        }
+        t.row(row);
+    }
+    Ok(t)
+}
+
+/// Experiment 4 / Figure 15: overall time per operation for mixes of
+/// read-only and update operations as `%UpdateOps` varies, for
+/// `N_updates_till_write` of 1 (a) or 5 (b).
+pub fn exp4(scale: Scale, n_updates: u32) -> Result<Table> {
+    let kinds = six_methods();
+    let mixes = [0.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0];
+    let mut specs = Vec::new();
+    for kind in &kinds {
+        for mix in mixes {
+            specs.push(PointSpec::new(*kind).with_mix(mix).with_n_updates(n_updates));
+        }
+    }
+    let results = run_points(scale, &specs)?;
+    let sub = if n_updates == 1 { "a" } else { "b" };
+    let mut header: Vec<String> = vec!["method".into()];
+    header.extend(mixes.iter().map(|m| format!("{m}%upd")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        format!(
+            "Figure 15({sub}): overall us per operation for read-only/update mixes \
+             (N_updates_till_write = {n_updates})"
+        ),
+        &header_refs,
+    );
+    for (i, kind) in kinds.iter().enumerate() {
+        let mut row = vec![kind.label()];
+        for j in 0..mixes.len() {
+            row.push(fmt1(results[i * mixes.len() + j].overall_us_per_op()));
+        }
+        t.row(row);
+    }
+    Ok(t)
+}
+
+/// Experiment 5 / Figure 16: overall time per update operation as the
+/// flash timing parameters vary: `T_read` sweeps 10 — 1500 µs with
+/// `T_write` of 500 (a) or 1000 (b) µs and `T_erase = 1500 µs`.
+pub fn exp5(scale: Scale, t_write_us: u64) -> Result<Table> {
+    let kinds = six_methods();
+    let treads = [10u64, 50, 110, 200, 400, 800, 1500];
+    let mut specs = Vec::new();
+    for kind in &kinds {
+        for tr in treads {
+            let timing = FlashTiming { t_read_us: tr, t_write_us, t_erase_us: 1500 };
+            specs.push(PointSpec::new(*kind).with_timing(timing));
+        }
+    }
+    let results = run_points(scale, &specs)?;
+    let sub = if t_write_us == 500 { "a" } else { "b" };
+    let mut header: Vec<String> = vec!["method".into()];
+    header.extend(treads.iter().map(|t| format!("Tr={t}us")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        format!(
+            "Figure 16({sub}): overall us per update operation vs T_read \
+             (T_write = {t_write_us}us, T_erase = 1500us)"
+        ),
+        &header_refs,
+    );
+    for (i, kind) in kinds.iter().enumerate() {
+        let mut row = vec![kind.label()];
+        for j in 0..treads.len() {
+            row.push(fmt1(results[i * treads.len() + j].overall_us_per_op()));
+        }
+        t.row(row);
+    }
+    Ok(t)
+}
+
+/// Experiment 6 / Figure 17: number of erase operations per update
+/// operation as `N_updates_till_write` varies (longevity). Five methods,
+/// as in the paper.
+pub fn exp6(scale: Scale) -> Result<Table> {
+    let kinds = five_methods();
+    let ns: Vec<u32> = (1..=8).collect();
+    let mut specs = Vec::new();
+    for kind in &kinds {
+        for n in &ns {
+            specs.push(PointSpec::new(*kind).with_n_updates(*n));
+        }
+    }
+    let results = run_points(scale, &specs)?;
+    let mut header: Vec<String> = vec!["method".into()];
+    header.extend(ns.iter().map(|n| format!("N={n}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Figure 17: erase operations per update operation vs N_updates_till_write",
+        &header_refs,
+    );
+    for (i, kind) in kinds.iter().enumerate() {
+        let mut row = vec![kind.label()];
+        for j in 0..ns.len() {
+            row.push(fmt3(results[i * ns.len() + j].erases_per_op()));
+        }
+        t.row(row);
+    }
+    Ok(t)
+}
+
+/// Table 1 banner: the flash parameters every bench prints for context.
+pub fn table1_banner(scale: Scale) -> String {
+    let chip = pdl_workload::chip_for(scale, FlashTiming::PAPER);
+    let g = chip.geometry();
+    let t = chip.timing();
+    format!(
+        "chip: {} blocks x {} pages x ({} + {}) bytes | T_read {}us, T_write {}us, \
+         T_erase {}us | scale: {} | db: {} logical pages",
+        g.num_blocks,
+        g.pages_per_block,
+        g.data_size,
+        g.spare_size,
+        t.t_read_us,
+        t.t_write_us,
+        t.t_erase_us,
+        scale.label(),
+        pdl_workload::db_pages_for(scale, 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_core::MethodKind;
+    use crate::runner::run_point;
+
+    /// The headline result of the paper at quick scale: Figure 12's
+    /// orderings hold.
+    #[test]
+    fn exp1_shapes_match_figure12() {
+        let kinds = six_methods();
+        let specs: Vec<PointSpec> = kinds.iter().map(|k| PointSpec::new(*k)).collect();
+        let results = run_points(Scale::Quick, &specs).unwrap();
+        let get = |k: MethodKind| {
+            let i = kinds.iter().position(|x| *x == k).unwrap();
+            &results[i]
+        };
+        let ipl18 = get(MethodKind::Ipl { log_bytes_per_block: 18 * 1024 });
+        let ipl64 = get(MethodKind::Ipl { log_bytes_per_block: 64 * 1024 });
+        let pdl2k = get(MethodKind::Pdl { max_diff_size: 2048 });
+        let pdl256 = get(MethodKind::Pdl { max_diff_size: 256 });
+        let opu = get(MethodKind::Opu);
+        let ipu = get(MethodKind::Ipu);
+
+        // Figure 12(a): log-based methods need multiple reads; PDL at most
+        // two; page-based exactly one. (Our IPL keeps a per-page log-page
+        // index, so IPL(18KB) reads fewer pages than the paper's
+        // unindexed IPL — see EXPERIMENTS.md; the IPL(64K) > PDL > OPU
+        // ordering is what the design guarantees.)
+        assert!(ipl64.read_us_per_op() > ipl18.read_us_per_op(), "IPL(64K) reads most");
+        assert!(ipl64.read_us_per_op() > pdl2k.read_us_per_op());
+        assert!(ipl18.read_us_per_op() > opu.read_us_per_op());
+        assert!(pdl2k.read_us_per_op() >= opu.read_us_per_op());
+        assert!((opu.read_us_per_op() - 110.0).abs() < 1.0, "OPU reads exactly one page");
+        assert!((ipu.read_us_per_op() - 110.0).abs() < 1.0);
+
+        // Figure 12(b): writing-step order IPU >> OPU > PDL(2K) and
+        // PDL(256B) cheapest.
+        assert!(ipu.write_us_per_op() > 10.0 * opu.write_us_per_op(), "IPU block cycles");
+        assert!(opu.write_us_per_op() > pdl2k.write_us_per_op());
+        let others = [ipl18, ipl64, pdl2k, opu, ipu];
+        for m in others {
+            assert!(
+                pdl256.write_us_per_op() < m.write_us_per_op(),
+                "PDL(256B) must have the cheapest writing step"
+            );
+        }
+
+        // Figure 12(c): PDL(256B) has the best overall time.
+        for m in others {
+            assert!(pdl256.overall_us_per_op() < m.overall_us_per_op());
+        }
+    }
+
+    /// Figure 13 shapes: OPU flat in N; IPL grows; PDL(256B) approaches OPU.
+    #[test]
+    fn exp2_shapes_match_figure13() {
+        let opu_1 = run_point(Scale::Quick, PointSpec::new(MethodKind::Opu)).unwrap();
+        let opu_8 =
+            run_point(Scale::Quick, PointSpec::new(MethodKind::Opu).with_n_updates(8)).unwrap();
+        let rel = (opu_8.overall_us_per_op() - opu_1.overall_us_per_op()).abs()
+            / opu_1.overall_us_per_op();
+        assert!(rel < 0.10, "OPU must be steady in N (changed by {rel:.2})");
+
+        let ipl = MethodKind::Ipl { log_bytes_per_block: 18 * 1024 };
+        let ipl_1 = run_point(Scale::Quick, PointSpec::new(ipl)).unwrap();
+        let ipl_8 = run_point(Scale::Quick, PointSpec::new(ipl).with_n_updates(8)).unwrap();
+        assert!(
+            ipl_8.overall_us_per_op() > 1.5 * ipl_1.overall_us_per_op(),
+            "IPL write cost grows with N: {} vs {}",
+            ipl_8.overall_us_per_op(),
+            ipl_1.overall_us_per_op()
+        );
+
+        let pdl = MethodKind::Pdl { max_diff_size: 256 };
+        let pdl_8 = run_point(Scale::Quick, PointSpec::new(pdl).with_n_updates(8)).unwrap();
+        let opu_like = opu_8.overall_us_per_op();
+        assert!(
+            pdl_8.overall_us_per_op() < 1.4 * opu_like,
+            "PDL(256B) at N=8 approaches OPU: {} vs {}",
+            pdl_8.overall_us_per_op(),
+            opu_like
+        );
+    }
+
+    /// Figure 15 shape: at %UpdateOps = 0 OPU beats PDL (the paper's 0.5x
+    /// special case); at 100% PDL(256B) wins.
+    #[test]
+    fn exp4_shapes_match_figure15() {
+        let pdl = MethodKind::Pdl { max_diff_size: 256 };
+        let opu_read = run_point(Scale::Quick, PointSpec::new(MethodKind::Opu).with_mix(0.0)).unwrap();
+        let pdl_read = run_point(Scale::Quick, PointSpec::new(pdl).with_mix(0.0)).unwrap();
+        let ratio = opu_read.overall_us_per_op() / pdl_read.overall_us_per_op();
+        assert!(
+            ratio > 0.45 && ratio < 0.75,
+            "read-only on updated pages: OPU ~1 read vs PDL ~2 reads (ratio {ratio:.2})"
+        );
+        let opu_upd =
+            run_point(Scale::Quick, PointSpec::new(MethodKind::Opu).with_mix(100.0)).unwrap();
+        let pdl_upd = run_point(Scale::Quick, PointSpec::new(pdl).with_mix(100.0)).unwrap();
+        assert!(pdl_upd.overall_us_per_op() < opu_upd.overall_us_per_op());
+    }
+
+    /// Figure 17 shape: OPU erases most; PDL(256B) and IPL(64K) erase least.
+    #[test]
+    fn exp6_shapes_match_figure17() {
+        let opu = run_point(Scale::Quick, PointSpec::new(MethodKind::Opu)).unwrap();
+        let pdl256 =
+            run_point(Scale::Quick, PointSpec::new(MethodKind::Pdl { max_diff_size: 256 }))
+                .unwrap();
+        let ipl64 = run_point(
+            Scale::Quick,
+            PointSpec::new(MethodKind::Ipl { log_bytes_per_block: 64 * 1024 }),
+        )
+        .unwrap();
+        assert!(opu.erases_per_op() > pdl256.erases_per_op(), "PDL(256B) improves longevity");
+        assert!(opu.erases_per_op() > ipl64.erases_per_op());
+    }
+}

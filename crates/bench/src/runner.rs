@@ -1,0 +1,165 @@
+//! Experiment point runner: build a store at a given scale, load the
+//! database, warm up, measure — optionally many points in parallel.
+
+use pdl_core::{build_store, MethodKind, PageStore, Result, StoreOptions};
+use pdl_flash::FlashTiming;
+use pdl_workload::{
+    chip_for, db_pages_for, load_database, run_mix_workload, run_update_workload, Measurement,
+    MixConfig, Scale, UpdateConfig,
+};
+
+/// Everything that defines one experiment point.
+#[derive(Clone, Copy, Debug)]
+pub struct PointSpec {
+    pub kind: MethodKind,
+    pub timing: FlashTiming,
+    pub frames_per_page: u32,
+    /// `%ChangedByOneU_Op`.
+    pub pct_changed: f64,
+    /// `N_updates_till_write`.
+    pub n_updates: u32,
+    /// `Some(%UpdateOps)` runs the Experiment-4 mix; `None` runs pure
+    /// updates.
+    pub mix_pct_update: Option<f64>,
+    pub seed: u64,
+}
+
+impl PointSpec {
+    pub fn new(kind: MethodKind) -> PointSpec {
+        PointSpec {
+            kind,
+            timing: FlashTiming::PAPER,
+            frames_per_page: 1,
+            pct_changed: 2.0,
+            n_updates: 1,
+            mix_pct_update: None,
+            seed: 0x5EED,
+        }
+    }
+
+    pub fn with_timing(mut self, timing: FlashTiming) -> PointSpec {
+        self.timing = timing;
+        self
+    }
+
+    pub fn with_frames(mut self, frames: u32) -> PointSpec {
+        self.frames_per_page = frames;
+        self
+    }
+
+    pub fn with_pct_changed(mut self, pct: f64) -> PointSpec {
+        self.pct_changed = pct;
+        self
+    }
+
+    pub fn with_n_updates(mut self, n: u32) -> PointSpec {
+        self.n_updates = n;
+        self
+    }
+
+    pub fn with_mix(mut self, pct_update_ops: f64) -> PointSpec {
+        self.mix_pct_update = Some(pct_update_ops);
+        self
+    }
+}
+
+/// Run one experiment point at the given scale.
+pub fn run_point(scale: Scale, spec: PointSpec) -> Result<Measurement> {
+    let chip = chip_for(scale, spec.timing);
+    let opts = StoreOptions::new(db_pages_for(scale, spec.frames_per_page))
+        .with_frames_per_page(spec.frames_per_page);
+    let mut store: Box<dyn PageStore> = build_store(chip, spec.kind, opts)?;
+    load_database(store.as_mut())?;
+    // Buffered methods (PDL, IPL) need their per-page differential / log
+    // state saturated AND phase-decohered before measuring (footnote 16:
+    // the steady-state differential is ~half a page on average). The
+    // saw-tooth period scales inversely with the per-update change size,
+    // so the jitter bound does too.
+    let jitter = match spec.kind {
+        MethodKind::Pdl { .. } | MethodKind::Ipl { .. } => {
+            let n = spec.n_updates.max(1) as f64;
+            ((220.0 / (spec.pct_changed * n)).ceil() as u32).clamp(8, 256)
+        }
+        MethodKind::Opu | MethodKind::Ipu => 0,
+    };
+    let update = UpdateConfig::new(spec.pct_changed, spec.n_updates)
+        .with_measured_cycles(scale.measured_cycles())
+        .with_warmup(
+            scale.warmup_erases_per_block() * scale.num_blocks() as u64,
+            scale.warmup_max_cycles(),
+        )
+        .with_phase_jitter(jitter)
+        .with_seed(spec.seed);
+    match spec.mix_pct_update {
+        Some(pct_update_ops) => {
+            run_mix_workload(store.as_mut(), &MixConfig { pct_update_ops, update })
+        }
+        None => run_update_workload(store.as_mut(), &update),
+    }
+}
+
+/// Run many points, parallelising across worker threads. Point order is
+/// preserved in the result. At paper scale the concurrency is capped so
+/// that only a couple of 4-GiB chips are resident at once.
+pub fn run_points(scale: Scale, specs: &[PointSpec]) -> Result<Vec<Measurement>> {
+    let max_workers = match scale {
+        Scale::Paper => 2,
+        _ => 12,
+    };
+    let workers = specs.len().clamp(1, max_workers);
+    if workers <= 1 {
+        return specs.iter().map(|s| run_point(scale, *s)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<Result<Measurement>>>> =
+        specs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let r = run_point(scale, specs[i]);
+                *results[i].lock() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+/// The method labels/kinds of Figure 12, paper order.
+pub fn six_methods() -> Vec<MethodKind> {
+    MethodKind::paper_six()
+}
+
+/// The method labels/kinds of Figures 17/18 (no IPU).
+pub fn five_methods() -> Vec<MethodKind> {
+    MethodKind::paper_five()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_points_preserves_order_and_determinism() {
+        let specs = vec![
+            PointSpec::new(MethodKind::Opu),
+            PointSpec::new(MethodKind::Pdl { max_diff_size: 256 }),
+        ];
+        let a = run_points(Scale::Quick, &specs).unwrap();
+        let b = run_points(Scale::Quick, &specs).unwrap();
+        assert_eq!(a.len(), 2);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.cycles, y.cycles);
+            assert!((x.overall_us_per_op() - y.overall_us_per_op()).abs() < 1e-9);
+        }
+        // OPU's overall cost must differ from PDL's (they are different
+        // methods measured independently).
+        assert!((a[0].overall_us_per_op() - a[1].overall_us_per_op()).abs() > 1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Experiment 7 / Figure 18: TPC-C I/O time per transaction as the DBMS
+//! buffer size varies from 0.1% to 10% of the database size, for the five
+//! methods of the paper's figure.
+
+use pdl_core::{build_store, CoreError, MethodKind, StoreOptions};
+use pdl_flash::{FlashChip, FlashConfig};
+use pdl_storage::Database;
+use pdl_tpcc::{load, run_mix, TpccDb, TpccRand, TpccScale};
+use pdl_workload::{Scale, Table};
+
+/// Buffer sizes as percentages of the loaded database (the paper's x-axis:
+/// 0.1% — 10%).
+pub const BUFFER_PCTS: [f64; 7] = [0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0];
+
+/// TPC-C sizing per experiment scale.
+pub fn tpcc_scale_for(scale: Scale) -> TpccScale {
+    match scale {
+        Scale::Quick => TpccScale::scaled(1),
+        Scale::Default => TpccScale::scaled(2),
+        // The paper's 1-Gbyte database: 10 warehouses at spec cardinality.
+        Scale::Paper => TpccScale::full(10),
+    }
+}
+
+/// Measured transactions per point.
+pub fn txns_for(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 400,
+        Scale::Default => 1_500,
+        Scale::Paper => 20_000,
+    }
+}
+
+/// One Experiment-7 point: load TPC-C, warm the buffer, measure I/O time
+/// per transaction. Returns `(io_us_per_txn, loaded_pages)`.
+pub fn run_tpcc_point(
+    scale: Scale,
+    kind: MethodKind,
+    buffer_pct: f64,
+    seed: u64,
+) -> Result<(f64, u64), CoreError> {
+    let tpcc_scale = tpcc_scale_for(scale);
+    let txns = txns_for(scale);
+    let warmup = txns / 4;
+
+    // Size the store: loaded pages + growth room, at the synthetic
+    // experiments' ~25% space utilisation (DESIGN.md §2).
+    let est = tpcc_scale.estimated_loaded_pages(2048);
+    let num_pages = est * 2 + (txns + warmup) + 128;
+    let blocks = ((num_pages * 4).div_ceil(64) + 16) as u32;
+    let chip = FlashChip::new(FlashConfig::scaled(blocks));
+    let store = build_store(chip, kind, StoreOptions::new(num_pages))?;
+
+    // Load with a tiny provisional buffer; the real buffer is set below.
+    let db = Database::new(store, 256);
+    let mut t: TpccDb =
+        load(db, tpcc_scale, seed).map_err(|e| CoreError::BadConfig(e.to_string()))?;
+    let loaded = t.db.allocated_pages();
+
+    // Re-wrap the store with the experiment's buffer size.
+    let buffer_pages = ((loaded as f64 * buffer_pct / 100.0).round() as usize).max(2);
+    let store = t.db.into_store().map_err(|e| CoreError::BadConfig(e.to_string()))?;
+    t.db = Database::new_with_allocated(store, buffer_pages, loaded);
+
+    let mut r = TpccRand::new(seed ^ 0xABCD);
+    run_mix(&mut t, &mut r, warmup).map_err(|e| CoreError::BadConfig(e.to_string()))?;
+    t.db.reset_io_stats();
+    run_mix(&mut t, &mut r, txns).map_err(|e| CoreError::BadConfig(e.to_string()))?;
+    let io_us = t.db.io_stats().total().total_us();
+    Ok((io_us as f64 / txns as f64, loaded))
+}
+
+/// Experiment 7 / Figure 18 sweep.
+pub fn exp7(scale: Scale) -> Result<Table, CoreError> {
+    let kinds = MethodKind::paper_five();
+    let mut specs = Vec::new();
+    for kind in &kinds {
+        for pct in BUFFER_PCTS {
+            specs.push((*kind, pct));
+        }
+    }
+    // Run points in parallel (each loads its own database).
+    let max_workers = match scale {
+        Scale::Paper => 2,
+        _ => 12,
+    };
+    let workers = specs.len().clamp(1, max_workers);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<Result<(f64, u64), CoreError>>>> =
+        specs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let (kind, pct) = specs[i];
+                *results[i].lock() = Some(run_tpcc_point(scale, kind, pct, 0x7C0C));
+            });
+        }
+    });
+    let results: Vec<(f64, u64)> = results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker filled every slot"))
+        .collect::<Result<_, _>>()?;
+
+    let mut header: Vec<String> = vec!["method".into()];
+    header.extend(BUFFER_PCTS.iter().map(|p| format!("{p}%buf")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let loaded = results.first().map(|(_, l)| *l).unwrap_or(0);
+    let mut t = Table::new(
+        format!(
+            "Figure 18: TPC-C I/O time per transaction (us) vs DBMS buffer size \
+             (database = {loaded} pages)"
+        ),
+        &header_refs,
+    );
+    for (i, kind) in kinds.iter().enumerate() {
+        let mut row = vec![kind.label()];
+        for j in 0..BUFFER_PCTS.len() {
+            row.push(format!("{:.0}", results[i * BUFFER_PCTS.len() + j].0));
+        }
+        t.row(row);
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 18 shape at quick scale: PDL beats OPU and IPL, and bigger
+    /// buffers reduce I/O time for every method.
+    #[test]
+    fn exp7_shapes_match_figure18() {
+        let pdl = MethodKind::Pdl { max_diff_size: 256 };
+        let opu = MethodKind::Opu;
+        let ipl = MethodKind::Ipl { log_bytes_per_block: 64 * 1024 };
+        let (pdl_small, _) = run_tpcc_point(Scale::Quick, pdl, 1.0, 7).unwrap();
+        let (opu_small, _) = run_tpcc_point(Scale::Quick, opu, 1.0, 7).unwrap();
+        let (ipl_small, _) = run_tpcc_point(Scale::Quick, ipl, 1.0, 7).unwrap();
+        assert!(
+            pdl_small < opu_small,
+            "PDL(256B) must beat OPU on TPC-C: {pdl_small:.0} vs {opu_small:.0}"
+        );
+        assert!(
+            pdl_small < ipl_small,
+            "PDL(256B) must beat IPL(64KB) on TPC-C: {pdl_small:.0} vs {ipl_small:.0}"
+        );
+        let (pdl_big, _) = run_tpcc_point(Scale::Quick, pdl, 10.0, 7).unwrap();
+        assert!(pdl_big < pdl_small, "a larger buffer absorbs I/O");
+    }
+}

@@ -1,0 +1,359 @@
+//! The page-differential codec.
+//!
+//! A *differential* is "the difference between the original page in the
+//! flash memory and the up-to-date page in memory" (§1) with the on-flash
+//! structure `<physical page ID, creation time stamp, [offset, length,
+//! changed data]+>` (§4.2).
+//!
+//! A differential page's data area holds a sequence of encoded
+//! differentials; unwritten space stays erased (0xFF), so records are
+//! length-prefixed with a value that can never be `0xFFFF`:
+//!
+//! ```text
+//! record   := body_len : u16 LE     (length of everything after this field)
+//!             pid      : u64 LE     (logical page the differential belongs to)
+//!             ts       : u64 LE     (creation time stamp)
+//!             run_count: u16 LE
+//!             runs     : run*
+//! run      := offset : u16 LE, len : u16 LE, bytes[len]
+//! ```
+//!
+//! Unlike an update log, which records one update command, a differential
+//! always describes the *net* difference against the base page: the paper's
+//! example `..aaaaaa.. -> ..bbbbba.. -> ..bcccba..` produces the single
+//! differential `bcccb`, not the two logs `bbbbb` and `ccc`.
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// A contiguous changed byte range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffRun {
+    pub offset: u32,
+    pub bytes: Vec<u8>,
+}
+
+impl DiffRun {
+    /// Encoded size of this run: offset + length fields + payload.
+    pub fn encoded_len(&self) -> usize {
+        4 + self.bytes.len()
+    }
+}
+
+/// A differential of one logical page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Differential {
+    pub pid: u64,
+    pub ts: u64,
+    pub runs: Vec<DiffRun>,
+}
+
+/// Fixed per-record overhead: length prefix, pid, ts, run count.
+pub const RECORD_HEADER: usize = 2 + 8 + 8 + 2;
+
+impl Differential {
+    /// Total encoded size of the record, including the length prefix.
+    pub fn encoded_len(&self) -> usize {
+        RECORD_HEADER + self.runs.iter().map(DiffRun::encoded_len).sum::<usize>()
+    }
+
+    /// Total changed payload bytes (excluding metadata).
+    pub fn payload_len(&self) -> usize {
+        self.runs.iter().map(|r| r.bytes.len()).sum()
+    }
+
+    /// True when the differential records no change.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Compute the differential between `base` and `new` (equal lengths).
+    ///
+    /// Runs separated by at most `coalesce_gap` unchanged bytes are merged
+    /// (including the gap bytes): each run costs 4 bytes of metadata, so
+    /// small gaps are cheaper to carry than to split on.
+    pub fn compute(pid: u64, ts: u64, base: &[u8], new: &[u8], coalesce_gap: usize)
+        -> Differential {
+        debug_assert_eq!(base.len(), new.len());
+        let mut runs: Vec<DiffRun> = Vec::new();
+        let mut i = 0usize;
+        let n = base.len();
+        while i < n {
+            if base[i] == new[i] {
+                i += 1;
+                continue;
+            }
+            // Start of a changed run; extend while changed, bridging gaps
+            // of up to `coalesce_gap` unchanged bytes.
+            let start = i;
+            let mut end = i + 1;
+            let mut probe = end;
+            loop {
+                // Extend over changed bytes.
+                while probe < n && base[probe] != new[probe] {
+                    probe += 1;
+                    end = probe;
+                }
+                // Try to bridge a gap.
+                let gap_start = probe;
+                while probe < n && probe - gap_start < coalesce_gap && base[probe] == new[probe] {
+                    probe += 1;
+                }
+                if probe < n && base[probe] != new[probe] && probe > gap_start {
+                    // Changed data resumes within the gap budget: keep going.
+                    continue;
+                }
+                break;
+            }
+            runs.push(DiffRun { offset: start as u32, bytes: new[start..end].to_vec() });
+            i = end;
+        }
+        Differential { pid, ts, runs }
+    }
+
+    /// Apply this differential to `page` (the base image), producing the
+    /// up-to-date logical page in place.
+    pub fn apply(&self, page: &mut [u8]) {
+        for run in &self.runs {
+            let start = run.offset as usize;
+            page[start..start + run.bytes.len()].copy_from_slice(&run.bytes);
+        }
+    }
+
+    /// Encode into `out`, which must have at least `encoded_len()` bytes.
+    /// Returns the number of bytes written.
+    pub fn encode(&self, out: &mut [u8]) -> Result<usize> {
+        let need = self.encoded_len();
+        if out.len() < need {
+            return Err(CoreError::BadPageSize { expected: need, got: out.len() });
+        }
+        let body_len = need - 2;
+        debug_assert!(body_len < u16::MAX as usize, "differential body too large");
+        out[0..2].copy_from_slice(&(body_len as u16).to_le_bytes());
+        out[2..10].copy_from_slice(&self.pid.to_le_bytes());
+        out[10..18].copy_from_slice(&self.ts.to_le_bytes());
+        out[18..20].copy_from_slice(&(self.runs.len() as u16).to_le_bytes());
+        let mut at = 20;
+        for run in &self.runs {
+            out[at..at + 2].copy_from_slice(&(run.offset as u16).to_le_bytes());
+            out[at + 2..at + 4].copy_from_slice(&(run.bytes.len() as u16).to_le_bytes());
+            out[at + 4..at + 4 + run.bytes.len()].copy_from_slice(&run.bytes);
+            at += 4 + run.bytes.len();
+        }
+        debug_assert_eq!(at, need);
+        Ok(need)
+    }
+
+    /// Decode one record starting at `bytes[0]`. Returns the differential
+    /// and its encoded length, or `None` at a terminator (erased space).
+    pub fn decode(bytes: &[u8]) -> Result<Option<(Differential, usize)>> {
+        if bytes.len() < 2 {
+            return Ok(None);
+        }
+        let body_len = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+        if body_len == 0xFFFF {
+            return Ok(None); // erased space: no more records
+        }
+        if bytes.len() < 2 + body_len || body_len < RECORD_HEADER - 2 {
+            return Err(CoreError::Corruption(format!(
+                "differential record body of {body_len} bytes does not fit"
+            )));
+        }
+        let pid = u64::from_le_bytes(bytes[2..10].try_into().unwrap());
+        let run_count = u16::from_le_bytes(bytes[18..20].try_into().unwrap()) as usize;
+        let ts = u64::from_le_bytes(bytes[10..18].try_into().unwrap());
+        let mut runs = Vec::with_capacity(run_count);
+        let mut at = 20;
+        let end = 2 + body_len;
+        for _ in 0..run_count {
+            if at + 4 > end {
+                return Err(CoreError::Corruption("differential run header truncated".into()));
+            }
+            let offset = u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap()) as u32;
+            let len = u16::from_le_bytes(bytes[at + 2..at + 4].try_into().unwrap()) as usize;
+            if at + 4 + len > end {
+                return Err(CoreError::Corruption("differential run payload truncated".into()));
+            }
+            runs.push(DiffRun { offset, bytes: bytes[at + 4..at + 4 + len].to_vec() });
+            at += 4 + len;
+        }
+        if at != end {
+            return Err(CoreError::Corruption("differential record has trailing bytes".into()));
+        }
+        Ok(Some((Differential { pid, ts, runs }, end)))
+    }
+
+    /// Find the record for `pid` in a differential page's data area without
+    /// materialising the other records (hot read path): records whose pid
+    /// does not match are skipped by their length prefix.
+    pub fn find_in_page(data: &[u8], pid: u64) -> Result<Option<Differential>> {
+        let mut at = 0;
+        while at + 2 <= data.len() {
+            let body_len = u16::from_le_bytes([data[at], data[at + 1]]) as usize;
+            if body_len == 0xFFFF {
+                break; // erased space
+            }
+            if at + 2 + body_len > data.len() || body_len < RECORD_HEADER - 2 {
+                return Err(CoreError::Corruption(format!(
+                    "differential record body of {body_len} bytes does not fit"
+                )));
+            }
+            let rec_pid = u64::from_le_bytes(data[at + 2..at + 10].try_into().unwrap());
+            if rec_pid == pid {
+                return Ok(Differential::decode(&data[at..])?.map(|(d, _)| d));
+            }
+            at += 2 + body_len;
+        }
+        Ok(None)
+    }
+
+    /// Parse every record in a differential page's data area.
+    pub fn parse_page(data: &[u8]) -> Result<Vec<Differential>> {
+        let mut out = Vec::new();
+        let mut at = 0;
+        while at < data.len() {
+            match Differential::decode(&data[at..])? {
+                Some((diff, used)) => {
+                    out.push(diff);
+                    at += used;
+                }
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diff_of(base: &[u8], new: &[u8], gap: usize) -> Differential {
+        Differential::compute(7, 42, base, new, gap)
+    }
+
+    #[test]
+    fn identical_pages_have_empty_diff() {
+        let page = vec![3u8; 64];
+        let d = diff_of(&page, &page, 8);
+        assert!(d.is_empty());
+        assert_eq!(d.encoded_len(), RECORD_HEADER);
+    }
+
+    #[test]
+    fn single_change_single_run() {
+        let base = vec![0u8; 64];
+        let mut new = base.clone();
+        new[10..20].fill(9);
+        let d = diff_of(&base, &new, 0);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 10);
+        assert_eq!(d.runs[0].bytes, vec![9u8; 10]);
+        assert_eq!(d.payload_len(), 10);
+    }
+
+    #[test]
+    fn paper_example_net_difference() {
+        // ..aaaaaa.. -> ..bbbbba.. -> ..bcccba..: the differential contains
+        // only the net change `bcccb` against the original.
+        let base = b"xxaaaaaaxx".to_vec();
+        let v2 = b"xxbcccbaxx".to_vec();
+        let d = diff_of(&base, &v2, 0);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 2);
+        assert_eq!(d.runs[0].bytes, b"bcccb".to_vec());
+    }
+
+    #[test]
+    fn gap_coalescing_merges_close_runs() {
+        let base = vec![0u8; 32];
+        let mut new = base.clone();
+        new[4] = 1;
+        new[7] = 1; // gap of 2 unchanged bytes
+        let split = diff_of(&base, &new, 0);
+        assert_eq!(split.runs.len(), 2);
+        let merged = diff_of(&base, &new, 2);
+        assert_eq!(merged.runs.len(), 1);
+        assert_eq!(merged.runs[0].offset, 4);
+        assert_eq!(merged.runs[0].bytes.len(), 4);
+        // Merged costs less metadata overall.
+        assert!(merged.encoded_len() <= split.encoded_len());
+    }
+
+    #[test]
+    fn apply_reconstructs_new_page() {
+        let base: Vec<u8> = (0..=255u8).collect();
+        let mut new = base.clone();
+        new[3..9].fill(0xAA);
+        new[100] = 0;
+        new[200..240].fill(0x55);
+        for gap in [0, 2, 8, 64] {
+            let d = diff_of(&base, &new, gap);
+            let mut rebuilt = base.clone();
+            d.apply(&mut rebuilt);
+            assert_eq!(rebuilt, new, "gap={gap}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let base = vec![1u8; 128];
+        let mut new = base.clone();
+        new[0] = 2;
+        new[60..70].fill(3);
+        new[127] = 4;
+        let d = diff_of(&base, &new, 4);
+        let mut buf = vec![0xFFu8; 256];
+        let n = d.encode(&mut buf).unwrap();
+        assert_eq!(n, d.encoded_len());
+        let (back, used) = Differential::decode(&buf).unwrap().unwrap();
+        assert_eq!(used, n);
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn parse_page_reads_multiple_records_until_erased() {
+        let base = vec![0u8; 64];
+        let mut new1 = base.clone();
+        new1[5] = 1;
+        let mut new2 = base.clone();
+        new2[50..60].fill(2);
+        let d1 = Differential::compute(1, 10, &base, &new1, 8);
+        let d2 = Differential::compute(2, 11, &base, &new2, 8);
+        let mut page = vec![0xFFu8; 512];
+        let n1 = d1.encode(&mut page).unwrap();
+        let _n2 = d2.encode(&mut page[n1..]).unwrap();
+        let parsed = Differential::parse_page(&page).unwrap();
+        assert_eq!(parsed, vec![d1, d2]);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_records() {
+        let base = vec![0u8; 64];
+        let mut new = base.clone();
+        new[5..30].fill(7);
+        let d = diff_of(&base, &new, 0);
+        let mut buf = vec![0xFFu8; 128];
+        let n = d.encode(&mut buf).unwrap();
+        // Chop the record body.
+        let truncated = &buf[..n - 3];
+        assert!(Differential::decode(truncated).is_err());
+    }
+
+    #[test]
+    fn empty_page_parses_to_nothing() {
+        let page = vec![0xFFu8; 256];
+        assert!(Differential::parse_page(&page).unwrap().is_empty());
+    }
+
+    #[test]
+    fn whole_page_change_diff_exceeds_page() {
+        // A fully-changed 2048-byte page yields a differential strictly
+        // larger than the page itself - the Case 3 trigger.
+        let base = vec![0u8; 2048];
+        let new = vec![1u8; 2048];
+        let d = diff_of(&base, &new, 8);
+        assert!(d.encoded_len() > 2048);
+        assert_eq!(d.payload_len(), 2048);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for page-update methods.
+
+use pdl_flash::FlashError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by page-update methods.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// Underlying flash operation failed.
+    Flash(FlashError),
+    /// Logical page id beyond the store's configured capacity.
+    PageIdOutOfRange { pid: u64, num_pages: u64 },
+    /// Caller buffer does not match the logical page size.
+    BadPageSize { expected: usize, got: usize },
+    /// The flash ran out of reclaimable space: garbage collection could not
+    /// find a victim block with any obsolete page.
+    StorageFull,
+    /// Invalid configuration (geometry/option mismatch), with a reason.
+    BadConfig(String),
+    /// On-flash state is inconsistent with the in-memory tables; indicates
+    /// a bug or external corruption. Carries a description.
+    Corruption(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Flash(e) => write!(f, "flash error: {e}"),
+            CoreError::PageIdOutOfRange { pid, num_pages } => {
+                write!(f, "logical page {pid} out of range (store has {num_pages})")
+            }
+            CoreError::BadPageSize { expected, got } => {
+                write!(f, "logical page buffer: expected {expected} bytes, got {got}")
+            }
+            CoreError::StorageFull => write!(f, "flash storage full: no reclaimable block"),
+            CoreError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            CoreError::Corruption(msg) => write!(f, "corrupted store state: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlashError> for CoreError {
+    fn from(e: FlashError) -> Self {
+        CoreError::Flash(e)
+    }
+}
+
+/// Whether the error is an injected power loss (used by crash tests to
+/// distinguish expected aborts from real failures).
+pub fn is_power_loss(e: &CoreError) -> bool {
+    matches!(e, CoreError::Flash(FlashError::PowerLoss))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::from(FlashError::PowerLoss);
+        assert!(e.to_string().contains("power loss"));
+        assert!(Error::source(&e).is_some());
+        assert!(is_power_loss(&e));
+        assert!(!is_power_loss(&CoreError::StorageFull));
+        assert!(CoreError::PageIdOutOfRange { pid: 7, num_pages: 4 }
+            .to_string()
+            .contains('7'));
+    }
+}

@@ -1,0 +1,457 @@
+//! Shared Flash Translation Layer machinery: out-place page allocation,
+//! per-block accounting and greedy garbage-collection victim selection.
+//!
+//! OPU and PDL both write pages *out-place*: an updated page goes to a
+//! freshly allocated physical page and the stale copy is marked obsolete.
+//! The [`BlockManager`] hands out pages sequentially from one *active*
+//! block at a time, keeps `reserve` blocks free so garbage collection can
+//! always relocate a victim's valid pages, and picks victims greedily by
+//! reclaimable page count.
+
+use crate::error::CoreError;
+use crate::Result;
+use pdl_flash::{BlockId, Ppn};
+
+/// Lifecycle state of a block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockState {
+    /// Fully erased, in the free pool.
+    Free,
+    /// Currently receiving allocations.
+    Active,
+    /// Fully allocated (or retired after recovery); a GC candidate.
+    Used,
+    /// Reserved for out-of-band use (checkpoint root region): never
+    /// allocated from, never a GC victim.
+    Reserved,
+    /// Retired after an erase failure (bad-block management): never
+    /// allocated from, never a GC victim.
+    Bad,
+}
+
+/// Outcome of an allocation attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocOutcome {
+    Page(Ppn),
+    /// The free pool dropped to the reserve: the caller must garbage
+    /// collect before retrying with `gc_mode = false`.
+    NeedsGc,
+}
+
+/// Per-block allocator with greedy GC victim selection.
+#[derive(Clone, Debug)]
+pub struct BlockManager {
+    pages_per_block: u32,
+    reserve: u32,
+    states: Vec<BlockState>,
+    free: std::collections::VecDeque<u32>,
+    active: Option<(u32, u32)>, // (block, next in-block index)
+    /// Pages allocated (and presumed programmed) per block.
+    written: Vec<u32>,
+    /// Pages marked obsolete per block.
+    obsolete: Vec<u32>,
+    /// Victim-selection policy.
+    policy: GcPolicy,
+    /// Erase count per block, mirrored here for the wear-aware policy.
+    erases: Vec<u64>,
+}
+
+/// Garbage-collection victim selection policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GcPolicy {
+    /// Pick the block with the most reclaimable pages (the paper's setup;
+    /// it uses the greedy collection of Woodhouse's JFFS).
+    #[default]
+    Greedy,
+    /// Among blocks within 90% of the best reclaimable count, pick the one
+    /// erased least often. An ablation, not part of the paper.
+    WearAware,
+}
+
+impl BlockManager {
+    pub fn new(num_blocks: u32, pages_per_block: u32, reserve: u32) -> BlockManager {
+        BlockManager {
+            pages_per_block,
+            reserve,
+            states: vec![BlockState::Free; num_blocks as usize],
+            free: (0..num_blocks).collect(),
+            active: None,
+            written: vec![0; num_blocks as usize],
+            obsolete: vec![0; num_blocks as usize],
+            policy: GcPolicy::Greedy,
+            erases: vec![0; num_blocks as usize],
+        }
+    }
+
+    pub fn set_policy(&mut self, policy: GcPolicy) {
+        self.policy = policy;
+    }
+
+    /// Permanently remove `block` from the allocatable pool (checkpoint
+    /// root region). Must be called before any allocation.
+    pub fn reserve_block(&mut self, block: BlockId) {
+        debug_assert_eq!(self.states[block.0 as usize], BlockState::Free, "reserve before use");
+        self.free.retain(|b| *b != block.0);
+        self.states[block.0 as usize] = BlockState::Reserved;
+    }
+
+    /// Retire `block` after an erase failure: it keeps whatever stale
+    /// content it holds but is never allocated or collected again.
+    pub fn retire_block(&mut self, block: BlockId) {
+        self.free.retain(|b| *b != block.0);
+        if self.active.map(|(ab, _)| ab == block.0).unwrap_or(false) {
+            self.active = None;
+        }
+        self.states[block.0 as usize] = BlockState::Bad;
+    }
+
+    /// Number of retired (bad) blocks (diagnostics).
+    #[allow(dead_code)]
+    pub fn bad_blocks(&self) -> usize {
+        self.states.iter().filter(|s| **s == BlockState::Bad).count()
+    }
+
+    pub fn num_blocks(&self) -> u32 {
+        self.states.len() as u32
+    }
+
+    /// Blocks currently in the free pool (diagnostics).
+    #[allow(dead_code)]
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Diagnostics accessor (tests and tools).
+    #[allow(dead_code)]
+    pub fn pages_per_block(&self) -> u32 {
+        self.pages_per_block
+    }
+
+    /// Pages programmed into `block` since its last erase.
+    pub fn written_in(&self, block: BlockId) -> u32 {
+        self.written[block.0 as usize]
+    }
+
+    /// Pages marked obsolete in `block` (diagnostics).
+    #[allow(dead_code)]
+    pub fn obsolete_in(&self, block: BlockId) -> u32 {
+        self.obsolete[block.0 as usize]
+    }
+
+    /// Valid (live) pages in `block`.
+    pub fn valid_in(&self, block: BlockId) -> u32 {
+        self.written[block.0 as usize] - self.obsolete[block.0 as usize]
+    }
+
+    /// Whether the caller should run garbage collection before the next
+    /// regular allocation (diagnostics; methods use [`Self::normal_capacity`]).
+    #[allow(dead_code)]
+    pub fn gc_needed(&self) -> bool {
+        self.active_remaining() == 0 && self.free.len() <= self.reserve as usize
+    }
+
+    fn active_remaining(&self) -> u32 {
+        match self.active {
+            Some((_, next)) => self.pages_per_block - next,
+            None => 0,
+        }
+    }
+
+    /// Pages allocatable in normal mode without dipping into the GC
+    /// reserve: the active block's remainder plus whole free blocks beyond
+    /// the reserve. Methods call GC until this covers their next
+    /// multi-page operation, so GC never interleaves with one.
+    pub fn normal_capacity(&self) -> u64 {
+        let beyond_reserve = self.free.len().saturating_sub(self.reserve as usize) as u64;
+        self.active_remaining() as u64 + beyond_reserve * self.pages_per_block as u64
+    }
+
+    /// Pages allocatable in GC mode (the whole free pool plus the active
+    /// remainder). GC must pick victims whose relocation fits here, or a
+    /// failed erase (bad block) could strand it mid-relocation.
+    pub fn gc_capacity(&self) -> u64 {
+        self.active_remaining() as u64 + self.free.len() as u64 * self.pages_per_block as u64
+    }
+
+    /// Allocate the next physical page. With `gc_mode = false` the free
+    /// pool never drops below the reserve; garbage collection itself passes
+    /// `gc_mode = true` to use the reserve for relocation.
+    pub fn alloc(&mut self, gc_mode: bool) -> Result<AllocOutcome> {
+        if self.active.is_none() {
+            let can_take = if gc_mode {
+                !self.free.is_empty()
+            } else {
+                self.free.len() > self.reserve as usize
+            };
+            if !can_take {
+                return if gc_mode {
+                    // The reserve itself ran dry: sizing bug, not a normal
+                    // GC trigger.
+                    Err(CoreError::StorageFull)
+                } else {
+                    Ok(AllocOutcome::NeedsGc)
+                };
+            }
+            let b = self.free.pop_front().expect("free pool non-empty");
+            self.states[b as usize] = BlockState::Active;
+            self.active = Some((b, 0));
+        }
+        let (block, next) = self.active.expect("active block");
+        let ppn = Ppn(block * self.pages_per_block + next);
+        self.written[block as usize] += 1;
+        if next + 1 == self.pages_per_block {
+            self.states[block as usize] = BlockState::Used;
+            self.active = None;
+        } else {
+            self.active = Some((block, next + 1));
+        }
+        Ok(AllocOutcome::Page(ppn))
+    }
+
+    /// Record that `ppn` was marked obsolete.
+    pub fn note_obsolete(&mut self, ppn: Ppn) {
+        let b = (ppn.0 / self.pages_per_block) as usize;
+        debug_assert!(self.obsolete[b] < self.written[b], "obsolete count overflow in block {b}");
+        self.obsolete[b] += 1;
+    }
+
+    /// Choose a GC victim: a `Used` block with the most reclaimable pages
+    /// (obsolete pages plus the never-written tail) whose live pages can
+    /// be relocated into at most `max_valid` free pages. Returns `None`
+    /// when no suitable block exists — the store is genuinely full (or
+    /// too broken to proceed).
+    pub fn pick_victim(&self, max_valid: u32) -> Option<BlockId> {
+        let mut best: Option<(u32, u32, u64)> = None; // (block, reclaimable, erases)
+        for b in 0..self.states.len() as u32 {
+            if self.states[b as usize] != BlockState::Used {
+                continue;
+            }
+            if self.valid_in(BlockId(b)) > max_valid {
+                continue;
+            }
+            let reclaim = self.pages_per_block - self.valid_in(BlockId(b));
+            if reclaim == 0 {
+                continue;
+            }
+            let better = match (self.policy, best) {
+                (_, None) => true,
+                (GcPolicy::Greedy, Some((_, r, _))) => reclaim > r,
+                (GcPolicy::WearAware, Some((_, r, e))) => {
+                    // Prefer clearly-more-reclaimable blocks; break near
+                    // ties by wear.
+                    reclaim * 10 > r * 11
+                        || (reclaim * 10 >= r * 9 && self.erases[b as usize] < e)
+                }
+            };
+            if better {
+                best = Some((b, reclaim, self.erases[b as usize]));
+            }
+        }
+        best.map(|(b, _, _)| BlockId(b))
+    }
+
+    /// Record that `block` was erased: it returns to the free pool.
+    pub fn on_erased(&mut self, block: BlockId) {
+        let b = block.0 as usize;
+        debug_assert_ne!(self.states[b], BlockState::Free, "double erase of free block");
+        debug_assert!(
+            self.active.map(|(ab, _)| ab != block.0).unwrap_or(true),
+            "erasing the active block"
+        );
+        self.states[b] = BlockState::Free;
+        self.written[b] = 0;
+        self.obsolete[b] = 0;
+        self.erases[b] += 1;
+        self.free.push_back(block.0);
+    }
+
+    /// Rebuild allocator state after a crash-recovery scan: per-block
+    /// written/obsolete page counts as found on flash. Partially-written
+    /// blocks become `Used` (their erased tail is reclaimed by future GC);
+    /// `Reserved` blocks keep their state.
+    pub fn rebuild(&mut self, written: &[u32], obsolete: &[u32]) {
+        assert_eq!(written.len(), self.states.len());
+        assert_eq!(obsolete.len(), self.states.len());
+        self.free.clear();
+        self.active = None;
+        for b in 0..self.states.len() {
+            if matches!(self.states[b], BlockState::Reserved | BlockState::Bad) {
+                continue;
+            }
+            self.written[b] = written[b];
+            self.obsolete[b] = obsolete[b];
+            if written[b] == 0 {
+                self.states[b] = BlockState::Free;
+                self.free.push_back(b as u32);
+            } else {
+                self.states[b] = BlockState::Used;
+            }
+        }
+    }
+
+    /// Total live pages across all blocks (diagnostics).
+    #[allow(dead_code)]
+    pub fn total_valid(&self) -> u64 {
+        (0..self.states.len() as u32).map(|b| self.valid_in(BlockId(b)) as u64).sum()
+    }
+}
+
+/// Mark a page obsolete, tolerating bad blocks: a page stranded in a
+/// block whose erase failed cannot be programmed, but its staleness is
+/// harmless (no live table entry points at it, and the block is retired).
+pub(crate) fn mark_obsolete_lenient(chip: &mut pdl_flash::FlashChip, ppn: Ppn) -> crate::Result<()> {
+    match chip.mark_obsolete(ppn) {
+        Ok(()) => Ok(()),
+        Err(pdl_flash::FlashError::BadBlock(_)) => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Build a spare-area image for a freshly programmed page.
+pub(crate) fn make_spare(
+    spare_size: usize,
+    kind: pdl_flash::PageKind,
+    tag: u64,
+    ts: u64,
+    data: &[u8],
+) -> Vec<u8> {
+    let mut spare = vec![0xFF; spare_size];
+    pdl_flash::SpareInfo::new(kind, tag, ts, pdl_flash::fnv1a32(data))
+        .encode(&mut spare)
+        .expect("spare area large enough");
+    spare
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> BlockManager {
+        BlockManager::new(8, 4, 2)
+    }
+
+    #[test]
+    fn allocates_sequentially_within_blocks() {
+        let mut m = mgr();
+        let mut pages = Vec::new();
+        for _ in 0..8 {
+            match m.alloc(false).unwrap() {
+                AllocOutcome::Page(p) => pages.push(p.0),
+                AllocOutcome::NeedsGc => panic!("premature GC"),
+            }
+        }
+        assert_eq!(pages, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(m.written_in(BlockId(0)), 4);
+        assert_eq!(m.written_in(BlockId(1)), 4);
+    }
+
+    #[test]
+    fn reserve_triggers_gc() {
+        let mut m = mgr();
+        // 8 blocks, reserve 2: 6 blocks = 24 pages allocatable normally.
+        for _ in 0..24 {
+            assert!(matches!(m.alloc(false).unwrap(), AllocOutcome::Page(_)));
+        }
+        assert!(matches!(m.alloc(false).unwrap(), AllocOutcome::NeedsGc));
+        assert!(m.gc_needed());
+        // GC mode can still dip into the reserve.
+        assert!(matches!(m.alloc(true).unwrap(), AllocOutcome::Page(_)));
+    }
+
+    #[test]
+    fn gc_mode_exhaustion_is_storage_full() {
+        let mut m = BlockManager::new(2, 2, 1);
+        for _ in 0..4 {
+            let _ = m.alloc(true).unwrap();
+        }
+        assert!(matches!(m.alloc(true), Err(CoreError::StorageFull)));
+    }
+
+    #[test]
+    fn victim_is_most_reclaimable() {
+        let mut m = mgr();
+        let mut pages = Vec::new();
+        for _ in 0..12 {
+            if let AllocOutcome::Page(p) = m.alloc(false).unwrap() {
+                pages.push(p);
+            }
+        }
+        // Block 0 gets 1 obsolete page, block 1 gets 3.
+        m.note_obsolete(pages[0]);
+        m.note_obsolete(pages[4]);
+        m.note_obsolete(pages[5]);
+        m.note_obsolete(pages[6]);
+        assert_eq!(m.pick_victim(u32::MAX), Some(BlockId(1)));
+        m.on_erased(BlockId(1));
+        assert_eq!(m.valid_in(BlockId(1)), 0);
+        assert_eq!(m.pick_victim(u32::MAX), Some(BlockId(0)));
+    }
+
+    #[test]
+    fn fully_valid_blocks_are_not_victims() {
+        let mut m = mgr();
+        for _ in 0..4 {
+            let _ = m.alloc(false).unwrap();
+        }
+        // Block 0 fully written, zero obsolete: nothing to reclaim.
+        assert_eq!(m.pick_victim(u32::MAX), None);
+    }
+
+    #[test]
+    fn partially_written_used_blocks_can_be_victims_after_rebuild() {
+        let mut m = mgr();
+        // Simulate recovery: block 3 half written, block 2 full and half
+        // obsolete.
+        let mut written = vec![0u32; 8];
+        let mut obsolete = vec![0u32; 8];
+        written[3] = 2;
+        written[2] = 4;
+        obsolete[2] = 2;
+        m.rebuild(&written, &obsolete);
+        assert_eq!(m.free_blocks(), 6);
+        // Block 3 reclaims 2 (tail), block 2 reclaims 2 (obsolete): greedy
+        // picks the first best found.
+        let v = m.pick_victim(u32::MAX).unwrap();
+        assert!(v == BlockId(2) || v == BlockId(3));
+    }
+
+    #[test]
+    fn erase_returns_block_to_pool() {
+        let mut m = BlockManager::new(3, 2, 1);
+        for _ in 0..4 {
+            let _ = m.alloc(false).unwrap();
+        }
+        assert!(matches!(m.alloc(false).unwrap(), AllocOutcome::NeedsGc));
+        m.note_obsolete(Ppn(0));
+        m.note_obsolete(Ppn(1));
+        let v = m.pick_victim(u32::MAX).unwrap();
+        assert_eq!(v, BlockId(0));
+        m.on_erased(v);
+        assert!(matches!(m.alloc(false).unwrap(), AllocOutcome::Page(_)));
+    }
+
+    #[test]
+    fn wear_aware_prefers_less_worn_near_ties() {
+        let mut m = BlockManager::new(4, 4, 1);
+        m.set_policy(GcPolicy::WearAware);
+        let mut written = vec![4u32; 4];
+        written[3] = 0;
+        let obsolete = vec![2u32; 4];
+        m.rebuild(&written, &obsolete);
+        // Wear blocks 0 and 1 heavily.
+        m.erases[0] = 10;
+        m.erases[1] = 10;
+        m.erases[2] = 1;
+        assert_eq!(m.pick_victim(u32::MAX), Some(BlockId(2)));
+    }
+
+    #[test]
+    fn total_valid_tracks_live_pages() {
+        let mut m = mgr();
+        for _ in 0..6 {
+            let _ = m.alloc(false).unwrap();
+        }
+        m.note_obsolete(Ppn(2));
+        assert_eq!(m.total_valid(), 5);
+    }
+}

@@ -1,0 +1,253 @@
+//! Update-log records, log sectors and the per-page log buffer for IPL.
+//!
+//! "Whenever logical pages are updated, the update logs of multiple logical
+//! pages are first collected into a write buffer in memory. When this
+//! buffer is full, it is written into a single physical page" (§3). As in
+//! Lee & Moon, the in-memory buffer is per logical page and its size is a
+//! fixed fraction of the page ("we set the size of log buffer for each
+//! logical page to the size of a logical page x 1/16", footnote 13); a
+//! full buffer is flushed as one *log sector* into the current log page of
+//! the block.
+//!
+//! Sector layout (within a `sector_size`-byte slot of a log page):
+//!
+//! ```text
+//! pid    : u64 LE      (u64::MAX = slot still erased)
+//! count  : u16 LE      number of records
+//! records: (offset u16 LE, len u16 LE, bytes[len])*
+//! ```
+
+use crate::error::CoreError;
+use crate::Result;
+use std::collections::VecDeque;
+
+/// Bytes of sector overhead before records start.
+pub(crate) const SECTOR_HEADER: usize = 10;
+/// Per-record metadata cost.
+pub(crate) const RECORD_OVERHEAD: usize = 4;
+
+/// One update-log record: a changed byte range of a logical page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct LogRecord {
+    pub offset: u32,
+    pub bytes: Vec<u8>,
+}
+
+impl LogRecord {
+    pub fn cost(&self) -> usize {
+        RECORD_OVERHEAD + self.bytes.len()
+    }
+}
+
+/// Encode a sector image for `pid` from `records`. The image is
+/// `sector_size` bytes with erased (0xFF) tail space.
+pub(crate) fn encode_sector(pid: u64, records: &[LogRecord], sector_size: usize) -> Vec<u8> {
+    let mut out = vec![0xFFu8; sector_size];
+    out[0..8].copy_from_slice(&pid.to_le_bytes());
+    out[8..10].copy_from_slice(&(records.len() as u16).to_le_bytes());
+    let mut at = SECTOR_HEADER;
+    for r in records {
+        out[at..at + 2].copy_from_slice(&(r.offset as u16).to_le_bytes());
+        out[at + 2..at + 4].copy_from_slice(&(r.bytes.len() as u16).to_le_bytes());
+        out[at + 4..at + 4 + r.bytes.len()].copy_from_slice(&r.bytes);
+        at += r.cost();
+    }
+    debug_assert!(at <= sector_size, "sector overflow");
+    out
+}
+
+/// Decode one sector slot. Returns `None` for an erased slot.
+pub(crate) fn decode_sector(bytes: &[u8]) -> Result<Option<(u64, Vec<LogRecord>)>> {
+    if bytes.len() < SECTOR_HEADER {
+        return Err(CoreError::Corruption("log sector shorter than its header".into()));
+    }
+    let pid = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+    if pid == u64::MAX {
+        return Ok(None);
+    }
+    let count = u16::from_le_bytes(bytes[8..10].try_into().unwrap()) as usize;
+    let mut records = Vec::with_capacity(count);
+    let mut at = SECTOR_HEADER;
+    for _ in 0..count {
+        if at + RECORD_OVERHEAD > bytes.len() {
+            return Err(CoreError::Corruption("log record header truncated".into()));
+        }
+        let offset = u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap()) as u32;
+        let len = u16::from_le_bytes(bytes[at + 2..at + 4].try_into().unwrap()) as usize;
+        if at + RECORD_OVERHEAD + len > bytes.len() {
+            return Err(CoreError::Corruption("log record payload truncated".into()));
+        }
+        records.push(LogRecord { offset, bytes: bytes[at + 4..at + 4 + len].to_vec() });
+        at += RECORD_OVERHEAD + len;
+    }
+    Ok(Some((pid, records)))
+}
+
+/// The in-memory log buffer of one logical page.
+#[derive(Debug, Default)]
+pub(crate) struct LogBuf {
+    records: VecDeque<LogRecord>,
+    bytes: usize,
+}
+
+impl LogBuf {
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total record cost currently buffered (diagnostics).
+    #[allow(dead_code)]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    pub fn append(&mut self, record: LogRecord) {
+        self.bytes += record.cost();
+        self.records.push_back(record);
+    }
+
+    /// Whether a full sector (payload capacity `cap`) can be packed.
+    pub fn has_full_sector(&self, cap: usize) -> bool {
+        self.bytes >= cap
+    }
+
+    /// Pack up to `cap` payload bytes of records, splitting the boundary
+    /// record if necessary so that flush counts follow the paper's
+    /// `ceil(size_of_update_logs / size_of_log_buffer)` model.
+    pub fn pack(&mut self, cap: usize) -> Vec<LogRecord> {
+        let mut taken = Vec::new();
+        let mut used = 0usize;
+        while let Some(front) = self.records.front_mut() {
+            let cost = front.cost();
+            if used + cost <= cap {
+                used += cost;
+                let r = self.records.pop_front().expect("front exists");
+                taken.push(r);
+            } else {
+                let space = cap - used;
+                if space > RECORD_OVERHEAD {
+                    // Split: emit a prefix of the record now. The remainder
+                    // keeps its own record overhead, so recompute below.
+                    let n = space - RECORD_OVERHEAD;
+                    let head: Vec<u8> = front.bytes.drain(..n).collect();
+                    taken.push(LogRecord { offset: front.offset, bytes: head });
+                    front.offset += n as u32;
+                }
+                break;
+            }
+        }
+        self.bytes = self.records.iter().map(LogRecord::cost).sum();
+        taken
+    }
+
+    /// Drain everything (eviction flush of a partial sector).
+    pub fn drain_all(&mut self) -> Vec<LogRecord> {
+        self.bytes = 0;
+        self.records.drain(..).collect()
+    }
+
+    /// Apply the buffered records, in order, to a page image.
+    pub fn apply_to(&self, page: &mut [u8]) {
+        for r in &self.records {
+            let at = r.offset as usize;
+            page[at..at + r.bytes.len()].copy_from_slice(&r.bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(offset: u32, len: usize, fill: u8) -> LogRecord {
+        LogRecord { offset, bytes: vec![fill; len] }
+    }
+
+    #[test]
+    fn sector_round_trip() {
+        let records = vec![rec(3, 5, 1), rec(100, 20, 2)];
+        let img = encode_sector(42, &records, 128);
+        let (pid, back) = decode_sector(&img).unwrap().unwrap();
+        assert_eq!(pid, 42);
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn erased_sector_decodes_none() {
+        let img = vec![0xFFu8; 128];
+        assert!(decode_sector(&img).unwrap().is_none());
+    }
+
+    #[test]
+    fn buffer_accounts_costs() {
+        let mut b = LogBuf::default();
+        b.append(rec(0, 10, 1));
+        assert_eq!(b.bytes(), 14);
+        b.append(rec(20, 6, 2));
+        assert_eq!(b.bytes(), 24);
+        assert!(!b.has_full_sector(25));
+        assert!(b.has_full_sector(24));
+    }
+
+    #[test]
+    fn pack_takes_whole_records_when_they_fit() {
+        let mut b = LogBuf::default();
+        b.append(rec(0, 10, 1));
+        b.append(rec(20, 10, 2));
+        let taken = b.pack(28);
+        assert_eq!(taken.len(), 2);
+        assert!(b.is_empty());
+        assert_eq!(b.bytes(), 0);
+    }
+
+    #[test]
+    fn pack_splits_boundary_record() {
+        let mut b = LogBuf::default();
+        b.append(rec(0, 100, 7));
+        let taken = b.pack(54); // 4 + 50 payload
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].bytes.len(), 50);
+        assert_eq!(taken[0].offset, 0);
+        // Remainder keeps the tail at the right offset and re-pays the
+        // record overhead.
+        assert_eq!(b.bytes(), 4 + 50);
+        let rest = b.drain_all();
+        assert_eq!(rest[0].offset, 50);
+        assert_eq!(rest[0].bytes.len(), 50);
+    }
+
+    #[test]
+    fn split_then_apply_equals_original_update() {
+        let mut page = vec![0u8; 256];
+        let mut b = LogBuf::default();
+        let mut update = vec![0u8; 100];
+        for (i, v) in update.iter_mut().enumerate() {
+            *v = i as u8;
+        }
+        b.append(LogRecord { offset: 30, bytes: update.clone() });
+        let first = b.pack(54);
+        let rest = b.drain_all();
+        for r in first.iter().chain(rest.iter()) {
+            let at = r.offset as usize;
+            page[at..at + r.bytes.len()].copy_from_slice(&r.bytes);
+        }
+        assert_eq!(&page[30..130], &update[..]);
+    }
+
+    #[test]
+    fn apply_to_respects_order() {
+        let mut b = LogBuf::default();
+        b.append(rec(0, 4, 1));
+        b.append(rec(2, 4, 2)); // overlaps; later wins
+        let mut page = vec![0u8; 8];
+        b.apply_to(&mut page);
+        assert_eq!(page, [1, 1, 2, 2, 2, 2, 0, 0]);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let records = vec![rec(0, 30, 9)];
+        let img = encode_sector(1, &records, 64);
+        assert!(decode_sector(&img[..20]).is_err());
+    }
+}

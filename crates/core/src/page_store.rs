@@ -1,0 +1,297 @@
+//! The [`PageStore`] trait: the contract between a storage system (DBMS
+//! buffer manager or experiment driver) and a page-update method.
+//!
+//! The paper's update operation is "(1) reading the addressed page;
+//! (2) changing the data in the page; (3) writing the updated page". The
+//! trait mirrors that protocol:
+//!
+//! * [`PageStore::read_page`] recreates a logical page from flash
+//!   (the reading step);
+//! * [`PageStore::apply_update`] notifies the method that the in-memory
+//!   copy changed. Log-based methods (IPL) are *tightly coupled* and act
+//!   here, writing update logs; loosely-coupled methods (PDL, OPU, IPU)
+//!   ignore it;
+//! * [`PageStore::evict_page`] reflects the up-to-date logical page into
+//!   flash memory (the writing step — e.g. a buffer-pool eviction).
+//!
+//! A logical page may be larger than a physical page: it then spans
+//! `frames_per_page` physical *frames* (Experiment 2(b) uses 8 Kbyte
+//! logical pages on the 2 Kbyte-page chip).
+
+use crate::error::CoreError;
+use crate::Result;
+use pdl_flash::FlashChip;
+
+/// A changed byte range within a logical page, reported by the storage
+/// system to [`PageStore::apply_update`]. Only log-based methods consume
+/// it — that is precisely the DBMS coupling the paper discusses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChangeRange {
+    pub offset: u32,
+    pub len: u32,
+}
+
+impl ChangeRange {
+    pub fn new(offset: usize, len: usize) -> ChangeRange {
+        ChangeRange { offset: offset as u32, len: len as u32 }
+    }
+
+    pub fn end(&self) -> usize {
+        (self.offset + self.len) as usize
+    }
+}
+
+/// Configuration shared by all page-update methods.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Number of logical pages the store must address.
+    pub num_logical_pages: u64,
+    /// Physical frames per logical page (logical page size =
+    /// `frames_per_page * data_size`). 1 for the paper's main setup,
+    /// 4 for the 8 Kbyte-logical-page experiment.
+    pub frames_per_page: u32,
+    /// Free blocks the allocator keeps in reserve for garbage collection.
+    pub reserve_blocks: u32,
+    /// Gap (in bytes) below which adjacent differential runs are merged;
+    /// trades run metadata against payload (ablation bench).
+    pub coalesce_gap: usize,
+    /// Blocks reserved at the start of the chip as PDL's checkpoint root
+    /// region (0 = checkpointing disabled). Implements the paper's §4.5
+    /// future work: recovering the mapping tables without a full scan.
+    /// Must hold two complete checkpoints; see `Pdl::checkpoint`.
+    pub checkpoint_blocks: u32,
+}
+
+impl StoreOptions {
+    pub fn new(num_logical_pages: u64) -> StoreOptions {
+        StoreOptions {
+            num_logical_pages,
+            frames_per_page: 1,
+            reserve_blocks: 3,
+            coalesce_gap: 8,
+            checkpoint_blocks: 0,
+        }
+    }
+
+    /// Enable PDL checkpointing with a root region of `blocks` blocks.
+    pub fn with_checkpoint_blocks(mut self, blocks: u32) -> StoreOptions {
+        self.checkpoint_blocks = blocks;
+        self
+    }
+
+    pub fn with_frames_per_page(mut self, frames: u32) -> StoreOptions {
+        self.frames_per_page = frames;
+        self
+    }
+
+    pub fn with_coalesce_gap(mut self, gap: usize) -> StoreOptions {
+        self.coalesce_gap = gap;
+        self
+    }
+
+    /// Logical page size for a given chip data-area size.
+    pub fn logical_page_size(&self, data_size: usize) -> usize {
+        self.frames_per_page as usize * data_size
+    }
+
+    /// Total number of physical frames the store manages.
+    pub fn num_frames(&self) -> u64 {
+        self.num_logical_pages * self.frames_per_page as u64
+    }
+
+    pub(crate) fn validate(&self, chip: &FlashChip) -> Result<()> {
+        if self.num_logical_pages == 0 {
+            return Err(CoreError::BadConfig("num_logical_pages must be > 0".into()));
+        }
+        if !(1..=8).contains(&self.frames_per_page) {
+            return Err(CoreError::BadConfig(format!(
+                "frames_per_page must be in 1..=8, got {}",
+                self.frames_per_page
+            )));
+        }
+        let logical = self.logical_page_size(chip.geometry().data_size);
+        if logical > u16::MAX as usize {
+            return Err(CoreError::BadConfig(format!(
+                "logical page of {logical} bytes exceeds differential offset range"
+            )));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn check_pid(&self, pid: u64) -> Result<()> {
+        if pid < self.num_logical_pages {
+            Ok(())
+        } else {
+            Err(CoreError::PageIdOutOfRange { pid, num_pages: self.num_logical_pages })
+        }
+    }
+
+    pub(crate) fn check_page_buf(&self, data_size: usize, buf: &[u8]) -> Result<()> {
+        let expected = self.logical_page_size(data_size);
+        if buf.len() == expected {
+            Ok(())
+        } else {
+            Err(CoreError::BadPageSize { expected, got: buf.len() })
+        }
+    }
+}
+
+/// A page-update method: stores logical pages into flash memory.
+pub trait PageStore {
+    /// The options this store was built with.
+    fn options(&self) -> &StoreOptions;
+
+    /// Recreate logical page `pid` from flash into `out`
+    /// (`out.len() == logical_page_size`). Never-written pages read as
+    /// zeroes.
+    fn read_page(&mut self, pid: u64, out: &mut [u8]) -> Result<()>;
+
+    /// Notify the method that the in-memory copy of `pid` has been updated
+    /// once (one update command). `page_after` is the full post-update
+    /// image; `changes` lists the byte ranges the command modified.
+    ///
+    /// Loosely-coupled methods (PDL, OPU, IPU) ignore this; the log-based
+    /// method (IPL) appends update logs to its write buffer here and may
+    /// write log sectors to flash.
+    fn apply_update(&mut self, pid: u64, page_after: &[u8], changes: &[ChangeRange])
+        -> Result<()>;
+
+    /// Reflect the up-to-date logical page into flash memory (the page is
+    /// being swapped out of the DBMS buffer).
+    fn evict_page(&mut self, pid: u64, page: &[u8]) -> Result<()>;
+
+    /// Write-through: force everything buffered in memory (differential
+    /// write buffer, pending log sectors) out to flash.
+    fn flush(&mut self) -> Result<()>;
+
+    /// Access to the underlying chip (statistics, wear, timing).
+    fn chip(&self) -> &FlashChip;
+    fn chip_mut(&mut self) -> &mut FlashChip;
+
+    /// Short human-readable method label, e.g. `PDL (256B)`.
+    fn name(&self) -> String;
+
+    /// Method-specific event counters (GC runs, merges, buffer flushes...),
+    /// for reports and ablations.
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+
+    /// Tear down and return the chip (e.g. to simulate a crash + restart:
+    /// in-memory tables are dropped, the chip survives).
+    fn into_chip(self: Box<Self>) -> FlashChip;
+
+    /// Logical page size in bytes.
+    fn logical_page_size(&self) -> usize {
+        self.options().frames_per_page as usize * self.chip().geometry().data_size
+    }
+
+    /// Convenience: overwrite a whole logical page and reflect it.
+    ///
+    /// Storage systems driving a *tightly-coupled* method must report every
+    /// change before eviction, so this reports one whole-page update and
+    /// then evicts. Loosely-coupled methods ignore the notification and
+    /// just reflect the page.
+    fn write_page(&mut self, pid: u64, page: &[u8]) -> Result<()> {
+        self.apply_update(pid, page, &[ChangeRange::new(0, page.len())])?;
+        self.evict_page(pid, page)
+    }
+}
+
+/// Which page-update method to build, with its method-specific parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MethodKind {
+    /// Page-based, out-place update with page-level mapping.
+    Opu,
+    /// Page-based, in-place update.
+    Ipu,
+    /// Page-differential logging with the given `Max_Differential_Size`
+    /// in bytes (the paper evaluates 256 and 2048).
+    Pdl { max_diff_size: usize },
+    /// In-page logging with the given amount of log space per block in
+    /// bytes (the paper evaluates 18 Kbytes and 64 Kbytes).
+    Ipl { log_bytes_per_block: usize },
+}
+
+impl MethodKind {
+    /// Label formatted like the paper's figures: `PDL (256B)`,
+    /// `IPL (18KB)`, `OPU`, `IPU`.
+    pub fn label(&self) -> String {
+        fn size(bytes: usize) -> String {
+            if bytes % 1024 == 0 {
+                format!("{}KB", bytes / 1024)
+            } else {
+                format!("{bytes}B")
+            }
+        }
+        match self {
+            MethodKind::Opu => "OPU".to_string(),
+            MethodKind::Ipu => "IPU".to_string(),
+            MethodKind::Pdl { max_diff_size } => format!("PDL ({})", size(*max_diff_size)),
+            MethodKind::Ipl { log_bytes_per_block } => {
+                format!("IPL ({})", size(*log_bytes_per_block))
+            }
+        }
+    }
+
+    /// The six configurations of Figure 12, in the paper's legend order.
+    pub fn paper_six() -> Vec<MethodKind> {
+        vec![
+            MethodKind::Ipl { log_bytes_per_block: 18 * 1024 },
+            MethodKind::Ipl { log_bytes_per_block: 64 * 1024 },
+            MethodKind::Pdl { max_diff_size: 2048 },
+            MethodKind::Pdl { max_diff_size: 256 },
+            MethodKind::Opu,
+            MethodKind::Ipu,
+        ]
+    }
+
+    /// The five methods of Figures 17/18 (IPU excluded, as in the paper).
+    pub fn paper_five() -> Vec<MethodKind> {
+        vec![
+            MethodKind::Ipl { log_bytes_per_block: 18 * 1024 },
+            MethodKind::Ipl { log_bytes_per_block: 64 * 1024 },
+            MethodKind::Pdl { max_diff_size: 2048 },
+            MethodKind::Pdl { max_diff_size: 256 },
+            MethodKind::Opu,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_flash::FlashConfig;
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(MethodKind::Opu.label(), "OPU");
+        assert_eq!(MethodKind::Ipu.label(), "IPU");
+        assert_eq!(MethodKind::Pdl { max_diff_size: 256 }.label(), "PDL (256B)");
+        assert_eq!(MethodKind::Pdl { max_diff_size: 2048 }.label(), "PDL (2KB)");
+        assert_eq!(MethodKind::Ipl { log_bytes_per_block: 18 * 1024 }.label(), "IPL (18KB)");
+        assert_eq!(MethodKind::Ipl { log_bytes_per_block: 64 * 1024 }.label(), "IPL (64KB)");
+    }
+
+    #[test]
+    fn options_validate() {
+        let chip = FlashChip::new(FlashConfig::tiny());
+        assert!(StoreOptions::new(0).validate(&chip).is_err());
+        assert!(StoreOptions::new(4).with_frames_per_page(9).validate(&chip).is_err());
+        assert!(StoreOptions::new(4).validate(&chip).is_ok());
+        let opts = StoreOptions::new(4).with_frames_per_page(2);
+        assert_eq!(opts.logical_page_size(256), 512);
+        assert_eq!(opts.num_frames(), 8);
+        assert!(opts.check_pid(3).is_ok());
+        assert!(opts.check_pid(4).is_err());
+        assert!(opts.check_page_buf(256, &[0u8; 512]).is_ok());
+        assert!(opts.check_page_buf(256, &[0u8; 256]).is_err());
+    }
+
+    #[test]
+    fn paper_method_sets() {
+        assert_eq!(MethodKind::paper_six().len(), 6);
+        assert_eq!(MethodKind::paper_five().len(), 5);
+        assert!(!MethodKind::paper_five().contains(&MethodKind::Ipu));
+    }
+}

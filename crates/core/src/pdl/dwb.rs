@@ -1,0 +1,156 @@
+//! The differential write buffer (§4.2).
+//!
+//! "The differential write buffer is used to collect differentials of
+//! logical pages into memory and later write them into a differential page
+//! in flash memory when it is full. The differential write buffer consists
+//! of a single page, and thus, the memory usage is negligible."
+//!
+//! The buffer holds decoded [`Differential`]s plus a running account of
+//! their encoded size; at flush time they are serialised back-to-back into
+//! one differential-page image. At most one differential per logical page
+//! is ever buffered (staging a new one first removes the old one —
+//! Figure 7, Step 3).
+
+use crate::diff::Differential;
+
+#[derive(Debug)]
+pub(crate) struct DiffWriteBuffer {
+    capacity: usize,
+    used: usize,
+    entries: Vec<Differential>,
+}
+
+impl DiffWriteBuffer {
+    pub fn new(capacity: usize) -> DiffWriteBuffer {
+        DiffWriteBuffer { capacity, used: 0, entries: Vec::new() }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn free_space(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Number of staged differentials (diagnostics).
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The buffered differential for `pid`, if any (the read path checks
+    /// here before going to flash — Figure 9, Step 2).
+    pub fn get(&self, pid: u64) -> Option<&Differential> {
+        self.entries.iter().find(|d| d.pid == pid)
+    }
+
+    /// Remove and return the buffered differential for `pid`.
+    pub fn remove(&mut self, pid: u64) -> Option<Differential> {
+        let idx = self.entries.iter().position(|d| d.pid == pid)?;
+        let d = self.entries.swap_remove(idx);
+        self.used -= d.encoded_len();
+        Some(d)
+    }
+
+    /// Stage a differential. The caller must have established that it fits
+    /// (`encoded_len() <= free_space()`) and removed any older entry for
+    /// the same pid.
+    pub fn push(&mut self, d: Differential) {
+        debug_assert!(d.encoded_len() <= self.free_space(), "dwb overflow");
+        debug_assert!(self.get(d.pid).is_none(), "duplicate pid in dwb");
+        self.used += d.encoded_len();
+        self.entries.push(d);
+    }
+
+    /// Drain every entry (flush), leaving the buffer empty.
+    pub fn drain(&mut self) -> Vec<Differential> {
+        self.used = 0;
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Serialise all entries into a differential-page image (erased bytes
+    /// beyond the records). `out` must be exactly `capacity` bytes.
+    pub fn serialize_into(&self, out: &mut [u8]) {
+        debug_assert_eq!(out.len(), self.capacity);
+        out.fill(0xFF);
+        let mut at = 0;
+        for d in &self.entries {
+            let n = d.encode(&mut out[at..]).expect("dwb accounting guarantees fit");
+            at += n;
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::DiffRun;
+
+    fn diff(pid: u64, payload: usize) -> Differential {
+        Differential {
+            pid,
+            ts: pid + 100,
+            runs: vec![DiffRun { offset: 0, bytes: vec![7u8; payload] }],
+        }
+    }
+
+    #[test]
+    fn accounting_tracks_encoded_size() {
+        let mut b = DiffWriteBuffer::new(256);
+        assert_eq!(b.free_space(), 256);
+        let d = diff(1, 10);
+        let n = d.encoded_len();
+        b.push(d);
+        assert_eq!(b.free_space(), 256 - n);
+        assert_eq!(b.len(), 1);
+        b.remove(1).unwrap();
+        assert_eq!(b.free_space(), 256);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn get_and_remove_by_pid() {
+        let mut b = DiffWriteBuffer::new(1024);
+        b.push(diff(1, 4));
+        b.push(diff(2, 4));
+        assert_eq!(b.get(2).unwrap().pid, 2);
+        assert!(b.get(3).is_none());
+        assert_eq!(b.remove(1).unwrap().pid, 1);
+        assert!(b.remove(1).is_none());
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn serialize_then_parse_round_trips() {
+        let mut b = DiffWriteBuffer::new(512);
+        b.push(diff(10, 16));
+        b.push(diff(11, 32));
+        let mut img = vec![0u8; 512];
+        b.serialize_into(&mut img);
+        let parsed = Differential::parse_page(&img).unwrap();
+        assert_eq!(parsed.len(), 2);
+        let pids: Vec<u64> = parsed.iter().map(|d| d.pid).collect();
+        assert!(pids.contains(&10) && pids.contains(&11));
+    }
+
+    #[test]
+    fn drain_empties_buffer() {
+        let mut b = DiffWriteBuffer::new(512);
+        b.push(diff(1, 8));
+        b.push(diff(2, 8));
+        let all = b.drain();
+        assert_eq!(all.len(), 2);
+        assert!(b.is_empty());
+        assert_eq!(b.free_space(), 512);
+    }
+}

@@ -1,0 +1,704 @@
+//! The flash chip emulator.
+//!
+//! State lives in flat byte arrays (one for data areas, one for spare
+//! areas) plus per-page program counters and per-block erase counters.
+//! Every operation validates NAND semantics and charges its Table-1
+//! latency to the current [`OpContext`] ledger.
+
+use crate::error::{FlashError, ProgramArea};
+use crate::geometry::{BlockId, FlashConfig, FlashGeometry, FlashTiming, Ppn};
+use crate::spare::SpareInfo;
+use crate::stats::{FlashStats, OpContext, WearSummary};
+use crate::Result;
+
+/// A reusable buffer holding one page image (data + spare), sized for a
+/// particular chip.
+#[derive(Clone, Debug)]
+pub struct PageBuf {
+    pub data: Vec<u8>,
+    pub spare: Vec<u8>,
+}
+
+impl PageBuf {
+    /// Allocate a buffer matching `chip`'s page shape.
+    pub fn for_chip(chip: &FlashChip) -> PageBuf {
+        let g = chip.geometry();
+        PageBuf { data: vec![0u8; g.data_size], spare: vec![0u8; g.spare_size] }
+    }
+
+    /// Decode the spare area of the last page read into this buffer.
+    pub fn spare_info(&self) -> Option<SpareInfo> {
+        SpareInfo::decode(&self.spare)
+    }
+}
+
+/// An emulated NAND flash chip. See the crate-level documentation.
+#[derive(Clone)]
+pub struct FlashChip {
+    config: FlashConfig,
+    /// Flat data areas: page `p` occupies `p*data_size .. (p+1)*data_size`.
+    data: Vec<u8>,
+    /// Flat spare areas.
+    spare: Vec<u8>,
+    /// Programs applied to each page's data area since the last erase.
+    data_programs: Vec<u8>,
+    /// Programs applied to each page's spare area since the last erase.
+    spare_programs: Vec<u8>,
+    /// Erase count per block (never reset; this is the wear ledger).
+    erase_counts: Vec<u64>,
+    stats: FlashStats,
+    context: OpContext,
+    /// Injected power-loss fault: remaining destructive operations before
+    /// every further program/erase fails. `None` = disarmed.
+    fault_countdown: Option<u64>,
+    /// Blocks whose erase failed: they accept no further programs.
+    broken: Vec<bool>,
+    /// Erase-cycle endurance limit; erases beyond it fail (`None` = no
+    /// wear-out, the default). The modelled MLC part endures ~100k cycles.
+    erase_limit: Option<u64>,
+    /// One-shot injected erase failures (deterministic tests).
+    forced_erase_failures: Vec<bool>,
+}
+
+impl FlashChip {
+    /// A chip fresh from the factory: every bit is 1.
+    pub fn new(config: FlashConfig) -> FlashChip {
+        let g = config.geometry;
+        let pages = g.num_pages() as usize;
+        FlashChip {
+            config,
+            data: vec![0xFF; pages * g.data_size],
+            spare: vec![0xFF; pages * g.spare_size],
+            data_programs: vec![0; pages],
+            spare_programs: vec![0; pages],
+            erase_counts: vec![0; g.num_blocks as usize],
+            stats: FlashStats::default(),
+            context: OpContext::User,
+            fault_countdown: None,
+            broken: vec![false; g.num_blocks as usize],
+            erase_limit: None,
+            forced_erase_failures: vec![false; g.num_blocks as usize],
+        }
+    }
+
+    pub fn config(&self) -> &FlashConfig {
+        &self.config
+    }
+
+    pub fn geometry(&self) -> FlashGeometry {
+        self.config.geometry
+    }
+
+    pub fn timing(&self) -> FlashTiming {
+        self.config.timing
+    }
+
+    /// Replace the timing parameters (Experiment 5 sweeps `T_read` and
+    /// `T_write` on the same chip).
+    pub fn set_timing(&mut self, timing: FlashTiming) {
+        self.config.timing = timing;
+    }
+
+    /// Raise the data-area NOP budget. Methods that require
+    /// sector-programmable flash (IPL appends log sectors into partially
+    /// programmed log pages, as in Lee & Moon's prototype) call this; see
+    /// DESIGN.md for the modelling rationale.
+    pub fn set_nop_data(&mut self, nop: u8) {
+        self.config.nop_data = nop;
+    }
+
+    pub fn num_pages(&self) -> u32 {
+        self.geometry().num_pages()
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics & context
+    // ------------------------------------------------------------------
+
+    pub fn stats(&self) -> FlashStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = FlashStats::default();
+    }
+
+    /// Set who the following operations are attributed to.
+    pub fn set_context(&mut self, ctx: OpContext) {
+        self.context = ctx;
+    }
+
+    pub fn context(&self) -> OpContext {
+        self.context
+    }
+
+    /// Erase count of one block.
+    pub fn erase_count(&self, block: BlockId) -> u64 {
+        self.erase_counts[block.0 as usize]
+    }
+
+    /// Wear summary over all blocks.
+    pub fn wear_summary(&self) -> WearSummary {
+        let min = self.erase_counts.iter().copied().min().unwrap_or(0);
+        let max = self.erase_counts.iter().copied().max().unwrap_or(0);
+        let total: u64 = self.erase_counts.iter().sum();
+        WearSummary {
+            min_erases: min,
+            max_erases: max,
+            total_erases: total,
+            num_blocks: self.geometry().num_blocks,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Arm a power-loss fault: the next `after_ops` destructive operations
+    /// (programs and erases) succeed, then every further one fails with
+    /// [`FlashError::PowerLoss`] without changing chip state. Reads keep
+    /// working so that post-mortem inspection and recovery are possible
+    /// after the host "reboots" and calls [`FlashChip::disarm_fault`].
+    pub fn arm_fault(&mut self, after_ops: u64) {
+        self.fault_countdown = Some(after_ops);
+    }
+
+    pub fn disarm_fault(&mut self) {
+        self.fault_countdown = None;
+    }
+
+    /// Whether a fault is armed and has already fired at least once.
+    pub fn fault_armed(&self) -> bool {
+        self.fault_countdown.is_some()
+    }
+
+    /// Set an erase-endurance limit: blocks erased more than `cycles`
+    /// times fail to erase (wear-out; the modelled part endures ~100k).
+    pub fn set_erase_limit(&mut self, cycles: Option<u64>) {
+        self.erase_limit = cycles;
+    }
+
+    /// Inject a one-shot erase failure for `block` (deterministic
+    /// bad-block tests).
+    pub fn fail_next_erase_of(&mut self, block: BlockId) {
+        self.forced_erase_failures[block.0 as usize] = true;
+    }
+
+    /// Whether `block` has failed an erase and is unusable for programs.
+    pub fn is_broken(&self, block: BlockId) -> bool {
+        self.broken[block.0 as usize]
+    }
+
+    fn destructive_op_gate(&mut self) -> Result<()> {
+        if let Some(remaining) = self.fault_countdown.as_mut() {
+            if *remaining == 0 {
+                return Err(FlashError::PowerLoss);
+            }
+            *remaining -= 1;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Charging helpers
+    // ------------------------------------------------------------------
+
+    fn charge_read(&mut self) {
+        let t = self.config.timing.t_read_us;
+        let c = self.stats.by_context_mut(self.context);
+        c.reads += 1;
+        c.read_us += t;
+    }
+
+    fn charge_write(&mut self) {
+        let t = self.config.timing.t_write_us;
+        let c = self.stats.by_context_mut(self.context);
+        c.writes += 1;
+        c.write_us += t;
+    }
+
+    fn charge_erase(&mut self) {
+        let t = self.config.timing.t_erase_us;
+        let c = self.stats.by_context_mut(self.context);
+        c.erases += 1;
+        c.erase_us += t;
+    }
+
+    fn check_ppn(&self, ppn: Ppn) -> Result<()> {
+        if self.geometry().contains(ppn) {
+            Ok(())
+        } else {
+            Err(FlashError::PageOutOfRange(ppn))
+        }
+    }
+
+    fn data_range(&self, ppn: Ppn) -> std::ops::Range<usize> {
+        let sz = self.geometry().data_size;
+        let p = ppn.0 as usize;
+        p * sz..(p + 1) * sz
+    }
+
+    fn spare_range(&self, ppn: Ppn) -> std::ops::Range<usize> {
+        let sz = self.geometry().spare_size;
+        let p = ppn.0 as usize;
+        p * sz..(p + 1) * sz
+    }
+
+    // ------------------------------------------------------------------
+    // Read operations (each charges one T_read: a NAND page read always
+    // transfers the whole page, data and spare together)
+    // ------------------------------------------------------------------
+
+    /// Read the full page (data + spare) into `buf`. One read operation.
+    pub fn read_full(&mut self, ppn: Ppn, buf: &mut PageBuf) -> Result<()> {
+        self.check_ppn(ppn)?;
+        buf.data.resize(self.geometry().data_size, 0);
+        buf.spare.resize(self.geometry().spare_size, 0);
+        let dr = self.data_range(ppn);
+        buf.data.copy_from_slice(&self.data[dr]);
+        let sr = self.spare_range(ppn);
+        buf.spare.copy_from_slice(&self.spare[sr]);
+        self.charge_read();
+        Ok(())
+    }
+
+    /// Read just the data area into `out` (`out.len()` must equal
+    /// `data_size`). One read operation.
+    pub fn read_data(&mut self, ppn: Ppn, out: &mut [u8]) -> Result<()> {
+        self.check_ppn(ppn)?;
+        let sz = self.geometry().data_size;
+        if out.len() != sz {
+            return Err(FlashError::BadBufferSize { expected: sz, got: out.len() });
+        }
+        let dr = self.data_range(ppn);
+        out.copy_from_slice(&self.data[dr]);
+        self.charge_read();
+        Ok(())
+    }
+
+    /// Read and decode just the spare area. One read operation (the chip
+    /// still streams the whole page; recovery scans are priced per page,
+    /// matching the paper's "one scan through physical pages" estimate).
+    pub fn read_spare(&mut self, ppn: Ppn) -> Result<Option<SpareInfo>> {
+        self.check_ppn(ppn)?;
+        let sr = self.spare_range(ppn);
+        let info = SpareInfo::decode(&self.spare[sr]);
+        self.charge_read();
+        Ok(info)
+    }
+
+    // ------------------------------------------------------------------
+    // Program operations
+    // ------------------------------------------------------------------
+
+    /// Program a full page: data area plus spare area in one operation.
+    /// One write operation.
+    ///
+    /// Enforces NAND semantics: the page's data-area NOP budget must not be
+    /// exhausted, and the stored result (`old AND new`) must equal `new` —
+    /// i.e. the caller may only clear bits. Violations indicate a bug in
+    /// the page-update method and return an error without charging.
+    pub fn program_page(&mut self, ppn: Ppn, data: &[u8], spare: &[u8]) -> Result<()> {
+        self.check_ppn(ppn)?;
+        let g = self.geometry();
+        if data.len() != g.data_size {
+            return Err(FlashError::BadBufferSize { expected: g.data_size, got: data.len() });
+        }
+        if spare.len() != g.spare_size {
+            return Err(FlashError::BadBufferSize { expected: g.spare_size, got: spare.len() });
+        }
+        if self.broken[g.block_of(ppn).0 as usize] {
+            return Err(FlashError::BadBlock(g.block_of(ppn)));
+        }
+        let p = ppn.0 as usize;
+        if self.data_programs[p] >= self.config.nop_data {
+            return Err(FlashError::NopExceeded { ppn, area: ProgramArea::Data });
+        }
+        if self.spare_programs[p] >= self.config.nop_spare {
+            return Err(FlashError::NopExceeded { ppn, area: ProgramArea::Spare });
+        }
+        // Validate before mutating: all-or-nothing (atomic page program).
+        let dr = self.data_range(ppn);
+        if let Some(off) = first_conflict(&self.data[dr.clone()], data) {
+            return Err(FlashError::ProgramConflict { ppn, byte_offset: off });
+        }
+        let sr = self.spare_range(ppn);
+        if let Some(off) = first_conflict(&self.spare[sr.clone()], spare) {
+            return Err(FlashError::ProgramConflict { ppn, byte_offset: off });
+        }
+        self.destructive_op_gate()?;
+        and_into(&mut self.data[dr], data);
+        and_into(&mut self.spare[sr], spare);
+        self.data_programs[p] += 1;
+        self.spare_programs[p] += 1;
+        self.charge_write();
+        Ok(())
+    }
+
+    /// Partial program of the data area (used by IPL to append log sectors
+    /// into a log page). One write operation; consumes one unit of the
+    /// page's data-area NOP budget.
+    pub fn program_partial(&mut self, ppn: Ppn, offset: usize, bytes: &[u8]) -> Result<()> {
+        self.check_ppn(ppn)?;
+        let g = self.geometry();
+        if offset + bytes.len() > g.data_size {
+            return Err(FlashError::RangeOutOfPage {
+                offset,
+                len: bytes.len(),
+                area_size: g.data_size,
+            });
+        }
+        if self.broken[g.block_of(ppn).0 as usize] {
+            return Err(FlashError::BadBlock(g.block_of(ppn)));
+        }
+        let p = ppn.0 as usize;
+        if self.data_programs[p] >= self.config.nop_data {
+            return Err(FlashError::NopExceeded { ppn, area: ProgramArea::Data });
+        }
+        let base = self.data_range(ppn).start;
+        let target = base + offset..base + offset + bytes.len();
+        if let Some(off) = first_conflict(&self.data[target.clone()], bytes) {
+            return Err(FlashError::ProgramConflict { ppn, byte_offset: offset + off });
+        }
+        self.destructive_op_gate()?;
+        and_into(&mut self.data[target], bytes);
+        self.data_programs[p] += 1;
+        self.charge_write();
+        Ok(())
+    }
+
+    /// Partial program of the spare area. One write operation; consumes one
+    /// unit of the page's spare-area NOP budget (4 on the modelled chip).
+    pub fn program_spare(&mut self, ppn: Ppn, offset: usize, bytes: &[u8]) -> Result<()> {
+        self.check_ppn(ppn)?;
+        let g = self.geometry();
+        if offset + bytes.len() > g.spare_size {
+            return Err(FlashError::RangeOutOfPage {
+                offset,
+                len: bytes.len(),
+                area_size: g.spare_size,
+            });
+        }
+        if self.broken[g.block_of(ppn).0 as usize] {
+            return Err(FlashError::BadBlock(g.block_of(ppn)));
+        }
+        let p = ppn.0 as usize;
+        if self.spare_programs[p] >= self.config.nop_spare {
+            return Err(FlashError::NopExceeded { ppn, area: ProgramArea::Spare });
+        }
+        let base = self.spare_range(ppn).start;
+        let target = base + offset..base + offset + bytes.len();
+        if let Some(off) = first_conflict(&self.spare[target.clone()], bytes) {
+            return Err(FlashError::ProgramConflict { ppn, byte_offset: offset + off });
+        }
+        self.destructive_op_gate()?;
+        and_into(&mut self.spare[target], bytes);
+        self.spare_programs[p] += 1;
+        self.charge_write();
+        Ok(())
+    }
+
+    /// Mark a page obsolete by programming its spare-area obsolete byte.
+    /// One write operation — this matches the paper's cost accounting,
+    /// where e.g. OPU "requires two write operations: one for writing the
+    /// updated page into flash memory and another for setting the original
+    /// page to obsolete".
+    pub fn mark_obsolete(&mut self, ppn: Ppn) -> Result<()> {
+        let (off, patch) = SpareInfo::obsolete_patch();
+        self.program_spare(ppn, off, &patch)
+    }
+
+    // ------------------------------------------------------------------
+    // Erase
+    // ------------------------------------------------------------------
+
+    /// Erase a block: every bit of every page becomes 1 and the program
+    /// budgets reset. One erase operation. Fails — permanently breaking
+    /// the block — when the endurance limit is exceeded or a failure was
+    /// injected; the old contents stay readable (bad-block management is
+    /// the FTL's job, as the paper's footnote 4 notes).
+    pub fn erase_block(&mut self, block: BlockId) -> Result<()> {
+        let g = self.geometry();
+        if block.0 >= g.num_blocks {
+            return Err(FlashError::BlockOutOfRange(block));
+        }
+        if self.broken[block.0 as usize] {
+            return Err(FlashError::BadBlock(block));
+        }
+        self.destructive_op_gate()?;
+        let worn_out =
+            self.erase_limit.is_some_and(|limit| self.erase_counts[block.0 as usize] >= limit);
+        if worn_out || self.forced_erase_failures[block.0 as usize] {
+            self.forced_erase_failures[block.0 as usize] = false;
+            self.broken[block.0 as usize] = true;
+            self.charge_erase(); // the failed attempt still takes time
+            return Err(FlashError::EraseFailed(block));
+        }
+        let first = g.first_page(block).0 as usize;
+        let last = first + g.pages_per_block as usize;
+        self.data[first * g.data_size..last * g.data_size].fill(0xFF);
+        self.spare[first * g.spare_size..last * g.spare_size].fill(0xFF);
+        self.data_programs[first..last].fill(0);
+        self.spare_programs[first..last].fill(0);
+        self.erase_counts[block.0 as usize] += 1;
+        self.charge_erase();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Uncharged inspection (for tests and assertions only — never use on a
+    // measured path; the measured API is read_full/read_data/read_spare)
+    // ------------------------------------------------------------------
+
+    /// Borrow the data area without charging a read. Test/debug only.
+    pub fn peek_data(&self, ppn: Ppn) -> &[u8] {
+        &self.data[self.data_range(ppn)]
+    }
+
+    /// Borrow the spare area without charging a read. Test/debug only.
+    pub fn peek_spare(&self, ppn: Ppn) -> &[u8] {
+        &self.spare[self.spare_range(ppn)]
+    }
+
+    /// Whether the page is fully erased. Test/debug only.
+    pub fn is_erased(&self, ppn: Ppn) -> bool {
+        self.peek_data(ppn).iter().all(|&b| b == 0xFF)
+            && self.peek_spare(ppn).iter().all(|&b| b == 0xFF)
+    }
+
+    /// Number of data-area programs since the last erase. Test/debug only.
+    pub fn data_program_count(&self, ppn: Ppn) -> u8 {
+        self.data_programs[ppn.0 as usize]
+    }
+}
+
+/// Index of the first byte where programming `new` over `old` would require
+/// a 0 -> 1 transition (i.e. `old & new != new`).
+fn first_conflict(old: &[u8], new: &[u8]) -> Option<usize> {
+    old.iter().zip(new.iter()).position(|(&o, &n)| o & n != n)
+}
+
+/// In-place AND: the physical effect of a program operation.
+fn and_into(old: &mut [u8], new: &[u8]) {
+    for (o, n) in old.iter_mut().zip(new.iter()) {
+        *o &= *n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spare::{fnv1a32, PageKind};
+
+    fn chip() -> FlashChip {
+        FlashChip::new(FlashConfig::tiny())
+    }
+
+    fn image(chip: &FlashChip, fill: u8, kind: PageKind, tag: u64, ts: u64) -> (Vec<u8>, Vec<u8>) {
+        let g = chip.geometry();
+        let data = vec![fill; g.data_size];
+        let mut spare = vec![0xFF; g.spare_size];
+        SpareInfo::new(kind, tag, ts, fnv1a32(&data)).encode(&mut spare).unwrap();
+        (data, spare)
+    }
+
+    #[test]
+    fn fresh_chip_is_all_ones() {
+        let c = chip();
+        for p in 0..c.num_pages() {
+            assert!(c.is_erased(Ppn(p)));
+        }
+        assert_eq!(c.stats().total().total_ops(), 0);
+    }
+
+    #[test]
+    fn program_then_read_round_trips() {
+        let mut c = chip();
+        let (data, spare) = image(&c, 0xAB, PageKind::Data, 5, 1);
+        c.program_page(Ppn(3), &data, &spare).unwrap();
+        let mut buf = PageBuf::for_chip(&c);
+        c.read_full(Ppn(3), &mut buf).unwrap();
+        assert_eq!(buf.data, data);
+        let info = buf.spare_info().unwrap();
+        assert_eq!(info.kind, PageKind::Data);
+        assert_eq!(info.tag, 5);
+        assert_eq!(info.checksum, fnv1a32(&data));
+    }
+
+    #[test]
+    fn timing_is_charged_per_table_1() {
+        let mut c = chip();
+        let (data, spare) = image(&c, 0, PageKind::Data, 0, 0);
+        c.program_page(Ppn(0), &data, &spare).unwrap();
+        let mut out = vec![0u8; c.geometry().data_size];
+        c.read_data(Ppn(0), &mut out).unwrap();
+        c.erase_block(BlockId(0)).unwrap();
+        let t = c.stats().total();
+        assert_eq!(t.reads, 1);
+        assert_eq!(t.writes, 1);
+        assert_eq!(t.erases, 1);
+        assert_eq!(t.read_us, 110);
+        assert_eq!(t.write_us, 1010);
+        assert_eq!(t.erase_us, 1500);
+    }
+
+    #[test]
+    fn second_full_program_exceeds_mlc_nop() {
+        let mut c = chip();
+        let (data, spare) = image(&c, 0xF0, PageKind::Data, 1, 1);
+        c.program_page(Ppn(0), &data, &spare).unwrap();
+        let err = c.program_page(Ppn(0), &data, &spare).unwrap_err();
+        assert!(matches!(err, FlashError::NopExceeded { area: ProgramArea::Data, .. }));
+    }
+
+    #[test]
+    fn erase_resets_nop_budget() {
+        let mut c = chip();
+        let (data, spare) = image(&c, 0xF0, PageKind::Data, 1, 1);
+        c.program_page(Ppn(0), &data, &spare).unwrap();
+        c.erase_block(BlockId(0)).unwrap();
+        assert!(c.is_erased(Ppn(0)));
+        c.program_page(Ppn(0), &data, &spare).unwrap();
+        assert_eq!(c.erase_count(BlockId(0)), 1);
+    }
+
+    #[test]
+    fn program_cannot_set_bits() {
+        let mut c = chip();
+        let g = c.geometry();
+        let zeros = vec![0x00u8; g.data_size];
+        let spare = vec![0xFF; g.spare_size];
+        c.program_page(Ppn(0), &zeros, &spare).unwrap();
+        // Partial program trying to write 0xFF over 0x00 must fail.
+        let err = c.program_partial(Ppn(0), 0, &[0xFF]).unwrap_err();
+        assert!(matches!(err, FlashError::ProgramConflict { .. } | FlashError::NopExceeded { .. }));
+    }
+
+    #[test]
+    fn partial_program_appends_sectors() {
+        let mut c = FlashChip::new(FlashConfig::tiny().with_nop_data(4));
+        let sector = vec![0x11u8; 64];
+        c.program_partial(Ppn(0), 0, &sector).unwrap();
+        c.program_partial(Ppn(0), 64, &sector).unwrap();
+        c.program_partial(Ppn(0), 128, &sector).unwrap();
+        assert_eq!(&c.peek_data(Ppn(0))[..64], &sector[..]);
+        assert_eq!(&c.peek_data(Ppn(0))[64..128], &sector[..]);
+        assert_eq!(c.peek_data(Ppn(0))[192], 0xFF);
+        assert_eq!(c.data_program_count(Ppn(0)), 3);
+        let err = c.program_partial(Ppn(0), 192, &sector).unwrap();
+        // nop_data = 4: the fourth program still fits.
+        let _ = err;
+        assert!(matches!(
+            c.program_partial(Ppn(0), 0, &[0x00]).unwrap_err(),
+            FlashError::NopExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn spare_reprogram_budget_is_four() {
+        let mut c = chip();
+        let (data, spare) = image(&c, 0xCC, PageKind::Data, 1, 1);
+        c.program_page(Ppn(0), &data, &spare).unwrap();
+        // First program consumed one unit; three more spare programs fit.
+        c.program_spare(Ppn(0), 1, &[0x0F]).unwrap();
+        c.program_spare(Ppn(0), 1, &[0x03]).unwrap();
+        c.program_spare(Ppn(0), 1, &[0x00]).unwrap();
+        assert!(matches!(
+            c.program_spare(Ppn(0), 1, &[0x00]).unwrap_err(),
+            FlashError::NopExceeded { area: ProgramArea::Spare, .. }
+        ));
+    }
+
+    #[test]
+    fn mark_obsolete_is_one_write() {
+        let mut c = chip();
+        let (data, spare) = image(&c, 0xCC, PageKind::Data, 9, 2);
+        c.program_page(Ppn(4), &data, &spare).unwrap();
+        let before = c.stats().total();
+        c.mark_obsolete(Ppn(4)).unwrap();
+        let d = c.stats().total() - before;
+        assert_eq!(d.writes, 1);
+        assert_eq!(d.write_us, 1010);
+        let info = c.read_spare(Ppn(4)).unwrap().unwrap();
+        assert!(info.obsolete);
+        assert_eq!(info.tag, 9);
+    }
+
+    #[test]
+    fn context_attribution() {
+        let mut c = chip();
+        let (data, spare) = image(&c, 0x42, PageKind::Data, 1, 1);
+        c.program_page(Ppn(0), &data, &spare).unwrap();
+        c.set_context(OpContext::Gc);
+        c.erase_block(BlockId(1)).unwrap();
+        c.set_context(OpContext::Recovery);
+        let _ = c.read_spare(Ppn(0)).unwrap();
+        c.set_context(OpContext::User);
+        let s = c.stats();
+        assert_eq!(s.user.writes, 1);
+        assert_eq!(s.gc.erases, 1);
+        assert_eq!(s.recovery.reads, 1);
+        assert_eq!(s.total().total_ops(), 3);
+    }
+
+    #[test]
+    fn fault_injection_blocks_destructive_ops_only() {
+        let mut c = chip();
+        let (data, spare) = image(&c, 0x42, PageKind::Data, 1, 1);
+        c.arm_fault(1);
+        c.program_page(Ppn(0), &data, &spare).unwrap(); // consumes the budget
+        let err = c.erase_block(BlockId(0)).unwrap_err();
+        assert_eq!(err, FlashError::PowerLoss);
+        // Block was NOT erased (atomicity).
+        assert!(!c.is_erased(Ppn(0)));
+        // Reads still work for post-mortem inspection.
+        let mut buf = PageBuf::for_chip(&c);
+        c.read_full(Ppn(0), &mut buf).unwrap();
+        assert_eq!(buf.data, data);
+        c.disarm_fault();
+        c.erase_block(BlockId(0)).unwrap();
+        assert!(c.is_erased(Ppn(0)));
+    }
+
+    #[test]
+    fn failed_program_charges_nothing() {
+        let mut c = chip();
+        let short = vec![0u8; 3];
+        let spare = vec![0xFF; c.geometry().spare_size];
+        assert!(c.program_page(Ppn(0), &short, &spare).is_err());
+        assert_eq!(c.stats().total().total_ops(), 0);
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut c = chip();
+        let n = c.num_pages();
+        let mut buf = PageBuf::for_chip(&c);
+        assert!(matches!(c.read_full(Ppn(n), &mut buf), Err(FlashError::PageOutOfRange(_))));
+        assert!(matches!(
+            c.erase_block(BlockId(c.geometry().num_blocks)),
+            Err(FlashError::BlockOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn set_timing_changes_charges() {
+        let mut c = chip();
+        c.set_timing(FlashTiming { t_read_us: 10, t_write_us: 500, t_erase_us: 1500 });
+        let mut out = vec![0u8; c.geometry().data_size];
+        c.read_data(Ppn(0), &mut out).unwrap();
+        assert_eq!(c.stats().total().read_us, 10);
+    }
+
+    #[test]
+    fn wear_summary_tracks_erases() {
+        let mut c = chip();
+        c.erase_block(BlockId(0)).unwrap();
+        c.erase_block(BlockId(0)).unwrap();
+        c.erase_block(BlockId(1)).unwrap();
+        let w = c.wear_summary();
+        assert_eq!(w.max_erases, 2);
+        assert_eq!(w.total_erases, 3);
+        assert_eq!(w.min_erases, 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for flash operations.
+
+use crate::geometry::{BlockId, Ppn};
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the flash emulator.
+///
+/// Semantic violations (`ProgramConflict`, `NopExceeded`) indicate bugs in a
+/// page-update method: real hardware would silently corrupt data or wear out,
+/// so the emulator makes them loud instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlashError {
+    /// Physical page number beyond the end of the chip.
+    PageOutOfRange(Ppn),
+    /// Block number beyond the end of the chip.
+    BlockOutOfRange(BlockId),
+    /// A program operation attempted to flip a bit from 0 back to 1, which
+    /// only an erase can do.
+    ProgramConflict { ppn: Ppn, byte_offset: usize },
+    /// The page's number-of-programs budget between erases was exhausted.
+    NopExceeded { ppn: Ppn, area: ProgramArea },
+    /// Buffer length did not match the page's data/spare area size.
+    BadBufferSize { expected: usize, got: usize },
+    /// Partial program range fell outside the page area.
+    RangeOutOfPage { offset: usize, len: usize, area_size: usize },
+    /// An injected power-loss fault fired; the operation did NOT take
+    /// effect (page programs are atomic at chip level, §4.5 of the paper).
+    PowerLoss,
+    /// The block failed to erase (wear-out or injected failure). It must
+    /// be retired via bad-block management; its old contents remain
+    /// readable but it accepts no further programs.
+    EraseFailed(BlockId),
+    /// Program attempted on a block that already failed an erase.
+    BadBlock(BlockId),
+}
+
+/// Which page area a program targeted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgramArea {
+    Data,
+    Spare,
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::PageOutOfRange(p) => write!(f, "physical page {p} out of range"),
+            FlashError::BlockOutOfRange(b) => write!(f, "block {b} out of range"),
+            FlashError::ProgramConflict { ppn, byte_offset } => write!(
+                f,
+                "program on {ppn} attempted a 0->1 bit transition at byte {byte_offset} (erase required)"
+            ),
+            FlashError::NopExceeded { ppn, area } => {
+                write!(f, "{ppn}: number-of-programs budget exceeded for {area:?} area")
+            }
+            FlashError::BadBufferSize { expected, got } => {
+                write!(f, "buffer size mismatch: expected {expected} bytes, got {got}")
+            }
+            FlashError::RangeOutOfPage { offset, len, area_size } => write!(
+                f,
+                "partial program range {offset}..{} outside page area of {area_size} bytes",
+                offset + len
+            ),
+            FlashError::PowerLoss => write!(f, "injected power loss"),
+            FlashError::EraseFailed(b) => write!(f, "block {b} failed to erase (worn out)"),
+            FlashError::BadBlock(b) => write!(f, "block {b} is bad (previous erase failure)"),
+        }
+    }
+}
+
+impl Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_cleanly() {
+        let msgs = [
+            FlashError::PageOutOfRange(Ppn(9)).to_string(),
+            FlashError::ProgramConflict { ppn: Ppn(1), byte_offset: 7 }.to_string(),
+            FlashError::NopExceeded { ppn: Ppn(2), area: ProgramArea::Spare }.to_string(),
+            FlashError::PowerLoss.to_string(),
+        ];
+        assert!(msgs[0].contains("p9"));
+        assert!(msgs[1].contains("0->1"));
+        assert!(msgs[2].contains("Spare"));
+        assert!(msgs[3].contains("power loss"));
+    }
+}

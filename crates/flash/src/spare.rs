@@ -1,0 +1,239 @@
+//! Spare-area codec.
+//!
+//! The paper stores "auxiliary information such as the valid bit, obsolete
+//! bit, bad block identification, and error correction check" in the
+//! 64-byte spare area of each page, and PDL additionally stores the page's
+//! type, physical page ID and creation time stamp (§4.2).
+//!
+//! This module defines a shared layout used by every page-update method:
+//!
+//! ```text
+//! byte  0        page kind (programmed once, with the page)
+//! byte  1        obsolete marker: 0xFF = valid, 0x00 = obsolete
+//! bytes 2..4     reserved (left erased)
+//! bytes 4..12    tag: logical page / frame identifier (u64 LE)
+//! bytes 12..20   creation time stamp (u64 LE)
+//! bytes 20..24   FNV-1a checksum of the data area (u32 LE), stands in
+//!                for the ECC the real chip stores here
+//! ```
+//!
+//! All transitions used by the codec only clear bits (1 -> 0), so marking a
+//! page obsolete is a legal spare-area partial program — exactly the
+//! mechanism the paper describes in footnote 9.
+
+use crate::error::FlashError;
+use crate::Result;
+
+/// Number of spare bytes the codec occupies.
+pub const SPARE_BYTES_USED: usize = 24;
+
+const OFF_KIND: usize = 0;
+const OFF_OBSOLETE: usize = 1;
+const OFF_TAG: usize = 4;
+const OFF_TS: usize = 12;
+const OFF_CSUM: usize = 20;
+
+/// What a physical page currently holds.
+///
+/// Encodings are arbitrary byte values reachable from the erased state
+/// (0xFF) by clearing bits; 0xFF itself means "never programmed".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PageKind {
+    /// Erased, never programmed since the last block erase.
+    Free,
+    /// PDL base page: holds a whole logical page (one frame of it).
+    Base,
+    /// PDL differential page: holds differentials of many logical pages.
+    Diff,
+    /// Page-based methods' data page (OPU / IPU).
+    Data,
+    /// IPL original (data) page.
+    IplData,
+    /// IPL log page: holds update-log sectors.
+    IplLog,
+    /// Checkpoint payload page (serialised mapping tables; the paper's
+    /// "log the changes in the mapping table" future-work extension).
+    Checkpoint,
+    /// Checkpoint header page (written last; its presence commits the
+    /// checkpoint).
+    CheckpointHead,
+    /// Marked bad (all bits cleared).
+    Bad,
+}
+
+impl PageKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            PageKind::Free => 0xFF,
+            PageKind::Base => 0xB5,
+            PageKind::Diff => 0xD1,
+            PageKind::Data => 0xDA,
+            PageKind::IplData => 0x1D,
+            PageKind::IplLog => 0x10,
+            PageKind::Checkpoint => 0xC5,
+            PageKind::CheckpointHead => 0xC1,
+            PageKind::Bad => 0x00,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<PageKind> {
+        Some(match b {
+            0xFF => PageKind::Free,
+            0xB5 => PageKind::Base,
+            0xD1 => PageKind::Diff,
+            0xDA => PageKind::Data,
+            0x1D => PageKind::IplData,
+            0x10 => PageKind::IplLog,
+            0xC5 => PageKind::Checkpoint,
+            0xC1 => PageKind::CheckpointHead,
+            0x00 => PageKind::Bad,
+            _ => return None,
+        })
+    }
+}
+
+/// Decoded spare-area metadata.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpareInfo {
+    pub kind: PageKind,
+    /// True once the obsolete bit has been programmed.
+    pub obsolete: bool,
+    /// Logical page / frame identifier this physical page belongs to.
+    /// `u64::MAX` when not applicable (e.g. IPL log pages).
+    pub tag: u64,
+    /// Creation time stamp (monotonic counter maintained by the method).
+    pub ts: u64,
+    /// FNV-1a checksum of the data area at program time.
+    pub checksum: u32,
+}
+
+impl SpareInfo {
+    /// Metadata for a freshly written page.
+    pub fn new(kind: PageKind, tag: u64, ts: u64, checksum: u32) -> SpareInfo {
+        SpareInfo { kind, obsolete: false, tag, ts, checksum }
+    }
+
+    /// Serialise into a spare-area image (`spare.len()` must be at least
+    /// [`SPARE_BYTES_USED`]; remaining bytes are left erased).
+    pub fn encode(&self, spare: &mut [u8]) -> Result<()> {
+        if spare.len() < SPARE_BYTES_USED {
+            return Err(FlashError::BadBufferSize {
+                expected: SPARE_BYTES_USED,
+                got: spare.len(),
+            });
+        }
+        spare.fill(0xFF);
+        spare[OFF_KIND] = self.kind.to_byte();
+        spare[OFF_OBSOLETE] = if self.obsolete { 0x00 } else { 0xFF };
+        spare[OFF_TAG..OFF_TAG + 8].copy_from_slice(&self.tag.to_le_bytes());
+        spare[OFF_TS..OFF_TS + 8].copy_from_slice(&self.ts.to_le_bytes());
+        spare[OFF_CSUM..OFF_CSUM + 4].copy_from_slice(&self.checksum.to_le_bytes());
+        Ok(())
+    }
+
+    /// Decode a spare-area image. Unknown kind bytes decode to `None`
+    /// (a half-programmed or corrupted page).
+    pub fn decode(spare: &[u8]) -> Option<SpareInfo> {
+        if spare.len() < SPARE_BYTES_USED {
+            return None;
+        }
+        let kind = PageKind::from_byte(spare[OFF_KIND])?;
+        let obsolete = spare[OFF_OBSOLETE] != 0xFF;
+        let tag = u64::from_le_bytes(spare[OFF_TAG..OFF_TAG + 8].try_into().unwrap());
+        let ts = u64::from_le_bytes(spare[OFF_TS..OFF_TS + 8].try_into().unwrap());
+        let checksum = u32::from_le_bytes(spare[OFF_CSUM..OFF_CSUM + 4].try_into().unwrap());
+        Some(SpareInfo { kind, obsolete, tag, ts, checksum })
+    }
+
+    /// Byte offset and value of the obsolete marker, for use with
+    /// [`crate::FlashChip::program_spare`]. Programming this single byte is
+    /// how every method "sets a page to obsolete".
+    pub fn obsolete_patch() -> (usize, [u8; 1]) {
+        (OFF_OBSOLETE, [0x00])
+    }
+}
+
+/// FNV-1a 32-bit hash, used as the stand-in ECC for the page data area.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let info = SpareInfo::new(PageKind::Base, 42, 1_000_007, 0xDEAD_BEEF);
+        let mut spare = vec![0u8; 64];
+        info.encode(&mut spare).unwrap();
+        let back = SpareInfo::decode(&spare).unwrap();
+        assert_eq!(back, info);
+    }
+
+    #[test]
+    fn erased_spare_decodes_as_free() {
+        let spare = vec![0xFFu8; 64];
+        let info = SpareInfo::decode(&spare).unwrap();
+        assert_eq!(info.kind, PageKind::Free);
+        assert!(!info.obsolete);
+        assert_eq!(info.tag, u64::MAX);
+    }
+
+    #[test]
+    fn obsolete_patch_only_clears_bits() {
+        let info = SpareInfo::new(PageKind::Diff, 7, 9, 1);
+        let mut spare = vec![0u8; 64];
+        info.encode(&mut spare).unwrap();
+        let (off, patch) = SpareInfo::obsolete_patch();
+        // A program is an AND: result must equal old & new.
+        let old = spare[off];
+        let new = old & patch[0];
+        spare[off] = new;
+        let back = SpareInfo::decode(&spare).unwrap();
+        assert!(back.obsolete);
+        assert_eq!(back.kind, PageKind::Diff);
+        assert_eq!(back.tag, 7);
+    }
+
+    #[test]
+    fn kind_bytes_round_trip() {
+        for kind in [
+            PageKind::Free,
+            PageKind::Base,
+            PageKind::Diff,
+            PageKind::Data,
+            PageKind::IplData,
+            PageKind::IplLog,
+            PageKind::Checkpoint,
+            PageKind::CheckpointHead,
+            PageKind::Bad,
+        ] {
+            assert_eq!(PageKind::from_byte(kind.to_byte()), Some(kind));
+        }
+        assert_eq!(PageKind::from_byte(0x77), None);
+    }
+
+    #[test]
+    fn encode_requires_room() {
+        let info = SpareInfo::new(PageKind::Data, 1, 2, 3);
+        let mut small = vec![0u8; 8];
+        assert!(matches!(
+            info.encode(&mut small),
+            Err(FlashError::BadBufferSize { .. })
+        ));
+    }
+
+    #[test]
+    fn fnv_known_values() {
+        assert_eq!(fnv1a32(b""), 0x811c_9dc5);
+        assert_eq!(fnv1a32(b"a"), 0xe40c_292c);
+        // Different data, different checksum (sanity, not a guarantee).
+        assert_ne!(fnv1a32(b"page one"), fnv1a32(b"page two"));
+    }
+}

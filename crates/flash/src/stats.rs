@@ -1,0 +1,230 @@
+//! Operation counters and simulated-time accounting.
+//!
+//! Every read/program/erase adds its Table-1 latency to the ledger of the
+//! *current context*. The paper amortises garbage-collection cost into the
+//! write cost and draws it as the "slashed area" of Figure 12(b); keeping
+//! per-context ledgers lets the harness reproduce that decomposition while
+//! still reporting combined totals.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Who is currently driving the chip. Set via
+/// [`crate::FlashChip::set_context`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OpContext {
+    /// Regular reads/writes issued on behalf of the storage system.
+    #[default]
+    User,
+    /// Garbage collection / merge activity.
+    Gc,
+    /// Crash-recovery scans.
+    Recovery,
+}
+
+/// Counts and simulated time for one context.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    pub reads: u64,
+    pub writes: u64,
+    pub erases: u64,
+    pub read_us: u64,
+    pub write_us: u64,
+    pub erase_us: u64,
+}
+
+impl OpCounts {
+    /// Total simulated time across the three operation kinds.
+    pub fn total_us(&self) -> u64 {
+        self.read_us + self.write_us + self.erase_us
+    }
+
+    /// Total number of operations.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes + self.erases
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.total_ops() == 0
+    }
+}
+
+impl Add for OpCounts {
+    type Output = OpCounts;
+    fn add(self, o: OpCounts) -> OpCounts {
+        OpCounts {
+            reads: self.reads + o.reads,
+            writes: self.writes + o.writes,
+            erases: self.erases + o.erases,
+            read_us: self.read_us + o.read_us,
+            write_us: self.write_us + o.write_us,
+            erase_us: self.erase_us + o.erase_us,
+        }
+    }
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, o: OpCounts) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for OpCounts {
+    type Output = OpCounts;
+    /// Saturating difference, used to compute deltas between snapshots.
+    fn sub(self, o: OpCounts) -> OpCounts {
+        OpCounts {
+            reads: self.reads.saturating_sub(o.reads),
+            writes: self.writes.saturating_sub(o.writes),
+            erases: self.erases.saturating_sub(o.erases),
+            read_us: self.read_us.saturating_sub(o.read_us),
+            write_us: self.write_us.saturating_sub(o.write_us),
+            erase_us: self.erase_us.saturating_sub(o.erase_us),
+        }
+    }
+}
+
+impl fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reads / {} writes / {} erases ({} us)",
+            self.reads,
+            self.writes,
+            self.erases,
+            self.total_us()
+        )
+    }
+}
+
+/// The chip's full statistics ledger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlashStats {
+    pub user: OpCounts,
+    pub gc: OpCounts,
+    pub recovery: OpCounts,
+}
+
+impl FlashStats {
+    /// Sum over all contexts.
+    pub fn total(&self) -> OpCounts {
+        self.user + self.gc + self.recovery
+    }
+
+    /// Ledger for one context.
+    pub fn by_context(&self, ctx: OpContext) -> OpCounts {
+        match ctx {
+            OpContext::User => self.user,
+            OpContext::Gc => self.gc,
+            OpContext::Recovery => self.recovery,
+        }
+    }
+
+    pub(crate) fn by_context_mut(&mut self, ctx: OpContext) -> &mut OpCounts {
+        match ctx {
+            OpContext::User => &mut self.user,
+            OpContext::Gc => &mut self.gc,
+            OpContext::Recovery => &mut self.recovery,
+        }
+    }
+
+    /// Per-context and total delta against an earlier snapshot.
+    pub fn delta_since(&self, earlier: &FlashStats) -> FlashStats {
+        FlashStats {
+            user: self.user - earlier.user,
+            gc: self.gc - earlier.gc,
+            recovery: self.recovery - earlier.recovery,
+        }
+    }
+}
+
+impl Sub for FlashStats {
+    type Output = FlashStats;
+    fn sub(self, o: FlashStats) -> FlashStats {
+        self.delta_since(&o)
+    }
+}
+
+/// Wear (erase-count) summary over all blocks, used by the longevity
+/// experiment (Figure 17) and the wear-aware GC ablation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WearSummary {
+    pub min_erases: u64,
+    pub max_erases: u64,
+    pub total_erases: u64,
+    pub num_blocks: u32,
+}
+
+impl WearSummary {
+    pub fn avg_erases(&self) -> f64 {
+        if self.num_blocks == 0 {
+            0.0
+        } else {
+            self.total_erases as f64 / self.num_blocks as f64
+        }
+    }
+}
+
+impl fmt::Display for WearSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "erases/block min={} avg={:.1} max={} (total {})",
+            self.min_erases,
+            self.avg_erases(),
+            self.max_erases,
+            self.total_erases
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OpCounts {
+        OpCounts { reads: 3, writes: 2, erases: 1, read_us: 330, write_us: 2020, erase_us: 1500 }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let c = sample();
+        assert_eq!(c.total_ops(), 6);
+        assert_eq!(c.total_us(), 3850);
+    }
+
+    #[test]
+    fn add_and_sub_are_inverse() {
+        let a = sample();
+        let b = OpCounts { reads: 1, writes: 1, erases: 0, read_us: 110, write_us: 1010, erase_us: 0 };
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn stats_context_routing() {
+        let mut s = FlashStats::default();
+        s.by_context_mut(OpContext::Gc).reads = 5;
+        assert_eq!(s.gc.reads, 5);
+        assert_eq!(s.by_context(OpContext::Gc).reads, 5);
+        assert_eq!(s.total().reads, 5);
+    }
+
+    #[test]
+    fn delta_since_is_per_context() {
+        let mut before = FlashStats::default();
+        before.user.writes = 2;
+        let mut after = before;
+        after.user.writes = 7;
+        after.gc.erases = 3;
+        let d = after.delta_since(&before);
+        assert_eq!(d.user.writes, 5);
+        assert_eq!(d.gc.erases, 3);
+        assert_eq!(d.recovery, OpCounts::default());
+    }
+
+    #[test]
+    fn wear_summary_average() {
+        let w = WearSummary { min_erases: 1, max_erases: 9, total_erases: 40, num_blocks: 8 };
+        assert!((w.avg_erases() - 5.0).abs() < 1e-9);
+    }
+}

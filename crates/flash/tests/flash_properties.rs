@@ -1,0 +1,173 @@
+//! Property-based tests for the flash emulator: NAND semantics must hold
+//! for arbitrary operation sequences.
+
+use proptest::prelude::*;
+use pdl_flash::{
+    fnv1a32, BlockId, FlashChip, FlashConfig, FlashError, PageBuf, PageKind, Ppn, SpareInfo,
+};
+
+fn tiny_chip() -> FlashChip {
+    FlashChip::new(FlashConfig::tiny())
+}
+
+/// An abstract operation against the chip.
+#[derive(Clone, Debug)]
+enum Op {
+    Program { page: u32, fill: u8, tag: u64 },
+    Partial { page: u32, offset: u16, byte: u8 },
+    MarkObsolete { page: u32 },
+    Erase { block: u32 },
+    Read { page: u32 },
+}
+
+fn op_strategy(num_pages: u32, num_blocks: u32, data_size: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..num_pages, any::<u8>(), any::<u64>())
+            .prop_map(|(page, fill, tag)| Op::Program { page, fill, tag }),
+        (0..num_pages, 0..data_size as u16, any::<u8>())
+            .prop_map(|(page, offset, byte)| Op::Partial { page, offset, byte }),
+        (0..num_pages).prop_map(|page| Op::MarkObsolete { page }),
+        (0..num_blocks).prop_map(|block| Op::Erase { block }),
+        (0..num_pages).prop_map(|page| Op::Read { page }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The emulator mirrors a trivial model: data bits can only be cleared
+    /// by programs and only set by erases; every successful read returns
+    /// exactly the modelled bytes.
+    #[test]
+    fn chip_matches_bitwise_model(ops in proptest::collection::vec(
+        op_strategy(FlashConfig::tiny().geometry.num_pages(),
+                    FlashConfig::tiny().geometry.num_blocks,
+                    FlashConfig::tiny().geometry.data_size), 1..120)) {
+        let mut chip = tiny_chip();
+        let g = chip.geometry();
+        let mut model: Vec<Vec<u8>> =
+            (0..g.num_pages()).map(|_| vec![0xFF; g.data_size]).collect();
+        let mut buf = PageBuf::for_chip(&chip);
+
+        for op in ops {
+            match op {
+                Op::Program { page, fill, tag } => {
+                    let data = vec![fill; g.data_size];
+                    let mut spare = vec![0xFF; g.spare_size];
+                    SpareInfo::new(PageKind::Data, tag, 0, fnv1a32(&data))
+                        .encode(&mut spare).unwrap();
+                    match chip.program_page(Ppn(page), &data, &spare) {
+                        Ok(()) => {
+                            for (m, d) in model[page as usize].iter_mut().zip(&data) {
+                                *m &= *d;
+                            }
+                        }
+                        Err(FlashError::NopExceeded { .. })
+                        | Err(FlashError::ProgramConflict { .. }) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::Partial { page, offset, byte } => {
+                    match chip.program_partial(Ppn(page), offset as usize, &[byte]) {
+                        Ok(()) => model[page as usize][offset as usize] &= byte,
+                        Err(FlashError::NopExceeded { .. })
+                        | Err(FlashError::ProgramConflict { .. }) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::MarkObsolete { page } => {
+                    match chip.mark_obsolete(Ppn(page)) {
+                        Ok(()) | Err(FlashError::NopExceeded { .. }) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::Erase { block } => {
+                    chip.erase_block(BlockId(block)).unwrap();
+                    let first = g.first_page(BlockId(block)).0;
+                    for p in first..first + g.pages_per_block {
+                        model[p as usize].fill(0xFF);
+                    }
+                }
+                Op::Read { page } => {
+                    chip.read_full(Ppn(page), &mut buf).unwrap();
+                    prop_assert_eq!(&buf.data, &model[page as usize]);
+                }
+            }
+        }
+
+        // Final sweep: every page matches the model.
+        for p in 0..g.num_pages() {
+            chip.read_full(Ppn(p), &mut buf).unwrap();
+            prop_assert_eq!(&buf.data, &model[p as usize]);
+        }
+    }
+
+    /// Simulated time is exactly ops x Table-1 latency, in every context.
+    #[test]
+    fn accounting_is_exact(reads in 0u32..50, writes in 0u32..20, erases in 0u32..10) {
+        let mut chip = tiny_chip();
+        let g = chip.geometry();
+        let t = chip.timing();
+        for i in 0..writes {
+            let page = Ppn(i % g.num_pages());
+            // Avoid NOP violations by erasing first.
+            chip.erase_block(g.block_of(page)).unwrap();
+            let data = vec![i as u8; g.data_size];
+            let spare = vec![0xFF; g.spare_size];
+            chip.program_page(page, &data, &spare).unwrap();
+        }
+        let mut buf = PageBuf::for_chip(&chip);
+        for i in 0..reads {
+            chip.read_full(Ppn(i % g.num_pages()), &mut buf).unwrap();
+        }
+        for i in 0..erases {
+            chip.erase_block(BlockId(i % g.num_blocks)).unwrap();
+        }
+        let s = chip.stats().total();
+        prop_assert_eq!(s.reads, reads as u64);
+        prop_assert_eq!(s.writes, writes as u64);
+        prop_assert_eq!(s.erases, (erases + writes) as u64);
+        prop_assert_eq!(s.read_us, reads as u64 * t.t_read_us);
+        prop_assert_eq!(s.write_us, writes as u64 * t.t_write_us);
+        prop_assert_eq!(s.erase_us, (erases + writes) as u64 * t.t_erase_us);
+    }
+
+    /// Spare-info round trip for arbitrary fields.
+    #[test]
+    fn spare_round_trip(tag in any::<u64>(), ts in any::<u64>(), csum in any::<u32>()) {
+        let mut spare = vec![0xFFu8; 64];
+        let info = SpareInfo::new(PageKind::Base, tag, ts, csum);
+        info.encode(&mut spare).unwrap();
+        prop_assert_eq!(SpareInfo::decode(&spare), Some(info));
+    }
+
+    /// A power-loss fault never tears a page: after the fault fires, each
+    /// page is either its pre-fault content or the fully programmed image.
+    #[test]
+    fn power_loss_is_atomic(budget in 0u64..6, pages in proptest::collection::vec(0u32..16, 1..8)) {
+        let mut chip = tiny_chip();
+        let g = chip.geometry();
+        chip.arm_fault(budget);
+        let mut expected: Vec<Option<u8>> = vec![None; g.num_pages() as usize];
+        for (i, page) in pages.iter().enumerate() {
+            let fill = i as u8;
+            let data = vec![fill; g.data_size];
+            let spare = vec![0xFF; g.spare_size];
+            match chip.program_page(Ppn(*page), &data, &spare) {
+                Ok(()) => expected[*page as usize] = Some(fill),
+                Err(FlashError::PowerLoss) => break,
+                Err(FlashError::NopExceeded { .. }) => continue,
+                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            }
+        }
+        chip.disarm_fault();
+        let mut buf = PageBuf::for_chip(&chip);
+        for p in 0..g.num_pages() {
+            chip.read_full(Ppn(p), &mut buf).unwrap();
+            match expected[p as usize] {
+                Some(fill) => prop_assert!(buf.data.iter().all(|&b| b == fill)),
+                None => prop_assert!(buf.data.iter().all(|&b| b == 0xFF)),
+            }
+        }
+    }
+}

@@ -1,0 +1,657 @@
+//! A B+-tree index over fixed 16-byte keys.
+//!
+//! Keys are byte strings compared lexicographically; composite keys are
+//! built big-endian with [`KeyBuf`] so integer order equals byte order.
+//! Values are `u64` (usually a packed [`crate::RecordId`]). Duplicate keys
+//! are allowed: readers descend to the *first* duplicate, writers append
+//! after the last, range scans see all of them.
+//!
+//! Node layout (any page size):
+//!
+//! ```text
+//! 0      kind: u8 (1 = leaf, 2 = internal)
+//! 2..4   count: u16
+//! 4..12  leaf: next-leaf pid (u64, MAX = none) | internal: child0 pid
+//! 12..   entries: key[16] ++ u64   (leaf: value; internal: child pid)
+//! ```
+//!
+//! Deletion is lazy (no rebalancing/merging); underfull pages are absorbed
+//! by future inserts. This matches the benchmark workloads (TPC-C deletes
+//! only `NEW-ORDER` rows, which are continually re-inserted).
+
+use crate::buffer::{read_u16, read_u64, PageMut};
+use crate::db::Database;
+use crate::Result;
+
+/// Index key: 16 bytes, compared lexicographically.
+pub type Key = [u8; 16];
+
+/// No-next-leaf sentinel.
+const NO_PID: u64 = u64::MAX;
+
+const KIND_LEAF: u8 = 1;
+const KIND_INTERNAL: u8 = 2;
+const OFF_KIND: usize = 0;
+const OFF_COUNT: usize = 2;
+const OFF_LINK: usize = 4; // next-leaf or child0
+const ENTRIES: usize = 12;
+const ENTRY: usize = 24; // 16-byte key + 8-byte value/child
+
+/// Big-endian composite key builder.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KeyBuf {
+    bytes: Key,
+    at: usize,
+}
+
+impl KeyBuf {
+    pub fn new() -> KeyBuf {
+        KeyBuf::default()
+    }
+
+    pub fn push_u8(mut self, v: u8) -> KeyBuf {
+        self.bytes[self.at] = v;
+        self.at += 1;
+        self
+    }
+
+    pub fn push_u16(mut self, v: u16) -> KeyBuf {
+        self.bytes[self.at..self.at + 2].copy_from_slice(&v.to_be_bytes());
+        self.at += 2;
+        self
+    }
+
+    pub fn push_u32(mut self, v: u32) -> KeyBuf {
+        self.bytes[self.at..self.at + 4].copy_from_slice(&v.to_be_bytes());
+        self.at += 4;
+        self
+    }
+
+    pub fn push_u64(mut self, v: u64) -> KeyBuf {
+        self.bytes[self.at..self.at + 8].copy_from_slice(&v.to_be_bytes());
+        self.at += 8;
+        self
+    }
+
+    /// Fixed-width string prefix (truncated / zero-padded to `width`).
+    pub fn push_str(mut self, s: &str, width: usize) -> KeyBuf {
+        let b = s.as_bytes();
+        for i in 0..width {
+            self.bytes[self.at + i] = if i < b.len() { b[i] } else { 0 };
+        }
+        self.at += width;
+        self
+    }
+
+    pub fn finish(self) -> Key {
+        self.bytes
+    }
+}
+
+fn capacity(page_len: usize) -> usize {
+    (page_len - ENTRIES) / ENTRY
+}
+
+fn kind(page: &[u8]) -> u8 {
+    page[OFF_KIND]
+}
+
+fn count(page: &[u8]) -> usize {
+    read_u16(page, OFF_COUNT) as usize
+}
+
+fn link(page: &[u8]) -> u64 {
+    read_u64(page, OFF_LINK)
+}
+
+fn entry_key(page: &[u8], i: usize) -> Key {
+    page[ENTRIES + i * ENTRY..ENTRIES + i * ENTRY + 16].try_into().expect("16 bytes")
+}
+
+fn entry_val(page: &[u8], i: usize) -> u64 {
+    read_u64(page, ENTRIES + i * ENTRY + 16)
+}
+
+fn write_entry(page: &mut PageMut, i: usize, key: &Key, val: u64) {
+    let at = ENTRIES + i * ENTRY;
+    page.write(at, key);
+    page.write_u64(at + 16, val);
+}
+
+fn init_node(page: &mut PageMut, node_kind: u8, link_pid: u64) {
+    page.write(OFF_KIND, &[node_kind, 0]);
+    page.write_u16(OFF_COUNT, 0);
+    page.write_u64(OFF_LINK, link_pid);
+}
+
+/// First index whose key is >= `key` (descend-to-first-duplicate).
+fn lower_bound(page: &[u8], key: &Key) -> usize {
+    let n = count(page);
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if entry_key(page, mid) < *key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// First index whose key is > `key` (append-after-duplicates).
+fn upper_bound(page: &[u8], key: &Key) -> usize {
+    let n = count(page);
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if entry_key(page, mid) <= *key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Shift entries `[idx..count)` one slot right and write the new entry.
+fn insert_entry_at(page: &mut PageMut, idx: usize, key: &Key, val: u64) {
+    let n = count(page.as_slice());
+    if idx < n {
+        let src = ENTRIES + idx * ENTRY;
+        page.copy_within(src, src + ENTRY, (n - idx) * ENTRY);
+    }
+    write_entry(page, idx, key, val);
+    page.write_u16(OFF_COUNT, (n + 1) as u16);
+}
+
+/// Remove entry `idx`, shifting the tail left.
+fn remove_entry_at(page: &mut PageMut, idx: usize) {
+    let n = count(page.as_slice());
+    debug_assert!(idx < n);
+    if idx + 1 < n {
+        let src = ENTRIES + (idx + 1) * ENTRY;
+        page.copy_within(src, src - ENTRY, (n - idx - 1) * ENTRY);
+    }
+    page.write_u16(OFF_COUNT, (n - 1) as u16);
+}
+
+/// A B+-tree rooted at a page.
+pub struct BTree {
+    root: u64,
+}
+
+impl BTree {
+    /// Create an empty tree (allocates the root leaf).
+    pub fn create(db: &mut Database) -> Result<BTree> {
+        let root = db.alloc_page()?;
+        db.with_page_mut(root, |p| init_node(p, KIND_LEAF, NO_PID))?;
+        Ok(BTree { root })
+    }
+
+    pub fn root_pid(&self) -> u64 {
+        self.root
+    }
+
+    /// Descend to the leaf for `key`. `for_insert` picks the
+    /// upper-bound child (append after duplicates); otherwise the
+    /// lower-bound child (first duplicate). Returns the path of internal
+    /// pids, ending with the leaf pid.
+    fn descend(&self, db: &mut Database, key: &Key, for_insert: bool) -> Result<Vec<u64>> {
+        let mut path = vec![self.root];
+        loop {
+            let pid = *path.last().expect("non-empty");
+            let next = db.with_page(pid, |p| {
+                if kind(p) == KIND_LEAF {
+                    None
+                } else {
+                    let idx = if for_insert { upper_bound(p, key) } else { lower_bound(p, key) };
+                    Some(if idx == 0 { link(p) } else { entry_val(p, idx - 1) })
+                }
+            })?;
+            match next {
+                None => return Ok(path),
+                Some(child) => path.push(child),
+            }
+        }
+    }
+
+    /// Look up the value of the first entry with exactly `key`.
+    pub fn get(&self, db: &mut Database, key: &Key) -> Result<Option<u64>> {
+        let path = self.descend(db, key, false)?;
+        let leaf = *path.last().expect("leaf");
+        let mut found = db.with_page(leaf, |p| {
+            let idx = lower_bound(p, key);
+            if idx < count(p) && entry_key(p, idx) == *key {
+                Some(entry_val(p, idx))
+            } else {
+                None
+            }
+        })?;
+        if found.is_none() {
+            // The first match can sit at the head of the next leaf when the
+            // key equals a separator.
+            let next = db.with_page(leaf, |p| link(p))?;
+            if next != NO_PID {
+                found = db.with_page(next, |p| {
+                    (count(p) > 0 && entry_key(p, 0) == *key).then(|| entry_val(p, 0))
+                })?;
+            }
+        }
+        Ok(found)
+    }
+
+    /// Insert `key -> val` (duplicates allowed).
+    pub fn insert(&mut self, db: &mut Database, key: &Key, val: u64) -> Result<()> {
+        let path = self.descend(db, key, true)?;
+        let leaf = *path.last().expect("leaf");
+        let cap = capacity(db.page_size());
+        let full = db.with_page(leaf, |p| count(p) >= cap)?;
+        if !full {
+            db.with_page_mut(leaf, |p| {
+                let idx = upper_bound(p.as_slice(), key);
+                insert_entry_at(p, idx, key, val);
+            })?;
+            return Ok(());
+        }
+        // Split the leaf, then insert into the proper half.
+        let right = db.alloc_page()?;
+        let mid = cap / 2;
+        let (sep, moved, old_next) = db.with_page(leaf, |p| {
+            let moved: Vec<(Key, u64)> =
+                (mid..count(p)).map(|i| (entry_key(p, i), entry_val(p, i))).collect();
+            (moved[0].0, moved, link(p))
+        })?;
+        db.with_page_mut(right, |p| {
+            init_node(p, KIND_LEAF, old_next);
+            for (i, (k, v)) in moved.iter().enumerate() {
+                write_entry(p, i, k, *v);
+            }
+            p.write_u16(OFF_COUNT, moved.len() as u16);
+        })?;
+        db.with_page_mut(leaf, |p| {
+            p.write_u16(OFF_COUNT, mid as u16);
+            p.write_u64(OFF_LINK, right);
+        })?;
+        // Insert the entry into the correct half (both have room now).
+        let target = if *key < sep { leaf } else { right };
+        db.with_page_mut(target, |p| {
+            let idx = upper_bound(p.as_slice(), key);
+            insert_entry_at(p, idx, key, val);
+        })?;
+        // Propagate the separator upward.
+        self.insert_into_parent(db, &path[..path.len() - 1], sep, right)
+    }
+
+    /// Insert `(sep, right)` into the parent chain after a child split.
+    fn insert_into_parent(
+        &mut self,
+        db: &mut Database,
+        path: &[u64],
+        sep: Key,
+        right: u64,
+    ) -> Result<()> {
+        let cap = capacity(db.page_size());
+        let mut sep = sep;
+        let mut right = right;
+        let mut level = path.len();
+        loop {
+            if level == 0 {
+                // Split reached the root: grow the tree.
+                let new_root = db.alloc_page()?;
+                let old_root = self.root;
+                db.with_page_mut(new_root, |p| {
+                    init_node(p, KIND_INTERNAL, old_root);
+                    write_entry(p, 0, &sep, right);
+                    p.write_u16(OFF_COUNT, 1);
+                })?;
+                self.root = new_root;
+                return Ok(());
+            }
+            level -= 1;
+            let parent = path[level];
+            let full = db.with_page(parent, |p| count(p) >= cap)?;
+            if !full {
+                db.with_page_mut(parent, |p| {
+                    let idx = upper_bound(p.as_slice(), &sep);
+                    insert_entry_at(p, idx, &sep, right);
+                })?;
+                return Ok(());
+            }
+            // Split the internal node: promote the middle key.
+            let new_node = db.alloc_page()?;
+            let mid = cap / 2;
+            let (promoted, moved_child0, moved) = db.with_page(parent, |p| {
+                let promoted = entry_key(p, mid);
+                let moved_child0 = entry_val(p, mid);
+                let moved: Vec<(Key, u64)> =
+                    (mid + 1..count(p)).map(|i| (entry_key(p, i), entry_val(p, i))).collect();
+                (promoted, moved_child0, moved)
+            })?;
+            db.with_page_mut(new_node, |p| {
+                init_node(p, KIND_INTERNAL, moved_child0);
+                for (i, (k, v)) in moved.iter().enumerate() {
+                    write_entry(p, i, k, *v);
+                }
+                p.write_u16(OFF_COUNT, moved.len() as u16);
+            })?;
+            db.with_page_mut(parent, |p| p.write_u16(OFF_COUNT, mid as u16))?;
+            // Insert the pending separator into the proper half.
+            let target = if sep < promoted { parent } else { new_node };
+            db.with_page_mut(target, |p| {
+                let idx = upper_bound(p.as_slice(), &sep);
+                insert_entry_at(p, idx, &sep, right);
+            })?;
+            sep = promoted;
+            right = new_node;
+        }
+    }
+
+    /// Visit entries with `from <= key <= to` in order; the callback
+    /// returns `false` to stop early.
+    pub fn range(
+        &self,
+        db: &mut Database,
+        from: &Key,
+        to: &Key,
+        mut f: impl FnMut(&Key, u64) -> bool,
+    ) -> Result<()> {
+        let path = self.descend(db, from, false)?;
+        let mut leaf = *path.last().expect("leaf");
+        let mut idx = db.with_page(leaf, |p| lower_bound(p, from))?;
+        loop {
+            enum Step {
+                Stop,
+                NextLeaf(u64),
+            }
+            let step = db.with_page(leaf, |p| {
+                let n = count(p);
+                let mut i = idx;
+                while i < n {
+                    let k = entry_key(p, i);
+                    if k > *to {
+                        return Step::Stop;
+                    }
+                    if !f(&k, entry_val(p, i)) {
+                        return Step::Stop;
+                    }
+                    i += 1;
+                }
+                match link(p) {
+                    NO_PID => Step::Stop,
+                    next => Step::NextLeaf(next),
+                }
+            })?;
+            match step {
+                Step::Stop => return Ok(()),
+                Step::NextLeaf(next) => {
+                    leaf = next;
+                    idx = 0;
+                }
+            }
+        }
+    }
+
+    /// Delete the first entry with exactly `key`, returning its value.
+    pub fn delete(&mut self, db: &mut Database, key: &Key) -> Result<Option<u64>> {
+        self.delete_where(db, key, |_| true)
+    }
+
+    /// Delete the first entry with `key` whose value equals `val`.
+    pub fn delete_exact(&mut self, db: &mut Database, key: &Key, val: u64) -> Result<bool> {
+        Ok(self.delete_where(db, key, |v| v == val)?.is_some())
+    }
+
+    fn delete_where(
+        &mut self,
+        db: &mut Database,
+        key: &Key,
+        pred: impl Fn(u64) -> bool,
+    ) -> Result<Option<u64>> {
+        let path = self.descend(db, key, false)?;
+        let mut leaf = *path.last().expect("leaf");
+        loop {
+            enum Outcome {
+                Deleted(u64),
+                NextLeaf(u64),
+                NotFound,
+            }
+            let outcome = db.with_page_mut(leaf, |p| {
+                let n = count(p.as_slice());
+                let mut i = lower_bound(p.as_slice(), key);
+                while i < n {
+                    let k = entry_key(p.as_slice(), i);
+                    if k != *key {
+                        return Outcome::NotFound;
+                    }
+                    let v = entry_val(p.as_slice(), i);
+                    if pred(v) {
+                        remove_entry_at(p, i);
+                        return Outcome::Deleted(v);
+                    }
+                    i += 1;
+                }
+                match link(p.as_slice()) {
+                    NO_PID => Outcome::NotFound,
+                    next => Outcome::NextLeaf(next),
+                }
+            })?;
+            match outcome {
+                Outcome::Deleted(v) => return Ok(Some(v)),
+                Outcome::NotFound => return Ok(None),
+                Outcome::NextLeaf(next) => leaf = next,
+            }
+        }
+    }
+
+    /// Number of entries (full scan; diagnostics only).
+    pub fn len(&self, db: &mut Database) -> Result<usize> {
+        let mut total = 0usize;
+        self.range(db, &[0u8; 16], &[0xFFu8; 16], |_, _| {
+            total += 1;
+            true
+        })?;
+        Ok(total)
+    }
+
+    pub fn is_empty(&self, db: &mut Database) -> Result<bool> {
+        let mut any = false;
+        self.range(db, &[0u8; 16], &[0xFFu8; 16], |_, _| {
+            any = true;
+            false
+        })?;
+        Ok(!any)
+    }
+
+    /// Verify tree invariants (test support): keys sorted within nodes,
+    /// leaf chain sorted globally, internal separators bound their
+    /// subtrees.
+    pub fn check_invariants(&self, db: &mut Database) -> Result<()> {
+        let mut last: Option<Key> = None;
+        self.range(db, &[0u8; 16], &[0xFFu8; 16], |k, _| {
+            if let Some(prev) = last {
+                assert!(prev <= *k, "leaf chain out of order");
+            }
+            last = Some(*k);
+            true
+        })?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_core::{build_store, MethodKind, StoreOptions};
+    use pdl_flash::{FlashChip, FlashConfig};
+
+    fn db() -> Database {
+        // Small pages (256 bytes -> 10 entries per node) so splits and
+        // multi-level trees happen quickly, on a chip with enough blocks
+        // to hold a few hundred nodes.
+        let mut config = FlashConfig::tiny();
+        config.geometry.num_blocks = 64;
+        let store = build_store(FlashChip::new(config), MethodKind::Opu, StoreOptions::new(448))
+            .unwrap();
+        Database::new(store, 16)
+    }
+
+    fn key(v: u64) -> Key {
+        KeyBuf::new().push_u64(v).finish()
+    }
+
+    #[test]
+    fn keybuf_orders_composites() {
+        let a = KeyBuf::new().push_u16(1).push_u32(2).finish();
+        let b = KeyBuf::new().push_u16(1).push_u32(3).finish();
+        let c = KeyBuf::new().push_u16(2).push_u32(0).finish();
+        assert!(a < b && b < c);
+        let s1 = KeyBuf::new().push_str("BARBAR", 10).finish();
+        let s2 = KeyBuf::new().push_str("BARBARA", 10).finish();
+        assert!(s1 < s2);
+    }
+
+    #[test]
+    fn insert_and_get_small() {
+        let mut d = db();
+        let mut t = BTree::create(&mut d).unwrap();
+        for v in [5u64, 3, 9, 1, 7] {
+            t.insert(&mut d, &key(v), v * 10).unwrap();
+        }
+        for v in [1u64, 3, 5, 7, 9] {
+            assert_eq!(t.get(&mut d, &key(v)).unwrap(), Some(v * 10));
+        }
+        assert_eq!(t.get(&mut d, &key(4)).unwrap(), None);
+    }
+
+    #[test]
+    fn thousand_inserts_split_to_multiple_levels() {
+        let mut d = db();
+        let mut t = BTree::create(&mut d).unwrap();
+        // Insert shuffled keys.
+        let mut order: Vec<u64> = (0..600).collect();
+        let mut x = 99u64;
+        for i in (1..order.len()).rev() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (x % (i as u64 + 1)) as usize);
+        }
+        for v in &order {
+            t.insert(&mut d, &key(*v), *v).unwrap();
+        }
+        for v in 0..600u64 {
+            assert_eq!(t.get(&mut d, &key(v)).unwrap(), Some(v), "key {v}");
+        }
+        assert_eq!(t.len(&mut d).unwrap(), 600);
+        t.check_invariants(&mut d).unwrap();
+    }
+
+    #[test]
+    fn range_scan_in_order() {
+        let mut d = db();
+        let mut t = BTree::create(&mut d).unwrap();
+        for v in (0..200u64).rev() {
+            t.insert(&mut d, &key(v), v).unwrap();
+        }
+        let mut seen = Vec::new();
+        t.range(&mut d, &key(50), &key(59), |_, v| {
+            seen.push(v);
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, (50..60).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn range_early_stop() {
+        let mut d = db();
+        let mut t = BTree::create(&mut d).unwrap();
+        for v in 0..100u64 {
+            t.insert(&mut d, &key(v), v).unwrap();
+        }
+        let mut seen = 0;
+        t.range(&mut d, &key(0), &key(99), |_, _| {
+            seen += 1;
+            seen < 5
+        })
+        .unwrap();
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn duplicates_all_visible_and_deletable_by_value() {
+        let mut d = db();
+        let mut t = BTree::create(&mut d).unwrap();
+        // Enough duplicates to cross leaf boundaries.
+        for v in 0..30u64 {
+            t.insert(&mut d, &key(42), v).unwrap();
+        }
+        t.insert(&mut d, &key(41), 1000).unwrap();
+        t.insert(&mut d, &key(43), 2000).unwrap();
+        let mut vals = Vec::new();
+        t.range(&mut d, &key(42), &key(42), |_, v| {
+            vals.push(v);
+            true
+        })
+        .unwrap();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..30).collect::<Vec<u64>>());
+        // Targeted delete among duplicates.
+        assert!(t.delete_exact(&mut d, &key(42), 17).unwrap());
+        assert!(!t.delete_exact(&mut d, &key(42), 17).unwrap());
+        let mut n = 0;
+        t.range(&mut d, &key(42), &key(42), |_, _| {
+            n += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(n, 29);
+        // Neighbours untouched.
+        assert_eq!(t.get(&mut d, &key(41)).unwrap(), Some(1000));
+        assert_eq!(t.get(&mut d, &key(43)).unwrap(), Some(2000));
+    }
+
+    #[test]
+    fn delete_then_reinsert() {
+        let mut d = db();
+        let mut t = BTree::create(&mut d).unwrap();
+        for v in 0..120u64 {
+            t.insert(&mut d, &key(v), v).unwrap();
+        }
+        for v in (0..120u64).step_by(2) {
+            assert_eq!(t.delete(&mut d, &key(v)).unwrap(), Some(v));
+        }
+        for v in (0..120u64).step_by(2) {
+            assert_eq!(t.get(&mut d, &key(v)).unwrap(), None);
+            assert_eq!(t.get(&mut d, &key(v + 1)).unwrap(), Some(v + 1));
+        }
+        for v in (0..120u64).step_by(2) {
+            t.insert(&mut d, &key(v), v + 500).unwrap();
+        }
+        assert_eq!(t.len(&mut d).unwrap(), 120);
+        t.check_invariants(&mut d).unwrap();
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let mut d = db();
+        let mut t = BTree::create(&mut d).unwrap();
+        assert!(t.is_empty(&mut d).unwrap());
+        assert_eq!(t.get(&mut d, &key(1)).unwrap(), None);
+        assert_eq!(t.delete(&mut d, &key(1)).unwrap(), None);
+        t.insert(&mut d, &key(1), 1).unwrap();
+        assert!(!t.is_empty(&mut d).unwrap());
+    }
+
+    #[test]
+    fn sequential_ascending_inserts() {
+        // Worst case for naive split policies; must stay correct.
+        let mut d = db();
+        let mut t = BTree::create(&mut d).unwrap();
+        for v in 0..400u64 {
+            t.insert(&mut d, &key(v), v).unwrap();
+        }
+        assert_eq!(t.len(&mut d).unwrap(), 400);
+        t.check_invariants(&mut d).unwrap();
+        assert_eq!(t.get(&mut d, &key(399)).unwrap(), Some(399));
+    }
+}

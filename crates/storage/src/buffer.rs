@@ -1,0 +1,375 @@
+//! The DBMS buffer pool.
+//!
+//! An LRU page cache over any [`PageStore`]. The pool is the point where
+//! the paper's two coupling styles meet the storage engine:
+//!
+//! * every mutation goes through [`BufferPool::with_page_mut`], whose
+//!   [`PageMut`] records the changed byte ranges of the *update command*
+//!   and reports them to [`PageStore::apply_update`] — exactly the
+//!   update-log hook a tightly-coupled (log-based) method needs;
+//! * evicting a dirty page calls [`PageStore::evict_page`] — the moment a
+//!   loosely-coupled method (PDL, OPU, IPU) reflects the page into flash.
+
+use crate::error::StorageError;
+use crate::Result;
+use pdl_core::{ChangeRange, PageStore};
+use std::collections::HashMap;
+
+/// A mutable view of a buffered page that records which bytes change.
+pub struct PageMut<'a> {
+    data: &'a mut [u8],
+    changes: &'a mut Vec<ChangeRange>,
+}
+
+impl<'a> PageMut<'a> {
+    /// Read access to the page image.
+    pub fn as_slice(&self) -> &[u8] {
+        self.data
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Overwrite `bytes` at `offset`, recording the change.
+    pub fn write(&mut self, offset: usize, bytes: &[u8]) {
+        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        self.changes.push(ChangeRange::new(offset, bytes.len()));
+    }
+
+    /// Fill `len` bytes at `offset` with `value`, recording the change.
+    pub fn fill(&mut self, offset: usize, len: usize, value: u8) {
+        self.data[offset..offset + len].fill(value);
+        self.changes.push(ChangeRange::new(offset, len));
+    }
+
+    /// Write a little-endian `u16` (the slotted-page header currency).
+    pub fn write_u16(&mut self, offset: usize, v: u16) {
+        self.write(offset, &v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn write_u64(&mut self, offset: usize, v: u64) {
+        self.write(offset, &v.to_le_bytes());
+    }
+
+    /// Move `len` bytes from `src` to `dst` within the page (compaction).
+    pub fn copy_within(&mut self, src: usize, dst: usize, len: usize) {
+        self.data.copy_within(src..src + len, dst);
+        self.changes.push(ChangeRange::new(dst, len));
+    }
+}
+
+/// Construct a [`PageMut`] over a raw buffer — for page-format unit tests
+/// and tools that operate outside a buffer pool.
+#[doc(hidden)]
+#[allow(dead_code)]
+pub mod testing {
+    use super::*;
+
+    pub fn page_mut<'a>(
+        data: &'a mut [u8],
+        changes: &'a mut Vec<ChangeRange>,
+    ) -> PageMut<'a> {
+        PageMut { data, changes }
+    }
+}
+
+/// Read helpers shared by page-format code.
+pub fn read_u16(page: &[u8], offset: usize) -> u16 {
+    u16::from_le_bytes([page[offset], page[offset + 1]])
+}
+
+pub fn read_u64(page: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(page[offset..offset + 8].try_into().expect("8 bytes"))
+}
+
+struct Frame {
+    pid: u64,
+    data: Vec<u8>,
+    dirty: bool,
+    last_use: u64,
+    changes: Vec<ChangeRange>,
+}
+
+/// Cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub dirty_writebacks: u64,
+}
+
+impl BufferStats {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU buffer pool over a page store.
+pub struct BufferPool {
+    store: Box<dyn PageStore>,
+    frames: Vec<Frame>,
+    map: HashMap<u64, usize>,
+    capacity: usize,
+    tick: u64,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// `capacity` is the number of buffered pages (the paper's Experiment 7
+    /// varies it from 0.1% to 10% of the database size).
+    pub fn new(store: Box<dyn PageStore>, capacity: usize) -> BufferPool {
+        BufferPool {
+            store,
+            frames: Vec::with_capacity(capacity.min(1024)),
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.store.logical_page_size()
+    }
+
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    pub fn store(&self) -> &dyn PageStore {
+        self.store.as_ref()
+    }
+
+    pub fn store_mut(&mut self) -> &mut dyn PageStore {
+        self.store.as_mut()
+    }
+
+    /// Read access to a page.
+    pub fn with_page<R>(&mut self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let idx = self.fetch(pid)?;
+        self.tick += 1;
+        self.frames[idx].last_use = self.tick;
+        Ok(f(&self.frames[idx].data))
+    }
+
+    /// Mutable access to a page. The closure's writes through [`PageMut`]
+    /// form **one update command**: after it returns, the recorded ranges
+    /// are reported to the page store (tightly-coupled methods write their
+    /// update logs here).
+    pub fn with_page_mut<R>(&mut self, pid: u64, f: impl FnOnce(&mut PageMut) -> R) -> Result<R> {
+        let idx = self.fetch(pid)?;
+        self.tick += 1;
+        let frame = &mut self.frames[idx];
+        frame.last_use = self.tick;
+        debug_assert!(frame.changes.is_empty());
+        let mut page = PageMut { data: &mut frame.data, changes: &mut frame.changes };
+        let r = f(&mut page);
+        if !frame.changes.is_empty() {
+            frame.dirty = true;
+            let changes = std::mem::take(&mut frame.changes);
+            self.store.apply_update(pid, &frame.data, &changes)?;
+        }
+        Ok(r)
+    }
+
+    /// Locate or load `pid` into a frame, evicting if needed.
+    fn fetch(&mut self, pid: u64) -> Result<usize> {
+        if let Some(idx) = self.map.get(&pid) {
+            self.stats.hits += 1;
+            return Ok(*idx);
+        }
+        self.stats.misses += 1;
+        let idx = if self.frames.len() < self.capacity {
+            let size = self.store.logical_page_size();
+            self.frames.push(Frame {
+                pid: u64::MAX,
+                data: vec![0u8; size],
+                dirty: false,
+                last_use: 0,
+                changes: Vec::new(),
+            });
+            self.frames.len() - 1
+        } else {
+            self.evict_lru()?
+        };
+        self.store.read_page(pid, &mut self.frames[idx].data)?;
+        self.frames[idx].pid = pid;
+        self.frames[idx].dirty = false;
+        self.map.insert(pid, idx);
+        Ok(idx)
+    }
+
+    fn evict_lru(&mut self) -> Result<usize> {
+        let (idx, _) = self
+            .frames
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, f)| f.last_use)
+            .ok_or_else(|| StorageError::Internal("empty pool cannot evict".into()))?;
+        let pid = self.frames[idx].pid;
+        if self.frames[idx].dirty {
+            self.store.evict_page(pid, &self.frames[idx].data)?;
+            self.stats.dirty_writebacks += 1;
+        }
+        self.map.remove(&pid);
+        self.stats.evictions += 1;
+        Ok(idx)
+    }
+
+    /// Write every dirty page back and flush the store's buffers
+    /// (write-through, the durability point of §4.5).
+    pub fn flush_all(&mut self) -> Result<()> {
+        for idx in 0..self.frames.len() {
+            if self.frames[idx].dirty {
+                let pid = self.frames[idx].pid;
+                self.store.evict_page(pid, &self.frames[idx].data)?;
+                self.frames[idx].dirty = false;
+                self.stats.dirty_writebacks += 1;
+            }
+        }
+        self.store.flush()?;
+        Ok(())
+    }
+
+    /// Drop every cached page without writing back (crash simulation).
+    pub fn poison_cache(&mut self) {
+        self.frames.clear();
+        self.map.clear();
+    }
+
+    /// Consume the pool, flushing everything, and return the store.
+    pub fn into_store(mut self) -> Result<Box<dyn PageStore>> {
+        self.flush_all()?;
+        Ok(self.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_core::{build_store, MethodKind, StoreOptions};
+    use pdl_flash::{FlashChip, FlashConfig};
+
+    fn pool(capacity: usize, kind: MethodKind) -> BufferPool {
+        let chip = FlashChip::new(FlashConfig::tiny());
+        let store = build_store(chip, kind, StoreOptions::new(24)).unwrap();
+        BufferPool::new(store, capacity)
+    }
+
+    #[test]
+    fn writes_survive_eviction_pressure() {
+        let mut p = pool(2, MethodKind::Pdl { max_diff_size: 128 });
+        for pid in 0..8u64 {
+            p.with_page_mut(pid, |page| page.write(0, &[pid as u8; 4])).unwrap();
+        }
+        for pid in 0..8u64 {
+            let b = p.with_page(pid, |page| page[0]).unwrap();
+            assert_eq!(b, pid as u8, "pid {pid}");
+        }
+        assert!(p.stats().evictions > 0);
+        assert!(p.stats().dirty_writebacks > 0);
+    }
+
+    #[test]
+    fn hits_do_not_touch_flash() {
+        let mut p = pool(4, MethodKind::Opu);
+        p.with_page_mut(1, |page| page.write(0, b"abcd")).unwrap();
+        let before = p.store().chip().stats().total();
+        for _ in 0..10 {
+            p.with_page(1, |page| page[0]).unwrap();
+        }
+        let d = p.store().chip().stats().total() - before;
+        assert_eq!(d.total_ops(), 0, "cache hits must be free");
+        assert_eq!(p.stats().hits, 10);
+    }
+
+    #[test]
+    fn clean_pages_evict_without_writeback() {
+        let mut p = pool(1, MethodKind::Opu);
+        p.with_page(0, |_| ()).unwrap();
+        p.with_page(1, |_| ()).unwrap(); // evicts page 0, clean
+        assert_eq!(p.stats().dirty_writebacks, 0);
+        assert_eq!(p.stats().evictions, 1);
+    }
+
+    #[test]
+    fn update_commands_reach_tightly_coupled_methods() {
+        let mut p = pool(2, MethodKind::Ipl { log_bytes_per_block: 512 });
+        // Load the page first so IPL has an original page.
+        p.with_page_mut(3, |page| {
+            let len = page.len();
+            page.fill(0, len, 7);
+        })
+        .unwrap();
+        p.flush_all().unwrap();
+        // A small update command becomes an update log, readable back.
+        p.with_page_mut(3, |page| page.write(10, &[9, 9])).unwrap();
+        p.flush_all().unwrap();
+        let (a, b) = p.with_page(3, |page| (page[10], page[12])).unwrap();
+        assert_eq!(a, 9);
+        assert_eq!(b, 7);
+    }
+
+    #[test]
+    fn flush_all_makes_state_durable() {
+        let mut p = pool(4, MethodKind::Pdl { max_diff_size: 128 });
+        p.with_page_mut(0, |page| page.write(5, b"xyz")).unwrap();
+        p.flush_all().unwrap();
+        let store = p.into_store().unwrap();
+        let chip = store.into_chip();
+        let mut back = pdl_core::recover_store(
+            chip,
+            MethodKind::Pdl { max_diff_size: 128 },
+            StoreOptions::new(24),
+        )
+        .unwrap();
+        let mut out = vec![0u8; back.logical_page_size()];
+        back.read_page(0, &mut out).unwrap();
+        assert_eq!(&out[5..8], b"xyz");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut p = pool(2, MethodKind::Opu);
+        p.with_page(0, |_| ()).unwrap();
+        p.with_page(1, |_| ()).unwrap();
+        p.with_page(0, |_| ()).unwrap(); // 1 is now LRU
+        p.with_page(2, |_| ()).unwrap(); // evicts 1
+        let before = p.stats().misses;
+        p.with_page(0, |_| ()).unwrap(); // still cached
+        assert_eq!(p.stats().misses, before);
+        p.with_page(1, |_| ()).unwrap(); // miss
+        assert_eq!(p.stats().misses, before + 1);
+    }
+
+    #[test]
+    fn page_mut_helpers_record_changes() {
+        let mut data = vec![0u8; 64];
+        let mut changes = Vec::new();
+        let mut page = PageMut { data: &mut data, changes: &mut changes };
+        page.write_u16(0, 0x1234);
+        page.write_u64(8, 42);
+        page.fill(20, 4, 0xFF);
+        page.copy_within(20, 30, 4);
+        assert_eq!(read_u16(page.as_slice(), 0), 0x1234);
+        assert_eq!(read_u64(page.as_slice(), 8), 42);
+        assert_eq!(&page.as_slice()[30..34], &[0xFF; 4]);
+        assert_eq!(changes.len(), 4);
+    }
+}

@@ -1,0 +1,157 @@
+//! The database facade: a buffer pool plus a logical-page allocator.
+//!
+//! Heap files and B+-trees allocate their pages here; the page-update
+//! method underneath decides how those logical pages land in flash.
+
+use crate::buffer::{BufferPool, BufferStats, PageMut};
+use crate::error::StorageError;
+use crate::Result;
+use pdl_core::PageStore;
+use pdl_flash::FlashStats;
+
+/// A record locator: logical page + slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    pub pid: u64,
+    pub slot: u16,
+}
+
+impl RecordId {
+    pub fn new(pid: u64, slot: u16) -> RecordId {
+        RecordId { pid, slot }
+    }
+
+    /// Pack into a u64 (B+-tree value encoding).
+    pub fn to_u64(self) -> u64 {
+        (self.pid << 16) | self.slot as u64
+    }
+
+    pub fn from_u64(v: u64) -> RecordId {
+        RecordId { pid: v >> 16, slot: (v & 0xFFFF) as u16 }
+    }
+}
+
+/// A database: buffer pool + page allocator.
+pub struct Database {
+    pool: BufferPool,
+    next_pid: u64,
+    max_pages: u64,
+}
+
+impl Database {
+    /// Wrap a page store with a buffer of `buffer_pages` pages.
+    pub fn new(store: Box<dyn PageStore>, buffer_pages: usize) -> Database {
+        let max_pages = store.options().num_logical_pages;
+        Database { pool: BufferPool::new(store, buffer_pages), next_pid: 0, max_pages }
+    }
+
+    /// Re-wrap a store whose first `allocated` pages are already in use
+    /// (e.g. to change the buffer size after loading a database).
+    pub fn new_with_allocated(
+        store: Box<dyn PageStore>,
+        buffer_pages: usize,
+        allocated: u64,
+    ) -> Database {
+        let max_pages = store.options().num_logical_pages;
+        Database {
+            pool: BufferPool::new(store, buffer_pages),
+            next_pid: allocated,
+            max_pages,
+        }
+    }
+
+    /// Allocate the next logical page.
+    pub fn alloc_page(&mut self) -> Result<u64> {
+        if self.next_pid >= self.max_pages {
+            return Err(StorageError::OutOfPages);
+        }
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        Ok(pid)
+    }
+
+    /// Pages allocated so far (the "database size" of Experiment 7).
+    pub fn allocated_pages(&self) -> u64 {
+        self.next_pid
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.pool.page_size()
+    }
+
+    pub fn with_page<R>(&mut self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        self.pool.with_page(pid, f)
+    }
+
+    pub fn with_page_mut<R>(&mut self, pid: u64, f: impl FnOnce(&mut PageMut) -> R) -> Result<R> {
+        self.pool.with_page_mut(pid, f)
+    }
+
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.pool.stats()
+    }
+
+    /// Flash statistics of the underlying chip.
+    pub fn io_stats(&self) -> FlashStats {
+        self.pool.store().chip().stats()
+    }
+
+    pub fn reset_io_stats(&mut self) {
+        self.pool.store_mut().chip_mut().reset_stats();
+    }
+
+    /// Method label of the underlying page store.
+    pub fn method_name(&self) -> String {
+        self.pool.store().name()
+    }
+
+    /// Write-through everything (durability point).
+    pub fn flush(&mut self) -> Result<()> {
+        self.pool.flush_all()
+    }
+
+    /// Tear down, flushing, and hand back the page store.
+    pub fn into_store(self) -> Result<Box<dyn PageStore>> {
+        self.pool.into_store()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_core::{build_store, MethodKind, StoreOptions};
+    use pdl_flash::{FlashChip, FlashConfig};
+
+    fn db() -> Database {
+        let chip = FlashChip::new(FlashConfig::tiny());
+        let store = build_store(chip, MethodKind::Opu, StoreOptions::new(16)).unwrap();
+        Database::new(store, 4)
+    }
+
+    #[test]
+    fn record_id_packs() {
+        let rid = RecordId::new(123456, 789);
+        assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
+    }
+
+    #[test]
+    fn allocates_until_capacity() {
+        let mut d = db();
+        for expect in 0..16u64 {
+            assert_eq!(d.alloc_page().unwrap(), expect);
+        }
+        assert!(matches!(d.alloc_page(), Err(StorageError::OutOfPages)));
+        assert_eq!(d.allocated_pages(), 16);
+    }
+
+    #[test]
+    fn page_round_trip_through_pool() {
+        let mut d = db();
+        let pid = d.alloc_page().unwrap();
+        d.with_page_mut(pid, |p| p.write(0, b"data")).unwrap();
+        d.flush().unwrap();
+        let first = d.with_page(pid, |p| p[0]).unwrap();
+        assert_eq!(first, b'd');
+        assert!(d.io_stats().total().writes > 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the storage engine.
+
+use pdl_core::CoreError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the storage engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// The underlying page store failed.
+    Store(CoreError),
+    /// A record no longer exists at the given location.
+    RecordNotFound { pid: u64, slot: u16 },
+    /// A record or key does not fit in a page.
+    TooLarge { size: usize, max: usize },
+    /// The database ran out of allocatable logical pages.
+    OutOfPages,
+    /// A page's on-disk structure is inconsistent.
+    PageCorrupt(String),
+    /// Key already present in a unique index.
+    DuplicateKey,
+    /// Internal invariant broken.
+    Internal(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Store(e) => write!(f, "page store error: {e}"),
+            StorageError::RecordNotFound { pid, slot } => {
+                write!(f, "no record at page {pid} slot {slot}")
+            }
+            StorageError::TooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page capacity {max}")
+            }
+            StorageError::OutOfPages => write!(f, "database out of logical pages"),
+            StorageError::PageCorrupt(msg) => write!(f, "page corrupt: {msg}"),
+            StorageError::DuplicateKey => write!(f, "duplicate key in unique index"),
+            StorageError::Internal(msg) => write!(f, "internal storage error: {msg}"),
+        }
+    }
+}
+
+impl Error for StorageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StorageError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for StorageError {
+    fn from(e: CoreError) -> Self {
+        StorageError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(StorageError::RecordNotFound { pid: 3, slot: 7 }.to_string().contains("slot 7"));
+        assert!(StorageError::from(CoreError::StorageFull).to_string().contains("full"));
+        assert!(Error::source(&StorageError::Store(CoreError::StorageFull)).is_some());
+    }
+}

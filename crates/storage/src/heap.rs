@@ -1,0 +1,247 @@
+//! Heap files: unordered record storage over slotted pages with an
+//! in-memory free-space map.
+
+use crate::db::{Database, RecordId};
+use crate::error::StorageError;
+use crate::{slotted, Result};
+
+/// An unordered collection of variable-length records.
+pub struct HeapFile {
+    pages: Vec<u64>,
+    /// Approximate usable space per page (post-compaction bytes).
+    fsm: Vec<u16>,
+    /// Where the next first-fit scan starts.
+    hint: usize,
+}
+
+impl Default for HeapFile {
+    fn default() -> Self {
+        HeapFile::new()
+    }
+}
+
+impl HeapFile {
+    pub fn new() -> HeapFile {
+        HeapFile { pages: Vec::new(), fsm: Vec::new(), hint: 0 }
+    }
+
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    pub fn pages(&self) -> &[u64] {
+        &self.pages
+    }
+
+    /// Insert a record, appending a fresh page when none fits.
+    pub fn insert(&mut self, db: &mut Database, bytes: &[u8]) -> Result<RecordId> {
+        let need = bytes.len() + 8; // record + slot + slack
+        // Try the most recent page first (append-heavy workloads), then a
+        // first-fit scan from the rotating hint.
+        let mut candidates: Vec<usize> = Vec::with_capacity(4);
+        if let Some(last) = self.pages.len().checked_sub(1) {
+            candidates.push(last);
+        }
+        let n = self.pages.len();
+        for off in 0..n {
+            let i = (self.hint + off) % n;
+            if self.fsm[i] as usize >= need && Some(&i) != candidates.first() {
+                candidates.push(i);
+                break;
+            }
+        }
+        for i in candidates {
+            if (self.fsm[i] as usize) < need {
+                continue;
+            }
+            let pid = self.pages[i];
+            let (slot, usable) = db.with_page_mut(pid, |p| {
+                if !slotted::is_formatted(p.as_slice()) {
+                    slotted::init(p);
+                }
+                let slot = slotted::insert(p, bytes)?;
+                Ok::<_, StorageError>((slot, slotted::usable_space(p.as_slice())))
+            })??;
+            self.fsm[i] = usable as u16;
+            if let Some(slot) = slot {
+                self.hint = i;
+                return Ok(RecordId::new(pid, slot));
+            }
+        }
+        // Grow the file.
+        let pid = db.alloc_page()?;
+        let (slot, usable) = db.with_page_mut(pid, |p| {
+            slotted::init(p);
+            let slot = slotted::insert(p, bytes)?;
+            Ok::<_, StorageError>((slot, slotted::usable_space(p.as_slice())))
+        })??;
+        self.pages.push(pid);
+        self.fsm.push(usable as u16);
+        self.hint = self.pages.len() - 1;
+        slot.map(|s| RecordId::new(pid, s)).ok_or(StorageError::TooLarge {
+            size: bytes.len(),
+            max: slotted::max_record_size(db.page_size()),
+        })
+    }
+
+    /// Read a record through a closure.
+    pub fn get<R>(
+        &self,
+        db: &mut Database,
+        rid: RecordId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        db.with_page(rid.pid, |page| {
+            slotted::get(page, rid.slot)
+                .map(f)
+                .ok_or(StorageError::RecordNotFound { pid: rid.pid, slot: rid.slot })
+        })?
+    }
+
+    /// Update a record in place. Returns the (possibly new) location; the
+    /// record moves pages only when its page cannot hold the new size.
+    pub fn update(&mut self, db: &mut Database, rid: RecordId, bytes: &[u8]) -> Result<RecordId> {
+        let updated = db.with_page_mut(rid.pid, |p| {
+            if slotted::get(p.as_slice(), rid.slot).is_none() {
+                return Err(StorageError::RecordNotFound { pid: rid.pid, slot: rid.slot });
+            }
+            let ok = slotted::update(p, rid.slot, bytes)?;
+            Ok((ok, slotted::usable_space(p.as_slice())))
+        })??;
+        if let Some(i) = self.pages.iter().position(|p| *p == rid.pid) {
+            self.fsm[i] = updated.1 as u16;
+        }
+        if updated.0 {
+            return Ok(rid);
+        }
+        // Move: delete here, insert elsewhere.
+        self.delete(db, rid)?;
+        self.insert(db, bytes)
+    }
+
+    /// Delete a record.
+    pub fn delete(&mut self, db: &mut Database, rid: RecordId) -> Result<()> {
+        let usable = db.with_page_mut(rid.pid, |p| {
+            if !slotted::delete(p, rid.slot) {
+                return Err(StorageError::RecordNotFound { pid: rid.pid, slot: rid.slot });
+            }
+            Ok(slotted::usable_space(p.as_slice()))
+        })??;
+        if let Some(i) = self.pages.iter().position(|p| *p == rid.pid) {
+            self.fsm[i] = usable as u16;
+        }
+        Ok(())
+    }
+
+    /// Visit every live record.
+    pub fn scan(
+        &self,
+        db: &mut Database,
+        mut f: impl FnMut(RecordId, &[u8]),
+    ) -> Result<()> {
+        for pid in &self.pages {
+            db.with_page(*pid, |page| {
+                if slotted::is_formatted(page) {
+                    for (slot, bytes) in slotted::iter(page) {
+                        f(RecordId::new(*pid, slot), bytes);
+                    }
+                }
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_core::{build_store, MethodKind, StoreOptions};
+    use pdl_flash::{FlashChip, FlashConfig};
+
+    fn db(pages: u64) -> Database {
+        let chip = FlashChip::new(FlashConfig::scaled(8));
+        let store = build_store(chip, MethodKind::Opu, StoreOptions::new(pages)).unwrap();
+        Database::new(store, 8)
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut d = db(64);
+        let mut h = HeapFile::new();
+        let rid = h.insert(&mut d, b"record one").unwrap();
+        let got = h.get(&mut d, rid, |b| b.to_vec()).unwrap();
+        assert_eq!(got, b"record one");
+    }
+
+    #[test]
+    fn grows_over_many_pages_and_scans_all() {
+        let mut d = db(64);
+        let mut h = HeapFile::new();
+        let mut rids = Vec::new();
+        for i in 0..500u32 {
+            let rec = vec![i as u8; 100];
+            rids.push(h.insert(&mut d, &rec).unwrap());
+        }
+        assert!(h.num_pages() > 10, "spread over pages: {}", h.num_pages());
+        let mut seen = 0;
+        h.scan(&mut d, |_, bytes| {
+            assert_eq!(bytes.len(), 100);
+            seen += 1;
+        })
+        .unwrap();
+        assert_eq!(seen, 500);
+        // Spot-check a few.
+        for (i, rid) in rids.iter().enumerate().step_by(97) {
+            let b = h.get(&mut d, *rid, |b| b[0]).unwrap();
+            assert_eq!(b, i as u8);
+        }
+    }
+
+    #[test]
+    fn update_in_place_and_moving() {
+        let mut d = db(64);
+        let mut h = HeapFile::new();
+        // Fill one page so in-page growth is impossible.
+        let first = h.insert(&mut d, &[1u8; 400]).unwrap();
+        while h.num_pages() == 1 {
+            h.insert(&mut d, &[2u8; 400]).unwrap();
+        }
+        let same = h.update(&mut d, first, &[3u8; 400]).unwrap();
+        assert_eq!(same, first, "equal size stays");
+        let moved = h.update(&mut d, first, &[4u8; 1500]).unwrap();
+        assert_ne!(moved.pid, first.pid, "grown record relocates");
+        assert_eq!(h.get(&mut d, moved, |b| b.len()).unwrap(), 1500);
+        assert!(h.get(&mut d, first, |_| ()).is_err(), "old location gone");
+    }
+
+    #[test]
+    fn delete_then_reuse_space() {
+        let mut d = db(64);
+        let mut h = HeapFile::new();
+        let mut rids = Vec::new();
+        for _ in 0..18 {
+            rids.push(h.insert(&mut d, &[5u8; 100]).unwrap());
+        }
+        let pages_before = h.num_pages();
+        for rid in &rids {
+            h.delete(&mut d, *rid).unwrap();
+        }
+        for _ in 0..18 {
+            h.insert(&mut d, &[6u8; 100]).unwrap();
+        }
+        assert_eq!(h.num_pages(), pages_before, "deleted space was reused");
+    }
+
+    #[test]
+    fn missing_records_error() {
+        let mut d = db(64);
+        let mut h = HeapFile::new();
+        let rid = h.insert(&mut d, b"x").unwrap();
+        h.delete(&mut d, rid).unwrap();
+        assert!(matches!(
+            h.get(&mut d, rid, |_| ()),
+            Err(StorageError::RecordNotFound { .. })
+        ));
+        assert!(h.delete(&mut d, rid).is_err());
+    }
+}

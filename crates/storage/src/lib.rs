@@ -1,0 +1,40 @@
+//! # pdl-storage — DBMS storage-manager substrate
+//!
+//! A compact storage engine standing in for the Odysseus ORDBMS the paper
+//! drives its experiments with (see DESIGN.md §3): an LRU [`BufferPool`]
+//! over any [`pdl_core::PageStore`], slotted record pages, [`HeapFile`]s
+//! with a free-space map, and a [`BTree`] index.
+//!
+//! What matters for reproducing the paper is the page-level contract:
+//! reads miss into [`pdl_core::PageStore::read_page`], every mutation
+//! reports its changed byte ranges as one *update command*
+//! ([`pdl_core::PageStore::apply_update`] — the hook tightly-coupled
+//! log-based methods need), and dirty evictions reflect whole logical
+//! pages ([`pdl_core::PageStore::evict_page`]).
+
+mod btree;
+mod buffer;
+mod db;
+mod error;
+pub mod slotted;
+
+pub use btree::{BTree, Key, KeyBuf};
+pub use buffer::{read_u16, read_u64, BufferPool, BufferStats, PageMut};
+pub use db::{Database, RecordId};
+pub use error::StorageError;
+pub use heap::HeapFile;
+
+/// Construct a [`PageMut`] over a raw buffer, for page-format tests and
+/// tools operating outside a buffer pool.
+#[doc(hidden)]
+pub fn testing_page_mut<'a>(
+    data: &'a mut [u8],
+    changes: &'a mut Vec<pdl_core::ChangeRange>,
+) -> PageMut<'a> {
+    buffer::testing::page_mut(data, changes)
+}
+
+mod heap;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,362 @@
+//! Slotted-page record layout.
+//!
+//! ```text
+//! +--------+---------------------------+---------------------+
+//! | header | records (grow ->)         | <- slot array       |
+//! +--------+---------------------------+---------------------+
+//! header: num_slots u16 | free_start u16 | reclaimable u16 | magic u16
+//! slot:   offset u16 | len u16   (offset 0xFFFF = dead slot)
+//! ```
+//!
+//! All mutation goes through [`PageMut`] so the buffer pool can report the
+//! changed byte ranges as one update command — which is how the storage
+//! engine stays *tightly coupled* with log-based page-update methods while
+//! PDL and the page-based methods simply ignore the notifications.
+
+use crate::buffer::{read_u16, PageMut};
+use crate::error::StorageError;
+use crate::Result;
+
+const H_NUM_SLOTS: usize = 0;
+const H_FREE_START: usize = 2;
+const H_RECLAIMABLE: usize = 4;
+const H_MAGIC: usize = 6;
+const HEADER: usize = 8;
+const SLOT_SIZE: usize = 4;
+const DEAD: u16 = 0xFFFF;
+const MAGIC: u16 = 0x5010;
+
+/// Initialise an empty slotted page.
+pub fn init(page: &mut PageMut) {
+    page.write_u16(H_NUM_SLOTS, 0);
+    page.write_u16(H_FREE_START, HEADER as u16);
+    page.write_u16(H_RECLAIMABLE, 0);
+    page.write_u16(H_MAGIC, MAGIC);
+}
+
+/// Whether the page has been initialised as a slotted page.
+pub fn is_formatted(page: &[u8]) -> bool {
+    read_u16(page, H_MAGIC) == MAGIC
+}
+
+pub fn num_slots(page: &[u8]) -> u16 {
+    read_u16(page, H_NUM_SLOTS)
+}
+
+fn free_start(page: &[u8]) -> usize {
+    read_u16(page, H_FREE_START) as usize
+}
+
+fn reclaimable(page: &[u8]) -> usize {
+    read_u16(page, H_RECLAIMABLE) as usize
+}
+
+fn slot_pos(page_len: usize, slot: u16) -> usize {
+    page_len - (slot as usize + 1) * SLOT_SIZE
+}
+
+fn slot_entry(page: &[u8], slot: u16) -> (u16, u16) {
+    let at = slot_pos(page.len(), slot);
+    (read_u16(page, at), read_u16(page, at + 2))
+}
+
+/// Contiguous free bytes between the record area and the slot array.
+pub fn free_space(page: &[u8]) -> usize {
+    let slots_start = page.len() - num_slots(page) as usize * SLOT_SIZE;
+    slots_start.saturating_sub(free_start(page))
+}
+
+/// Free bytes available after compaction (used by free-space maps).
+pub fn usable_space(page: &[u8]) -> usize {
+    free_space(page) + reclaimable(page)
+}
+
+/// The largest record an empty page can hold.
+pub fn max_record_size(page_len: usize) -> usize {
+    page_len - HEADER - SLOT_SIZE
+}
+
+/// Read the record in `slot`, if it exists and is alive.
+pub fn get(page: &[u8], slot: u16) -> Option<&[u8]> {
+    if slot >= num_slots(page) {
+        return None;
+    }
+    let (offset, len) = slot_entry(page, slot);
+    if offset == DEAD {
+        return None;
+    }
+    Some(&page[offset as usize..offset as usize + len as usize])
+}
+
+/// Iterate live records as `(slot, bytes)`.
+pub fn iter(page: &[u8]) -> impl Iterator<Item = (u16, &[u8])> {
+    (0..num_slots(page)).filter_map(move |s| get(page, s).map(|r| (s, r)))
+}
+
+/// Insert a record, compacting the page if fragmented. Returns the slot,
+/// or `None` when the page genuinely lacks space.
+pub fn insert(page: &mut PageMut, bytes: &[u8]) -> Result<Option<u16>> {
+    if bytes.len() > max_record_size(page.len()) {
+        return Err(StorageError::TooLarge {
+            size: bytes.len(),
+            max: max_record_size(page.len()),
+        });
+    }
+    // Reuse a dead slot when available (keeps slot ids dense-ish).
+    let n = num_slots(page.as_slice());
+    let dead_slot = (0..n).find(|s| slot_entry(page.as_slice(), *s).0 == DEAD);
+    let need_new_slot = dead_slot.is_none();
+    let needed = bytes.len() + if need_new_slot { SLOT_SIZE } else { 0 };
+    if free_space(page.as_slice()) < needed {
+        if usable_space(page.as_slice()) >= needed {
+            compact(page);
+        } else {
+            return Ok(None);
+        }
+    }
+    let at = free_start(page.as_slice());
+    page.write(at, bytes);
+    page.write_u16(H_FREE_START, (at + bytes.len()) as u16);
+    let slot = match dead_slot {
+        Some(s) => s,
+        None => {
+            page.write_u16(H_NUM_SLOTS, n + 1);
+            n
+        }
+    };
+    let sp = slot_pos(page.len(), slot);
+    page.write_u16(sp, at as u16);
+    page.write_u16(sp + 2, bytes.len() as u16);
+    Ok(Some(slot))
+}
+
+/// Delete the record in `slot`. Returns whether it existed.
+pub fn delete(page: &mut PageMut, slot: u16) -> bool {
+    if slot >= num_slots(page.as_slice()) {
+        return false;
+    }
+    let (offset, len) = slot_entry(page.as_slice(), slot);
+    if offset == DEAD {
+        return false;
+    }
+    let sp = slot_pos(page.len(), slot);
+    page.write_u16(sp, DEAD);
+    let rec = reclaimable(page.as_slice()) + len as usize;
+    page.write_u16(H_RECLAIMABLE, rec as u16);
+    true
+}
+
+/// Update the record in `slot` in place. Returns `Ok(false)` when the page
+/// cannot hold the new value (caller must relocate the record).
+pub fn update(page: &mut PageMut, slot: u16, bytes: &[u8]) -> Result<bool> {
+    if slot >= num_slots(page.as_slice()) {
+        return Err(StorageError::RecordNotFound { pid: u64::MAX, slot });
+    }
+    let (offset, len) = slot_entry(page.as_slice(), slot);
+    if offset == DEAD {
+        return Err(StorageError::RecordNotFound { pid: u64::MAX, slot });
+    }
+    if bytes.len() <= len as usize {
+        // Shrinking or equal: overwrite in place.
+        page.write(offset as usize, bytes);
+        if bytes.len() < len as usize {
+            let sp = slot_pos(page.len(), slot);
+            page.write_u16(sp + 2, bytes.len() as u16);
+            let rec = reclaimable(page.as_slice()) + (len as usize - bytes.len());
+            page.write_u16(H_RECLAIMABLE, rec as u16);
+        }
+        return Ok(true);
+    }
+    // Growing: move to fresh space.
+    let needed = bytes.len();
+    if free_space(page.as_slice()) < needed {
+        // After compaction the old copy's bytes are reclaimed too.
+        if usable_space(page.as_slice()) + len as usize >= needed {
+            // The old copy is garbage after the move; count it before
+            // compaction so the space is reclaimed too.
+            let sp = slot_pos(page.len(), slot);
+            page.write_u16(sp, DEAD);
+            let rec = reclaimable(page.as_slice()) + len as usize;
+            page.write_u16(H_RECLAIMABLE, rec as u16);
+            compact(page);
+            // After compaction the slot is dead; re-insert into it.
+            let at = free_start(page.as_slice());
+            page.write(at, bytes);
+            page.write_u16(H_FREE_START, (at + bytes.len()) as u16);
+            let sp = slot_pos(page.len(), slot);
+            page.write_u16(sp, at as u16);
+            page.write_u16(sp + 2, bytes.len() as u16);
+            return Ok(true);
+        }
+        return Ok(false);
+    }
+    let at = free_start(page.as_slice());
+    page.write(at, bytes);
+    page.write_u16(H_FREE_START, (at + bytes.len()) as u16);
+    let sp = slot_pos(page.len(), slot);
+    page.write_u16(sp, at as u16);
+    page.write_u16(sp + 2, bytes.len() as u16);
+    let rec = reclaimable(page.as_slice()) + len as usize;
+    page.write_u16(H_RECLAIMABLE, rec as u16);
+    Ok(true)
+}
+
+/// Compact the record area: live records become contiguous from the
+/// header, reclaiming deleted space.
+pub fn compact(page: &mut PageMut) {
+    let n = num_slots(page.as_slice());
+    // Gather live slots sorted by current offset so moves only shift left.
+    let mut live: Vec<(u16, u16, u16)> = (0..n)
+        .filter_map(|s| {
+            let (offset, len) = slot_entry(page.as_slice(), s);
+            (offset != DEAD).then_some((s, offset, len))
+        })
+        .collect();
+    live.sort_by_key(|(_, offset, _)| *offset);
+    let mut write_at = HEADER;
+    for (slot, offset, len) in live {
+        if offset as usize != write_at {
+            page.copy_within(offset as usize, write_at, len as usize);
+            let sp = slot_pos(page.len(), slot);
+            page.write_u16(sp, write_at as u16);
+        }
+        write_at += len as usize;
+    }
+    page.write_u16(H_FREE_START, write_at as u16);
+    page.write_u16(H_RECLAIMABLE, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_core::ChangeRange;
+
+    fn with_page<R>(f: impl FnOnce(&mut PageMut) -> R) -> (Vec<u8>, R) {
+        let mut data = vec![0u8; 512];
+        let mut changes: Vec<ChangeRange> = Vec::new();
+        let r = {
+            let mut page = crate::buffer::testing::page_mut(&mut data, &mut changes);
+            f(&mut page)
+        };
+        (data, r)
+    }
+
+    #[test]
+    fn insert_then_get_round_trips() {
+        let (data, slots) = with_page(|p| {
+            init(p);
+            let a = insert(p, b"hello").unwrap().unwrap();
+            let b = insert(p, b"world!").unwrap().unwrap();
+            (a, b)
+        });
+        assert!(is_formatted(&data));
+        assert_eq!(get(&data, slots.0), Some(&b"hello"[..]));
+        assert_eq!(get(&data, slots.1), Some(&b"world!"[..]));
+        assert_eq!(num_slots(&data), 2);
+    }
+
+    #[test]
+    fn delete_frees_slot_for_reuse() {
+        let (data, _) = with_page(|p| {
+            init(p);
+            let a = insert(p, b"aaaa").unwrap().unwrap();
+            insert(p, b"bbbb").unwrap().unwrap();
+            assert!(delete(p, a));
+            assert!(!delete(p, a), "double delete");
+            let c = insert(p, b"cccc").unwrap().unwrap();
+            assert_eq!(c, a, "dead slot reused");
+        });
+        assert_eq!(get(&data, 0), Some(&b"cccc"[..]));
+        assert_eq!(get(&data, 1), Some(&b"bbbb"[..]));
+    }
+
+    #[test]
+    fn fills_up_then_compacts_after_deletes() {
+        let (_, ()) = with_page(|p| {
+            init(p);
+            let mut slots = Vec::new();
+            loop {
+                match insert(p, &[7u8; 40]).unwrap() {
+                    Some(s) => slots.push(s),
+                    None => break,
+                }
+            }
+            assert!(slots.len() >= 10);
+            // Free every other record; fragmented free space must be
+            // usable via compaction.
+            for s in slots.iter().step_by(2) {
+                assert!(delete(p, *s));
+            }
+            let mut inserted = 0;
+            while insert(p, &[8u8; 40]).unwrap().is_some() {
+                inserted += 1;
+            }
+            assert!(inserted >= slots.len() / 2, "compaction reclaimed space");
+        });
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let (data, slot) = with_page(|p| {
+            init(p);
+            let s = insert(p, b"0123456789").unwrap().unwrap();
+            // Shrink in place.
+            assert!(update(p, s, b"abc").unwrap());
+            assert_eq!(get(p.as_slice(), s), Some(&b"abc"[..]));
+            // Grow.
+            assert!(update(p, s, b"ABCDEFGHIJKLMNOP").unwrap());
+            s
+        });
+        assert_eq!(get(&data, slot), Some(&b"ABCDEFGHIJKLMNOP"[..]));
+    }
+
+    #[test]
+    fn update_growing_into_fragmented_space_compacts() {
+        let (data, slot) = with_page(|p| {
+            init(p);
+            // Fill the page nearly full.
+            let mut slots = Vec::new();
+            while let Some(s) = insert(p, &[3u8; 60]).unwrap() {
+                slots.push(s);
+            }
+            // Delete a neighbour to create reclaimable space, then grow.
+            delete(p, slots[0]);
+            let target = slots[1];
+            assert!(update(p, target, &[9u8; 100]).unwrap());
+            target
+        });
+        assert_eq!(get(&data, slot), Some(&[9u8; 100][..]));
+    }
+
+    #[test]
+    fn oversized_records_are_rejected() {
+        with_page(|p| {
+            init(p);
+            let err = insert(p, &[0u8; 600]).unwrap_err();
+            assert!(matches!(err, StorageError::TooLarge { .. }));
+        });
+    }
+
+    #[test]
+    fn iter_skips_dead_slots() {
+        let (data, ()) = with_page(|p| {
+            init(p);
+            insert(p, b"a").unwrap();
+            let b = insert(p, b"b").unwrap().unwrap();
+            insert(p, b"c").unwrap();
+            delete(p, b);
+        });
+        let live: Vec<(u16, &[u8])> = iter(&data).collect();
+        assert_eq!(live, vec![(0, &b"a"[..]), (2, &b"c"[..])]);
+    }
+
+    #[test]
+    fn free_space_accounting() {
+        let (data, ()) = with_page(|p| {
+            init(p);
+            insert(p, &[1u8; 100]).unwrap();
+        });
+        assert_eq!(free_space(&data), 512 - HEADER - 100 - SLOT_SIZE);
+        assert_eq!(usable_space(&data), free_space(&data));
+    }
+}

@@ -1,0 +1,259 @@
+//! The TPC-C database: tables, indexes and key encodings over the storage
+//! engine.
+
+use crate::error::TpccError;
+use crate::schema::*;
+use crate::Result;
+use pdl_storage::{BTree, Database, HeapFile, Key, KeyBuf, RecordId};
+
+/// Row counts: the TPC-C cardinalities, scalable so the benchmark fits the
+/// emulated chip (the paper runs a ~1 Gbyte database; see DESIGN.md §2 on
+/// scaling).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TpccScale {
+    pub warehouses: u32,
+    pub districts_per_warehouse: u32,
+    pub customers_per_district: u32,
+    pub items: u32,
+    /// Initial orders per district (spec: one per customer).
+    pub orders_per_district: u32,
+}
+
+impl TpccScale {
+    /// The spec's cardinalities per warehouse.
+    pub fn full(warehouses: u32) -> TpccScale {
+        TpccScale {
+            warehouses,
+            districts_per_warehouse: 10,
+            customers_per_district: 3_000,
+            items: 100_000,
+            orders_per_district: 3_000,
+        }
+    }
+
+    /// A scaled-down database (~8 Mbytes per warehouse) for the default
+    /// experiment profile.
+    pub fn scaled(warehouses: u32) -> TpccScale {
+        TpccScale {
+            warehouses,
+            districts_per_warehouse: 10,
+            customers_per_district: 300,
+            items: 10_000,
+            orders_per_district: 300,
+        }
+    }
+
+    /// A minimal database for unit tests.
+    pub fn tiny() -> TpccScale {
+        TpccScale {
+            warehouses: 1,
+            districts_per_warehouse: 2,
+            customers_per_district: 30,
+            items: 100,
+            orders_per_district: 30,
+        }
+    }
+
+    /// Rough estimate of the logical pages the loaded database occupies
+    /// (used to size the chip; validated by tests).
+    pub fn estimated_loaded_pages(&self, page_size: usize) -> u64 {
+        let w = self.warehouses as u64;
+        let d = w * self.districts_per_warehouse as u64;
+        let c = d * self.customers_per_district as u64;
+        let o = d * self.orders_per_district as u64;
+        let i = self.items as u64;
+        let s = w * i;
+        // Record bytes (encoded sizes) + index entries (24 bytes each),
+        // assuming ~70% page fill.
+        let heap_bytes = w * 91 + d * 100 + c * 427 + o * 56 / 2 + o * 31 + o * 10 * 59 + i * 90
+            + s * 310 + o * 9 / 3;
+        let index_entries = c * 2 + o * 2 + o / 3 + o * 10 + i + s + d + w;
+        let bytes = heap_bytes + index_entries * 24;
+        (bytes as f64 / (page_size as f64 * 0.7)).ceil() as u64
+    }
+}
+
+/// Key encodings. Warehouse ids fit u16 at any realistic scale.
+pub(crate) mod keys {
+    use super::*;
+
+    pub fn warehouse(w: u32) -> Key {
+        KeyBuf::new().push_u16(w as u16).finish()
+    }
+
+    pub fn district(w: u32, d: u8) -> Key {
+        KeyBuf::new().push_u16(w as u16).push_u8(d).finish()
+    }
+
+    pub fn customer(w: u32, d: u8, c: u32) -> Key {
+        KeyBuf::new().push_u16(w as u16).push_u8(d).push_u32(c).finish()
+    }
+
+    /// Secondary index: (w, d, last-name-prefix) -> customer rid.
+    pub fn customer_name(w: u32, d: u8, last: &str) -> Key {
+        KeyBuf::new().push_u16(w as u16).push_u8(d).push_str(last, 13).finish()
+    }
+
+    pub fn order(w: u32, d: u8, o: u32) -> Key {
+        KeyBuf::new().push_u16(w as u16).push_u8(d).push_u32(o).finish()
+    }
+
+    /// Secondary index: (w, d, c, o) -> order rid (ORDER-STATUS "last
+    /// order by customer").
+    pub fn order_customer(w: u32, d: u8, c: u32, o: u32) -> Key {
+        KeyBuf::new().push_u16(w as u16).push_u8(d).push_u32(c).push_u32(o).finish()
+    }
+
+    pub fn new_order(w: u32, d: u8, o: u32) -> Key {
+        KeyBuf::new().push_u16(w as u16).push_u8(d).push_u32(o).finish()
+    }
+
+    pub fn order_line(w: u32, d: u8, o: u32, number: u8) -> Key {
+        KeyBuf::new().push_u16(w as u16).push_u8(d).push_u32(o).push_u8(number).finish()
+    }
+
+    pub fn item(i: u32) -> Key {
+        KeyBuf::new().push_u32(i).finish()
+    }
+
+    pub fn stock(w: u32, i: u32) -> Key {
+        KeyBuf::new().push_u16(w as u16).push_u32(i).finish()
+    }
+}
+
+/// The TPC-C database: nine heap files and their indexes over one
+/// [`Database`].
+pub struct TpccDb {
+    pub db: Database,
+    pub scale: TpccScale,
+    pub warehouse: HeapFile,
+    pub district: HeapFile,
+    pub customer: HeapFile,
+    pub history: HeapFile,
+    pub new_order: HeapFile,
+    pub order: HeapFile,
+    pub order_line: HeapFile,
+    pub item: HeapFile,
+    pub stock: HeapFile,
+    pub idx_warehouse: BTree,
+    pub idx_district: BTree,
+    pub idx_customer: BTree,
+    pub idx_customer_name: BTree,
+    pub idx_order: BTree,
+    pub idx_order_customer: BTree,
+    pub idx_new_order: BTree,
+    pub idx_order_line: BTree,
+    pub idx_item: BTree,
+    pub idx_stock: BTree,
+}
+
+impl TpccDb {
+    /// Create the (empty) table and index structures.
+    pub fn create(mut db: Database, scale: TpccScale) -> Result<TpccDb> {
+        Ok(TpccDb {
+            idx_warehouse: BTree::create(&mut db)?,
+            idx_district: BTree::create(&mut db)?,
+            idx_customer: BTree::create(&mut db)?,
+            idx_customer_name: BTree::create(&mut db)?,
+            idx_order: BTree::create(&mut db)?,
+            idx_order_customer: BTree::create(&mut db)?,
+            idx_new_order: BTree::create(&mut db)?,
+            idx_order_line: BTree::create(&mut db)?,
+            idx_item: BTree::create(&mut db)?,
+            idx_stock: BTree::create(&mut db)?,
+            warehouse: HeapFile::new(),
+            district: HeapFile::new(),
+            customer: HeapFile::new(),
+            history: HeapFile::new(),
+            new_order: HeapFile::new(),
+            order: HeapFile::new(),
+            order_line: HeapFile::new(),
+            item: HeapFile::new(),
+            stock: HeapFile::new(),
+            db,
+            scale,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Typed row access used by the transactions.
+    // ------------------------------------------------------------------
+
+    pub fn warehouse_row(&mut self, w: u32) -> Result<(RecordId, Warehouse)> {
+        let rid = self
+            .idx_warehouse
+            .get(&mut self.db, &keys::warehouse(w))?
+            .ok_or(TpccError::MissingRow(TableId::Warehouse))?;
+        let rid = RecordId::from_u64(rid);
+        let row = self.warehouse.get(&mut self.db, rid, Warehouse::decode)?;
+        Ok((rid, row))
+    }
+
+    pub fn district_row(&mut self, w: u32, d: u8) -> Result<(RecordId, District)> {
+        let rid = self
+            .idx_district
+            .get(&mut self.db, &keys::district(w, d))?
+            .ok_or(TpccError::MissingRow(TableId::District))?;
+        let rid = RecordId::from_u64(rid);
+        let row = self.district.get(&mut self.db, rid, District::decode)?;
+        Ok((rid, row))
+    }
+
+    pub fn customer_row(&mut self, w: u32, d: u8, c: u32) -> Result<(RecordId, Customer)> {
+        let rid = self
+            .idx_customer
+            .get(&mut self.db, &keys::customer(w, d, c))?
+            .ok_or(TpccError::MissingRow(TableId::Customer))?;
+        let rid = RecordId::from_u64(rid);
+        let row = self.customer.get(&mut self.db, rid, Customer::decode)?;
+        Ok((rid, row))
+    }
+
+    /// Customers matching a last name, ordered by first name (clause
+    /// 2.5.2.2: select the one at position ceil(n/2)).
+    pub fn customers_by_name(
+        &mut self,
+        w: u32,
+        d: u8,
+        last: &str,
+    ) -> Result<Vec<(RecordId, Customer)>> {
+        let key = keys::customer_name(w, d, last);
+        let mut rids = Vec::new();
+        self.idx_customer_name.range(&mut self.db, &key, &key, |_, v| {
+            rids.push(RecordId::from_u64(v));
+            true
+        })?;
+        let mut rows = Vec::with_capacity(rids.len());
+        for rid in rids {
+            let row = self.customer.get(&mut self.db, rid, Customer::decode)?;
+            rows.push((rid, row));
+        }
+        rows.sort_by(|a, b| a.1.first.cmp(&b.1.first));
+        Ok(rows)
+    }
+
+    pub fn item_row(&mut self, i: u32) -> Result<Option<Item>> {
+        match self.idx_item.get(&mut self.db, &keys::item(i))? {
+            Some(rid) => {
+                let row = self.item.get(&mut self.db, RecordId::from_u64(rid), Item::decode)?;
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+
+    pub fn stock_row(&mut self, w: u32, i: u32) -> Result<(RecordId, Stock)> {
+        let rid = self
+            .idx_stock
+            .get(&mut self.db, &keys::stock(w, i))?
+            .ok_or(TpccError::MissingRow(TableId::Stock))?;
+        let rid = RecordId::from_u64(rid);
+        let row = self.stock.get(&mut self.db, rid, Stock::decode)?;
+        Ok((rid, row))
+    }
+
+    /// Flash I/O time consumed so far (simulated µs).
+    pub fn io_time_us(&self) -> u64 {
+        self.db.io_stats().total().total_us()
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the TPC-C layer.
+
+use crate::schema::TableId;
+use pdl_storage::StorageError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by loading or running TPC-C.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TpccError {
+    Storage(StorageError),
+    /// An expected row (by primary key) was not found.
+    MissingRow(TableId),
+    /// Configuration problem (e.g. store too small for the scale).
+    BadConfig(String),
+}
+
+impl fmt::Display for TpccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TpccError::Storage(e) => write!(f, "storage error: {e}"),
+            TpccError::MissingRow(t) => write!(f, "missing {t} row"),
+            TpccError::BadConfig(msg) => write!(f, "bad TPC-C configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for TpccError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TpccError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for TpccError {
+    fn from(e: StorageError) -> Self {
+        TpccError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(TpccError::MissingRow(TableId::Stock).to_string().contains("STOCK"));
+        let e = TpccError::from(StorageError::OutOfPages);
+        assert!(e.to_string().contains("out of"));
+        assert!(Error::source(&e).is_some());
+    }
+}

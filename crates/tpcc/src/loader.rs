@@ -1,0 +1,201 @@
+//! Initial database population (TPC-C clause 4.3.3).
+
+use crate::db::{keys, TpccDb, TpccScale};
+use crate::random::TpccRand;
+use crate::schema::*;
+use crate::Result;
+use pdl_storage::Database;
+
+/// Load a fresh TPC-C database at the given scale.
+pub fn load(db: Database, scale: TpccScale, seed: u64) -> Result<TpccDb> {
+    let mut t = TpccDb::create(db, scale)?;
+    let mut r = TpccRand::new(seed);
+
+    load_items(&mut t, &mut r)?;
+    for w in 1..=scale.warehouses {
+        load_warehouse(&mut t, &mut r, w)?;
+        load_stock(&mut t, &mut r, w)?;
+        for d in 1..=scale.districts_per_warehouse as u8 {
+            load_district(&mut t, &mut r, w, d)?;
+            load_customers(&mut t, &mut r, w, d)?;
+            load_orders(&mut t, &mut r, w, d)?;
+        }
+    }
+    // Durability point after load, as for any bulk load.
+    t.db.flush()?;
+    t.db.reset_io_stats();
+    Ok(t)
+}
+
+fn load_items(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
+    for i_id in 1..=t.scale.items {
+        let mut data = r.a_string(26, 50);
+        if r.chance(10) {
+            // 10% of items carry "ORIGINAL" (clause 4.3.3.1).
+            data.replace_range(0..8.min(data.len()), "ORIGINAL");
+        }
+        let item = Item {
+            i_id,
+            im_id: r.uniform(1, 10_000),
+            name: r.a_string(14, 24),
+            price: r.uniform_f(1.0, 100.0),
+            data,
+        };
+        let rid = t.item.insert(&mut t.db, &item.encode())?;
+        t.idx_item.insert(&mut t.db, &keys::item(i_id), rid.to_u64())?;
+    }
+    Ok(())
+}
+
+fn load_warehouse(t: &mut TpccDb, r: &mut TpccRand, w: u32) -> Result<()> {
+    let row = Warehouse {
+        w_id: w,
+        name: r.a_string(6, 10),
+        street_1: r.a_string(10, 20),
+        city: r.a_string(10, 20),
+        state: r.a_string(2, 2).to_uppercase(),
+        zip: r.zip(),
+        tax: r.uniform_f(0.0, 0.2),
+        ytd: 300_000.0,
+    };
+    let rid = t.warehouse.insert(&mut t.db, &row.encode())?;
+    t.idx_warehouse.insert(&mut t.db, &keys::warehouse(w), rid.to_u64())?;
+    Ok(())
+}
+
+fn load_stock(t: &mut TpccDb, r: &mut TpccRand, w: u32) -> Result<()> {
+    for i_id in 1..=t.scale.items {
+        let mut data = r.a_string(26, 50);
+        if r.chance(10) {
+            data.replace_range(0..8.min(data.len()), "ORIGINAL");
+        }
+        let row = Stock {
+            i_id,
+            w_id: w,
+            quantity: r.uniform(10, 100) as i16,
+            dist: std::array::from_fn(|_| r.a_string(24, 24)),
+            ytd: 0,
+            order_cnt: 0,
+            remote_cnt: 0,
+            data,
+        };
+        let rid = t.stock.insert(&mut t.db, &row.encode())?;
+        t.idx_stock.insert(&mut t.db, &keys::stock(w, i_id), rid.to_u64())?;
+    }
+    Ok(())
+}
+
+fn load_district(t: &mut TpccDb, r: &mut TpccRand, w: u32, d: u8) -> Result<()> {
+    let row = District {
+        d_id: d,
+        w_id: w,
+        name: r.a_string(6, 10),
+        street_1: r.a_string(10, 20),
+        city: r.a_string(10, 20),
+        state: r.a_string(2, 2).to_uppercase(),
+        zip: r.zip(),
+        tax: r.uniform_f(0.0, 0.2),
+        ytd: 30_000.0,
+        next_o_id: t.scale.orders_per_district + 1,
+    };
+    let rid = t.district.insert(&mut t.db, &row.encode())?;
+    t.idx_district.insert(&mut t.db, &keys::district(w, d), rid.to_u64())?;
+    Ok(())
+}
+
+fn load_customers(t: &mut TpccDb, r: &mut TpccRand, w: u32, d: u8) -> Result<()> {
+    for c_id in 1..=t.scale.customers_per_district {
+        let last = r.load_last_name(c_id, t.scale.customers_per_district);
+        let credit = if r.chance(10) { "BC" } else { "GC" };
+        let row = Customer {
+            c_id,
+            d_id: d,
+            w_id: w,
+            first: r.a_string(8, 16),
+            middle: "OE".into(),
+            last: last.clone(),
+            street_1: r.a_string(10, 20),
+            city: r.a_string(10, 20),
+            state: r.a_string(2, 2).to_uppercase(),
+            zip: r.zip(),
+            phone: r.n_string(16),
+            since: 1,
+            credit: credit.into(),
+            credit_lim: 50_000.0,
+            discount: r.uniform_f(0.0, 0.5),
+            balance: -10.0,
+            ytd_payment: 10.0,
+            payment_cnt: 1,
+            delivery_cnt: 0,
+            data: r.a_string(100, Customer::DATA_WIDTH),
+        };
+        let rid = t.customer.insert(&mut t.db, &row.encode())?;
+        t.idx_customer.insert(&mut t.db, &keys::customer(w, d, c_id), rid.to_u64())?;
+        t.idx_customer_name
+            .insert(&mut t.db, &keys::customer_name(w, d, &last), rid.to_u64())?;
+
+        // One HISTORY row per customer.
+        let h = History {
+            c_id,
+            c_d_id: d,
+            c_w_id: w,
+            d_id: d,
+            w_id: w,
+            date: 1,
+            amount: 10.0,
+            data: r.a_string(12, 24),
+        };
+        t.history.insert(&mut t.db, &h.encode())?;
+    }
+    Ok(())
+}
+
+fn load_orders(t: &mut TpccDb, r: &mut TpccRand, w: u32, d: u8) -> Result<()> {
+    // Customers are permuted over the initial orders (clause 4.3.3.1).
+    let n = t.scale.orders_per_district;
+    let mut cust: Vec<u32> = (1..=t.scale.customers_per_district).collect();
+    r.shuffle(&mut cust);
+    for o_id in 1..=n {
+        let c_id = cust[(o_id as usize - 1) % cust.len()];
+        let ol_cnt = r.uniform(5, 15) as u8;
+        // The most recent ~30% of orders are undelivered.
+        let delivered = o_id <= n - n * 3 / 10;
+        let order = Order {
+            o_id,
+            d_id: d,
+            w_id: w,
+            c_id,
+            entry_d: 1,
+            carrier_id: if delivered { r.uniform(1, 10) as u8 } else { 0 },
+            ol_cnt,
+            all_local: 1,
+        };
+        let rid = t.order.insert(&mut t.db, &order.encode())?;
+        t.idx_order.insert(&mut t.db, &keys::order(w, d, o_id), rid.to_u64())?;
+        t.idx_order_customer
+            .insert(&mut t.db, &keys::order_customer(w, d, c_id, o_id), rid.to_u64())?;
+        for number in 1..=ol_cnt {
+            let ol = OrderLine {
+                o_id,
+                d_id: d,
+                w_id: w,
+                number,
+                i_id: r.uniform(1, t.scale.items),
+                supply_w_id: w,
+                delivery_d: if delivered { 1 } else { 0 },
+                quantity: 5,
+                amount: if delivered { 0.0 } else { r.uniform_f(0.01, 9_999.99) },
+                dist_info: r.a_string(24, 24),
+            };
+            let ol_rid = t.order_line.insert(&mut t.db, &ol.encode())?;
+            t.idx_order_line
+                .insert(&mut t.db, &keys::order_line(w, d, o_id, number), ol_rid.to_u64())?;
+        }
+        if !delivered {
+            let no = NewOrder { o_id, d_id: d, w_id: w };
+            let no_rid = t.new_order.insert(&mut t.db, &no.encode())?;
+            t.idx_new_order.insert(&mut t.db, &keys::new_order(w, d, o_id), no_rid.to_u64())?;
+        }
+    }
+    Ok(())
+}

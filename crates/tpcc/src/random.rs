@@ -1,0 +1,212 @@
+//! TPC-C random input generation (clause 4.3 of the specification):
+//! uniform and non-uniform (`NURand`) distributions, customer last names
+//! from the 10-syllable table, and the a-string/n-string generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The spec's syllables for C_LAST (clause 4.3.2.3).
+pub const LAST_NAME_SYLLABLES: [&str; 10] =
+    ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+
+/// TPC-C random context with the run-constant `C` values for `NURand`.
+pub struct TpccRand {
+    rng: StdRng,
+    pub c_last: u32,
+    pub c_cid: u32,
+    pub c_olid: u32,
+}
+
+impl TpccRand {
+    pub fn new(seed: u64) -> TpccRand {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c_last = rng.gen_range(0..256);
+        let c_cid = rng.gen_range(0..1024);
+        let c_olid = rng.gen_range(0..8192);
+        TpccRand { rng, c_last, c_cid, c_olid }
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn uniform(&mut self, lo: u32, hi: u32) -> u32 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn uniform_f(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Probability check: true with probability `pct`%.
+    pub fn chance(&mut self, pct: u32) -> bool {
+        self.rng.gen_range(0..100) < pct
+    }
+
+    /// `NURand(A, x, y)` (clause 2.1.6).
+    pub fn nurand(&mut self, a: u32, c: u32, x: u32, y: u32) -> u32 {
+        let r1 = self.rng.gen_range(0..=a);
+        let r2 = self.rng.gen_range(x..=y);
+        (((r1 | r2) + c) % (y - x + 1)) + x
+    }
+
+    /// Non-uniform customer id in `[1, customers]`.
+    pub fn customer_id(&mut self, customers: u32) -> u32 {
+        if customers >= 1023 {
+            self.nurand(1023, self.c_cid, 1, customers)
+        } else {
+            // Scaled-down databases: shrink A proportionally (the spec
+            // fixes A=1023 for 3000 customers).
+            let a = (customers / 3).next_power_of_two().saturating_sub(1).max(15);
+            self.nurand(a, self.c_cid % (a + 1), 1, customers)
+        }
+    }
+
+    /// Non-uniform item id in `[1, items]`.
+    pub fn item_id(&mut self, items: u32) -> u32 {
+        if items >= 8191 {
+            self.nurand(8191, self.c_olid, 1, items)
+        } else {
+            let a = (items / 12).next_power_of_two().saturating_sub(1).max(63);
+            self.nurand(a, self.c_olid % (a + 1), 1, items)
+        }
+    }
+
+    /// Customer last name for a number in `[0, 999]` (clause 4.3.2.3).
+    pub fn last_name_of(num: u32) -> String {
+        let mut s = String::new();
+        s.push_str(LAST_NAME_SYLLABLES[(num / 100 % 10) as usize]);
+        s.push_str(LAST_NAME_SYLLABLES[(num / 10 % 10) as usize]);
+        s.push_str(LAST_NAME_SYLLABLES[(num % 10) as usize]);
+        s
+    }
+
+    /// A last name for the *load* phase: `NURand(255, 0, 999)` over the
+    /// name number space.
+    pub fn load_last_name(&mut self, c_id: u32, customers_per_district: u32) -> String {
+        // The first 1000 customers get sequential names (spec: iterating
+        // through 0..999), the rest NURand names.
+        if c_id <= customers_per_district.min(1000) {
+            Self::last_name_of((c_id - 1) % 1000)
+        } else {
+            let n = self.nurand(255, self.c_last, 0, 999);
+            Self::last_name_of(n)
+        }
+    }
+
+    /// A last name for the *run* phase: `NURand(255, C, 0, 999)`.
+    pub fn run_last_name(&mut self) -> String {
+        let n = self.nurand(255, self.c_last, 0, 999);
+        Self::last_name_of(n)
+    }
+
+    /// Random alphanumeric string of length in `[lo, hi]`.
+    pub fn a_string(&mut self, lo: usize, hi: usize) -> String {
+        const ALPHA: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+        let len = self.rng.gen_range(lo..=hi);
+        (0..len).map(|_| ALPHA[self.rng.gen_range(0..ALPHA.len())] as char).collect()
+    }
+
+    /// Random numeric string of exactly `len` digits.
+    pub fn n_string(&mut self, len: usize) -> String {
+        (0..len).map(|_| char::from(b'0' + self.rng.gen_range(0..10) as u8)).collect()
+    }
+
+    /// A TPC-C zip: 4 random digits + "11111".
+    pub fn zip(&mut self) -> String {
+        let mut z = self.n_string(4);
+        z.push_str("11111");
+        z
+    }
+
+    /// Shuffle a slice (used for the customer permutation during load).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nurand_stays_in_range() {
+        let mut r = TpccRand::new(7);
+        for _ in 0..2000 {
+            let v = r.nurand(1023, r.c_cid, 1, 3000);
+            assert!((1..=3000).contains(&v));
+            let v = r.nurand(8191, r.c_olid, 1, 100_000);
+            assert!((1..=100_000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nurand_is_nonuniform() {
+        // NURand concentrates ~75% of the weight on about a third of the
+        // space (shifted by the run constant C): bucketing the draws must
+        // show strong skew, unlike a uniform distribution.
+        let mut r = TpccRand::new(42);
+        let mut buckets = [0u32; 30];
+        for _ in 0..30_000 {
+            let v = r.customer_id(3000);
+            buckets[((v - 1) / 100) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        let min = *buckets.iter().min().unwrap();
+        assert!(max > 2 * min.max(1), "too uniform: max {max}, min {min}");
+    }
+
+    #[test]
+    fn last_names_match_spec_examples() {
+        assert_eq!(TpccRand::last_name_of(0), "BARBARBAR");
+        assert_eq!(TpccRand::last_name_of(371), "PRICALLYOUGHT");
+        assert_eq!(TpccRand::last_name_of(999), "EINGEINGEING");
+    }
+
+    #[test]
+    fn strings_have_requested_shapes() {
+        let mut r = TpccRand::new(1);
+        for _ in 0..50 {
+            let s = r.a_string(8, 16);
+            assert!((8..=16).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+        assert_eq!(r.n_string(6).len(), 6);
+        let z = r.zip();
+        assert_eq!(z.len(), 9);
+        assert!(z.ends_with("11111"));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = TpccRand::new(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "astronomically unlikely to be identity");
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = TpccRand::new(5);
+        let mut b = TpccRand::new(5);
+        for _ in 0..10 {
+            assert_eq!(a.uniform(1, 100), b.uniform(1, 100));
+            assert_eq!(a.run_last_name(), b.run_last_name());
+        }
+    }
+
+    #[test]
+    fn scaled_customer_ids_in_range() {
+        let mut r = TpccRand::new(11);
+        for _ in 0..1000 {
+            let v = r.customer_id(300);
+            assert!((1..=300).contains(&v));
+            let v = r.item_id(1000);
+            assert!((1..=1000).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,660 @@
+//! TPC-C schema: the nine tables, with fixed-layout binary records.
+//!
+//! Field sets follow the TPC-C standard specification (the paper runs
+//! "the TPC-C benchmark as a real workload"); string paddings are
+//! configurable through [`crate::TpccScale`] only via row *counts* — the
+//! per-row byte layout is fixed so records update in place.
+
+use std::fmt;
+
+/// Simple fixed-layout writer.
+pub(crate) struct Enc(pub Vec<u8>);
+
+impl Enc {
+    pub fn new(cap: usize) -> Enc {
+        Enc(Vec::with_capacity(cap))
+    }
+
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.0.push(v);
+        self
+    }
+
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Fixed-width string: truncated or zero-padded.
+    pub fn str(&mut self, s: &str, width: usize) -> &mut Self {
+        let b = s.as_bytes();
+        for i in 0..width {
+            self.0.push(if i < b.len() { b[i] } else { 0 });
+        }
+        self
+    }
+}
+
+/// Simple fixed-layout reader.
+pub(crate) struct Dec<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(bytes: &'a [u8]) -> Dec<'a> {
+        Dec { bytes, at: 0 }
+    }
+
+    pub fn u8(&mut self) -> u8 {
+        let v = self.bytes[self.at];
+        self.at += 1;
+        v
+    }
+
+    pub fn u16(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.bytes[self.at..self.at + 2].try_into().unwrap());
+        self.at += 2;
+        v
+    }
+
+    pub fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.bytes[self.at..self.at + 4].try_into().unwrap());
+        self.at += 4;
+        v
+    }
+
+    pub fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.bytes[self.at..self.at + 8].try_into().unwrap());
+        self.at += 8;
+        v
+    }
+
+    pub fn f64(&mut self) -> f64 {
+        let v = f64::from_le_bytes(self.bytes[self.at..self.at + 8].try_into().unwrap());
+        self.at += 8;
+        v
+    }
+
+    pub fn str(&mut self, width: usize) -> String {
+        let raw = &self.bytes[self.at..self.at + width];
+        self.at += width;
+        let end = raw.iter().position(|&b| b == 0).unwrap_or(width);
+        String::from_utf8_lossy(&raw[..end]).into_owned()
+    }
+}
+
+/// WAREHOUSE row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Warehouse {
+    pub w_id: u32,
+    pub name: String,
+    pub street_1: String,
+    pub city: String,
+    pub state: String,
+    pub zip: String,
+    pub tax: f64,
+    pub ytd: f64,
+}
+
+impl Warehouse {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new(96);
+        e.u32(self.w_id)
+            .str(&self.name, 10)
+            .str(&self.street_1, 20)
+            .str(&self.city, 20)
+            .str(&self.state, 2)
+            .str(&self.zip, 9)
+            .f64(self.tax)
+            .f64(self.ytd);
+        e.0
+    }
+
+    pub fn decode(bytes: &[u8]) -> Warehouse {
+        let mut d = Dec::new(bytes);
+        Warehouse {
+            w_id: d.u32(),
+            name: d.str(10),
+            street_1: d.str(20),
+            city: d.str(20),
+            state: d.str(2),
+            zip: d.str(9),
+            tax: d.f64(),
+            ytd: d.f64(),
+        }
+    }
+}
+
+/// DISTRICT row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct District {
+    pub d_id: u8,
+    pub w_id: u32,
+    pub name: String,
+    pub street_1: String,
+    pub city: String,
+    pub state: String,
+    pub zip: String,
+    pub tax: f64,
+    pub ytd: f64,
+    pub next_o_id: u32,
+}
+
+impl District {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new(100);
+        e.u8(self.d_id)
+            .u32(self.w_id)
+            .str(&self.name, 10)
+            .str(&self.street_1, 20)
+            .str(&self.city, 20)
+            .str(&self.state, 2)
+            .str(&self.zip, 9)
+            .f64(self.tax)
+            .f64(self.ytd)
+            .u32(self.next_o_id);
+        e.0
+    }
+
+    pub fn decode(bytes: &[u8]) -> District {
+        let mut d = Dec::new(bytes);
+        District {
+            d_id: d.u8(),
+            w_id: d.u32(),
+            name: d.str(10),
+            street_1: d.str(20),
+            city: d.str(20),
+            state: d.str(2),
+            zip: d.str(9),
+            tax: d.f64(),
+            ytd: d.f64(),
+            next_o_id: d.u32(),
+        }
+    }
+}
+
+/// CUSTOMER row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Customer {
+    pub c_id: u32,
+    pub d_id: u8,
+    pub w_id: u32,
+    pub first: String,
+    pub middle: String,
+    pub last: String,
+    pub street_1: String,
+    pub city: String,
+    pub state: String,
+    pub zip: String,
+    pub phone: String,
+    pub since: u64,
+    pub credit: String, // "GC" or "BC"
+    pub credit_lim: f64,
+    pub discount: f64,
+    pub balance: f64,
+    pub ytd_payment: f64,
+    pub payment_cnt: u16,
+    pub delivery_cnt: u16,
+    pub data: String, // up to 250 bytes
+}
+
+impl Customer {
+    pub const DATA_WIDTH: usize = 250;
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new(420);
+        e.u32(self.c_id)
+            .u8(self.d_id)
+            .u32(self.w_id)
+            .str(&self.first, 16)
+            .str(&self.middle, 2)
+            .str(&self.last, 16)
+            .str(&self.street_1, 20)
+            .str(&self.city, 20)
+            .str(&self.state, 2)
+            .str(&self.zip, 9)
+            .str(&self.phone, 16)
+            .u64(self.since)
+            .str(&self.credit, 2)
+            .f64(self.credit_lim)
+            .f64(self.discount)
+            .f64(self.balance)
+            .f64(self.ytd_payment)
+            .u16(self.payment_cnt)
+            .u16(self.delivery_cnt)
+            .str(&self.data, Self::DATA_WIDTH);
+        e.0
+    }
+
+    pub fn decode(bytes: &[u8]) -> Customer {
+        let mut d = Dec::new(bytes);
+        Customer {
+            c_id: d.u32(),
+            d_id: d.u8(),
+            w_id: d.u32(),
+            first: d.str(16),
+            middle: d.str(2),
+            last: d.str(16),
+            street_1: d.str(20),
+            city: d.str(20),
+            state: d.str(2),
+            zip: d.str(9),
+            phone: d.str(16),
+            since: d.u64(),
+            credit: d.str(2),
+            credit_lim: d.f64(),
+            discount: d.f64(),
+            balance: d.f64(),
+            ytd_payment: d.f64(),
+            payment_cnt: d.u16(),
+            delivery_cnt: d.u16(),
+            data: d.str(Self::DATA_WIDTH),
+        }
+    }
+}
+
+/// HISTORY row (no primary key in TPC-C).
+#[derive(Clone, Debug, PartialEq)]
+pub struct History {
+    pub c_id: u32,
+    pub c_d_id: u8,
+    pub c_w_id: u32,
+    pub d_id: u8,
+    pub w_id: u32,
+    pub date: u64,
+    pub amount: f64,
+    pub data: String,
+}
+
+impl History {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new(56);
+        e.u32(self.c_id)
+            .u8(self.c_d_id)
+            .u32(self.c_w_id)
+            .u8(self.d_id)
+            .u32(self.w_id)
+            .u64(self.date)
+            .f64(self.amount)
+            .str(&self.data, 24);
+        e.0
+    }
+
+    pub fn decode(bytes: &[u8]) -> History {
+        let mut d = Dec::new(bytes);
+        History {
+            c_id: d.u32(),
+            c_d_id: d.u8(),
+            c_w_id: d.u32(),
+            d_id: d.u8(),
+            w_id: d.u32(),
+            date: d.u64(),
+            amount: d.f64(),
+            data: d.str(24),
+        }
+    }
+}
+
+/// NEW-ORDER row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NewOrder {
+    pub o_id: u32,
+    pub d_id: u8,
+    pub w_id: u32,
+}
+
+impl NewOrder {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new(9);
+        e.u32(self.o_id).u8(self.d_id).u32(self.w_id);
+        e.0
+    }
+
+    pub fn decode(bytes: &[u8]) -> NewOrder {
+        let mut d = Dec::new(bytes);
+        NewOrder { o_id: d.u32(), d_id: d.u8(), w_id: d.u32() }
+    }
+}
+
+/// ORDER row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Order {
+    pub o_id: u32,
+    pub d_id: u8,
+    pub w_id: u32,
+    pub c_id: u32,
+    pub entry_d: u64,
+    /// 0 = not yet delivered (NULL in the spec).
+    pub carrier_id: u8,
+    pub ol_cnt: u8,
+    pub all_local: u8,
+}
+
+impl Order {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new(24);
+        e.u32(self.o_id)
+            .u8(self.d_id)
+            .u32(self.w_id)
+            .u32(self.c_id)
+            .u64(self.entry_d)
+            .u8(self.carrier_id)
+            .u8(self.ol_cnt)
+            .u8(self.all_local);
+        e.0
+    }
+
+    pub fn decode(bytes: &[u8]) -> Order {
+        let mut d = Dec::new(bytes);
+        Order {
+            o_id: d.u32(),
+            d_id: d.u8(),
+            w_id: d.u32(),
+            c_id: d.u32(),
+            entry_d: d.u64(),
+            carrier_id: d.u8(),
+            ol_cnt: d.u8(),
+            all_local: d.u8(),
+        }
+    }
+}
+
+/// ORDER-LINE row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderLine {
+    pub o_id: u32,
+    pub d_id: u8,
+    pub w_id: u32,
+    pub number: u8,
+    pub i_id: u32,
+    pub supply_w_id: u32,
+    /// 0 = not yet delivered.
+    pub delivery_d: u64,
+    pub quantity: u8,
+    pub amount: f64,
+    pub dist_info: String,
+}
+
+impl OrderLine {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new(64);
+        e.u32(self.o_id)
+            .u8(self.d_id)
+            .u32(self.w_id)
+            .u8(self.number)
+            .u32(self.i_id)
+            .u32(self.supply_w_id)
+            .u64(self.delivery_d)
+            .u8(self.quantity)
+            .f64(self.amount)
+            .str(&self.dist_info, 24);
+        e.0
+    }
+
+    pub fn decode(bytes: &[u8]) -> OrderLine {
+        let mut d = Dec::new(bytes);
+        OrderLine {
+            o_id: d.u32(),
+            d_id: d.u8(),
+            w_id: d.u32(),
+            number: d.u8(),
+            i_id: d.u32(),
+            supply_w_id: d.u32(),
+            delivery_d: d.u64(),
+            quantity: d.u8(),
+            amount: d.f64(),
+            dist_info: d.str(24),
+        }
+    }
+}
+
+/// ITEM row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Item {
+    pub i_id: u32,
+    pub im_id: u32,
+    pub name: String,
+    pub price: f64,
+    pub data: String,
+}
+
+impl Item {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new(96);
+        e.u32(self.i_id).u32(self.im_id).str(&self.name, 24).f64(self.price).str(&self.data, 50);
+        e.0
+    }
+
+    pub fn decode(bytes: &[u8]) -> Item {
+        let mut d = Dec::new(bytes);
+        Item {
+            i_id: d.u32(),
+            im_id: d.u32(),
+            name: d.str(24),
+            price: d.f64(),
+            data: d.str(50),
+        }
+    }
+}
+
+/// STOCK row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stock {
+    pub i_id: u32,
+    pub w_id: u32,
+    pub quantity: i16,
+    pub dist: [String; 10],
+    pub ytd: u32,
+    pub order_cnt: u16,
+    pub remote_cnt: u16,
+    pub data: String,
+}
+
+impl Stock {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new(360);
+        e.u32(self.i_id).u32(self.w_id).u16(self.quantity as u16);
+        for d in &self.dist {
+            e.str(d, 24);
+        }
+        e.u32(self.ytd).u16(self.order_cnt).u16(self.remote_cnt).str(&self.data, 50);
+        e.0
+    }
+
+    pub fn decode(bytes: &[u8]) -> Stock {
+        let mut d = Dec::new(bytes);
+        Stock {
+            i_id: d.u32(),
+            w_id: d.u32(),
+            quantity: d.u16() as i16,
+            dist: std::array::from_fn(|_| d.str(24)),
+            ytd: d.u32(),
+            order_cnt: d.u16(),
+            remote_cnt: d.u16(),
+            data: d.str(50),
+        }
+    }
+}
+
+/// Table identifiers for diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TableId {
+    Warehouse,
+    District,
+    Customer,
+    History,
+    NewOrder,
+    Order,
+    OrderLine,
+    Item,
+    Stock,
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TableId::Warehouse => "WAREHOUSE",
+            TableId::District => "DISTRICT",
+            TableId::Customer => "CUSTOMER",
+            TableId::History => "HISTORY",
+            TableId::NewOrder => "NEW-ORDER",
+            TableId::Order => "ORDER",
+            TableId::OrderLine => "ORDER-LINE",
+            TableId::Item => "ITEM",
+            TableId::Stock => "STOCK",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warehouse_round_trip() {
+        let w = Warehouse {
+            w_id: 3,
+            name: "WHOUSE3".into(),
+            street_1: "1 Main St".into(),
+            city: "Springfield".into(),
+            state: "CA".into(),
+            zip: "123456789".into(),
+            tax: 0.0725,
+            ytd: 300000.0,
+        };
+        assert_eq!(Warehouse::decode(&w.encode()), w);
+    }
+
+    #[test]
+    fn district_round_trip() {
+        let d = District {
+            d_id: 7,
+            w_id: 1,
+            name: "D7".into(),
+            street_1: "x".into(),
+            city: "y".into(),
+            state: "TX".into(),
+            zip: "987654321".into(),
+            tax: 0.01,
+            ytd: 30000.0,
+            next_o_id: 3001,
+        };
+        assert_eq!(District::decode(&d.encode()), d);
+    }
+
+    #[test]
+    fn customer_round_trip_and_size() {
+        let c = Customer {
+            c_id: 42,
+            d_id: 3,
+            w_id: 1,
+            first: "ALICE".into(),
+            middle: "OE".into(),
+            last: "BARBARBAR".into(),
+            street_1: "5 Elm".into(),
+            city: "Portland".into(),
+            state: "OR".into(),
+            zip: "111111111".into(),
+            phone: "0123456789012345".into(),
+            since: 1234,
+            credit: "GC".into(),
+            credit_lim: 50000.0,
+            discount: 0.05,
+            balance: -10.0,
+            ytd_payment: 10.0,
+            payment_cnt: 1,
+            delivery_cnt: 0,
+            data: "some history".into(),
+        };
+        let bytes = c.encode();
+        assert_eq!(Customer::decode(&bytes), c);
+        // Fixed layout: every customer record has the same size.
+        assert_eq!(bytes.len(), c.encode().len());
+        assert!(bytes.len() > 350 && bytes.len() < 450, "{}", bytes.len());
+    }
+
+    #[test]
+    fn order_chain_round_trips() {
+        let o = Order {
+            o_id: 9,
+            d_id: 2,
+            w_id: 1,
+            c_id: 77,
+            entry_d: 999,
+            carrier_id: 0,
+            ol_cnt: 11,
+            all_local: 1,
+        };
+        assert_eq!(Order::decode(&o.encode()), o);
+        let ol = OrderLine {
+            o_id: 9,
+            d_id: 2,
+            w_id: 1,
+            number: 4,
+            i_id: 1000,
+            supply_w_id: 1,
+            delivery_d: 0,
+            quantity: 5,
+            amount: 123.45,
+            dist_info: "info".into(),
+        };
+        assert_eq!(OrderLine::decode(&ol.encode()), ol);
+        let no = NewOrder { o_id: 9, d_id: 2, w_id: 1 };
+        assert_eq!(NewOrder::decode(&no.encode()), no);
+    }
+
+    #[test]
+    fn stock_and_item_round_trip() {
+        let s = Stock {
+            i_id: 55,
+            w_id: 2,
+            quantity: -3, // spec allows dipping below zero before restock
+            dist: std::array::from_fn(|i| format!("dist{i}")),
+            ytd: 100,
+            order_cnt: 5,
+            remote_cnt: 1,
+            data: "ORIGINAL".into(),
+        };
+        assert_eq!(Stock::decode(&s.encode()), s);
+        let i = Item {
+            i_id: 55,
+            im_id: 3,
+            name: "widget".into(),
+            price: 9.99,
+            data: "x".into(),
+        };
+        assert_eq!(Item::decode(&i.encode()), i);
+    }
+
+    #[test]
+    fn history_round_trip() {
+        let h = History {
+            c_id: 1,
+            c_d_id: 2,
+            c_w_id: 3,
+            d_id: 4,
+            w_id: 5,
+            date: 6,
+            amount: 7.5,
+            data: "w1 d2".into(),
+        };
+        assert_eq!(History::decode(&h.encode()), h);
+    }
+}

@@ -1,0 +1,453 @@
+//! The five TPC-C transactions (clauses 2.4 — 2.8) and the standard mix.
+//!
+//! Simplification (documented in DESIGN.md): the engine has no undo log,
+//! so the NEW-ORDER 1% "unused item" rollback is implemented by validating
+//! every item *before* the first write. The I/O pattern (reads performed,
+//! then abort) matches the spec's intent; no partial transaction ever
+//! reaches flash.
+
+use crate::db::{keys, TpccDb};
+use crate::error::TpccError;
+use crate::random::TpccRand;
+use crate::schema::*;
+use crate::Result;
+use pdl_storage::{KeyBuf, RecordId};
+
+/// Transaction types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    NewOrder,
+    Payment,
+    OrderStatus,
+    Delivery,
+    StockLevel,
+}
+
+impl TxnKind {
+    pub const ALL: [TxnKind; 5] = [
+        TxnKind::NewOrder,
+        TxnKind::Payment,
+        TxnKind::OrderStatus,
+        TxnKind::Delivery,
+        TxnKind::StockLevel,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            TxnKind::NewOrder => "NEW-ORDER",
+            TxnKind::Payment => "PAYMENT",
+            TxnKind::OrderStatus => "ORDER-STATUS",
+            TxnKind::Delivery => "DELIVERY",
+            TxnKind::StockLevel => "STOCK-LEVEL",
+        }
+    }
+}
+
+/// Pick a transaction per the standard mix (clause 5.2.3 minimums:
+/// 45% NEW-ORDER, 43% PAYMENT, 4% each for the rest).
+pub fn pick_transaction(r: &mut TpccRand) -> TxnKind {
+    match r.uniform(1, 100) {
+        1..=45 => TxnKind::NewOrder,
+        46..=88 => TxnKind::Payment,
+        89..=92 => TxnKind::OrderStatus,
+        93..=96 => TxnKind::Delivery,
+        _ => TxnKind::StockLevel,
+    }
+}
+
+/// Per-kind execution counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TxnStats {
+    pub new_order: u64,
+    pub payment: u64,
+    pub order_status: u64,
+    pub delivery: u64,
+    pub stock_level: u64,
+    pub rollbacks: u64,
+}
+
+impl TxnStats {
+    pub fn total(&self) -> u64 {
+        self.new_order + self.payment + self.order_status + self.delivery + self.stock_level
+    }
+
+    fn bump(&mut self, kind: TxnKind) {
+        match kind {
+            TxnKind::NewOrder => self.new_order += 1,
+            TxnKind::Payment => self.payment += 1,
+            TxnKind::OrderStatus => self.order_status += 1,
+            TxnKind::Delivery => self.delivery += 1,
+            TxnKind::StockLevel => self.stock_level += 1,
+        }
+    }
+}
+
+/// Execute one transaction of the given kind. Returns `true` when the
+/// transaction committed (NEW-ORDER rolls back ~1% of the time by spec).
+pub fn run_transaction(t: &mut TpccDb, r: &mut TpccRand, kind: TxnKind) -> Result<bool> {
+    match kind {
+        TxnKind::NewOrder => new_order(t, r),
+        TxnKind::Payment => payment(t, r).map(|()| true),
+        TxnKind::OrderStatus => order_status(t, r).map(|()| true),
+        TxnKind::Delivery => delivery(t, r).map(|()| true),
+        TxnKind::StockLevel => stock_level(t, r).map(|()| true),
+    }
+}
+
+/// Run `count` transactions of the standard mix, returning the stats.
+pub fn run_mix(t: &mut TpccDb, r: &mut TpccRand, count: u64) -> Result<TxnStats> {
+    let mut stats = TxnStats::default();
+    for _ in 0..count {
+        let kind = pick_transaction(r);
+        let committed = run_transaction(t, r, kind)?;
+        stats.bump(kind);
+        if !committed {
+            stats.rollbacks += 1;
+        }
+    }
+    Ok(stats)
+}
+
+fn pick_warehouse(t: &TpccDb, r: &mut TpccRand) -> u32 {
+    r.uniform(1, t.scale.warehouses)
+}
+
+fn pick_district(t: &TpccDb, r: &mut TpccRand) -> u8 {
+    r.uniform(1, t.scale.districts_per_warehouse) as u8
+}
+
+// ----------------------------------------------------------------------
+// NEW-ORDER (clause 2.4)
+// ----------------------------------------------------------------------
+
+fn new_order(t: &mut TpccDb, r: &mut TpccRand) -> Result<bool> {
+    let w = pick_warehouse(t, r);
+    let d = pick_district(t, r);
+    let c = r.customer_id(t.scale.customers_per_district);
+    let ol_cnt = r.uniform(5, 15) as u8;
+    let rollback = r.chance(1);
+
+    // Generate the order lines; the rollback case uses an unused item id
+    // for the last line (clause 2.4.1.5).
+    struct Line {
+        i_id: u32,
+        supply_w: u32,
+        quantity: u8,
+    }
+    let mut lines = Vec::with_capacity(ol_cnt as usize);
+    let mut all_local = 1u8;
+    for n in 0..ol_cnt {
+        let i_id = if rollback && n == ol_cnt - 1 {
+            t.scale.items + 1 // guaranteed unused
+        } else {
+            r.item_id(t.scale.items)
+        };
+        // 1% of lines are supplied by a remote warehouse (if any).
+        let supply_w = if t.scale.warehouses > 1 && r.chance(1) {
+            all_local = 0;
+            let mut other = r.uniform(1, t.scale.warehouses);
+            if other == w {
+                other = other % t.scale.warehouses + 1;
+            }
+            other
+        } else {
+            w
+        };
+        lines.push(Line { i_id, supply_w, quantity: r.uniform(1, 10) as u8 });
+    }
+
+    // Reads: warehouse tax, district (tax, next o-id), customer discount.
+    let (_w_rid, warehouse) = t.warehouse_row(w)?;
+    let (d_rid, mut district) = t.district_row(w, d)?;
+    let (_c_rid, customer) = t.customer_row(w, d, c)?;
+    let _ = (warehouse.tax, customer.discount);
+
+    // Validate items first: no undo log, so abort happens before writes.
+    let mut items = Vec::with_capacity(lines.len());
+    for line in &lines {
+        match t.item_row(line.i_id)? {
+            Some(item) => items.push(item),
+            None => return Ok(false), // rollback: "Item number is not valid"
+        }
+    }
+
+    // Writes: advance D_NEXT_O_ID.
+    let o_id = district.next_o_id;
+    district.next_o_id += 1;
+    t.district.update(&mut t.db, d_rid, &district.encode())?;
+
+    // Insert ORDER and NEW-ORDER.
+    let order = Order {
+        o_id,
+        d_id: d,
+        w_id: w,
+        c_id: c,
+        entry_d: 2,
+        carrier_id: 0,
+        ol_cnt,
+        all_local,
+    };
+    let o_rid = t.order.insert(&mut t.db, &order.encode())?;
+    t.idx_order.insert(&mut t.db, &keys::order(w, d, o_id), o_rid.to_u64())?;
+    t.idx_order_customer
+        .insert(&mut t.db, &keys::order_customer(w, d, c, o_id), o_rid.to_u64())?;
+    let no_rid = t.new_order.insert(&mut t.db, &NewOrder { o_id, d_id: d, w_id: w }.encode())?;
+    t.idx_new_order.insert(&mut t.db, &keys::new_order(w, d, o_id), no_rid.to_u64())?;
+
+    // Per line: stock update + order-line insert.
+    for (n, (line, item)) in lines.iter().zip(items.iter()).enumerate() {
+        let (s_rid, mut stock) = t.stock_row(line.supply_w, line.i_id)?;
+        if stock.quantity >= line.quantity as i16 + 10 {
+            stock.quantity -= line.quantity as i16;
+        } else {
+            stock.quantity = stock.quantity - line.quantity as i16 + 91;
+        }
+        stock.ytd += line.quantity as u32;
+        stock.order_cnt += 1;
+        if line.supply_w != w {
+            stock.remote_cnt += 1;
+        }
+        let dist_info = stock.dist[(d - 1) as usize].clone();
+        t.stock.update(&mut t.db, s_rid, &stock.encode())?;
+
+        let ol = OrderLine {
+            o_id,
+            d_id: d,
+            w_id: w,
+            number: n as u8 + 1,
+            i_id: line.i_id,
+            supply_w_id: line.supply_w,
+            delivery_d: 0,
+            quantity: line.quantity,
+            amount: line.quantity as f64 * item.price,
+            dist_info,
+        };
+        let ol_rid = t.order_line.insert(&mut t.db, &ol.encode())?;
+        t.idx_order_line
+            .insert(&mut t.db, &keys::order_line(w, d, o_id, n as u8 + 1), ol_rid.to_u64())?;
+    }
+    Ok(true)
+}
+
+// ----------------------------------------------------------------------
+// PAYMENT (clause 2.5)
+// ----------------------------------------------------------------------
+
+fn payment(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
+    let w = pick_warehouse(t, r);
+    let d = pick_district(t, r);
+    let amount = r.uniform_f(1.0, 5_000.0);
+
+    // 85% local customer, 15% from a remote warehouse (when available).
+    let (c_w, c_d) = if t.scale.warehouses > 1 && r.chance(15) {
+        let mut other = r.uniform(1, t.scale.warehouses);
+        if other == w {
+            other = other % t.scale.warehouses + 1;
+        }
+        (other, pick_district(t, r))
+    } else {
+        (w, d)
+    };
+
+    // Update warehouse and district YTD.
+    let (w_rid, mut warehouse) = t.warehouse_row(w)?;
+    warehouse.ytd += amount;
+    t.warehouse.update(&mut t.db, w_rid, &warehouse.encode())?;
+    let (d_rid, mut district) = t.district_row(w, d)?;
+    district.ytd += amount;
+    t.district.update(&mut t.db, d_rid, &district.encode())?;
+
+    // Select the customer: 60% by last name, 40% by id (clause 2.5.1.2).
+    let (c_rid, mut customer) = if r.chance(60) {
+        let last = r.run_last_name();
+        let matches = t.customers_by_name(c_w, c_d, &last)?;
+        match matches.len() {
+            0 => {
+                // Scaled databases may miss a name: fall back to an id.
+                let c = r.customer_id(t.scale.customers_per_district);
+                t.customer_row(c_w, c_d, c)?
+            }
+            n => matches.into_iter().nth(n / 2).expect("n/2 < n"),
+        }
+    } else {
+        let c = r.customer_id(t.scale.customers_per_district);
+        t.customer_row(c_w, c_d, c)?
+    };
+
+    customer.balance -= amount;
+    customer.ytd_payment += amount;
+    customer.payment_cnt += 1;
+    if customer.credit == "BC" {
+        // Bad credit: prepend payment info to C_DATA (clause 2.5.2.2).
+        let mut data = format!(
+            "{},{},{},{},{},{:.2}|{}",
+            customer.c_id, c_d, c_w, d, w, amount, customer.data
+        );
+        data.truncate(Customer::DATA_WIDTH);
+        customer.data = data;
+    }
+    t.customer.update(&mut t.db, c_rid, &customer.encode())?;
+
+    let history = History {
+        c_id: customer.c_id,
+        c_d_id: c_d,
+        c_w_id: c_w,
+        d_id: d,
+        w_id: w,
+        date: 3,
+        amount,
+        data: format!("{:.10}    {:.10}", warehouse.name, district.name),
+    };
+    t.history.insert(&mut t.db, &history.encode())?;
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// ORDER-STATUS (clause 2.6, read only)
+// ----------------------------------------------------------------------
+
+fn order_status(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
+    let w = pick_warehouse(t, r);
+    let d = pick_district(t, r);
+
+    let (_c_rid, customer) = if r.chance(60) {
+        let last = r.run_last_name();
+        let matches = t.customers_by_name(w, d, &last)?;
+        match matches.len() {
+            0 => {
+                let c = r.customer_id(t.scale.customers_per_district);
+                t.customer_row(w, d, c)?
+            }
+            n => matches.into_iter().nth(n / 2).expect("n/2 < n"),
+        }
+    } else {
+        let c = r.customer_id(t.scale.customers_per_district);
+        t.customer_row(w, d, c)?
+    };
+
+    // The customer's most recent order.
+    let lo = keys::order_customer(w, d, customer.c_id, 0);
+    let hi = keys::order_customer(w, d, customer.c_id, u32::MAX);
+    let mut last_rid: Option<RecordId> = None;
+    t.idx_order_customer.range(&mut t.db, &lo, &hi, |_, v| {
+        last_rid = Some(RecordId::from_u64(v));
+        true
+    })?;
+    let Some(o_rid) = last_rid else {
+        return Ok(()); // customer has no orders (possible at tiny scales)
+    };
+    let order = t.order.get(&mut t.db, o_rid, Order::decode)?;
+
+    // Read its order lines.
+    let lo = keys::order_line(w, d, order.o_id, 0);
+    let hi = keys::order_line(w, d, order.o_id, u8::MAX);
+    let mut rids = Vec::new();
+    t.idx_order_line.range(&mut t.db, &lo, &hi, |_, v| {
+        rids.push(RecordId::from_u64(v));
+        true
+    })?;
+    for rid in rids {
+        let ol = t.order_line.get(&mut t.db, rid, OrderLine::decode)?;
+        let _ = (ol.i_id, ol.quantity, ol.amount, ol.delivery_d);
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// DELIVERY (clause 2.7)
+// ----------------------------------------------------------------------
+
+fn delivery(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
+    let w = pick_warehouse(t, r);
+    let carrier = r.uniform(1, 10) as u8;
+    for d in 1..=t.scale.districts_per_warehouse as u8 {
+        // Oldest undelivered order of the district.
+        let lo = keys::new_order(w, d, 0);
+        let hi = keys::new_order(w, d, u32::MAX);
+        let mut oldest: Option<(pdl_storage::Key, RecordId)> = None;
+        t.idx_new_order.range(&mut t.db, &lo, &hi, |k, v| {
+            oldest = Some((*k, RecordId::from_u64(v)));
+            false // first = oldest (keys ascend by o_id)
+        })?;
+        let Some((no_key, no_rid)) = oldest else { continue };
+        let no = t.new_order.get(&mut t.db, no_rid, NewOrder::decode)?;
+        t.new_order.delete(&mut t.db, no_rid)?;
+        t.idx_new_order.delete_exact(&mut t.db, &no_key, no_rid.to_u64())?;
+
+        // Mark the order delivered.
+        let o_rid = t
+            .idx_order
+            .get(&mut t.db, &keys::order(w, d, no.o_id))?
+            .ok_or(TpccError::MissingRow(TableId::Order))?;
+        let o_rid = RecordId::from_u64(o_rid);
+        let mut order = t.order.get(&mut t.db, o_rid, Order::decode)?;
+        order.carrier_id = carrier;
+        t.order.update(&mut t.db, o_rid, &order.encode())?;
+
+        // Stamp the delivery date on every line, summing the amounts.
+        let lo = keys::order_line(w, d, no.o_id, 0);
+        let hi = keys::order_line(w, d, no.o_id, u8::MAX);
+        let mut rids = Vec::new();
+        t.idx_order_line.range(&mut t.db, &lo, &hi, |_, v| {
+            rids.push(RecordId::from_u64(v));
+            true
+        })?;
+        let mut total = 0.0;
+        for rid in rids {
+            let mut ol = t.order_line.get(&mut t.db, rid, OrderLine::decode)?;
+            ol.delivery_d = 4;
+            total += ol.amount;
+            t.order_line.update(&mut t.db, rid, &ol.encode())?;
+        }
+
+        // Credit the customer.
+        let (c_rid, mut customer) = t.customer_row(w, d, order.c_id)?;
+        customer.balance += total;
+        customer.delivery_cnt += 1;
+        t.customer.update(&mut t.db, c_rid, &customer.encode())?;
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// STOCK-LEVEL (clause 2.8, read only)
+// ----------------------------------------------------------------------
+
+fn stock_level(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
+    let w = pick_warehouse(t, r);
+    let d = pick_district(t, r);
+    let threshold = r.uniform(10, 20) as i16;
+
+    let (_d_rid, district) = t.district_row(w, d)?;
+    let next_o_id = district.next_o_id;
+    let from_o = next_o_id.saturating_sub(20).max(1);
+
+    // Distinct items in the last 20 orders' lines.
+    let lo = keys::order_line(w, d, from_o, 0);
+    let hi = keys::order_line(w, d, next_o_id.saturating_sub(1), u8::MAX);
+    let mut rids = Vec::new();
+    t.idx_order_line.range(&mut t.db, &lo, &hi, |_, v| {
+        rids.push(RecordId::from_u64(v));
+        true
+    })?;
+    let mut item_ids = Vec::new();
+    for rid in rids {
+        let ol = t.order_line.get(&mut t.db, rid, OrderLine::decode)?;
+        if !item_ids.contains(&ol.i_id) {
+            item_ids.push(ol.i_id);
+        }
+    }
+    let mut low = 0u32;
+    for i_id in item_ids {
+        let (_rid, stock) = t.stock_row(w, i_id)?;
+        if stock.quantity < threshold {
+            low += 1;
+        }
+    }
+    let _ = low;
+    Ok(())
+}
+
+// Re-export the KeyBuf so integration code can build scan bounds.
+#[allow(unused_imports)]
+use KeyBuf as _;

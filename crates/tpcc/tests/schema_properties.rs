@@ -1,0 +1,106 @@
+//! Property tests for the TPC-C record codecs: every row type must
+//! round-trip through its fixed binary layout for arbitrary field values,
+//! and the encoded size must be constant per type (so heap updates stay
+//! in place).
+
+use proptest::prelude::*;
+use pdl_tpcc::schema::*;
+
+/// ASCII strings of bounded length (the codecs store fixed-width ASCII;
+/// over-long strings are truncated by design, so generate within width).
+fn ascii(max: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u8..127, 0..=max)
+        .prop_map(|v| String::from_utf8(v).expect("ascii"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn warehouse_round_trips(
+        w_id in any::<u32>(), name in ascii(10), street in ascii(20),
+        city in ascii(20), state in ascii(2), zip in ascii(9),
+        tax in 0.0f64..0.3, ytd in 0.0f64..1e9,
+    ) {
+        let w = Warehouse { w_id, name, street_1: street, city, state, zip, tax, ytd };
+        prop_assert_eq!(Warehouse::decode(&w.encode()), w);
+    }
+
+    #[test]
+    fn customer_round_trips_with_fixed_size(
+        c_id in any::<u32>(), d_id in any::<u8>(), w_id in any::<u32>(),
+        first in ascii(16), last in ascii(16), data in ascii(250),
+        balance in -1e6f64..1e6, payment_cnt in any::<u16>(),
+    ) {
+        let c = Customer {
+            c_id, d_id, w_id,
+            first, middle: "OE".into(), last,
+            street_1: "s".into(), city: "c".into(), state: "ST".into(),
+            zip: "123456789".into(), phone: "0123456789012345".into(),
+            since: 1, credit: "GC".into(), credit_lim: 50_000.0,
+            discount: 0.1, balance, ytd_payment: 0.0,
+            payment_cnt, delivery_cnt: 0, data,
+        };
+        let bytes = c.encode();
+        prop_assert_eq!(Customer::decode(&bytes), c);
+        // Constant layout size regardless of string contents.
+        let reference = Customer {
+            c_id: 0, d_id: 0, w_id: 0,
+            first: String::new(), middle: String::new(), last: String::new(),
+            street_1: String::new(), city: String::new(), state: String::new(),
+            zip: String::new(), phone: String::new(),
+            since: 0, credit: String::new(), credit_lim: 0.0,
+            discount: 0.0, balance: 0.0, ytd_payment: 0.0,
+            payment_cnt: 0, delivery_cnt: 0, data: String::new(),
+        };
+        prop_assert_eq!(bytes.len(), reference.encode().len());
+    }
+
+    #[test]
+    fn order_chain_round_trips(
+        o_id in any::<u32>(), d_id in any::<u8>(), w_id in any::<u32>(),
+        c_id in any::<u32>(), ol_cnt in any::<u8>(), number in any::<u8>(),
+        i_id in any::<u32>(), quantity in any::<u8>(), amount in 0.0f64..1e5,
+        dist in ascii(24),
+    ) {
+        let o = Order {
+            o_id, d_id, w_id, c_id, entry_d: 7,
+            carrier_id: 3, ol_cnt, all_local: 1,
+        };
+        prop_assert_eq!(Order::decode(&o.encode()), o);
+        let ol = OrderLine {
+            o_id, d_id, w_id, number, i_id, supply_w_id: w_id,
+            delivery_d: 0, quantity, amount, dist_info: dist,
+        };
+        prop_assert_eq!(OrderLine::decode(&ol.encode()), ol);
+        let no = NewOrder { o_id, d_id, w_id };
+        prop_assert_eq!(NewOrder::decode(&no.encode()), no);
+    }
+
+    #[test]
+    fn stock_and_item_round_trip(
+        i_id in any::<u32>(), w_id in any::<u32>(),
+        quantity in i16::MIN / 2..i16::MAX / 2,
+        ytd in any::<u32>(), data in ascii(50), price in 1.0f64..100.0,
+        name in ascii(24),
+    ) {
+        let s = Stock {
+            i_id, w_id, quantity,
+            dist: std::array::from_fn(|i| format!("d{i}")),
+            ytd, order_cnt: 1, remote_cnt: 2, data: data.clone(),
+        };
+        prop_assert_eq!(Stock::decode(&s.encode()), s);
+        let it = Item { i_id, im_id: 1, name, price, data };
+        prop_assert_eq!(Item::decode(&it.encode()), it);
+    }
+
+    #[test]
+    fn history_round_trips(
+        c_id in any::<u32>(), amount in 0.0f64..5000.0, data in ascii(24),
+    ) {
+        let h = History {
+            c_id, c_d_id: 1, c_w_id: 2, d_id: 3, w_id: 4, date: 5, amount, data,
+        };
+        prop_assert_eq!(History::decode(&h.encode()), h);
+    }
+}

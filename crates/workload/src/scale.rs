@@ -1,0 +1,145 @@
+//! Experiment scaling.
+//!
+//! The paper loads ~1 Gbyte of synthetic data into the Table-1 chip and
+//! reaches steady state by running until "garbage collection is invoked
+//! for each block at least ten times on the average". Replaying that
+//! verbatim takes hours; because I/O time is *simulated*, the shape of
+//! every result is invariant under scaling the block count while keeping
+//! the paper's block/page geometry, timing and space-utilisation ratio.
+//!
+//! Three profiles are provided; benches select one via the `PDL_SCALE`
+//! environment variable (`quick` | `default` | `paper`).
+
+use pdl_flash::{FlashChip, FlashConfig, FlashTiming};
+
+/// Experiment scale profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Unit-test scale: seconds per experiment point.
+    Quick,
+    /// Default scale: a couple of minutes for the whole suite.
+    Default,
+    /// The paper's chip (32768 blocks); hours for the full suite.
+    Paper,
+}
+
+impl Scale {
+    /// Resolve from the `PDL_SCALE` environment variable.
+    pub fn from_env() -> Scale {
+        match std::env::var("PDL_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "quick" => Scale::Quick,
+            "paper" => Scale::Paper,
+            _ => Scale::Default,
+        }
+    }
+
+    /// Number of flash blocks at this scale (paper geometry otherwise).
+    pub fn num_blocks(&self) -> u32 {
+        match self {
+            Scale::Quick => 64,
+            Scale::Default => 256,
+            Scale::Paper => 32_768,
+        }
+    }
+
+    /// Measured update operations (read-modify-reflect cycles) per point.
+    pub fn measured_cycles(&self) -> u64 {
+        match self {
+            Scale::Quick => 2_000,
+            Scale::Default => 8_000,
+            Scale::Paper => 100_000,
+        }
+    }
+
+    /// Steady-state target: total erases >= this multiple of the block
+    /// count before measurement starts (the paper uses 10).
+    pub fn warmup_erases_per_block(&self) -> u64 {
+        match self {
+            Scale::Quick => 2,
+            Scale::Default => 4,
+            Scale::Paper => 10,
+        }
+    }
+
+    /// Hard cap on warm-up cycles (methods with very low write
+    /// amplification approach the erase target slowly).
+    pub fn warmup_max_cycles(&self) -> u64 {
+        match self {
+            Scale::Quick => 100_000,
+            Scale::Default => 400_000,
+            Scale::Paper => 4_000_000,
+        }
+    }
+
+    /// Buffered methods (PDL differentials, IPL logs) additionally need
+    /// their per-page state to saturate: PDL (2KB) differentials take ~35
+    /// evictions of a page to cycle from empty to a full page and back
+    /// (footnote 16: "the size of a differential in a steady state is
+    /// approximately half a page on the average"). Warm up for at least
+    /// this many evictions per logical page, subject to the cycle cap.
+    pub fn warmup_min_evictions_per_page(&self) -> u64 {
+        40
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// Database size in logical pages for a given scale and frames-per-page.
+///
+/// The paper loads "approximately 1 Gbyte" into the chip of Table 1, whose
+/// parameters multiply out to a 4 GiB data area (32768 x 64 x 2048): the
+/// database occupies ~25% of the flash frames. We keep that ratio (minus a
+/// small slack so IPL (64KB), whose 32-page data regions are the tightest
+/// fit, always has blocks to merge into). PDL (2KB)'s steady-state
+/// differentials then add ~12% live occupancy, leaving garbage collection
+/// in the regime the paper's Figure 12(b) shows.
+pub fn db_pages_for(scale: Scale, frames_per_page: u32) -> u64 {
+    let frames = (scale.num_blocks() as u64 - 8) * 16;
+    frames / frames_per_page as u64
+}
+
+/// Build a chip at the given scale with custom timing (Experiment 5) or
+/// [`FlashTiming::PAPER`].
+pub fn chip_for(scale: Scale, timing: FlashTiming) -> FlashChip {
+    FlashChip::new(FlashConfig::scaled(scale.num_blocks()).with_timing(timing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilisation_is_quarter_minus_slack() {
+        for scale in [Scale::Quick, Scale::Default] {
+            let pages = db_pages_for(scale, 1);
+            let total_frames = scale.num_blocks() as u64 * 64;
+            let util = pages as f64 / total_frames as f64;
+            assert!(util > 0.2 && util < 0.26, "{util}");
+        }
+    }
+
+    #[test]
+    fn multi_frame_pages_divide_capacity() {
+        assert_eq!(db_pages_for(Scale::Quick, 4) * 4, db_pages_for(Scale::Quick, 1));
+    }
+
+    #[test]
+    fn chip_matches_scale() {
+        let chip = chip_for(Scale::Quick, FlashTiming::PAPER);
+        assert_eq!(chip.geometry().num_blocks, 64);
+        assert_eq!(chip.geometry().data_size, 2048);
+        assert_eq!(chip.timing(), FlashTiming::PAPER);
+    }
+
+    #[test]
+    fn env_resolution_defaults() {
+        // Not setting the variable in tests: default profile.
+        assert_eq!(Scale::from_env().num_blocks() % 64, 0);
+    }
+}

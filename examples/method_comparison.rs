@@ -1,0 +1,44 @@
+//! Compare the six page-update methods of Figure 12 on the same synthetic
+//! update workload and print the per-operation cost decomposition.
+//!
+//! Run with `cargo run --release --example method_comparison`.
+
+use page_differential_logging::prelude::*;
+use pdl_workload::{chip_for, db_pages_for, format_us};
+
+fn main() {
+    let scale = Scale::Quick;
+    let db_pages = db_pages_for(scale, 1);
+    println!(
+        "workload: N_updates_till_write = 1, %ChangedByOneU_Op = 2, {} pages\n",
+        db_pages
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>10}",
+        "method", "read us/op", "write us/op", "overall", "erases/op"
+    );
+
+    for kind in MethodKind::paper_six() {
+        let chip = chip_for(scale, FlashTiming::PAPER);
+        let mut store =
+            build_store(chip, kind, StoreOptions::new(db_pages)).expect("store fits");
+        load_database(store.as_mut()).expect("load");
+        let cfg = UpdateConfig::new(2.0, 1)
+            .with_measured_cycles(1_000)
+            .with_warmup(128, 40_000)
+            .with_phase_jitter(110);
+        let m = run_update_workload(store.as_mut(), &cfg).expect("workload");
+        println!(
+            "{:<12} {:>12} {:>12} {:>12} {:>10.3}",
+            store.name(),
+            format_us(m.read_us_per_op()),
+            format_us(m.write_us_per_op()),
+            format_us(m.overall_us_per_op()),
+            m.erases_per_op(),
+        );
+    }
+    println!(
+        "\nExpected shape (paper, Figure 12): PDL (256B) wins overall; \
+         OPU pays two writes per update; IPU pays a whole block cycle."
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build a PDL store over an emulated NAND chip, write and
+//! update pages, and inspect the simulated flash I/O costs.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use page_differential_logging::prelude::*;
+
+fn main() {
+    // A chip with the paper's geometry and timing (Table 1), scaled down
+    // to 64 blocks (8 MiB of data area).
+    let chip = FlashChip::new(FlashConfig::scaled(64));
+    let geometry = chip.geometry();
+    println!(
+        "chip: {} blocks x {} pages x ({} + {}) bytes",
+        geometry.num_blocks, geometry.pages_per_block, geometry.data_size, geometry.spare_size
+    );
+
+    // Page-differential logging with the paper's best configuration.
+    let mut store = build_store(
+        chip,
+        MethodKind::Pdl { max_diff_size: 256 },
+        StoreOptions::new(1024),
+    )
+    .expect("store fits the chip");
+
+    // Load 1024 logical pages.
+    let mut page = vec![0u8; store.logical_page_size()];
+    for pid in 0..1024u64 {
+        page.fill(pid as u8);
+        store.write_page(pid, &page).expect("write");
+    }
+    let after_load = store.chip().stats().total();
+    println!(
+        "loaded 1024 pages: {} writes, {:.1} ms simulated",
+        after_load.writes,
+        after_load.total_us() as f64 / 1000.0
+    );
+
+    // Update a small slice of one page: PDL reads the base page, computes
+    // the differential, and stages it in the one-page write buffer —
+    // usually *zero* flash writes per update.
+    store.chip_mut().reset_stats();
+    store.read_page(42, &mut page).expect("read");
+    page[100..141].fill(0xAB); // ~2% of the page
+    store.write_page(42, &page).expect("update");
+    let upd = store.chip().stats().total();
+    println!(
+        "one small update: {} reads, {} writes ({} us simulated)",
+        upd.reads,
+        upd.writes,
+        upd.total_us()
+    );
+
+    // Reading merges base + differential: at most two page reads.
+    store.chip_mut().reset_stats();
+    let mut out = vec![0u8; page.len()];
+    store.read_page(42, &mut out).expect("read back");
+    assert_eq!(out, page);
+    let rd = store.chip().stats().total();
+    println!("read-back: {} reads (at-most-two-page reading)", rd.reads);
+
+    // Durability: flush the differential write buffer (write-through),
+    // then simulate a crash + recovery scan.
+    store.flush().expect("write-through");
+    let kind = MethodKind::Pdl { max_diff_size: 256 };
+    let chip = store.into_chip(); // in-memory tables are gone
+    let mut recovered = recover_store(chip, kind, StoreOptions::new(1024)).expect("recover");
+    recovered.read_page(42, &mut out).expect("read after recovery");
+    assert_eq!(out, page);
+    println!(
+        "recovered after crash: page 42 intact ({} recovery reads)",
+        recovered.chip().stats().recovery.reads
+    );
+}

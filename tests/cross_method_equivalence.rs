@@ -1,0 +1,147 @@
+//! End-to-end equivalence: on the paper's real page geometry, every
+//! page-update method must expose identical logical-page semantics while
+//! differing only in flash cost.
+
+use page_differential_logging::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+const PAGES: u64 = 300;
+
+fn all_kinds() -> Vec<MethodKind> {
+    vec![
+        MethodKind::Opu,
+        MethodKind::Ipu,
+        MethodKind::Pdl { max_diff_size: 2048 },
+        MethodKind::Pdl { max_diff_size: 256 },
+        MethodKind::Ipl { log_bytes_per_block: 18 * 1024 },
+        MethodKind::Ipl { log_bytes_per_block: 64 * 1024 },
+    ]
+}
+
+/// Drive a deterministic mixed workload and return a digest of all final
+/// page contents.
+fn run_workload(kind: MethodKind, frames: u32, ops: usize) -> Vec<u8> {
+    let chip = FlashChip::new(FlashConfig::scaled(32));
+    let opts = StoreOptions::new(PAGES).with_frames_per_page(frames);
+    let mut store = build_store(chip, kind, opts).unwrap();
+    let size = store.logical_page_size();
+    let mut rng = StdRng::seed_from_u64(0xE2E);
+    let mut page = vec![0u8; size];
+
+    // Load.
+    for pid in 0..PAGES {
+        rng.fill_bytes(&mut page);
+        store.write_page(pid, &page).unwrap();
+    }
+    // Mixed update/read traffic with varying change sizes.
+    for op in 0..ops {
+        let pid = rng.gen_range(0..PAGES);
+        store.read_page(pid, &mut page).unwrap();
+        let n_updates = rng.gen_range(1..4);
+        for _ in 0..n_updates {
+            let len = *[3usize, 41, 200, 1024].get(rng.gen_range(0..4)).unwrap();
+            let len = len.min(size - 1);
+            let at = rng.gen_range(0..=size - len);
+            rng.fill_bytes(&mut page[at..at + len]);
+            store.apply_update(pid, &page, &[ChangeRange::new(at, len)]).unwrap();
+        }
+        store.evict_page(pid, &page).unwrap();
+        if op % 97 == 0 {
+            store.flush().unwrap();
+        }
+    }
+    // Digest the final state.
+    let mut digest = Vec::with_capacity(PAGES as usize * 4);
+    for pid in 0..PAGES {
+        store.read_page(pid, &mut page).unwrap();
+        digest.extend_from_slice(&pdl_flash::fnv1a32(&page).to_le_bytes());
+    }
+    digest
+}
+
+#[test]
+fn all_methods_agree_on_final_state() {
+    let kinds = all_kinds();
+    let reference = run_workload(kinds[0], 1, 600);
+    for kind in &kinds[1..] {
+        let digest = run_workload(*kind, 1, 600);
+        assert_eq!(digest, reference, "{} diverged from OPU", kind.label());
+    }
+}
+
+#[test]
+fn multi_frame_methods_agree_on_final_state() {
+    // 8 KB logical pages (Experiment 2b's configuration).
+    let kinds = vec![
+        MethodKind::Opu,
+        MethodKind::Ipu,
+        MethodKind::Pdl { max_diff_size: 2048 },
+        MethodKind::Ipl { log_bytes_per_block: 18 * 1024 },
+    ];
+    let reference = run_workload(kinds[0], 4, 250);
+    for kind in &kinds[1..] {
+        let digest = run_workload(*kind, 4, 250);
+        assert_eq!(digest, reference, "{} diverged from OPU", kind.label());
+    }
+}
+
+#[test]
+fn cost_model_signatures_hold_on_paper_geometry() {
+    // Not just equality: the distinguishing cost signature of each method
+    // must hold on the real 2 KB / 64-page geometry.
+    let chip = FlashChip::new(FlashConfig::scaled(32));
+    let mut opu = build_store(chip, MethodKind::Opu, StoreOptions::new(PAGES)).unwrap();
+    let chip = FlashChip::new(FlashConfig::scaled(32));
+    let mut pdl =
+        build_store(chip, MethodKind::Pdl { max_diff_size: 256 }, StoreOptions::new(PAGES))
+            .unwrap();
+    let mut page = vec![0u8; opu.logical_page_size()];
+    for pid in 0..PAGES {
+        page.fill(pid as u8);
+        opu.write_page(pid, &page).unwrap();
+        pdl.write_page(pid, &page).unwrap();
+    }
+    opu.chip_mut().reset_stats();
+    pdl.chip_mut().reset_stats();
+    // 100 small updates.
+    for pid in 0..100u64 {
+        page.fill(pid as u8);
+        page[7..48].fill(0xEE);
+        opu.write_page(pid, &page).unwrap();
+        pdl.write_page(pid, &page).unwrap();
+    }
+    let opu_cost = opu.chip().stats().total();
+    let pdl_cost = pdl.chip().stats().total();
+    // OPU: exactly 2 writes per update (program + obsolete mark).
+    assert_eq!(opu_cost.writes, 200);
+    // PDL: writing-difference-only — far fewer writes (buffer flushes and
+    // occasional obsolete marks only).
+    assert!(
+        pdl_cost.writes < 30,
+        "PDL wrote {} times for 100 small updates",
+        pdl_cost.writes
+    );
+    // PDL pays one base-page read per update to compute the differential.
+    assert_eq!(pdl_cost.reads, 100);
+}
+
+#[test]
+fn read_only_databases_read_like_page_based_methods() {
+    // §4.4: "if a database is used for read-only access, PDL reads only
+    // one physical page just like page-based methods".
+    let chip = FlashChip::new(FlashConfig::scaled(32));
+    let mut pdl =
+        build_store(chip, MethodKind::Pdl { max_diff_size: 2048 }, StoreOptions::new(PAGES))
+            .unwrap();
+    let mut page = vec![0u8; pdl.logical_page_size()];
+    for pid in 0..PAGES {
+        pdl.write_page(pid, &page).unwrap();
+    }
+    pdl.flush().unwrap();
+    pdl.chip_mut().reset_stats();
+    for pid in 0..PAGES {
+        pdl.read_page(pid, &mut page).unwrap();
+    }
+    assert_eq!(pdl.chip().stats().total().reads, PAGES);
+}
