@@ -94,11 +94,8 @@ fn ablate_gc_policy(scale: Scale) -> Table {
         let mut pdl = build_pdl(scale, 256, 8, policy);
         let (us, _, gc_us) = run(&mut pdl, &base_config(scale));
         let wear = pdl.chip().wear_summary();
-        let spread = if wear.avg_erases() > 0.0 {
-            wear.max_erases as f64 / wear.avg_erases()
-        } else {
-            0.0
-        };
+        let spread =
+            if wear.avg_erases() > 0.0 { wear.max_erases as f64 / wear.avg_erases() } else { 0.0 };
         t.row(vec![
             label.to_string(),
             format!("{us:.1}"),

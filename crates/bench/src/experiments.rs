@@ -245,8 +245,8 @@ pub fn table1_banner(scale: Scale) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pdl_core::MethodKind;
     use crate::runner::run_point;
+    use pdl_core::MethodKind;
 
     /// The headline result of the paper at quick scale: Figure 12's
     /// orderings hold.
@@ -332,7 +332,8 @@ mod tests {
     #[test]
     fn exp4_shapes_match_figure15() {
         let pdl = MethodKind::Pdl { max_diff_size: 256 };
-        let opu_read = run_point(Scale::Quick, PointSpec::new(MethodKind::Opu).with_mix(0.0)).unwrap();
+        let opu_read =
+            run_point(Scale::Quick, PointSpec::new(MethodKind::Opu).with_mix(0.0)).unwrap();
         let pdl_read = run_point(Scale::Quick, PointSpec::new(pdl).with_mix(0.0)).unwrap();
         let ratio = opu_read.overall_us_per_op() / pdl_read.overall_us_per_op();
         assert!(

@@ -125,10 +125,7 @@ pub fn run_points(scale: Scale, specs: &[PointSpec]) -> Result<Vec<Measurement>>
             });
         }
     });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("worker filled every slot"))
-        .collect()
+    results.into_iter().map(|m| m.into_inner().expect("worker filled every slot")).collect()
 }
 
 /// The method labels/kinds of Figure 12, paper order.

@@ -86,7 +86,8 @@ pub fn exp7(scale: Scale) -> Result<Table, CoreError> {
     };
     let workers = specs.len().clamp(1, max_workers);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<Result<(f64, u64), CoreError>>>> =
+    type PointResult = Result<(f64, u64), CoreError>;
+    let results: Vec<parking_lot::Mutex<Option<PointResult>>> =
         specs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {

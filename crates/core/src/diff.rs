@@ -72,8 +72,13 @@ impl Differential {
     /// Runs separated by at most `coalesce_gap` unchanged bytes are merged
     /// (including the gap bytes): each run costs 4 bytes of metadata, so
     /// small gaps are cheaper to carry than to split on.
-    pub fn compute(pid: u64, ts: u64, base: &[u8], new: &[u8], coalesce_gap: usize)
-        -> Differential {
+    pub fn compute(
+        pid: u64,
+        ts: u64,
+        base: &[u8],
+        new: &[u8],
+        coalesce_gap: usize,
+    ) -> Differential {
         debug_assert_eq!(base.len(), new.len());
         let mut runs: Vec<DiffRun> = Vec::new();
         let mut i = 0usize;

@@ -72,8 +72,6 @@ mod tests {
         assert!(Error::source(&e).is_some());
         assert!(is_power_loss(&e));
         assert!(!is_power_loss(&CoreError::StorageFull));
-        assert!(CoreError::PageIdOutOfRange { pid: 7, num_pages: 4 }
-            .to_string()
-            .contains('7'));
+        assert!(CoreError::PageIdOutOfRange { pid: 7, num_pages: 4 }.to_string().contains('7'));
     }
 }

@@ -239,8 +239,7 @@ impl BlockManager {
                 (GcPolicy::WearAware, Some((_, r, e))) => {
                     // Prefer clearly-more-reclaimable blocks; break near
                     // ties by wear.
-                    reclaim * 10 > r * 11
-                        || (reclaim * 10 >= r * 9 && self.erases[b as usize] < e)
+                    reclaim * 10 > r * 11 || (reclaim * 10 >= r * 9 && self.erases[b as usize] < e)
                 }
             };
             if better {
@@ -299,7 +298,10 @@ impl BlockManager {
 /// Mark a page obsolete, tolerating bad blocks: a page stranded in a
 /// block whose erase failed cannot be programmed, but its staleness is
 /// harmless (no live table entry points at it, and the block is retired).
-pub(crate) fn mark_obsolete_lenient(chip: &mut pdl_flash::FlashChip, ppn: Ppn) -> crate::Result<()> {
+pub(crate) fn mark_obsolete_lenient(
+    chip: &mut pdl_flash::FlashChip,
+    ppn: Ppn,
+) -> crate::Result<()> {
     match chip.mark_obsolete(ppn) {
         Ok(()) => Ok(()),
         Err(pdl_flash::FlashError::BadBlock(_)) => Ok(()),

@@ -81,7 +81,7 @@ impl Ipl {
     fn layout(chip: &FlashChip, opts: &StoreOptions, log_bytes: usize) -> Result<IplLayout> {
         let g = chip.geometry();
         let ds = g.data_size;
-        if log_bytes == 0 || log_bytes % ds != 0 {
+        if log_bytes == 0 || !log_bytes.is_multiple_of(ds) {
             return Err(CoreError::BadConfig(format!(
                 "IPL log region of {log_bytes} bytes is not a multiple of the {ds}-byte page"
             )));
@@ -102,7 +102,9 @@ impl Ipl {
         let data_frames = g.pages_per_block - log_pages;
         let lppb = data_frames / k;
         if lppb == 0 {
-            return Err(CoreError::BadConfig("a logical page does not fit a block's data region".into()));
+            return Err(CoreError::BadConfig(
+                "a logical page does not fit a block's data region".into(),
+            ));
         }
         let logical_page = opts.logical_page_size(ds);
         let sector_size = logical_page / 16;
@@ -112,8 +114,7 @@ impl Ipl {
             )));
         }
         let sectors_per_log_page = (ds / sector_size) as u32;
-        let num_logical_blocks =
-            opts.num_logical_pages.div_ceil(lppb as u64) as u32;
+        let num_logical_blocks = opts.num_logical_pages.div_ceil(lppb as u64) as u32;
         if num_logical_blocks + 1 > g.num_blocks {
             return Err(CoreError::BadConfig(format!(
                 "{num_logical_blocks} logical blocks (+1 merge spare) exceed {} physical blocks",
@@ -144,7 +145,10 @@ impl Ipl {
         let free_blocks: VecDeque<u32> =
             (l.num_logical_blocks..chip.geometry().num_blocks).collect();
         let regions = (0..l.num_logical_blocks)
-            .map(|_| LogRegion { sectors_used: 0, page_pids: vec![Vec::new(); l.log_pages as usize] })
+            .map(|_| LogRegion {
+                sectors_used: 0,
+                page_pids: vec![Vec::new(); l.log_pages as usize],
+            })
             .collect();
         Ok(Ipl {
             opts,
@@ -182,7 +186,11 @@ impl Ipl {
     /// intact, remains authoritative. The losing block is erased,
     /// completing (or rolling back) the interrupted merge. In-memory log
     /// buffers are lost, like any unflushed write buffer.
-    pub fn recover(mut chip: FlashChip, opts: StoreOptions, log_bytes_per_block: usize) -> Result<Ipl> {
+    pub fn recover(
+        mut chip: FlashChip,
+        opts: StoreOptions,
+        log_bytes_per_block: usize,
+    ) -> Result<Ipl> {
         opts.validate(&chip)?;
         let l = Self::layout(&chip, &opts, log_bytes_per_block)?;
         if chip.config().nop_data < l.sectors_per_log_page as u8 {
@@ -337,8 +345,10 @@ impl Ipl {
         for slot in block_map.iter_mut() {
             if *slot == NONE {
                 let b = (0..g.num_blocks)
-                    .find(|b| !assigned[*b as usize] && !scans[*b as usize].has_any
-                        || !assigned[*b as usize] && losers.contains(b))
+                    .find(|b| {
+                        !assigned[*b as usize]
+                            && (!scans[*b as usize].has_any || losers.contains(b))
+                    })
                     .ok_or(CoreError::StorageFull)?;
                 assigned[b as usize] = true;
                 *slot = b;
@@ -385,9 +395,7 @@ impl Ipl {
 
     /// Physical log page `i` of logical block `lb`.
     fn log_ppn(&self, lb: usize, i: u32) -> Ppn {
-        self.chip
-            .geometry()
-            .page_at(BlockId(self.block_map[lb]), self.data_frames + i)
+        self.chip.geometry().page_at(BlockId(self.block_map[lb]), self.data_frames + i)
     }
 
     fn sector_payload_cap(&self) -> usize {
@@ -425,8 +433,7 @@ impl Ipl {
             self.chip.program_page(ppn, &img, &spare)?;
         } else {
             let sector = log::encode_sector(pid, &records, self.sector_size);
-            self.chip
-                .program_partial(ppn, (slot as usize) * self.sector_size, &sector)?;
+            self.chip.program_partial(ppn, (slot as usize) * self.sector_size, &sector)?;
         }
         self.regions[lb].sectors_used += 1;
         let pids = &mut self.regions[lb].page_pids[log_page as usize];
@@ -451,10 +458,7 @@ impl Ipl {
         let g = self.chip.geometry();
         let ds = g.data_size;
         let old_block = self.block_map[lb];
-        let new_block = self
-            .free_blocks
-            .pop_front()
-            .ok_or(CoreError::StorageFull)?;
+        let new_block = self.free_blocks.pop_front().ok_or(CoreError::StorageFull)?;
         // Read every used log page once, bucketing records per pid in
         // global sector order.
         let mut per_pid: HashMap<u64, Vec<LogRecord>> = HashMap::new();
@@ -488,8 +492,7 @@ impl Ipl {
             }
             for j in 0..k {
                 let ppn = self.frame_ppn(pid, j);
-                self.chip
-                    .read_data(ppn, &mut logical[(j as usize) * ds..(j as usize + 1) * ds])?;
+                self.chip.read_data(ppn, &mut logical[(j as usize) * ds..(j as usize + 1) * ds])?;
             }
             if let Some(records) = per_pid.get(&pid) {
                 for r in records {
@@ -518,10 +521,8 @@ impl Ipl {
             Err(e) => return Err(e.into()),
         }
         let spl = self.sectors_per_log_page;
-        self.regions[lb] = LogRegion {
-            sectors_used: 0,
-            page_pids: vec![Vec::new(); self.log_pages as usize],
-        };
+        self.regions[lb] =
+            LogRegion { sectors_used: 0, page_pids: vec![Vec::new(); self.log_pages as usize] };
         debug_assert_eq!(spl, self.sectors_per_log_page);
         self.merges += 1;
         Ok(())
@@ -670,8 +671,8 @@ impl PageStore for Ipl {
         ]
     }
 
-    fn into_chip(self: Box<Self>) -> FlashChip {
-        self.chip
+    fn into_chips(self: Box<Self>) -> Vec<FlashChip> {
+        vec![self.chip]
     }
 }
 

@@ -67,14 +67,7 @@ impl Ipu {
             }
         }
         chip.set_context(pdl_flash::OpContext::User);
-        Ok(Ipu {
-            chip,
-            opts,
-            written,
-            ts: max_ts + 1,
-            block_cycles: 0,
-            direct_programs: 0,
-        })
+        Ok(Ipu { chip, opts, written, ts: max_ts + 1, block_cycles: 0, direct_programs: 0 })
     }
 
     /// Rewrite `block` in place with the target frames replaced by new
@@ -182,8 +175,7 @@ impl PageStore for Ipu {
                 // Loading path: target slots are still erased.
                 for (idx, data) in &group {
                     let ppn = g.page_at(block, *idx);
-                    let spare =
-                        make_spare(g.spare_size, PageKind::Data, ppn.0 as u64, ts, data);
+                    let spare = make_spare(g.spare_size, PageKind::Data, ppn.0 as u64, ts, data);
                     self.chip.program_page(ppn, data, &spare)?;
                     self.direct_programs += 1;
                 }
@@ -215,8 +207,8 @@ impl PageStore for Ipu {
         vec![("block_cycles", self.block_cycles), ("direct_programs", self.direct_programs)]
     }
 
-    fn into_chip(self: Box<Self>) -> FlashChip {
-        self.chip
+    fn into_chips(self: Box<Self>) -> Vec<FlashChip> {
+        vec![self.chip]
     }
 }
 

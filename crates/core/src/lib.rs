@@ -39,6 +39,7 @@ mod ipu;
 mod opu;
 mod page_store;
 mod pdl;
+mod shard;
 
 pub use error::{is_power_loss, CoreError};
 pub use ftl::GcPolicy;
@@ -47,6 +48,7 @@ pub use ipu::Ipu;
 pub use opu::Opu;
 pub use page_store::{ChangeRange, MethodKind, PageStore, StoreOptions};
 pub use pdl::Pdl;
+pub use shard::{shard_pages, ShardedStore};
 
 use pdl_flash::FlashChip;
 

@@ -40,8 +40,8 @@ impl Opu {
         opts.validate(&chip)?;
         let g = chip.geometry();
         let frames = opts.num_frames();
-        let usable =
-            (g.num_blocks.saturating_sub(opts.reserve_blocks + 1)) as u64 * g.pages_per_block as u64;
+        let usable = (g.num_blocks.saturating_sub(opts.reserve_blocks + 1)) as u64
+            * g.pages_per_block as u64;
         if frames > usable {
             return Err(CoreError::BadConfig(format!(
                 "{frames} frames do not fit: only {usable} pages usable outside the GC reserve"
@@ -297,8 +297,8 @@ impl PageStore for Opu {
         ]
     }
 
-    fn into_chip(self: Box<Self>) -> FlashChip {
-        self.chip
+    fn into_chips(self: Box<Self>) -> Vec<FlashChip> {
+        vec![self.chip]
     }
 }
 

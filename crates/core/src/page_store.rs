@@ -20,7 +20,7 @@
 
 use crate::error::CoreError;
 use crate::Result;
-use pdl_flash::FlashChip;
+use pdl_flash::{FlashChip, FlashStats, WearSummary};
 
 /// A changed byte range within a logical page, reported by the storage
 /// system to [`PageStore::apply_update`]. Only log-based methods consume
@@ -137,7 +137,12 @@ impl StoreOptions {
 }
 
 /// A page-update method: stores logical pages into flash memory.
-pub trait PageStore {
+///
+/// The trait is object-safe and `Send`, so `Box<dyn PageStore>` can move
+/// between threads — the property the sharded engine
+/// ([`crate::ShardedStore`]) builds on by placing one boxed store behind
+/// each shard lock.
+pub trait PageStore: Send {
     /// The options this store was built with.
     fn options(&self) -> &StoreOptions;
 
@@ -153,8 +158,7 @@ pub trait PageStore {
     /// Loosely-coupled methods (PDL, OPU, IPU) ignore this; the log-based
     /// method (IPL) appends update logs to its write buffer here and may
     /// write log sectors to flash.
-    fn apply_update(&mut self, pid: u64, page_after: &[u8], changes: &[ChangeRange])
-        -> Result<()>;
+    fn apply_update(&mut self, pid: u64, page_after: &[u8], changes: &[ChangeRange]) -> Result<()>;
 
     /// Reflect the up-to-date logical page into flash memory (the page is
     /// being swapped out of the DBMS buffer).
@@ -165,8 +169,38 @@ pub trait PageStore {
     fn flush(&mut self) -> Result<()>;
 
     /// Access to the underlying chip (statistics, wear, timing).
+    ///
+    /// # Panics
+    ///
+    /// Panics on stores that span more than one chip
+    /// ([`PageStore::num_shards`] > 1); those expose aggregate accounting
+    /// via [`PageStore::stats`] / [`PageStore::wear_summary`] instead.
     fn chip(&self) -> &FlashChip;
     fn chip_mut(&mut self) -> &mut FlashChip;
+
+    /// Aggregate flash statistics — on a sharded store, summed over every
+    /// shard's chip. Prefer this over `chip().stats()` in engine-agnostic
+    /// code (drivers, buffer pools, reports).
+    fn stats(&self) -> FlashStats {
+        self.chip().stats()
+    }
+
+    /// Reset the statistics ledgers of every underlying chip.
+    fn reset_stats(&mut self) {
+        self.chip_mut().reset_stats();
+    }
+
+    /// Aggregate wear (erase-count) summary over every underlying chip's
+    /// blocks.
+    fn wear_summary(&self) -> WearSummary {
+        self.chip().wear_summary()
+    }
+
+    /// Number of independent partitions this store routes pages across
+    /// (1 for the plain single-chip methods).
+    fn num_shards(&self) -> usize {
+        1
+    }
 
     /// Short human-readable method label, e.g. `PDL (256B)`.
     fn name(&self) -> String;
@@ -179,7 +213,24 @@ pub trait PageStore {
 
     /// Tear down and return the chip (e.g. to simulate a crash + restart:
     /// in-memory tables are dropped, the chip survives).
-    fn into_chip(self: Box<Self>) -> FlashChip;
+    ///
+    /// # Panics
+    ///
+    /// Panics on stores that span more than one chip; use
+    /// [`PageStore::into_chips`] there.
+    fn into_chip(self: Box<Self>) -> FlashChip {
+        let mut chips = self.into_chips();
+        assert_eq!(
+            chips.len(),
+            1,
+            "into_chip on a store spanning {} chips; use into_chips",
+            chips.len()
+        );
+        chips.pop().expect("one chip")
+    }
+
+    /// Tear down and return every underlying chip, shard order preserved.
+    fn into_chips(self: Box<Self>) -> Vec<FlashChip>;
 
     /// Logical page size in bytes.
     fn logical_page_size(&self) -> usize {
@@ -218,7 +269,7 @@ impl MethodKind {
     /// `IPL (18KB)`, `OPU`, `IPU`.
     pub fn label(&self) -> String {
         fn size(bytes: usize) -> String {
-            if bytes % 1024 == 0 {
+            if bytes.is_multiple_of(1024) {
                 format!("{}KB", bytes / 1024)
             } else {
                 format!("{bytes}B")

@@ -51,11 +51,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// Fingerprint of one block: identifies its erase generation by hashing
 /// the spare identity of its first and last written pages plus the fill
 /// level. 0 = block free.
-fn block_fingerprint(
-    chip: &mut FlashChip,
-    block: BlockId,
-    written: u32,
-) -> Result<u64> {
+fn block_fingerprint(chip: &mut FlashChip, block: BlockId, written: u32) -> Result<u64> {
     if written == 0 {
         return Ok(0);
     }
@@ -284,10 +280,12 @@ fn find_latest_header(chip: &mut FlashChip, opts: &StoreOptions) -> Result<Optio
         for i in 0..g.pages_per_block {
             let ppn = g.page_at(BlockId(b), i);
             match chip.read_spare(ppn)? {
-                Some(info) if info.kind == PageKind::CheckpointHead && !info.obsolete => {
-                    if best.map(|(s, _)| info.tag > s).unwrap_or(true) {
-                        best = Some((info.tag, ppn));
-                    }
+                Some(info)
+                    if info.kind == PageKind::CheckpointHead
+                        && !info.obsolete
+                        && best.map(|(s, _)| info.tag > s).unwrap_or(true) =>
+                {
+                    best = Some((info.tag, ppn));
                 }
                 Some(info) if info.kind == PageKind::Free => break, // halves fill sequentially
                 _ => {}
@@ -325,10 +323,7 @@ pub(crate) fn try_fast_recover(
     result
 }
 
-fn fast_recover_inner(
-    chip: &mut FlashChip,
-    opts: &StoreOptions,
-) -> Result<Option<RecoveryTables>> {
+fn fast_recover_inner(chip: &mut FlashChip, opts: &StoreOptions) -> Result<Option<RecoveryTables>> {
     let g = chip.geometry();
     let Some(header) = find_latest_header(chip, opts)? else { return Ok(None) };
 
@@ -340,9 +335,7 @@ fn fast_recover_inner(
         payload.extend_from_slice(&img);
     }
     payload.truncate(header.payload_len as usize);
-    if payload.len() != header.payload_len as usize
-        || (fnv1a64(&payload) as u32) != header.csum
-    {
+    if payload.len() != header.payload_len as usize || (fnv1a64(&payload) as u32) != header.csum {
         return Ok(None); // torn or stale checkpoint: fall back
     }
 
@@ -433,22 +426,23 @@ fn fast_recover_inner(
 
     // Replay invalidated blocks fully and grown tails partially.
     let mut data_buf = vec![0u8; g.data_size];
-    let mut replay = |chip: &mut FlashChip, tables: &mut RecoveryTables, b: u32, from: u32| -> Result<()> {
-        for i in from..g.pages_per_block {
-            let ppn = g.page_at(BlockId(b), i);
-            let Some(info) = chip.read_spare(ppn)? else { continue };
-            if info.kind == PageKind::Free {
-                break; // blocks fill sequentially
+    let mut replay =
+        |chip: &mut FlashChip, tables: &mut RecoveryTables, b: u32, from: u32| -> Result<()> {
+            for i in from..g.pages_per_block {
+                let ppn = g.page_at(BlockId(b), i);
+                let Some(info) = chip.read_spare(ppn)? else { continue };
+                if info.kind == PageKind::Free {
+                    break; // blocks fill sequentially
+                }
+                tables.written[b as usize] += 1;
+                if info.obsolete {
+                    tables.obsolete[b as usize] += 1;
+                    continue;
+                }
+                tables.apply_page(chip, ppn, info, &mut data_buf)?;
             }
-            tables.written[b as usize] += 1;
-            if info.obsolete {
-                tables.obsolete[b as usize] += 1;
-                continue;
-            }
-            tables.apply_page(chip, ppn, info, &mut data_buf)?;
-        }
-        Ok(())
-    };
+            Ok(())
+        };
     for b in invalidated.clone() {
         replay(chip, &mut tables, b, 0)?;
     }

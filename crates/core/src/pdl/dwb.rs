@@ -88,7 +88,6 @@ impl DiffWriteBuffer {
             at += n;
         }
     }
-
 }
 
 #[cfg(test)]

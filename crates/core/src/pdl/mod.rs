@@ -111,9 +111,7 @@ impl Pdl {
             ));
         }
         let frames = opts.num_frames();
-        let usable = (g
-            .num_blocks
-            .saturating_sub(opts.reserve_blocks + 1 + opts.checkpoint_blocks))
+        let usable = (g.num_blocks.saturating_sub(opts.reserve_blocks + 1 + opts.checkpoint_blocks))
             as u64
             * g.pages_per_block as u64;
         if frames > usable {
@@ -488,9 +486,7 @@ impl PageStore for Pdl {
         let read = self.read_base_into(&entry, &mut base);
         // Step 2: create the differential by comparison.
         let ts = self.next_ts();
-        let d = read.map(|()| {
-            Differential::compute(pid, ts, &base, page, self.opts.coalesce_gap)
-        });
+        let d = read.map(|()| Differential::compute(pid, ts, &base, page, self.opts.coalesce_gap));
         self.base_buf = base;
         let d = d?;
         if d.is_empty() && entry.diff == NONE && self.dwb.get(pid).is_none() {
@@ -558,8 +554,8 @@ impl PageStore for Pdl {
         ]
     }
 
-    fn into_chip(self: Box<Self>) -> FlashChip {
-        self.chip
+    fn into_chips(self: Box<Self>) -> Vec<FlashChip> {
+        vec![self.chip]
     }
 }
 
@@ -712,7 +708,8 @@ mod tests {
     fn sustained_updates_gc_and_preserve_data() {
         let mut s = store(8, 128);
         let ds = s.chip().geometry().data_size;
-        let mut truth: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; s.logical_page_size()]).collect();
+        let mut truth: Vec<Vec<u8>> =
+            (0..8).map(|i| vec![i as u8; s.logical_page_size()]).collect();
         for (pid, t) in truth.iter().enumerate() {
             s.write_page(pid as u64, t).unwrap();
         }
@@ -736,8 +733,7 @@ mod tests {
     #[test]
     fn multi_frame_logical_pages() {
         let chip = FlashChip::new(FlashConfig::tiny());
-        let mut s =
-            Pdl::new(chip, StoreOptions::new(4).with_frames_per_page(2), 128).unwrap();
+        let mut s = Pdl::new(chip, StoreOptions::new(4).with_frames_per_page(2), 128).unwrap();
         let ds = s.chip().geometry().data_size;
         let mut p = vec![0u8; 2 * ds];
         p[..ds].fill(1);

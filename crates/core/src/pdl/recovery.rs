@@ -155,8 +155,7 @@ impl RecoveryTables {
                         continue;
                     }
                     self.max_ts = self.max_ts.max(d.ts);
-                    let base_ts =
-                        (0..k).map(|j| self.frame_ts[pid * k + j]).max().unwrap_or(0);
+                    let base_ts = (0..k).map(|j| self.frame_ts[pid * k + j]).max().unwrap_or(0);
                     if d.ts > base_ts && d.ts > self.diff_ts[pid] {
                         // d is the most recent differential of pid.
                         if self.ppmt[pid].diff != NONE {
@@ -174,9 +173,9 @@ impl RecoveryTables {
                 }
                 Ok(())
             }
-            other => Err(CoreError::Corruption(format!(
-                "PDL recovery found a {other:?} page at {ppn}"
-            ))),
+            other => {
+                Err(CoreError::Corruption(format!("PDL recovery found a {other:?} page at {ppn}")))
+            }
         }
     }
 }

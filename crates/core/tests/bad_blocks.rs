@@ -10,12 +10,7 @@ use rand::{Rng, RngCore, SeedableRng};
 
 const PAGES: u64 = 200;
 
-fn churn(
-    store: &mut Box<dyn PageStore>,
-    truth: &mut Vec<Vec<u8>>,
-    rounds: usize,
-    seed: u64,
-) {
+fn churn(store: &mut Box<dyn PageStore>, truth: &mut Vec<Vec<u8>>, rounds: usize, seed: u64) {
     let size = store.logical_page_size();
     let mut rng = StdRng::seed_from_u64(seed);
     if truth.is_empty() {
@@ -97,12 +92,8 @@ fn injected_erase_failures_do_not_lose_data() {
         // broken blocks.
         churn(&mut store, &mut truth, 12_000, 2);
         verify(&mut store, &truth);
-        let bad = store
-            .counters()
-            .iter()
-            .find(|(k, _)| *k == "bad_blocks")
-            .map(|(_, v)| *v)
-            .unwrap_or(0);
+        let bad =
+            store.counters().iter().find(|(k, _)| *k == "bad_blocks").map(|(_, v)| *v).unwrap_or(0);
         assert!(bad > 0, "{}: churn must have hit an injected failure", store.name());
     }
 }
@@ -113,8 +104,7 @@ fn catastrophic_failure_rate_ends_in_storage_full_not_corruption() {
     // failures in a row. The store may legitimately end with StorageFull —
     // but every successful read before and after must stay correct.
     let chip = FlashChip::new(FlashConfig::scaled(16));
-    let mut store =
-        build_store(chip, MethodKind::Opu, StoreOptions::new(PAGES)).unwrap();
+    let mut store = build_store(chip, MethodKind::Opu, StoreOptions::new(PAGES)).unwrap();
     let mut truth = Vec::new();
     churn(&mut store, &mut truth, 200, 21);
     for b in 0..16u32 {
@@ -212,12 +202,8 @@ fn ipl_merge_survives_erase_failure() {
     }
     churn(&mut store, &mut truth, 4_000, 6);
     verify(&mut store, &truth);
-    let bad = store
-        .counters()
-        .iter()
-        .find(|(k, _)| *k == "bad_blocks")
-        .map(|(_, v)| *v)
-        .unwrap_or(0);
+    let bad =
+        store.counters().iter().find(|(k, _)| *k == "bad_blocks").map(|(_, v)| *v).unwrap_or(0);
     assert!(bad > 0, "merges must have hit the injected failures");
 }
 

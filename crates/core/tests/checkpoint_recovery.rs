@@ -124,7 +124,7 @@ fn crash_during_checkpoint_falls_back_to_previous_state() {
     let mut s = fresh();
     let truth = churn(&mut s, 300, 5);
     s.checkpoint().unwrap(); // checkpoint A (committed)
-    // More updates, then a checkpoint that dies before its header lands.
+                             // More updates, then a checkpoint that dies before its header lands.
     let size = s.logical_page_size();
     let mut truth2 = truth.clone();
     truth2[7][0..8].fill(0x9A);
@@ -192,9 +192,7 @@ fn unflushed_buffer_still_lost_with_checkpoints() {
 fn bad_root_region_configs_are_rejected() {
     let chip = FlashChip::new(FlashConfig::scaled(24));
     assert!(Pdl::new(chip.clone(), StoreOptions::new(64).with_checkpoint_blocks(1), 256).is_err());
-    assert!(
-        Pdl::new(chip.clone(), StoreOptions::new(64).with_checkpoint_blocks(24), 256).is_err()
-    );
+    assert!(Pdl::new(chip.clone(), StoreOptions::new(64).with_checkpoint_blocks(24), 256).is_err());
     // Checkpoint call without a root region fails cleanly.
     let mut s = Pdl::new(chip, StoreOptions::new(64), 256).unwrap();
     assert!(s.checkpoint().is_err());

@@ -3,9 +3,9 @@
 //! the workload could legally have produced (flushed state, or a
 //! committed post-flush update), and a second crash+recovery must agree.
 
-use proptest::prelude::*;
 use pdl_core::{build_store, is_power_loss, recover_store, MethodKind, PageStore, StoreOptions};
 use pdl_flash::{FlashChip, FlashConfig};
+use proptest::prelude::*;
 
 const PAGES: u64 = 24;
 

@@ -3,9 +3,9 @@
 //! sequences — that is the whole point of the PageStore abstraction (the
 //! methods differ in *cost*, never in *content*).
 
-use proptest::prelude::*;
 use pdl_core::{build_store, recover_store, ChangeRange, MethodKind, PageStore, StoreOptions};
 use pdl_flash::{FlashChip, FlashConfig};
+use proptest::prelude::*;
 
 const NUM_PAGES: u64 = 10;
 
@@ -36,10 +36,7 @@ enum Step {
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
         (0..NUM_PAGES).prop_map(|pid| Step::Read { pid }),
-        (
-            0..NUM_PAGES,
-            proptest::collection::vec((0u16..250, 1u8..32, any::<u8>()), 1..5)
-        )
+        (0..NUM_PAGES, proptest::collection::vec((0u16..250, 1u8..32, any::<u8>()), 1..5))
             .prop_map(|(pid, updates)| Step::Update { pid, updates }),
         (0..NUM_PAGES, any::<u8>()).prop_map(|(pid, fill)| Step::WriteWhole { pid, fill }),
         Just(Step::Flush),

@@ -585,9 +585,8 @@ mod tests {
         assert_eq!(&c.peek_data(Ppn(0))[64..128], &sector[..]);
         assert_eq!(c.peek_data(Ppn(0))[192], 0xFF);
         assert_eq!(c.data_program_count(Ppn(0)), 3);
-        let err = c.program_partial(Ppn(0), 192, &sector).unwrap();
+        c.program_partial(Ppn(0), 192, &sector).unwrap();
         // nop_data = 4: the fourth program still fits.
-        let _ = err;
         assert!(matches!(
             c.program_partial(Ppn(0), 0, &[0x00]).unwrap_err(),
             FlashError::NopExceeded { .. }

@@ -58,33 +58,19 @@ pub struct FlashGeometry {
 impl FlashGeometry {
     /// Geometry of the Samsung K9L8G08U0M part from Table 1 of the paper:
     /// 32768 blocks x 64 pages x (2048 + 64) bytes = 2 Gbytes.
-    pub const PAPER: FlashGeometry = FlashGeometry {
-        num_blocks: 32_768,
-        pages_per_block: 64,
-        data_size: 2_048,
-        spare_size: 64,
-    };
+    pub const PAPER: FlashGeometry =
+        FlashGeometry { num_blocks: 32_768, pages_per_block: 64, data_size: 2_048, spare_size: 64 };
 
     /// Same page/block shape as the paper but with `num_blocks` blocks,
     /// for scaled-down experiments and tests.
     pub const fn scaled(num_blocks: u32) -> FlashGeometry {
-        FlashGeometry {
-            num_blocks,
-            pages_per_block: 64,
-            data_size: 2_048,
-            spare_size: 64,
-        }
+        FlashGeometry { num_blocks, pages_per_block: 64, data_size: 2_048, spare_size: 64 }
     }
 
     /// A deliberately tiny geometry for unit tests (fast to scan
     /// exhaustively).
     pub const fn tiny() -> FlashGeometry {
-        FlashGeometry {
-            num_blocks: 16,
-            pages_per_block: 8,
-            data_size: 256,
-            spare_size: 32,
-        }
+        FlashGeometry { num_blocks: 16, pages_per_block: 8, data_size: 256, spare_size: 32 }
     }
 
     /// Total number of pages on the chip.
@@ -140,11 +126,8 @@ pub struct FlashTiming {
 
 impl FlashTiming {
     /// Timing of the Samsung K9L8G08U0M part from Table 1 of the paper.
-    pub const PAPER: FlashTiming = FlashTiming {
-        t_read_us: 110,
-        t_write_us: 1_010,
-        t_erase_us: 1_500,
-    };
+    pub const PAPER: FlashTiming =
+        FlashTiming { t_read_us: 110, t_write_us: 1_010, t_erase_us: 1_500 };
 }
 
 impl Default for FlashTiming {
@@ -183,18 +166,12 @@ impl FlashConfig {
     /// The paper's chip scaled down to `num_blocks` blocks (same page and
     /// block shape, same timing).
     pub fn scaled(num_blocks: u32) -> FlashConfig {
-        FlashConfig {
-            geometry: FlashGeometry::scaled(num_blocks),
-            ..FlashConfig::paper()
-        }
+        FlashConfig { geometry: FlashGeometry::scaled(num_blocks), ..FlashConfig::paper() }
     }
 
     /// Tiny chip for unit tests.
     pub fn tiny() -> FlashConfig {
-        FlashConfig {
-            geometry: FlashGeometry::tiny(),
-            ..FlashConfig::paper()
-        }
+        FlashConfig { geometry: FlashGeometry::tiny(), ..FlashConfig::paper() }
     }
 
     /// Builder-style override of the timing parameters (used by
@@ -229,10 +206,7 @@ mod tests {
         assert_eq!(g.data_size, 2_048);
         assert_eq!(g.spare_size, 64);
         // S_block = N_page * S_page = 64 * 2112 = 135168 bytes.
-        assert_eq!(
-            g.pages_per_block as usize * (g.data_size + g.spare_size),
-            135_168
-        );
+        assert_eq!(g.pages_per_block as usize * (g.data_size + g.spare_size), 135_168);
         // N_block * N_page * S_data = 2^15 * 2^6 * 2^11 = 2^32 bytes.
         // (The paper labels the part "2 Gbytes"; Table 1's parameters
         // multiply out to 4 GiB of data area — we follow Table 1 verbatim.)

@@ -117,10 +117,7 @@ impl SpareInfo {
     /// [`SPARE_BYTES_USED`]; remaining bytes are left erased).
     pub fn encode(&self, spare: &mut [u8]) -> Result<()> {
         if spare.len() < SPARE_BYTES_USED {
-            return Err(FlashError::BadBufferSize {
-                expected: SPARE_BYTES_USED,
-                got: spare.len(),
-            });
+            return Err(FlashError::BadBufferSize { expected: SPARE_BYTES_USED, got: spare.len() });
         }
         spare.fill(0xFF);
         spare[OFF_KIND] = self.kind.to_byte();
@@ -223,10 +220,7 @@ mod tests {
     fn encode_requires_room() {
         let info = SpareInfo::new(PageKind::Data, 1, 2, 3);
         let mut small = vec![0u8; 8];
-        assert!(matches!(
-            info.encode(&mut small),
-            Err(FlashError::BadBufferSize { .. })
-        ));
+        assert!(matches!(info.encode(&mut small), Err(FlashError::BadBufferSize { .. })));
     }
 
     #[test]

@@ -145,6 +145,24 @@ impl Sub for FlashStats {
     }
 }
 
+impl Add for FlashStats {
+    type Output = FlashStats;
+    /// Per-context sum, used to aggregate ledgers across shard chips.
+    fn add(self, o: FlashStats) -> FlashStats {
+        FlashStats {
+            user: self.user + o.user,
+            gc: self.gc + o.gc,
+            recovery: self.recovery + o.recovery,
+        }
+    }
+}
+
+impl AddAssign for FlashStats {
+    fn add_assign(&mut self, o: FlashStats) {
+        *self = *self + o;
+    }
+}
+
 /// Wear (erase-count) summary over all blocks, used by the longevity
 /// experiment (Figure 17) and the wear-aware GC ablation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -162,6 +180,32 @@ impl WearSummary {
         } else {
             self.total_erases as f64 / self.num_blocks as f64
         }
+    }
+
+    /// Fold another chip's wear summary into this one, treating the two
+    /// block populations as one (sharded engines report wear over all
+    /// their chips this way; an empty summary is the identity).
+    pub fn merge(&mut self, other: &WearSummary) {
+        if other.num_blocks == 0 {
+            return;
+        }
+        if self.num_blocks == 0 {
+            *self = *other;
+            return;
+        }
+        self.min_erases = self.min_erases.min(other.min_erases);
+        self.max_erases = self.max_erases.max(other.max_erases);
+        self.total_erases += other.total_erases;
+        self.num_blocks += other.num_blocks;
+    }
+
+    /// Aggregate wear over many chips (see [`WearSummary::merge`]).
+    pub fn merged(summaries: impl IntoIterator<Item = WearSummary>) -> WearSummary {
+        let mut out = WearSummary::default();
+        for s in summaries {
+            out.merge(&s);
+        }
+        out
     }
 }
 
@@ -196,7 +240,8 @@ mod tests {
     #[test]
     fn add_and_sub_are_inverse() {
         let a = sample();
-        let b = OpCounts { reads: 1, writes: 1, erases: 0, read_us: 110, write_us: 1010, erase_us: 0 };
+        let b =
+            OpCounts { reads: 1, writes: 1, erases: 0, read_us: 110, write_us: 1010, erase_us: 0 };
         assert_eq!((a + b) - b, a);
     }
 
@@ -226,5 +271,36 @@ mod tests {
     fn wear_summary_average() {
         let w = WearSummary { min_erases: 1, max_erases: 9, total_erases: 40, num_blocks: 8 };
         assert!((w.avg_erases() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wear_summary_merge_combines_populations() {
+        let a = WearSummary { min_erases: 2, max_erases: 9, total_erases: 40, num_blocks: 8 };
+        let b = WearSummary { min_erases: 1, max_erases: 5, total_erases: 24, num_blocks: 4 };
+        let m = WearSummary::merged([a, b]);
+        assert_eq!(m.min_erases, 1);
+        assert_eq!(m.max_erases, 9);
+        assert_eq!(m.total_erases, 64);
+        assert_eq!(m.num_blocks, 12);
+        // The empty summary is the identity on both sides.
+        assert_eq!(WearSummary::merged([WearSummary::default(), a]), a);
+        assert_eq!(WearSummary::merged([a, WearSummary::default()]), a);
+    }
+
+    #[test]
+    fn flash_stats_add_is_per_context() {
+        let mut a = FlashStats::default();
+        a.user.reads = 2;
+        a.gc.erases = 1;
+        let mut b = FlashStats::default();
+        b.user.reads = 3;
+        b.recovery.writes = 7;
+        let s = a + b;
+        assert_eq!(s.user.reads, 5);
+        assert_eq!(s.gc.erases, 1);
+        assert_eq!(s.recovery.writes, 7);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, s);
     }
 }

@@ -1,10 +1,10 @@
 //! Property-based tests for the flash emulator: NAND semantics must hold
 //! for arbitrary operation sequences.
 
-use proptest::prelude::*;
 use pdl_flash::{
     fnv1a32, BlockId, FlashChip, FlashConfig, FlashError, PageBuf, PageKind, Ppn, SpareInfo,
 };
+use proptest::prelude::*;
 
 fn tiny_chip() -> FlashChip {
     FlashChip::new(FlashConfig::tiny())
@@ -22,8 +22,11 @@ enum Op {
 
 fn op_strategy(num_pages: u32, num_blocks: u32, data_size: usize) -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..num_pages, any::<u8>(), any::<u64>())
-            .prop_map(|(page, fill, tag)| Op::Program { page, fill, tag }),
+        (0..num_pages, any::<u8>(), any::<u64>()).prop_map(|(page, fill, tag)| Op::Program {
+            page,
+            fill,
+            tag
+        }),
         (0..num_pages, 0..data_size as u16, any::<u8>())
             .prop_map(|(page, offset, byte)| Op::Partial { page, offset, byte }),
         (0..num_pages).prop_map(|page| Op::MarkObsolete { page }),

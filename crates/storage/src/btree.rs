@@ -231,7 +231,7 @@ impl BTree {
         if found.is_none() {
             // The first match can sit at the head of the next leaf when the
             // key equals a separator.
-            let next = db.with_page(leaf, |p| link(p))?;
+            let next = db.with_page(leaf, link)?;
             if next != NO_PID {
                 found = db.with_page(next, |p| {
                     (count(p) > 0 && entry_key(p, 0) == *key).then(|| entry_val(p, 0))
@@ -491,8 +491,8 @@ mod tests {
         // to hold a few hundred nodes.
         let mut config = FlashConfig::tiny();
         config.geometry.num_blocks = 64;
-        let store = build_store(FlashChip::new(config), MethodKind::Opu, StoreOptions::new(448))
-            .unwrap();
+        let store =
+            build_store(FlashChip::new(config), MethodKind::Opu, StoreOptions::new(448)).unwrap();
         Database::new(store, 16)
     }
 

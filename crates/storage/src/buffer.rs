@@ -71,10 +71,7 @@ impl<'a> PageMut<'a> {
 pub mod testing {
     use super::*;
 
-    pub fn page_mut<'a>(
-        data: &'a mut [u8],
-        changes: &'a mut Vec<ChangeRange>,
-    ) -> PageMut<'a> {
+    pub fn page_mut<'a>(data: &'a mut [u8], changes: &'a mut Vec<ChangeRange>) -> PageMut<'a> {
         PageMut { data, changes }
     }
 }
@@ -114,34 +111,187 @@ impl BufferStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Fold another cache's statistics into this one (stripe aggregation).
+    pub fn merge(&mut self, other: &BufferStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.dirty_writebacks += other.dirty_writebacks;
+    }
+}
+
+/// The page-store operations a frame cache needs from its backing store.
+///
+/// [`BufferPool`] backs this with exclusive access to a
+/// `Box<dyn PageStore>`; the striped pool backs it with the `*_shared`
+/// entry points of a shared `ShardedStore`, so each stripe can fault and
+/// write back pages while holding only its own lock.
+pub(crate) trait PageBackend {
+    fn read(&mut self, pid: u64, out: &mut [u8]) -> Result<()>;
+    fn apply(&mut self, pid: u64, page_after: &[u8], changes: &[ChangeRange]) -> Result<()>;
+    fn evict(&mut self, pid: u64, page: &[u8]) -> Result<()>;
+}
+
+impl PageBackend for Box<dyn PageStore> {
+    fn read(&mut self, pid: u64, out: &mut [u8]) -> Result<()> {
+        Ok(self.read_page(pid, out)?)
+    }
+
+    fn apply(&mut self, pid: u64, page_after: &[u8], changes: &[ChangeRange]) -> Result<()> {
+        Ok(self.apply_update(pid, page_after, changes)?)
+    }
+
+    fn evict(&mut self, pid: u64, page: &[u8]) -> Result<()> {
+        Ok(self.evict_page(pid, page)?)
+    }
+}
+
+/// An LRU frame cache: the store-independent core shared by
+/// [`BufferPool`] (one cache over the whole store) and the striped
+/// sharded pool (one cache per shard, each behind its own lock).
+pub(crate) struct FrameCache {
+    frames: Vec<Frame>,
+    map: HashMap<u64, usize>,
+    capacity: usize,
+    page_size: usize,
+    tick: u64,
+    stats: BufferStats,
+}
+
+impl FrameCache {
+    pub(crate) fn new(capacity: usize, page_size: usize) -> FrameCache {
+        let capacity = capacity.max(1);
+        FrameCache {
+            frames: Vec::with_capacity(capacity.min(1024)),
+            map: HashMap::new(),
+            capacity,
+            page_size,
+            tick: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    pub(crate) fn with_page<B: PageBackend, R>(
+        &mut self,
+        backend: &mut B,
+        pid: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        let idx = self.fetch(backend, pid)?;
+        self.tick += 1;
+        self.frames[idx].last_use = self.tick;
+        Ok(f(&self.frames[idx].data))
+    }
+
+    pub(crate) fn with_page_mut<B: PageBackend, R>(
+        &mut self,
+        backend: &mut B,
+        pid: u64,
+        f: impl FnOnce(&mut PageMut) -> R,
+    ) -> Result<R> {
+        let idx = self.fetch(backend, pid)?;
+        self.tick += 1;
+        let frame = &mut self.frames[idx];
+        frame.last_use = self.tick;
+        debug_assert!(frame.changes.is_empty());
+        let mut page = PageMut { data: &mut frame.data, changes: &mut frame.changes };
+        let r = f(&mut page);
+        if !frame.changes.is_empty() {
+            frame.dirty = true;
+            let changes = std::mem::take(&mut frame.changes);
+            backend.apply(pid, &frame.data, &changes)?;
+        }
+        Ok(r)
+    }
+
+    /// Locate or load `pid` into a frame, evicting if needed.
+    fn fetch<B: PageBackend>(&mut self, backend: &mut B, pid: u64) -> Result<usize> {
+        if let Some(idx) = self.map.get(&pid) {
+            self.stats.hits += 1;
+            return Ok(*idx);
+        }
+        self.stats.misses += 1;
+        let idx = if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                pid: u64::MAX,
+                data: vec![0u8; self.page_size],
+                dirty: false,
+                last_use: 0,
+                changes: Vec::new(),
+            });
+            self.frames.len() - 1
+        } else {
+            self.evict_lru(backend)?
+        };
+        backend.read(pid, &mut self.frames[idx].data)?;
+        self.frames[idx].pid = pid;
+        self.frames[idx].dirty = false;
+        self.map.insert(pid, idx);
+        Ok(idx)
+    }
+
+    fn evict_lru<B: PageBackend>(&mut self, backend: &mut B) -> Result<usize> {
+        let (idx, _) = self
+            .frames
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, f)| f.last_use)
+            .ok_or_else(|| StorageError::Internal("empty pool cannot evict".into()))?;
+        let pid = self.frames[idx].pid;
+        if self.frames[idx].dirty {
+            backend.evict(pid, &self.frames[idx].data)?;
+            self.stats.dirty_writebacks += 1;
+        }
+        self.map.remove(&pid);
+        self.stats.evictions += 1;
+        Ok(idx)
+    }
+
+    /// Write every dirty frame back (does not flush the store itself).
+    pub(crate) fn write_back_dirty<B: PageBackend>(&mut self, backend: &mut B) -> Result<()> {
+        for idx in 0..self.frames.len() {
+            if self.frames[idx].dirty {
+                let pid = self.frames[idx].pid;
+                backend.evict(pid, &self.frames[idx].data)?;
+                self.frames[idx].dirty = false;
+                self.stats.dirty_writebacks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop every cached page without writing back (crash simulation).
+    pub(crate) fn clear(&mut self) {
+        self.frames.clear();
+        self.map.clear();
+    }
 }
 
 /// An LRU buffer pool over a page store.
 pub struct BufferPool {
     store: Box<dyn PageStore>,
-    frames: Vec<Frame>,
-    map: HashMap<u64, usize>,
-    capacity: usize,
-    tick: u64,
-    stats: BufferStats,
+    cache: FrameCache,
 }
 
 impl BufferPool {
     /// `capacity` is the number of buffered pages (the paper's Experiment 7
     /// varies it from 0.1% to 10% of the database size).
     pub fn new(store: Box<dyn PageStore>, capacity: usize) -> BufferPool {
-        BufferPool {
-            store,
-            frames: Vec::with_capacity(capacity.min(1024)),
-            map: HashMap::new(),
-            capacity: capacity.max(1),
-            tick: 0,
-            stats: BufferStats::default(),
-        }
+        let page_size = store.logical_page_size();
+        BufferPool { store, cache: FrameCache::new(capacity, page_size) }
     }
 
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.cache.capacity()
     }
 
     pub fn page_size(&self) -> usize {
@@ -149,7 +299,7 @@ impl BufferPool {
     }
 
     pub fn stats(&self) -> BufferStats {
-        self.stats
+        self.cache.stats()
     }
 
     pub fn store(&self) -> &dyn PageStore {
@@ -162,10 +312,7 @@ impl BufferPool {
 
     /// Read access to a page.
     pub fn with_page<R>(&mut self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        let idx = self.fetch(pid)?;
-        self.tick += 1;
-        self.frames[idx].last_use = self.tick;
-        Ok(f(&self.frames[idx].data))
+        self.cache.with_page(&mut self.store, pid, f)
     }
 
     /// Mutable access to a page. The closure's writes through [`PageMut`]
@@ -173,84 +320,20 @@ impl BufferPool {
     /// are reported to the page store (tightly-coupled methods write their
     /// update logs here).
     pub fn with_page_mut<R>(&mut self, pid: u64, f: impl FnOnce(&mut PageMut) -> R) -> Result<R> {
-        let idx = self.fetch(pid)?;
-        self.tick += 1;
-        let frame = &mut self.frames[idx];
-        frame.last_use = self.tick;
-        debug_assert!(frame.changes.is_empty());
-        let mut page = PageMut { data: &mut frame.data, changes: &mut frame.changes };
-        let r = f(&mut page);
-        if !frame.changes.is_empty() {
-            frame.dirty = true;
-            let changes = std::mem::take(&mut frame.changes);
-            self.store.apply_update(pid, &frame.data, &changes)?;
-        }
-        Ok(r)
-    }
-
-    /// Locate or load `pid` into a frame, evicting if needed.
-    fn fetch(&mut self, pid: u64) -> Result<usize> {
-        if let Some(idx) = self.map.get(&pid) {
-            self.stats.hits += 1;
-            return Ok(*idx);
-        }
-        self.stats.misses += 1;
-        let idx = if self.frames.len() < self.capacity {
-            let size = self.store.logical_page_size();
-            self.frames.push(Frame {
-                pid: u64::MAX,
-                data: vec![0u8; size],
-                dirty: false,
-                last_use: 0,
-                changes: Vec::new(),
-            });
-            self.frames.len() - 1
-        } else {
-            self.evict_lru()?
-        };
-        self.store.read_page(pid, &mut self.frames[idx].data)?;
-        self.frames[idx].pid = pid;
-        self.frames[idx].dirty = false;
-        self.map.insert(pid, idx);
-        Ok(idx)
-    }
-
-    fn evict_lru(&mut self) -> Result<usize> {
-        let (idx, _) = self
-            .frames
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, f)| f.last_use)
-            .ok_or_else(|| StorageError::Internal("empty pool cannot evict".into()))?;
-        let pid = self.frames[idx].pid;
-        if self.frames[idx].dirty {
-            self.store.evict_page(pid, &self.frames[idx].data)?;
-            self.stats.dirty_writebacks += 1;
-        }
-        self.map.remove(&pid);
-        self.stats.evictions += 1;
-        Ok(idx)
+        self.cache.with_page_mut(&mut self.store, pid, f)
     }
 
     /// Write every dirty page back and flush the store's buffers
     /// (write-through, the durability point of §4.5).
     pub fn flush_all(&mut self) -> Result<()> {
-        for idx in 0..self.frames.len() {
-            if self.frames[idx].dirty {
-                let pid = self.frames[idx].pid;
-                self.store.evict_page(pid, &self.frames[idx].data)?;
-                self.frames[idx].dirty = false;
-                self.stats.dirty_writebacks += 1;
-            }
-        }
+        self.cache.write_back_dirty(&mut self.store)?;
         self.store.flush()?;
         Ok(())
     }
 
     /// Drop every cached page without writing back (crash simulation).
     pub fn poison_cache(&mut self) {
-        self.frames.clear();
-        self.map.clear();
+        self.cache.clear();
     }
 
     /// Consume the pool, flushing everything, and return the store.

@@ -22,7 +22,15 @@ impl RecordId {
     }
 
     /// Pack into a u64 (B+-tree value encoding).
+    ///
+    /// Only 48 bits are available for the page id — a pid at or above
+    /// 2^48 would silently collide with another record's encoding.
     pub fn to_u64(self) -> u64 {
+        debug_assert!(
+            self.pid < 1 << 48,
+            "RecordId pid {} exceeds the 48-bit encoding range",
+            self.pid
+        );
         (self.pid << 16) | self.slot as u64
     }
 
@@ -53,11 +61,7 @@ impl Database {
         allocated: u64,
     ) -> Database {
         let max_pages = store.options().num_logical_pages;
-        Database {
-            pool: BufferPool::new(store, buffer_pages),
-            next_pid: allocated,
-            max_pages,
-        }
+        Database { pool: BufferPool::new(store, buffer_pages), next_pid: allocated, max_pages }
     }
 
     /// Allocate the next logical page.
@@ -93,11 +97,11 @@ impl Database {
 
     /// Flash statistics of the underlying chip.
     pub fn io_stats(&self) -> FlashStats {
-        self.pool.store().chip().stats()
+        self.pool.store().stats()
     }
 
     pub fn reset_io_stats(&mut self) {
-        self.pool.store_mut().chip_mut().reset_stats();
+        self.pool.store_mut().reset_stats();
     }
 
     /// Method label of the underlying page store.
@@ -132,6 +136,49 @@ mod tests {
     fn record_id_packs() {
         let rid = RecordId::new(123456, 789);
         assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
+    }
+
+    #[test]
+    fn record_id_round_trips_at_the_encoding_boundary() {
+        let rid = RecordId::new((1 << 48) - 1, u16::MAX);
+        assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "48-bit encoding range"))]
+    fn record_id_rejects_oversized_pids_in_debug() {
+        // In release builds the assertion compiles out; the encoding is
+        // then silently lossy, which is exactly what the debug assertion
+        // is there to catch during development.
+        let v = RecordId::new(1 << 48, 0).to_u64();
+        if cfg!(debug_assertions) {
+            unreachable!("debug_assert must have fired");
+        }
+        assert_eq!(RecordId::from_u64(v).pid, 0, "demonstrates the silent corruption");
+    }
+
+    #[test]
+    fn database_accepts_a_sharded_store() {
+        let store = pdl_core::ShardedStore::with_uniform_chips(
+            FlashConfig::tiny(),
+            4,
+            MethodKind::Pdl { max_diff_size: 128 },
+            StoreOptions::new(16),
+        )
+        .unwrap();
+        let mut d = Database::new(Box::new(store), 4);
+        for _ in 0..16 {
+            let pid = d.alloc_page().unwrap();
+            d.with_page_mut(pid, |p| p.write(0, &[pid as u8 + 1, 0xAB])).unwrap();
+        }
+        d.flush().unwrap();
+        for pid in 0..16u64 {
+            let b = d.with_page(pid, |p| p[0]).unwrap();
+            assert_eq!(b, pid as u8 + 1);
+        }
+        // Aggregate I/O stats span all four shard chips.
+        assert!(d.io_stats().total().writes >= 16);
+        assert!(d.method_name().contains("Sharded x4"));
     }
 
     #[test]

@@ -35,7 +35,8 @@ impl HeapFile {
 
     /// Insert a record, appending a fresh page when none fits.
     pub fn insert(&mut self, db: &mut Database, bytes: &[u8]) -> Result<RecordId> {
-        let need = bytes.len() + 8; // record + slot + slack
+        // record + slot + slack
+        let need = bytes.len() + 8;
         // Try the most recent page first (append-heavy workloads), then a
         // first-fit scan from the rotating hint.
         let mut candidates: Vec<usize> = Vec::with_capacity(4);
@@ -134,11 +135,7 @@ impl HeapFile {
     }
 
     /// Visit every live record.
-    pub fn scan(
-        &self,
-        db: &mut Database,
-        mut f: impl FnMut(RecordId, &[u8]),
-    ) -> Result<()> {
+    pub fn scan(&self, db: &mut Database, mut f: impl FnMut(RecordId, &[u8])) -> Result<()> {
         for pid in &self.pages {
             db.with_page(*pid, |page| {
                 if slotted::is_formatted(page) {
@@ -238,10 +235,7 @@ mod tests {
         let mut h = HeapFile::new();
         let rid = h.insert(&mut d, b"x").unwrap();
         h.delete(&mut d, rid).unwrap();
-        assert!(matches!(
-            h.get(&mut d, rid, |_| ()),
-            Err(StorageError::RecordNotFound { .. })
-        ));
+        assert!(matches!(h.get(&mut d, rid, |_| ()), Err(StorageError::RecordNotFound { .. })));
         assert!(h.delete(&mut d, rid).is_err());
     }
 }

@@ -16,6 +16,7 @@ mod btree;
 mod buffer;
 mod db;
 mod error;
+mod sharded;
 pub mod slotted;
 
 pub use btree::{BTree, Key, KeyBuf};
@@ -23,6 +24,7 @@ pub use buffer::{read_u16, read_u64, BufferPool, BufferStats, PageMut};
 pub use db::{Database, RecordId};
 pub use error::StorageError;
 pub use heap::HeapFile;
+pub use sharded::ShardedBufferPool;
 
 /// Construct a [`PageMut`] over a raw buffer, for page-format tests and
 /// tools operating outside a buffer pool.

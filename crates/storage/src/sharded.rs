@@ -1,0 +1,236 @@
+//! The shard-striped buffer pool: concurrent page access over a
+//! [`ShardedStore`].
+//!
+//! Frames are striped the same way the store stripes pages: stripe `i`
+//! caches exactly the pages shard `i` owns, behind its own lock. A page
+//! access therefore takes two locks in a fixed order — stripe `i`, then
+//! (on a miss or write-back, inside the store) shard `i` — and
+//! transactions touching different shards never serialize on anything.
+//!
+//! The API is the `&self` counterpart of [`crate::BufferPool`]: the same
+//! update-command contract (mutations through [`PageMut`] report their
+//! changed ranges to the page store), usable from many threads at once.
+
+use crate::buffer::{BufferStats, FrameCache, PageBackend, PageMut};
+use crate::Result;
+use pdl_core::{ChangeRange, PageStore, ShardedStore};
+use pdl_flash::{FlashStats, WearSummary};
+use std::sync::Mutex;
+
+/// Adapts the `*_shared` entry points of a [`ShardedStore`] to the
+/// [`PageBackend`] a [`FrameCache`] drives.
+struct SharedBackend<'a>(&'a ShardedStore);
+
+impl PageBackend for SharedBackend<'_> {
+    fn read(&mut self, pid: u64, out: &mut [u8]) -> Result<()> {
+        self.0.read_page_shared(pid, out)?;
+        Ok(())
+    }
+
+    fn apply(&mut self, pid: u64, page_after: &[u8], changes: &[ChangeRange]) -> Result<()> {
+        self.0.apply_update_shared(pid, page_after, changes)?;
+        Ok(())
+    }
+
+    fn evict(&mut self, pid: u64, page: &[u8]) -> Result<()> {
+        self.0.evict_page_shared(pid, page)?;
+        Ok(())
+    }
+}
+
+/// A concurrent LRU buffer pool, frame locks striped by shard.
+pub struct ShardedBufferPool {
+    store: ShardedStore,
+    stripes: Vec<Mutex<FrameCache>>,
+}
+
+impl ShardedBufferPool {
+    /// `capacity` is the total number of buffered pages, split evenly
+    /// across the store's shards (every stripe gets at least one frame).
+    pub fn new(store: ShardedStore, capacity: usize) -> ShardedBufferPool {
+        let shards = store.num_shards();
+        let per_stripe = capacity.div_ceil(shards).max(1);
+        let page_size = store.logical_page_size();
+        let stripes =
+            (0..shards).map(|_| Mutex::new(FrameCache::new(per_stripe, page_size))).collect();
+        ShardedBufferPool { store, stripes }
+    }
+
+    pub fn num_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Total frame capacity over all stripes.
+    pub fn capacity(&self) -> usize {
+        self.stripes.iter().map(|s| self.lock_stripe_ref(s).capacity()).sum()
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.store.logical_page_size()
+    }
+
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    fn lock_stripe_ref<'a>(
+        &self,
+        stripe: &'a Mutex<FrameCache>,
+    ) -> std::sync::MutexGuard<'a, FrameCache> {
+        stripe.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn stripe_for(&self, pid: u64) -> std::sync::MutexGuard<'_, FrameCache> {
+        self.lock_stripe_ref(&self.stripes[self.store.shard_of(pid)])
+    }
+
+    /// Read access to a page; locks only the owning stripe.
+    pub fn with_page<R>(&self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        self.stripe_for(pid).with_page(&mut SharedBackend(&self.store), pid, f)
+    }
+
+    /// Mutable access to a page: the closure's writes through [`PageMut`]
+    /// form one update command, reported to the owning shard's store.
+    pub fn with_page_mut<R>(&self, pid: u64, f: impl FnOnce(&mut PageMut) -> R) -> Result<R> {
+        self.stripe_for(pid).with_page_mut(&mut SharedBackend(&self.store), pid, f)
+    }
+
+    /// Aggregate cache statistics over all stripes.
+    pub fn stats(&self) -> BufferStats {
+        let mut out = BufferStats::default();
+        for s in &self.stripes {
+            out.merge(&self.lock_stripe_ref(s).stats());
+        }
+        out
+    }
+
+    /// Aggregate flash statistics of the underlying chips.
+    pub fn io_stats(&self) -> FlashStats {
+        self.store.stats_shared()
+    }
+
+    /// Aggregate wear summary over every shard chip.
+    pub fn wear_summary(&self) -> WearSummary {
+        WearSummary::merged(self.store.per_shard_wear())
+    }
+
+    /// Write every dirty frame back and flush every shard (write-through,
+    /// the durability point of §4.5).
+    pub fn flush_all(&self) -> Result<()> {
+        for s in &self.stripes {
+            self.lock_stripe_ref(s).write_back_dirty(&mut SharedBackend(&self.store))?;
+        }
+        self.store.flush_shared()?;
+        Ok(())
+    }
+
+    /// Drop every cached page without writing back (crash simulation).
+    pub fn poison_cache(&self) {
+        for s in &self.stripes {
+            self.lock_stripe_ref(s).clear();
+        }
+    }
+
+    /// Consume the pool, flushing everything, and return the store.
+    pub fn into_store(self) -> Result<ShardedStore> {
+        self.flush_all()?;
+        Ok(self.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_core::{MethodKind, StoreOptions};
+    use pdl_flash::FlashConfig;
+
+    fn pool(shards: usize, pages: u64, capacity: usize) -> ShardedBufferPool {
+        let store = ShardedStore::with_uniform_chips(
+            FlashConfig::tiny(),
+            shards,
+            MethodKind::Pdl { max_diff_size: 128 },
+            StoreOptions::new(pages),
+        )
+        .unwrap();
+        ShardedBufferPool::new(store, capacity)
+    }
+
+    #[test]
+    fn writes_survive_eviction_pressure() {
+        let p = pool(4, 32, 4); // one frame per stripe
+        for pid in 0..32u64 {
+            p.with_page_mut(pid, |page| page.write(0, &[pid as u8; 4])).unwrap();
+        }
+        for pid in 0..32u64 {
+            let b = p.with_page(pid, |page| page[0]).unwrap();
+            assert_eq!(b, pid as u8, "pid {pid}");
+        }
+        let stats = p.stats();
+        assert!(stats.evictions > 0);
+        assert!(stats.dirty_writebacks > 0);
+    }
+
+    #[test]
+    fn cache_hits_do_not_touch_flash() {
+        let p = pool(2, 8, 8);
+        p.with_page_mut(1, |page| page.write(0, b"abcd")).unwrap();
+        let before = p.io_stats().total();
+        for _ in 0..10 {
+            p.with_page(1, |page| page[0]).unwrap();
+        }
+        let d = p.io_stats().total() - before;
+        assert_eq!(d.total_ops(), 0, "cache hits must be free");
+        assert_eq!(p.stats().hits, 10);
+    }
+
+    #[test]
+    fn concurrent_writers_on_distinct_shards() {
+        let p = pool(4, 64, 16);
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let p = &p;
+                scope.spawn(move || {
+                    // Worker w touches only pids with pid % 4 == w: its own
+                    // shard and stripe.
+                    for i in 0..16u64 {
+                        let pid = i * 4 + w;
+                        p.with_page_mut(pid, |page| page.write(0, &[w as u8 + 1; 8])).unwrap();
+                    }
+                });
+            }
+        });
+        for pid in 0..64u64 {
+            let b = p.with_page(pid, |page| page[0]).unwrap();
+            assert_eq!(b as u64, pid % 4 + 1, "pid {pid}");
+        }
+    }
+
+    #[test]
+    fn flush_makes_state_durable_across_recovery() {
+        let p = pool(2, 16, 4);
+        for pid in 0..16u64 {
+            p.with_page_mut(pid, |page| page.write(3, &[0xEE])).unwrap();
+        }
+        let store = p.into_store().unwrap();
+        let chips = store.into_shard_chips();
+        let mut back = ShardedStore::recover(
+            chips,
+            MethodKind::Pdl { max_diff_size: 128 },
+            StoreOptions::new(16),
+        )
+        .unwrap();
+        let mut out = vec![0u8; back.logical_page_size()];
+        for pid in 0..16u64 {
+            back.read_page(pid, &mut out).unwrap();
+            assert_eq!(out[3], 0xEE, "pid {pid}");
+        }
+    }
+
+    #[test]
+    fn capacity_splits_across_stripes() {
+        let p = pool(4, 32, 10);
+        assert_eq!(p.num_stripes(), 4);
+        assert_eq!(p.capacity(), 12, "ceil(10/4) = 3 frames per stripe");
+        assert_eq!(p.page_size(), 256);
+    }
+}

@@ -97,10 +97,7 @@ pub fn iter(page: &[u8]) -> impl Iterator<Item = (u16, &[u8])> {
 /// or `None` when the page genuinely lacks space.
 pub fn insert(page: &mut PageMut, bytes: &[u8]) -> Result<Option<u16>> {
     if bytes.len() > max_record_size(page.len()) {
-        return Err(StorageError::TooLarge {
-            size: bytes.len(),
-            max: max_record_size(page.len()),
-        });
+        return Err(StorageError::TooLarge { size: bytes.len(), max: max_record_size(page.len()) });
     }
     // Reuse a dead slot when available (keeps slot ids dense-ish).
     let n = num_slots(page.as_slice());
@@ -275,11 +272,8 @@ mod tests {
         let (_, ()) = with_page(|p| {
             init(p);
             let mut slots = Vec::new();
-            loop {
-                match insert(p, &[7u8; 40]).unwrap() {
-                    Some(s) => slots.push(s),
-                    None => break,
-                }
+            while let Some(s) = insert(p, &[7u8; 40]).unwrap() {
+                slots.push(s);
             }
             assert!(slots.len() >= 10);
             // Free every other record; fragmented free space must be

@@ -2,10 +2,10 @@
 //! and heap files like a slab, for arbitrary operation sequences, over
 //! multiple page-update methods.
 
-use proptest::prelude::*;
 use pdl_core::{build_store, MethodKind, StoreOptions};
 use pdl_flash::{FlashChip, FlashConfig};
 use pdl_storage::{BTree, Database, HeapFile, KeyBuf, RecordId};
+use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn database(kind: MethodKind) -> Database {
@@ -168,8 +168,8 @@ mod slotted_model {
 
     #[derive(Clone, Debug)]
     pub enum SlotOp {
-        Insert(u8, u8),  // (len seed, fill)
-        Delete(u8),      // index into live set
+        Insert(u8, u8), // (len seed, fill)
+        Delete(u8),     // index into live set
         Update(u8, u8, u8),
     }
 

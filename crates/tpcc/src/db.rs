@@ -65,8 +65,15 @@ impl TpccScale {
         let s = w * i;
         // Record bytes (encoded sizes) + index entries (24 bytes each),
         // assuming ~70% page fill.
-        let heap_bytes = w * 91 + d * 100 + c * 427 + o * 56 / 2 + o * 31 + o * 10 * 59 + i * 90
-            + s * 310 + o * 9 / 3;
+        let heap_bytes = w * 91
+            + d * 100
+            + c * 427
+            + o * 56 / 2
+            + o * 31
+            + o * 10 * 59
+            + i * 90
+            + s * 310
+            + o * 9 / 3;
         let index_entries = c * 2 + o * 2 + o / 3 + o * 10 + i + s + d + w;
         let bytes = heap_bytes + index_entries * 24;
         (bytes as f64 / (page_size as f64 * 0.7)).ceil() as u64

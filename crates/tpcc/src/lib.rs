@@ -62,15 +62,13 @@ mod tests {
         t.order.scan(&mut t.db, |_, _| orders += 1).unwrap();
         assert_eq!(
             orders,
-            (scale.warehouses * scale.districts_per_warehouse * scale.orders_per_district)
-                as usize
+            (scale.warehouses * scale.districts_per_warehouse * scale.orders_per_district) as usize
         );
         // ~30% of orders are undelivered.
         let mut new_orders = 0;
         t.new_order.scan(&mut t.db, |_, _| new_orders += 1).unwrap();
-        let expect = scale.orders_per_district * 3 / 10
-            * scale.warehouses
-            * scale.districts_per_warehouse;
+        let expect =
+            scale.orders_per_district * 3 / 10 * scale.warehouses * scale.districts_per_warehouse;
         assert_eq!(new_orders as u32, expect);
     }
 
@@ -79,10 +77,7 @@ mod tests {
         let mut t = tiny_db(MethodKind::Opu);
         let est = t.scale.estimated_loaded_pages(2048);
         let actual = t.db.allocated_pages();
-        assert!(
-            actual <= est * 2 && est <= actual * 3,
-            "estimate {est} vs actual {actual}"
-        );
+        assert!(actual <= est * 2 && est <= actual * 3, "estimate {est} vs actual {actual}");
         // Data is durable and readable after load.
         let (_, w) = t.warehouse_row(1).unwrap();
         assert_eq!(w.w_id, 1);
@@ -133,9 +128,8 @@ mod tests {
         assert!(w_after > w_before, "warehouse YTD must grow");
         let mut history = 0;
         t.history.scan(&mut t.db, |_, _| history += 1).unwrap();
-        let loaded = t.scale.warehouses
-            * t.scale.districts_per_warehouse
-            * t.scale.customers_per_district;
+        let loaded =
+            t.scale.warehouses * t.scale.districts_per_warehouse * t.scale.customers_per_district;
         assert_eq!(history as u32, loaded + 10);
     }
 

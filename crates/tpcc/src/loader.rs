@@ -131,8 +131,7 @@ fn load_customers(t: &mut TpccDb, r: &mut TpccRand, w: u32, d: u8) -> Result<()>
         };
         let rid = t.customer.insert(&mut t.db, &row.encode())?;
         t.idx_customer.insert(&mut t.db, &keys::customer(w, d, c_id), rid.to_u64())?;
-        t.idx_customer_name
-            .insert(&mut t.db, &keys::customer_name(w, d, &last), rid.to_u64())?;
+        t.idx_customer_name.insert(&mut t.db, &keys::customer_name(w, d, &last), rid.to_u64())?;
 
         // One HISTORY row per customer.
         let h = History {
@@ -172,8 +171,11 @@ fn load_orders(t: &mut TpccDb, r: &mut TpccRand, w: u32, d: u8) -> Result<()> {
         };
         let rid = t.order.insert(&mut t.db, &order.encode())?;
         t.idx_order.insert(&mut t.db, &keys::order(w, d, o_id), rid.to_u64())?;
-        t.idx_order_customer
-            .insert(&mut t.db, &keys::order_customer(w, d, c_id, o_id), rid.to_u64())?;
+        t.idx_order_customer.insert(
+            &mut t.db,
+            &keys::order_customer(w, d, c_id, o_id),
+            rid.to_u64(),
+        )?;
         for number in 1..=ol_cnt {
             let ol = OrderLine {
                 o_id,
@@ -188,8 +190,11 @@ fn load_orders(t: &mut TpccDb, r: &mut TpccRand, w: u32, d: u8) -> Result<()> {
                 dist_info: r.a_string(24, 24),
             };
             let ol_rid = t.order_line.insert(&mut t.db, &ol.encode())?;
-            t.idx_order_line
-                .insert(&mut t.db, &keys::order_line(w, d, o_id, number), ol_rid.to_u64())?;
+            t.idx_order_line.insert(
+                &mut t.db,
+                &keys::order_line(w, d, o_id, number),
+                ol_rid.to_u64(),
+            )?;
         }
         if !delivered {
             let no = NewOrder { o_id, d_id: d, w_id: w };

@@ -38,7 +38,7 @@ impl TpccRand {
 
     /// Probability check: true with probability `pct`%.
     pub fn chance(&mut self, pct: u32) -> bool {
-        self.rng.gen_range(0..100) < pct
+        self.rng.gen_range(0..100u32) < pct
     }
 
     /// `NURand(A, x, y)` (clause 2.1.6).

@@ -443,13 +443,7 @@ impl Item {
 
     pub fn decode(bytes: &[u8]) -> Item {
         let mut d = Dec::new(bytes);
-        Item {
-            i_id: d.u32(),
-            im_id: d.u32(),
-            name: d.str(24),
-            price: d.f64(),
-            data: d.str(50),
-        }
+        Item { i_id: d.u32(), im_id: d.u32(), name: d.str(24), price: d.f64(), data: d.str(50) }
     }
 }
 
@@ -633,13 +627,7 @@ mod tests {
             data: "ORIGINAL".into(),
         };
         assert_eq!(Stock::decode(&s.encode()), s);
-        let i = Item {
-            i_id: 55,
-            im_id: 3,
-            name: "widget".into(),
-            price: 9.99,
-            data: "x".into(),
-        };
+        let i = Item { i_id: 55, im_id: 3, name: "widget".into(), price: 9.99, data: "x".into() };
         assert_eq!(Item::decode(&i.encode()), i);
     }
 

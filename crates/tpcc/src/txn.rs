@@ -177,20 +177,11 @@ fn new_order(t: &mut TpccDb, r: &mut TpccRand) -> Result<bool> {
     t.district.update(&mut t.db, d_rid, &district.encode())?;
 
     // Insert ORDER and NEW-ORDER.
-    let order = Order {
-        o_id,
-        d_id: d,
-        w_id: w,
-        c_id: c,
-        entry_d: 2,
-        carrier_id: 0,
-        ol_cnt,
-        all_local,
-    };
+    let order =
+        Order { o_id, d_id: d, w_id: w, c_id: c, entry_d: 2, carrier_id: 0, ol_cnt, all_local };
     let o_rid = t.order.insert(&mut t.db, &order.encode())?;
     t.idx_order.insert(&mut t.db, &keys::order(w, d, o_id), o_rid.to_u64())?;
-    t.idx_order_customer
-        .insert(&mut t.db, &keys::order_customer(w, d, c, o_id), o_rid.to_u64())?;
+    t.idx_order_customer.insert(&mut t.db, &keys::order_customer(w, d, c, o_id), o_rid.to_u64())?;
     let no_rid = t.new_order.insert(&mut t.db, &NewOrder { o_id, d_id: d, w_id: w }.encode())?;
     t.idx_new_order.insert(&mut t.db, &keys::new_order(w, d, o_id), no_rid.to_u64())?;
 
@@ -223,8 +214,11 @@ fn new_order(t: &mut TpccDb, r: &mut TpccRand) -> Result<bool> {
             dist_info,
         };
         let ol_rid = t.order_line.insert(&mut t.db, &ol.encode())?;
-        t.idx_order_line
-            .insert(&mut t.db, &keys::order_line(w, d, o_id, n as u8 + 1), ol_rid.to_u64())?;
+        t.idx_order_line.insert(
+            &mut t.db,
+            &keys::order_line(w, d, o_id, n as u8 + 1),
+            ol_rid.to_u64(),
+        )?;
     }
     Ok(true)
 }

@@ -3,14 +3,13 @@
 //! and the encoded size must be constant per type (so heap updates stay
 //! in place).
 
-use proptest::prelude::*;
 use pdl_tpcc::schema::*;
+use proptest::prelude::*;
 
 /// ASCII strings of bounded length (the codecs store fixed-width ASCII;
 /// over-long strings are truncated by design, so generate within width).
 fn ascii(max: usize) -> impl Strategy<Value = String> {
-    proptest::collection::vec(32u8..127, 0..=max)
-        .prop_map(|v| String::from_utf8(v).expect("ascii"))
+    proptest::collection::vec(32u8..127, 0..=max).prop_map(|v| String::from_utf8(v).expect("ascii"))
 }
 
 proptest! {

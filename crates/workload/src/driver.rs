@@ -52,7 +52,7 @@ pub fn load_database(store: &mut dyn PageStore) -> Result<()> {
         store.write_page(pid, &page)?;
     }
     store.flush()?;
-    store.chip_mut().reset_stats();
+    store.reset_stats();
     Ok(())
 }
 
@@ -95,7 +95,7 @@ fn warm_up(
         }
     }
     loop {
-        let erases = store.chip().stats().total().erases;
+        let erases = store.stats().total().erases;
         let steady = erases >= cfg.warmup_erase_target && cycles >= cfg.warmup_min_cycles;
         if steady || cycles >= cfg.warmup_max_cycles {
             return Ok((cycles, erases));
@@ -117,19 +117,15 @@ pub fn run_update_workload(store: &mut dyn PageStore, cfg: &UpdateConfig) -> Res
     let mut page = vec![0u8; store.logical_page_size()];
     let (warmup_cycles, warmup_erases) = warm_up(store, &mut gen, &mut page, cfg)?;
 
-    store.chip_mut().reset_stats();
+    store.reset_stats();
     let num_pages = store.options().num_logical_pages;
-    let mut m = Measurement {
-        warmup_cycles,
-        warmup_erases,
-        ..Measurement::default()
-    };
+    let mut m = Measurement { warmup_cycles, warmup_erases, ..Measurement::default() };
     for _ in 0..cfg.measured_cycles {
         let pid = gen.pick_page(num_pages);
         // Reading step.
-        let before = store.chip().stats();
+        let before = store.stats();
         store.read_page(pid, &mut page)?;
-        let after_read = store.chip().stats();
+        let after_read = store.stats();
         m.read_step.add_delta(after_read.delta_since(&before));
         // Changing + writing step (GC amortised here, as in the paper).
         for _ in 0..cfg.n_updates_till_write {
@@ -137,7 +133,7 @@ pub fn run_update_workload(store: &mut dyn PageStore, cfg: &UpdateConfig) -> Res
             store.apply_update(pid, &page, &changes)?;
         }
         store.evict_page(pid, &page)?;
-        let after_write = store.chip().stats();
+        let after_write = store.stats();
         m.write_step.add_delta(after_write.delta_since(&after_read));
         m.cycles += 1;
     }
@@ -154,32 +150,28 @@ pub fn run_mix_workload(store: &mut dyn PageStore, cfg: &MixConfig) -> Result<Me
     let mut page = vec![0u8; store.logical_page_size()];
     let (warmup_cycles, warmup_erases) = warm_up(store, &mut gen, &mut page, &cfg.update)?;
 
-    store.chip_mut().reset_stats();
+    store.reset_stats();
     let num_pages = store.options().num_logical_pages;
-    let mut m = Measurement {
-        warmup_cycles,
-        warmup_erases,
-        ..Measurement::default()
-    };
+    let mut m = Measurement { warmup_cycles, warmup_erases, ..Measurement::default() };
     for _ in 0..cfg.update.measured_cycles {
         let pid = gen.pick_page(num_pages);
         if gen.next_is_update(cfg.pct_update_ops) {
-            let before = store.chip().stats();
+            let before = store.stats();
             store.read_page(pid, &mut page)?;
-            let after_read = store.chip().stats();
+            let after_read = store.stats();
             m.read_step.add_delta(after_read.delta_since(&before));
             for _ in 0..cfg.update.n_updates_till_write {
                 let changes = gen.apply(pid, &mut page);
                 store.apply_update(pid, &page, &changes)?;
             }
             store.evict_page(pid, &page)?;
-            let after_write = store.chip().stats();
+            let after_write = store.stats();
             m.write_step.add_delta(after_write.delta_since(&after_read));
             m.cycles += 1;
         } else {
-            let before = store.chip().stats();
+            let before = store.stats();
             store.read_page(pid, &mut page)?;
-            let after = store.chip().stats();
+            let after = store.stats();
             m.read_step.add_delta(after.delta_since(&before));
             m.read_ops += 1;
         }
@@ -252,15 +244,13 @@ mod tests {
     #[test]
     fn load_resets_stats() {
         let store = quick_store(MethodKind::Opu);
-        assert_eq!(store.chip().stats().total().total_ops(), 0);
+        assert_eq!(store.stats().total().total_ops(), 0);
     }
 
     #[test]
     fn opu_costs_match_paper_accounting() {
         let mut store = quick_store(MethodKind::Opu);
-        let cfg = UpdateConfig::new(2.0, 1)
-            .with_measured_cycles(300)
-            .with_warmup(16, 2_000);
+        let cfg = UpdateConfig::new(2.0, 1).with_measured_cycles(300).with_warmup(16, 2_000);
         let m = run_update_workload(store.as_mut(), &cfg).unwrap();
         assert_eq!(m.cycles, 300);
         // Reading step: exactly one read per cycle, no GC.
@@ -273,22 +263,18 @@ mod tests {
     #[test]
     fn pdl_reads_at_most_two_pages() {
         let mut store = quick_store(MethodKind::Pdl { max_diff_size: 2048 });
-        let cfg = UpdateConfig::new(2.0, 1)
-            .with_measured_cycles(400)
-            .with_warmup(16, 3_000);
+        let cfg = UpdateConfig::new(2.0, 1).with_measured_cycles(400).with_warmup(16, 3_000);
         let m = run_update_workload(store.as_mut(), &cfg).unwrap();
         // Reading step: between 1 and 2 reads per op, never more.
         let reads_per_op = m.read_step.total().reads as f64 / m.cycles as f64;
-        assert!(reads_per_op >= 1.0 && reads_per_op <= 2.0, "{reads_per_op}");
+        assert!((1.0..=2.0).contains(&reads_per_op), "{reads_per_op}");
     }
 
     #[test]
     fn ipl_reads_more_pages_than_pdl() {
         let mut ipl = quick_store(MethodKind::Ipl { log_bytes_per_block: 64 * 1024 });
         let mut pdl = quick_store(MethodKind::Pdl { max_diff_size: 256 });
-        let cfg = UpdateConfig::new(2.0, 1)
-            .with_measured_cycles(400)
-            .with_warmup(8, 3_000);
+        let cfg = UpdateConfig::new(2.0, 1).with_measured_cycles(400).with_warmup(8, 3_000);
         let mi = run_update_workload(ipl.as_mut(), &cfg).unwrap();
         let mp = run_update_workload(pdl.as_mut(), &cfg).unwrap();
         let ipl_reads = mi.read_step.total().reads as f64 / mi.cycles as f64;

@@ -25,9 +25,11 @@ mod measure;
 mod mutate;
 mod report;
 mod scale;
+mod threaded;
 
 pub use driver::{load_database, run_mix_workload, run_update_workload, MixConfig, UpdateConfig};
 pub use measure::{Measurement, StepCosts};
 pub use mutate::{Placement, UpdateGen};
-pub use report::{format_us, Table};
+pub use report::{format_us, wear_table, Table};
 pub use scale::{chip_for, db_pages_for, Scale};
+pub use threaded::{run_threaded_update_workload, PageSetMode, ThreadedConfig};

@@ -1,6 +1,7 @@
 //! Plain-text table formatting for the experiment harness: the bench
 //! targets print the same rows/series the paper's figures plot.
 
+use pdl_flash::WearSummary;
 use std::fmt::Write as _;
 
 /// Format microseconds with thousands separators, e.g. `12,345 us`.
@@ -97,9 +98,53 @@ impl Table {
     }
 }
 
+/// Wear-leveling table for a sharded engine: one row per shard plus the
+/// aggregate over all chips, so wear numbers stay meaningful when the
+/// block population is split across shards.
+pub fn wear_table(title: impl Into<String>, per_shard: &[WearSummary]) -> Table {
+    let mut t = Table::new(
+        title,
+        &["shard", "blocks", "min erases", "avg erases", "max erases", "total erases"],
+    );
+    let row = |label: String, w: &WearSummary| {
+        vec![
+            label,
+            w.num_blocks.to_string(),
+            w.min_erases.to_string(),
+            format!("{:.1}", w.avg_erases()),
+            w.max_erases.to_string(),
+            w.total_erases.to_string(),
+        ]
+    };
+    for (i, w) in per_shard.iter().enumerate() {
+        t.row(row(format!("{i}"), w));
+    }
+    if per_shard.len() > 1 {
+        let all = WearSummary::merged(per_shard.iter().copied());
+        t.row(row("all".to_string(), &all));
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wear_table_aggregates_across_shards() {
+        let shards = [
+            WearSummary { min_erases: 2, max_erases: 8, total_erases: 30, num_blocks: 6 },
+            WearSummary { min_erases: 1, max_erases: 9, total_erases: 34, num_blocks: 6 },
+        ];
+        let t = wear_table("wear", &shards);
+        let s = t.render();
+        // Aggregate row spans both block populations.
+        let all = s.lines().last().unwrap();
+        assert!(all.starts_with("all"), "{s}");
+        assert!(all.contains("12"), "{s}");
+        assert!(all.contains("64"), "{s}");
+        assert!(all.contains('1') && all.contains('9'), "{s}");
+    }
 
     #[test]
     fn groups_thousands() {

@@ -80,10 +80,7 @@ fn main() {
         } else {
             out.iter().all(|&b| b == pid as u8)
         };
-        assert!(
-            is_new || is_flushed,
-            "page {pid} is torn: neither old nor new state"
-        );
+        assert!(is_new || is_flushed, "page {pid} is torn: neither old nor new state");
         if is_new {
             survived_new += 1;
         }

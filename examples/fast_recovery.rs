@@ -79,9 +79,8 @@ fn main() {
         fast.total_us() as f64 / 1000.0
     );
     println!(
-        "\nspeedup: {:.1}x fewer reads ({} unchanged blocks skipped entirely)",
-        full.reads as f64 / fast.reads as f64,
-        "most"
+        "\nspeedup: {:.1}x fewer reads (most unchanged blocks skipped entirely)",
+        full.reads as f64 / fast.reads as f64
     );
     println!(
         "the paper: \"to recover the ... mapping table without scanning all the\n\

@@ -9,10 +9,7 @@ use pdl_workload::{chip_for, db_pages_for, format_us};
 fn main() {
     let scale = Scale::Quick;
     let db_pages = db_pages_for(scale, 1);
-    println!(
-        "workload: N_updates_till_write = 1, %ChangedByOneU_Op = 2, {} pages\n",
-        db_pages
-    );
+    println!("workload: N_updates_till_write = 1, %ChangedByOneU_Op = 2, {} pages\n", db_pages);
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>10}",
         "method", "read us/op", "write us/op", "overall", "erases/op"
@@ -20,8 +17,7 @@ fn main() {
 
     for kind in MethodKind::paper_six() {
         let chip = chip_for(scale, FlashTiming::PAPER);
-        let mut store =
-            build_store(chip, kind, StoreOptions::new(db_pages)).expect("store fits");
+        let mut store = build_store(chip, kind, StoreOptions::new(db_pages)).expect("store fits");
         load_database(store.as_mut()).expect("load");
         let cfg = UpdateConfig::new(2.0, 1)
             .with_measured_cycles(1_000)

@@ -16,12 +16,9 @@ fn main() {
     );
 
     // Page-differential logging with the paper's best configuration.
-    let mut store = build_store(
-        chip,
-        MethodKind::Pdl { max_diff_size: 256 },
-        StoreOptions::new(1024),
-    )
-    .expect("store fits the chip");
+    let mut store =
+        build_store(chip, MethodKind::Pdl { max_diff_size: 256 }, StoreOptions::new(1024))
+            .expect("store fits the chip");
 
     // Load 1024 logical pages.
     let mut page = vec![0u8; store.logical_page_size()];

@@ -40,7 +40,7 @@ fn run_workload(kind: MethodKind, frames: u32, ops: usize) -> Vec<u8> {
         store.read_page(pid, &mut page).unwrap();
         let n_updates = rng.gen_range(1..4);
         for _ in 0..n_updates {
-            let len = *[3usize, 41, 200, 1024].get(rng.gen_range(0..4)).unwrap();
+            let len = *[3usize, 41, 200, 1024].get(rng.gen_range(0..4usize)).unwrap();
             let len = len.min(size - 1);
             let at = rng.gen_range(0..=size - len);
             rng.fill_bytes(&mut page[at..at + len]);
@@ -73,7 +73,7 @@ fn all_methods_agree_on_final_state() {
 #[test]
 fn multi_frame_methods_agree_on_final_state() {
     // 8 KB logical pages (Experiment 2b's configuration).
-    let kinds = vec![
+    let kinds = [
         MethodKind::Opu,
         MethodKind::Ipu,
         MethodKind::Pdl { max_diff_size: 2048 },
@@ -117,11 +117,7 @@ fn cost_model_signatures_hold_on_paper_geometry() {
     assert_eq!(opu_cost.writes, 200);
     // PDL: writing-difference-only — far fewer writes (buffer flushes and
     // occasional obsolete marks only).
-    assert!(
-        pdl_cost.writes < 30,
-        "PDL wrote {} times for 100 small updates",
-        pdl_cost.writes
-    );
+    assert!(pdl_cost.writes < 30, "PDL wrote {} times for 100 small updates", pdl_cost.writes);
     // PDL pays one base-page read per update to compute the differential.
     assert_eq!(pdl_cost.reads, 100);
 }

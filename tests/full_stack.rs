@@ -136,7 +136,7 @@ fn io_accounting_flows_to_the_chip_through_the_whole_stack() {
     for i in 0..200u64 {
         // Records big enough that the file spans well beyond the 4-frame
         // pool, so the later scan misses the cache.
-        heap.insert(&mut db, &vec![i as u8; 100]).unwrap();
+        heap.insert(&mut db, &[i as u8; 100]).unwrap();
     }
     db.flush().unwrap();
     let io = db.io_stats().total();

@@ -161,7 +161,8 @@ fn pdl_recovery_is_idempotent_across_repeated_crashes() {
     chip.disarm_fault();
 
     // Crash recovery repeatedly with increasing budgets until it
-    // completes; partial obsolete marks persist in between.
+    // completes (each clone models the host rebooting with the same
+    // durable state); every premature stop must be a power loss.
     let mut recovered = None;
     for budget in 0..50u64 {
         chip.arm_fault(budget);
@@ -172,15 +173,15 @@ fn pdl_recovery_is_idempotent_across_repeated_crashes() {
             }
             Err(e) => assert!(pdl_core::is_power_loss(&e)),
         }
-        // Simulate that the partial marks reached flash: re-run on the
-        // same chip after each crash (the clone above models the host
-        // rebooting with the same durable state).
-        chip.disarm_fault();
-        let r = recover_store(chip, kind, StoreOptions::new(PAGES)).unwrap();
-        recovered = Some(r);
-        break;
     }
-    let mut r = recovered.expect("recovery eventually completes");
+    let mut r = match recovered {
+        Some(r) => r,
+        None => {
+            // Every budget crashed: finish with an unbounded recovery.
+            chip.disarm_fault();
+            recover_store(chip, kind, StoreOptions::new(PAGES)).unwrap()
+        }
+    };
     let mut out = vec![0u8; size];
     for pid in 0..PAGES {
         if pid == 5 {
@@ -221,9 +222,7 @@ fn ipl_recovers_from_crash_during_merge() {
                 *b = rng.gen();
             }
             let p = flushed[pid].clone();
-            store
-                .apply_update(pid as u64, &p, &[ChangeRange::new(at, 8)])
-                .unwrap();
+            store.apply_update(pid as u64, &p, &[ChangeRange::new(at, 8)]).unwrap();
             store.evict_page(pid as u64, &p).unwrap();
         }
         // The 145th sector triggers the merge; crash `budget` ops into it.
@@ -232,11 +231,7 @@ fn ipl_recovers_from_crash_during_merge() {
         let at = 100;
         let mut candidate = flushed[pid].clone();
         candidate[at..at + 8].fill(0xEE);
-        let crashed = match store.apply_update(
-            pid as u64,
-            &candidate,
-            &[ChangeRange::new(at, 8)],
-        ) {
+        let crashed = match store.apply_update(pid as u64, &candidate, &[ChangeRange::new(at, 8)]) {
             Ok(()) => store.evict_page(pid as u64, &candidate).is_err(),
             Err(e) => {
                 assert!(pdl_core::is_power_loss(&e));
@@ -249,11 +244,8 @@ fn ipl_recovers_from_crash_during_merge() {
         let mut out = vec![0u8; size];
         for p in 0..PAGES as usize {
             r.read_page(p as u64, &mut out).unwrap();
-            let ok = if p == pid {
-                out == flushed[p] || out == candidate
-            } else {
-                out == flushed[p]
-            };
+            let ok =
+                if p == pid { out == flushed[p] || out == candidate } else { out == flushed[p] };
             assert!(ok, "IPL budget {budget}: page {p} lost merged/logged state");
         }
         if !crashed {
@@ -287,11 +279,7 @@ fn gc_heavy_workload_then_crash_recovers() {
             let p = truth[pid].clone();
             store.write_page(pid as u64, &p).unwrap();
         }
-        assert!(
-            store.chip().stats().total().erases > 0,
-            "{}: churn must trigger GC",
-            kind.label()
-        );
+        assert!(store.chip().stats().total().erases > 0, "{}: churn must trigger GC", kind.label());
         store.flush().unwrap();
         let chip = store.into_chip();
         let mut r = recover_store(chip, kind, StoreOptions::new(PAGES)).unwrap();

@@ -80,13 +80,12 @@ fn check_new_orders_undelivered(t: &mut TpccDb) {
         })
         .unwrap();
     for no in new_orders.iter().step_by(5) {
-        let key = KeyBuf::new()
-            .push_u16(no.w_id as u16)
-            .push_u8(no.d_id)
-            .push_u32(no.o_id)
-            .finish();
+        let key =
+            KeyBuf::new().push_u16(no.w_id as u16).push_u8(no.d_id).push_u32(no.o_id).finish();
         let rid = t.idx_order.get(&mut t.db, &key).unwrap().expect("order for new-order");
-        let o = t.order.get(&mut t.db, RecordId::from_u64(rid), pdl_tpcc::schema::Order::decode)
+        let o = t
+            .order
+            .get(&mut t.db, RecordId::from_u64(rid), pdl_tpcc::schema::Order::decode)
             .unwrap();
         assert_eq!(o.carrier_id, 0, "new-order rows must be undelivered");
     }
