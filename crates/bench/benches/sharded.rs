@@ -92,6 +92,7 @@ fn mode_label(mode: PageSetMode) -> &'static str {
     match mode {
         PageSetMode::Disjoint => "disjoint",
         PageSetMode::Overlapping => "overlapping",
+        PageSetMode::Skewed => "skewed 80/20",
     }
 }
 

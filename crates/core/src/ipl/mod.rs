@@ -21,7 +21,7 @@
 mod log;
 
 use crate::error::CoreError;
-use crate::ftl::make_spare;
+use crate::ftl::{make_spare, GcPolicy};
 use crate::page_store::{ChangeRange, MethodKind, PageStore, StoreOptions};
 use crate::Result;
 use log::{LogBuf, LogRecord, RECORD_OVERHEAD, SECTOR_HEADER};
@@ -56,6 +56,11 @@ pub struct Ipl {
     /// Logical block -> physical block.
     block_map: Vec<u32>,
     free_blocks: VecDeque<u32>,
+    /// Merge-target selection policy. IPL's block structure already
+    /// separates hot update traffic (log pages) from cold data pages, so
+    /// only the wear-aware policy changes behaviour here: it picks the
+    /// least-worn free block as each merge target instead of FIFO.
+    policy: GcPolicy,
     regions: Vec<LogRegion>,
     bufs: HashMap<u64, LogBuf>,
     loaded: Vec<bool>,
@@ -159,6 +164,7 @@ impl Ipl {
             sectors_per_log_page: l.sectors_per_log_page,
             block_map,
             free_blocks,
+            policy: opts.gc_policy,
             regions,
             bufs: HashMap::new(),
             loaded: vec![false; opts.num_logical_pages as usize],
@@ -287,7 +293,15 @@ impl Ipl {
             }
         }
         for b in &losers {
-            chip.erase_block(BlockId(*b))?;
+            match chip.erase_block(BlockId(*b)) {
+                Ok(()) => {}
+                // A loser that fails to erase (or was already broken) is
+                // retired: the broken-block filters below keep it out of
+                // both the identity assignment and the free pool.
+                Err(pdl_flash::FlashError::EraseFailed(_))
+                | Err(pdl_flash::FlashError::BadBlock(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
         }
 
         // Rebuild loaded flags and per-block log-region state.
@@ -347,6 +361,7 @@ impl Ipl {
                 let b = (0..g.num_blocks)
                     .find(|b| {
                         !assigned[*b as usize]
+                            && !chip.is_broken(BlockId(*b))
                             && (!scans[*b as usize].has_any || losers.contains(b))
                     })
                     .ok_or(CoreError::StorageFull)?;
@@ -354,8 +369,9 @@ impl Ipl {
                 *slot = b;
             }
         }
-        let free_blocks: VecDeque<u32> =
-            (0..g.num_blocks).filter(|b| !assigned[*b as usize]).collect();
+        let free_blocks: VecDeque<u32> = (0..g.num_blocks)
+            .filter(|b| !assigned[*b as usize] && !chip.is_broken(BlockId(*b)))
+            .collect();
         if free_blocks.is_empty() {
             return Err(CoreError::BadConfig("no spare block left for merging".into()));
         }
@@ -369,6 +385,7 @@ impl Ipl {
             sectors_per_log_page: spl,
             block_map,
             free_blocks,
+            policy: opts.gc_policy,
             regions,
             bufs: HashMap::new(),
             loaded,
@@ -458,7 +475,21 @@ impl Ipl {
         let g = self.chip.geometry();
         let ds = g.data_size;
         let old_block = self.block_map[lb];
-        let new_block = self.free_blocks.pop_front().ok_or(CoreError::StorageFull)?;
+        let new_block = match self.policy {
+            GcPolicy::WearAware => {
+                // Level wear across the pool: merge into the least-worn
+                // free block instead of strict FIFO.
+                let at = self
+                    .free_blocks
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, b)| self.chip.erase_count(BlockId(**b)))
+                    .map(|(i, _)| i)
+                    .ok_or(CoreError::StorageFull)?;
+                self.free_blocks.remove(at).expect("index from enumerate")
+            }
+            _ => self.free_blocks.pop_front().ok_or(CoreError::StorageFull)?,
+        };
         // Read every used log page once, bucketing records per pid in
         // global sector order.
         let mut per_pid: HashMap<u64, Vec<LogRecord>> = HashMap::new();

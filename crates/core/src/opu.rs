@@ -11,7 +11,9 @@
 //! performance even though the method consumes memory excessively".
 
 use crate::error::CoreError;
-use crate::ftl::{make_spare, mark_obsolete_lenient, AllocOutcome, BlockManager, GcPolicy};
+use crate::ftl::{
+    make_spare, mark_obsolete_lenient, AllocOutcome, AllocStream, BlockManager, GcPolicy, HeatTable,
+};
 use crate::page_store::{ChangeRange, MethodKind, PageStore, StoreOptions};
 use crate::Result;
 use pdl_flash::{FlashChip, OpContext, PageKind, Ppn};
@@ -25,12 +27,16 @@ pub struct Opu {
     /// Frame -> physical page (page-level mapping table).
     map: Vec<u32>,
     alloc: BlockManager,
+    /// Per-logical-page update-frequency gauge (hot/cold policy).
+    heat: HeatTable,
     ts: u64,
     in_gc: bool,
     frame_buf: Vec<u8>,
     // Counters.
     gc_runs: u64,
     relocated_pages: u64,
+    migrated_hot: u64,
+    migrated_cold: u64,
     bad_blocks: u64,
 }
 
@@ -47,18 +53,22 @@ impl Opu {
                 "{frames} frames do not fit: only {usable} pages usable outside the GC reserve"
             )));
         }
-        let alloc = BlockManager::new(g.num_blocks, g.pages_per_block, opts.reserve_blocks);
+        let mut alloc = BlockManager::new(g.num_blocks, g.pages_per_block, opts.reserve_blocks);
+        alloc.set_policy(opts.gc_policy);
         let frame_buf = vec![0u8; g.data_size];
         Ok(Opu {
             chip,
             opts,
             map: vec![NONE; frames as usize],
             alloc,
+            heat: HeatTable::new(opts.num_logical_pages),
             ts: 1,
             in_gc: false,
             frame_buf,
             gc_runs: 0,
             relocated_pages: 0,
+            migrated_hot: 0,
+            migrated_cold: 0,
             bad_blocks: 0,
         })
     }
@@ -97,54 +107,76 @@ impl Opu {
             }
             max_ts = max_ts.max(info.ts);
             let frame = info.tag as usize;
+            // Stale copies may sit in blocks whose erase failed: their
+            // spare areas cannot be programmed, but the block is retired
+            // below, so the lenient mark suffices.
             if frame >= frames {
-                chip.mark_obsolete(ppn)?;
+                mark_obsolete_lenient(&mut chip, ppn)?;
                 obsolete[block] += 1;
                 continue;
             }
             if map[frame] == NONE || info.ts > frame_ts[frame] {
                 if map[frame] != NONE {
                     let old = Ppn(map[frame]);
-                    chip.mark_obsolete(old)?;
+                    mark_obsolete_lenient(&mut chip, old)?;
                     obsolete[g.block_of(old).0 as usize] += 1;
                 }
                 map[frame] = p;
                 frame_ts[frame] = info.ts;
             } else {
-                chip.mark_obsolete(ppn)?;
+                mark_obsolete_lenient(&mut chip, ppn)?;
                 obsolete[block] += 1;
             }
         }
         chip.set_context(OpContext::User);
         let mut alloc = BlockManager::new(g.num_blocks, g.pages_per_block, opts.reserve_blocks);
+        alloc.set_policy(opts.gc_policy);
         alloc.rebuild(&written, &obsolete);
+        // Retire blocks the chip knows are broken so GC never picks one
+        // as a victim (its erase would fail again, forever).
+        for b in 0..g.num_blocks {
+            if chip.is_broken(pdl_flash::BlockId(b)) {
+                alloc.retire_block(pdl_flash::BlockId(b));
+            }
+        }
         let frame_buf = vec![0u8; g.data_size];
         Ok(Opu {
             chip,
             opts,
             map,
             alloc,
+            heat: HeatTable::new(opts.num_logical_pages),
             ts: max_ts + 1,
             in_gc: false,
             frame_buf,
             gc_runs: 0,
             relocated_pages: 0,
+            migrated_hot: 0,
+            migrated_cold: 0,
             bad_blocks: 0,
         })
     }
 
-    /// Use a different GC victim-selection policy (ablation).
+    /// Use a different GC victim-selection policy (ablation). Also
+    /// recorded in [`PageStore::options`], so recovering with the
+    /// store's own options resumes the same policy.
     pub fn set_gc_policy(&mut self, policy: GcPolicy) {
+        self.opts.gc_policy = policy;
         self.alloc.set_policy(policy);
     }
 
-    fn alloc_page(&mut self) -> Result<Ppn> {
-        match self.alloc.alloc(self.in_gc)? {
+    /// Which allocation stream `pid`'s frames belong on.
+    fn stream_for(&self, pid: u64) -> AllocStream {
+        self.heat.stream_for(self.alloc.policy(), pid)
+    }
+
+    fn alloc_page(&mut self, stream: AllocStream) -> Result<Ppn> {
+        match self.alloc.alloc_in(self.in_gc, stream)? {
             AllocOutcome::Page(p) => Ok(p),
             AllocOutcome::NeedsGc => {
                 debug_assert!(false, "allocation after ensure_capacity must not need GC");
                 self.gc_once()?;
-                match self.alloc.alloc(self.in_gc)? {
+                match self.alloc.alloc_in(self.in_gc, stream)? {
                     AllocOutcome::Page(p) => Ok(p),
                     AllocOutcome::NeedsGc => Err(CoreError::StorageFull),
                 }
@@ -197,19 +229,29 @@ impl Opu {
                 continue;
             }
             self.chip.read_data(ppn, &mut self.frame_buf)?;
-            let q = self.alloc_page()?;
+            // Migration target by page hotness (hot/cold policy): cold
+            // survivors must not pollute the blocks hot pages churn.
+            let stream = self.stream_for(frame as u64 / self.opts.frames_per_page as u64);
+            let q = self.alloc_page(stream)?;
             let spare =
                 make_spare(g.spare_size, PageKind::Data, frame as u64, info.ts, &self.frame_buf);
             self.chip.program_page(q, &self.frame_buf, &spare)?;
             self.map[frame] = q.0;
             self.relocated_pages += 1;
+            match stream {
+                AllocStream::Hot => self.migrated_hot += 1,
+                AllocStream::Cold => self.migrated_cold += 1,
+            }
         }
         match self.chip.erase_block(victim) {
             Ok(()) => self.alloc.on_erased(victim),
-            Err(pdl_flash::FlashError::EraseFailed(b)) => {
-                // Bad-block management: valid pages were already
-                // relocated; retire the block and let the caller pick
-                // another victim.
+            // Bad-block management: valid pages were already relocated,
+            // so retire the block and let the caller pick another victim
+            // — whether its erase failed just now (`EraseFailed`) or
+            // before a crash whose recovery rebuilt it as a regular
+            // `Used` block (`BadBlock`); without retirement GC would
+            // pick the broken block as a victim forever.
+            Err(pdl_flash::FlashError::EraseFailed(b) | pdl_flash::FlashError::BadBlock(b)) => {
                 self.alloc.retire_block(b);
                 self.bad_blocks += 1;
             }
@@ -242,8 +284,11 @@ impl PageStore for Opu {
         Ok(())
     }
 
-    fn apply_update(&mut self, _pid: u64, _page: &[u8], _changes: &[ChangeRange]) -> Result<()> {
-        // Loosely coupled: OPU acts only when the page is reflected.
+    fn apply_update(&mut self, pid: u64, _page: &[u8], _changes: &[ChangeRange]) -> Result<()> {
+        // Loosely coupled: OPU acts only when the page is reflected. The
+        // notification still feeds the hot/cold policy's per-page
+        // update-frequency gauge (no flash operation is performed).
+        self.heat.note_update(pid);
         Ok(())
     }
 
@@ -256,10 +301,11 @@ impl PageStore for Opu {
         let g = self.chip.geometry();
         let ts = self.ts;
         self.ts += 1;
+        let stream = self.stream_for(pid);
         for j in 0..k as usize {
             let frame = pid as usize * k as usize + j;
             let data = &page[j * ds..(j + 1) * ds];
-            let q = self.alloc_page()?;
+            let q = self.alloc_page(stream)?;
             let spare = make_spare(g.spare_size, PageKind::Data, frame as u64, ts, data);
             self.chip.program_page(q, data, &spare)?;
             let old = self.map[frame];
@@ -293,6 +339,8 @@ impl PageStore for Opu {
         vec![
             ("gc_runs", self.gc_runs),
             ("relocated_pages", self.relocated_pages),
+            ("migrated_hot", self.migrated_hot),
+            ("migrated_cold", self.migrated_cold),
             ("bad_blocks", self.bad_blocks),
         ]
     }

@@ -19,6 +19,7 @@
 //! logical pages on the 2 Kbyte-page chip).
 
 use crate::error::CoreError;
+use crate::ftl::GcPolicy;
 use crate::Result;
 use pdl_flash::{FlashChip, FlashStats, WearSummary};
 
@@ -60,6 +61,14 @@ pub struct StoreOptions {
     /// future work: recovering the mapping tables without a full scan.
     /// Must hold two complete checkpoints; see `Pdl::checkpoint`.
     pub checkpoint_blocks: u32,
+    /// Garbage-collection victim-selection / data-placement policy.
+    /// Applies to the out-place methods (PDL, OPU) and — where its block
+    /// structure permits — to IPL's merge-target choice; IPU has no GC.
+    /// Recovery must be given the same policy the store ran with so the
+    /// rebuilt allocator resumes the same victim-selection and placement
+    /// rules (the in-memory update-frequency gauge itself restarts cold
+    /// and re-warms over the first updates, like any unflushed state).
+    pub gc_policy: GcPolicy,
 }
 
 impl StoreOptions {
@@ -70,7 +79,15 @@ impl StoreOptions {
             reserve_blocks: 3,
             coalesce_gap: 8,
             checkpoint_blocks: 0,
+            gc_policy: GcPolicy::default(),
         }
+    }
+
+    /// Select the garbage-collection policy (default: greedy, the
+    /// paper's setup).
+    pub fn with_gc_policy(mut self, policy: GcPolicy) -> StoreOptions {
+        self.gc_policy = policy;
+        self
     }
 
     /// Enable PDL checkpointing with a root region of `blocks` blocks.

@@ -30,7 +30,9 @@ mod recovery;
 
 use crate::diff::Differential;
 use crate::error::CoreError;
-use crate::ftl::{make_spare, mark_obsolete_lenient, AllocOutcome, BlockManager, GcPolicy};
+use crate::ftl::{
+    make_spare, mark_obsolete_lenient, AllocOutcome, AllocStream, BlockManager, GcPolicy, HeatTable,
+};
 use crate::page_store::{ChangeRange, MethodKind, PageStore, StoreOptions};
 use crate::Result;
 use dwb::DiffWriteBuffer;
@@ -66,6 +68,10 @@ pub(crate) struct PdlCounters {
     pub gc_runs: u64,
     pub compacted_diffs: u64,
     pub relocated_bases: u64,
+    /// GC base-page migrations routed to the hot / cold stream
+    /// (hot/cold policy; both zero under the single-stream policies).
+    pub migrated_hot: u64,
+    pub migrated_cold: u64,
     pub unchanged_skips: u64,
     pub checkpoints: u64,
     pub bad_blocks: u64,
@@ -84,6 +90,9 @@ pub struct Pdl {
     vdct: Vec<u16>,
     dwb: DiffWriteBuffer,
     alloc: BlockManager,
+    /// Per-logical-page update-frequency gauge: the hotness signal the
+    /// hot/cold policy separates allocation streams by.
+    heat: HeatTable,
     ts: u64,
     in_gc: bool,
     /// Checkpoint bookkeeping (see `checkpoint.rs`): last committed
@@ -120,6 +129,7 @@ impl Pdl {
             )));
         }
         let mut alloc = BlockManager::new(g.num_blocks, g.pages_per_block, opts.reserve_blocks);
+        alloc.set_policy(opts.gc_policy);
         for b in 0..opts.checkpoint_blocks {
             alloc.reserve_block(pdl_flash::BlockId(b));
         }
@@ -130,6 +140,7 @@ impl Pdl {
             vdct: vec![0u16; g.num_pages() as usize],
             dwb: DiffWriteBuffer::new(g.data_size),
             alloc,
+            heat: HeatTable::new(opts.num_logical_pages),
             ts: 1,
             in_gc: false,
             ckpt_seq: 0,
@@ -147,8 +158,11 @@ impl Pdl {
         self.max_diff_size
     }
 
-    /// Use a different GC victim-selection policy (ablation).
+    /// Use a different GC victim-selection policy (ablation). Also
+    /// recorded in [`PageStore::options`], so recovering with the
+    /// store's own options resumes the same policy.
     pub fn set_gc_policy(&mut self, policy: GcPolicy) {
+        self.opts.gc_policy = policy;
         self.alloc.set_policy(policy);
     }
 
@@ -167,17 +181,22 @@ impl Pdl {
         self.opts.frames_per_page as usize
     }
 
+    /// Which allocation stream `pid`'s pages belong on.
+    fn stream_for(&self, pid: u64) -> AllocStream {
+        self.heat.stream_for(self.alloc.policy(), pid)
+    }
+
     // ------------------------------------------------------------------
     // Allocation & capacity
     // ------------------------------------------------------------------
 
-    fn alloc_page(&mut self) -> Result<Ppn> {
-        match self.alloc.alloc(self.in_gc)? {
+    fn alloc_page(&mut self, stream: AllocStream) -> Result<Ppn> {
+        match self.alloc.alloc_in(self.in_gc, stream)? {
             AllocOutcome::Page(p) => Ok(p),
             AllocOutcome::NeedsGc => {
                 debug_assert!(false, "allocation after ensure_capacity must not need GC");
                 self.gc_once()?;
-                match self.alloc.alloc(self.in_gc)? {
+                match self.alloc.alloc_in(self.in_gc, stream)? {
                     AllocOutcome::Page(p) => Ok(p),
                     AllocOutcome::NeedsGc => Err(CoreError::StorageFull),
                 }
@@ -234,7 +253,9 @@ impl Pdl {
         }
         let g = self.chip.geometry();
         // Step 1: write the buffer into a new differential page q.
-        let q = self.alloc_page()?;
+        // Differential pages hold deltas of recently-updated pages, so
+        // they live on the hot stream under hot/cold separation.
+        let q = self.alloc_page(AllocStream::Hot)?;
         let mut img = std::mem::take(&mut self.page_img);
         self.dwb.serialize_into(&mut img);
         let spare = make_spare(g.spare_size, PageKind::Diff, u64::MAX, self.ts, &img);
@@ -269,9 +290,10 @@ impl Pdl {
         let ds = g.data_size;
         let k = self.frames();
         let ts = self.next_ts();
+        let stream = self.stream_for(pid);
         let mut new_frames = [NONE; MAX_FRAMES];
         for (j, frame_data) in page.chunks_exact(ds).enumerate() {
-            let q = self.alloc_page()?;
+            let q = self.alloc_page(stream)?;
             let tag = pid * k as u64 + j as u64;
             let spare = make_spare(g.spare_size, PageKind::Base, tag, ts, frame_data);
             self.chip.program_page(q, frame_data, &spare)?;
@@ -351,9 +373,13 @@ impl Pdl {
         }
         match self.chip.erase_block(victim) {
             Ok(()) => self.alloc.on_erased(victim),
-            Err(pdl_flash::FlashError::EraseFailed(b)) => {
-                // Bad-block management: everything valid was relocated or
-                // compacted; retire the block and move on.
+            // Bad-block management: everything valid was relocated or
+            // compacted, so retire the block and move on — whether its
+            // erase failed just now (`EraseFailed`) or before a crash
+            // whose recovery rebuilt it as a regular `Used` block
+            // (`BadBlock`); without retirement GC would pick the broken
+            // block as a victim forever.
+            Err(pdl_flash::FlashError::EraseFailed(b) | pdl_flash::FlashError::BadBlock(b)) => {
                 self.alloc.retire_block(b);
                 self.counters.bad_blocks += 1;
             }
@@ -378,11 +404,19 @@ impl Pdl {
         let read = self.chip.read_data(ppn, &mut buf);
         self.frame_buf = buf;
         read?;
-        let q = self.alloc_page()?;
+        // Migration target by hotness: pages that survived GC unchanged
+        // are usually cold, but a hot page caught between rewrites keeps
+        // riding the hot stream so it does not pollute a cold block.
+        let stream = self.stream_for(pid as u64);
+        let q = self.alloc_page(stream)?;
         let spare = make_spare(g.spare_size, PageKind::Base, tag, ts, &self.frame_buf);
         self.chip.program_page(q, &self.frame_buf, &spare)?;
         self.ppmt[pid].base[j] = q.0;
         self.counters.relocated_bases += 1;
+        match stream {
+            AllocStream::Hot => self.counters.migrated_hot += 1,
+            AllocStream::Cold => self.counters.migrated_cold += 1,
+        }
         Ok(())
     }
 
@@ -461,9 +495,12 @@ impl PageStore for Pdl {
         Ok(())
     }
 
-    fn apply_update(&mut self, _pid: u64, _page: &[u8], _changes: &[ChangeRange]) -> Result<()> {
+    fn apply_update(&mut self, pid: u64, _page: &[u8], _changes: &[ChangeRange]) -> Result<()> {
         // Loosely coupled: "when a logical page is simply updated, we just
         // update the logical page in memory without recording the log".
+        // The notification still feeds the hot/cold policy's per-page
+        // update-frequency gauge (no flash operation is performed).
+        self.heat.note_update(pid);
         Ok(())
     }
 
@@ -548,6 +585,8 @@ impl PageStore for Pdl {
             ("gc_runs", c.gc_runs),
             ("compacted_diffs", c.compacted_diffs),
             ("relocated_bases", c.relocated_bases),
+            ("migrated_hot", c.migrated_hot),
+            ("migrated_cold", c.migrated_cold),
             ("unchanged_skips", c.unchanged_skips),
             ("checkpoints", c.checkpoints),
             ("bad_blocks", c.bad_blocks),

@@ -12,6 +12,17 @@
 //! recovery and the scan restarts from the beginning (the paper's
 //! repeated-failure guarantee).
 //!
+//! The same time-stamp versioning covers crashes **mid-migration**:
+//! garbage collection relocates a valid base page by programming a copy
+//! that *preserves* the original's creation time stamp, so a crash
+//! between the copy and the victim's erase leaves two byte-identical
+//! twins with equal `(tag, ts)`. The scan keeps whichever it meets first
+//! and sets the other to obsolete (the strict `ts >` comparison below),
+//! discarding the half-migrated duplicate; compacted differentials are
+//! flushed to a fresh differential page *before* the victim is erased,
+//! and a crash before that erase leaves two equal-`ts` differential
+//! copies resolved the same way.
+//!
 //! Data that only reached the differential write buffer is not recovered,
 //! "analogous to the situation where data retained only in the file buffer
 //! but not written out to disk ... are not recovered"; durability requires
@@ -206,10 +217,19 @@ impl Pdl {
     ) -> Result<Pdl> {
         let g = chip.geometry();
         let mut alloc = BlockManager::new(g.num_blocks, g.pages_per_block, opts.reserve_blocks);
+        alloc.set_policy(opts.gc_policy);
         for b in 0..opts.checkpoint_blocks {
             alloc.reserve_block(BlockId(b));
         }
         alloc.rebuild(&tables.written, &tables.obsolete);
+        // Blocks whose erase failed before the crash are permanently
+        // broken on the chip; retire them up front so GC never selects
+        // one as a victim (its erase would fail again, forever).
+        for b in 0..g.num_blocks {
+            if chip.is_broken(BlockId(b)) {
+                alloc.retire_block(BlockId(b));
+            }
+        }
         let mut pdl = Pdl {
             opts,
             max_diff_size,
@@ -217,6 +237,7 @@ impl Pdl {
             vdct: tables.vdct,
             dwb: DiffWriteBuffer::new(g.data_size),
             alloc,
+            heat: crate::ftl::HeatTable::new(opts.num_logical_pages),
             ts: tables.max_ts + 1,
             in_gc: false,
             ckpt_seq: 0,

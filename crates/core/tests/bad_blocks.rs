@@ -208,6 +208,50 @@ fn ipl_merge_survives_erase_failure() {
 }
 
 #[test]
+fn broken_block_rediscovered_by_gc_is_retired_not_retried() {
+    // Regression (fail_next_erase_of + GC): a block that fails its erase
+    // during GC is retired by the running store — but after a crash the
+    // rebuilt allocator used to see it as an ordinary `Used` block again.
+    // Recovery marks its stale pages obsolete, which makes the broken
+    // block the *most reclaimable* block on the chip, so GC picks it as
+    // its very first victim, the erase fails with `BadBlock`, and without
+    // retirement the store would error out (or retry the same victim
+    // forever). Recovery must retire chip-broken blocks up front, and GC
+    // must retire any victim whose erase reports `BadBlock`.
+    for kind in [MethodKind::Opu, MethodKind::Pdl { max_diff_size: 256 }] {
+        let chip = FlashChip::new(FlashConfig::scaled(16));
+        let mut store = build_store(chip, kind, StoreOptions::new(PAGES)).unwrap();
+        let mut truth = Vec::new();
+        churn(&mut store, &mut truth, 200, 31);
+        for b in [5u32, 9] {
+            store.chip_mut().fail_next_erase_of(BlockId(b));
+        }
+        // Churn until GC hits the armed blocks and retires them.
+        churn(&mut store, &mut truth, 8_000, 32);
+        let bad =
+            store.counters().iter().find(|(k, _)| *k == "bad_blocks").map(|(_, v)| *v).unwrap();
+        assert!(bad > 0, "{}: churn must have broken a block", store.name());
+        store.flush().unwrap();
+
+        // Crash + recover: the broken blocks are still broken on the chip.
+        let chip = store.into_chip();
+        let broken: Vec<u32> = (0..16u32).filter(|b| chip.is_broken(BlockId(*b))).collect();
+        assert!(!broken.is_empty(), "at least one block must be chip-broken");
+        let mut r = pdl_core::recover_store(chip, kind, StoreOptions::new(PAGES)).unwrap();
+        verify(&mut r, &truth);
+
+        // Churn far past the point where GC must reclaim space: if the
+        // broken block were re-selected forever (or its BadBlock error
+        // propagated), these writes would fail.
+        churn(&mut r, &mut truth, 8_000, 33);
+        verify(&mut r, &truth);
+        for b in &broken {
+            assert!(r.chip().is_broken(BlockId(*b)), "block {b} stays broken");
+        }
+    }
+}
+
+#[test]
 fn recovery_after_erase_failures_preserves_data() {
     let kind = MethodKind::Pdl { max_diff_size: 256 };
     let chip = FlashChip::new(FlashConfig::scaled(16));

@@ -1,67 +1,142 @@
-//! Property-based crash testing: for an arbitrary workload prefix and an
-//! arbitrary power-loss point, recovery must restore every page to a state
-//! the workload could legally have produced (flushed state, or a
-//! committed post-flush update), and a second crash+recovery must agree.
+//! Crash testing in two tiers:
+//!
+//! * an **exhaustive crash-point sweep**: a fixed, GC-heavy workload is
+//!   first dry-run to count its destructive flash operations (programs,
+//!   obsolete marks, erases), then re-run once per destructive-op index
+//!   with a power-loss fault armed at exactly that index
+//!   ([`pdl_flash::FlashChip::arm_fault`]). Every index is covered, so
+//!   crashes *inside* garbage collection — mid-migration, between a
+//!   relocation and the victim's erase, between erase and mapping update
+//!   — are all exercised deterministically, for each method and for the
+//!   GC policies that change data placement (hot/cold runs two active
+//!   blocks during migration);
+//! * a property test over arbitrary checkpoint placement (checkpoints
+//!   must never change recovery semantics).
+//!
+//! After recovery, every page must read back as a state the workload
+//! could legally have produced (the flushed state, or a committed
+//! post-flush update), and a second crash+recovery must agree.
 
-use pdl_core::{build_store, is_power_loss, recover_store, MethodKind, PageStore, StoreOptions};
+use pdl_core::{
+    build_store, is_power_loss, recover_store, GcPolicy, MethodKind, PageStore, StoreOptions,
+};
 use pdl_flash::{FlashChip, FlashConfig};
 use proptest::prelude::*;
 
 const PAGES: u64 = 24;
 
-fn kinds() -> Vec<MethodKind> {
-    vec![
-        MethodKind::Opu,
-        MethodKind::Pdl { max_diff_size: 64 },
-        MethodKind::Ipl { log_bytes_per_block: 512 },
-    ]
+/// The fixed workload script: `(pid, fill, whole_page)` — a whole-page
+/// rewrite (base-page churn: OPU programs, PDL Case 3, IPL multi-sector
+/// logs) or a 16-byte run update (differential / log-sector traffic).
+/// Deterministic pseudo-random, dense enough on the tiny chip that every
+/// method garbage-collects during the post-flush phase.
+fn script(len: usize, seed: u64) -> Vec<(u64, u8, bool)> {
+    let mut x = seed;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pid = (x >> 33) % PAGES;
+            let fill = (x >> 17) as u8;
+            let whole = (x >> 13).is_multiple_of(3); // every third op rewrites the page
+            (pid, fill, whole)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+/// Apply one scripted op to `page` (the in-memory image of its pid).
+fn apply_op(page: &mut [u8], fill: u8, whole: bool) {
+    if whole {
+        page.fill(fill);
+    } else {
+        let at = (fill as usize * 5) % (page.len() - 16);
+        page[at..at + 16].fill(fill ^ 0xA5);
+    }
+}
 
-    /// Crash at an arbitrary destructive-op budget during arbitrary
-    /// updates; verify flushed data and crash atomicity per page.
-    #[test]
-    fn recovery_is_correct_at_arbitrary_crash_points(
-        kind_idx in 0usize..3,
-        writes in proptest::collection::vec((0u64..PAGES, any::<u8>()), 1..30),
-        post in proptest::collection::vec((0u64..PAGES, any::<u8>()), 1..20),
-        budget in 0u64..24,
-    ) {
-        let kind = kinds()[kind_idx];
-        let chip = FlashChip::new(FlashConfig::tiny());
-        let mut store = build_store(chip, kind, StoreOptions::new(PAGES)).unwrap();
+struct SweepSetup {
+    kind: MethodKind,
+    opts: StoreOptions,
+}
+
+impl SweepSetup {
+    fn build(&self) -> Box<dyn PageStore> {
+        build_store(FlashChip::new(FlashConfig::tiny()), self.kind, self.opts).unwrap()
+    }
+
+    /// Run phase 1 (load + pre-crash updates + flush); returns the
+    /// flushed page states.
+    fn phase1(&self, store: &mut dyn PageStore) -> Vec<Vec<u8>> {
         let size = store.logical_page_size();
         let mut flushed: Vec<Vec<u8>> = (0..PAGES).map(|_| vec![0u8; size]).collect();
-
-        // Load then apply the pre-crash updates and flush.
         for pid in 0..PAGES {
             store.write_page(pid, &flushed[pid as usize]).unwrap();
         }
-        for (pid, fill) in &writes {
-            flushed[*pid as usize].fill(*fill);
-            let p = flushed[*pid as usize].clone();
-            store.write_page(*pid, &p).unwrap();
+        for (pid, fill, whole) in script(20, 0x51EE7) {
+            apply_op(&mut flushed[pid as usize], fill, whole);
+            let p = flushed[pid as usize].clone();
+            store.write_page(pid, &p).unwrap();
         }
         store.flush().unwrap();
+        flushed
+    }
+}
 
-        // Post-flush updates until the injected power loss. Buffered
-        // methods (PDL's differential write buffer) may durably expose any
-        // *earlier* post-flush state of a page, so track the full history.
+/// The exhaustive sweep for one method/policy configuration.
+fn sweep(kind: MethodKind, policy: GcPolicy) {
+    let mut opts = StoreOptions::new(PAGES).with_gc_policy(policy);
+    // A large GC reserve shrinks the normally-allocatable space, so the
+    // out-place methods hit reclamation within a short script instead of
+    // needing thousands of operations to fill the chip.
+    opts.reserve_blocks = 10;
+    let setup = SweepSetup { kind, opts };
+    // IPL turns a whole-page rewrite into dozens of log-sector programs,
+    // so a shorter script already exercises several merges (its GC) while
+    // keeping the per-index replay affordable.
+    let post_len = if matches!(kind, MethodKind::Ipl { .. }) { 24 } else { 45 };
+    let post_script = script(post_len, 0xCAFE);
+
+    // Dry run: count destructive operations of the post-flush phase and
+    // prove it garbage-collects (so the sweep covers mid-GC indices).
+    // The dry run must replay the *exact* page sequence of the faulted
+    // runs below — PDL's differential sizes (and hence its Case 1/2/3
+    // program counts) depend on page contents, so any divergence would
+    // make the destructive-op count wrong and leave tail indices
+    // unswept.
+    let mut store = setup.build();
+    let mut proto = setup.phase1(store.as_mut());
+    let before = store.stats();
+    for (pid, fill, whole) in &post_script {
+        let pid = *pid as usize;
+        let mut page = proto[pid].clone();
+        apply_op(&mut page, *fill, *whole);
+        store.write_page(pid as u64, &page).unwrap();
+        proto[pid] = page;
+    }
+    let delta = store.stats().delta_since(&before);
+    let destructive = delta.total().writes + delta.total().erases;
+    assert!(
+        delta.gc.total_ops() > 0,
+        "{}: the fixed workload must garbage-collect post-flush (got {delta:?})",
+        store.name()
+    );
+
+    // The sweep: crash after exactly `budget` destructive ops, for every
+    // budget (the final budget crashes nowhere — the control run).
+    for budget in 0..=destructive {
+        let mut store = setup.build();
+        let flushed = setup.phase1(store.as_mut());
+        let size = flushed[0].len();
         store.chip_mut().arm_fault(budget);
         let mut history: Vec<Vec<Vec<u8>>> = vec![Vec::new(); PAGES as usize];
-        for (pid, fill) in &post {
-            let mut c = history[*pid as usize]
-                .last()
-                .cloned()
-                .unwrap_or_else(|| flushed[*pid as usize].clone());
-            c.fill(fill.wrapping_add(1));
-            match store.write_page(*pid, &c) {
-                Ok(()) => history[*pid as usize].push(c),
+        for (pid, fill, whole) in &post_script {
+            let pid = *pid as usize;
+            let mut page = history[pid].last().cloned().unwrap_or_else(|| flushed[pid].clone());
+            apply_op(&mut page, *fill, *whole);
+            match store.write_page(pid as u64, &page) {
+                Ok(()) => history[pid].push(page),
                 Err(e) => {
-                    prop_assert!(is_power_loss(&e), "unexpected error: {e}");
-                    history[*pid as usize].push(c); // may or may not land
+                    assert!(is_power_loss(&e), "budget {budget}: unexpected error: {e}");
+                    history[pid].push(page); // may or may not have landed
                     break;
                 }
             }
@@ -70,15 +145,18 @@ proptest! {
         // Reboot and recover.
         let mut chip = store.into_chip();
         chip.disarm_fault();
-        let mut r = recover_store(chip, kind, StoreOptions::new(PAGES)).unwrap();
+        let mut r = recover_store(chip, kind, setup.opts).unwrap();
         let mut out = vec![0u8; size];
         let mut first_states: Vec<Vec<u8>> = Vec::new();
+        let ipl = matches!(kind, MethodKind::Ipl { .. });
         for pid in 0..PAGES as usize {
             r.read_page(pid as u64, &mut out).unwrap();
             if history[pid].is_empty() {
-                prop_assert_eq!(
-                    &out, &flushed[pid],
-                    "{} page {} must equal the flushed state", r.name(), pid
+                assert_eq!(
+                    out,
+                    flushed[pid],
+                    "{} budget {budget}: page {pid} must equal the flushed state",
+                    r.name()
                 );
             } else {
                 // Touched pages: the flushed state or any state of the
@@ -87,22 +165,57 @@ proptest! {
                 // sector-granular, so a whole-page update interrupted
                 // mid-flush legally recovers as a mixture — the paper's
                 // §4.5 defers transactional atomicity to the DBMS above.
-                let legal = out == flushed[pid]
-                    || history[pid].iter().any(|h| h == &out)
-                    || kind_idx == 2;
-                prop_assert!(legal, "{} page {} is torn", r.name(), pid);
+                let legal = out == flushed[pid] || history[pid].iter().any(|h| h == &out) || ipl;
+                assert!(legal, "{} budget {budget}: page {pid} is torn", r.name());
             }
             first_states.push(out.clone());
         }
 
         // Idempotence: a second crash+recovery yields the same states.
         let chip = r.into_chip();
-        let mut r2 = recover_store(chip, kind, StoreOptions::new(PAGES)).unwrap();
+        let mut r2 = recover_store(chip, kind, setup.opts).unwrap();
         for pid in 0..PAGES as usize {
             r2.read_page(pid as u64, &mut out).unwrap();
-            prop_assert_eq!(&out, &first_states[pid], "second recovery diverged on {}", pid);
+            assert_eq!(
+                out, first_states[pid],
+                "budget {budget}: second recovery diverged on page {pid}"
+            );
         }
     }
+}
+
+#[test]
+fn exhaustive_crash_sweep_opu() {
+    sweep(MethodKind::Opu, GcPolicy::Greedy);
+}
+
+#[test]
+fn exhaustive_crash_sweep_opu_hot_cold() {
+    sweep(MethodKind::Opu, GcPolicy::HotCold);
+}
+
+#[test]
+fn exhaustive_crash_sweep_pdl() {
+    sweep(MethodKind::Pdl { max_diff_size: 64 }, GcPolicy::Greedy);
+}
+
+#[test]
+fn exhaustive_crash_sweep_pdl_cost_benefit() {
+    sweep(MethodKind::Pdl { max_diff_size: 64 }, GcPolicy::CostBenefit);
+}
+
+#[test]
+fn exhaustive_crash_sweep_pdl_hot_cold() {
+    sweep(MethodKind::Pdl { max_diff_size: 64 }, GcPolicy::HotCold);
+}
+
+#[test]
+fn exhaustive_crash_sweep_ipl() {
+    sweep(MethodKind::Ipl { log_bytes_per_block: 512 }, GcPolicy::Greedy);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
 
     /// PDL with checkpoints: arbitrary checkpoint placement within the
     /// workload never changes what recovery returns (checkpoints are an

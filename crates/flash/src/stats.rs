@@ -128,6 +128,28 @@ impl FlashStats {
         }
     }
 
+    /// Write amplification: physical page programs per user-issued page
+    /// program (GC migration and obsolete marks inflate it above 1.0).
+    /// The headline figure GC policies are compared by — Dayan & Bonnet
+    /// report integer-factor gaps between greedy, cost-benefit and
+    /// hot/cold-separated policies under skew. 0 when nothing was written.
+    pub fn write_amplification(&self) -> f64 {
+        if self.user.writes == 0 {
+            return 0.0;
+        }
+        self.total().writes as f64 / self.user.writes as f64
+    }
+
+    /// Pages migrated (programmed) by garbage collection / merges.
+    pub fn migrated_pages(&self) -> u64 {
+        self.gc.writes
+    }
+
+    /// Erase operations triggered by garbage collection / merges.
+    pub fn gc_erases(&self) -> u64 {
+        self.gc.erases
+    }
+
     /// Per-context and total delta against an earlier snapshot.
     pub fn delta_since(&self, earlier: &FlashStats) -> FlashStats {
         FlashStats {
@@ -179,6 +201,18 @@ impl WearSummary {
             0.0
         } else {
             self.total_erases as f64 / self.num_blocks as f64
+        }
+    }
+
+    /// Wear spread: the most-erased block's count over the average — 1.0
+    /// is perfectly even wear; the gauge the wear-aware and hot/cold GC
+    /// policies are judged by. 0 when nothing has been erased.
+    pub fn spread(&self) -> f64 {
+        let avg = self.avg_erases();
+        if avg == 0.0 {
+            0.0
+        } else {
+            self.max_erases as f64 / avg
         }
     }
 
@@ -271,6 +305,20 @@ mod tests {
     fn wear_summary_average() {
         let w = WearSummary { min_erases: 1, max_erases: 9, total_erases: 40, num_blocks: 8 };
         assert!((w.avg_erases() - 5.0).abs() < 1e-9);
+        assert!((w.spread() - 9.0 / 5.0).abs() < 1e-9);
+        assert_eq!(WearSummary::default().spread(), 0.0);
+    }
+
+    #[test]
+    fn write_amplification_and_gc_gauges() {
+        let mut s = FlashStats::default();
+        assert_eq!(s.write_amplification(), 0.0);
+        s.user.writes = 10;
+        s.gc.writes = 5;
+        s.gc.erases = 2;
+        assert!((s.write_amplification() - 1.5).abs() < 1e-9);
+        assert_eq!(s.migrated_pages(), 5);
+        assert_eq!(s.gc_erases(), 2);
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub enum PageSetMode {
     /// Every worker addresses the whole page space.
     #[default]
     Overlapping,
+    /// Every worker addresses the whole page space under an 80/20 skew
+    /// (see [`UpdateGen::pick_page_skewed`]): the regime where GC
+    /// victim-selection policies diverge by integer factors.
+    Skewed,
 }
 
 /// Parameters of a multi-threaded pure-update workload.
@@ -68,6 +72,7 @@ fn worker_pid(
 ) -> u64 {
     match mode {
         PageSetMode::Overlapping => gen.pick_page(num_pages),
+        PageSetMode::Skewed => gen.pick_page_skewed(num_pages),
         PageSetMode::Disjoint => {
             let owned = pdl_core::shard_pages(num_pages, threads, w);
             if owned == 0 {
