@@ -1,0 +1,110 @@
+//! Transactional commit throughput (`pdl-txn`): group commit vs solo
+//! commits, over 1 / 4 / 16 concurrent writers.
+//!
+//! Every writer issues multi-page transactions (2 pages each, the
+//! TPC-C-style atomic unit) against a sharded PDL store through the
+//! [`pdl_storage::ShardedBufferPool`] and commits through one of two
+//! disciplines:
+//!
+//! * **solo** — each transaction pays its own differential-write-buffer
+//!   flush and commit-record flush (the Adaptive-Logging "commit
+//!   latency first" end of the trade-off);
+//! * **group** — the group-commit coordinator batches concurrently
+//!   committing transactions, so a whole batch's differentials share
+//!   flash pages and its commit records share one flush per shard
+//!   (amortizing the flush the way the paper's Case-2 buffer amortizes
+//!   page writes).
+//!
+//! The headline column is **bound tps**: committed transactions per
+//! second of *simulated flash time* — on a single-core host the wall
+//! clock cannot separate the disciplines, but the flash-op ledger can.
+//! At 16 writers group commit must reach >= 1.5x solo (the pdl-txn
+//! acceptance bar); the run fails loudly if it does not.
+//!
+//! Run with `cargo bench -p pdl-bench --bench txn_commit`; set
+//! `PDL_SCALE=quick|default|paper` to choose the transaction count.
+
+use pdl_core::{MethodKind, ShardedStore, StoreOptions};
+use pdl_flash::FlashConfig;
+use pdl_storage::ShardedBufferPool;
+use pdl_workload::{run_txn_commit_workload, Scale, Table, TxnCommitConfig, TxnCommitResult};
+
+const SHARDS: usize = 4;
+const PAGES: u64 = 512;
+
+fn txns_per_writer(scale: Scale, writers: usize) -> u64 {
+    let total = match scale.label() {
+        "quick" => 256,
+        "paper" => 16_384,
+        _ => 4_096,
+    };
+    (total / writers as u64).max(8)
+}
+
+fn build_pool() -> ShardedBufferPool {
+    let store = ShardedStore::with_uniform_chips(
+        FlashConfig::scaled(64),
+        SHARDS,
+        MethodKind::Pdl { max_diff_size: 256 },
+        StoreOptions::new(PAGES),
+    )
+    .expect("store");
+    let pool = ShardedBufferPool::new(store, 256);
+    for pid in 0..PAGES {
+        pool.with_page_mut(pid, |p| p.write(0, &[1; 8])).expect("load");
+    }
+    pool.flush_all().expect("load flush");
+    pool
+}
+
+fn run(scale: Scale, writers: usize, group: bool) -> TxnCommitResult {
+    let pool = build_pool();
+    let cfg = TxnCommitConfig::new(writers, txns_per_writer(scale, writers))
+        .with_pages_per_txn(2)
+        .with_group(group);
+    run_txn_commit_workload(&pool, &cfg).expect("workload")
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Transactional commit throughput: group commit vs solo");
+    println!(
+        "method: PDL (256B) x{SHARDS} shards | {PAGES} pages | 2 pages/txn | scale: {}",
+        scale.label()
+    );
+    println!();
+
+    let mut table = Table::new(
+        "group-commit batch-size sweep",
+        &["writers", "discipline", "txns", "writes/txn", "sim us/txn", "bound tps", "speedup"],
+    );
+    let mut ratio_at_16 = 0.0f64;
+    for writers in [1usize, 4, 16] {
+        let solo = run(scale, writers, false);
+        let group = run(scale, writers, true);
+        let ratio = group.bound_tps() / solo.bound_tps().max(f64::MIN_POSITIVE);
+        if writers == 16 {
+            ratio_at_16 = ratio;
+        }
+        for (label, r, speedup) in [("solo", &solo, 1.0), ("group", &group, ratio)] {
+            table.row(vec![
+                writers.to_string(),
+                label.to_string(),
+                r.committed.to_string(),
+                format!("{:.2}", r.writes as f64 / r.committed.max(1) as f64),
+                format!("{:.1}", r.flash_us as f64 / r.committed.max(1) as f64),
+                format!("{:.0}", r.bound_tps()),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "group commit at 16 writers: {ratio_at_16:.2}x solo throughput \
+         (acceptance bar: >= 1.5x)"
+    );
+    assert!(
+        ratio_at_16 >= 1.5,
+        "group commit must reach >= 1.5x solo throughput at 16 writers, got {ratio_at_16:.2}x"
+    );
+}

@@ -5,17 +5,28 @@
 //! structure `<physical page ID, creation time stamp, [offset, length,
 //! changed data]+>` (§4.2).
 //!
-//! A differential page's data area holds a sequence of encoded
-//! differentials; unwritten space stays erased (0xFF), so records are
-//! length-prefixed with a value that can never be `0xFFFF`:
+//! A differential page's data area holds a sequence of encoded records;
+//! unwritten space stays erased (0xFF), so records are length-prefixed
+//! with a value that can never be `0xFFFF`.
+//!
+//! **Codec v2** extends the v1 layout with a record-kind byte and two
+//! transactional additions (the `pdl-txn` subsystem): every differential
+//! carries the id of the transaction that produced it, and a second
+//! record type — the *commit record* — makes a transaction's
+//! differentials durable atomically: recovery discards differentials
+//! whose transaction left no commit record behind (aborted, or torn by a
+//! crash mid-commit).
 //!
 //! ```text
-//! record   := body_len : u16 LE     (length of everything after this field)
-//!             pid      : u64 LE     (logical page the differential belongs to)
-//!             ts       : u64 LE     (creation time stamp)
-//!             run_count: u16 LE
-//!             runs     : run*
-//! run      := offset : u16 LE, len : u16 LE, bytes[len]
+//! record := body_len : u16 LE    (length of everything after this field)
+//!           kind     : u8        (0x01 differential, 0x02 commit record)
+//! diff   := pid      : u64 LE    (logical page the differential belongs to)
+//!           ts       : u64 LE    (creation time stamp)
+//!           txn      : u64 LE    (owning transaction; NO_TXN = none)
+//!           run_count: u16 LE
+//!           runs     : run*
+//! run    := offset : u16 LE, len : u16 LE, bytes[len]
+//! commit := txn : u64 LE, ts : u64 LE
 //! ```
 //!
 //! Unlike an update log, which records one update command, a differential
@@ -25,6 +36,12 @@
 
 use crate::error::CoreError;
 use crate::Result;
+
+/// Re-export of the "no transaction" sentinel (the erased spare value).
+pub use pdl_flash::NO_TXN;
+
+const KIND_DIFF: u8 = 0x01;
+const KIND_COMMIT: u8 = 0x02;
 
 /// A contiguous changed byte range.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,11 +62,50 @@ impl DiffRun {
 pub struct Differential {
     pub pid: u64,
     pub ts: u64,
+    /// Transaction that produced this differential; [`NO_TXN`] for
+    /// auto-committed (non-transactional) reflections. A tagged
+    /// differential is only valid after recovery when its transaction's
+    /// commit record is durable.
+    pub txn: u64,
     pub runs: Vec<DiffRun>,
 }
 
-/// Fixed per-record overhead: length prefix, pid, ts, run count.
-pub const RECORD_HEADER: usize = 2 + 8 + 8 + 2;
+/// A transaction commit record: its durable presence in the differential
+/// stream is the commit point that makes every differential (and Case-3
+/// base page) tagged with `txn` valid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitRecord {
+    pub txn: u64,
+    pub ts: u64,
+}
+
+impl CommitRecord {
+    /// Total encoded size, including the length prefix and kind byte.
+    pub const ENCODED_LEN: usize = 2 + 1 + 8 + 8;
+
+    /// Encode into `out` (must hold at least [`Self::ENCODED_LEN`] bytes).
+    pub fn encode(&self, out: &mut [u8]) -> Result<usize> {
+        if out.len() < Self::ENCODED_LEN {
+            return Err(CoreError::BadPageSize { expected: Self::ENCODED_LEN, got: out.len() });
+        }
+        out[0..2].copy_from_slice(&((Self::ENCODED_LEN - 2) as u16).to_le_bytes());
+        out[2] = KIND_COMMIT;
+        out[3..11].copy_from_slice(&self.txn.to_le_bytes());
+        out[11..19].copy_from_slice(&self.ts.to_le_bytes());
+        Ok(Self::ENCODED_LEN)
+    }
+}
+
+/// One record of a differential page's data area.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PageRecord {
+    Diff(Differential),
+    Commit(CommitRecord),
+}
+
+/// Fixed per-differential overhead: length prefix, kind, pid, ts, txn,
+/// run count.
+pub const RECORD_HEADER: usize = 2 + 1 + 8 + 8 + 8 + 2;
 
 impl Differential {
     /// Total encoded size of the record, including the length prefix.
@@ -65,6 +121,12 @@ impl Differential {
     /// True when the differential records no change.
     pub fn is_empty(&self) -> bool {
         self.runs.is_empty()
+    }
+
+    /// Tag the differential with its owning transaction.
+    pub fn with_txn(mut self, txn: u64) -> Differential {
+        self.txn = txn;
+        self
     }
 
     /// Compute the differential between `base` and `new` (equal lengths).
@@ -113,7 +175,7 @@ impl Differential {
             runs.push(DiffRun { offset: start as u32, bytes: new[start..end].to_vec() });
             i = end;
         }
-        Differential { pid, ts, runs }
+        Differential { pid, ts, txn: NO_TXN, runs }
     }
 
     /// Apply this differential to `page` (the base image), producing the
@@ -135,10 +197,12 @@ impl Differential {
         let body_len = need - 2;
         debug_assert!(body_len < u16::MAX as usize, "differential body too large");
         out[0..2].copy_from_slice(&(body_len as u16).to_le_bytes());
-        out[2..10].copy_from_slice(&self.pid.to_le_bytes());
-        out[10..18].copy_from_slice(&self.ts.to_le_bytes());
-        out[18..20].copy_from_slice(&(self.runs.len() as u16).to_le_bytes());
-        let mut at = 20;
+        out[2] = KIND_DIFF;
+        out[3..11].copy_from_slice(&self.pid.to_le_bytes());
+        out[11..19].copy_from_slice(&self.ts.to_le_bytes());
+        out[19..27].copy_from_slice(&self.txn.to_le_bytes());
+        out[27..29].copy_from_slice(&(self.runs.len() as u16).to_le_bytes());
+        let mut at = RECORD_HEADER;
         for run in &self.runs {
             out[at..at + 2].copy_from_slice(&(run.offset as u16).to_le_bytes());
             out[at + 2..at + 4].copy_from_slice(&(run.bytes.len() as u16).to_le_bytes());
@@ -149,63 +213,99 @@ impl Differential {
         Ok(need)
     }
 
-    /// Decode one record starting at `bytes[0]`. Returns the differential
-    /// and its encoded length, or `None` at a terminator (erased space).
-    pub fn decode(bytes: &[u8]) -> Result<Option<(Differential, usize)>> {
-        if bytes.len() < 2 {
+    /// Decode one record starting at `bytes[0]`. Returns the record and
+    /// its encoded length, or `None` at a terminator (erased space).
+    pub fn decode(bytes: &[u8]) -> Result<Option<(PageRecord, usize)>> {
+        if bytes.len() < 3 {
             return Ok(None);
         }
         let body_len = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
         if body_len == 0xFFFF {
             return Ok(None); // erased space: no more records
         }
-        if bytes.len() < 2 + body_len || body_len < RECORD_HEADER - 2 {
+        if bytes.len() < 2 + body_len || body_len < 1 {
             return Err(CoreError::Corruption(format!(
                 "differential record body of {body_len} bytes does not fit"
             )));
         }
-        let pid = u64::from_le_bytes(bytes[2..10].try_into().unwrap());
-        let run_count = u16::from_le_bytes(bytes[18..20].try_into().unwrap()) as usize;
-        let ts = u64::from_le_bytes(bytes[10..18].try_into().unwrap());
-        let mut runs = Vec::with_capacity(run_count);
-        let mut at = 20;
         let end = 2 + body_len;
-        for _ in 0..run_count {
-            if at + 4 > end {
-                return Err(CoreError::Corruption("differential run header truncated".into()));
+        match bytes[2] {
+            KIND_COMMIT => {
+                if body_len != CommitRecord::ENCODED_LEN - 2 {
+                    return Err(CoreError::Corruption(format!(
+                        "commit record body of {body_len} bytes has the wrong size"
+                    )));
+                }
+                let txn = u64::from_le_bytes(bytes[3..11].try_into().unwrap());
+                let ts = u64::from_le_bytes(bytes[11..19].try_into().unwrap());
+                Ok(Some((PageRecord::Commit(CommitRecord { txn, ts }), end)))
             }
-            let offset = u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap()) as u32;
-            let len = u16::from_le_bytes(bytes[at + 2..at + 4].try_into().unwrap()) as usize;
-            if at + 4 + len > end {
-                return Err(CoreError::Corruption("differential run payload truncated".into()));
+            KIND_DIFF => {
+                if body_len < RECORD_HEADER - 2 {
+                    return Err(CoreError::Corruption(format!(
+                        "differential record body of {body_len} bytes is truncated"
+                    )));
+                }
+                let pid = u64::from_le_bytes(bytes[3..11].try_into().unwrap());
+                let ts = u64::from_le_bytes(bytes[11..19].try_into().unwrap());
+                let txn = u64::from_le_bytes(bytes[19..27].try_into().unwrap());
+                let run_count = u16::from_le_bytes(bytes[27..29].try_into().unwrap()) as usize;
+                let mut runs = Vec::with_capacity(run_count);
+                let mut at = RECORD_HEADER;
+                for _ in 0..run_count {
+                    if at + 4 > end {
+                        return Err(CoreError::Corruption(
+                            "differential run header truncated".into(),
+                        ));
+                    }
+                    let offset = u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap()) as u32;
+                    let len =
+                        u16::from_le_bytes(bytes[at + 2..at + 4].try_into().unwrap()) as usize;
+                    if at + 4 + len > end {
+                        return Err(CoreError::Corruption(
+                            "differential run payload truncated".into(),
+                        ));
+                    }
+                    runs.push(DiffRun { offset, bytes: bytes[at + 4..at + 4 + len].to_vec() });
+                    at += 4 + len;
+                }
+                if at != end {
+                    return Err(CoreError::Corruption(
+                        "differential record has trailing bytes".into(),
+                    ));
+                }
+                Ok(Some((PageRecord::Diff(Differential { pid, ts, txn, runs }), end)))
             }
-            runs.push(DiffRun { offset, bytes: bytes[at + 4..at + 4 + len].to_vec() });
-            at += 4 + len;
+            other => {
+                Err(CoreError::Corruption(format!("unknown differential record kind {other:#x}")))
+            }
         }
-        if at != end {
-            return Err(CoreError::Corruption("differential record has trailing bytes".into()));
-        }
-        Ok(Some((Differential { pid, ts, runs }, end)))
     }
 
-    /// Find the record for `pid` in a differential page's data area without
-    /// materialising the other records (hot read path): records whose pid
-    /// does not match are skipped by their length prefix.
+    /// Find the differential for `pid` in a differential page's data area
+    /// without materialising the other records (hot read path): records
+    /// whose kind or pid does not match are skipped by their length
+    /// prefix.
     pub fn find_in_page(data: &[u8], pid: u64) -> Result<Option<Differential>> {
         let mut at = 0;
-        while at + 2 <= data.len() {
+        while at + 3 <= data.len() {
             let body_len = u16::from_le_bytes([data[at], data[at + 1]]) as usize;
             if body_len == 0xFFFF {
                 break; // erased space
             }
-            if at + 2 + body_len > data.len() || body_len < RECORD_HEADER - 2 {
+            if at + 2 + body_len > data.len() || body_len < 1 {
                 return Err(CoreError::Corruption(format!(
                     "differential record body of {body_len} bytes does not fit"
                 )));
             }
-            let rec_pid = u64::from_le_bytes(data[at + 2..at + 10].try_into().unwrap());
-            if rec_pid == pid {
-                return Ok(Differential::decode(&data[at..])?.map(|(d, _)| d));
+            if data[at + 2] == KIND_DIFF && body_len >= RECORD_HEADER - 2 {
+                let rec_pid = u64::from_le_bytes(data[at + 3..at + 11].try_into().unwrap());
+                if rec_pid == pid {
+                    return Ok(match Differential::decode(&data[at..])? {
+                        Some((PageRecord::Diff(d), _)) => Some(d),
+                        _ => None,
+                    });
+                }
             }
             at += 2 + body_len;
         }
@@ -213,13 +313,13 @@ impl Differential {
     }
 
     /// Parse every record in a differential page's data area.
-    pub fn parse_page(data: &[u8]) -> Result<Vec<Differential>> {
+    pub fn parse_page(data: &[u8]) -> Result<Vec<PageRecord>> {
         let mut out = Vec::new();
         let mut at = 0;
         while at < data.len() {
             match Differential::decode(&data[at..])? {
-                Some((diff, used)) => {
-                    out.push(diff);
+                Some((rec, used)) => {
+                    out.push(rec);
                     at += used;
                 }
                 None => break,
@@ -243,6 +343,7 @@ mod tests {
         let d = diff_of(&page, &page, 8);
         assert!(d.is_empty());
         assert_eq!(d.encoded_len(), RECORD_HEADER);
+        assert_eq!(d.txn, NO_TXN);
     }
 
     #[test]
@@ -307,29 +408,48 @@ mod tests {
         new[0] = 2;
         new[60..70].fill(3);
         new[127] = 4;
-        let d = diff_of(&base, &new, 4);
+        let d = diff_of(&base, &new, 4).with_txn(17);
         let mut buf = vec![0xFFu8; 256];
         let n = d.encode(&mut buf).unwrap();
         assert_eq!(n, d.encoded_len());
         let (back, used) = Differential::decode(&buf).unwrap().unwrap();
         assert_eq!(used, n);
-        assert_eq!(back, d);
+        assert_eq!(back, PageRecord::Diff(d));
     }
 
     #[test]
-    fn parse_page_reads_multiple_records_until_erased() {
+    fn commit_record_round_trips() {
+        let c = CommitRecord { txn: 0xAB, ts: 1234 };
+        let mut buf = vec![0xFFu8; 64];
+        let n = c.encode(&mut buf).unwrap();
+        assert_eq!(n, CommitRecord::ENCODED_LEN);
+        let (back, used) = Differential::decode(&buf).unwrap().unwrap();
+        assert_eq!(used, n);
+        assert_eq!(back, PageRecord::Commit(c));
+    }
+
+    #[test]
+    fn parse_page_reads_mixed_records_until_erased() {
         let base = vec![0u8; 64];
         let mut new1 = base.clone();
         new1[5] = 1;
         let mut new2 = base.clone();
         new2[50..60].fill(2);
-        let d1 = Differential::compute(1, 10, &base, &new1, 8);
+        let d1 = Differential::compute(1, 10, &base, &new1, 8).with_txn(5);
         let d2 = Differential::compute(2, 11, &base, &new2, 8);
+        let c = CommitRecord { txn: 5, ts: 12 };
         let mut page = vec![0xFFu8; 512];
         let n1 = d1.encode(&mut page).unwrap();
-        let _n2 = d2.encode(&mut page[n1..]).unwrap();
+        let n2 = d2.encode(&mut page[n1..]).unwrap();
+        let _n3 = c.encode(&mut page[n1 + n2..]).unwrap();
         let parsed = Differential::parse_page(&page).unwrap();
-        assert_eq!(parsed, vec![d1, d2]);
+        assert_eq!(
+            parsed,
+            vec![PageRecord::Diff(d1.clone()), PageRecord::Diff(d2.clone()), PageRecord::Commit(c)]
+        );
+        // find_in_page skips the commit record and the foreign pid.
+        assert_eq!(Differential::find_in_page(&page, 2).unwrap(), Some(d2));
+        assert_eq!(Differential::find_in_page(&page, 9).unwrap(), None);
     }
 
     #[test]
@@ -343,6 +463,14 @@ mod tests {
         // Chop the record body.
         let truncated = &buf[..n - 3];
         assert!(Differential::decode(truncated).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_kinds() {
+        let mut buf = vec![0xFFu8; 32];
+        buf[0..2].copy_from_slice(&8u16.to_le_bytes());
+        buf[2] = 0x7E; // no such record kind
+        assert!(Differential::decode(&buf).is_err());
     }
 
     #[test]

@@ -372,13 +372,27 @@ impl BlockManager {
     /// no suitable block exists — the store is genuinely full (or too
     /// broken to proceed).
     pub fn pick_victim(&self, max_valid: u32) -> Option<BlockId> {
+        self.pick_victim_excluding(max_valid, &std::collections::HashSet::new())
+    }
+
+    /// [`Self::pick_victim`] restricted to blocks outside `pinned`. An
+    /// in-flight transaction commit batch pins the blocks holding its
+    /// pre-images (the superseded base pages and differentials whose
+    /// obsolete marks are deferred until the commit record is durable):
+    /// erasing one would destroy the only state a crash could roll back
+    /// to.
+    pub fn pick_victim_excluding(
+        &self,
+        max_valid: u32,
+        pinned: &std::collections::HashSet<u32>,
+    ) -> Option<BlockId> {
         let mut best: Option<u32> = None;
         let mut best_reclaim = 0u32;
         let mut best_erases = u64::MAX;
         let mut best_hot = 0u32;
         let mut best_score = f64::MIN;
         for b in 0..self.states.len() as u32 {
-            if self.states[b as usize] != BlockState::Used {
+            if self.states[b as usize] != BlockState::Used || pinned.contains(&b) {
                 continue;
             }
             let valid = self.valid_in(BlockId(b));
@@ -561,8 +575,22 @@ pub(crate) fn make_spare(
     ts: u64,
     data: &[u8],
 ) -> Vec<u8> {
+    make_spare_txn(spare_size, kind, tag, ts, pdl_flash::NO_TXN, data)
+}
+
+/// Build a spare-area image carrying a commit-visibility transaction tag
+/// (PDL Case-3 base pages written inside a commit batch).
+pub(crate) fn make_spare_txn(
+    spare_size: usize,
+    kind: pdl_flash::PageKind,
+    tag: u64,
+    ts: u64,
+    txn: u64,
+    data: &[u8],
+) -> Vec<u8> {
     let mut spare = vec![0xFF; spare_size];
     pdl_flash::SpareInfo::new(kind, tag, ts, pdl_flash::fnv1a32(data))
+        .with_txn(txn)
         .encode(&mut spare)
         .expect("spare area large enough");
     spare

@@ -41,6 +41,7 @@ mod page_store;
 mod pdl;
 mod shard;
 
+pub use diff::NO_TXN;
 pub use error::{is_power_loss, CoreError};
 pub use ftl::GcPolicy;
 pub use ipl::Ipl;

@@ -116,7 +116,13 @@ impl StoreOptions {
         self.num_logical_pages * self.frames_per_page as u64
     }
 
+    /// Validate the options against the chip the store is being built
+    /// over. Everything that used to surface as a panic (or an index
+    /// error) deep in FTL setup — a checkpoint root region larger than
+    /// the chip, a GC reserve that swallows every block, zero logical
+    /// pages — is rejected here with a [`CoreError::BadConfig`] instead.
     pub(crate) fn validate(&self, chip: &FlashChip) -> Result<()> {
+        let g = chip.geometry();
         if self.num_logical_pages == 0 {
             return Err(CoreError::BadConfig("num_logical_pages must be > 0".into()));
         }
@@ -126,10 +132,29 @@ impl StoreOptions {
                 self.frames_per_page
             )));
         }
-        let logical = self.logical_page_size(chip.geometry().data_size);
+        let logical = self.logical_page_size(g.data_size);
         if logical > u16::MAX as usize {
             return Err(CoreError::BadConfig(format!(
                 "logical page of {logical} bytes exceeds differential offset range"
+            )));
+        }
+        if self.checkpoint_blocks == 1 || self.checkpoint_blocks >= g.num_blocks {
+            return Err(CoreError::BadConfig(format!(
+                "checkpoint root region of {} blocks must be 0 (disabled) or 2..{} blocks \
+                 within the chip",
+                self.checkpoint_blocks, g.num_blocks
+            )));
+        }
+        if self.reserve_blocks == 0 {
+            return Err(CoreError::BadConfig(
+                "reserve_blocks must be >= 1 so GC can always relocate a victim".into(),
+            ));
+        }
+        if self.reserve_blocks + self.checkpoint_blocks + 1 >= g.num_blocks {
+            return Err(CoreError::BadConfig(format!(
+                "reserve ({}) + checkpoint ({}) blocks leave no allocatable space on a \
+                 {}-block chip",
+                self.reserve_blocks, self.checkpoint_blocks, g.num_blocks
             )));
         }
         Ok(())
@@ -264,6 +289,67 @@ pub trait PageStore: Send {
         self.apply_update(pid, page, &[ChangeRange::new(0, page.len())])?;
         self.evict_page(pid, page)
     }
+
+    // ------------------------------------------------------------------
+    // Transactional reflection (the `pdl-txn` subsystem).
+    //
+    // A commit batch runs txn_reserve -> txn_stage* -> txn_flush_stage ->
+    // txn_append_commit* -> txn_finalize. PDL implements it atomically:
+    // staged differentials and Case-3 base pages carry the transaction
+    // id, the commit record is the durable commit point, and obsolete
+    // marks on the superseded pre-images are deferred until the record
+    // is on flash — so a crash anywhere in the batch rolls the whole
+    // transaction back at recovery. The defaults below give the other
+    // methods (OPU / IPU / IPL) plain durable-but-not-atomic semantics,
+    // which is exactly the DBMS-independence gap the paper leaves open.
+    // ------------------------------------------------------------------
+
+    /// Whether this store makes commit batches all-or-nothing across a
+    /// crash (PDL); `false` means the batch is merely written through.
+    fn txn_supported(&self) -> bool {
+        false
+    }
+
+    /// Open a commit batch expected to reflect at most `pages` logical
+    /// pages, pre-running garbage collection so the batch itself never
+    /// triggers it mid-flight.
+    fn txn_reserve(&mut self, pages: u64) -> Result<()> {
+        let _ = pages;
+        Ok(())
+    }
+
+    /// Reflect one page on behalf of `txn` (tagged so recovery can
+    /// discard it if the commit record never lands).
+    fn txn_stage(&mut self, pid: u64, page: &[u8], txn: u64) -> Result<()> {
+        let _ = txn;
+        self.evict_page(pid, page)
+    }
+
+    /// Make everything staged so far durable *without* committing it
+    /// (multi-shard batches flush every shard before any commit record
+    /// is written).
+    fn txn_flush_stage(&mut self) -> Result<()> {
+        self.flush()
+    }
+
+    /// Append the durable commit record for `txn` to the write stream.
+    fn txn_append_commit(&mut self, txn: u64) -> Result<()> {
+        let _ = txn;
+        Ok(())
+    }
+
+    /// Flush the commit records and close the batch (PDL additionally
+    /// applies the deferred obsolete marks and releases its GC pins).
+    fn txn_finalize(&mut self) -> Result<()> {
+        self.flush()
+    }
+
+    /// A safe lower bound for new transaction ids: above every id whose
+    /// commit record (or live tag) still exists on flash, so a fresh id
+    /// can never be "proven" committed by a stale record after a crash.
+    fn txn_id_floor(&self) -> u64 {
+        1
+    }
 }
 
 /// Which page-update method to build, with its method-specific parameter.
@@ -343,10 +429,22 @@ mod tests {
 
     #[test]
     fn options_validate() {
-        let chip = FlashChip::new(FlashConfig::tiny());
+        let chip = FlashChip::new(FlashConfig::tiny()); // 16 blocks
         assert!(StoreOptions::new(0).validate(&chip).is_err());
         assert!(StoreOptions::new(4).with_frames_per_page(9).validate(&chip).is_err());
         assert!(StoreOptions::new(4).validate(&chip).is_ok());
+        // Misconfigurations that used to blow up deep in FTL setup now
+        // surface as BadConfig at construction.
+        assert!(StoreOptions::new(4).with_checkpoint_blocks(1).validate(&chip).is_err());
+        assert!(StoreOptions::new(4).with_checkpoint_blocks(16).validate(&chip).is_err());
+        assert!(StoreOptions::new(4).with_checkpoint_blocks(99).validate(&chip).is_err());
+        let mut no_reserve = StoreOptions::new(4);
+        no_reserve.reserve_blocks = 0;
+        assert!(no_reserve.validate(&chip).is_err());
+        let mut all_reserve = StoreOptions::new(4);
+        all_reserve.reserve_blocks = 15;
+        assert!(all_reserve.validate(&chip).is_err());
+        assert!(StoreOptions::new(4).with_checkpoint_blocks(2).validate(&chip).is_ok());
         let opts = StoreOptions::new(4).with_frames_per_page(2);
         assert_eq!(opts.logical_page_size(256), 512);
         assert_eq!(opts.num_frames(), 8);

@@ -9,10 +9,12 @@
 //! the chip) is reserved and excluded from normal allocation and GC. It is
 //! split into two halves used alternately, double-buffer style:
 //! [`Pdl::checkpoint`] serialises the mapping tables (ppmt, vdct, the
-//! time-stamp bookkeeping, allocator counts) plus a per-block
-//! *fingerprint*, writes them as payload pages into the idle half, and
-//! commits by writing a header page last. A crash mid-checkpoint leaves
-//! the previous half's checkpoint intact.
+//! time-stamp bookkeeping, allocator counts, and — since codec v2 — the
+//! transaction tables: per-page tags, per-diff-page tag lists and live
+//! commit-record locations) plus a per-block *fingerprint*, writes them as
+//! payload pages into the idle half, and commits by writing a header page
+//! last. A crash mid-checkpoint leaves the previous half's checkpoint
+//! intact.
 //!
 //! Recovery ([`try_fast_recover`]) loads the newest committed checkpoint
 //! and then performs a **delta scan**: for each block it reads at most two
@@ -23,18 +25,28 @@
 //! Figure-11 logic as the full scan. For a fresh checkpoint this turns
 //! recovery from one read per *page* into about one read per *block* — a
 //! ~`pages_per_block`x reduction.
+//!
+//! The torn-transaction verdict composes with the delta scan: a
+//! checkpoint is only ever taken outside a commit batch, so every tag it
+//! records belongs to a committed transaction whose record location it
+//! also records. Anything newer — including a commit torn by the crash —
+//! lives in blocks the fingerprints flag as changed, so the verdict only
+//! needs a mini-precheck over those blocks plus the checkpointed record
+//! set.
 
 use super::recovery::RecoveryTables;
 use super::{Pdl, PpmtEntry, NONE};
+use crate::diff::NO_TXN;
 use crate::error::CoreError;
 use crate::ftl::make_spare;
 use crate::page_store::StoreOptions;
 use crate::Result;
 use pdl_flash::{BlockId, FlashChip, OpContext, PageKind, Ppn, SpareInfo};
+use std::collections::HashSet;
 
 const PAYLOAD_MAGIC: u32 = 0x504C_4B31; // "PLK1"
 const HEADER_MAGIC: u32 = 0x504C_4831; // "PLH1"
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 /// Fixed-size header record at the start of the header page's data area.
 const HEADER_LEN: usize = 4 + 2 + 2 + 8 + 8 + 4 + 4 + 8 + 4;
 
@@ -77,7 +89,8 @@ fn encode_identity(out: &mut [u8], info: Option<SpareInfo>) {
 }
 
 /// Serialised checkpoint stream layout (little-endian, fixed order):
-/// dims, ppmt, frame_ts, diff_ts, vdct, written, obsolete, fingerprints.
+/// dims, ppmt, frame_ts, diff_ts, vdct, written, obsolete, txn tables,
+/// fingerprints.
 struct Stream(Vec<u8>);
 
 impl Stream {
@@ -121,12 +134,18 @@ impl Pdl {
     /// Write a checkpoint of the mapping tables into the root region. The
     /// differential write buffer is flushed first so the tables are
     /// consistent with flash. Requires `StoreOptions::checkpoint_blocks`
-    /// of at least 2 (two halves).
+    /// of at least 2 (two halves). Not callable inside a commit batch —
+    /// the tables would capture uncommitted state.
     pub fn checkpoint(&mut self) -> Result<()> {
         let r = self.opts.checkpoint_blocks;
         if r < 2 {
             return Err(CoreError::BadConfig(
                 "checkpointing needs a root region of at least 2 blocks".into(),
+            ));
+        }
+        if self.in_txn_batch {
+            return Err(CoreError::BadConfig(
+                "checkpoint inside an open commit batch is not allowed".into(),
             ));
         }
         use crate::page_store::PageStore as _;
@@ -176,6 +195,22 @@ impl Pdl {
             let written = self.alloc.written_in(BlockId(b));
             let valid = self.alloc.valid_in(BlockId(b));
             s.push_u32(written - valid);
+        }
+        // Transaction tables (codec v2): per-page tags and live
+        // commit-record locations. Presence is recomputed at load time,
+        // so it is not persisted.
+        for t in &self.diff_txn {
+            s.push_u64(*t);
+        }
+        for t in &self.base_txn {
+            s.push_u64(*t);
+        }
+        s.push_u32(self.commit_locs.len() as u32);
+        let mut loc_entries: Vec<(&u64, &u32)> = self.commit_locs.iter().collect();
+        loc_entries.sort_by_key(|(t, _)| **t);
+        for (t, p) in loc_entries {
+            s.push_u64(*t);
+            s.push_u32(*p);
         }
         for b in 0..g.num_blocks {
             let fp = if b < r {
@@ -313,17 +348,24 @@ fn find_latest_header(chip: &mut FlashChip, opts: &StoreOptions) -> Result<Optio
 /// Attempt checkpoint-based recovery: load the newest committed checkpoint
 /// and delta-scan only the blocks that changed since. Returns `None` when
 /// no usable checkpoint exists (caller falls back to the full scan).
+/// `uncommitted` carries a globally computed torn set (sharded recovery);
+/// `None` means "derive it from the changed blocks".
 pub(crate) fn try_fast_recover(
     chip: &mut FlashChip,
     opts: &StoreOptions,
+    uncommitted: Option<HashSet<u64>>,
 ) -> Result<Option<RecoveryTables>> {
     chip.set_context(OpContext::Recovery);
-    let result = fast_recover_inner(chip, opts);
+    let result = fast_recover_inner(chip, opts, uncommitted);
     chip.set_context(OpContext::User);
     result
 }
 
-fn fast_recover_inner(chip: &mut FlashChip, opts: &StoreOptions) -> Result<Option<RecoveryTables>> {
+fn fast_recover_inner(
+    chip: &mut FlashChip,
+    opts: &StoreOptions,
+    uncommitted: Option<HashSet<u64>>,
+) -> Result<Option<RecoveryTables>> {
     let g = chip.geometry();
     let Some(header) = find_latest_header(chip, opts)? else { return Ok(None) };
 
@@ -352,7 +394,7 @@ fn fast_recover_inner(chip: &mut FlashChip, opts: &StoreOptions) -> Result<Optio
     {
         return Ok(None);
     }
-    let mut tables = RecoveryTables::empty(opts, g.num_pages(), g.num_blocks);
+    let mut tables = RecoveryTables::empty(opts, g.num_pages(), g.num_blocks, HashSet::new());
     for pid in 0..nl {
         let mut e = PpmtEntry::default();
         for j in 0..k {
@@ -375,6 +417,18 @@ fn fast_recover_inner(chip: &mut FlashChip, opts: &StoreOptions) -> Result<Optio
     }
     for b in 0..g.num_blocks as usize {
         tables.obsolete[b] = c.u32()?;
+    }
+    for pid in 0..nl {
+        tables.diff_txn[pid] = c.u64()?;
+    }
+    for f in 0..nl * k {
+        tables.base_txn[f] = c.u64()?;
+    }
+    let n_locs = c.u32()? as usize;
+    for _ in 0..n_locs {
+        let t = c.u64()?;
+        let p = c.u32()?;
+        tables.commit_locs.insert(t, p);
     }
     let mut fingerprints = vec![0u64; g.num_blocks as usize];
     for fp in fingerprints.iter_mut() {
@@ -407,14 +461,17 @@ fn fast_recover_inner(chip: &mut FlashChip, opts: &StoreOptions) -> Result<Optio
             if b != NONE && in_invalid(b) {
                 tables.ppmt[pid].base[j] = NONE;
                 tables.frame_ts[pid * k + j] = 0;
+                tables.base_txn[pid * k + j] = NO_TXN;
             }
         }
         let dp = tables.ppmt[pid].diff;
         if dp != NONE && in_invalid(dp) {
             tables.ppmt[pid].diff = NONE;
             tables.diff_ts[pid] = 0;
+            tables.diff_txn[pid] = NO_TXN;
         }
     }
+    tables.commit_locs.retain(|_, p| !in_invalid(*p));
     for b in &invalidated {
         let first = (*b * g.pages_per_block) as usize;
         for v in tables.vdct[first..first + g.pages_per_block as usize].iter_mut() {
@@ -423,6 +480,61 @@ fn fast_recover_inner(chip: &mut FlashChip, opts: &StoreOptions) -> Result<Optio
         tables.written[*b as usize] = 0;
         tables.obsolete[*b as usize] = 0;
     }
+
+    // The torn-transaction verdict. Every tag the checkpoint recorded is
+    // committed (checkpoints never run inside a batch), so only the
+    // changed blocks can carry a torn transaction's tags — and only they
+    // (plus the checkpointed record set) can prove a commit. The loaded
+    // tables seed the time-stamp domination baselines, so tags already
+    // superseded by checkpointed committed state read as dead.
+    tables.uncommitted = match uncommitted {
+        Some(u) => u,
+        None => {
+            let mut verdict = super::recovery::TxnVerdict::new(k);
+            for t in tables.commit_locs.keys() {
+                verdict.note_record(*t);
+            }
+            for pid in 0..nl {
+                if tables.ppmt[pid].diff != NONE {
+                    verdict.note_committed_diff(pid as u64, tables.diff_ts[pid]);
+                }
+                for j in 0..k {
+                    if tables.ppmt[pid].base[j] != NONE {
+                        verdict.note_committed_base(
+                            (pid * k + j) as u64,
+                            tables.frame_ts[pid * k + j],
+                        );
+                    }
+                }
+            }
+            let mut data_buf = vec![0u8; g.data_size];
+            let mut sweep = |chip: &mut FlashChip,
+                             verdict: &mut super::recovery::TxnVerdict,
+                             b: u32,
+                             from: u32|
+             -> Result<()> {
+                for i in from..g.pages_per_block {
+                    let ppn = g.page_at(BlockId(b), i);
+                    let Some(info) = chip.read_spare(ppn)? else { continue };
+                    if info.kind == PageKind::Free {
+                        break;
+                    }
+                    if info.obsolete {
+                        continue;
+                    }
+                    verdict.note_page(chip, ppn, info, &mut data_buf)?;
+                }
+                Ok(())
+            };
+            for b in &invalidated {
+                sweep(chip, &mut verdict, *b, 0)?;
+            }
+            for (b, from) in &tail_scan {
+                sweep(chip, &mut verdict, *b, *from)?;
+            }
+            verdict.resolve().torn()
+        }
+    };
 
     // Replay invalidated blocks fully and grown tails partially.
     let mut data_buf = vec![0u8; g.data_size];

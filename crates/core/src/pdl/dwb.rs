@@ -5,19 +5,38 @@
 //! in flash memory when it is full. The differential write buffer consists
 //! of a single page, and thus, the memory usage is negligible."
 //!
-//! The buffer holds decoded [`Differential`]s plus a running account of
-//! their encoded size; at flush time they are serialised back-to-back into
-//! one differential-page image. At most one differential per logical page
-//! is ever buffered (staging a new one first removes the old one —
-//! Figure 7, Step 3).
+//! The buffer holds decoded [`Differential`]s — plus, in the `pdl-txn`
+//! extension, [`CommitRecord`]s — and a running account of their encoded
+//! size; at flush time they are serialised back-to-back into one
+//! differential-page image. At most one differential per logical page is
+//! ever buffered (staging a new one first removes the old one —
+//! Figure 7, Step 3). Commit records are appended *after* the
+//! differentials they cover, so a transaction whose records all fit one
+//! page commits atomically with the page program.
 
-use crate::diff::Differential;
+use crate::diff::{CommitRecord, Differential};
+
+/// One buffered record.
+#[derive(Debug)]
+pub(crate) enum DwbEntry {
+    Diff(Differential),
+    Commit(CommitRecord),
+}
+
+impl DwbEntry {
+    fn encoded_len(&self) -> usize {
+        match self {
+            DwbEntry::Diff(d) => d.encoded_len(),
+            DwbEntry::Commit(_) => CommitRecord::ENCODED_LEN,
+        }
+    }
+}
 
 #[derive(Debug)]
 pub(crate) struct DiffWriteBuffer {
     capacity: usize,
     used: usize,
-    entries: Vec<Differential>,
+    entries: Vec<DwbEntry>,
 }
 
 impl DiffWriteBuffer {
@@ -37,7 +56,7 @@ impl DiffWriteBuffer {
         self.used
     }
 
-    /// Number of staged differentials (diagnostics).
+    /// Number of staged records (diagnostics).
     #[allow(dead_code)]
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -50,15 +69,22 @@ impl DiffWriteBuffer {
     /// The buffered differential for `pid`, if any (the read path checks
     /// here before going to flash — Figure 9, Step 2).
     pub fn get(&self, pid: u64) -> Option<&Differential> {
-        self.entries.iter().find(|d| d.pid == pid)
+        self.entries.iter().find_map(|e| match e {
+            DwbEntry::Diff(d) if d.pid == pid => Some(d),
+            _ => None,
+        })
     }
 
     /// Remove and return the buffered differential for `pid`.
     pub fn remove(&mut self, pid: u64) -> Option<Differential> {
-        let idx = self.entries.iter().position(|d| d.pid == pid)?;
-        let d = self.entries.swap_remove(idx);
-        self.used -= d.encoded_len();
-        Some(d)
+        let idx =
+            self.entries.iter().position(|e| matches!(e, DwbEntry::Diff(d) if d.pid == pid))?;
+        let e = self.entries.swap_remove(idx);
+        self.used -= e.encoded_len();
+        match e {
+            DwbEntry::Diff(d) => Some(d),
+            DwbEntry::Commit(_) => unreachable!("position matched a differential"),
+        }
     }
 
     /// Stage a differential. The caller must have established that it fits
@@ -68,24 +94,42 @@ impl DiffWriteBuffer {
         debug_assert!(d.encoded_len() <= self.free_space(), "dwb overflow");
         debug_assert!(self.get(d.pid).is_none(), "duplicate pid in dwb");
         self.used += d.encoded_len();
-        self.entries.push(d);
+        self.entries.push(DwbEntry::Diff(d));
+    }
+
+    /// Stage a commit record. The caller must have established that it
+    /// fits.
+    pub fn push_commit(&mut self, c: CommitRecord) {
+        debug_assert!(CommitRecord::ENCODED_LEN <= self.free_space(), "dwb overflow");
+        self.used += CommitRecord::ENCODED_LEN;
+        self.entries.push(DwbEntry::Commit(c));
     }
 
     /// Drain every entry (flush), leaving the buffer empty.
-    pub fn drain(&mut self) -> Vec<Differential> {
+    pub fn drain(&mut self) -> Vec<DwbEntry> {
         self.used = 0;
         std::mem::take(&mut self.entries)
     }
 
     /// Serialise all entries into a differential-page image (erased bytes
     /// beyond the records). `out` must be exactly `capacity` bytes.
+    /// Differentials are written before commit records, preserving the
+    /// "commit record follows its differentials" order within the page.
     pub fn serialize_into(&self, out: &mut [u8]) {
         debug_assert_eq!(out.len(), self.capacity);
         out.fill(0xFF);
         let mut at = 0;
-        for d in &self.entries {
-            let n = d.encode(&mut out[at..]).expect("dwb accounting guarantees fit");
-            at += n;
+        for e in &self.entries {
+            if let DwbEntry::Diff(d) = e {
+                let n = d.encode(&mut out[at..]).expect("dwb accounting guarantees fit");
+                at += n;
+            }
+        }
+        for e in &self.entries {
+            if let DwbEntry::Commit(c) = e {
+                let n = c.encode(&mut out[at..]).expect("dwb accounting guarantees fit");
+                at += n;
+            }
         }
     }
 }
@@ -93,12 +137,13 @@ impl DiffWriteBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::diff::DiffRun;
+    use crate::diff::{DiffRun, PageRecord};
 
     fn diff(pid: u64, payload: usize) -> Differential {
         Differential {
             pid,
             ts: pid + 100,
+            txn: pdl_flash::NO_TXN,
             runs: vec![DiffRun { offset: 0, bytes: vec![7u8; payload] }],
         }
     }
@@ -122,24 +167,34 @@ mod tests {
         let mut b = DiffWriteBuffer::new(1024);
         b.push(diff(1, 4));
         b.push(diff(2, 4));
+        b.push_commit(CommitRecord { txn: 9, ts: 1 });
         assert_eq!(b.get(2).unwrap().pid, 2);
         assert!(b.get(3).is_none());
         assert_eq!(b.remove(1).unwrap().pid, 1);
         assert!(b.remove(1).is_none());
-        assert_eq!(b.len(), 1);
+        assert_eq!(b.len(), 2);
     }
 
     #[test]
     fn serialize_then_parse_round_trips() {
         let mut b = DiffWriteBuffer::new(512);
         b.push(diff(10, 16));
+        b.push_commit(CommitRecord { txn: 3, ts: 7 });
         b.push(diff(11, 32));
         let mut img = vec![0u8; 512];
         b.serialize_into(&mut img);
         let parsed = Differential::parse_page(&img).unwrap();
-        assert_eq!(parsed.len(), 2);
-        let pids: Vec<u64> = parsed.iter().map(|d| d.pid).collect();
+        assert_eq!(parsed.len(), 3);
+        let pids: Vec<u64> = parsed
+            .iter()
+            .filter_map(|r| match r {
+                PageRecord::Diff(d) => Some(d.pid),
+                _ => None,
+            })
+            .collect();
         assert!(pids.contains(&10) && pids.contains(&11));
+        // Commit records serialise after every differential.
+        assert!(matches!(parsed.last(), Some(PageRecord::Commit(c)) if c.txn == 3));
     }
 
     #[test]

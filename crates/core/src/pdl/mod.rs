@@ -23,20 +23,48 @@
 //! Garbage collection relocates valid base pages and *compacts* valid
 //! differentials into fresh differential pages (§4.1). Crash recovery
 //! (§4.5) is in [`recovery`].
+//!
+//! # Transactional durability (`pdl-txn`)
+//!
+//! The paper's method is DBMS-independent at the page level, leaving
+//! transaction atomicity to the layer above. This store closes that gap
+//! with *differential commit records*: a commit batch
+//! ([`crate::PageStore::txn_reserve`] → `txn_stage`* → `txn_flush_stage`
+//! → `txn_append_commit` → `txn_finalize`) tags every staged differential
+//! (and Case-3 base page) with the owning transaction id and appends a
+//! durable [`CommitRecord`] through the same differential write buffer.
+//! The record is the commit point; until it is on flash,
+//!
+//! * obsolete marks on the superseded pre-images are **deferred** (they
+//!   are applied in `txn_finalize`, after the record is durable), and
+//! * the blocks holding those pre-images are **pinned** against garbage
+//!   collection,
+//!
+//! so recovery can always roll a torn commit back to the previous
+//! committed state by discarding tagged pages whose transaction has no
+//! commit record. Commit records stay alive — compaction re-stages them —
+//! while any non-obsolete page still carries their transaction's tag (the
+//! `presence` gauge below), and the tags themselves are shed as GC
+//! rewrites committed data, so steady state carries no transactional
+//! litter.
 
 mod checkpoint;
 mod dwb;
 mod recovery;
 
-use crate::diff::Differential;
+pub(crate) use recovery::txn_precheck;
+
+use crate::diff::{CommitRecord, Differential, PageRecord, NO_TXN};
 use crate::error::CoreError;
 use crate::ftl::{
-    make_spare, mark_obsolete_lenient, AllocOutcome, AllocStream, BlockManager, GcPolicy, HeatTable,
+    make_spare, make_spare_txn, mark_obsolete_lenient, AllocOutcome, AllocStream, BlockManager,
+    GcPolicy, HeatTable,
 };
 use crate::page_store::{ChangeRange, MethodKind, PageStore, StoreOptions};
 use crate::Result;
-use dwb::DiffWriteBuffer;
-use pdl_flash::{FlashChip, OpContext, PageKind, Ppn};
+use dwb::{DiffWriteBuffer, DwbEntry};
+use pdl_flash::{FlashChip, OpContext, PageKind, Ppn, SpareInfo};
+use std::collections::{HashMap, HashSet};
 
 pub(crate) const NONE: u32 = u32::MAX;
 pub(crate) const MAX_FRAMES: usize = 8;
@@ -75,6 +103,15 @@ pub(crate) struct PdlCounters {
     pub unchanged_skips: u64,
     pub checkpoints: u64,
     pub bad_blocks: u64,
+    /// Transactionally tagged reflections staged (diffs + base frames).
+    pub txn_staged: u64,
+    /// Commit records appended to the differential stream.
+    pub txn_commits: u64,
+    /// Commit records kept alive across GC compaction.
+    pub commit_records_restaged: u64,
+    /// Obsolete marks deferred past a commit record and applied at
+    /// batch finalize.
+    pub deferred_marks: u64,
 }
 
 /// Page-differential logging store.
@@ -87,6 +124,8 @@ pub struct Pdl {
     /// Physical page mapping table, indexed by logical page id.
     ppmt: Vec<PpmtEntry>,
     /// Valid differential count table, indexed by physical page number.
+    /// Live commit records count too: a differential page is reclaimable
+    /// only once nothing in it gates visibility.
     vdct: Vec<u16>,
     dwb: DiffWriteBuffer,
     alloc: BlockManager,
@@ -99,6 +138,32 @@ pub struct Pdl {
     /// sequence number and which root half holds it.
     ckpt_seq: u64,
     ckpt_live_half: Option<u8>,
+    // --- pdl-txn state ---------------------------------------------------
+    /// Transaction of each logical page's current durable differential
+    /// ([`NO_TXN`] when untagged or absent).
+    diff_txn: Vec<u64>,
+    /// Transaction of each live base frame (indexed `pid * k + j`).
+    base_txn: Vec<u64>,
+    /// Live tagged items (current differentials, staged buffer entries,
+    /// live base frames) referencing each transaction: its commit record
+    /// must stay durable while > 0. Superseded (dead) tags drop out here
+    /// the moment the superseding committed data is durable — recovery's
+    /// torn-commit verdict ignores dead tags symmetrically, via the same
+    /// time-stamp domination the Figure-11 resolution uses.
+    presence: HashMap<u64, u32>,
+    /// Durably committed transactions still referenced by live tags.
+    committed: HashSet<u64>,
+    /// Physical page holding each transaction's live commit record.
+    commit_locs: HashMap<u64, u32>,
+    /// Obsolete marks deferred until the data superseding them is safely
+    /// on flash: past the commit record inside a commit batch, past the
+    /// compaction flush inside GC.
+    deferred: Vec<Ppn>,
+    /// Blocks holding the current batch's pre-images: excluded from GC
+    /// victim selection until finalize.
+    batch_pins: HashSet<u32>,
+    /// Whether a `txn_reserve` .. `txn_finalize` batch is open.
+    in_txn_batch: bool,
     // Workhorse buffers.
     base_buf: Vec<u8>,
     frame_buf: Vec<u8>,
@@ -114,10 +179,12 @@ impl Pdl {
         if max_diff_size == 0 {
             return Err(CoreError::BadConfig("max_diff_size must be > 0".into()));
         }
-        if opts.checkpoint_blocks == 1 || opts.checkpoint_blocks >= g.num_blocks {
-            return Err(CoreError::BadConfig(
-                "checkpoint root region must be 0 (disabled) or 2+ blocks within the chip".into(),
-            ));
+        if max_diff_size > g.data_size {
+            return Err(CoreError::BadConfig(format!(
+                "max_diff_size of {max_diff_size} bytes exceeds the {}-byte differential \
+                 write buffer (one flash page)",
+                g.data_size
+            )));
         }
         let frames = opts.num_frames();
         let usable = (g.num_blocks.saturating_sub(opts.reserve_blocks + 1 + opts.checkpoint_blocks))
@@ -133,10 +200,12 @@ impl Pdl {
         for b in 0..opts.checkpoint_blocks {
             alloc.reserve_block(pdl_flash::BlockId(b));
         }
+        let nl = opts.num_logical_pages as usize;
+        let k = opts.frames_per_page as usize;
         Ok(Pdl {
             opts,
             max_diff_size,
-            ppmt: vec![PpmtEntry::default(); opts.num_logical_pages as usize],
+            ppmt: vec![PpmtEntry::default(); nl],
             vdct: vec![0u16; g.num_pages() as usize],
             dwb: DiffWriteBuffer::new(g.data_size),
             alloc,
@@ -145,6 +214,14 @@ impl Pdl {
             in_gc: false,
             ckpt_seq: 0,
             ckpt_live_half: None,
+            diff_txn: vec![NO_TXN; nl],
+            base_txn: vec![NO_TXN; nl * k],
+            presence: HashMap::new(),
+            committed: HashSet::new(),
+            commit_locs: HashMap::new(),
+            deferred: Vec::new(),
+            batch_pins: HashSet::new(),
+            in_txn_batch: false,
             base_buf: vec![0u8; opts.logical_page_size(g.data_size)],
             frame_buf: vec![0u8; g.data_size],
             page_img: vec![0u8; g.data_size],
@@ -171,6 +248,11 @@ impl Pdl {
         self.dwb.used()
     }
 
+    /// Whether `txn`'s commit record is durable (diagnostics and tests).
+    pub fn txn_committed(&self, txn: u64) -> bool {
+        self.committed.contains(&txn)
+    }
+
     fn next_ts(&mut self) -> u64 {
         let t = self.ts;
         self.ts += 1;
@@ -184,6 +266,15 @@ impl Pdl {
     /// Which allocation stream `pid`'s pages belong on.
     fn stream_for(&self, pid: u64) -> AllocStream {
         self.heat.stream_for(self.alloc.policy(), pid)
+    }
+
+    /// Pin the block containing `ppn` against GC for the rest of the
+    /// open commit batch (it holds a pre-image a torn commit rolls back
+    /// to).
+    fn pin_block(&mut self, ppn: u32) {
+        if self.in_txn_batch {
+            self.batch_pins.insert(ppn / self.chip.geometry().pages_per_block);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -219,6 +310,36 @@ impl Pdl {
     }
 
     // ------------------------------------------------------------------
+    // Transaction presence bookkeeping
+    // ------------------------------------------------------------------
+
+    fn presence_inc(&mut self, txn: u64) {
+        *self.presence.entry(txn).or_insert(0) += 1;
+    }
+
+    /// One tagged item of `txn` is gone. At zero the transaction's commit
+    /// record no longer gates anything: retire it (unless it sits in
+    /// `dying_page`, which the caller is already tearing down).
+    fn presence_dec(&mut self, txn: u64, dying_page: Option<u32>) -> Result<()> {
+        let Some(c) = self.presence.get_mut(&txn) else {
+            debug_assert!(false, "presence underflow for txn {txn}");
+            return Ok(());
+        };
+        *c -= 1;
+        if *c > 0 {
+            return Ok(());
+        }
+        self.presence.remove(&txn);
+        self.committed.remove(&txn);
+        if let Some(loc) = self.commit_locs.remove(&txn) {
+            if Some(loc) != dying_page {
+                self.decrease_vdct(loc)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Valid differential count table
     // ------------------------------------------------------------------
 
@@ -230,9 +351,24 @@ impl Pdl {
         debug_assert!(*c > 0, "vdct underflow for page {dp}");
         *c -= 1;
         if *c == 0 {
-            mark_obsolete_lenient(&mut self.chip, Ppn(dp))?;
-            self.alloc.note_obsolete(Ppn(dp));
+            self.mark_dead_page(Ppn(dp), true)?;
+        }
+        Ok(())
+    }
+
+    /// `ppn` no longer holds anything valid: account for it and set it
+    /// obsolete on flash — immediately, or deferred until the data that
+    /// superseded it is durable (the commit record inside a batch, the
+    /// compaction flush inside GC).
+    fn mark_dead_page(&mut self, ppn: Ppn, diff_page: bool) -> Result<()> {
+        if diff_page {
             self.counters.diff_pages_obsoleted += 1;
+        }
+        self.alloc.note_obsolete(ppn);
+        if self.in_txn_batch || self.in_gc {
+            self.deferred.push(ppn);
+        } else {
+            mark_obsolete_lenient(&mut self.chip, ppn)?;
         }
         Ok(())
     }
@@ -258,19 +394,40 @@ impl Pdl {
         let q = self.alloc_page(AllocStream::Hot)?;
         let mut img = std::mem::take(&mut self.page_img);
         self.dwb.serialize_into(&mut img);
-        let spare = make_spare(g.spare_size, PageKind::Diff, u64::MAX, self.ts, &img);
+        // Every flash page consumes its own creation time stamp — Case-2
+        // flushes and explicit write-throughs bump the same counter, so
+        // recovery's newest-wins tie-break never sees two pages sharing
+        // a ts with a later write.
+        let ts = self.next_ts();
+        let spare = make_spare(g.spare_size, PageKind::Diff, u64::MAX, ts, &img);
         let programmed = self.chip.program_page(q, &img, &spare);
         self.page_img = img;
         programmed?;
-        // Step 2: update ppmt and vdct for every differential in the buffer.
+        // Step 2: update ppmt and vdct for every record in the buffer.
         let drained = self.dwb.drain();
         self.vdct[q.0 as usize] = drained.len() as u16;
-        for d in &drained {
-            let old_dp = self.ppmt[d.pid as usize].diff;
-            if old_dp != NONE {
-                self.decrease_vdct(old_dp)?;
+        for e in &drained {
+            match e {
+                DwbEntry::Diff(d) => {
+                    let pid = d.pid as usize;
+                    let old_dp = self.ppmt[pid].diff;
+                    if old_dp != NONE {
+                        // The superseded differential's tag dies with it.
+                        let old_txn = self.diff_txn[pid];
+                        if old_txn != NO_TXN {
+                            self.presence_dec(old_txn, None)?;
+                        }
+                        self.decrease_vdct(old_dp)?;
+                    }
+                    self.ppmt[pid].diff = q.0;
+                    self.diff_txn[pid] = d.txn;
+                }
+                DwbEntry::Commit(c) => {
+                    // The record is durable: this is the commit point.
+                    self.commit_locs.insert(c.txn, q.0);
+                    self.committed.insert(c.txn);
+                }
             }
-            self.ppmt[d.pid as usize].diff = q.0;
         }
         self.counters.dwb_flushes += 1;
         Ok(())
@@ -283,9 +440,11 @@ impl Pdl {
     /// `writingNewBasePage` (Figure 8): write the logical page itself as a
     /// new base page, obsolete the old base page and release the old
     /// differential. Also used for the very first write of a page.
+    /// Inside a commit batch the new frames carry `txn` in their spare
+    /// (per-page commit visibility) and the obsolete marks are deferred.
     ///
     /// Precondition: `ensure_capacity(frames)` done by the caller.
-    fn write_new_base(&mut self, pid: u64, page: &[u8], initial: bool) -> Result<()> {
+    fn write_new_base(&mut self, pid: u64, page: &[u8], initial: bool, txn: u64) -> Result<()> {
         let g = self.chip.geometry();
         let ds = g.data_size;
         let k = self.frames();
@@ -295,24 +454,48 @@ impl Pdl {
         for (j, frame_data) in page.chunks_exact(ds).enumerate() {
             let q = self.alloc_page(stream)?;
             let tag = pid * k as u64 + j as u64;
-            let spare = make_spare(g.spare_size, PageKind::Base, tag, ts, frame_data);
+            let spare = make_spare_txn(g.spare_size, PageKind::Base, tag, ts, txn, frame_data);
             self.chip.program_page(q, frame_data, &spare)?;
             new_frames[j] = q.0;
         }
         // Read the entry only now: GC during allocation may have moved it.
         let old = self.ppmt[pid as usize];
         // Any staged differential is against the old base: discard it.
-        self.dwb.remove(pid);
+        if let Some(staged) = self.dwb.remove(pid) {
+            if staged.txn != NO_TXN {
+                self.presence_dec(staged.txn, None)?;
+            }
+        }
         for j in 0..k {
+            let frame = pid as usize * k + j;
             if old.base[j] != NONE {
-                mark_obsolete_lenient(&mut self.chip, Ppn(old.base[j]))?;
-                self.alloc.note_obsolete(Ppn(old.base[j]));
+                if txn != NO_TXN {
+                    self.pin_block(old.base[j]);
+                }
+                let old_txn = self.base_txn[frame];
+                if old_txn != NO_TXN {
+                    self.presence_dec(old_txn, None)?;
+                }
+                self.mark_dead_page(Ppn(old.base[j]), false)?;
+            }
+            self.base_txn[frame] = txn;
+            if txn != NO_TXN {
+                self.presence_inc(txn);
+                self.counters.txn_staged += 1;
             }
         }
         if old.diff != NONE {
+            if txn != NO_TXN {
+                self.pin_block(old.diff);
+            }
+            let old_txn = self.diff_txn[pid as usize];
+            if old_txn != NO_TXN {
+                self.presence_dec(old_txn, None)?;
+            }
             self.decrease_vdct(old.diff)?;
         }
         self.ppmt[pid as usize] = PpmtEntry { base: new_frames, diff: NONE };
+        self.diff_txn[pid as usize] = NO_TXN;
         if initial {
             self.counters.initial_base_writes += 1;
         }
@@ -325,6 +508,71 @@ impl Pdl {
             debug_assert_ne!(entry.base[j], NONE, "base frames are written together");
             self.chip.read_data(Ppn(entry.base[j]), &mut out[j * ds..(j + 1) * ds])?;
         }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Page reflection (Figure 7), shared by `evict_page` and `txn_stage`
+    // ------------------------------------------------------------------
+
+    /// `PDL_Writing` (Figure 7), with the differential tagged by `txn`
+    /// ([`NO_TXN`] for the plain auto-committed path).
+    fn stage_page(&mut self, pid: u64, page: &[u8], txn: u64) -> Result<()> {
+        self.opts.check_pid(pid)?;
+        let ds = self.chip.geometry().data_size;
+        self.opts.check_page_buf(ds, page)?;
+        let k = self.frames() as u64;
+        // Worst case allocations: Case 3 writes k base frames; Case 2
+        // writes one differential page.
+        self.ensure_capacity(k + 1)?;
+        let entry = self.ppmt[pid as usize];
+        if entry.base[0] == NONE {
+            return self.write_new_base(pid, page, true, txn);
+        }
+        // Step 1: read the base page (charged to the writing step, as in
+        // Figure 12(b) where lighter areas of write bars are read time).
+        let mut base = std::mem::take(&mut self.base_buf);
+        let read = self.read_base_into(&entry, &mut base);
+        // Step 2: create the differential by comparison.
+        let ts = self.next_ts();
+        let d = read.map(|()| Differential::compute(pid, ts, &base, page, self.opts.coalesce_gap));
+        self.base_buf = base;
+        let d = d?.with_txn(txn);
+        if d.is_empty() && entry.diff == NONE && self.dwb.get(pid).is_none() {
+            // Nothing changed relative to the stored state.
+            self.counters.unchanged_skips += 1;
+            return Ok(());
+        }
+        // Step 3: write the differential into the differential write buffer.
+        if let Some(old) = self.dwb.remove(pid) {
+            if old.txn != NO_TXN {
+                self.presence_dec(old.txn, None)?;
+            }
+        }
+        let size = d.encoded_len();
+        let limit = self.max_diff_size.min(self.dwb.capacity());
+        if size > limit {
+            // Case 3: discard the differential, write a new base page.
+            self.counters.case3 += 1;
+            return self.write_new_base(pid, page, false, txn);
+        }
+        if txn != NO_TXN {
+            // The pre-image differential must survive until the commit
+            // record is durable.
+            if entry.diff != NONE {
+                self.pin_block(entry.diff);
+            }
+            self.presence_inc(txn);
+            self.counters.txn_staged += 1;
+        }
+        if size <= self.dwb.free_space() {
+            self.counters.case1 += 1;
+        } else {
+            // Case 2: flush the buffer first.
+            self.counters.case2 += 1;
+            self.flush_dwb()?;
+        }
+        self.dwb.push(d);
         Ok(())
     }
 
@@ -347,7 +595,10 @@ impl Pdl {
         // Only victims whose relocation (plus slack) fits the free pool:
         // a failed erase must never strand GC mid-relocation.
         let budget = self.alloc.gc_capacity().saturating_sub(4) as u32;
-        let victim = self.alloc.pick_victim(budget).ok_or(CoreError::StorageFull)?;
+        let victim = self
+            .alloc
+            .pick_victim_excluding(budget, &self.batch_pins)
+            .ok_or(CoreError::StorageFull)?;
         let written = self.alloc.written_in(victim);
         let mut staged_from_victim = false;
         for idx in 0..written {
@@ -357,7 +608,7 @@ impl Pdl {
                 continue;
             }
             match info.kind {
-                PageKind::Base => self.relocate_base(ppn, info.tag, info.ts)?,
+                PageKind::Base => self.relocate_base(ppn, info)?,
                 PageKind::Diff => staged_from_victim |= self.compact_diff_page(ppn)?,
                 other => {
                     return Err(CoreError::Corruption(format!(
@@ -371,8 +622,22 @@ impl Pdl {
         if staged_from_victim && !self.dwb.is_empty() {
             self.flush_dwb()?;
         }
+        // Obsolete marks raised during this GC pass were deferred past
+        // the compaction flush (the superseding copies are durable only
+        // now). Marks aimed at the victim are moot — it is about to be
+        // erased — and inside a commit batch everything keeps waiting
+        // for the commit record.
+        self.deferred.retain(|p| g.block_of(*p) != victim);
+        if !self.in_txn_batch {
+            for ppn in std::mem::take(&mut self.deferred) {
+                mark_obsolete_lenient(&mut self.chip, ppn)?;
+                self.counters.deferred_marks += 1;
+            }
+        }
         match self.chip.erase_block(victim) {
-            Ok(()) => self.alloc.on_erased(victim),
+            Ok(()) => {
+                self.alloc.on_erased(victim);
+            }
             // Bad-block management: everything valid was relocated or
             // compacted, so retire the block and move on — whether its
             // erase failed just now (`EraseFailed`) or before a crash
@@ -390,11 +655,14 @@ impl Pdl {
     }
 
     /// Move a valid base page to a new location, preserving its creation
-    /// time stamp so recovery ordering is unaffected.
-    fn relocate_base(&mut self, ppn: Ppn, tag: u64, ts: u64) -> Result<()> {
+    /// time stamp so recovery ordering is unaffected. A commit-visibility
+    /// tag is shed once its transaction is durably committed (and the
+    /// presence that kept the commit record alive goes with it); an
+    /// in-flight tag travels with the copy.
+    fn relocate_base(&mut self, ppn: Ppn, info: SpareInfo) -> Result<()> {
         let k = self.frames() as u64;
-        let pid = (tag / k) as usize;
-        let j = (tag % k) as usize;
+        let pid = (info.tag / k) as usize;
+        let j = (info.tag % k) as usize;
         if pid >= self.ppmt.len() || self.ppmt[pid].base[j] != ppn.0 {
             // A stale copy that predates recovery; it dies with the block.
             return Ok(());
@@ -404,12 +672,21 @@ impl Pdl {
         let read = self.chip.read_data(ppn, &mut buf);
         self.frame_buf = buf;
         read?;
+        let frame = pid * self.frames() + j;
+        let txn = if info.txn != NO_TXN && self.committed.contains(&info.txn) {
+            self.base_txn[frame] = NO_TXN;
+            self.presence_dec(info.txn, None)?;
+            NO_TXN
+        } else {
+            info.txn
+        };
         // Migration target by hotness: pages that survived GC unchanged
         // are usually cold, but a hot page caught between rewrites keeps
         // riding the hot stream so it does not pollute a cold block.
         let stream = self.stream_for(pid as u64);
         let q = self.alloc_page(stream)?;
-        let spare = make_spare(g.spare_size, PageKind::Base, tag, ts, &self.frame_buf);
+        let spare =
+            make_spare_txn(g.spare_size, PageKind::Base, info.tag, info.ts, txn, &self.frame_buf);
         self.chip.program_page(q, &self.frame_buf, &spare)?;
         self.ppmt[pid].base[j] = q.0;
         self.counters.relocated_bases += 1;
@@ -423,7 +700,9 @@ impl Pdl {
     /// Compaction (§4.1): "for differential pages, we move only valid
     /// differentials into a new differential page". Valid differentials are
     /// re-staged through the write buffer; superseded ones die with the
-    /// victim. Returns whether anything was staged.
+    /// victim. Committed tags are shed on the way; live commit records are
+    /// re-staged so they outlive every page still tagged with their
+    /// transaction. Returns whether anything was staged.
     fn compact_diff_page(&mut self, ppn: Ppn) -> Result<bool> {
         let mut buf = std::mem::take(&mut self.frame_buf);
         let read = self.chip.read_data(ppn, &mut buf).map_err(CoreError::from);
@@ -431,24 +710,67 @@ impl Pdl {
         self.frame_buf = buf;
         let records = parsed?;
         let mut staged = false;
-        for d in records {
-            let pid = d.pid as usize;
-            if pid >= self.ppmt.len() || self.ppmt[pid].diff != ppn.0 {
-                continue; // superseded or foreign: not the current differential
+        for rec in &records {
+            match rec {
+                PageRecord::Diff(d) => {
+                    let pid = d.pid as usize;
+                    if pid >= self.ppmt.len() || self.ppmt[pid].diff != ppn.0 {
+                        continue; // superseded or foreign: not the current differential
+                    }
+                    if self.dwb.get(d.pid).is_some() {
+                        // A newer differential is already staged in memory;
+                        // the durable truth moves to the buffer. (A tagged
+                        // pre-image can never land here: its block is
+                        // pinned for the whole batch.)
+                        if self.diff_txn[pid] != NO_TXN {
+                            let t = self.diff_txn[pid];
+                            self.diff_txn[pid] = NO_TXN;
+                            self.presence_dec(t, Some(ppn.0))?;
+                        }
+                        self.ppmt[pid].diff = NONE;
+                        continue;
+                    }
+                    let d = if d.txn != NO_TXN && self.committed.contains(&d.txn) {
+                        // Committed: shed the tag (the live reference moves
+                        // to the untagged staged copy).
+                        self.diff_txn[pid] = NO_TXN;
+                        self.presence_dec(d.txn, Some(ppn.0))?;
+                        d.clone().with_txn(NO_TXN)
+                    } else {
+                        // Untagged, or in-flight: the tag (and its live
+                        // reference) travels with the staged copy.
+                        d.clone()
+                    };
+                    if d.encoded_len() > self.dwb.free_space() {
+                        self.flush_dwb()?;
+                    }
+                    self.ppmt[pid].diff = NONE; // pending in the buffer until flush
+                    self.dwb.push(d);
+                    self.counters.compacted_diffs += 1;
+                    staged = true;
+                }
+                PageRecord::Commit(c) => {
+                    if self.commit_locs.get(&c.txn) != Some(&ppn.0) {
+                        // A stale twin (GC copy, or a superseded location):
+                        // it dies with the block.
+                        continue;
+                    }
+                    if self.presence.get(&c.txn).copied().unwrap_or(0) > 0 {
+                        if CommitRecord::ENCODED_LEN > self.dwb.free_space() {
+                            self.flush_dwb()?;
+                        }
+                        self.dwb.push_commit(*c);
+                        self.counters.commit_records_restaged += 1;
+                        staged = true;
+                    } else {
+                        // Nothing live references the transaction any
+                        // more: retire its bookkeeping with the record.
+                        self.commit_locs.remove(&c.txn);
+                        self.committed.remove(&c.txn);
+                        self.presence.remove(&c.txn);
+                    }
+                }
             }
-            if self.dwb.get(d.pid).is_some() {
-                // A newer differential is already staged in memory; the
-                // durable truth moves to the buffer.
-                self.ppmt[pid].diff = NONE;
-                continue;
-            }
-            if d.encoded_len() > self.dwb.free_space() {
-                self.flush_dwb()?;
-            }
-            self.ppmt[pid].diff = NONE; // pending in the buffer until flush
-            self.dwb.push(d);
-            self.counters.compacted_diffs += 1;
-            staged = true;
         }
         self.vdct[ppn.0 as usize] = 0;
         Ok(staged)
@@ -506,49 +828,7 @@ impl PageStore for Pdl {
 
     /// `PDL_Writing` (Figure 7).
     fn evict_page(&mut self, pid: u64, page: &[u8]) -> Result<()> {
-        self.opts.check_pid(pid)?;
-        let ds = self.chip.geometry().data_size;
-        self.opts.check_page_buf(ds, page)?;
-        let k = self.frames() as u64;
-        // Worst case allocations: Case 3 writes k base frames; Case 2
-        // writes one differential page.
-        self.ensure_capacity(k + 1)?;
-        let entry = self.ppmt[pid as usize];
-        if entry.base[0] == NONE {
-            return self.write_new_base(pid, page, true);
-        }
-        // Step 1: read the base page (charged to the writing step, as in
-        // Figure 12(b) where lighter areas of write bars are read time).
-        let mut base = std::mem::take(&mut self.base_buf);
-        let read = self.read_base_into(&entry, &mut base);
-        // Step 2: create the differential by comparison.
-        let ts = self.next_ts();
-        let d = read.map(|()| Differential::compute(pid, ts, &base, page, self.opts.coalesce_gap));
-        self.base_buf = base;
-        let d = d?;
-        if d.is_empty() && entry.diff == NONE && self.dwb.get(pid).is_none() {
-            // Nothing changed relative to the stored state.
-            self.counters.unchanged_skips += 1;
-            return Ok(());
-        }
-        // Step 3: write the differential into the differential write buffer.
-        self.dwb.remove(pid);
-        let size = d.encoded_len();
-        let limit = self.max_diff_size.min(self.dwb.capacity());
-        if size > limit {
-            // Case 3: discard the differential, write a new base page.
-            self.counters.case3 += 1;
-            return self.write_new_base(pid, page, false);
-        }
-        if size <= self.dwb.free_space() {
-            self.counters.case1 += 1;
-        } else {
-            // Case 2: flush the buffer first.
-            self.counters.case2 += 1;
-            self.flush_dwb()?;
-        }
-        self.dwb.push(d);
-        Ok(())
+        self.stage_page(pid, page, NO_TXN)
     }
 
     /// Write-through (§4.5): "when the write-through command is called, PDL
@@ -559,6 +839,73 @@ impl PageStore for Pdl {
         }
         self.ensure_capacity(1)?;
         self.flush_dwb()
+    }
+
+    // --- pdl-txn: the atomic commit batch -----------------------------
+
+    fn txn_supported(&self) -> bool {
+        true
+    }
+
+    fn txn_reserve(&mut self, pages: u64) -> Result<()> {
+        // Worst case per page: k base frames (Case 3) plus one flushed
+        // differential page; plus one page for the commit-record flush
+        // and one for any pre-existing buffer content. Reserving up
+        // front keeps GC out of the batch in the common case (and the
+        // pre-image pins keep it safe when an interleaved operation
+        // triggers it anyway).
+        let k = self.frames() as u64;
+        self.ensure_capacity(pages.saturating_mul(k + 1) + 2)?;
+        self.in_txn_batch = true;
+        Ok(())
+    }
+
+    fn txn_stage(&mut self, pid: u64, page: &[u8], txn: u64) -> Result<()> {
+        debug_assert!(self.in_txn_batch, "txn_stage outside a reserve..finalize batch");
+        debug_assert_ne!(txn, NO_TXN, "txn_stage needs a real transaction id");
+        self.stage_page(pid, page, txn)
+    }
+
+    fn txn_flush_stage(&mut self) -> Result<()> {
+        if self.dwb.is_empty() {
+            return Ok(());
+        }
+        self.ensure_capacity(1)?;
+        self.flush_dwb()
+    }
+
+    fn txn_append_commit(&mut self, txn: u64) -> Result<()> {
+        if CommitRecord::ENCODED_LEN > self.dwb.free_space() {
+            self.ensure_capacity(2)?;
+            self.flush_dwb()?;
+        }
+        let ts = self.next_ts();
+        self.dwb.push_commit(CommitRecord { txn, ts });
+        self.counters.txn_commits += 1;
+        Ok(())
+    }
+
+    fn txn_id_floor(&self) -> u64 {
+        let recorded = self.commit_locs.keys().chain(self.committed.iter()).max().copied();
+        let tagged = self.presence.keys().max().copied();
+        recorded.max(tagged).map(|m| m + 1).unwrap_or(1)
+    }
+
+    fn txn_finalize(&mut self) -> Result<()> {
+        if !self.dwb.is_empty() {
+            self.ensure_capacity(1)?;
+            self.flush_dwb()?;
+        }
+        // The commit records are durable: the superseded pre-images are
+        // now garbage on every timeline, so their obsolete marks can go
+        // out.
+        for ppn in std::mem::take(&mut self.deferred) {
+            mark_obsolete_lenient(&mut self.chip, ppn)?;
+            self.counters.deferred_marks += 1;
+        }
+        self.batch_pins.clear();
+        self.in_txn_batch = false;
+        Ok(())
     }
 
     fn chip(&self) -> &FlashChip {
@@ -590,6 +937,10 @@ impl PageStore for Pdl {
             ("unchanged_skips", c.unchanged_skips),
             ("checkpoints", c.checkpoints),
             ("bad_blocks", c.bad_blocks),
+            ("txn_staged", c.txn_staged),
+            ("txn_commits", c.txn_commits),
+            ("commit_records_restaged", c.commit_records_restaged),
+            ("deferred_marks", c.deferred_marks),
         ]
     }
 
@@ -645,7 +996,7 @@ mod tests {
 
     #[test]
     fn buffer_overflow_flushes_a_differential_page() {
-        let mut s = store(8, 2048);
+        let mut s = store(8, 256);
         let ds = s.chip().geometry().data_size; // 256 on the tiny chip
         for pid in 0..8u64 {
             s.write_page(pid, &filled(&s, 1)).unwrap();
@@ -668,7 +1019,7 @@ mod tests {
 
     #[test]
     fn read_merges_base_and_flushed_differential() {
-        let mut s = store(4, 2048);
+        let mut s = store(4, 256);
         let base = filled(&s, 0x11);
         s.write_page(1, &base).unwrap();
         let mut v2 = base.clone();
@@ -687,7 +1038,7 @@ mod tests {
 
     #[test]
     fn read_without_differential_is_one_read() {
-        let mut s = store(4, 2048);
+        let mut s = store(4, 256);
         s.write_page(0, &filled(&s, 9)).unwrap();
         let before = s.chip().stats().total();
         let mut out = filled(&s, 0);
@@ -715,7 +1066,7 @@ mod tests {
 
     #[test]
     fn unchanged_eviction_is_free() {
-        let mut s = store(4, 2048);
+        let mut s = store(4, 256);
         let p = filled(&s, 3);
         s.write_page(0, &p).unwrap();
         let before = s.chip().stats().total();
@@ -728,7 +1079,7 @@ mod tests {
 
     #[test]
     fn differential_supersedes_older_one_in_buffer() {
-        let mut s = store(4, 2048);
+        let mut s = store(4, 256);
         let base = filled(&s, 0);
         s.write_page(0, &base).unwrap();
         let mut v1 = base.clone();
@@ -797,7 +1148,7 @@ mod tests {
 
     #[test]
     fn write_buffer_survives_reads_until_flush() {
-        let mut s = store(4, 2048);
+        let mut s = store(4, 256);
         let base = filled(&s, 0);
         s.write_page(0, &base).unwrap();
         let mut v = base.clone();
@@ -812,5 +1163,80 @@ mod tests {
         assert!(s.dwb.is_empty());
         s.read_page(0, &mut out).unwrap();
         assert_eq!(out, v);
+    }
+
+    #[test]
+    fn oversized_max_diff_size_is_rejected() {
+        let chip = FlashChip::new(FlashConfig::tiny());
+        let err = match Pdl::new(chip, StoreOptions::new(4), 2048) {
+            Err(e) => e,
+            Ok(_) => panic!("2048-byte max_diff_size must not fit a 256-byte page"),
+        };
+        assert!(matches!(err, CoreError::BadConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn commit_batch_lands_record_with_differentials() {
+        let mut s = store(8, 128);
+        for pid in 0..4u64 {
+            s.write_page(pid, &filled(&s, 1)).unwrap();
+        }
+        s.flush().unwrap();
+        let txn = 7u64;
+        s.txn_reserve(2).unwrap();
+        let mut p = filled(&s, 1);
+        p[3..9].fill(0xEE);
+        s.txn_stage(0, &p, txn).unwrap();
+        let mut p2 = filled(&s, 1);
+        p2[40..44].fill(0xDD);
+        s.txn_stage(1, &p2, txn).unwrap();
+        assert!(!s.txn_committed(txn), "not committed until the record is durable");
+        s.txn_append_commit(txn).unwrap();
+        s.txn_finalize().unwrap();
+        assert!(s.txn_committed(txn));
+        assert_eq!(s.counters.txn_commits, 1);
+        let mut out = filled(&s, 0);
+        s.read_page(0, &mut out).unwrap();
+        assert_eq!(out, p);
+        s.read_page(1, &mut out).unwrap();
+        assert_eq!(out, p2);
+    }
+
+    #[test]
+    fn committed_tags_are_shed_by_gc_churn() {
+        let mut s = store(8, 128);
+        let size = s.logical_page_size();
+        for pid in 0..8u64 {
+            s.write_page(pid, &vec![pid as u8; size]).unwrap();
+        }
+        s.flush().unwrap();
+        // One tagged commit...
+        s.txn_reserve(2).unwrap();
+        let mut p = vec![0u8; size];
+        p[7] = 7;
+        s.txn_stage(0, &p, 42).unwrap();
+        s.txn_append_commit(42).unwrap();
+        s.txn_finalize().unwrap();
+        assert!(s.presence.contains_key(&42));
+        // ...then heavy untagged churn: compaction strips the tag and
+        // eventually retires the commit record and every map entry.
+        let mut truth: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; size]).collect();
+        truth[0] = p;
+        for round in 0..600u32 {
+            let pid = (round % 8) as usize;
+            let at = (round as usize * 13) % (size - 8);
+            truth[pid][at..at + 8].fill(round as u8);
+            let q = truth[pid].clone();
+            s.write_page(pid as u64, &q).unwrap();
+        }
+        assert!(s.counters.gc_runs > 0);
+        assert!(!s.presence.contains_key(&42), "presence must drain");
+        assert!(!s.committed.contains(&42), "bookkeeping must retire");
+        assert!(!s.commit_locs.contains_key(&42));
+        for pid in 0..8usize {
+            let mut out = vec![0u8; size];
+            s.read_page(pid as u64, &mut out).unwrap();
+            assert_eq!(out, truth[pid], "pid {pid}");
+        }
     }
 }

@@ -1,4 +1,5 @@
-//! `PDL_RecoveringfromCrash` (§4.5, Figure 11).
+//! `PDL_RecoveringfromCrash` (§4.5, Figure 11), extended with
+//! transaction-aware recovery (`pdl-txn`).
 //!
 //! After a system failure the physical page mapping table and the valid
 //! differential count table are lost; one scan through the physical pages
@@ -23,10 +24,30 @@
 //! and a crash before that erase leaves two equal-`ts` differential
 //! copies resolved the same way.
 //!
+//! # The transaction pass
+//!
+//! Recovery now runs in two passes. The first ([`txn_precheck`]) is
+//! read-only: it collects, per chip, the set of transactions that appear
+//! as *tags* (on differentials or Case-3 base pages) and the set that
+//! appear as durable *commit records*. A transaction is **torn** — it
+//! crashed between its first staged page and its commit record — exactly
+//! when some chip carries its tag but no local record (the commit
+//! protocol writes a record to every involved shard, and garbage
+//! collection keeps a shard's record alive while anything on that shard
+//! still carries the tag). The second pass is the Figure-11 scan with the
+//! torn set in hand: tagged base pages of torn transactions are set
+//! obsolete, tagged differentials of torn transactions are skipped, and —
+//! because the commit batch *deferred* the obsolete marks on the
+//! pre-images it superseded — the previous committed state is still on
+//! flash and wins the time-stamp resolution. Commit records themselves
+//! are re-registered (and counted in the valid-differential table) while
+//! any surviving page still carries their tag.
+//!
 //! Data that only reached the differential write buffer is not recovered,
 //! "analogous to the situation where data retained only in the file buffer
 //! but not written out to disk ... are not recovered"; durability requires
-//! the write-through call ([`crate::PageStore::flush`]).
+//! the write-through call ([`crate::PageStore::flush`]) or a transaction
+//! commit.
 //!
 //! The per-page replay logic lives in [`RecoveryTables`] so that the
 //! checkpointed fast-recovery path (`checkpoint.rs`, the paper's §4.5
@@ -34,15 +55,189 @@
 
 use super::dwb::DiffWriteBuffer;
 use super::{Pdl, PdlCounters, PpmtEntry, NONE};
-use crate::diff::Differential;
+use crate::diff::{Differential, PageRecord, NO_TXN};
 use crate::error::CoreError;
 use crate::ftl::BlockManager;
 use crate::page_store::StoreOptions;
 use crate::Result;
 use pdl_flash::{BlockId, FlashChip, OpContext, PageKind, Ppn, SpareInfo};
+use std::collections::{HashMap, HashSet};
+
+/// The torn-commit verdict builder (first, read-only pass).
+///
+/// It collects every *tagged* candidate (differential or base page) with
+/// its creation time stamp, every commit record, and the newest
+/// *committed* time stamp per logical page / frame (untagged data, plus
+/// baselines from a loaded checkpoint). [`TxnVerdict::resolve`] then
+/// computes which tags are **live** — not dominated by newer committed
+/// data under the same time-stamp order the Figure-11 resolution uses —
+/// and a transaction is *torn* exactly when it has a live tag on a chip
+/// without a local commit record. Dead (superseded) tags are ignored:
+/// the running store drops its presence count and may retire the commit
+/// record the moment a tag is dominated, and this verdict mirrors that.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TxnVerdict {
+    frames_per_page: usize,
+    records: HashSet<u64>,
+    /// `(pid, ts, txn)` of tagged differentials.
+    diff_cands: Vec<(u64, u64, u64)>,
+    /// `(frame, ts, txn)` of tagged base pages.
+    base_cands: Vec<(u64, u64, u64)>,
+    /// Newest committed base ts per frame.
+    eff_frame: HashMap<u64, u64>,
+    /// Newest committed differential ts per pid.
+    eff_diff: HashMap<u64, u64>,
+}
+
+/// Resolved first-pass result: live tags and local commit records.
+#[derive(Clone, Debug, Default)]
+pub struct TxnScan {
+    pub tagged: HashSet<u64>,
+    pub records: HashSet<u64>,
+}
+
+impl TxnScan {
+    /// Transactions torn on this chip: live-tagged but without a local
+    /// commit record. (For a sharded store the torn sets of every shard
+    /// are unioned before the second pass.)
+    pub fn torn(&self) -> HashSet<u64> {
+        self.tagged.difference(&self.records).copied().collect()
+    }
+}
+
+impl TxnVerdict {
+    pub fn new(frames_per_page: usize) -> TxnVerdict {
+        TxnVerdict { frames_per_page, ..TxnVerdict::default() }
+    }
+
+    pub fn note_committed_base(&mut self, frame: u64, ts: u64) {
+        let e = self.eff_frame.entry(frame).or_insert(0);
+        *e = (*e).max(ts);
+    }
+
+    pub fn note_committed_diff(&mut self, pid: u64, ts: u64) {
+        let e = self.eff_diff.entry(pid).or_insert(0);
+        *e = (*e).max(ts);
+    }
+
+    pub fn note_record(&mut self, txn: u64) {
+        self.records.insert(txn);
+    }
+
+    /// Feed one non-obsolete page into the verdict.
+    pub fn note_page(
+        &mut self,
+        chip: &mut FlashChip,
+        ppn: Ppn,
+        info: SpareInfo,
+        data_buf: &mut [u8],
+    ) -> Result<()> {
+        match info.kind {
+            PageKind::Base => {
+                if info.txn == NO_TXN {
+                    self.note_committed_base(info.tag, info.ts);
+                } else {
+                    self.base_cands.push((info.tag, info.ts, info.txn));
+                }
+            }
+            PageKind::Diff => {
+                chip.read_data(ppn, data_buf)?;
+                // An unparseable page contributes nothing; the main scan
+                // will set it obsolete.
+                let Ok(records) = Differential::parse_page(data_buf) else { return Ok(()) };
+                for rec in records {
+                    match rec {
+                        PageRecord::Diff(d) => {
+                            if d.txn == NO_TXN {
+                                self.note_committed_diff(d.pid, d.ts);
+                            } else {
+                                self.diff_cands.push((d.pid, d.ts, d.txn));
+                            }
+                        }
+                        PageRecord::Commit(c) => self.note_record(c.txn),
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Compute the live tag set. A tagged candidate whose transaction has
+    /// a local record counts as committed and joins the domination
+    /// baselines (so a committed rewrite kills the tags it superseded);
+    /// domination is non-strict — a GC twin with an equal time stamp and
+    /// identical content dominates its tagged original.
+    pub fn resolve(mut self) -> TxnScan {
+        for (frame, ts, txn) in &self.base_cands {
+            if self.records.contains(txn) {
+                let e = self.eff_frame.entry(*frame).or_insert(0);
+                *e = (*e).max(*ts);
+            }
+        }
+        for (pid, ts, txn) in &self.diff_cands {
+            if self.records.contains(txn) {
+                let e = self.eff_diff.entry(*pid).or_insert(0);
+                *e = (*e).max(*ts);
+            }
+        }
+        let k = self.frames_per_page.max(1) as u64;
+        let mut tagged = HashSet::new();
+        // Only unrecorded transactions can be torn, so only their
+        // candidates need a liveness check.
+        for (frame, ts, txn) in &self.base_cands {
+            if self.records.contains(txn) {
+                continue;
+            }
+            if self.eff_frame.get(frame).copied().unwrap_or(0) < *ts {
+                tagged.insert(*txn);
+            }
+        }
+        for (pid, ts, txn) in &self.diff_cands {
+            if self.records.contains(txn) {
+                continue;
+            }
+            // A differential is live only while newer than every base
+            // frame of its page and newer than any committed differential.
+            let base_ts = (0..k)
+                .map(|j| self.eff_frame.get(&(pid * k + j)).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
+            let committed_ts = base_ts.max(self.eff_diff.get(pid).copied().unwrap_or(0));
+            if committed_ts < *ts {
+                tagged.insert(*txn);
+            }
+        }
+        TxnScan { tagged, records: self.records }
+    }
+}
+
+/// The read-only transaction pass over a whole chip (outside the
+/// checkpoint root region).
+pub(crate) fn txn_precheck(chip: &mut FlashChip, opts: &StoreOptions) -> Result<TxnScan> {
+    let g = chip.geometry();
+    chip.set_context(OpContext::Recovery);
+    let result = (|| -> Result<TxnScan> {
+        let mut verdict = TxnVerdict::new(opts.frames_per_page as usize);
+        let mut data_buf = vec![0u8; g.data_size];
+        let first = opts.checkpoint_blocks * g.pages_per_block;
+        for p in first..g.num_pages() {
+            let ppn = Ppn(p);
+            let Some(info) = chip.read_spare(ppn)? else { continue };
+            if info.obsolete {
+                continue;
+            }
+            verdict.note_page(chip, ppn, info, &mut data_buf)?;
+        }
+        Ok(verdict.resolve())
+    })();
+    chip.set_context(OpContext::User);
+    result
+}
 
 /// Mapping tables under reconstruction, plus the time-stamp bookkeeping
-/// Figure 11 relies on.
+/// Figure 11 relies on and the transaction bookkeeping the torn-commit
+/// pass produces.
 pub(crate) struct RecoveryTables {
     pub ppmt: Vec<PpmtEntry>,
     pub vdct: Vec<u16>,
@@ -53,11 +248,35 @@ pub(crate) struct RecoveryTables {
     pub written: Vec<u32>,
     pub obsolete: Vec<u32>,
     pub max_ts: u64,
+    /// Transactions whose commits are torn: their tagged pages are
+    /// discarded by the scan.
+    pub uncommitted: HashSet<u64>,
+    /// Tag of the winning differential per logical page.
+    pub diff_txn: Vec<u64>,
+    /// Tag of the winning base page per frame.
+    pub base_txn: Vec<u64>,
+    /// Live commit-record location per transaction. Pre-populated (and
+    /// already counted in `vdct`) by the checkpoint fast path; the full
+    /// scan fills it in [`RecoveryTables::finish`].
+    pub commit_locs: HashMap<u64, u32>,
+    /// Commit-record copies discovered by the scan, per transaction.
+    pub commit_cands: HashMap<u64, Vec<u32>>,
+    /// Pages holding at least one commit record (their obsoletion is
+    /// decided in [`RecoveryTables::finish`], once record liveness is
+    /// known).
+    pub has_record: HashSet<u32>,
+    /// Diff pages that lost every differential but hold commit records.
+    pending_dead: Vec<u32>,
     frames_per_page: usize,
 }
 
 impl RecoveryTables {
-    pub fn empty(opts: &StoreOptions, num_flash_pages: u32, num_blocks: u32) -> RecoveryTables {
+    pub fn empty(
+        opts: &StoreOptions,
+        num_flash_pages: u32,
+        num_blocks: u32,
+        uncommitted: HashSet<u64>,
+    ) -> RecoveryTables {
         let nl = opts.num_logical_pages as usize;
         let k = opts.frames_per_page as usize;
         RecoveryTables {
@@ -68,6 +287,13 @@ impl RecoveryTables {
             written: vec![0u32; num_blocks as usize],
             obsolete: vec![0u32; num_blocks as usize],
             max_ts: 0,
+            uncommitted,
+            diff_txn: vec![NO_TXN; nl],
+            base_txn: vec![NO_TXN; nl * k],
+            commit_locs: HashMap::new(),
+            commit_cands: HashMap::new(),
+            has_record: HashSet::new(),
+            pending_dead: Vec::new(),
             frames_per_page: k,
         }
     }
@@ -76,15 +302,26 @@ impl RecoveryTables {
         debug_assert!(self.vdct[dp as usize] > 0, "recovery vdct underflow");
         self.vdct[dp as usize] -= 1;
         if self.vdct[dp as usize] == 0 {
-            let ppn = Ppn(dp);
-            // Idempotent under repeated recovery: check before writing.
-            let already = chip.read_spare(ppn)?.map(|i| i.obsolete).unwrap_or(false);
-            if !already {
-                crate::ftl::mark_obsolete_lenient(chip, ppn)?;
+            if self.has_record.contains(&dp) {
+                // The page may still carry a live commit record; decide in
+                // finish(), once record liveness is known.
+                self.pending_dead.push(dp);
+            } else {
+                self.obsolete_diff_page(chip, dp)?;
             }
-            let block = (dp / chip.geometry().pages_per_block) as usize;
-            self.obsolete[block] += 1;
         }
+        Ok(())
+    }
+
+    fn obsolete_diff_page(&mut self, chip: &mut FlashChip, dp: u32) -> Result<()> {
+        let ppn = Ppn(dp);
+        // Idempotent under repeated recovery: check before writing.
+        let already = chip.read_spare(ppn)?.map(|i| i.obsolete).unwrap_or(false);
+        if !already {
+            crate::ftl::mark_obsolete_lenient(chip, ppn)?;
+        }
+        let block = (dp / chip.geometry().pages_per_block) as usize;
+        self.obsolete[block] += 1;
         Ok(())
     }
 
@@ -107,7 +344,6 @@ impl RecoveryTables {
         data_buf: &mut [u8],
     ) -> Result<()> {
         let g = chip.geometry();
-        let block = g.block_of(ppn).0 as usize;
         let p = ppn.0;
         let k = self.frames_per_page;
         let nl = self.ppmt.len();
@@ -116,6 +352,10 @@ impl RecoveryTables {
         match info.kind {
             // Case 1: r is a base page.
             PageKind::Base => {
+                // Torn transaction: the page never became visible.
+                if info.txn != NO_TXN && self.uncommitted.contains(&info.txn) {
+                    return self.mark_page_obsolete(chip, ppn);
+                }
                 let frame = info.tag as usize;
                 if frame >= num_frames {
                     return self.mark_page_obsolete(chip, ppn);
@@ -123,7 +363,13 @@ impl RecoveryTables {
                 let pid = frame / k;
                 let j = frame % k;
                 let cur = self.ppmt[pid].base[j];
-                if cur == NONE || info.ts > self.frame_ts[frame] {
+                // Equal-ts twins arise from GC copies; when compaction
+                // shed a committed tag, the untagged twin is the one
+                // whose validity is unconditional — prefer it.
+                let untagged_twin = info.ts == self.frame_ts[frame]
+                    && self.base_txn[frame] != NO_TXN
+                    && info.txn == NO_TXN;
+                if cur == NONE || info.ts > self.frame_ts[frame] || untagged_twin {
                     // r is a more recent base page.
                     if cur != NONE {
                         let old = Ppn(cur);
@@ -135,6 +381,7 @@ impl RecoveryTables {
                     }
                     self.ppmt[pid].base[j] = p;
                     self.frame_ts[frame] = info.ts;
+                    self.base_txn[frame] = info.txn;
                     // r more recent than differential(pid)? Then the
                     // differential must be obsolete.
                     if self.ppmt[pid].diff != NONE && info.ts > self.diff_ts[pid] {
@@ -142,12 +389,12 @@ impl RecoveryTables {
                         self.decrease_vdct(chip, dp)?;
                         self.ppmt[pid].diff = NONE;
                         self.diff_ts[pid] = 0;
+                        self.diff_txn[pid] = NO_TXN;
                     }
                 } else {
                     // The table already holds a more recent base page.
                     self.mark_page_obsolete(chip, ppn)?;
                 }
-                let _ = block;
                 Ok(())
             }
             // Case 2: r is a differential page.
@@ -160,27 +407,51 @@ impl RecoveryTables {
                         return self.mark_page_obsolete(chip, ppn);
                     }
                 };
-                for d in records {
-                    let pid = d.pid as usize;
-                    if pid >= nl {
-                        continue;
-                    }
-                    self.max_ts = self.max_ts.max(d.ts);
-                    let base_ts = (0..k).map(|j| self.frame_ts[pid * k + j]).max().unwrap_or(0);
-                    if d.ts > base_ts && d.ts > self.diff_ts[pid] {
-                        // d is the most recent differential of pid.
-                        if self.ppmt[pid].diff != NONE {
-                            let dp = self.ppmt[pid].diff;
-                            self.decrease_vdct(chip, dp)?;
+                for rec in records {
+                    match rec {
+                        PageRecord::Commit(c) => {
+                            self.max_ts = self.max_ts.max(c.ts);
+                            self.commit_cands.entry(c.txn).or_default().push(p);
+                            self.has_record.insert(p);
                         }
-                        self.ppmt[pid].diff = p;
-                        self.diff_ts[pid] = d.ts;
-                        self.vdct[p as usize] += 1;
+                        PageRecord::Diff(d) => {
+                            if d.txn != NO_TXN && self.uncommitted.contains(&d.txn) {
+                                // Torn transaction: the differential never
+                                // became visible.
+                                continue;
+                            }
+                            let pid = d.pid as usize;
+                            if pid >= nl {
+                                continue;
+                            }
+                            self.max_ts = self.max_ts.max(d.ts);
+                            let base_ts =
+                                (0..k).map(|j| self.frame_ts[pid * k + j]).max().unwrap_or(0);
+                            // Same untagged-twin preference as for bases.
+                            let untagged_twin = d.ts == self.diff_ts[pid]
+                                && self.diff_txn[pid] != NO_TXN
+                                && d.txn == NO_TXN;
+                            if d.ts > base_ts && (d.ts > self.diff_ts[pid] || untagged_twin) {
+                                // d is the most recent differential of pid.
+                                if self.ppmt[pid].diff != NONE {
+                                    let dp = self.ppmt[pid].diff;
+                                    self.decrease_vdct(chip, dp)?;
+                                }
+                                self.ppmt[pid].diff = p;
+                                self.diff_ts[pid] = d.ts;
+                                self.diff_txn[pid] = d.txn;
+                                self.vdct[p as usize] += 1;
+                            }
+                        }
                     }
                 }
                 if self.vdct[p as usize] == 0 {
-                    // r does not contain any valid differential.
-                    self.mark_page_obsolete(chip, ppn)?;
+                    if self.has_record.contains(&p) {
+                        self.pending_dead.push(p);
+                    } else {
+                        // r does not contain any valid differential.
+                        self.obsolete_diff_page(chip, ppn.0)?;
+                    }
                 }
                 Ok(())
             }
@@ -188,6 +459,57 @@ impl RecoveryTables {
                 Err(CoreError::Corruption(format!("PDL recovery found a {other:?} page at {ppn}")))
             }
         }
+    }
+
+    /// Post-scan transaction resolution: count the *live* tags per
+    /// transaction (winning differentials and base frames), keep one
+    /// commit-record copy alive (counted in the valid-differential
+    /// table) for every transaction still referenced, and set the
+    /// remaining record-only pages obsolete. Returns the presence gauge
+    /// the running store resumes with.
+    pub fn finish(&mut self, chip: &mut FlashChip) -> Result<HashMap<u64, u32>> {
+        let mut presence: HashMap<u64, u32> = HashMap::new();
+        for (pid, t) in self.diff_txn.iter().enumerate() {
+            if *t != NO_TXN && self.ppmt[pid].diff != NONE {
+                *presence.entry(*t).or_insert(0) += 1;
+            }
+        }
+        let k = self.frames_per_page;
+        for (frame, t) in self.base_txn.iter().enumerate() {
+            if *t != NO_TXN && self.ppmt[frame / k].base[frame % k] != NONE {
+                *presence.entry(*t).or_insert(0) += 1;
+            }
+        }
+        // One live record copy per referenced transaction (the lowest
+        // surviving physical page, deterministically, so repeated
+        // recoveries agree). The checkpoint fast path pre-counts loaded
+        // locations; only newly needed ones add to vdct here.
+        for t in presence.keys() {
+            if self.commit_locs.contains_key(t) {
+                continue;
+            }
+            let Some(cands) = self.commit_cands.get(t) else {
+                debug_assert!(false, "live tag without a commit record for txn {t}");
+                continue;
+            };
+            let loc = *cands.iter().min().expect("candidate list is never empty");
+            self.vdct[loc as usize] += 1;
+            self.commit_locs.insert(*t, loc);
+        }
+        // Sweep: pages that lost every differential and whose records
+        // turned out dead (or duplicates) are useless now.
+        for p in std::mem::take(&mut self.pending_dead) {
+            if self.vdct[p as usize] > 0 {
+                continue; // a chosen record keeps it alive
+            }
+            let ppn = Ppn(p);
+            let already = chip.read_spare(ppn)?.map(|i| i.obsolete).unwrap_or(false);
+            if !already {
+                crate::ftl::mark_obsolete_lenient(chip, ppn)?;
+            }
+            self.obsolete[chip.geometry().block_of(ppn).0 as usize] += 1;
+        }
+        Ok(presence)
     }
 }
 
@@ -197,25 +519,52 @@ impl Pdl {
     /// ([`StoreOptions::with_checkpoint_blocks`]), the latest committed
     /// checkpoint is loaded and only blocks changed since are scanned;
     /// otherwise (or when no checkpoint exists) the full Figure-11 scan
-    /// runs.
-    pub fn recover(mut chip: FlashChip, opts: StoreOptions, max_diff_size: usize) -> Result<Pdl> {
+    /// runs. The torn-transaction verdict is computed locally: on a
+    /// single chip every commit record is local, so tagged-without-record
+    /// means torn.
+    pub fn recover(chip: FlashChip, opts: StoreOptions, max_diff_size: usize) -> Result<Pdl> {
+        Pdl::recover_with_uncommitted(chip, opts, max_diff_size, None)
+    }
+
+    /// [`Pdl::recover`] with the torn-transaction set supplied by the
+    /// caller — the sharded engine unions every shard's precheck before
+    /// any shard resolves, so a transaction torn on one chip is
+    /// discarded on all of them.
+    pub fn recover_with_uncommitted(
+        mut chip: FlashChip,
+        opts: StoreOptions,
+        max_diff_size: usize,
+        uncommitted: Option<HashSet<u64>>,
+    ) -> Result<Pdl> {
         opts.validate(&chip)?;
         if opts.checkpoint_blocks > 0 {
-            if let Some(tables) = super::checkpoint::try_fast_recover(&mut chip, &opts)? {
+            if let Some(tables) =
+                super::checkpoint::try_fast_recover(&mut chip, &opts, uncommitted.clone())?
+            {
                 return Pdl::from_recovered(chip, opts, max_diff_size, tables);
             }
         }
-        let tables = scan(&mut chip, &opts)?;
+        let uncommitted = match uncommitted {
+            Some(u) => u,
+            None => txn_precheck(&mut chip, &opts)?.torn(),
+        };
+        let tables = scan(&mut chip, &opts, uncommitted)?;
         Pdl::from_recovered(chip, opts, max_diff_size, tables)
     }
 
     pub(crate) fn from_recovered(
-        chip: FlashChip,
+        mut chip: FlashChip,
         opts: StoreOptions,
         max_diff_size: usize,
-        tables: RecoveryTables,
+        mut tables: RecoveryTables,
     ) -> Result<Pdl> {
         let g = chip.geometry();
+        let presence = {
+            chip.set_context(OpContext::Recovery);
+            let r = tables.finish(&mut chip);
+            chip.set_context(OpContext::User);
+            r?
+        };
         let mut alloc = BlockManager::new(g.num_blocks, g.pages_per_block, opts.reserve_blocks);
         alloc.set_policy(opts.gc_policy);
         for b in 0..opts.checkpoint_blocks {
@@ -230,6 +579,7 @@ impl Pdl {
                 alloc.retire_block(BlockId(b));
             }
         }
+        let committed = tables.commit_locs.keys().copied().collect();
         let mut pdl = Pdl {
             opts,
             max_diff_size,
@@ -242,6 +592,14 @@ impl Pdl {
             in_gc: false,
             ckpt_seq: 0,
             ckpt_live_half: None,
+            diff_txn: tables.diff_txn,
+            base_txn: tables.base_txn,
+            presence,
+            committed,
+            commit_locs: tables.commit_locs,
+            deferred: Vec::new(),
+            batch_pins: HashSet::new(),
+            in_txn_batch: false,
             base_buf: vec![0u8; opts.logical_page_size(g.data_size)],
             frame_buf: vec![0u8; g.data_size],
             page_img: vec![0u8; g.data_size],
@@ -258,10 +616,15 @@ impl Pdl {
 /// The scan of Figure 11: for every physical page (outside the checkpoint
 /// root region), read the spare area and update the tables according to
 /// the page's type and time stamps. Borrows the chip so a crashed
-/// (power-loss) scan can simply be retried.
-pub(crate) fn scan(chip: &mut FlashChip, opts: &StoreOptions) -> Result<RecoveryTables> {
+/// (power-loss) scan can simply be retried. `uncommitted` is the torn
+/// transaction set from the precheck pass.
+pub(crate) fn scan(
+    chip: &mut FlashChip,
+    opts: &StoreOptions,
+    uncommitted: HashSet<u64>,
+) -> Result<RecoveryTables> {
     let g = chip.geometry();
-    let mut tables = RecoveryTables::empty(opts, g.num_pages(), g.num_blocks);
+    let mut tables = RecoveryTables::empty(opts, g.num_pages(), g.num_blocks, uncommitted);
     chip.set_context(OpContext::Recovery);
     let result = (|| -> Result<()> {
         let mut data_buf = vec![0u8; g.data_size];
@@ -437,7 +800,7 @@ mod tests {
         for budget in 0..8u64 {
             chip.arm_fault(budget);
             attempts += 1;
-            if scan(&mut chip, &opts).is_ok() {
+            if scan(&mut chip, &opts, HashSet::new()).is_ok() {
                 break;
             }
         }
@@ -451,5 +814,121 @@ mod tests {
             r.read_page(pid, &mut out).unwrap();
             assert!(out.iter().all(|&b| b == pid as u8), "pid {pid}");
         }
+    }
+
+    // ------------------------------------------------------------------
+    // pdl-txn: torn-commit recovery
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn committed_transaction_survives_crash() {
+        let mut s = fresh(8);
+        let size = s.logical_page_size();
+        for pid in 0..4u64 {
+            s.write_page(pid, &vec![1u8; size]).unwrap();
+        }
+        s.flush().unwrap();
+        s.txn_reserve(2).unwrap();
+        let mut a = vec![1u8; size];
+        a[0] = 0xA1;
+        let mut b = vec![1u8; size];
+        b[9] = 0xB2;
+        s.txn_stage(0, &a, 50).unwrap();
+        s.txn_stage(1, &b, 50).unwrap();
+        s.txn_append_commit(50).unwrap();
+        s.txn_finalize().unwrap();
+        let mut r = crash_and_recover(s, 8);
+        assert!(r.txn_committed(50));
+        let mut out = vec![0u8; size];
+        r.read_page(0, &mut out).unwrap();
+        assert_eq!(out, a);
+        r.read_page(1, &mut out).unwrap();
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn torn_commit_rolls_back_to_pre_images() {
+        // Stage two tagged pages (one of them forced through a Case-3
+        // base write), flush the stage, and crash before the commit
+        // record: recovery must restore both pre-images.
+        let mut s = fresh(8);
+        let size = s.logical_page_size();
+        let pre0 = vec![3u8; size];
+        let mut pre1 = vec![4u8; size];
+        s.write_page(0, &pre0).unwrap();
+        s.write_page(1, &pre1).unwrap();
+        pre1[2..6].fill(0x44); // give pid 1 a committed differential too
+        s.write_page(1, &pre1).unwrap();
+        s.flush().unwrap();
+        s.txn_reserve(2).unwrap();
+        let mut a = pre0.clone();
+        a[5..9].fill(0xAA); // small change: differential
+        s.txn_stage(0, &a, 60).unwrap();
+        let b = vec![0xBBu8; size]; // whole-page change: Case-3 tagged base
+        s.txn_stage(1, &b, 60).unwrap();
+        s.txn_flush_stage().unwrap();
+        // Crash here: no commit record was ever appended.
+        let mut r = crash_and_recover(s, 8);
+        assert!(!r.txn_committed(60));
+        let mut out = vec![0u8; size];
+        r.read_page(0, &mut out).unwrap();
+        assert_eq!(out, pre0, "pid 0 must roll back");
+        r.read_page(1, &mut out).unwrap();
+        assert_eq!(out, pre1, "pid 1 must roll back to base + committed differential");
+        // And the rolled-back store keeps working.
+        r.write_page(0, &vec![9u8; size]).unwrap();
+        r.read_page(0, &mut out).unwrap();
+        assert_eq!(out, vec![9u8; size]);
+    }
+
+    #[test]
+    fn commit_record_keeps_tagged_data_valid_across_double_recovery() {
+        let mut s = fresh(8);
+        let size = s.logical_page_size();
+        for pid in 0..4u64 {
+            s.write_page(pid, &vec![7u8; size]).unwrap();
+        }
+        s.flush().unwrap();
+        s.txn_reserve(1).unwrap();
+        let mut a = vec![7u8; size];
+        a[11..15].fill(0xCC);
+        s.txn_stage(2, &a, 77).unwrap();
+        s.txn_append_commit(77).unwrap();
+        s.txn_finalize().unwrap();
+        let r1 = crash_and_recover(s, 8);
+        let mut r2 = crash_and_recover(r1, 8);
+        let mut out = vec![0u8; size];
+        r2.read_page(2, &mut out).unwrap();
+        assert_eq!(out, a, "committed tagged differential survives repeated recovery");
+    }
+
+    #[test]
+    fn precheck_reports_tags_and_records() {
+        let mut s = fresh(8);
+        let size = s.logical_page_size();
+        s.write_page(0, &vec![1u8; size]).unwrap();
+        s.write_page(1, &vec![1u8; size]).unwrap();
+        s.flush().unwrap();
+        // Committed txn 5 and torn txn 6.
+        s.txn_reserve(1).unwrap();
+        let mut a = vec![1u8; size];
+        a[0] = 2;
+        s.txn_stage(0, &a, 5).unwrap();
+        s.txn_append_commit(5).unwrap();
+        s.txn_finalize().unwrap();
+        s.txn_reserve(1).unwrap();
+        let mut b = vec![1u8; size];
+        b[1] = 3;
+        s.txn_stage(1, &b, 6).unwrap();
+        s.txn_flush_stage().unwrap(); // no record: torn
+        let opts = *s.options();
+        let mut chip = Box::new(s).into_chip();
+        let scan = txn_precheck(&mut chip, &opts).unwrap();
+        // Only unrecorded live tags matter for the verdict: txn 5 is
+        // proven committed by its record, txn 6 is live-tagged without
+        // one — torn.
+        assert!(scan.tagged.contains(&6));
+        assert!(scan.records.contains(&5) && !scan.records.contains(&6));
+        assert_eq!(scan.torn(), HashSet::from([6]));
     }
 }

@@ -21,8 +21,9 @@
 //! per thread without a global stats lock.
 
 use crate::page_store::{ChangeRange, MethodKind, PageStore, StoreOptions};
-use crate::{build_store, error::CoreError, recover_store, Result};
+use crate::{build_store, error::CoreError, recover_store, Pdl, Result};
 use pdl_flash::{FlashChip, FlashStats, WearSummary};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -81,6 +82,9 @@ pub struct ShardedStore {
     /// threads can reach, independent of how many cores the measuring
     /// machine happens to have.
     busy_ns: Vec<AtomicU64>,
+    /// Shards staged into by the current exclusive (`&mut self`) commit
+    /// batch — the involved set whose shards receive the commit record.
+    txn_staged_shards: Mutex<HashSet<usize>>,
     opts: StoreOptions,
     kind: MethodKind,
     data_size: usize,
@@ -135,6 +139,44 @@ impl ShardedStore {
         }
 
         let total = opts.num_logical_pages;
+        // PDL recovery resolves torn transactions *globally*: a commit is
+        // valid only if every shard that carries its tags also carries a
+        // local commit record, so the read-only precheck runs over every
+        // chip first and the union of the per-shard torn sets gates every
+        // shard's table rebuild.
+        if recovering && matches!(kind, MethodKind::Pdl { .. }) {
+            let mut chips = chips;
+            let torn_sets: Vec<Result<HashSet<u64>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chips
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(s, chip)| {
+                        let shard_opts =
+                            StoreOptions { num_logical_pages: shard_pages(total, n, s), ..opts };
+                        scope.spawn(move || Ok(crate::pdl::txn_precheck(chip, &shard_opts)?.torn()))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("precheck panicked")).collect()
+            });
+            let mut union = HashSet::new();
+            for t in torn_sets {
+                union.extend(t?);
+            }
+            return Self::build_shards(chips, kind, opts, recovering, Some(union), data_size);
+        }
+        Self::build_shards(chips, kind, opts, recovering, None, data_size)
+    }
+
+    fn build_shards(
+        chips: Vec<FlashChip>,
+        kind: MethodKind,
+        opts: StoreOptions,
+        recovering: bool,
+        uncommitted: Option<HashSet<u64>>,
+        data_size: usize,
+    ) -> Result<ShardedStore> {
+        let n = chips.len();
+        let total = opts.num_logical_pages;
         // Per-shard recovery is embarrassingly parallel: each shard scans
         // only its own chip. Building fresh stores is cheap, but recovery
         // reads every page header, so both paths share the scoped-thread
@@ -146,11 +188,19 @@ impl ShardedStore {
                 .map(|(s, chip)| {
                     let shard_opts =
                         StoreOptions { num_logical_pages: shard_pages(total, n, s), ..opts };
-                    scope.spawn(move || {
-                        if recovering {
-                            recover_store(chip, kind, shard_opts)
-                        } else {
-                            build_store(chip, kind, shard_opts)
+                    let uncommitted = uncommitted.clone();
+                    scope.spawn(move || -> Result<Box<dyn PageStore>> {
+                        match (recovering, kind) {
+                            (true, MethodKind::Pdl { max_diff_size }) => {
+                                Ok(Box::new(Pdl::recover_with_uncommitted(
+                                    chip,
+                                    shard_opts,
+                                    max_diff_size,
+                                    uncommitted,
+                                )?))
+                            }
+                            (true, _) => recover_store(chip, kind, shard_opts),
+                            (false, _) => build_store(chip, kind, shard_opts),
                         }
                     })
                 })
@@ -162,7 +212,14 @@ impl ShardedStore {
             shards.push(Mutex::new(r?));
         }
         let busy_ns = (0..n).map(|_| AtomicU64::new(0)).collect();
-        Ok(ShardedStore { shards, busy_ns, opts, kind, data_size })
+        Ok(ShardedStore {
+            shards,
+            busy_ns,
+            txn_staged_shards: Mutex::new(HashSet::new()),
+            opts,
+            kind,
+            data_size,
+        })
     }
 
     /// Convenience: N identically-configured chips from one config.
@@ -179,6 +236,12 @@ impl ShardedStore {
     /// The shard that owns logical page `pid`.
     pub fn shard_of(&self, pid: u64) -> usize {
         (pid % self.shards.len() as u64) as usize
+    }
+
+    /// `pid`'s shard-local page id (the striping contract: page `p` is
+    /// shard `p % N`'s local page `p / N`).
+    pub fn local_pid(&self, pid: u64) -> u64 {
+        pid / self.shards.len() as u64
     }
 
     /// The method every shard runs.
@@ -337,6 +400,72 @@ impl PageStore for ShardedStore {
             shard.get_mut().unwrap_or_else(|e| e.into_inner()).flush()?;
         }
         Ok(())
+    }
+
+    // --- pdl-txn routing (exclusive commit batches, one txn at a time).
+    // The concurrent group-commit coordinator in pdl-storage drives the
+    // per-shard stores through `with_shard` instead, batching many
+    // transactions' records per shard flush.
+
+    fn txn_supported(&self) -> bool {
+        self.lock_shard(0).txn_supported()
+    }
+
+    fn txn_reserve(&mut self, pages: u64) -> Result<()> {
+        for shard in &mut self.shards {
+            shard.get_mut().unwrap_or_else(|e| e.into_inner()).txn_reserve(pages)?;
+        }
+        Ok(())
+    }
+
+    fn txn_stage(&mut self, pid: u64, page: &[u8], txn: u64) -> Result<()> {
+        let (s, local) = self.locate(pid)?;
+        self.txn_staged_shards.get_mut().unwrap_or_else(|e| e.into_inner()).insert(s);
+        self.shards[s].get_mut().unwrap_or_else(|e| e.into_inner()).txn_stage(local, page, txn)
+    }
+
+    fn txn_flush_stage(&mut self) -> Result<()> {
+        let staged: Vec<usize> = self
+            .txn_staged_shards
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .copied()
+            .collect();
+        for s in staged {
+            self.shards[s].get_mut().unwrap_or_else(|e| e.into_inner()).txn_flush_stage()?;
+        }
+        Ok(())
+    }
+
+    fn txn_append_commit(&mut self, txn: u64) -> Result<()> {
+        // One record per involved shard: recovery treats the commit as
+        // torn unless every shard carrying the transaction's tags also
+        // carries a record.
+        let staged: Vec<usize> = self
+            .txn_staged_shards
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .copied()
+            .collect();
+        for s in staged {
+            self.shards[s].get_mut().unwrap_or_else(|e| e.into_inner()).txn_append_commit(txn)?;
+        }
+        Ok(())
+    }
+
+    fn txn_finalize(&mut self) -> Result<()> {
+        self.txn_staged_shards.get_mut().unwrap_or_else(|e| e.into_inner()).clear();
+        // txn_reserve opened a batch on every shard; close them all.
+        for shard in &mut self.shards {
+            shard.get_mut().unwrap_or_else(|e| e.into_inner()).txn_finalize()?;
+        }
+        Ok(())
+    }
+
+    fn txn_id_floor(&self) -> u64 {
+        (0..self.shards.len()).map(|s| self.lock_shard(s).txn_id_floor()).max().unwrap_or(1)
     }
 
     fn chip(&self) -> &FlashChip {

@@ -214,6 +214,136 @@ fn exhaustive_crash_sweep_ipl() {
     sweep(MethodKind::Ipl { log_bytes_per_block: 512 }, GcPolicy::Greedy);
 }
 
+// ----------------------------------------------------------------------
+// pdl-txn: commit-record crash points
+// ----------------------------------------------------------------------
+
+/// A TPC-C-style multi-page transaction script: every transaction bumps
+/// a counter in the "district" page and rewrites a few pseudo-random
+/// "stock/order" pages — the multi-page atomic unit the commit records
+/// exist for.
+fn txn_script(count: usize) -> Vec<Vec<(u64, u8, bool)>> {
+    let mut x = 0x7C0FFEEu64;
+    (0..count)
+        .map(|i| {
+            let mut pages = vec![(0u64, i as u8 + 1, false)]; // the district page
+            let n = 2 + (i % 3);
+            for _ in 0..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let pid = 1 + (x >> 33) % (PAGES - 1);
+                let fill = (x >> 17) as u8;
+                let whole = (x >> 13).is_multiple_of(4);
+                pages.push((pid, fill, whole));
+            }
+            pages
+        })
+        .collect()
+}
+
+/// The exhaustive commit-record sweep: crash after every destructive
+/// flash operation of a transactional workload, recover, and require the
+/// visible state to equal the state after some *prefix of committed
+/// transactions* — every transaction all-or-nothing, zero torn commits.
+#[test]
+fn exhaustive_crash_sweep_txn_commits() {
+    let kind = MethodKind::Pdl { max_diff_size: 64 };
+    let mut opts = StoreOptions::new(PAGES);
+    opts.reserve_blocks = 10; // force GC inside the commit batches too
+    let txns = txn_script(12);
+
+    let build = || build_store(FlashChip::new(FlashConfig::tiny()), kind, opts).unwrap();
+    let load = |store: &mut dyn PageStore| -> Vec<Vec<u8>> {
+        let size = store.logical_page_size();
+        let initial: Vec<Vec<u8>> = (0..PAGES).map(|p| vec![p as u8; size]).collect();
+        for pid in 0..PAGES {
+            store.write_page(pid, &initial[pid as usize]).unwrap();
+        }
+        store.flush().unwrap();
+        initial
+    };
+
+    // The page states after each committed prefix of the script.
+    let mut store = build();
+    let size = store.logical_page_size();
+    let mut states: Vec<Vec<Vec<u8>>> = vec![load(store.as_mut())];
+    for txn_pages in &txns {
+        let mut next = states.last().unwrap().clone();
+        for (pid, fill, whole) in txn_pages {
+            apply_op(&mut next[*pid as usize], *fill, *whole);
+        }
+        states.push(next);
+    }
+
+    // One transaction through the commit-batch protocol. Returns Err on
+    // the injected power loss.
+    let run_txn =
+        |store: &mut dyn PageStore, states: &[Vec<Vec<u8>>], k: usize| -> pdl_core::Result<()> {
+            let txn = k as u64 + 1;
+            let pages = &txns[k];
+            store.txn_reserve(pages.len() as u64)?;
+            for (pid, _, _) in pages {
+                let img = states[k + 1][*pid as usize].clone();
+                store.txn_stage(*pid, &img, txn)?;
+            }
+            store.txn_append_commit(txn)?;
+            store.txn_finalize()
+        };
+
+    // Dry run: count the destructive operations of the transactional
+    // phase (and prove it garbage-collects, so the sweep covers crashes
+    // inside GC inside commit batches).
+    let mut store = build();
+    load(store.as_mut());
+    let before = store.stats();
+    for k in 0..txns.len() {
+        run_txn(store.as_mut(), &states, k).unwrap();
+    }
+    let delta = store.stats().delta_since(&before);
+    assert!(delta.gc.total_ops() > 0, "the txn workload must garbage-collect ({delta:?})");
+    let destructive = delta.total().writes + delta.total().erases;
+
+    for budget in 0..=destructive {
+        let mut store = build();
+        load(store.as_mut());
+        store.chip_mut().arm_fault(budget);
+        for k in 0..txns.len() {
+            match run_txn(store.as_mut(), &states, k) {
+                Ok(()) => {}
+                Err(e) => {
+                    assert!(is_power_loss(&e), "budget {budget}: unexpected error: {e}");
+                    break;
+                }
+            }
+        }
+        let mut chip = store.into_chip();
+        chip.disarm_fault();
+        let mut r = recover_store(chip, kind, opts).unwrap();
+        let mut out = vec![0u8; size];
+        let mut pages_now: Vec<Vec<u8>> = Vec::with_capacity(PAGES as usize);
+        for pid in 0..PAGES {
+            r.read_page(pid, &mut out).unwrap();
+            pages_now.push(out.clone());
+        }
+        // Zero torn transactions: the whole database must equal the
+        // state after some committed prefix.
+        let matched = states.iter().position(|s| s == &pages_now);
+        assert!(
+            matched.is_some(),
+            "budget {budget}: recovered state matches no committed prefix — a torn transaction"
+        );
+        // A second crash + recovery must agree.
+        let chip = r.into_chip();
+        let mut r2 = recover_store(chip, kind, opts).unwrap();
+        for pid in 0..PAGES {
+            r2.read_page(pid, &mut out).unwrap();
+            assert_eq!(
+                out, pages_now[pid as usize],
+                "budget {budget}: second recovery diverged on page {pid}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 

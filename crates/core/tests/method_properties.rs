@@ -171,7 +171,7 @@ proptest! {
         let n = d.encode(&mut buf).unwrap();
         let (back, used) = pdl_core::diff::Differential::decode(&buf).unwrap().unwrap();
         prop_assert_eq!(used, n);
-        prop_assert_eq!(back, d);
+        prop_assert_eq!(back, pdl_core::diff::PageRecord::Diff(d));
     }
 
     /// The differential never misses a changed byte and, with gap 0, never

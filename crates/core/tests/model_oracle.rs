@@ -11,7 +11,7 @@
 //! *what* they contain, so all policies must produce identical logical
 //! state.
 
-use pdl_core::{build_store, GcPolicy, MethodKind, PageStore, ShardedStore, StoreOptions};
+use pdl_core::{build_store, GcPolicy, MethodKind, PageStore, Pdl, ShardedStore, StoreOptions};
 use pdl_flash::{FlashChip, FlashConfig};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -134,6 +134,80 @@ proptest! {
                 let opts = StoreOptions::new(PAGES).with_gc_policy(policy);
                 let mut store = build_store(chip, kind, opts).unwrap();
                 drive(store.as_mut(), &ops)?;
+            }
+        }
+    }
+
+    /// Transactional shadow model (`pdl-txn`): arbitrary transactions —
+    /// each a batch of staged page writes ending in a durable commit or
+    /// in a torn/aborted outcome — against PDL's commit-batch protocol,
+    /// with a crash + recovery after *every* transaction. The shadow
+    /// applies only committed batches, so the comparison proves that
+    /// uncommitted writes are invisible after recovery and that aborted
+    /// batches restore the pre-images (base page + last committed
+    /// differential).
+    #[test]
+    fn transactions_match_the_model_across_recovery(
+        txns in proptest::collection::vec(
+            (
+                proptest::collection::vec((0u64..PAGES, any::<u8>(), any::<bool>()), 1..4),
+                any::<bool>(),
+            ),
+            1..12,
+        ),
+    ) {
+        let opts = StoreOptions::new(PAGES);
+        let mut store =
+            Pdl::new(FlashChip::new(FlashConfig::tiny()), opts, 64).expect("build");
+        let size = store.logical_page_size();
+        let mut committed: HashMap<u64, Vec<u8>> = HashMap::new();
+        for pid in 0..PAGES {
+            let page = vec![pid as u8; size];
+            store.write_page(pid, &page).expect("load");
+            committed.insert(pid, page);
+        }
+        store.flush().expect("baseline durability point");
+        let mut out = vec![0u8; size];
+        for (i, (writes, commit)) in txns.into_iter().enumerate() {
+            let txn = i as u64 + 1;
+            let mut staged = committed.clone();
+            store.txn_reserve(writes.len() as u64).expect("reserve");
+            for (pid, payload, whole) in writes {
+                let pid = pid % PAGES;
+                let mut page = staged[&pid].clone();
+                if whole {
+                    page.fill(payload);
+                } else {
+                    let at = (payload as usize * 7) % (size - 16);
+                    for (j, b) in page[at..at + 16].iter_mut().enumerate() {
+                        *b = payload.wrapping_add(j as u8);
+                    }
+                }
+                store.txn_stage(pid, &page, txn).expect("stage");
+                staged.insert(pid, page);
+            }
+            if commit {
+                store.txn_append_commit(txn).expect("commit record");
+                store.txn_finalize().expect("finalize");
+                committed = staged;
+            } else {
+                // Torn / aborted: the stage may even be durable, but no
+                // commit record ever lands.
+                store.txn_flush_stage().expect("stage flush");
+            }
+            // Crash + recover after every transaction.
+            let chip = Box::new(store).into_chip();
+            store = Pdl::recover(chip, opts, 64).expect("recover");
+            for pid in 0..PAGES {
+                store.read_page(pid, &mut out).expect("read");
+                prop_assert_eq!(
+                    &out,
+                    &committed[&pid],
+                    "txn {} ({}): page {} diverged from the committed shadow",
+                    i,
+                    if commit { "committed" } else { "torn" },
+                    pid
+                );
             }
         }
     }

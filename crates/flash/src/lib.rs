@@ -40,7 +40,7 @@ mod stats;
 pub use chip::{FlashChip, PageBuf};
 pub use error::FlashError;
 pub use geometry::{BlockId, FlashConfig, FlashGeometry, FlashTiming, Ppn};
-pub use spare::{fnv1a32, PageKind, SpareInfo, SPARE_BYTES_USED};
+pub use spare::{fnv1a32, PageKind, SpareInfo, NO_TXN, SPARE_BYTES_USED};
 pub use stats::{FlashStats, OpContext, OpCounts, WearSummary};
 
 /// Crate-wide result alias.

@@ -15,6 +15,14 @@
 //! bytes 12..20   creation time stamp (u64 LE)
 //! bytes 20..24   FNV-1a checksum of the data area (u32 LE), stands in
 //!                for the ECC the real chip stores here
+//! bytes 24..32   owning transaction id (u64 LE) — per-page
+//!                commit-visibility metadata in the spirit of Graefe &
+//!                Kuno's single-page-failure taxonomy. The erased value
+//!                `u64::MAX` ([`NO_TXN`]) means the page is visible
+//!                unconditionally; any other value makes the page's
+//!                validity contingent on that transaction's durable
+//!                commit record (PDL Case-3 base pages written inside a
+//!                transaction commit batch carry it)
 //! ```
 //!
 //! All transitions used by the codec only clear bits (1 -> 0), so marking a
@@ -25,13 +33,18 @@ use crate::error::FlashError;
 use crate::Result;
 
 /// Number of spare bytes the codec occupies.
-pub const SPARE_BYTES_USED: usize = 24;
+pub const SPARE_BYTES_USED: usize = 32;
+
+/// The "no transaction" sentinel: the erased state of the spare txn
+/// field, so non-transactional pages need not program it at all.
+pub const NO_TXN: u64 = u64::MAX;
 
 const OFF_KIND: usize = 0;
 const OFF_OBSOLETE: usize = 1;
 const OFF_TAG: usize = 4;
 const OFF_TS: usize = 12;
 const OFF_CSUM: usize = 20;
+const OFF_TXN: usize = 24;
 
 /// What a physical page currently holds.
 ///
@@ -105,12 +118,22 @@ pub struct SpareInfo {
     pub ts: u64,
     /// FNV-1a checksum of the data area at program time.
     pub checksum: u32,
+    /// Owning transaction id; [`NO_TXN`] (the erased state) for pages
+    /// whose validity is unconditional.
+    pub txn: u64,
 }
 
 impl SpareInfo {
-    /// Metadata for a freshly written page.
+    /// Metadata for a freshly written page (no owning transaction).
     pub fn new(kind: PageKind, tag: u64, ts: u64, checksum: u32) -> SpareInfo {
-        SpareInfo { kind, obsolete: false, tag, ts, checksum }
+        SpareInfo { kind, obsolete: false, tag, ts, checksum, txn: NO_TXN }
+    }
+
+    /// Tag the page with the transaction whose commit record gates its
+    /// validity.
+    pub fn with_txn(mut self, txn: u64) -> SpareInfo {
+        self.txn = txn;
+        self
     }
 
     /// Serialise into a spare-area image (`spare.len()` must be at least
@@ -125,6 +148,7 @@ impl SpareInfo {
         spare[OFF_TAG..OFF_TAG + 8].copy_from_slice(&self.tag.to_le_bytes());
         spare[OFF_TS..OFF_TS + 8].copy_from_slice(&self.ts.to_le_bytes());
         spare[OFF_CSUM..OFF_CSUM + 4].copy_from_slice(&self.checksum.to_le_bytes());
+        spare[OFF_TXN..OFF_TXN + 8].copy_from_slice(&self.txn.to_le_bytes());
         Ok(())
     }
 
@@ -139,7 +163,8 @@ impl SpareInfo {
         let tag = u64::from_le_bytes(spare[OFF_TAG..OFF_TAG + 8].try_into().unwrap());
         let ts = u64::from_le_bytes(spare[OFF_TS..OFF_TS + 8].try_into().unwrap());
         let checksum = u32::from_le_bytes(spare[OFF_CSUM..OFF_CSUM + 4].try_into().unwrap());
-        Some(SpareInfo { kind, obsolete, tag, ts, checksum })
+        let txn = u64::from_le_bytes(spare[OFF_TXN..OFF_TXN + 8].try_into().unwrap());
+        Some(SpareInfo { kind, obsolete, tag, ts, checksum, txn })
     }
 
     /// Byte offset and value of the obsolete marker, for use with
@@ -171,6 +196,10 @@ mod tests {
         info.encode(&mut spare).unwrap();
         let back = SpareInfo::decode(&spare).unwrap();
         assert_eq!(back, info);
+        assert_eq!(back.txn, NO_TXN);
+        let tagged = info.with_txn(99);
+        tagged.encode(&mut spare).unwrap();
+        assert_eq!(SpareInfo::decode(&spare).unwrap().txn, 99);
     }
 
     #[test]
@@ -180,6 +209,7 @@ mod tests {
         assert_eq!(info.kind, PageKind::Free);
         assert!(!info.obsolete);
         assert_eq!(info.tag, u64::MAX);
+        assert_eq!(info.txn, NO_TXN);
     }
 
     #[test]

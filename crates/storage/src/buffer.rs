@@ -12,7 +12,7 @@
 
 use crate::error::StorageError;
 use crate::Result;
-use pdl_core::{ChangeRange, PageStore};
+use pdl_core::{ChangeRange, PageStore, NO_TXN};
 use std::collections::HashMap;
 
 /// A mutable view of a buffered page that records which bytes change.
@@ -91,6 +91,15 @@ struct Frame {
     dirty: bool,
     last_use: u64,
     changes: Vec<ChangeRange>,
+    /// Transaction that dirtied this frame ([`NO_TXN`] when none): the
+    /// per-transaction change tracking of the `pdl-txn` subsystem.
+    owner: u64,
+}
+
+/// Pre-transaction image of a frame, taken on the transaction's first
+/// touch so abort can restore it without any flash traffic.
+struct UndoImage {
+    data: Vec<u8>,
 }
 
 /// Cache statistics.
@@ -157,6 +166,13 @@ pub(crate) struct FrameCache {
     page_size: usize,
     tick: u64,
     stats: BufferStats,
+    /// Whether transaction-owned dirty frames are pinned against eviction
+    /// and skipped by write-backs (atomic-commit mode). Relaxed mode
+    /// leaves them evictable — legacy behavior, with abort still restored
+    /// from the in-memory undo images.
+    pin_owned: bool,
+    /// Pre-transaction frame images, keyed by `(txn, pid)`.
+    undo: HashMap<(u64, u64), UndoImage>,
 }
 
 impl FrameCache {
@@ -169,7 +185,15 @@ impl FrameCache {
             page_size,
             tick: 0,
             stats: BufferStats::default(),
+            pin_owned: true,
+            undo: HashMap::new(),
         }
+    }
+
+    /// Switch transaction-owned frames between pinned (atomic commits)
+    /// and evictable (relaxed durability).
+    pub(crate) fn set_pin_owned(&mut self, pin: bool) {
+        self.pin_owned = pin;
     }
 
     pub(crate) fn capacity(&self) -> usize {
@@ -198,8 +222,31 @@ impl FrameCache {
         pid: u64,
         f: impl FnOnce(&mut PageMut) -> R,
     ) -> Result<R> {
+        self.with_page_mut_txn(backend, pid, NO_TXN, f)
+    }
+
+    /// Mutable access on behalf of `txn` ([`NO_TXN`] for the plain
+    /// auto-commit path). A frame dirtied by a different uncommitted
+    /// transaction is a conflict; the first touch by a transaction
+    /// snapshots the frame so abort can restore it.
+    pub(crate) fn with_page_mut_txn<B: PageBackend, R>(
+        &mut self,
+        backend: &mut B,
+        pid: u64,
+        txn: u64,
+        f: impl FnOnce(&mut PageMut) -> R,
+    ) -> Result<R> {
         let idx = self.fetch(backend, pid)?;
         self.tick += 1;
+        if self.frames[idx].dirty
+            && self.frames[idx].owner != NO_TXN
+            && self.frames[idx].owner != txn
+        {
+            return Err(StorageError::TxnConflict { pid });
+        }
+        if txn != NO_TXN && !self.undo.contains_key(&(txn, pid)) {
+            self.undo.insert((txn, pid), UndoImage { data: self.frames[idx].data.clone() });
+        }
         let frame = &mut self.frames[idx];
         frame.last_use = self.tick;
         debug_assert!(frame.changes.is_empty());
@@ -207,6 +254,9 @@ impl FrameCache {
         let r = f(&mut page);
         if !frame.changes.is_empty() {
             frame.dirty = true;
+            if txn != NO_TXN {
+                frame.owner = txn;
+            }
             let changes = std::mem::take(&mut frame.changes);
             backend.apply(pid, &frame.data, &changes)?;
         }
@@ -227,6 +277,7 @@ impl FrameCache {
                 dirty: false,
                 last_use: 0,
                 changes: Vec::new(),
+                owner: NO_TXN,
             });
             self.frames.len() - 1
         } else {
@@ -235,17 +286,22 @@ impl FrameCache {
         backend.read(pid, &mut self.frames[idx].data)?;
         self.frames[idx].pid = pid;
         self.frames[idx].dirty = false;
+        self.frames[idx].owner = NO_TXN;
         self.map.insert(pid, idx);
         Ok(idx)
     }
 
     fn evict_lru<B: PageBackend>(&mut self, backend: &mut B) -> Result<usize> {
+        // Frames dirtied by an uncommitted transaction are pinned in
+        // atomic-commit mode: their data must not reach the store before
+        // the commit record does.
         let (idx, _) = self
             .frames
             .iter()
             .enumerate()
+            .filter(|(_, f)| !(self.pin_owned && f.owner != NO_TXN))
             .min_by_key(|(_, f)| f.last_use)
-            .ok_or_else(|| StorageError::Internal("empty pool cannot evict".into()))?;
+            .ok_or(StorageError::BufferPinned)?;
         let pid = self.frames[idx].pid;
         if self.frames[idx].dirty {
             backend.evict(pid, &self.frames[idx].data)?;
@@ -257,14 +313,87 @@ impl FrameCache {
     }
 
     /// Write every dirty frame back (does not flush the store itself).
+    /// In atomic-commit mode, transaction-owned frames are skipped: only
+    /// their commit makes them durable.
     pub(crate) fn write_back_dirty<B: PageBackend>(&mut self, backend: &mut B) -> Result<()> {
         for idx in 0..self.frames.len() {
-            if self.frames[idx].dirty {
+            if self.frames[idx].dirty && !(self.pin_owned && self.frames[idx].owner != NO_TXN) {
                 let pid = self.frames[idx].pid;
                 backend.evict(pid, &self.frames[idx].data)?;
                 self.frames[idx].dirty = false;
+                self.frames[idx].owner = NO_TXN;
                 self.stats.dirty_writebacks += 1;
             }
+        }
+        Ok(())
+    }
+
+    /// Copy `txn`'s dirtied page images for commit staging. The frames
+    /// stay owned (and the undo images stay) until
+    /// [`Self::release_owned`] confirms the staging succeeded — so a
+    /// failed commit can still roll back.
+    pub(crate) fn collect_owned(&mut self, txn: u64) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::new();
+        for f in &self.frames {
+            if f.owner == txn && f.dirty {
+                out.push((f.pid, f.data.clone()));
+            }
+        }
+        out.sort_by_key(|(pid, _)| *pid);
+        out
+    }
+
+    /// Confirm a durable commit: `txn`'s frames become clean (their
+    /// images are on flash) and unowned, and the undo images are
+    /// dropped.
+    pub(crate) fn commit_release(&mut self, txn: u64) {
+        for f in &mut self.frames {
+            if f.owner == txn {
+                f.dirty = false;
+                f.owner = NO_TXN;
+            }
+        }
+        self.undo.retain(|(t, _), _| *t != txn);
+    }
+
+    /// Release `txn`'s ownership without any I/O (relaxed-durability
+    /// commit): the frames stay dirty and reach flash by ordinary
+    /// eviction, exactly as if the writes had been auto-committed.
+    pub(crate) fn release_owned(&mut self, txn: u64) {
+        for f in &mut self.frames {
+            if f.owner == txn {
+                f.owner = NO_TXN;
+            }
+        }
+        self.undo.retain(|(t, _), _| *t != txn);
+    }
+
+    /// Abort `txn`: restore every touched frame's pre-transaction image
+    /// (base page + last committed state, as cached at first touch). A
+    /// frame evicted meanwhile is re-faulted and overwritten.
+    pub(crate) fn rollback<B: PageBackend>(&mut self, backend: &mut B, txn: u64) -> Result<()> {
+        let entries: Vec<((u64, u64), UndoImage)> = {
+            let mut keys: Vec<(u64, u64)> =
+                self.undo.keys().filter(|(t, _)| *t == txn).copied().collect();
+            keys.sort_unstable();
+            keys.into_iter().map(|k| (k, self.undo.remove(&k).expect("key just listed"))).collect()
+        };
+        for ((_, pid), undo) in entries {
+            // Always restore *dirty*: the aborted image may have reached
+            // the store (a relaxed-mode eviction — even one later
+            // re-faulted and re-dirtied by the same transaction — or a
+            // failed commit's partial staging), and a write-back of the
+            // pre-image is what repairs the durable state. When nothing
+            // leaked, the rewrite is a no-op for PDL (empty
+            // differential).
+            let idx = match self.map.get(&pid).copied() {
+                Some(idx) => idx,
+                None => self.fetch(backend, pid)?,
+            };
+            let frame = &mut self.frames[idx];
+            frame.data.copy_from_slice(&undo.data);
+            frame.dirty = true;
+            frame.owner = NO_TXN;
         }
         Ok(())
     }
@@ -273,6 +402,7 @@ impl FrameCache {
     pub(crate) fn clear(&mut self) {
         self.frames.clear();
         self.map.clear();
+        self.undo.clear();
     }
 }
 
@@ -323,6 +453,37 @@ impl BufferPool {
         self.cache.with_page_mut(&mut self.store, pid, f)
     }
 
+    /// Mutable access on behalf of an open transaction (see
+    /// [`crate::Database::begin`]).
+    pub fn with_page_mut_txn<R>(
+        &mut self,
+        pid: u64,
+        txn: u64,
+        f: impl FnOnce(&mut PageMut) -> R,
+    ) -> Result<R> {
+        self.cache.with_page_mut_txn(&mut self.store, pid, txn, f)
+    }
+
+    pub(crate) fn set_pin_owned(&mut self, pin: bool) {
+        self.cache.set_pin_owned(pin);
+    }
+
+    pub(crate) fn collect_owned(&mut self, txn: u64) -> Vec<(u64, Vec<u8>)> {
+        self.cache.collect_owned(txn)
+    }
+
+    pub(crate) fn commit_release(&mut self, txn: u64) {
+        self.cache.commit_release(txn)
+    }
+
+    pub(crate) fn release_owned(&mut self, txn: u64) {
+        self.cache.release_owned(txn)
+    }
+
+    pub(crate) fn rollback(&mut self, txn: u64) -> Result<()> {
+        self.cache.rollback(&mut self.store, txn)
+    }
+
     /// Write every dirty page back and flush the store's buffers
     /// (write-through, the durability point of §4.5).
     pub fn flush_all(&mut self) -> Result<()> {
@@ -340,6 +501,13 @@ impl BufferPool {
     pub fn into_store(mut self) -> Result<Box<dyn PageStore>> {
         self.flush_all()?;
         Ok(self.store)
+    }
+
+    /// Consume the pool *without* writing anything back (crash
+    /// simulation: cached dirty pages and uncommitted transactions are
+    /// lost, exactly as on a power failure).
+    pub fn into_store_without_flush(self) -> Box<dyn PageStore> {
+        self.store
     }
 }
 

@@ -39,18 +39,51 @@ impl RecordId {
     }
 }
 
-/// A database: buffer pool + page allocator.
+/// A transaction handle (see [`Database::begin`]).
+pub type TxnId = u64;
+
+/// What a [`Database::commit`] guarantees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Commit releases the transaction's pages back to ordinary lazy
+    /// eviction: atomic in memory (abort restores pre-images), but a
+    /// crash rolls back to the last write-through, exactly as before the
+    /// `pdl-txn` subsystem. This is the paper's own setting and keeps
+    /// the experiment I/O profiles unchanged.
+    #[default]
+    Relaxed,
+    /// Commit stages every dirtied page through the store's transactional
+    /// path, appends a durable commit record and flushes: all-or-nothing
+    /// across a crash (on PDL; other methods degrade to write-through
+    /// durability without atomicity).
+    Commit,
+}
+
+/// A database: buffer pool + logical-page allocator + transactions.
 pub struct Database {
     pool: BufferPool,
     next_pid: u64,
     max_pages: u64,
+    durability: Durability,
+    next_txn: u64,
+    current: Option<TxnId>,
 }
 
 impl Database {
     /// Wrap a page store with a buffer of `buffer_pages` pages.
     pub fn new(store: Box<dyn PageStore>, buffer_pages: usize) -> Database {
         let max_pages = store.options().num_logical_pages;
-        Database { pool: BufferPool::new(store, buffer_pages), next_pid: 0, max_pages }
+        let next_txn = store.txn_id_floor();
+        let mut pool = BufferPool::new(store, buffer_pages);
+        pool.set_pin_owned(false); // Durability::Relaxed is the default
+        Database {
+            pool,
+            next_pid: 0,
+            max_pages,
+            durability: Durability::Relaxed,
+            next_txn,
+            current: None,
+        }
     }
 
     /// Re-wrap a store whose first `allocated` pages are already in use
@@ -60,8 +93,109 @@ impl Database {
         buffer_pages: usize,
         allocated: u64,
     ) -> Database {
-        let max_pages = store.options().num_logical_pages;
-        Database { pool: BufferPool::new(store, buffer_pages), next_pid: allocated, max_pages }
+        let mut db = Database::new(store, buffer_pages);
+        db.next_pid = allocated;
+        db
+    }
+
+    /// Choose the commit guarantee (default: [`Durability::Relaxed`]).
+    pub fn with_durability(mut self, durability: Durability) -> Database {
+        self.durability = durability;
+        self.pool.set_pin_owned(durability == Durability::Commit);
+        self
+    }
+
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions (pdl-txn): one open transaction at a time; every
+    // `with_page_mut` between begin and commit/abort is tracked against
+    // it.
+    // ------------------------------------------------------------------
+
+    /// Open a transaction. Until [`Database::commit`] or
+    /// [`Database::abort`], every mutation is tagged with the returned
+    /// id, its first touch of a page snapshots the pre-image, and (in
+    /// [`Durability::Commit`] mode) its dirty pages are pinned in the
+    /// buffer pool.
+    pub fn begin(&mut self) -> Result<TxnId> {
+        if self.current.is_some() {
+            return Err(StorageError::TxnState("a transaction is already open".into()));
+        }
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        self.current = Some(txn);
+        Ok(txn)
+    }
+
+    /// The open transaction, if any.
+    pub fn current_txn(&self) -> Option<TxnId> {
+        self.current
+    }
+
+    /// Commit the open transaction according to the configured
+    /// [`Durability`].
+    pub fn commit(&mut self) -> Result<()> {
+        let txn = self
+            .current
+            .take()
+            .ok_or_else(|| StorageError::TxnState("commit without an open transaction".into()))?;
+        match self.durability {
+            Durability::Relaxed => {
+                self.pool.release_owned(txn);
+                Ok(())
+            }
+            Durability::Commit => {
+                let staged = self.pool.collect_owned(txn);
+                if staged.is_empty() {
+                    self.pool.release_owned(txn);
+                    return Ok(()); // read-only: nothing to make durable
+                }
+                let result = (|| -> Result<()> {
+                    let store = self.pool.store_mut();
+                    store.txn_reserve(staged.len() as u64)?;
+                    for (pid, data) in &staged {
+                        store.txn_stage(*pid, data, txn)?;
+                    }
+                    if store.num_shards() > 1 {
+                        // Multi-shard: every shard's differentials must
+                        // be durable before any commit record is.
+                        store.txn_flush_stage()?;
+                    }
+                    store.txn_append_commit(txn)?;
+                    store.txn_finalize()?;
+                    Ok(())
+                })();
+                match result {
+                    Ok(()) => {
+                        self.pool.commit_release(txn);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        // The commit record never became durable: roll
+                        // the frames back to their pre-images (dirty, so
+                        // a later write-back also supersedes whatever
+                        // tagged staging reached the store) and report
+                        // the transaction failed.
+                        let _ = self.pool.rollback(txn);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Abort the open transaction: every touched page returns to its
+    /// pre-image (the base page plus the last committed differential, as
+    /// cached at first touch).
+    pub fn abort(&mut self) -> Result<()> {
+        let txn = self
+            .current
+            .take()
+            .ok_or_else(|| StorageError::TxnState("abort without an open transaction".into()))?;
+        self.pool.rollback(txn)
     }
 
     /// Allocate the next logical page.
@@ -87,8 +221,12 @@ impl Database {
         self.pool.with_page(pid, f)
     }
 
+    /// Mutable page access; tracked against the open transaction, if any.
     pub fn with_page_mut<R>(&mut self, pid: u64, f: impl FnOnce(&mut PageMut) -> R) -> Result<R> {
-        self.pool.with_page_mut(pid, f)
+        match self.current {
+            Some(txn) => self.pool.with_page_mut_txn(pid, txn, f),
+            None => self.pool.with_page_mut(pid, f),
+        }
     }
 
     pub fn buffer_stats(&self) -> BufferStats {
@@ -117,6 +255,11 @@ impl Database {
     /// Tear down, flushing, and hand back the page store.
     pub fn into_store(self) -> Result<Box<dyn PageStore>> {
         self.pool.into_store()
+    }
+
+    /// Tear down *without* flushing (crash simulation).
+    pub fn into_store_without_flush(self) -> Box<dyn PageStore> {
+        self.pool.into_store_without_flush()
     }
 }
 

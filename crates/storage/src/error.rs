@@ -19,6 +19,13 @@ pub enum StorageError {
     PageCorrupt(String),
     /// Key already present in a unique index.
     DuplicateKey,
+    /// A page is dirty under another uncommitted transaction.
+    TxnConflict { pid: u64 },
+    /// Every buffer frame is pinned by uncommitted transactions; nothing
+    /// can be evicted.
+    BufferPinned,
+    /// Transaction API misuse (no open transaction, nested begin, ...).
+    TxnState(String),
     /// Internal invariant broken.
     Internal(String),
 }
@@ -36,6 +43,13 @@ impl fmt::Display for StorageError {
             StorageError::OutOfPages => write!(f, "database out of logical pages"),
             StorageError::PageCorrupt(msg) => write!(f, "page corrupt: {msg}"),
             StorageError::DuplicateKey => write!(f, "duplicate key in unique index"),
+            StorageError::TxnConflict { pid } => {
+                write!(f, "page {pid} is dirty under another uncommitted transaction")
+            }
+            StorageError::BufferPinned => {
+                write!(f, "every buffer frame is pinned by uncommitted transactions")
+            }
+            StorageError::TxnState(msg) => write!(f, "transaction state error: {msg}"),
             StorageError::Internal(msg) => write!(f, "internal storage error: {msg}"),
         }
     }

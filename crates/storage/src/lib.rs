@@ -21,7 +21,7 @@ pub mod slotted;
 
 pub use btree::{BTree, Key, KeyBuf};
 pub use buffer::{read_u16, read_u64, BufferPool, BufferStats, PageMut};
-pub use db::{Database, RecordId};
+pub use db::{Database, Durability, RecordId, TxnId};
 pub use error::StorageError;
 pub use heap::HeapFile;
 pub use sharded::ShardedBufferPool;

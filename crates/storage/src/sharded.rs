@@ -10,12 +10,29 @@
 //! The API is the `&self` counterpart of [`crate::BufferPool`]: the same
 //! update-command contract (mutations through [`PageMut`] report their
 //! changed ranges to the page store), usable from many threads at once.
+//!
+//! # Group commit (`pdl-txn`)
+//!
+//! Concurrent transactions commit through a **group-commit coordinator**:
+//! the first committer becomes the leader, absorbs every transaction
+//! queued behind it, and executes one combined batch — per shard, all the
+//! batch's differentials land in shared flash pages behind a single
+//! differential-write-buffer flush, and all its commit records share a
+//! flush too. This amortizes the commit-time flush the same way the
+//! paper's Case-2 buffer amortizes page writes, trading a little commit
+//! latency for flash throughput (the knob Adaptive Logging turns at
+//! commit time). Followers block until the leader publishes their
+//! result.
 
 use crate::buffer::{BufferStats, FrameCache, PageBackend, PageMut};
+use crate::db::TxnId;
+use crate::error::StorageError;
 use crate::Result;
 use pdl_core::{ChangeRange, PageStore, ShardedStore};
 use pdl_flash::{FlashStats, WearSummary};
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Adapts the `*_shared` entry points of a [`ShardedStore`] to the
 /// [`PageBackend`] a [`FrameCache`] drives.
@@ -38,10 +55,23 @@ impl PageBackend for SharedBackend<'_> {
     }
 }
 
-/// A concurrent LRU buffer pool, frame locks striped by shard.
+/// State shared by every committer: the queue the leader drains and the
+/// results it publishes.
+#[derive(Default)]
+struct GroupState {
+    pending: Vec<TxnId>,
+    done: HashMap<TxnId, Result<()>>,
+    leader_active: bool,
+}
+
+/// A concurrent LRU buffer pool, frame locks striped by shard, with a
+/// group-commit coordinator for transactional writers.
 pub struct ShardedBufferPool {
     store: ShardedStore,
     stripes: Vec<Mutex<FrameCache>>,
+    next_txn: AtomicU64,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
 }
 
 impl ShardedBufferPool {
@@ -51,9 +81,16 @@ impl ShardedBufferPool {
         let shards = store.num_shards();
         let per_stripe = capacity.div_ceil(shards).max(1);
         let page_size = store.logical_page_size();
+        let next_txn = AtomicU64::new(store.txn_id_floor());
         let stripes =
             (0..shards).map(|_| Mutex::new(FrameCache::new(per_stripe, page_size))).collect();
-        ShardedBufferPool { store, stripes }
+        ShardedBufferPool {
+            store,
+            stripes,
+            next_txn,
+            group: Mutex::new(GroupState::default()),
+            group_cv: Condvar::new(),
+        }
     }
 
     pub fn num_stripes(&self) -> usize {
@@ -93,6 +130,188 @@ impl ShardedBufferPool {
     /// form one update command, reported to the owning shard's store.
     pub fn with_page_mut<R>(&self, pid: u64, f: impl FnOnce(&mut PageMut) -> R) -> Result<R> {
         self.stripe_for(pid).with_page_mut(&mut SharedBackend(&self.store), pid, f)
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions (pdl-txn)
+    // ------------------------------------------------------------------
+
+    /// Open a transaction (thread-safe; ids are unique for the pool's
+    /// lifetime and never collide with ids still recorded on flash).
+    pub fn begin(&self) -> TxnId {
+        self.next_txn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Mutable page access on behalf of `txn`: the frame is pinned (and
+    /// conflict-checked) until the transaction commits or aborts.
+    pub fn with_page_mut_txn<R>(
+        &self,
+        pid: u64,
+        txn: TxnId,
+        f: impl FnOnce(&mut PageMut) -> R,
+    ) -> Result<R> {
+        self.stripe_for(pid).with_page_mut_txn(&mut SharedBackend(&self.store), pid, txn, f)
+    }
+
+    /// Abort `txn`: every touched frame returns to its pre-image.
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        for s in &self.stripes {
+            self.lock_stripe_ref(s).rollback(&mut SharedBackend(&self.store), txn)?;
+        }
+        Ok(())
+    }
+
+    /// Commit `txn` through the group-commit coordinator: concurrent
+    /// commits are batched behind one leader, sharing differential pages
+    /// and commit-record flushes per shard.
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        self.commit_inner(txn, true)
+    }
+
+    /// Commit `txn` alone (no batching): the baseline the `txn_commit`
+    /// bench compares group commit against. Still serialized with every
+    /// other commit, since a shard runs one commit batch at a time.
+    pub fn commit_solo(&self, txn: TxnId) -> Result<()> {
+        self.commit_inner(txn, false)
+    }
+
+    fn commit_inner(&self, txn: TxnId, group: bool) -> Result<()> {
+        let mut state = self.group.lock().unwrap_or_else(|e| e.into_inner());
+        state.pending.push(txn);
+        loop {
+            if let Some(r) = state.done.remove(&txn) {
+                return r;
+            }
+            if !state.leader_active {
+                state.leader_active = true;
+                let mut batch: Vec<TxnId> = if group {
+                    std::mem::take(&mut state.pending)
+                } else {
+                    let pos = state.pending.iter().position(|t| *t == txn).expect("enqueued");
+                    vec![state.pending.remove(pos)]
+                };
+                drop(state);
+                if group {
+                    // A brief absorb window lets committers that lost the
+                    // leadership race join this batch even when cores are
+                    // scarce — the classic group-commit gather phase.
+                    for _ in 0..2 {
+                        std::thread::yield_now();
+                        let mut st = self.group.lock().unwrap_or_else(|e| e.into_inner());
+                        batch.append(&mut st.pending);
+                    }
+                }
+                let result = self.commit_batch(&batch);
+                let mut st = self.group.lock().unwrap_or_else(|e| e.into_inner());
+                for t in &batch {
+                    if *t != txn {
+                        st.done.insert(*t, result.clone());
+                    }
+                }
+                st.leader_active = false;
+                self.group_cv.notify_all();
+                return result;
+            }
+            state = self.group_cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Execute one commit batch: stage every transaction's pages per
+    /// shard behind a single flush, then land every commit record per
+    /// shard behind a single flush, then finalize (deferred obsolete
+    /// marks). The leader is unique, so at most one batch runs at a time.
+    fn commit_batch(&self, batch: &[TxnId]) -> Result<()> {
+        let n = self.stripes.len();
+        // Gather: stripe `s` caches exactly shard `s`'s pages. Frames
+        // stay owned (and the undo images stay) until the whole batch is
+        // durable, so a failed batch can roll every member back.
+        let mut per_shard: Vec<Vec<(u64, Vec<u8>, TxnId)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut involved: Vec<Vec<TxnId>> = (0..n).map(|_| Vec::new()).collect();
+        for &t in batch {
+            for s in 0..n {
+                let pages = self.lock_stripe_ref(&self.stripes[s]).collect_owned(t);
+                if pages.is_empty() {
+                    continue;
+                }
+                involved[s].push(t);
+                for (pid, data) in pages {
+                    debug_assert_eq!(self.store.shard_of(pid), s);
+                    per_shard[s].push((self.store.local_pid(pid), data, t));
+                }
+            }
+        }
+        match self.commit_batch_stages(&per_shard, &involved) {
+            Ok(()) => {
+                for &t in batch {
+                    for s in &self.stripes {
+                        self.lock_stripe_ref(s).commit_release(t);
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // The batch failed mid-protocol: restore every member's
+                // pre-images, dirty, so later write-backs supersede any
+                // tagged staging (or, if the records did land before a
+                // finalize error, deterministically rewrite the
+                // pre-images) — either way the caller sees the
+                // transaction as failed and the pool stays consistent.
+                for &t in batch {
+                    let _ = self.abort(t);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn commit_batch_stages(
+        &self,
+        per_shard: &[Vec<(u64, Vec<u8>, TxnId)>],
+        involved: &[Vec<TxnId>],
+    ) -> Result<()> {
+        let n = self.stripes.len();
+        // Phase 1: every shard's differentials become durable (tagged,
+        // not yet visible after a crash).
+        for s in 0..n {
+            if per_shard[s].is_empty() {
+                continue;
+            }
+            let items = &per_shard[s];
+            self.store
+                .with_shard(s, |st| -> pdl_core::Result<()> {
+                    st.txn_reserve(items.len() as u64)?;
+                    for (local, data, t) in items {
+                        st.txn_stage(*local, data, *t)?;
+                    }
+                    st.txn_flush_stage()
+                })
+                .map_err(StorageError::from)?;
+        }
+        // Phase 2: commit records — the batch's records on each shard
+        // share one flush (often one flash page).
+        for s in 0..n {
+            if involved[s].is_empty() {
+                continue;
+            }
+            let txns = &involved[s];
+            self.store
+                .with_shard(s, |st| -> pdl_core::Result<()> {
+                    for t in txns {
+                        st.txn_append_commit(*t)?;
+                    }
+                    st.txn_flush_stage()
+                })
+                .map_err(StorageError::from)?;
+        }
+        // Phase 3: the superseded pre-images are garbage on every
+        // timeline now.
+        for s in 0..n {
+            if per_shard[s].is_empty() {
+                continue;
+            }
+            self.store.with_shard(s, |st| st.txn_finalize()).map_err(StorageError::from)?;
+        }
+        Ok(())
     }
 
     /// Aggregate cache statistics over all stripes.
@@ -135,6 +354,13 @@ impl ShardedBufferPool {
     pub fn into_store(self) -> Result<ShardedStore> {
         self.flush_all()?;
         Ok(self.store)
+    }
+
+    /// Consume the pool *without* writing anything back (crash
+    /// simulation: cached dirty pages and uncommitted transactions are
+    /// lost, exactly as on a power failure).
+    pub fn into_store_without_flush(self) -> ShardedStore {
+        self.store
     }
 }
 

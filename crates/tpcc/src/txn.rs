@@ -1,10 +1,15 @@
 //! The five TPC-C transactions (clauses 2.4 — 2.8) and the standard mix.
 //!
-//! Simplification (documented in DESIGN.md): the engine has no undo log,
-//! so the NEW-ORDER 1% "unused item" rollback is implemented by validating
-//! every item *before* the first write. The I/O pattern (reads performed,
-//! then abort) matches the spec's intent; no partial transaction ever
-//! reaches flash.
+//! Every transaction runs inside a [`Database::begin`] /
+//! [`Database::commit`] bracket (the `pdl-txn` subsystem): its page
+//! mutations are tracked against the transaction, and — when the
+//! database is configured with `Durability::Commit` — made durable
+//! all-or-nothing through PDL's differential commit records. The
+//! NEW-ORDER 1% "unused item" rollback (clause 2.4.1.5) exercises
+//! [`Database::abort`]: the district's `D_NEXT_O_ID` advance is written
+//! first and rolled back to its pre-image when an order line names an
+//! invalid item. (Item validation still precedes the structural inserts:
+//! index splits are not transaction-protected — see ROADMAP.)
 
 use crate::db::{keys, TpccDb};
 use crate::error::TpccError;
@@ -82,15 +87,31 @@ impl TxnStats {
     }
 }
 
-/// Execute one transaction of the given kind. Returns `true` when the
-/// transaction committed (NEW-ORDER rolls back ~1% of the time by spec).
+/// Execute one transaction of the given kind inside a begin/commit
+/// bracket. Returns `true` when the transaction committed (NEW-ORDER
+/// aborts ~1% of the time by spec, rolling its writes back).
 pub fn run_transaction(t: &mut TpccDb, r: &mut TpccRand, kind: TxnKind) -> Result<bool> {
-    match kind {
+    t.db.begin()?;
+    let outcome = match kind {
         TxnKind::NewOrder => new_order(t, r),
         TxnKind::Payment => payment(t, r).map(|()| true),
         TxnKind::OrderStatus => order_status(t, r).map(|()| true),
         TxnKind::Delivery => delivery(t, r).map(|()| true),
         TxnKind::StockLevel => stock_level(t, r).map(|()| true),
+    };
+    match outcome {
+        Ok(true) => {
+            t.db.commit()?;
+            Ok(true)
+        }
+        Ok(false) => {
+            t.db.abort()?;
+            Ok(false)
+        }
+        Err(e) => {
+            let _ = t.db.abort();
+            Err(e)
+        }
     }
 }
 
@@ -162,7 +183,14 @@ fn new_order(t: &mut TpccDb, r: &mut TpccRand) -> Result<bool> {
     let (_c_rid, customer) = t.customer_row(w, d, c)?;
     let _ = (warehouse.tax, customer.discount);
 
-    // Validate items first: no undo log, so abort happens before writes.
+    // First write: advance D_NEXT_O_ID (clause 2.4.2.2).
+    let o_id = district.next_o_id;
+    district.next_o_id += 1;
+    t.district.update(&mut t.db, d_rid, &district.encode())?;
+
+    // Validate items (clause 2.4.1.5): an invalid item aborts the
+    // transaction, rolling the district update back to its pre-image —
+    // the Rollback-NEW-ORDER path of the `pdl-txn` subsystem.
     let mut items = Vec::with_capacity(lines.len());
     for line in &lines {
         match t.item_row(line.i_id)? {
@@ -170,11 +198,6 @@ fn new_order(t: &mut TpccDb, r: &mut TpccRand) -> Result<bool> {
             None => return Ok(false), // rollback: "Item number is not valid"
         }
     }
-
-    // Writes: advance D_NEXT_O_ID.
-    let o_id = district.next_o_id;
-    district.next_o_id += 1;
-    t.district.update(&mut t.db, d_rid, &district.encode())?;
 
     // Insert ORDER and NEW-ORDER.
     let order =

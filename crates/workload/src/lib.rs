@@ -26,6 +26,7 @@ mod mutate;
 mod report;
 mod scale;
 mod threaded;
+mod txn;
 
 pub use driver::{load_database, run_mix_workload, run_update_workload, MixConfig, UpdateConfig};
 pub use measure::{Measurement, StepCosts};
@@ -33,3 +34,4 @@ pub use mutate::{Placement, UpdateGen};
 pub use report::{format_us, wear_table, Table};
 pub use scale::{chip_for, db_pages_for, Scale};
 pub use threaded::{run_threaded_update_workload, PageSetMode, ThreadedConfig};
+pub use txn::{run_txn_commit_workload, TxnCommitConfig, TxnCommitResult};

@@ -158,3 +158,41 @@ fn delivery_eventually_drains_when_no_new_orders_arrive() {
     // Delivered orders carry a carrier and stamped lines.
     check_district_order_consistency(&mut t);
 }
+
+#[test]
+fn durable_commits_survive_an_unflushed_crash() {
+    // Durability::Commit: every TPC-C transaction lands a differential
+    // commit record, so a crash *without any flush* must still preserve
+    // every committed transaction — and roll back nothing but the 1%
+    // NEW-ORDER aborts, which check_district_order_consistency would
+    // expose if their district bump leaked.
+    let kind = MethodKind::Pdl { max_diff_size: 256 };
+    let mut t = build_tpcc(kind, 64);
+    t.db = {
+        let allocated = t.db.allocated_pages();
+        let store = t.db.into_store().unwrap(); // flush the loader's writes
+        Database::new_with_allocated(store, 64, allocated).with_durability(Durability::Commit)
+    };
+    let mut r = TpccRand::new(9);
+    let stats = run_mix(&mut t, &mut r, 150).unwrap();
+    assert_eq!(stats.total(), 150);
+
+    let w_ytd = t.warehouse_row(1).unwrap().1.ytd;
+    let d_next = t.district_row(1, 1).unwrap().1.next_o_id;
+    let allocated = t.db.allocated_pages();
+    // Crash: no flush, the buffer pool's clean state is lost outright.
+    let store = t.db.into_store_without_flush();
+    let opts = *store.options();
+    let chip = store.into_chip();
+    let store = recover_store(chip, kind, opts).unwrap();
+    t.db = Database::new_with_allocated(store, 64, allocated).with_durability(Durability::Commit);
+
+    assert_eq!(t.warehouse_row(1).unwrap().1.ytd, w_ytd, "committed PAYMENT lost");
+    assert_eq!(t.district_row(1, 1).unwrap().1.next_o_id, d_next, "committed NEW-ORDER lost");
+    check_district_order_consistency(&mut t);
+
+    // And the recovered database keeps committing durably.
+    let stats = run_mix(&mut t, &mut r, 50).unwrap();
+    assert_eq!(stats.total(), 50);
+    check_district_order_consistency(&mut t);
+}
