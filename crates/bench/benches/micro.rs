@@ -100,7 +100,7 @@ fn bench_btree(c: &mut Criterion) {
     g.bench_function("get_hot", |b| {
         b.iter(|| {
             i = (i + 13) % 5_000;
-            tree.get(&mut db, &KeyBuf::new().push_u64(i).finish()).unwrap()
+            tree.get(&db, &KeyBuf::new().push_u64(i).finish()).unwrap()
         })
     });
     // Insert + delete pairs keep the tree size bounded across criterion's

@@ -69,6 +69,13 @@ pub struct StoreOptions {
     /// rules (the in-memory update-frequency gauge itself restarts cold
     /// and re-warms over the first updates, like any unflushed state).
     pub gc_policy: GcPolicy,
+    /// Upper bound on the committed page versions a buffer pool retains
+    /// (per frame cache / stripe) for MVCC snapshot readers. When a
+    /// commit would exceed the cap, the oldest versions are discarded and
+    /// read views older than the discard watermark fail with
+    /// "snapshot too old" — so the pool's memory stays flat no matter how
+    /// long a reader lingers.
+    pub snapshot_version_cap: u32,
 }
 
 impl StoreOptions {
@@ -80,7 +87,15 @@ impl StoreOptions {
             coalesce_gap: 8,
             checkpoint_blocks: 0,
             gc_policy: GcPolicy::default(),
+            snapshot_version_cap: 1024,
         }
+    }
+
+    /// Bound the committed page versions retained for snapshot readers
+    /// (default: 1024 per frame cache).
+    pub fn with_snapshot_version_cap(mut self, cap: u32) -> StoreOptions {
+        self.snapshot_version_cap = cap;
+        self
     }
 
     /// Select the garbage-collection policy (default: greedy, the
@@ -144,6 +159,13 @@ impl StoreOptions {
                  within the chip",
                 self.checkpoint_blocks, g.num_blocks
             )));
+        }
+        if self.snapshot_version_cap == 0 {
+            return Err(CoreError::BadConfig(
+                "snapshot_version_cap must be >= 1 so read views can retain at least one \
+                 superseded page version"
+                    .into(),
+            ));
         }
         if self.reserve_blocks == 0 {
             return Err(CoreError::BadConfig(
@@ -349,6 +371,14 @@ pub trait PageStore: Send {
     /// can never be "proven" committed by a stale record after a crash.
     fn txn_id_floor(&self) -> u64 {
         1
+    }
+
+    /// Persist a recovery checkpoint of the store's mapping tables, when
+    /// the method supports it (PDL with a configured root region; the
+    /// sharded store checkpoints every shard). Other methods report
+    /// [`CoreError::BadConfig`].
+    fn checkpoint(&mut self) -> Result<()> {
+        Err(CoreError::BadConfig(format!("{} does not support checkpointing", self.name())))
     }
 }
 

@@ -361,11 +361,126 @@ pub(crate) fn try_fast_recover(
     result
 }
 
+/// The checkpoint-aware torn-commit precheck: the read-only first pass of
+/// sharded recovery, restricted to the blocks changed since the latest
+/// committed checkpoint (exactly the restriction the single-store fast
+/// path applies to its table rebuild). Falls back to the full-chip
+/// [`super::recovery::txn_precheck`] scan when no usable checkpoint
+/// exists — so under a fresh checkpoint the per-shard precheck costs
+/// ~two spare reads per block instead of one read per page, restoring
+/// the `pages_per_block`× fast-recovery win for sharded stores.
+///
+/// Returns the loaded [`CheckpointDelta`] alongside the torn set so the
+/// per-shard table rebuild can replay it directly instead of loading and
+/// classifying the same checkpoint a second time.
+pub(crate) fn txn_precheck_fast(
+    chip: &mut FlashChip,
+    opts: &StoreOptions,
+) -> Result<(HashSet<u64>, Option<CheckpointDelta>)> {
+    if opts.checkpoint_blocks > 0 {
+        chip.set_context(OpContext::Recovery);
+        let result = (|| -> Result<Option<(HashSet<u64>, CheckpointDelta)>> {
+            match load_checkpoint_delta(chip, opts)? {
+                Some(delta) => {
+                    let torn = derive_torn_from_delta(chip, opts, &delta)?;
+                    Ok(Some((torn, delta)))
+                }
+                None => Ok(None),
+            }
+        })();
+        chip.set_context(OpContext::User);
+        if let Some((torn, delta)) = result? {
+            return Ok((torn, Some(delta)));
+        }
+    }
+    Ok((super::recovery::txn_precheck(chip, opts)?.torn(), None))
+}
+
+/// A loaded checkpoint plus the block-level delta classification against
+/// the current chip state: `invalidated` blocks were erased/rewritten
+/// since the checkpoint (their table entries are already purged),
+/// `tail_scan` blocks only grew a tail past the recorded fill level.
+pub(crate) struct CheckpointDelta {
+    tables: RecoveryTables,
+    invalidated: Vec<u32>,
+    tail_scan: Vec<(u32, u32)>,
+}
+
+/// Replay a loaded checkpoint delta into final recovery tables under the
+/// supplied torn-transaction verdict (the second pass of fast recovery).
+pub(crate) fn replay_delta(
+    chip: &mut FlashChip,
+    mut delta: CheckpointDelta,
+    uncommitted: HashSet<u64>,
+) -> Result<RecoveryTables> {
+    chip.set_context(OpContext::Recovery);
+    let result = replay_delta_inner(chip, &mut delta, uncommitted);
+    chip.set_context(OpContext::User);
+    result?;
+    Ok(delta.tables)
+}
+
+fn replay_delta_inner(
+    chip: &mut FlashChip,
+    delta: &mut CheckpointDelta,
+    uncommitted: HashSet<u64>,
+) -> Result<()> {
+    let g = chip.geometry();
+    delta.tables.uncommitted = uncommitted;
+    // Replay invalidated blocks fully and grown tails partially.
+    let tables = &mut delta.tables;
+    let mut data_buf = vec![0u8; g.data_size];
+    let mut replay =
+        |chip: &mut FlashChip, tables: &mut RecoveryTables, b: u32, from: u32| -> Result<()> {
+            for i in from..g.pages_per_block {
+                let ppn = g.page_at(BlockId(b), i);
+                let Some(info) = chip.read_spare(ppn)? else { continue };
+                if info.kind == PageKind::Free {
+                    break; // blocks fill sequentially
+                }
+                tables.written[b as usize] += 1;
+                if info.obsolete {
+                    tables.obsolete[b as usize] += 1;
+                    continue;
+                }
+                tables.apply_page(chip, ppn, info, &mut data_buf)?;
+            }
+            Ok(())
+        };
+    for b in delta.invalidated.clone() {
+        replay(chip, tables, b, 0)?;
+    }
+    for (b, from) in delta.tail_scan.clone() {
+        replay(chip, tables, b, from)?;
+    }
+    Ok(())
+}
+
 fn fast_recover_inner(
     chip: &mut FlashChip,
     opts: &StoreOptions,
     uncommitted: Option<HashSet<u64>>,
 ) -> Result<Option<RecoveryTables>> {
+    let Some(mut delta) = load_checkpoint_delta(chip, opts)? else { return Ok(None) };
+
+    // The torn-transaction verdict: supplied globally (sharded recovery
+    // unions every shard's precheck) or derived from the changed blocks.
+    let torn = match uncommitted {
+        Some(u) => u,
+        None => derive_torn_from_delta(chip, opts, &delta)?,
+    };
+    replay_delta_inner(chip, &mut delta, torn)?;
+    Ok(Some(delta.tables))
+}
+
+/// Load and verify the newest committed checkpoint, classify every block
+/// against its fingerprint, and purge table entries living in
+/// erased/rewritten blocks. Returns `None` when no usable checkpoint
+/// exists.
+fn load_checkpoint_delta(
+    chip: &mut FlashChip,
+    opts: &StoreOptions,
+) -> Result<Option<CheckpointDelta>> {
     let g = chip.geometry();
     let Some(header) = find_latest_header(chip, opts)? else { return Ok(None) };
 
@@ -481,85 +596,63 @@ fn fast_recover_inner(
         tables.obsolete[*b as usize] = 0;
     }
 
-    // The torn-transaction verdict. Every tag the checkpoint recorded is
-    // committed (checkpoints never run inside a batch), so only the
-    // changed blocks can carry a torn transaction's tags — and only they
-    // (plus the checkpointed record set) can prove a commit. The loaded
-    // tables seed the time-stamp domination baselines, so tags already
-    // superseded by checkpointed committed state read as dead.
-    tables.uncommitted = match uncommitted {
-        Some(u) => u,
-        None => {
-            let mut verdict = super::recovery::TxnVerdict::new(k);
-            for t in tables.commit_locs.keys() {
-                verdict.note_record(*t);
-            }
-            for pid in 0..nl {
-                if tables.ppmt[pid].diff != NONE {
-                    verdict.note_committed_diff(pid as u64, tables.diff_ts[pid]);
-                }
-                for j in 0..k {
-                    if tables.ppmt[pid].base[j] != NONE {
-                        verdict.note_committed_base(
-                            (pid * k + j) as u64,
-                            tables.frame_ts[pid * k + j],
-                        );
-                    }
-                }
-            }
-            let mut data_buf = vec![0u8; g.data_size];
-            let mut sweep = |chip: &mut FlashChip,
-                             verdict: &mut super::recovery::TxnVerdict,
-                             b: u32,
-                             from: u32|
-             -> Result<()> {
-                for i in from..g.pages_per_block {
-                    let ppn = g.page_at(BlockId(b), i);
-                    let Some(info) = chip.read_spare(ppn)? else { continue };
-                    if info.kind == PageKind::Free {
-                        break;
-                    }
-                    if info.obsolete {
-                        continue;
-                    }
-                    verdict.note_page(chip, ppn, info, &mut data_buf)?;
-                }
-                Ok(())
-            };
-            for b in &invalidated {
-                sweep(chip, &mut verdict, *b, 0)?;
-            }
-            for (b, from) in &tail_scan {
-                sweep(chip, &mut verdict, *b, *from)?;
-            }
-            verdict.resolve().torn()
-        }
-    };
+    Ok(Some(CheckpointDelta { tables, invalidated, tail_scan }))
+}
 
-    // Replay invalidated blocks fully and grown tails partially.
-    let mut data_buf = vec![0u8; g.data_size];
-    let mut replay =
-        |chip: &mut FlashChip, tables: &mut RecoveryTables, b: u32, from: u32| -> Result<()> {
-            for i in from..g.pages_per_block {
-                let ppn = g.page_at(BlockId(b), i);
-                let Some(info) = chip.read_spare(ppn)? else { continue };
-                if info.kind == PageKind::Free {
-                    break; // blocks fill sequentially
-                }
-                tables.written[b as usize] += 1;
-                if info.obsolete {
-                    tables.obsolete[b as usize] += 1;
-                    continue;
-                }
-                tables.apply_page(chip, ppn, info, &mut data_buf)?;
+/// The torn-transaction verdict over a checkpoint delta. Every tag the
+/// checkpoint recorded is committed (checkpoints never run inside a
+/// batch), so only the changed blocks can carry a torn transaction's
+/// tags — and only they (plus the checkpointed record set) can prove a
+/// commit. The loaded tables seed the time-stamp domination baselines,
+/// so tags already superseded by checkpointed committed state read as
+/// dead.
+fn derive_torn_from_delta(
+    chip: &mut FlashChip,
+    opts: &StoreOptions,
+    delta: &CheckpointDelta,
+) -> Result<HashSet<u64>> {
+    let g = chip.geometry();
+    let nl = opts.num_logical_pages as usize;
+    let k = opts.frames_per_page as usize;
+    let tables = &delta.tables;
+    let mut verdict = super::recovery::TxnVerdict::new(k);
+    for t in tables.commit_locs.keys() {
+        verdict.note_record(*t);
+    }
+    for pid in 0..nl {
+        if tables.ppmt[pid].diff != NONE {
+            verdict.note_committed_diff(pid as u64, tables.diff_ts[pid]);
+        }
+        for j in 0..k {
+            if tables.ppmt[pid].base[j] != NONE {
+                verdict.note_committed_base((pid * k + j) as u64, tables.frame_ts[pid * k + j]);
             }
-            Ok(())
-        };
-    for b in invalidated.clone() {
-        replay(chip, &mut tables, b, 0)?;
+        }
     }
-    for (b, from) in tail_scan {
-        replay(chip, &mut tables, b, from)?;
+    let mut data_buf = vec![0u8; g.data_size];
+    let mut sweep = |chip: &mut FlashChip,
+                     verdict: &mut super::recovery::TxnVerdict,
+                     b: u32,
+                     from: u32|
+     -> Result<()> {
+        for i in from..g.pages_per_block {
+            let ppn = g.page_at(BlockId(b), i);
+            let Some(info) = chip.read_spare(ppn)? else { continue };
+            if info.kind == PageKind::Free {
+                break;
+            }
+            if info.obsolete {
+                continue;
+            }
+            verdict.note_page(chip, ppn, info, &mut data_buf)?;
+        }
+        Ok(())
+    };
+    for b in &delta.invalidated {
+        sweep(chip, &mut verdict, *b, 0)?;
     }
-    Ok(Some(tables))
+    for (b, from) in &delta.tail_scan {
+        sweep(chip, &mut verdict, *b, *from)?;
+    }
+    Ok(verdict.resolve().torn())
 }

@@ -52,7 +52,7 @@ mod checkpoint;
 mod dwb;
 mod recovery;
 
-pub(crate) use recovery::txn_precheck;
+pub(crate) use checkpoint::{txn_precheck_fast, CheckpointDelta};
 
 use crate::diff::{CommitRecord, Differential, PageRecord, NO_TXN};
 use crate::error::CoreError;
@@ -889,6 +889,10 @@ impl PageStore for Pdl {
         let recorded = self.commit_locs.keys().chain(self.committed.iter()).max().copied();
         let tagged = self.presence.keys().max().copied();
         recorded.max(tagged).map(|m| m + 1).unwrap_or(1)
+    }
+
+    fn checkpoint(&mut self) -> Result<()> {
+        Pdl::checkpoint(self)
     }
 
     fn txn_finalize(&mut self) -> Result<()> {

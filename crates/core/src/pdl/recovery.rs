@@ -526,6 +526,22 @@ impl Pdl {
         Pdl::recover_with_uncommitted(chip, opts, max_diff_size, None)
     }
 
+    /// [`Pdl::recover`] continuing from a [`super::CheckpointDelta`] the
+    /// caller already loaded (the sharded engine's precheck loads and
+    /// classifies the checkpoint once; the table rebuild replays the same
+    /// delta instead of re-reading the checkpoint region).
+    pub(crate) fn recover_with_delta(
+        mut chip: FlashChip,
+        opts: StoreOptions,
+        max_diff_size: usize,
+        uncommitted: HashSet<u64>,
+        delta: super::CheckpointDelta,
+    ) -> Result<Pdl> {
+        opts.validate(&chip)?;
+        let tables = super::checkpoint::replay_delta(&mut chip, delta, uncommitted)?;
+        Pdl::from_recovered(chip, opts, max_diff_size, tables)
+    }
+
     /// [`Pdl::recover`] with the torn-transaction set supplied by the
     /// caller — the sharded engine unions every shard's precheck before
     /// any shard resolves, so a transaction torn on one chip is

@@ -143,28 +143,46 @@ impl ShardedStore {
         // valid only if every shard that carries its tags also carries a
         // local commit record, so the read-only precheck runs over every
         // chip first and the union of the per-shard torn sets gates every
-        // shard's table rebuild.
+        // shard's table rebuild. The precheck is checkpoint-aware: under
+        // a fresh checkpoint it only sweeps the blocks changed since, and
+        // it hands the loaded checkpoint delta to the table rebuild so
+        // the checkpoint region is read exactly once per shard.
         if recovering && matches!(kind, MethodKind::Pdl { .. }) {
             let mut chips = chips;
-            let torn_sets: Vec<Result<HashSet<u64>>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = chips
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(s, chip)| {
-                        let shard_opts =
-                            StoreOptions { num_logical_pages: shard_pages(total, n, s), ..opts };
-                        scope.spawn(move || Ok(crate::pdl::txn_precheck(chip, &shard_opts)?.torn()))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("precheck panicked")).collect()
-            });
+            let prechecks: Vec<Result<(HashSet<u64>, Option<crate::pdl::CheckpointDelta>)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = chips
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(s, chip)| {
+                            let shard_opts = StoreOptions {
+                                num_logical_pages: shard_pages(total, n, s),
+                                ..opts
+                            };
+                            scope.spawn(move || crate::pdl::txn_precheck_fast(chip, &shard_opts))
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("precheck panicked")).collect()
+                });
             let mut union = HashSet::new();
-            for t in torn_sets {
-                union.extend(t?);
+            let mut deltas = Vec::with_capacity(n);
+            for r in prechecks {
+                let (torn, delta) = r?;
+                union.extend(torn);
+                deltas.push(delta);
             }
-            return Self::build_shards(chips, kind, opts, recovering, Some(union), data_size);
+            return Self::build_shards(
+                chips,
+                kind,
+                opts,
+                recovering,
+                Some(union),
+                deltas,
+                data_size,
+            );
         }
-        Self::build_shards(chips, kind, opts, recovering, None, data_size)
+        let no_deltas = (0..n).map(|_| None).collect();
+        Self::build_shards(chips, kind, opts, recovering, None, no_deltas, data_size)
     }
 
     fn build_shards(
@@ -173,6 +191,7 @@ impl ShardedStore {
         opts: StoreOptions,
         recovering: bool,
         uncommitted: Option<HashSet<u64>>,
+        deltas: Vec<Option<crate::pdl::CheckpointDelta>>,
         data_size: usize,
     ) -> Result<ShardedStore> {
         let n = chips.len();
@@ -184,21 +203,29 @@ impl ShardedStore {
         let results: Vec<Result<Box<dyn PageStore>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chips
                 .into_iter()
+                .zip(deltas)
                 .enumerate()
-                .map(|(s, chip)| {
+                .map(|(s, (chip, delta))| {
                     let shard_opts =
                         StoreOptions { num_logical_pages: shard_pages(total, n, s), ..opts };
                     let uncommitted = uncommitted.clone();
                     scope.spawn(move || -> Result<Box<dyn PageStore>> {
                         match (recovering, kind) {
-                            (true, MethodKind::Pdl { max_diff_size }) => {
-                                Ok(Box::new(Pdl::recover_with_uncommitted(
+                            (true, MethodKind::Pdl { max_diff_size }) => match delta {
+                                Some(delta) => Ok(Box::new(Pdl::recover_with_delta(
+                                    chip,
+                                    shard_opts,
+                                    max_diff_size,
+                                    uncommitted.unwrap_or_default(),
+                                    delta,
+                                )?)),
+                                None => Ok(Box::new(Pdl::recover_with_uncommitted(
                                     chip,
                                     shard_opts,
                                     max_diff_size,
                                     uncommitted,
-                                )?))
-                            }
+                                )?)),
+                            },
                             (true, _) => recover_store(chip, kind, shard_opts),
                             (false, _) => build_store(chip, kind, shard_opts),
                         }
@@ -466,6 +493,13 @@ impl PageStore for ShardedStore {
 
     fn txn_id_floor(&self) -> u64 {
         (0..self.shards.len()).map(|s| self.lock_shard(s).txn_id_floor()).max().unwrap_or(1)
+    }
+
+    fn checkpoint(&mut self) -> Result<()> {
+        for shard in &mut self.shards {
+            shard.get_mut().unwrap_or_else(|e| e.into_inner()).checkpoint()?;
+        }
+        Ok(())
     }
 
     fn chip(&self) -> &FlashChip {

@@ -199,6 +199,95 @@ fn bad_root_region_configs_are_rejected() {
 }
 
 #[test]
+fn sharded_recovery_precheck_rides_the_checkpoint_delta() {
+    // The torn-commit precheck of sharded recovery must be restricted to
+    // the blocks changed since each shard's checkpoint (the single-store
+    // fast path's restriction), restoring the ~pages_per_block× recovery
+    // read reduction under sharding — while still resolving a cross-shard
+    // torn commit correctly from the delta alone.
+    use pdl_core::{MethodKind, ShardedStore};
+
+    const SPAGES: u64 = 128;
+    let kind = MethodKind::Pdl { max_diff_size: MAX_DIFF };
+
+    // Build, churn, (maybe) checkpoint, then one committed and one torn
+    // cross-shard transaction, then crash.
+    let build_state = |use_ckpt: bool| -> (Vec<FlashChip>, StoreOptions, Vec<Vec<u8>>) {
+        let o = if use_ckpt {
+            StoreOptions::new(SPAGES).with_checkpoint_blocks(CKPT_BLOCKS)
+        } else {
+            StoreOptions::new(SPAGES)
+        };
+        let mut s = ShardedStore::with_uniform_chips(FlashConfig::scaled(24), 2, kind, o).unwrap();
+        let size = s.logical_page_size();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut truth: Vec<Vec<u8>> = Vec::new();
+        let mut page = vec![0u8; size];
+        for pid in 0..SPAGES {
+            rng.fill_bytes(&mut page);
+            s.write_page(pid, &page).unwrap();
+            truth.push(page.clone());
+        }
+        for _ in 0..400 {
+            let pid = rng.gen_range(0..SPAGES) as usize;
+            let at = rng.gen_range(0..size - 40);
+            for b in truth[pid][at..at + 40].iter_mut() {
+                *b = rng.gen();
+            }
+            let p = truth[pid].clone();
+            s.write_page(pid as u64, &p).unwrap();
+        }
+        if use_ckpt {
+            s.checkpoint().unwrap();
+        } else {
+            s.flush().unwrap();
+        }
+        // Committed transaction spanning both shards (pids 0 and 1).
+        s.txn_reserve(2).unwrap();
+        for pid in [0u64, 1] {
+            truth[pid as usize][0..8].fill(0xC0);
+            let p = truth[pid as usize].clone();
+            s.txn_stage(pid, &p, 500).unwrap();
+        }
+        s.txn_append_commit(500).unwrap();
+        s.txn_finalize().unwrap();
+        // Torn transaction spanning both shards: staged durably on both,
+        // but no commit record ever lands (crash before commit).
+        s.txn_reserve(2).unwrap();
+        for pid in [2u64, 3] {
+            let mut p = truth[pid as usize].clone();
+            p[0..8].fill(0xAD);
+            s.txn_stage(pid, &p, 501).unwrap();
+        }
+        s.txn_flush_stage().unwrap();
+        (s.into_shard_chips(), o, truth)
+    };
+
+    let (chips, o, _) = build_state(false);
+    let full = ShardedStore::recover(chips, kind, o).unwrap();
+    let full_reads: u64 = full.per_shard_stats().iter().map(|st| st.recovery.reads).sum();
+
+    let (chips, o, truth) = build_state(true);
+    let mut fast = ShardedStore::recover(chips, kind, o).unwrap();
+    let fast_reads: u64 = fast.per_shard_stats().iter().map(|st| st.recovery.reads).sum();
+
+    assert!(
+        fast_reads * 3 < full_reads,
+        "checkpoint-aware sharded recovery (precheck included) must read far fewer pages: \
+         {fast_reads} vs {full_reads}"
+    );
+
+    // Correctness: the committed transaction survived, the torn one
+    // rolled back to pre-images, everything else is intact.
+    let size = fast.logical_page_size();
+    let mut out = vec![0u8; size];
+    for (pid, expect) in truth.iter().enumerate() {
+        fast.read_page(pid as u64, &mut out).unwrap();
+        assert_eq!(&out, expect, "pid {pid}");
+    }
+}
+
+#[test]
 fn checkpoint_counts_appear_in_counters() {
     let mut s = fresh();
     churn(&mut s, 50, 8);

@@ -13,6 +13,7 @@
 
 use pdl_core::{build_store, GcPolicy, MethodKind, PageStore, Pdl, ShardedStore, StoreOptions};
 use pdl_flash::{FlashChip, FlashConfig};
+use pdl_storage::{Database, ShardedBufferPool};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -209,6 +210,187 @@ proptest! {
                     pid
                 );
             }
+        }
+    }
+
+    /// MVCC snapshot readers against the shadow model: a reader opened
+    /// before a batch of transactions sees exactly the model's state at
+    /// open time, byte for byte, for every page and every MethodKind —
+    /// no matter whether the batches commit or abort, and no matter how
+    /// much churn (evictions, GC) happens while the view is open. A
+    /// second, epoch-long view pins the very first state across the
+    /// entire script, exercising deep version chains.
+    #[test]
+    fn snapshot_readers_see_open_time_state(
+        txns in proptest::collection::vec(
+            (
+                proptest::collection::vec((0u64..PAGES, any::<u8>(), any::<bool>()), 1..4),
+                any::<bool>(),
+            ),
+            1..10,
+        ),
+    ) {
+        for kind in [
+            MethodKind::Opu,
+            MethodKind::Ipu,
+            MethodKind::Pdl { max_diff_size: 64 },
+            MethodKind::Ipl { log_bytes_per_block: 512 },
+        ] {
+            let chip = FlashChip::new(FlashConfig::tiny());
+            let store = build_store(chip, kind, StoreOptions::new(PAGES)).unwrap();
+            let mut db = Database::new(store, 6);
+            for _ in 0..PAGES {
+                db.alloc_page().unwrap();
+            }
+            let size = db.page_size();
+            let mut model: Vec<Vec<u8>> = (0..PAGES).map(|p| vec![p as u8; size]).collect();
+            for (pid, page) in model.iter().enumerate() {
+                let img = page.clone();
+                db.with_page_mut(pid as u64, |p| p.write(0, &img)).unwrap();
+            }
+            let epoch_model = model.clone();
+            let epoch = db.begin_read();
+            for (writes, commit) in &txns {
+                let at_open = model.clone();
+                let view = db.begin_read();
+                let mut staged = model.clone();
+                db.begin().unwrap();
+                for (pid, payload, whole) in writes {
+                    let pid = (pid % PAGES) as usize;
+                    if *whole {
+                        staged[pid].fill(*payload);
+                    } else {
+                        let at = (*payload as usize * 7) % (size - 16);
+                        for (j, b) in staged[pid][at..at + 16].iter_mut().enumerate() {
+                            *b = payload.wrapping_add(j as u8);
+                        }
+                    }
+                    let img = staged[pid].clone();
+                    db.with_page_mut(pid as u64, |p| p.write(0, &img)).unwrap();
+                    // Mid-transaction, the view must already be blind to
+                    // the in-flight write.
+                    let seen = db.with_page_at(&view, pid as u64, |p| p.to_vec()).unwrap();
+                    prop_assert_eq!(&seen, &at_open[pid], "{}: dirty read through a view", kind.label());
+                }
+                if *commit {
+                    db.commit().unwrap();
+                    model = staged;
+                } else {
+                    db.abort().unwrap();
+                }
+                for pid in 0..PAGES as usize {
+                    let seen = db.with_page_at(&view, pid as u64, |p| p.to_vec()).unwrap();
+                    prop_assert_eq!(
+                        &seen, &at_open[pid],
+                        "{}: view diverged from open-time state on page {}", kind.label(), pid
+                    );
+                    let cur = db.with_page(pid as u64, |p| p.to_vec()).unwrap();
+                    prop_assert_eq!(
+                        &cur, &model[pid],
+                        "{}: current state diverged on page {}", kind.label(), pid
+                    );
+                }
+                db.release_read(view);
+            }
+            for pid in 0..PAGES as usize {
+                let seen = db.with_page_at(&epoch, pid as u64, |p| p.to_vec()).unwrap();
+                prop_assert_eq!(
+                    &seen, &epoch_model[pid],
+                    "{}: epoch view diverged on page {}", kind.label(), pid
+                );
+            }
+            db.release_read(epoch);
+        }
+    }
+
+    /// The sharded pool (PDL, N in {1, 2, 4}): a reader opened before a
+    /// batch of durably committed cross-shard transactions sees exactly
+    /// the model's state at open time — and a crash (poisoning every
+    /// stripe while a view is open) followed by `ShardedStore::recover`
+    /// lands on exactly the committed model, from which fresh views read
+    /// correctly again.
+    #[test]
+    fn sharded_snapshot_readers_across_crash_recovery(
+        txns in proptest::collection::vec(
+            (
+                proptest::collection::vec((0u64..PAGES, any::<u8>(), any::<bool>()), 1..4),
+                any::<bool>(),
+            ),
+            1..8,
+        ),
+        crash_at in 0usize..8,
+    ) {
+        let kind = MethodKind::Pdl { max_diff_size: 64 };
+        let opts = StoreOptions::new(PAGES);
+        for n in [1usize, 2, 4] {
+            let store =
+                ShardedStore::with_uniform_chips(FlashConfig::tiny(), n, kind, opts).unwrap();
+            let mut pool = ShardedBufferPool::new(store, 8);
+            let size = pool.page_size();
+            let mut model: Vec<Vec<u8>> = (0..PAGES).map(|p| vec![p as u8; size]).collect();
+            for (pid, page) in model.iter().enumerate() {
+                let img = page.clone();
+                pool.with_page_mut(pid as u64, |p| p.write(0, &img)).unwrap();
+            }
+            pool.flush_all().unwrap();
+            for (i, (writes, commit)) in txns.iter().enumerate() {
+                if i == crash_at {
+                    // Crash mid-read: a view is open when the pool dies.
+                    let _doomed = pool.begin_read();
+                    let chips = pool.into_store_without_flush().into_shard_chips();
+                    let store = ShardedStore::recover(chips, kind, opts).unwrap();
+                    pool = ShardedBufferPool::new(store, 8);
+                    // Recovery lands on exactly the committed model (every
+                    // commit below is durable), visible to a fresh view.
+                    let view = pool.begin_read();
+                    for pid in 0..PAGES as usize {
+                        let seen =
+                            pool.with_page_at(&view, pid as u64, |p| p.to_vec()).unwrap();
+                        prop_assert_eq!(
+                            &seen, &model[pid],
+                            "{} shards: recovered state diverged on page {}", n, pid
+                        );
+                    }
+                    pool.release_read(view);
+                }
+                let at_open = model.clone();
+                let view = pool.begin_read();
+                let mut staged = model.clone();
+                let txn = pool.begin();
+                for (pid, payload, whole) in writes {
+                    let pid = (pid % PAGES) as usize;
+                    if *whole {
+                        staged[pid].fill(*payload);
+                    } else {
+                        let at = (*payload as usize * 7) % (size - 16);
+                        for (j, b) in staged[pid][at..at + 16].iter_mut().enumerate() {
+                            *b = payload.wrapping_add(j as u8);
+                        }
+                    }
+                    let img = staged[pid].clone();
+                    pool.with_page_mut_txn(pid as u64, txn, |p| p.write(0, &img)).unwrap();
+                }
+                if *commit {
+                    pool.commit(txn).unwrap();
+                    model = staged;
+                } else {
+                    pool.abort(txn).unwrap();
+                }
+                for pid in 0..PAGES as usize {
+                    let seen = pool.with_page_at(&view, pid as u64, |p| p.to_vec()).unwrap();
+                    prop_assert_eq!(
+                        &seen, &at_open[pid],
+                        "{} shards: view diverged from open-time state on page {}", n, pid
+                    );
+                    let cur = pool.with_page(pid as u64, |p| p.to_vec()).unwrap();
+                    prop_assert_eq!(
+                        &cur, &model[pid],
+                        "{} shards: current state diverged on page {}", n, pid
+                    );
+                }
+                pool.release_read(view);
+            }
+            prop_assert_eq!(pool.retained_versions(), 0, "all views released");
         }
     }
 

@@ -21,6 +21,7 @@
 
 use crate::buffer::{read_u16, read_u64, PageMut};
 use crate::db::Database;
+use crate::view::PageRead;
 use crate::Result;
 
 /// Index key: 16 bytes, compared lexicographically.
@@ -193,15 +194,25 @@ impl BTree {
         self.root
     }
 
-    /// Descend to the leaf for `key`. `for_insert` picks the
+    /// Re-attach a handle at a known root pid — e.g. the root captured
+    /// together with a [`crate::ReadView`], so snapshot scans descend the
+    /// tree exactly as it was when the view opened (the root moves when
+    /// the tree grows; page *contents* are versioned by the pool, the
+    /// handle's root field is not).
+    pub fn open(root: u64) -> BTree {
+        BTree { root }
+    }
+
+    /// Descend to the leaf for `key` through any [`PageRead`] (the
+    /// current state or a read-view snapshot). `for_insert` picks the
     /// upper-bound child (append after duplicates); otherwise the
     /// lower-bound child (first duplicate). Returns the path of internal
     /// pids, ending with the leaf pid.
-    fn descend(&self, db: &mut Database, key: &Key, for_insert: bool) -> Result<Vec<u64>> {
+    fn descend<S: PageRead>(&self, s: &S, key: &Key, for_insert: bool) -> Result<Vec<u64>> {
         let mut path = vec![self.root];
         loop {
             let pid = *path.last().expect("non-empty");
-            let next = db.with_page(pid, |p| {
+            let next = s.with_page(pid, |p| {
                 if kind(p) == KIND_LEAF {
                     None
                 } else {
@@ -216,11 +227,20 @@ impl BTree {
         }
     }
 
-    /// Look up the value of the first entry with exactly `key`.
-    pub fn get(&self, db: &mut Database, key: &Key) -> Result<Option<u64>> {
-        let path = self.descend(db, key, false)?;
+    /// Look up the value of the first entry with exactly `key`. Lookups
+    /// never mutate tree structure, so a shared borrow suffices —
+    /// concurrent readers are expressible in the type system.
+    pub fn get(&self, db: &Database, key: &Key) -> Result<Option<u64>> {
+        self.get_at(db, key)
+    }
+
+    /// [`BTree::get`] through any [`PageRead`] — e.g. a
+    /// [`crate::DbSnapshot`] or [`crate::PoolSnapshot`] for a snapshot
+    /// lookup that is isolated from concurrent writers.
+    pub fn get_at<S: PageRead>(&self, s: &S, key: &Key) -> Result<Option<u64>> {
+        let path = self.descend(s, key, false)?;
         let leaf = *path.last().expect("leaf");
-        let mut found = db.with_page(leaf, |p| {
+        let mut found = s.with_page(leaf, |p| {
             let idx = lower_bound(p, key);
             if idx < count(p) && entry_key(p, idx) == *key {
                 Some(entry_val(p, idx))
@@ -231,9 +251,9 @@ impl BTree {
         if found.is_none() {
             // The first match can sit at the head of the next leaf when the
             // key equals a separator.
-            let next = db.with_page(leaf, link)?;
+            let next = s.with_page(leaf, link)?;
             if next != NO_PID {
-                found = db.with_page(next, |p| {
+                found = s.with_page(next, |p| {
                     (count(p) > 0 && entry_key(p, 0) == *key).then(|| entry_val(p, 0))
                 })?;
             }
@@ -243,7 +263,7 @@ impl BTree {
 
     /// Insert `key -> val` (duplicates allowed).
     pub fn insert(&mut self, db: &mut Database, key: &Key, val: u64) -> Result<()> {
-        let path = self.descend(db, key, true)?;
+        let path = self.descend(&*db, key, true)?;
         let leaf = *path.last().expect("leaf");
         let cap = capacity(db.page_size());
         let full = db.with_page(leaf, |p| count(p) >= cap)?;
@@ -351,20 +371,33 @@ impl BTree {
     /// returns `false` to stop early.
     pub fn range(
         &self,
-        db: &mut Database,
+        db: &Database,
+        from: &Key,
+        to: &Key,
+        f: impl FnMut(&Key, u64) -> bool,
+    ) -> Result<()> {
+        self.range_at(db, from, to, f)
+    }
+
+    /// [`BTree::range`] through any [`PageRead`] — a scan over a
+    /// snapshot visits exactly the entries committed when the view
+    /// opened, no matter what writers do meanwhile.
+    pub fn range_at<S: PageRead>(
+        &self,
+        s: &S,
         from: &Key,
         to: &Key,
         mut f: impl FnMut(&Key, u64) -> bool,
     ) -> Result<()> {
-        let path = self.descend(db, from, false)?;
+        let path = self.descend(s, from, false)?;
         let mut leaf = *path.last().expect("leaf");
-        let mut idx = db.with_page(leaf, |p| lower_bound(p, from))?;
+        let mut idx = s.with_page(leaf, |p| lower_bound(p, from))?;
         loop {
             enum Step {
                 Stop,
                 NextLeaf(u64),
             }
-            let step = db.with_page(leaf, |p| {
+            let step = s.with_page(leaf, |p| {
                 let n = count(p);
                 let mut i = idx;
                 while i < n {
@@ -408,7 +441,7 @@ impl BTree {
         key: &Key,
         pred: impl Fn(u64) -> bool,
     ) -> Result<Option<u64>> {
-        let path = self.descend(db, key, false)?;
+        let path = self.descend(&*db, key, false)?;
         let mut leaf = *path.last().expect("leaf");
         loop {
             enum Outcome {
@@ -445,7 +478,7 @@ impl BTree {
     }
 
     /// Number of entries (full scan; diagnostics only).
-    pub fn len(&self, db: &mut Database) -> Result<usize> {
+    pub fn len(&self, db: &Database) -> Result<usize> {
         let mut total = 0usize;
         self.range(db, &[0u8; 16], &[0xFFu8; 16], |_, _| {
             total += 1;
@@ -454,7 +487,7 @@ impl BTree {
         Ok(total)
     }
 
-    pub fn is_empty(&self, db: &mut Database) -> Result<bool> {
+    pub fn is_empty(&self, db: &Database) -> Result<bool> {
         let mut any = false;
         self.range(db, &[0u8; 16], &[0xFFu8; 16], |_, _| {
             any = true;
@@ -466,7 +499,7 @@ impl BTree {
     /// Verify tree invariants (test support): keys sorted within nodes,
     /// leaf chain sorted globally, internal separators bound their
     /// subtrees.
-    pub fn check_invariants(&self, db: &mut Database) -> Result<()> {
+    pub fn check_invariants(&self, db: &Database) -> Result<()> {
         let mut last: Option<Key> = None;
         self.range(db, &[0u8; 16], &[0xFFu8; 16], |k, _| {
             if let Some(prev) = last {
@@ -519,9 +552,9 @@ mod tests {
             t.insert(&mut d, &key(v), v * 10).unwrap();
         }
         for v in [1u64, 3, 5, 7, 9] {
-            assert_eq!(t.get(&mut d, &key(v)).unwrap(), Some(v * 10));
+            assert_eq!(t.get(&d, &key(v)).unwrap(), Some(v * 10));
         }
-        assert_eq!(t.get(&mut d, &key(4)).unwrap(), None);
+        assert_eq!(t.get(&d, &key(4)).unwrap(), None);
     }
 
     #[test]
@@ -539,10 +572,10 @@ mod tests {
             t.insert(&mut d, &key(*v), *v).unwrap();
         }
         for v in 0..600u64 {
-            assert_eq!(t.get(&mut d, &key(v)).unwrap(), Some(v), "key {v}");
+            assert_eq!(t.get(&d, &key(v)).unwrap(), Some(v), "key {v}");
         }
-        assert_eq!(t.len(&mut d).unwrap(), 600);
-        t.check_invariants(&mut d).unwrap();
+        assert_eq!(t.len(&d).unwrap(), 600);
+        t.check_invariants(&d).unwrap();
     }
 
     #[test]
@@ -553,7 +586,7 @@ mod tests {
             t.insert(&mut d, &key(v), v).unwrap();
         }
         let mut seen = Vec::new();
-        t.range(&mut d, &key(50), &key(59), |_, v| {
+        t.range(&d, &key(50), &key(59), |_, v| {
             seen.push(v);
             true
         })
@@ -569,7 +602,7 @@ mod tests {
             t.insert(&mut d, &key(v), v).unwrap();
         }
         let mut seen = 0;
-        t.range(&mut d, &key(0), &key(99), |_, _| {
+        t.range(&d, &key(0), &key(99), |_, _| {
             seen += 1;
             seen < 5
         })
@@ -588,7 +621,7 @@ mod tests {
         t.insert(&mut d, &key(41), 1000).unwrap();
         t.insert(&mut d, &key(43), 2000).unwrap();
         let mut vals = Vec::new();
-        t.range(&mut d, &key(42), &key(42), |_, v| {
+        t.range(&d, &key(42), &key(42), |_, v| {
             vals.push(v);
             true
         })
@@ -599,15 +632,15 @@ mod tests {
         assert!(t.delete_exact(&mut d, &key(42), 17).unwrap());
         assert!(!t.delete_exact(&mut d, &key(42), 17).unwrap());
         let mut n = 0;
-        t.range(&mut d, &key(42), &key(42), |_, _| {
+        t.range(&d, &key(42), &key(42), |_, _| {
             n += 1;
             true
         })
         .unwrap();
         assert_eq!(n, 29);
         // Neighbours untouched.
-        assert_eq!(t.get(&mut d, &key(41)).unwrap(), Some(1000));
-        assert_eq!(t.get(&mut d, &key(43)).unwrap(), Some(2000));
+        assert_eq!(t.get(&d, &key(41)).unwrap(), Some(1000));
+        assert_eq!(t.get(&d, &key(43)).unwrap(), Some(2000));
     }
 
     #[test]
@@ -621,25 +654,63 @@ mod tests {
             assert_eq!(t.delete(&mut d, &key(v)).unwrap(), Some(v));
         }
         for v in (0..120u64).step_by(2) {
-            assert_eq!(t.get(&mut d, &key(v)).unwrap(), None);
-            assert_eq!(t.get(&mut d, &key(v + 1)).unwrap(), Some(v + 1));
+            assert_eq!(t.get(&d, &key(v)).unwrap(), None);
+            assert_eq!(t.get(&d, &key(v + 1)).unwrap(), Some(v + 1));
         }
         for v in (0..120u64).step_by(2) {
             t.insert(&mut d, &key(v), v + 500).unwrap();
         }
-        assert_eq!(t.len(&mut d).unwrap(), 120);
-        t.check_invariants(&mut d).unwrap();
+        assert_eq!(t.len(&d).unwrap(), 120);
+        t.check_invariants(&d).unwrap();
     }
 
     #[test]
     fn empty_tree_behaviour() {
         let mut d = db();
         let mut t = BTree::create(&mut d).unwrap();
-        assert!(t.is_empty(&mut d).unwrap());
-        assert_eq!(t.get(&mut d, &key(1)).unwrap(), None);
+        assert!(t.is_empty(&d).unwrap());
+        assert_eq!(t.get(&d, &key(1)).unwrap(), None);
         assert_eq!(t.delete(&mut d, &key(1)).unwrap(), None);
         t.insert(&mut d, &key(1), 1).unwrap();
-        assert!(!t.is_empty(&mut d).unwrap());
+        assert!(!t.is_empty(&d).unwrap());
+    }
+
+    #[test]
+    fn snapshot_scan_is_isolated_from_later_inserts_and_splits() {
+        let mut d = db();
+        let mut t = BTree::create(&mut d).unwrap();
+        for v in 0..100u64 {
+            t.insert(&mut d, &key(v), v).unwrap();
+        }
+        // A snapshot of the tree is the view plus the root at view time.
+        let view = d.begin_read();
+        let frozen = BTree::open(t.root_pid());
+        // Churn hard enough to split leaves and grow the tree while the
+        // view is open.
+        for v in 100..400u64 {
+            t.insert(&mut d, &key(v), v).unwrap();
+        }
+        for v in (0..100u64).step_by(2) {
+            t.delete(&mut d, &key(v)).unwrap();
+        }
+        // The snapshot still sees exactly the first 100 entries...
+        let snap = d.snapshot(&view);
+        let mut seen = Vec::new();
+        frozen
+            .range_at(&snap, &key(0), &key(999), |_, v| {
+                seen.push(v);
+                true
+            })
+            .unwrap();
+        assert_eq!(seen, (0..100).collect::<Vec<u64>>());
+        assert_eq!(frozen.get_at(&snap, &key(42)).unwrap(), Some(42));
+        assert_eq!(frozen.get_at(&snap, &key(200)).unwrap(), None, "post-view insert invisible");
+        let _ = snap;
+        d.release_read(view);
+        // ...while current reads see the churned tree.
+        assert_eq!(t.get(&d, &key(42)).unwrap(), None, "deleted");
+        assert_eq!(t.get(&d, &key(200)).unwrap(), Some(200));
+        t.check_invariants(&d).unwrap();
     }
 
     #[test]
@@ -650,8 +721,8 @@ mod tests {
         for v in 0..400u64 {
             t.insert(&mut d, &key(v), v).unwrap();
         }
-        assert_eq!(t.len(&mut d).unwrap(), 400);
-        t.check_invariants(&mut d).unwrap();
-        assert_eq!(t.get(&mut d, &key(399)).unwrap(), Some(399));
+        assert_eq!(t.len(&d).unwrap(), 400);
+        t.check_invariants(&d).unwrap();
+        assert_eq!(t.get(&d, &key(399)).unwrap(), Some(399));
     }
 }

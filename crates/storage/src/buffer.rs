@@ -9,11 +9,28 @@
 //!   update-log hook a tightly-coupled (log-based) method needs;
 //! * evicting a dirty page calls [`PageStore::evict_page`] — the moment a
 //!   loosely-coupled method (PDL, OPU, IPU) reflects the page into flash.
+//!
+//! # Version chains (MVCC snapshot reads)
+//!
+//! Each logical page additionally carries a **version chain**: a pending
+//! undo image while an uncommitted transaction owns the page (the same
+//! image abort needs anyway), plus the committed images superseded by
+//! commits that some open [`crate::ReadView`] predates, keyed by commit
+//! timestamp. A snapshot read at `read_ts` resolves to the *oldest*
+//! version whose commit timestamp exceeds `read_ts` — the image the page
+//! had when the view opened — falling back to the pending undo image (an
+//! in-flight writer's pre-image) and finally the current frame. Chains
+//! are pruned when views are released and bounded by
+//! [`pdl_core::StoreOptions::snapshot_version_cap`]; views older than a
+//! cap-forced discard fail with [`StorageError::SnapshotTooOld`].
 
 use crate::error::StorageError;
-use crate::Result;
+use crate::view::MvccState;
+use crate::{ReadView, Result};
 use pdl_core::{ChangeRange, PageStore, NO_TXN};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A mutable view of a buffered page that records which bytes change.
 pub struct PageMut<'a> {
@@ -96,10 +113,29 @@ struct Frame {
     owner: u64,
 }
 
-/// Pre-transaction image of a frame, taken on the transaction's first
-/// touch so abort can restore it without any flash traffic.
-struct UndoImage {
+/// Pre-transaction image of a page, taken on the transaction's first
+/// touch. It doubles as the head-in-waiting of the page's version chain:
+/// abort restores it, commit either promotes it to a committed version
+/// (when an open read view predates the commit) or drops it.
+struct PendingUndo {
+    txn: u64,
     data: Vec<u8>,
+}
+
+/// The version history of one logical page. `committed` holds
+/// `(commit_ts, image)` pairs in ascending timestamp order, where `image`
+/// is the page as it was *immediately before* the commit at `commit_ts` —
+/// i.e. what a view with `read_ts < commit_ts` must read.
+#[derive(Default)]
+struct VersionChain {
+    pending: Option<PendingUndo>,
+    committed: Vec<(u64, Vec<u8>)>,
+}
+
+impl VersionChain {
+    fn is_empty(&self) -> bool {
+        self.pending.is_none() && self.committed.is_empty()
+    }
 }
 
 /// Cache statistics.
@@ -109,6 +145,9 @@ pub struct BufferStats {
     pub misses: u64,
     pub evictions: u64,
     pub dirty_writebacks: u64,
+    /// Snapshot reads served from a version chain (a committed version or
+    /// an in-flight writer's pending undo image) instead of the frame.
+    pub version_reads: u64,
 }
 
 impl BufferStats {
@@ -127,15 +166,16 @@ impl BufferStats {
         self.misses += other.misses;
         self.evictions += other.evictions;
         self.dirty_writebacks += other.dirty_writebacks;
+        self.version_reads += other.version_reads;
     }
 }
 
 /// The page-store operations a frame cache needs from its backing store.
 ///
-/// [`BufferPool`] backs this with exclusive access to a
-/// `Box<dyn PageStore>`; the striped pool backs it with the `*_shared`
-/// entry points of a shared `ShardedStore`, so each stripe can fault and
-/// write back pages while holding only its own lock.
+/// [`BufferPool`] backs this with its mutex-guarded `Box<dyn PageStore>`;
+/// the striped pool backs it with the `*_shared` entry points of a shared
+/// `ShardedStore`, so each stripe can fault and write back pages while
+/// holding only its own lock.
 pub(crate) trait PageBackend {
     fn read(&mut self, pid: u64, out: &mut [u8]) -> Result<()>;
     fn apply(&mut self, pid: u64, page_after: &[u8], changes: &[ChangeRange]) -> Result<()>;
@@ -156,6 +196,34 @@ impl PageBackend for Box<dyn PageStore> {
     }
 }
 
+/// Where auto-committed update commands obtain their commit timestamps.
+///
+/// The protocol is two-step so a writer holding a frame lock decides
+/// *after* mutating: `capture_hint` is a cheap pre-check (clone the
+/// pre-image only if a view might need it); `commit_ts` is called once
+/// the mutation happened and, under the registry lock, either allocates
+/// the commit timestamp (views are active — retain the version) or
+/// returns `None` (nobody can ever need it: any view registered later
+/// reads at a timestamp at or past this commit).
+pub(crate) trait VersionSource {
+    fn capture_hint(&self) -> bool;
+    fn commit_ts(&self) -> Option<u64>;
+}
+
+/// No snapshot versioning (transactional mutations version at commit
+/// instead; unit tests of the raw cache don't version at all).
+pub(crate) struct NoVersioning;
+
+impl VersionSource for NoVersioning {
+    fn capture_hint(&self) -> bool {
+        false
+    }
+
+    fn commit_ts(&self) -> Option<u64> {
+        None
+    }
+}
+
 /// An LRU frame cache: the store-independent core shared by
 /// [`BufferPool`] (one cache over the whole store) and the striped
 /// sharded pool (one cache per shard, each behind its own lock).
@@ -171,12 +239,20 @@ pub(crate) struct FrameCache {
     /// leaves them evictable — legacy behavior, with abort still restored
     /// from the in-memory undo images.
     pin_owned: bool,
-    /// Pre-transaction frame images, keyed by `(txn, pid)`.
-    undo: HashMap<(u64, u64), UndoImage>,
+    /// Per-page version chains, keyed by pid (they outlive frame
+    /// eviction).
+    chains: HashMap<u64, VersionChain>,
+    /// Committed versions currently retained across all chains.
+    retained: usize,
+    /// Retention bound ([`pdl_core::StoreOptions::snapshot_version_cap`]).
+    version_cap: usize,
+    /// Highest commit timestamp ever discarded by the cap: views at or
+    /// below it read [`StorageError::SnapshotTooOld`].
+    too_old_floor: u64,
 }
 
 impl FrameCache {
-    pub(crate) fn new(capacity: usize, page_size: usize) -> FrameCache {
+    pub(crate) fn new(capacity: usize, page_size: usize, version_cap: usize) -> FrameCache {
         let capacity = capacity.max(1);
         FrameCache {
             frames: Vec::with_capacity(capacity.min(1024)),
@@ -186,7 +262,10 @@ impl FrameCache {
             tick: 0,
             stats: BufferStats::default(),
             pin_owned: true,
-            undo: HashMap::new(),
+            chains: HashMap::new(),
+            retained: 0,
+            version_cap: version_cap.max(1),
+            too_old_floor: 0,
         }
     }
 
@@ -204,6 +283,11 @@ impl FrameCache {
         self.stats
     }
 
+    /// Committed versions currently retained (diagnostics / tests).
+    pub(crate) fn retained_versions(&self) -> usize {
+        self.retained
+    }
+
     pub(crate) fn with_page<B: PageBackend, R>(
         &mut self,
         backend: &mut B,
@@ -216,24 +300,47 @@ impl FrameCache {
         Ok(f(&self.frames[idx].data))
     }
 
-    pub(crate) fn with_page_mut<B: PageBackend, R>(
+    /// Snapshot read at `read_ts`: the oldest committed version newer
+    /// than the view, else an in-flight writer's pending pre-image, else
+    /// the current frame.
+    pub(crate) fn with_page_at<B: PageBackend, R>(
         &mut self,
         backend: &mut B,
         pid: u64,
-        f: impl FnOnce(&mut PageMut) -> R,
+        read_ts: u64,
+        f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
-        self.with_page_mut_txn(backend, pid, NO_TXN, f)
+        if read_ts < self.too_old_floor {
+            return Err(StorageError::SnapshotTooOld { read_ts, floor: self.too_old_floor });
+        }
+        if let Some(chain) = self.chains.get(&pid) {
+            let versioned = chain
+                .committed
+                .iter()
+                .find(|(commit_ts, _)| *commit_ts > read_ts)
+                .map(|(_, data)| data.as_slice())
+                .or_else(|| chain.pending.as_ref().map(|p| p.data.as_slice()));
+            if let Some(data) = versioned {
+                self.stats.version_reads += 1;
+                return Ok(f(data));
+            }
+        }
+        self.with_page(backend, pid, f)
     }
 
     /// Mutable access on behalf of `txn` ([`NO_TXN`] for the plain
     /// auto-commit path). A frame dirtied by a different uncommitted
-    /// transaction is a conflict; the first touch by a transaction
-    /// snapshots the frame so abort can restore it.
+    /// transaction is a conflict; the first touch by a transaction makes
+    /// the pre-image the pending head of the page's version chain, so
+    /// abort can restore it and snapshot readers can keep seeing it. An
+    /// auto-committed command versions its pre-image through `vsrc` when
+    /// an open read view predates it.
     pub(crate) fn with_page_mut_txn<B: PageBackend, R>(
         &mut self,
         backend: &mut B,
         pid: u64,
         txn: u64,
+        vsrc: &dyn VersionSource,
         f: impl FnOnce(&mut PageMut) -> R,
     ) -> Result<R> {
         let idx = self.fetch(backend, pid)?;
@@ -244,8 +351,23 @@ impl FrameCache {
         {
             return Err(StorageError::TxnConflict { pid });
         }
-        if txn != NO_TXN && !self.undo.contains_key(&(txn, pid)) {
-            self.undo.insert((txn, pid), UndoImage { data: self.frames[idx].data.clone() });
+        let mut auto_pre: Option<Vec<u8>> = None;
+        let mut created_pending = false;
+        if txn != NO_TXN {
+            let pending = self.chains.get(&pid).and_then(|c| c.pending.as_ref());
+            match pending {
+                Some(p) => debug_assert_eq!(
+                    p.txn, txn,
+                    "page {pid} already has a pending pre-image from another transaction"
+                ),
+                None => {
+                    let data = self.frames[idx].data.clone();
+                    self.chains.entry(pid).or_default().pending = Some(PendingUndo { txn, data });
+                    created_pending = true;
+                }
+            }
+        } else if vsrc.capture_hint() {
+            auto_pre = Some(self.frames[idx].data.clone());
         }
         let frame = &mut self.frames[idx];
         frame.last_use = self.tick;
@@ -259,8 +381,79 @@ impl FrameCache {
             }
             let changes = std::mem::take(&mut frame.changes);
             backend.apply(pid, &frame.data, &changes)?;
+            // One auto-committed update command = one commit event: retain
+            // the pre-image iff a view still needs it.
+            if let Some(pre) = auto_pre {
+                if let Some(commit_ts) = vsrc.commit_ts() {
+                    self.push_version(pid, commit_ts, pre);
+                }
+            }
+        } else if created_pending {
+            // Touch without a write: keep ownership and undo exactly as
+            // they were. A dangling pending would otherwise shadow pages
+            // the transaction never dirtied (it skips the frame-owner
+            // conflict check), letting a later auto-commit write be
+            // silently undone by this transaction's abort or mispublished
+            // as its pre-image at commit.
+            if let Some(chain) = self.chains.get_mut(&pid) {
+                chain.pending = None;
+                if chain.is_empty() {
+                    self.chains.remove(&pid);
+                }
+            }
         }
         Ok(r)
+    }
+
+    fn push_version(&mut self, pid: u64, commit_ts: u64, data: Vec<u8>) {
+        let chain = self.chains.entry(pid).or_default();
+        debug_assert!(
+            chain.committed.last().is_none_or(|(ts, _)| *ts < commit_ts),
+            "version chain for page {pid} must stay ascending"
+        );
+        chain.committed.push((commit_ts, data));
+        self.retained += 1;
+        self.enforce_cap();
+    }
+
+    /// Drop the oldest retained versions until the cap holds, advancing
+    /// the snapshot-too-old watermark past everything discarded. A whole
+    /// commit's versions always drop together, so a surviving view never
+    /// observes half a commit.
+    fn enforce_cap(&mut self) {
+        while self.retained > self.version_cap {
+            let oldest = self
+                .chains
+                .values()
+                .filter_map(|c| c.committed.first().map(|(ts, _)| *ts))
+                .min()
+                .expect("retained > 0 implies a committed version exists");
+            let mut removed = 0;
+            for chain in self.chains.values_mut() {
+                let before = chain.committed.len();
+                chain.committed.retain(|(ts, _)| *ts > oldest);
+                removed += before - chain.committed.len();
+            }
+            self.retained -= removed;
+            self.too_old_floor = self.too_old_floor.max(oldest);
+            self.chains.retain(|_, c| !c.is_empty());
+        }
+    }
+
+    /// Drop committed versions at or below `floor` (the minimum active
+    /// read timestamp; `u64::MAX` when no view remains). Called at
+    /// read-view release so the chains shrink back as readers retire.
+    pub(crate) fn prune_committed(&mut self, floor: u64) {
+        let mut removed = 0;
+        for chain in self.chains.values_mut() {
+            let before = chain.committed.len();
+            chain.committed.retain(|(ts, _)| *ts > floor);
+            removed += before - chain.committed.len();
+        }
+        if removed > 0 {
+            self.retained -= removed;
+            self.chains.retain(|_, c| !c.is_empty());
+        }
     }
 
     /// Locate or load `pid` into a frame, evicting if needed.
@@ -329,9 +522,9 @@ impl FrameCache {
     }
 
     /// Copy `txn`'s dirtied page images for commit staging. The frames
-    /// stay owned (and the undo images stay) until
-    /// [`Self::release_owned`] confirms the staging succeeded — so a
-    /// failed commit can still roll back.
+    /// stay owned (and the pending pre-images stay) until
+    /// [`Self::end_txn`] confirms the staging succeeded — so a failed
+    /// commit can still roll back.
     pub(crate) fn collect_owned(&mut self, txn: u64) -> Vec<(u64, Vec<u8>)> {
         let mut out = Vec::new();
         for f in &self.frames {
@@ -343,42 +536,57 @@ impl FrameCache {
         out
     }
 
-    /// Confirm a durable commit: `txn`'s frames become clean (their
-    /// images are on flash) and unowned, and the undo images are
-    /// dropped.
-    pub(crate) fn commit_release(&mut self, txn: u64) {
-        for f in &mut self.frames {
-            if f.owner == txn {
-                f.dirty = false;
-                f.owner = NO_TXN;
-            }
-        }
-        self.undo.retain(|(t, _), _| *t != txn);
-    }
-
-    /// Release `txn`'s ownership without any I/O (relaxed-durability
-    /// commit): the frames stay dirty and reach flash by ordinary
-    /// eviction, exactly as if the writes had been auto-committed.
-    pub(crate) fn release_owned(&mut self, txn: u64) {
+    /// Close `txn` on its commit path. Every pending pre-image the
+    /// transaction left becomes a committed version at `version_at` (a
+    /// read view predates the commit) or is dropped (`None`: no view can
+    /// ever need it). `clean` distinguishes a durable commit (the images
+    /// are on flash: frames become clean) from a relaxed commit (frames
+    /// stay dirty and reach flash by ordinary eviction).
+    pub(crate) fn end_txn(&mut self, txn: u64, version_at: Option<u64>, clean: bool) {
         for f in &mut self.frames {
             if f.owner == txn {
                 f.owner = NO_TXN;
+                if clean {
+                    f.dirty = false;
+                }
             }
         }
-        self.undo.retain(|(t, _), _| *t != txn);
+        let mut promoted = 0usize;
+        for (pid, chain) in self.chains.iter_mut() {
+            if chain.pending.as_ref().is_some_and(|p| p.txn == txn) {
+                let p = chain.pending.take().expect("just checked");
+                if let Some(ts) = version_at {
+                    debug_assert!(
+                        chain.committed.last().is_none_or(|(c, _)| *c < ts),
+                        "version chain for page {pid} must stay ascending"
+                    );
+                    chain.committed.push((ts, p.data));
+                    promoted += 1;
+                }
+            }
+        }
+        if promoted > 0 {
+            self.retained += promoted;
+        }
+        self.chains.retain(|_, c| !c.is_empty());
+        if promoted > 0 {
+            self.enforce_cap();
+        }
     }
 
     /// Abort `txn`: restore every touched frame's pre-transaction image
     /// (base page + last committed state, as cached at first touch). A
     /// frame evicted meanwhile is re-faulted and overwritten.
     pub(crate) fn rollback<B: PageBackend>(&mut self, backend: &mut B, txn: u64) -> Result<()> {
-        let entries: Vec<((u64, u64), UndoImage)> = {
-            let mut keys: Vec<(u64, u64)> =
-                self.undo.keys().filter(|(t, _)| *t == txn).copied().collect();
-            keys.sort_unstable();
-            keys.into_iter().map(|k| (k, self.undo.remove(&k).expect("key just listed"))).collect()
-        };
-        for ((_, pid), undo) in entries {
+        let mut entries: Vec<(u64, Vec<u8>)> = Vec::new();
+        for (pid, chain) in self.chains.iter_mut() {
+            if chain.pending.as_ref().is_some_and(|p| p.txn == txn) {
+                entries.push((*pid, chain.pending.take().expect("just checked").data));
+            }
+        }
+        self.chains.retain(|_, c| !c.is_empty());
+        entries.sort_unstable_by_key(|(pid, _)| *pid);
+        for (pid, undo) in entries {
             // Always restore *dirty*: the aborted image may have reached
             // the store (a relaxed-mode eviction — even one later
             // re-faulted and re-dirtied by the same transaction — or a
@@ -390,26 +598,88 @@ impl FrameCache {
                 Some(idx) => idx,
                 None => self.fetch(backend, pid)?,
             };
-            let frame = &mut self.frames[idx];
-            frame.data.copy_from_slice(&undo.data);
-            frame.dirty = true;
-            frame.owner = NO_TXN;
+            {
+                let frame = &mut self.frames[idx];
+                frame.data.copy_from_slice(&undo);
+                frame.dirty = true;
+                frame.owner = NO_TXN;
+            }
+            // The restoration is itself an update command: tightly-coupled
+            // (log-based) methods already persisted the aborted commands
+            // as update logs via `apply`, and only a superseding
+            // whole-page log undoes them — eviction alone does not, since
+            // their evict path flushes logs rather than images. For the
+            // loosely-coupled methods this notification is ignored.
+            let full = ChangeRange::new(0, undo.len());
+            backend.apply(pid, &self.frames[idx].data, &[full])?;
         }
         Ok(())
     }
 
-    /// Drop every cached page without writing back (crash simulation).
+    /// Drop every cached page and version chain without writing back
+    /// (crash simulation).
     pub(crate) fn clear(&mut self) {
         self.frames.clear();
         self.map.clear();
-        self.undo.clear();
+        self.chains.clear();
+        self.retained = 0;
     }
 }
 
-/// An LRU buffer pool over a page store.
+/// Backend adapter over [`BufferPool`]'s mutex-guarded store (locked per
+/// operation; the cache lock is always taken first).
+struct StoreBackend<'a>(&'a Mutex<Box<dyn PageStore>>);
+
+impl StoreBackend<'_> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Box<dyn PageStore>> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl PageBackend for StoreBackend<'_> {
+    fn read(&mut self, pid: u64, out: &mut [u8]) -> Result<()> {
+        Ok(self.lock().read_page(pid, out)?)
+    }
+
+    fn apply(&mut self, pid: u64, page_after: &[u8], changes: &[ChangeRange]) -> Result<()> {
+        Ok(self.lock().apply_update(pid, page_after, changes)?)
+    }
+
+    fn evict(&mut self, pid: u64, page: &[u8]) -> Result<()> {
+        Ok(self.lock().evict_page(pid, page)?)
+    }
+}
+
+/// [`VersionSource`] over a pool's MVCC registry.
+struct PoolVersioner<'a> {
+    active_views: &'a AtomicUsize,
+    mvcc: &'a Mutex<MvccState>,
+}
+
+impl VersionSource for PoolVersioner<'_> {
+    fn capture_hint(&self) -> bool {
+        self.active_views.load(Ordering::SeqCst) > 0
+    }
+
+    fn commit_ts(&self) -> Option<u64> {
+        let mut m = self.mvcc.lock().unwrap_or_else(|e| e.into_inner());
+        let (ts, retain) = m.alloc_commit();
+        retain.then_some(ts)
+    }
+}
+
+/// An LRU buffer pool over a page store, with MVCC read views.
+///
+/// Reads — current ([`BufferPool::with_page`]) or through a snapshot
+/// ([`BufferPool::with_page_at`]) — take `&self`, so concurrent readers
+/// are expressible in the type system; the pool is internally locked
+/// (cache, store and MVCC registry each behind their own mutex).
 pub struct BufferPool {
-    store: Box<dyn PageStore>,
-    cache: FrameCache,
+    store: Mutex<Box<dyn PageStore>>,
+    cache: Mutex<FrameCache>,
+    mvcc: Mutex<MvccState>,
+    active_views: AtomicUsize,
+    page_size: usize,
 }
 
 impl BufferPool {
@@ -417,97 +687,168 @@ impl BufferPool {
     /// varies it from 0.1% to 10% of the database size).
     pub fn new(store: Box<dyn PageStore>, capacity: usize) -> BufferPool {
         let page_size = store.logical_page_size();
-        BufferPool { store, cache: FrameCache::new(capacity, page_size) }
+        let version_cap = store.options().snapshot_version_cap as usize;
+        BufferPool {
+            cache: Mutex::new(FrameCache::new(capacity, page_size, version_cap)),
+            store: Mutex::new(store),
+            mvcc: Mutex::new(MvccState::default()),
+            active_views: AtomicUsize::new(0),
+            page_size,
+        }
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, FrameCache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_mvcc(&self) -> std::sync::MutexGuard<'_, MvccState> {
+        self.mvcc.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     pub fn capacity(&self) -> usize {
-        self.cache.capacity()
+        self.lock_cache().capacity()
     }
 
     pub fn page_size(&self) -> usize {
-        self.store.logical_page_size()
+        self.page_size
     }
 
     pub fn stats(&self) -> BufferStats {
-        self.cache.stats()
+        self.lock_cache().stats()
     }
 
-    pub fn store(&self) -> &dyn PageStore {
-        self.store.as_ref()
+    /// Run `f` against the underlying page store (exclusive: the store
+    /// mutex is held for the duration).
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut dyn PageStore) -> R) -> R {
+        let mut guard = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        f(guard.as_mut())
     }
 
-    pub fn store_mut(&mut self) -> &mut dyn PageStore {
-        self.store.as_mut()
+    /// Read access to the current image of a page.
+    pub fn with_page<R>(&self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        self.lock_cache().with_page(&mut StoreBackend(&self.store), pid, f)
     }
 
-    /// Read access to a page.
-    pub fn with_page<R>(&mut self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        self.cache.with_page(&mut self.store, pid, f)
+    // ------------------------------------------------------------------
+    // MVCC read views
+    // ------------------------------------------------------------------
+
+    /// Open a snapshot at the current commit clock. Commits (and
+    /// auto-committed update commands) after this point are invisible to
+    /// reads through the returned view.
+    pub fn begin_read(&self) -> ReadView {
+        let ts = self.lock_mvcc().register();
+        self.active_views.fetch_add(1, Ordering::SeqCst);
+        ReadView::new(ts)
+    }
+
+    /// Release a view, pruning every version no remaining reader needs.
+    pub fn release_read(&self, view: ReadView) {
+        let floor = self.lock_mvcc().deregister(view.read_ts());
+        self.active_views.fetch_sub(1, Ordering::SeqCst);
+        self.lock_cache().prune_committed(floor);
+    }
+
+    /// Snapshot read of `pid` as of `view`.
+    pub fn with_page_at<R>(
+        &self,
+        view: &ReadView,
+        pid: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        self.lock_cache().with_page_at(&mut StoreBackend(&self.store), pid, view.read_ts(), f)
+    }
+
+    /// Retained committed versions (diagnostics / tests).
+    pub fn retained_versions(&self) -> usize {
+        self.lock_cache().retained_versions()
     }
 
     /// Mutable access to a page. The closure's writes through [`PageMut`]
     /// form **one update command**: after it returns, the recorded ranges
     /// are reported to the page store (tightly-coupled methods write their
-    /// update logs here).
-    pub fn with_page_mut<R>(&mut self, pid: u64, f: impl FnOnce(&mut PageMut) -> R) -> Result<R> {
-        self.cache.with_page_mut(&mut self.store, pid, f)
+    /// update logs here). The command auto-commits: its pre-image joins
+    /// the page's version chain when an open read view predates it.
+    pub fn with_page_mut<R>(&self, pid: u64, f: impl FnOnce(&mut PageMut) -> R) -> Result<R> {
+        let vsrc = PoolVersioner { active_views: &self.active_views, mvcc: &self.mvcc };
+        self.lock_cache().with_page_mut_txn(&mut StoreBackend(&self.store), pid, NO_TXN, &vsrc, f)
     }
 
     /// Mutable access on behalf of an open transaction (see
-    /// [`crate::Database::begin`]).
+    /// [`crate::Database::begin`]); versioning happens at commit.
     pub fn with_page_mut_txn<R>(
-        &mut self,
+        &self,
         pid: u64,
         txn: u64,
         f: impl FnOnce(&mut PageMut) -> R,
     ) -> Result<R> {
-        self.cache.with_page_mut_txn(&mut self.store, pid, txn, f)
+        self.lock_cache().with_page_mut_txn(
+            &mut StoreBackend(&self.store),
+            pid,
+            txn,
+            &NoVersioning,
+            f,
+        )
     }
 
-    pub(crate) fn set_pin_owned(&mut self, pin: bool) {
-        self.cache.set_pin_owned(pin);
+    pub(crate) fn set_pin_owned(&self, pin: bool) {
+        self.lock_cache().set_pin_owned(pin);
     }
 
-    pub(crate) fn collect_owned(&mut self, txn: u64) -> Vec<(u64, Vec<u8>)> {
-        self.cache.collect_owned(txn)
+    pub(crate) fn collect_owned(&self, txn: u64) -> Vec<(u64, Vec<u8>)> {
+        self.lock_cache().collect_owned(txn)
     }
 
-    pub(crate) fn commit_release(&mut self, txn: u64) {
-        self.cache.commit_release(txn)
+    fn alloc_commit_ts(&self) -> Option<u64> {
+        let mut m = self.lock_mvcc();
+        let (ts, retain) = m.alloc_commit();
+        retain.then_some(ts)
     }
 
-    pub(crate) fn release_owned(&mut self, txn: u64) {
-        self.cache.release_owned(txn)
+    /// Confirm a durable commit: `txn`'s frames become clean (their
+    /// images are on flash) and unowned; pending pre-images become
+    /// committed versions if a read view predates the commit.
+    pub(crate) fn commit_release(&self, txn: u64) {
+        let ts = self.alloc_commit_ts();
+        self.lock_cache().end_txn(txn, ts, true);
     }
 
-    pub(crate) fn rollback(&mut self, txn: u64) -> Result<()> {
-        self.cache.rollback(&mut self.store, txn)
+    /// Release `txn`'s ownership without any I/O (relaxed-durability
+    /// commit): the frames stay dirty and reach flash by ordinary
+    /// eviction, exactly as if the writes had been auto-committed.
+    pub(crate) fn release_owned(&self, txn: u64) {
+        let ts = self.alloc_commit_ts();
+        self.lock_cache().end_txn(txn, ts, false);
+    }
+
+    pub(crate) fn rollback(&self, txn: u64) -> Result<()> {
+        self.lock_cache().rollback(&mut StoreBackend(&self.store), txn)
     }
 
     /// Write every dirty page back and flush the store's buffers
     /// (write-through, the durability point of §4.5).
-    pub fn flush_all(&mut self) -> Result<()> {
-        self.cache.write_back_dirty(&mut self.store)?;
-        self.store.flush()?;
+    pub fn flush_all(&self) -> Result<()> {
+        self.lock_cache().write_back_dirty(&mut StoreBackend(&self.store))?;
+        self.with_store(|s| s.flush())?;
         Ok(())
     }
 
     /// Drop every cached page without writing back (crash simulation).
-    pub fn poison_cache(&mut self) {
-        self.cache.clear();
+    pub fn poison_cache(&self) {
+        self.lock_cache().clear();
     }
 
     /// Consume the pool, flushing everything, and return the store.
-    pub fn into_store(mut self) -> Result<Box<dyn PageStore>> {
+    pub fn into_store(self) -> Result<Box<dyn PageStore>> {
         self.flush_all()?;
-        Ok(self.store)
+        Ok(self.store.into_inner().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Consume the pool *without* writing anything back (crash
     /// simulation: cached dirty pages and uncommitted transactions are
     /// lost, exactly as on a power failure).
     pub fn into_store_without_flush(self) -> Box<dyn PageStore> {
-        self.store
+        self.store.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -525,7 +866,7 @@ mod tests {
 
     #[test]
     fn writes_survive_eviction_pressure() {
-        let mut p = pool(2, MethodKind::Pdl { max_diff_size: 128 });
+        let p = pool(2, MethodKind::Pdl { max_diff_size: 128 });
         for pid in 0..8u64 {
             p.with_page_mut(pid, |page| page.write(0, &[pid as u8; 4])).unwrap();
         }
@@ -539,20 +880,20 @@ mod tests {
 
     #[test]
     fn hits_do_not_touch_flash() {
-        let mut p = pool(4, MethodKind::Opu);
+        let p = pool(4, MethodKind::Opu);
         p.with_page_mut(1, |page| page.write(0, b"abcd")).unwrap();
-        let before = p.store().chip().stats().total();
+        let before = p.with_store(|s| s.chip().stats().total());
         for _ in 0..10 {
             p.with_page(1, |page| page[0]).unwrap();
         }
-        let d = p.store().chip().stats().total() - before;
+        let d = p.with_store(|s| s.chip().stats().total()) - before;
         assert_eq!(d.total_ops(), 0, "cache hits must be free");
         assert_eq!(p.stats().hits, 10);
     }
 
     #[test]
     fn clean_pages_evict_without_writeback() {
-        let mut p = pool(1, MethodKind::Opu);
+        let p = pool(1, MethodKind::Opu);
         p.with_page(0, |_| ()).unwrap();
         p.with_page(1, |_| ()).unwrap(); // evicts page 0, clean
         assert_eq!(p.stats().dirty_writebacks, 0);
@@ -561,7 +902,7 @@ mod tests {
 
     #[test]
     fn update_commands_reach_tightly_coupled_methods() {
-        let mut p = pool(2, MethodKind::Ipl { log_bytes_per_block: 512 });
+        let p = pool(2, MethodKind::Ipl { log_bytes_per_block: 512 });
         // Load the page first so IPL has an original page.
         p.with_page_mut(3, |page| {
             let len = page.len();
@@ -579,7 +920,7 @@ mod tests {
 
     #[test]
     fn flush_all_makes_state_durable() {
-        let mut p = pool(4, MethodKind::Pdl { max_diff_size: 128 });
+        let p = pool(4, MethodKind::Pdl { max_diff_size: 128 });
         p.with_page_mut(0, |page| page.write(5, b"xyz")).unwrap();
         p.flush_all().unwrap();
         let store = p.into_store().unwrap();
@@ -597,7 +938,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let mut p = pool(2, MethodKind::Opu);
+        let p = pool(2, MethodKind::Opu);
         p.with_page(0, |_| ()).unwrap();
         p.with_page(1, |_| ()).unwrap();
         p.with_page(0, |_| ()).unwrap(); // 1 is now LRU
@@ -622,5 +963,95 @@ mod tests {
         assert_eq!(read_u64(page.as_slice(), 8), 42);
         assert_eq!(&page.as_slice()[30..34], &[0xFF; 4]);
         assert_eq!(changes.len(), 4);
+    }
+
+    // ------------------------------------------------------------------
+    // MVCC read views
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn view_is_isolated_from_auto_committed_writes() {
+        let p = pool(4, MethodKind::Opu);
+        p.with_page_mut(0, |page| page.write(0, &[1; 4])).unwrap();
+        let view = p.begin_read();
+        p.with_page_mut(0, |page| page.write(0, &[2; 4])).unwrap();
+        p.with_page_mut(0, |page| page.write(0, &[3; 4])).unwrap();
+        // The view still reads the image at open time; current reads see
+        // the newest committed data.
+        assert_eq!(p.with_page_at(&view, 0, |pg| pg[0]).unwrap(), 1);
+        assert_eq!(p.with_page(0, |pg| pg[0]).unwrap(), 3);
+        assert!(p.stats().version_reads > 0);
+        p.release_read(view);
+        assert_eq!(p.retained_versions(), 0, "release prunes the chain");
+    }
+
+    #[test]
+    fn versions_survive_frame_eviction() {
+        let p = pool(1, MethodKind::Opu); // one frame: every access evicts
+        p.with_page_mut(0, |page| page.write(0, &[7; 4])).unwrap();
+        let view = p.begin_read();
+        p.with_page_mut(0, |page| page.write(0, &[8; 4])).unwrap();
+        for pid in 1..6u64 {
+            p.with_page_mut(pid, |page| page.write(0, &[pid as u8; 2])).unwrap();
+        }
+        assert_eq!(p.with_page_at(&view, 0, |pg| pg[0]).unwrap(), 7);
+        p.release_read(view);
+    }
+
+    #[test]
+    fn no_views_means_no_retention() {
+        let p = pool(4, MethodKind::Opu);
+        for round in 0..10u8 {
+            p.with_page_mut(0, |page| page.write(0, &[round; 4])).unwrap();
+        }
+        assert_eq!(p.retained_versions(), 0, "versioning is free-riding: no readers, no copies");
+    }
+
+    #[test]
+    fn cap_cuts_off_the_oldest_view() {
+        let chip = FlashChip::new(FlashConfig::tiny());
+        let store =
+            build_store(chip, MethodKind::Opu, StoreOptions::new(24).with_snapshot_version_cap(3))
+                .unwrap();
+        let p = BufferPool::new(store, 8);
+        p.with_page_mut(0, |page| page.write(0, &[1; 4])).unwrap();
+        let view = p.begin_read();
+        for round in 0..8u8 {
+            p.with_page_mut(round as u64 % 4, |page| page.write(0, &[round + 10; 4])).unwrap();
+        }
+        assert!(p.retained_versions() <= 3, "cap bounds the pool's version memory");
+        let err = p.with_page_at(&view, 0, |_| ()).unwrap_err();
+        assert!(matches!(err, StorageError::SnapshotTooOld { .. }), "got {err:?}");
+        p.release_read(view);
+        // A fresh view reads fine.
+        let view = p.begin_read();
+        assert!(p.with_page_at(&view, 0, |_| ()).is_ok());
+        p.release_read(view);
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_pool() {
+        // &BufferPool reads from several threads: the type-system witness
+        // that non-mutating reads no longer need `&mut`.
+        let p = pool(8, MethodKind::Opu);
+        for pid in 0..8u64 {
+            p.with_page_mut(pid, |page| page.write(0, &[pid as u8 + 1; 4])).unwrap();
+        }
+        let view = p.begin_read();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let p = &p;
+                let view = &view;
+                scope.spawn(move || {
+                    for pid in 0..8u64 {
+                        let cur = p.with_page(pid, |pg| pg[0]).unwrap();
+                        let snap = p.with_page_at(view, pid, |pg| pg[0]).unwrap();
+                        assert_eq!(cur, pid as u8 + 1);
+                        assert_eq!(snap, pid as u8 + 1);
+                    }
+                });
+            }
+        });
+        p.release_read(view);
     }
 }

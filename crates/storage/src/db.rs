@@ -2,10 +2,19 @@
 //!
 //! Heap files and B+-trees allocate their pages here; the page-update
 //! method underneath decides how those logical pages land in flash.
+//!
+//! Reads take `&Database`. Plain reads see the *live* page image —
+//! including the currently open transaction's in-flight writes, since
+//! transactions mutate frames in place (the write transaction reading
+//! its own writes). Isolation comes from [`Database::begin_read`]: an
+//! MVCC [`ReadView`] freezes the whole page space at its commit-clock
+//! position, hiding both in-flight writes and every later commit.
+//! Mutations keep the exclusive `&mut Database` discipline.
 
 use crate::buffer::{BufferPool, BufferStats, PageMut};
 use crate::error::StorageError;
-use crate::Result;
+use crate::view::PageRead;
+use crate::{ReadView, Result};
 use pdl_core::PageStore;
 use pdl_flash::FlashStats;
 
@@ -74,7 +83,7 @@ impl Database {
     pub fn new(store: Box<dyn PageStore>, buffer_pages: usize) -> Database {
         let max_pages = store.options().num_logical_pages;
         let next_txn = store.txn_id_floor();
-        let mut pool = BufferPool::new(store, buffer_pages);
+        let pool = BufferPool::new(store, buffer_pages);
         pool.set_pin_owned(false); // Durability::Relaxed is the default
         Database {
             pool,
@@ -153,8 +162,7 @@ impl Database {
                     self.pool.release_owned(txn);
                     return Ok(()); // read-only: nothing to make durable
                 }
-                let result = (|| -> Result<()> {
-                    let store = self.pool.store_mut();
+                let result = self.pool.with_store(|store| -> Result<()> {
                     store.txn_reserve(staged.len() as u64)?;
                     for (pid, data) in &staged {
                         store.txn_stage(*pid, data, txn)?;
@@ -167,7 +175,7 @@ impl Database {
                     store.txn_append_commit(txn)?;
                     store.txn_finalize()?;
                     Ok(())
-                })();
+                });
                 match result {
                     Ok(()) => {
                         self.pool.commit_release(txn);
@@ -198,6 +206,39 @@ impl Database {
         self.pool.rollback(txn)
     }
 
+    // ------------------------------------------------------------------
+    // MVCC read views
+    // ------------------------------------------------------------------
+
+    /// Open a snapshot of the whole page space at the current commit
+    /// clock: commits after this point — including the currently open
+    /// transaction's eventual commit — are invisible through the view.
+    pub fn begin_read(&self) -> ReadView {
+        self.pool.begin_read()
+    }
+
+    /// Release a view, letting the pool prune versions no reader needs.
+    pub fn release_read(&self, view: ReadView) {
+        self.pool.release_read(view)
+    }
+
+    /// Snapshot read of one page as of `view`.
+    pub fn with_page_at<R>(
+        &self,
+        view: &ReadView,
+        pid: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        self.pool.with_page_at(view, pid, f)
+    }
+
+    /// A [`PageRead`] adapter over `view`: hand it to the read entry
+    /// points (`BTree::get_at`, `HeapFile::get_at`, ...) to run a whole
+    /// scan against one frozen snapshot.
+    pub fn snapshot<'a>(&'a self, view: &'a ReadView) -> DbSnapshot<'a> {
+        DbSnapshot { db: self, view }
+    }
+
     /// Allocate the next logical page.
     pub fn alloc_page(&mut self) -> Result<u64> {
         if self.next_pid >= self.max_pages {
@@ -217,7 +258,9 @@ impl Database {
         self.pool.page_size()
     }
 
-    pub fn with_page<R>(&mut self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+    /// Read access to the current image of a page (`&self`: concurrent
+    /// readers are expressible in the type system).
+    pub fn with_page<R>(&self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         self.pool.with_page(pid, f)
     }
 
@@ -235,16 +278,21 @@ impl Database {
 
     /// Flash statistics of the underlying chip.
     pub fn io_stats(&self) -> FlashStats {
-        self.pool.store().stats()
+        self.pool.with_store(|s| s.stats())
     }
 
     pub fn reset_io_stats(&mut self) {
-        self.pool.store_mut().reset_stats();
+        self.pool.with_store(|s| s.reset_stats());
     }
 
     /// Method label of the underlying page store.
     pub fn method_name(&self) -> String {
-        self.pool.store().name()
+        self.pool.with_store(|s| s.name())
+    }
+
+    /// Run `f` against the underlying page store (exclusive access).
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut dyn PageStore) -> R) -> R {
+        self.pool.with_store(f)
     }
 
     /// Write-through everything (durability point).
@@ -260,6 +308,40 @@ impl Database {
     /// Tear down *without* flushing (crash simulation).
     pub fn into_store_without_flush(self) -> Box<dyn PageStore> {
         self.pool.into_store_without_flush()
+    }
+}
+
+/// Current-state reads: what the read path sees without a view.
+impl PageRead for Database {
+    fn page_size(&self) -> usize {
+        Database::page_size(self)
+    }
+
+    fn with_page<R>(&self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        Database::with_page(self, pid, f)
+    }
+}
+
+/// A [`ReadView`] bound to its database: every read through it resolves
+/// at the view's snapshot timestamp.
+pub struct DbSnapshot<'a> {
+    db: &'a Database,
+    view: &'a ReadView,
+}
+
+impl DbSnapshot<'_> {
+    pub fn read_ts(&self) -> u64 {
+        self.view.read_ts()
+    }
+}
+
+impl PageRead for DbSnapshot<'_> {
+    fn page_size(&self) -> usize {
+        self.db.page_size()
+    }
+
+    fn with_page<R>(&self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        self.db.with_page_at(self.view, pid, f)
     }
 }
 
@@ -343,5 +425,51 @@ mod tests {
         let first = d.with_page(pid, |p| p[0]).unwrap();
         assert_eq!(first, b'd');
         assert!(d.io_stats().total().writes > 0);
+    }
+
+    #[test]
+    fn view_does_not_see_the_open_transactions_writes() {
+        let mut d = db();
+        let pid = d.alloc_page().unwrap();
+        d.with_page_mut(pid, |p| p.write(0, &[1; 4])).unwrap();
+        // A view opened before the transaction must never observe its
+        // writes — neither while it is open nor after it commits.
+        let view = d.begin_read();
+        d.begin().unwrap();
+        d.with_page_mut(pid, |p| p.write(0, &[2; 4])).unwrap();
+        assert_eq!(d.with_page_at(&view, pid, |p| p[0]).unwrap(), 1, "in-flight writes hidden");
+        d.commit().unwrap();
+        assert_eq!(d.with_page_at(&view, pid, |p| p[0]).unwrap(), 1, "commit after open hidden");
+        assert_eq!(d.with_page(pid, |p| p[0]).unwrap(), 2, "current reads see the commit");
+        d.release_read(view);
+    }
+
+    #[test]
+    fn view_after_abort_keeps_reading_the_pre_image() {
+        let mut d = db();
+        let pid = d.alloc_page().unwrap();
+        d.with_page_mut(pid, |p| p.write(0, &[5; 4])).unwrap();
+        let view = d.begin_read();
+        d.begin().unwrap();
+        d.with_page_mut(pid, |p| p.write(0, &[6; 4])).unwrap();
+        d.abort().unwrap();
+        assert_eq!(d.with_page_at(&view, pid, |p| p[0]).unwrap(), 5);
+        assert_eq!(d.with_page(pid, |p| p[0]).unwrap(), 5, "abort restored the pre-image");
+        d.release_read(view);
+    }
+
+    #[test]
+    fn snapshot_adapter_reads_through_page_read() {
+        use crate::view::PageRead as _;
+        let mut d = db();
+        let pid = d.alloc_page().unwrap();
+        d.with_page_mut(pid, |p| p.write(0, &[9; 4])).unwrap();
+        let view = d.begin_read();
+        d.with_page_mut(pid, |p| p.write(0, &[10; 4])).unwrap();
+        let snap = d.snapshot(&view);
+        assert_eq!(snap.with_page(pid, |p| p[0]).unwrap(), 9);
+        assert_eq!(snap.page_size(), d.page_size());
+        let _ = snap;
+        d.release_read(view);
     }
 }

@@ -26,6 +26,10 @@ pub enum StorageError {
     BufferPinned,
     /// Transaction API misuse (no open transaction, nested begin, ...).
     TxnState(String),
+    /// A read view outlived the pool's version-retention cap
+    /// (`StoreOptions::snapshot_version_cap`): the versions it needs were
+    /// discarded to keep memory flat.
+    SnapshotTooOld { read_ts: u64, floor: u64 },
     /// Internal invariant broken.
     Internal(String),
 }
@@ -50,6 +54,13 @@ impl fmt::Display for StorageError {
                 write!(f, "every buffer frame is pinned by uncommitted transactions")
             }
             StorageError::TxnState(msg) => write!(f, "transaction state error: {msg}"),
+            StorageError::SnapshotTooOld { read_ts, floor } => {
+                write!(
+                    f,
+                    "snapshot too old: view at ts {read_ts} needs versions discarded up to \
+                     ts {floor} (raise StoreOptions::snapshot_version_cap or release views sooner)"
+                )
+            }
             StorageError::Internal(msg) => write!(f, "internal storage error: {msg}"),
         }
     }

@@ -3,6 +3,7 @@
 
 use crate::db::{Database, RecordId};
 use crate::error::StorageError;
+use crate::view::PageRead;
 use crate::{slotted, Result};
 
 /// An unordered collection of variable-length records.
@@ -85,14 +86,21 @@ impl HeapFile {
         })
     }
 
-    /// Read a record through a closure.
-    pub fn get<R>(
+    /// Read a record through a closure (shared borrow: record reads never
+    /// mutate heap structure).
+    pub fn get<R>(&self, db: &Database, rid: RecordId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        self.get_at(db, rid, f)
+    }
+
+    /// [`HeapFile::get`] through any [`PageRead`] — e.g. a read-view
+    /// snapshot isolated from concurrent writers.
+    pub fn get_at<S: PageRead, R>(
         &self,
-        db: &mut Database,
+        s: &S,
         rid: RecordId,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
-        db.with_page(rid.pid, |page| {
+        s.with_page(rid.pid, |page| {
             slotted::get(page, rid.slot)
                 .map(f)
                 .ok_or(StorageError::RecordNotFound { pid: rid.pid, slot: rid.slot })
@@ -135,9 +143,14 @@ impl HeapFile {
     }
 
     /// Visit every live record.
-    pub fn scan(&self, db: &mut Database, mut f: impl FnMut(RecordId, &[u8])) -> Result<()> {
+    pub fn scan(&self, db: &Database, f: impl FnMut(RecordId, &[u8])) -> Result<()> {
+        self.scan_at(db, f)
+    }
+
+    /// [`HeapFile::scan`] through any [`PageRead`] snapshot.
+    pub fn scan_at<S: PageRead>(&self, s: &S, mut f: impl FnMut(RecordId, &[u8])) -> Result<()> {
         for pid in &self.pages {
-            db.with_page(*pid, |page| {
+            s.with_page(*pid, |page| {
                 if slotted::is_formatted(page) {
                     for (slot, bytes) in slotted::iter(page) {
                         f(RecordId::new(*pid, slot), bytes);
@@ -166,7 +179,7 @@ mod tests {
         let mut d = db(64);
         let mut h = HeapFile::new();
         let rid = h.insert(&mut d, b"record one").unwrap();
-        let got = h.get(&mut d, rid, |b| b.to_vec()).unwrap();
+        let got = h.get(&d, rid, |b| b.to_vec()).unwrap();
         assert_eq!(got, b"record one");
     }
 
@@ -181,7 +194,7 @@ mod tests {
         }
         assert!(h.num_pages() > 10, "spread over pages: {}", h.num_pages());
         let mut seen = 0;
-        h.scan(&mut d, |_, bytes| {
+        h.scan(&d, |_, bytes| {
             assert_eq!(bytes.len(), 100);
             seen += 1;
         })
@@ -189,7 +202,7 @@ mod tests {
         assert_eq!(seen, 500);
         // Spot-check a few.
         for (i, rid) in rids.iter().enumerate().step_by(97) {
-            let b = h.get(&mut d, *rid, |b| b[0]).unwrap();
+            let b = h.get(&d, *rid, |b| b[0]).unwrap();
             assert_eq!(b, i as u8);
         }
     }
@@ -207,8 +220,8 @@ mod tests {
         assert_eq!(same, first, "equal size stays");
         let moved = h.update(&mut d, first, &[4u8; 1500]).unwrap();
         assert_ne!(moved.pid, first.pid, "grown record relocates");
-        assert_eq!(h.get(&mut d, moved, |b| b.len()).unwrap(), 1500);
-        assert!(h.get(&mut d, first, |_| ()).is_err(), "old location gone");
+        assert_eq!(h.get(&d, moved, |b| b.len()).unwrap(), 1500);
+        assert!(h.get(&d, first, |_| ()).is_err(), "old location gone");
     }
 
     #[test]
@@ -235,7 +248,7 @@ mod tests {
         let mut h = HeapFile::new();
         let rid = h.insert(&mut d, b"x").unwrap();
         h.delete(&mut d, rid).unwrap();
-        assert!(matches!(h.get(&mut d, rid, |_| ()), Err(StorageError::RecordNotFound { .. })));
+        assert!(matches!(h.get(&d, rid, |_| ()), Err(StorageError::RecordNotFound { .. })));
         assert!(h.delete(&mut d, rid).is_err());
     }
 }

@@ -11,6 +11,15 @@
 //! ([`pdl_core::PageStore::apply_update`] — the hook tightly-coupled
 //! log-based methods need), and dirty evictions reflect whole logical
 //! pages ([`pdl_core::PageStore::evict_page`]).
+//!
+//! On top of that contract sits the **MVCC read layer**: non-mutating
+//! reads take shared borrows (`&Database`, `&ShardedBufferPool`), and a
+//! [`ReadView`] freezes the whole page space at a commit-clock position
+//! by resolving reads against per-page version chains (see
+//! [`BufferPool`] / `FrameCache`). Every read entry point — [`BTree`]
+//! lookups and range scans, [`HeapFile`] gets and scans — is generic
+//! over [`PageRead`], so the same code path serves current-state reads
+//! and frozen snapshots.
 
 mod btree;
 mod buffer;
@@ -18,13 +27,15 @@ mod db;
 mod error;
 mod sharded;
 pub mod slotted;
+mod view;
 
 pub use btree::{BTree, Key, KeyBuf};
 pub use buffer::{read_u16, read_u64, BufferPool, BufferStats, PageMut};
-pub use db::{Database, Durability, RecordId, TxnId};
+pub use db::{Database, DbSnapshot, Durability, RecordId, TxnId};
 pub use error::StorageError;
 pub use heap::HeapFile;
-pub use sharded::ShardedBufferPool;
+pub use sharded::{PoolSnapshot, ShardedBufferPool};
+pub use view::{PageRead, ReadView};
 
 /// Construct a [`PageMut`] over a raw buffer, for page-format tests and
 /// tools operating outside a buffer pool.

@@ -24,14 +24,29 @@
 //! commit time). Followers block until the leader publishes their
 //! result.
 
-use crate::buffer::{BufferStats, FrameCache, PageBackend, PageMut};
+//! # Snapshot reads (MVCC)
+//!
+//! [`ShardedBufferPool::begin_read`] opens a [`ReadView`] whose reads
+//! never wait on writers: they resolve against the per-stripe version
+//! chains (see `FrameCache`). The registry coordinates views with the
+//! group-commit coordinator so a **cross-shard batch is seen atomically
+//! or not at all**: the leader allocates one commit timestamp for the
+//! whole batch, blocks view *registration* (never reads through already
+//! open views) while it publishes the batch's versions across stripes,
+//! and only then admits new views — which, reading at the new clock, see
+//! the entire batch. Auto-committed single-page writes allocate their
+//! timestamp *after* mutating, under the owning stripe's lock, so a view
+//! that ever observed the old image keeps observing it.
+
+use crate::buffer::{BufferStats, FrameCache, NoVersioning, PageBackend, PageMut, VersionSource};
 use crate::db::TxnId;
 use crate::error::StorageError;
-use crate::Result;
+use crate::view::{MvccState, PageRead};
+use crate::{ReadView, Result};
 use pdl_core::{ChangeRange, PageStore, ShardedStore};
 use pdl_flash::{FlashStats, WearSummary};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// Adapts the `*_shared` entry points of a [`ShardedStore`] to the
@@ -64,14 +79,38 @@ struct GroupState {
     leader_active: bool,
 }
 
+/// [`VersionSource`] over the pool's shared MVCC registry: called by a
+/// writer *while it holds a stripe lock*, so the registry lock must never
+/// be held while acquiring a stripe lock elsewhere.
+struct ShardedVersioner<'a> {
+    active_views: &'a AtomicUsize,
+    mvcc: &'a Mutex<MvccState>,
+}
+
+impl VersionSource for ShardedVersioner<'_> {
+    fn capture_hint(&self) -> bool {
+        self.active_views.load(Ordering::SeqCst) > 0
+    }
+
+    fn commit_ts(&self) -> Option<u64> {
+        let mut m = self.mvcc.lock().unwrap_or_else(|e| e.into_inner());
+        let (ts, retain) = m.alloc_commit();
+        retain.then_some(ts)
+    }
+}
+
 /// A concurrent LRU buffer pool, frame locks striped by shard, with a
-/// group-commit coordinator for transactional writers.
+/// group-commit coordinator for transactional writers and MVCC read
+/// views that never serialize behind them.
 pub struct ShardedBufferPool {
     store: ShardedStore,
     stripes: Vec<Mutex<FrameCache>>,
     next_txn: AtomicU64,
     group: Mutex<GroupState>,
     group_cv: Condvar,
+    mvcc: Mutex<MvccState>,
+    mvcc_cv: Condvar,
+    active_views: AtomicUsize,
 }
 
 impl ShardedBufferPool {
@@ -81,16 +120,25 @@ impl ShardedBufferPool {
         let shards = store.num_shards();
         let per_stripe = capacity.div_ceil(shards).max(1);
         let page_size = store.logical_page_size();
+        let version_cap = store.options().snapshot_version_cap as usize;
         let next_txn = AtomicU64::new(store.txn_id_floor());
-        let stripes =
-            (0..shards).map(|_| Mutex::new(FrameCache::new(per_stripe, page_size))).collect();
+        let stripes = (0..shards)
+            .map(|_| Mutex::new(FrameCache::new(per_stripe, page_size, version_cap)))
+            .collect();
         ShardedBufferPool {
             store,
             stripes,
             next_txn,
             group: Mutex::new(GroupState::default()),
             group_cv: Condvar::new(),
+            mvcc: Mutex::new(MvccState::default()),
+            mvcc_cv: Condvar::new(),
+            active_views: AtomicUsize::new(0),
         }
+    }
+
+    fn lock_mvcc(&self) -> std::sync::MutexGuard<'_, MvccState> {
+        self.mvcc.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     pub fn num_stripes(&self) -> usize {
@@ -127,9 +175,74 @@ impl ShardedBufferPool {
     }
 
     /// Mutable access to a page: the closure's writes through [`PageMut`]
-    /// form one update command, reported to the owning shard's store.
+    /// form one update command, reported to the owning shard's store. The
+    /// command auto-commits; its pre-image joins the page's version chain
+    /// when an open read view predates it.
     pub fn with_page_mut<R>(&self, pid: u64, f: impl FnOnce(&mut PageMut) -> R) -> Result<R> {
-        self.stripe_for(pid).with_page_mut(&mut SharedBackend(&self.store), pid, f)
+        let vsrc = ShardedVersioner { active_views: &self.active_views, mvcc: &self.mvcc };
+        self.stripe_for(pid).with_page_mut_txn(
+            &mut SharedBackend(&self.store),
+            pid,
+            pdl_core::NO_TXN,
+            &vsrc,
+            f,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // MVCC read views
+    // ------------------------------------------------------------------
+
+    /// Open a snapshot at the current commit clock. Registration waits
+    /// out a group-commit batch mid-publish, so the view either predates
+    /// the whole batch or sees all of it — cross-shard atomicity.
+    pub fn begin_read(&self) -> ReadView {
+        let mut m = self.lock_mvcc();
+        while m.committing {
+            m = self.mvcc_cv.wait(m).unwrap_or_else(|e| e.into_inner());
+        }
+        let ts = m.register();
+        self.active_views.fetch_add(1, Ordering::SeqCst);
+        drop(m);
+        ReadView::new(ts)
+    }
+
+    /// Release a view, pruning versions no remaining reader needs.
+    pub fn release_read(&self, view: ReadView) {
+        let floor = {
+            let mut m = self.lock_mvcc();
+            let floor = m.deregister(view.read_ts());
+            self.active_views.fetch_sub(1, Ordering::SeqCst);
+            floor
+        };
+        // The registry lock is dropped before the stripe locks (writers
+        // nest stripe -> registry); pruning with a momentarily stale
+        // floor only keeps versions a little longer, never too short.
+        for s in &self.stripes {
+            self.lock_stripe_ref(s).prune_committed(floor);
+        }
+    }
+
+    /// Snapshot read of `pid` as of `view`; locks only the owning stripe
+    /// and never waits on writers or committers.
+    pub fn with_page_at<R>(
+        &self,
+        view: &ReadView,
+        pid: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        self.stripe_for(pid).with_page_at(&mut SharedBackend(&self.store), pid, view.read_ts(), f)
+    }
+
+    /// A [`PageRead`] adapter over `view` (for `BTree::get_at`,
+    /// `HeapFile::get_at`, and friends).
+    pub fn snapshot<'a>(&'a self, view: &'a ReadView) -> PoolSnapshot<'a> {
+        PoolSnapshot { pool: self, view }
+    }
+
+    /// Retained committed versions over all stripes (diagnostics/tests).
+    pub fn retained_versions(&self) -> usize {
+        self.stripes.iter().map(|s| self.lock_stripe_ref(s).retained_versions()).sum()
     }
 
     // ------------------------------------------------------------------
@@ -150,7 +263,13 @@ impl ShardedBufferPool {
         txn: TxnId,
         f: impl FnOnce(&mut PageMut) -> R,
     ) -> Result<R> {
-        self.stripe_for(pid).with_page_mut_txn(&mut SharedBackend(&self.store), pid, txn, f)
+        self.stripe_for(pid).with_page_mut_txn(
+            &mut SharedBackend(&self.store),
+            pid,
+            txn,
+            &NoVersioning,
+            f,
+        )
     }
 
     /// Abort `txn`: every touched frame returns to its pre-image.
@@ -242,11 +361,26 @@ impl ShardedBufferPool {
         }
         match self.commit_batch_stages(&per_shard, &involved) {
             Ok(()) => {
+                // Publish phase: the whole batch shares one commit
+                // timestamp, and view registration is gated while the
+                // batch's versions land across stripes — so no view can
+                // observe half of a cross-shard group commit. Views
+                // already open read the superseded pre-images from the
+                // chains; views opened after the gate lifts read at the
+                // new clock and see the entire batch.
+                let (commit_ts, retain) = {
+                    let mut m = self.lock_mvcc();
+                    m.committing = true;
+                    m.alloc_commit()
+                };
+                let version_at = retain.then_some(commit_ts);
                 for &t in batch {
                     for s in &self.stripes {
-                        self.lock_stripe_ref(s).commit_release(t);
+                        self.lock_stripe_ref(s).end_txn(t, version_at, true);
                     }
                 }
+                self.lock_mvcc().committing = false;
+                self.mvcc_cv.notify_all();
                 Ok(())
             }
             Err(e) => {
@@ -364,6 +498,41 @@ impl ShardedBufferPool {
     }
 }
 
+/// Current-state reads (no view): what the pool shows without isolation
+/// from later commits.
+impl PageRead for ShardedBufferPool {
+    fn page_size(&self) -> usize {
+        ShardedBufferPool::page_size(self)
+    }
+
+    fn with_page<R>(&self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        ShardedBufferPool::with_page(self, pid, f)
+    }
+}
+
+/// A [`ReadView`] bound to its pool: every read through it resolves at
+/// the view's snapshot timestamp.
+pub struct PoolSnapshot<'a> {
+    pool: &'a ShardedBufferPool,
+    view: &'a ReadView,
+}
+
+impl PoolSnapshot<'_> {
+    pub fn read_ts(&self) -> u64 {
+        self.view.read_ts()
+    }
+}
+
+impl PageRead for PoolSnapshot<'_> {
+    fn page_size(&self) -> usize {
+        self.pool.page_size()
+    }
+
+    fn with_page<R>(&self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        self.pool.with_page_at(self.view, pid, f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,5 +627,129 @@ mod tests {
         assert_eq!(p.num_stripes(), 4);
         assert_eq!(p.capacity(), 12, "ceil(10/4) = 3 frames per stripe");
         assert_eq!(p.page_size(), 256);
+    }
+
+    #[test]
+    fn view_hides_a_group_commit_across_shards() {
+        let p = pool(4, 16, 16);
+        for pid in 0..16u64 {
+            p.with_page_mut(pid, |page| page.write(0, &[1; 4])).unwrap();
+        }
+        let view = p.begin_read();
+        // One transaction spanning all four shards.
+        let txn = p.begin();
+        for pid in 0..4u64 {
+            p.with_page_mut_txn(pid, txn, |page| page.write(0, &[9; 4])).unwrap();
+        }
+        // Mid-flight: the view reads the pending pre-images.
+        for pid in 0..4u64 {
+            assert_eq!(p.with_page_at(&view, pid, |pg| pg[0]).unwrap(), 1, "pid {pid}");
+        }
+        p.commit(txn).unwrap();
+        // Committed: the view still reads the pre-commit images on every
+        // shard; current reads see the commit on every shard.
+        for pid in 0..4u64 {
+            assert_eq!(p.with_page_at(&view, pid, |pg| pg[0]).unwrap(), 1, "pid {pid}");
+            assert_eq!(p.with_page(pid, |pg| pg[0]).unwrap(), 9, "pid {pid}");
+        }
+        p.release_read(view);
+        assert_eq!(p.retained_versions(), 0);
+        // A view opened after the commit sees all of it.
+        let after = p.begin_read();
+        for pid in 0..4u64 {
+            assert_eq!(p.with_page_at(&after, pid, |pg| pg[0]).unwrap(), 9, "pid {pid}");
+        }
+        p.release_read(after);
+    }
+
+    #[test]
+    fn scanners_race_committing_writers_and_stay_consistent() {
+        // 2 snapshot scanners race 2 committing writers; every scan must
+        // observe, per writer, one atomic prefix of its commit sequence:
+        // all of a writer's pages carry the same round stamp.
+        const ROUNDS: u64 = 40;
+        const WRITERS: u64 = 2;
+        const GROUP: u64 = 4; // pages per writer, contiguous => spans shards
+        let p = pool(4, WRITERS * GROUP, 16);
+        for w in 0..WRITERS {
+            let txn = p.begin();
+            for k in 0..GROUP {
+                p.with_page_mut_txn(w * GROUP + k, txn, |page| page.write(0, &0u64.to_le_bytes()))
+                    .unwrap();
+            }
+            p.commit(txn).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let p = &p;
+                scope.spawn(move || {
+                    for round in 1..=ROUNDS {
+                        let txn = p.begin();
+                        for k in 0..GROUP {
+                            p.with_page_mut_txn(w * GROUP + k, txn, |page| {
+                                page.write(0, &round.to_le_bytes())
+                            })
+                            .unwrap();
+                        }
+                        p.commit(txn).unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let p = &p;
+                scope.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        let view = p.begin_read();
+                        for w in 0..WRITERS {
+                            let mut stamps = Vec::new();
+                            for k in 0..GROUP {
+                                let v = p
+                                    .with_page_at(&view, w * GROUP + k, |pg| {
+                                        u64::from_le_bytes(pg[0..8].try_into().unwrap())
+                                    })
+                                    .unwrap();
+                                stamps.push(v);
+                            }
+                            assert!(
+                                stamps.iter().all(|s| *s == stamps[0]),
+                                "torn snapshot of writer {w}: {stamps:?}"
+                            );
+                        }
+                        p.release_read(view);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.retained_versions(), 0, "all views released, chains pruned");
+    }
+
+    #[test]
+    fn touch_without_write_leaves_no_pending_undo() {
+        let p = pool(2, 8, 8);
+        p.with_page_mut(0, |page| page.write(0, &[1; 4])).unwrap();
+        let txn = p.begin();
+        // A transactional touch that never writes must not claim the
+        // page: a later auto-committed write is legal and must survive
+        // the transaction's abort.
+        p.with_page_mut_txn(0, txn, |_page| ()).unwrap();
+        p.with_page_mut(0, |page| page.write(0, &[2; 4])).unwrap();
+        p.abort(txn).unwrap();
+        assert_eq!(
+            p.with_page(0, |pg| pg[0]).unwrap(),
+            2,
+            "abort must not undo a foreign auto-commit"
+        );
+    }
+
+    #[test]
+    fn auto_commit_writes_version_for_open_views() {
+        let p = pool(2, 8, 8);
+        p.with_page_mut(3, |page| page.write(0, &[4; 4])).unwrap();
+        let view = p.begin_read();
+        p.with_page_mut(3, |page| page.write(0, &[5; 4])).unwrap();
+        assert_eq!(p.with_page_at(&view, 3, |pg| pg[0]).unwrap(), 4);
+        assert_eq!(p.with_page(3, |pg| pg[0]).unwrap(), 5);
+        p.release_read(view);
+        assert_eq!(p.retained_versions(), 0);
     }
 }

@@ -1,0 +1,155 @@
+//! Read views: MVCC snapshots over a buffer pool.
+//!
+//! A [`ReadView`] captures the pool's commit clock at open time. Every
+//! read through the view resolves against the per-page version chains the
+//! pool retains (see `FrameCache`): a page superseded by a commit *after*
+//! the view opened reads as its pre-commit image, a page owned by an
+//! in-flight transaction reads as its last committed image, and anything
+//! else reads as the current frame. The result is snapshot isolation for
+//! readers that never blocks writers — the same "reuse what the write
+//! path already materializes" move the paper makes for differentials: the
+//! undo images transactions must keep anyway *are* the version chain.
+//!
+//! Views are explicit handles: open with `begin_read`, read through
+//! `with_page_at` (or a [`PageRead`] snapshot adapter), and hand the view
+//! back with `release_read` so the pool can prune versions no reader
+//! needs. A view that lingers past the pool's
+//! [`pdl_core::StoreOptions::snapshot_version_cap`] is cut off: the
+//! oldest versions are discarded and the view's reads fail with
+//! [`crate::StorageError::SnapshotTooOld`] — retention is bounded, like
+//! the version-retention budgets in the flash GC literature.
+
+use crate::Result;
+use std::collections::BTreeMap;
+
+/// A snapshot handle: reads through it see the database exactly as of the
+/// commit clock value captured when the view was opened.
+///
+/// The handle is deliberately neither `Clone` nor `Copy`: each view is
+/// registered once and must be released exactly once.
+#[must_use = "a read view pins page versions until it is released"]
+#[derive(Debug)]
+pub struct ReadView {
+    read_ts: u64,
+}
+
+impl ReadView {
+    pub(crate) fn new(read_ts: u64) -> ReadView {
+        ReadView { read_ts }
+    }
+
+    /// The commit-clock value this view reads at: commits with a larger
+    /// timestamp are invisible to it.
+    pub fn read_ts(&self) -> u64 {
+        self.read_ts
+    }
+}
+
+/// Read-only page access: the capability the read path of the storage
+/// engine (B+-tree lookups and scans, heap-file gets, TPC-C's read-only
+/// transactions) is written against.
+///
+/// Implementations: `&Database` (latest committed state),
+/// `DbSnapshot` / `PoolSnapshot` (a [`ReadView`]'s frozen state), and
+/// `&ShardedBufferPool` (latest state, concurrent).
+pub trait PageRead {
+    /// Logical page size in bytes.
+    fn page_size(&self) -> usize;
+
+    /// Run `f` over the current image of `pid` under this reader's
+    /// isolation level.
+    fn with_page<R>(&self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R>;
+}
+
+/// The MVCC registry a pool keeps behind a mutex: the commit clock and
+/// the multiset of active read timestamps.
+///
+/// Lock discipline (shared by both pools): the registry lock is only ever
+/// held briefly and never while acquiring a frame lock — *except* that a
+/// writer holding a frame lock may take it to allocate a commit
+/// timestamp. View registration additionally waits out `committing`, the
+/// window in which a group commit publishes its batch across stripes, so
+/// a cross-shard commit is observed atomically or not at all.
+#[derive(Debug, Default)]
+pub(crate) struct MvccState {
+    /// Commit clock: bumped once per commit event (a transaction commit,
+    /// a whole group-commit batch, or one auto-committed update command).
+    pub(crate) clock: u64,
+    /// Active read timestamps -> number of open views at that timestamp.
+    pub(crate) active: BTreeMap<u64, usize>,
+    /// A group-commit batch is mid-publish: registration must wait.
+    pub(crate) committing: bool,
+}
+
+impl MvccState {
+    /// Register a view at the current clock.
+    pub(crate) fn register(&mut self) -> u64 {
+        let ts = self.clock;
+        *self.active.entry(ts).or_insert(0) += 1;
+        ts
+    }
+
+    /// Deregister one view at `ts` and return the new retention floor:
+    /// the minimum active read timestamp, or `u64::MAX` when no views
+    /// remain (every retained version may be pruned).
+    pub(crate) fn deregister(&mut self, ts: u64) -> u64 {
+        if let Some(n) = self.active.get_mut(&ts) {
+            *n -= 1;
+            if *n == 0 {
+                self.active.remove(&ts);
+            }
+        } else {
+            debug_assert!(false, "released a view at ts {ts} that was never registered");
+        }
+        // The prune bound is additionally clamped to the clock *as read
+        // under this lock*: a view registered (and a version pushed for
+        // it) after this deregister carries a larger timestamp, so even a
+        // prune racing those events can never delete a version some
+        // reader still needs.
+        self.floor().min(self.clock)
+    }
+
+    /// The current retention floor (see [`MvccState::deregister`]).
+    pub(crate) fn floor(&self) -> u64 {
+        self.active.keys().next().copied().unwrap_or(u64::MAX)
+    }
+
+    /// Allocate a commit timestamp; returns `(ts, retain)` where `retain`
+    /// says whether any active view still needs the superseded images.
+    pub(crate) fn alloc_commit(&mut self) -> (u64, bool) {
+        self.clock += 1;
+        (self.clock, !self.active.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_tracks_views_and_floor() {
+        let mut m = MvccState::default();
+        assert_eq!(m.floor(), u64::MAX);
+        let a = m.register();
+        assert_eq!(a, 0);
+        let (c1, retain) = m.alloc_commit();
+        assert_eq!(c1, 1);
+        assert!(retain, "an active view pins versions");
+        let b = m.register();
+        assert_eq!(b, 1);
+        assert_eq!(m.deregister(a), 1, "floor moves to the remaining view");
+        assert_eq!(m.deregister(b), 1, "no views left: prune bound clamps to the clock");
+        let (_, retain) = m.alloc_commit();
+        assert!(!retain, "no views, nothing to retain");
+    }
+
+    #[test]
+    fn duplicate_timestamps_refcount() {
+        let mut m = MvccState::default();
+        let a = m.register();
+        let b = m.register();
+        assert_eq!(a, b);
+        assert_eq!(m.deregister(a), b);
+        assert_eq!(m.deregister(b), 0, "clamped to the clock, not u64::MAX");
+    }
+}

@@ -63,7 +63,7 @@ proptest! {
                     }
                 }
                 TreeOp::Get(k) => {
-                    let got = t.get(&mut d, &key(*k)).unwrap();
+                    let got = t.get(&d, &key(*k)).unwrap();
                     match model.get(k) {
                         Some(vals) => {
                             let v = got.expect("model has the key");
@@ -81,7 +81,7 @@ proptest! {
             v.sort_unstable();
         }
         let mut got: BTreeMap<u16, Vec<u16>> = BTreeMap::new();
-        t.range(&mut d, &[0u8; 16], &[0xFF; 16], |k, v| {
+        t.range(&d, &[0u8; 16], &[0xFF; 16], |k, v| {
             let kk = u16::from_be_bytes([k[0], k[1]]);
             got.entry(kk).or_default().push(v as u16);
             true
@@ -91,7 +91,7 @@ proptest! {
             v.sort_unstable();
         }
         prop_assert_eq!(got, expect);
-        t.check_invariants(&mut d).unwrap();
+        t.check_invariants(&d).unwrap();
     }
 
     /// Heap files behave like a slab under insert/update/delete, across
@@ -131,11 +131,11 @@ proptest! {
             }
         }
         for (rid, expect) in &model {
-            let got = h.get(&mut d, *rid, |b| b.to_vec()).unwrap();
+            let got = h.get(&d, *rid, |b| b.to_vec()).unwrap();
             prop_assert_eq!(&got, expect);
         }
         let mut live = 0usize;
-        h.scan(&mut d, |_, _| live += 1).unwrap();
+        h.scan(&d, |_, _| live += 1).unwrap();
         prop_assert_eq!(live, model.len());
     }
 
@@ -154,7 +154,7 @@ proptest! {
             t.insert(&mut d, &key(*k), i as u64).unwrap();
         }
         for k in &keys {
-            prop_assert!(t.get(&mut d, &key(*k)).unwrap().is_some());
+            prop_assert!(t.get(&d, &key(*k)).unwrap().is_some());
         }
         d.flush().unwrap();
     }

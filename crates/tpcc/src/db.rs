@@ -4,7 +4,7 @@
 use crate::error::TpccError;
 use crate::schema::*;
 use crate::Result;
-use pdl_storage::{BTree, Database, HeapFile, Key, KeyBuf, RecordId};
+use pdl_storage::{BTree, Database, HeapFile, Key, KeyBuf, PageRead, RecordId};
 
 /// Row counts: the TPC-C cardinalities, scalable so the benchmark fits the
 /// emulated chip (the paper runs a ~1 Gbyte database; see DESIGN.md §2 on
@@ -183,79 +183,120 @@ impl TpccDb {
     }
 
     // ------------------------------------------------------------------
-    // Typed row access used by the transactions.
+    // Typed row access used by the transactions. Row reads never mutate,
+    // so they take `&self`; every reader also has a `*_at` variant over
+    // any [`PageRead`], which is how the read-only transactions
+    // (ORDER-STATUS, STOCK-LEVEL) run against a frozen read-view
+    // snapshot instead of the live page images.
     // ------------------------------------------------------------------
 
-    pub fn warehouse_row(&mut self, w: u32) -> Result<(RecordId, Warehouse)> {
+    pub fn warehouse_row(&self, w: u32) -> Result<(RecordId, Warehouse)> {
+        self.warehouse_row_at(&self.db, w)
+    }
+
+    pub fn warehouse_row_at(&self, s: &impl PageRead, w: u32) -> Result<(RecordId, Warehouse)> {
         let rid = self
             .idx_warehouse
-            .get(&mut self.db, &keys::warehouse(w))?
+            .get_at(s, &keys::warehouse(w))?
             .ok_or(TpccError::MissingRow(TableId::Warehouse))?;
         let rid = RecordId::from_u64(rid);
-        let row = self.warehouse.get(&mut self.db, rid, Warehouse::decode)?;
+        let row = self.warehouse.get_at(s, rid, Warehouse::decode)?;
         Ok((rid, row))
     }
 
-    pub fn district_row(&mut self, w: u32, d: u8) -> Result<(RecordId, District)> {
+    pub fn district_row(&self, w: u32, d: u8) -> Result<(RecordId, District)> {
+        self.district_row_at(&self.db, w, d)
+    }
+
+    pub fn district_row_at(
+        &self,
+        s: &impl PageRead,
+        w: u32,
+        d: u8,
+    ) -> Result<(RecordId, District)> {
         let rid = self
             .idx_district
-            .get(&mut self.db, &keys::district(w, d))?
+            .get_at(s, &keys::district(w, d))?
             .ok_or(TpccError::MissingRow(TableId::District))?;
         let rid = RecordId::from_u64(rid);
-        let row = self.district.get(&mut self.db, rid, District::decode)?;
+        let row = self.district.get_at(s, rid, District::decode)?;
         Ok((rid, row))
     }
 
-    pub fn customer_row(&mut self, w: u32, d: u8, c: u32) -> Result<(RecordId, Customer)> {
+    pub fn customer_row(&self, w: u32, d: u8, c: u32) -> Result<(RecordId, Customer)> {
+        self.customer_row_at(&self.db, w, d, c)
+    }
+
+    pub fn customer_row_at(
+        &self,
+        s: &impl PageRead,
+        w: u32,
+        d: u8,
+        c: u32,
+    ) -> Result<(RecordId, Customer)> {
         let rid = self
             .idx_customer
-            .get(&mut self.db, &keys::customer(w, d, c))?
+            .get_at(s, &keys::customer(w, d, c))?
             .ok_or(TpccError::MissingRow(TableId::Customer))?;
         let rid = RecordId::from_u64(rid);
-        let row = self.customer.get(&mut self.db, rid, Customer::decode)?;
+        let row = self.customer.get_at(s, rid, Customer::decode)?;
         Ok((rid, row))
     }
 
     /// Customers matching a last name, ordered by first name (clause
     /// 2.5.2.2: select the one at position ceil(n/2)).
     pub fn customers_by_name(
-        &mut self,
+        &self,
+        w: u32,
+        d: u8,
+        last: &str,
+    ) -> Result<Vec<(RecordId, Customer)>> {
+        self.customers_by_name_at(&self.db, w, d, last)
+    }
+
+    pub fn customers_by_name_at(
+        &self,
+        s: &impl PageRead,
         w: u32,
         d: u8,
         last: &str,
     ) -> Result<Vec<(RecordId, Customer)>> {
         let key = keys::customer_name(w, d, last);
         let mut rids = Vec::new();
-        self.idx_customer_name.range(&mut self.db, &key, &key, |_, v| {
+        self.idx_customer_name.range_at(s, &key, &key, |_, v| {
             rids.push(RecordId::from_u64(v));
             true
         })?;
         let mut rows = Vec::with_capacity(rids.len());
         for rid in rids {
-            let row = self.customer.get(&mut self.db, rid, Customer::decode)?;
+            let row = self.customer.get_at(s, rid, Customer::decode)?;
             rows.push((rid, row));
         }
         rows.sort_by(|a, b| a.1.first.cmp(&b.1.first));
         Ok(rows)
     }
 
-    pub fn item_row(&mut self, i: u32) -> Result<Option<Item>> {
-        match self.idx_item.get(&mut self.db, &keys::item(i))? {
+    pub fn item_row(&self, i: u32) -> Result<Option<Item>> {
+        match self.idx_item.get(&self.db, &keys::item(i))? {
             Some(rid) => {
-                let row = self.item.get(&mut self.db, RecordId::from_u64(rid), Item::decode)?;
+                let row = self.item.get(&self.db, RecordId::from_u64(rid), Item::decode)?;
                 Ok(Some(row))
             }
             None => Ok(None),
         }
     }
 
-    pub fn stock_row(&mut self, w: u32, i: u32) -> Result<(RecordId, Stock)> {
+    pub fn stock_row(&self, w: u32, i: u32) -> Result<(RecordId, Stock)> {
+        self.stock_row_at(&self.db, w, i)
+    }
+
+    pub fn stock_row_at(&self, s: &impl PageRead, w: u32, i: u32) -> Result<(RecordId, Stock)> {
         let rid = self
             .idx_stock
-            .get(&mut self.db, &keys::stock(w, i))?
+            .get_at(s, &keys::stock(w, i))?
             .ok_or(TpccError::MissingRow(TableId::Stock))?;
         let rid = RecordId::from_u64(rid);
-        let row = self.stock.get(&mut self.db, rid, Stock::decode)?;
+        let row = self.stock.get_at(s, rid, Stock::decode)?;
         Ok((rid, row))
     }
 

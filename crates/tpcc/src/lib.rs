@@ -46,27 +46,27 @@ mod tests {
 
     #[test]
     fn loads_and_checks_cardinalities() {
-        let mut t = tiny_db(MethodKind::Opu);
+        let t = tiny_db(MethodKind::Opu);
         let scale = t.scale;
         let mut customers = 0;
-        t.customer.scan(&mut t.db, |_, _| customers += 1).unwrap();
+        t.customer.scan(&t.db, |_, _| customers += 1).unwrap();
         assert_eq!(
             customers,
             (scale.warehouses * scale.districts_per_warehouse * scale.customers_per_district)
                 as usize
         );
         let mut stock = 0;
-        t.stock.scan(&mut t.db, |_, _| stock += 1).unwrap();
+        t.stock.scan(&t.db, |_, _| stock += 1).unwrap();
         assert_eq!(stock, (scale.warehouses * scale.items) as usize);
         let mut orders = 0;
-        t.order.scan(&mut t.db, |_, _| orders += 1).unwrap();
+        t.order.scan(&t.db, |_, _| orders += 1).unwrap();
         assert_eq!(
             orders,
             (scale.warehouses * scale.districts_per_warehouse * scale.orders_per_district) as usize
         );
         // ~30% of orders are undelivered.
         let mut new_orders = 0;
-        t.new_order.scan(&mut t.db, |_, _| new_orders += 1).unwrap();
+        t.new_order.scan(&t.db, |_, _| new_orders += 1).unwrap();
         let expect =
             scale.orders_per_district * 3 / 10 * scale.warehouses * scale.districts_per_warehouse;
         assert_eq!(new_orders as u32, expect);
@@ -74,7 +74,7 @@ mod tests {
 
     #[test]
     fn estimate_bounds_real_load() {
-        let mut t = tiny_db(MethodKind::Opu);
+        let t = tiny_db(MethodKind::Opu);
         let est = t.scale.estimated_loaded_pages(2048);
         let actual = t.db.allocated_pages();
         assert!(actual <= est * 2 && est <= actual * 3, "estimate {est} vs actual {actual}");
@@ -127,7 +127,7 @@ mod tests {
         let w_after = t.warehouse_row(1).unwrap().1.ytd;
         assert!(w_after > w_before, "warehouse YTD must grow");
         let mut history = 0;
-        t.history.scan(&mut t.db, |_, _| history += 1).unwrap();
+        t.history.scan(&t.db, |_, _| history += 1).unwrap();
         let loaded =
             t.scale.warehouses * t.scale.districts_per_warehouse * t.scale.customers_per_district;
         assert_eq!(history as u32, loaded + 10);
@@ -138,12 +138,43 @@ mod tests {
         let mut t = tiny_db(MethodKind::Opu);
         let mut r = TpccRand::new(3);
         let mut before = 0;
-        t.new_order.scan(&mut t.db, |_, _| before += 1).unwrap();
+        t.new_order.scan(&t.db, |_, _| before += 1).unwrap();
         run_transaction(&mut t, &mut r, TxnKind::Delivery).unwrap();
         let mut after = 0;
-        t.new_order.scan(&mut t.db, |_, _| after += 1).unwrap();
+        t.new_order.scan(&t.db, |_, _| after += 1).unwrap();
         // One order per district was delivered.
         assert_eq!(before - after, t.scale.districts_per_warehouse as usize);
+    }
+
+    #[test]
+    fn read_only_transactions_see_a_frozen_snapshot() {
+        let mut t = tiny_db(MethodKind::Pdl { max_diff_size: 256 });
+        let mut r = TpccRand::new(9);
+        // Freeze a view, then commit NEW-ORDERs that advance district
+        // counters and insert orders.
+        let view = t.db.begin_read();
+        let d_before = t.district_row(1, 1).unwrap().1.next_o_id;
+        let mut advanced = 0;
+        while advanced == 0 {
+            for _ in 0..10 {
+                if run_transaction(&mut t, &mut r, TxnKind::NewOrder).unwrap() {
+                    advanced += 1;
+                }
+            }
+        }
+        // Through the snapshot, every district counter is still at its
+        // open-time value; current reads see the advances.
+        let snap = t.db.snapshot(&view);
+        let snap_next = t.district_row_at(&snap, 1, 1).unwrap().1.next_o_id;
+        assert_eq!(snap_next, d_before, "view must not see post-open commits");
+        let mut totals = (0u32, 0u32);
+        for d in 1..=t.scale.districts_per_warehouse as u8 {
+            totals.0 += t.district_row_at(&snap, 1, d).unwrap().1.next_o_id;
+            totals.1 += t.district_row(1, d).unwrap().1.next_o_id;
+        }
+        assert_eq!(totals.1 - totals.0, advanced, "current state advanced past the snapshot");
+        let _ = snap;
+        t.db.release_read(view);
     }
 
     #[test]

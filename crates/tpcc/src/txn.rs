@@ -16,7 +16,7 @@ use crate::error::TpccError;
 use crate::random::TpccRand;
 use crate::schema::*;
 use crate::Result;
-use pdl_storage::{KeyBuf, RecordId};
+use pdl_storage::{KeyBuf, PageRead, RecordId};
 
 /// Transaction types.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -87,30 +87,49 @@ impl TxnStats {
     }
 }
 
-/// Execute one transaction of the given kind inside a begin/commit
-/// bracket. Returns `true` when the transaction committed (NEW-ORDER
-/// aborts ~1% of the time by spec, rolling its writes back).
+/// Execute one transaction of the given kind. Write transactions run
+/// inside a begin/commit bracket; the read-only transactions
+/// (ORDER-STATUS and STOCK-LEVEL, clauses 2.6/2.8) run as **read-only
+/// transactions over an MVCC read view** — they open a snapshot, scan it
+/// without taking any write-path locks, and release it, so they never
+/// observe (or block) a concurrent writer's in-flight changes. Returns
+/// `true` when the transaction committed (NEW-ORDER aborts ~1% of the
+/// time by spec, rolling its writes back).
 pub fn run_transaction(t: &mut TpccDb, r: &mut TpccRand, kind: TxnKind) -> Result<bool> {
-    t.db.begin()?;
-    let outcome = match kind {
-        TxnKind::NewOrder => new_order(t, r),
-        TxnKind::Payment => payment(t, r).map(|()| true),
-        TxnKind::OrderStatus => order_status(t, r).map(|()| true),
-        TxnKind::Delivery => delivery(t, r).map(|()| true),
-        TxnKind::StockLevel => stock_level(t, r).map(|()| true),
-    };
-    match outcome {
-        Ok(true) => {
-            t.db.commit()?;
-            Ok(true)
+    match kind {
+        TxnKind::OrderStatus | TxnKind::StockLevel => {
+            let view = t.db.begin_read();
+            let outcome = {
+                let snap = t.db.snapshot(&view);
+                match kind {
+                    TxnKind::OrderStatus => order_status(t, r, &snap),
+                    _ => stock_level(t, r, &snap),
+                }
+            };
+            t.db.release_read(view);
+            outcome.map(|()| true)
         }
-        Ok(false) => {
-            t.db.abort()?;
-            Ok(false)
-        }
-        Err(e) => {
-            let _ = t.db.abort();
-            Err(e)
+        _ => {
+            t.db.begin()?;
+            let outcome = match kind {
+                TxnKind::NewOrder => new_order(t, r),
+                TxnKind::Payment => payment(t, r).map(|()| true),
+                _ => delivery(t, r).map(|()| true),
+            };
+            match outcome {
+                Ok(true) => {
+                    t.db.commit()?;
+                    Ok(true)
+                }
+                Ok(false) => {
+                    t.db.abort()?;
+                    Ok(false)
+                }
+                Err(e) => {
+                    let _ = t.db.abort();
+                    Err(e)
+                }
+            }
         }
     }
 }
@@ -320,51 +339,51 @@ fn payment(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
 }
 
 // ----------------------------------------------------------------------
-// ORDER-STATUS (clause 2.6, read only)
+// ORDER-STATUS (clause 2.6, read only — runs over a read-view snapshot)
 // ----------------------------------------------------------------------
 
-fn order_status(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
+fn order_status(t: &TpccDb, r: &mut TpccRand, s: &impl PageRead) -> Result<()> {
     let w = pick_warehouse(t, r);
     let d = pick_district(t, r);
 
     let (_c_rid, customer) = if r.chance(60) {
         let last = r.run_last_name();
-        let matches = t.customers_by_name(w, d, &last)?;
+        let matches = t.customers_by_name_at(s, w, d, &last)?;
         match matches.len() {
             0 => {
                 let c = r.customer_id(t.scale.customers_per_district);
-                t.customer_row(w, d, c)?
+                t.customer_row_at(s, w, d, c)?
             }
             n => matches.into_iter().nth(n / 2).expect("n/2 < n"),
         }
     } else {
         let c = r.customer_id(t.scale.customers_per_district);
-        t.customer_row(w, d, c)?
+        t.customer_row_at(s, w, d, c)?
     };
 
     // The customer's most recent order.
     let lo = keys::order_customer(w, d, customer.c_id, 0);
     let hi = keys::order_customer(w, d, customer.c_id, u32::MAX);
     let mut last_rid: Option<RecordId> = None;
-    t.idx_order_customer.range(&mut t.db, &lo, &hi, |_, v| {
+    t.idx_order_customer.range_at(s, &lo, &hi, |_, v| {
         last_rid = Some(RecordId::from_u64(v));
         true
     })?;
     let Some(o_rid) = last_rid else {
         return Ok(()); // customer has no orders (possible at tiny scales)
     };
-    let order = t.order.get(&mut t.db, o_rid, Order::decode)?;
+    let order = t.order.get_at(s, o_rid, Order::decode)?;
 
     // Read its order lines.
     let lo = keys::order_line(w, d, order.o_id, 0);
     let hi = keys::order_line(w, d, order.o_id, u8::MAX);
     let mut rids = Vec::new();
-    t.idx_order_line.range(&mut t.db, &lo, &hi, |_, v| {
+    t.idx_order_line.range_at(s, &lo, &hi, |_, v| {
         rids.push(RecordId::from_u64(v));
         true
     })?;
     for rid in rids {
-        let ol = t.order_line.get(&mut t.db, rid, OrderLine::decode)?;
+        let ol = t.order_line.get_at(s, rid, OrderLine::decode)?;
         let _ = (ol.i_id, ol.quantity, ol.amount, ol.delivery_d);
     }
     Ok(())
@@ -382,22 +401,22 @@ fn delivery(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
         let lo = keys::new_order(w, d, 0);
         let hi = keys::new_order(w, d, u32::MAX);
         let mut oldest: Option<(pdl_storage::Key, RecordId)> = None;
-        t.idx_new_order.range(&mut t.db, &lo, &hi, |k, v| {
+        t.idx_new_order.range(&t.db, &lo, &hi, |k, v| {
             oldest = Some((*k, RecordId::from_u64(v)));
             false // first = oldest (keys ascend by o_id)
         })?;
         let Some((no_key, no_rid)) = oldest else { continue };
-        let no = t.new_order.get(&mut t.db, no_rid, NewOrder::decode)?;
+        let no = t.new_order.get(&t.db, no_rid, NewOrder::decode)?;
         t.new_order.delete(&mut t.db, no_rid)?;
         t.idx_new_order.delete_exact(&mut t.db, &no_key, no_rid.to_u64())?;
 
         // Mark the order delivered.
         let o_rid = t
             .idx_order
-            .get(&mut t.db, &keys::order(w, d, no.o_id))?
+            .get(&t.db, &keys::order(w, d, no.o_id))?
             .ok_or(TpccError::MissingRow(TableId::Order))?;
         let o_rid = RecordId::from_u64(o_rid);
-        let mut order = t.order.get(&mut t.db, o_rid, Order::decode)?;
+        let mut order = t.order.get(&t.db, o_rid, Order::decode)?;
         order.carrier_id = carrier;
         t.order.update(&mut t.db, o_rid, &order.encode())?;
 
@@ -405,13 +424,13 @@ fn delivery(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
         let lo = keys::order_line(w, d, no.o_id, 0);
         let hi = keys::order_line(w, d, no.o_id, u8::MAX);
         let mut rids = Vec::new();
-        t.idx_order_line.range(&mut t.db, &lo, &hi, |_, v| {
+        t.idx_order_line.range(&t.db, &lo, &hi, |_, v| {
             rids.push(RecordId::from_u64(v));
             true
         })?;
         let mut total = 0.0;
         for rid in rids {
-            let mut ol = t.order_line.get(&mut t.db, rid, OrderLine::decode)?;
+            let mut ol = t.order_line.get(&t.db, rid, OrderLine::decode)?;
             ol.delivery_d = 4;
             total += ol.amount;
             t.order_line.update(&mut t.db, rid, &ol.encode())?;
@@ -427,15 +446,17 @@ fn delivery(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
 }
 
 // ----------------------------------------------------------------------
-// STOCK-LEVEL (clause 2.8, read only)
+// STOCK-LEVEL (clause 2.8, read only — runs over a read-view snapshot,
+// the scan-heavy consistency case: the order-line walk and the stock
+// re-reads must agree, which the frozen view guarantees)
 // ----------------------------------------------------------------------
 
-fn stock_level(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
+fn stock_level(t: &TpccDb, r: &mut TpccRand, s: &impl PageRead) -> Result<()> {
     let w = pick_warehouse(t, r);
     let d = pick_district(t, r);
     let threshold = r.uniform(10, 20) as i16;
 
-    let (_d_rid, district) = t.district_row(w, d)?;
+    let (_d_rid, district) = t.district_row_at(s, w, d)?;
     let next_o_id = district.next_o_id;
     let from_o = next_o_id.saturating_sub(20).max(1);
 
@@ -443,20 +464,20 @@ fn stock_level(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
     let lo = keys::order_line(w, d, from_o, 0);
     let hi = keys::order_line(w, d, next_o_id.saturating_sub(1), u8::MAX);
     let mut rids = Vec::new();
-    t.idx_order_line.range(&mut t.db, &lo, &hi, |_, v| {
+    t.idx_order_line.range_at(s, &lo, &hi, |_, v| {
         rids.push(RecordId::from_u64(v));
         true
     })?;
     let mut item_ids = Vec::new();
     for rid in rids {
-        let ol = t.order_line.get(&mut t.db, rid, OrderLine::decode)?;
+        let ol = t.order_line.get_at(s, rid, OrderLine::decode)?;
         if !item_ids.contains(&ol.i_id) {
             item_ids.push(ol.i_id);
         }
     }
     let mut low = 0u32;
     for i_id in item_ids {
-        let (_rid, stock) = t.stock_row(w, i_id)?;
+        let (_rid, stock) = t.stock_row_at(s, w, i_id)?;
         if stock.quantity < threshold {
             low += 1;
         }

@@ -23,6 +23,7 @@
 mod driver;
 mod measure;
 mod mutate;
+mod readers;
 mod report;
 mod scale;
 mod threaded;
@@ -31,6 +32,7 @@ mod txn;
 pub use driver::{load_database, run_mix_workload, run_update_workload, MixConfig, UpdateConfig};
 pub use measure::{Measurement, StepCosts};
 pub use mutate::{Placement, UpdateGen};
+pub use readers::{run_snapshot_read_workload, SnapshotReadConfig, SnapshotReadResult};
 pub use report::{format_us, wear_table, Table};
 pub use scale::{chip_for, db_pages_for, Scale};
 pub use threaded::{run_threaded_update_workload, PageSetMode, ThreadedConfig};

@@ -43,10 +43,9 @@ fn btree_and_heap_work_over_every_method_under_pool_pressure() {
                         let (k, v) = model.iter().nth(n).unwrap();
                         (*k, v.clone())
                     };
-                    let got =
-                        tree.get(&mut db, &KeyBuf::new().push_u64(k).finish()).unwrap().unwrap();
+                    let got = tree.get(&db, &KeyBuf::new().push_u64(k).finish()).unwrap().unwrap();
                     assert_eq!(RecordId::from_u64(got), rid, "{}", kind.label());
-                    let bytes = heap.get(&mut db, rid, |b| b.to_vec()).unwrap();
+                    let bytes = heap.get(&db, rid, |b| b.to_vec()).unwrap();
                     assert_eq!(bytes, rec, "{}", kind.label());
                 }
                 8 if !model.is_empty() => {
@@ -85,9 +84,9 @@ fn btree_and_heap_work_over_every_method_under_pool_pressure() {
 
         // Everything still reads correctly through the index.
         for (k, (rid, rec)) in &model {
-            let got = tree.get(&mut db, &KeyBuf::new().push_u64(*k).finish()).unwrap();
+            let got = tree.get(&db, &KeyBuf::new().push_u64(*k).finish()).unwrap();
             assert_eq!(got, Some(rid.to_u64()), "{} key {k}", kind.label());
-            let bytes = heap.get(&mut db, *rid, |b| b.to_vec()).unwrap();
+            let bytes = heap.get(&db, *rid, |b| b.to_vec()).unwrap();
             assert_eq!(&bytes, rec, "{} key {k}", kind.label());
         }
         assert!(db.buffer_stats().evictions > 0, "pool pressure was real");
@@ -116,11 +115,11 @@ fn flushed_stack_survives_crash_and_recovery() {
         let opts = *store.options();
         let chip = store.into_chip(); // crash: all volatile state gone
         let store = recover_store(chip, kind, opts).unwrap();
-        let mut db = Database::new_with_allocated(store, 16, allocated);
+        let db = Database::new_with_allocated(store, 16, allocated);
         for (k, rid, rec) in &expectations {
-            let got = tree.get(&mut db, &KeyBuf::new().push_u64(*k).finish()).unwrap();
+            let got = tree.get(&db, &KeyBuf::new().push_u64(*k).finish()).unwrap();
             assert_eq!(got, Some(rid.to_u64()), "{} key {k}", kind.label());
-            let bytes = heap.get(&mut db, *rid, |b| b.to_vec()).unwrap();
+            let bytes = heap.get(&db, *rid, |b| b.to_vec()).unwrap();
             assert_eq!(&bytes, rec, "{} key {k}", kind.label());
         }
     }
@@ -149,7 +148,7 @@ fn io_accounting_flows_to_the_chip_through_the_whole_stack() {
     // A re-scan reads back through the pool (cold cache -> real reads).
     db.reset_io_stats();
     let mut n = 0;
-    heap.scan(&mut db, |_, _| n += 1).unwrap();
+    heap.scan(&db, |_, _| n += 1).unwrap();
     assert_eq!(n, 200);
     assert!(db.io_stats().total().reads > 0);
 }

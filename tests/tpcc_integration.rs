@@ -20,7 +20,7 @@ fn check_district_order_consistency(t: &mut TpccDb) {
     let mut max_o: std::collections::HashMap<(u32, u8), u32> = std::collections::HashMap::new();
     let mut order_count = 0u32;
     t.order
-        .scan(&mut t.db, |_, bytes| {
+        .scan(&t.db, |_, bytes| {
             let o = pdl_tpcc::schema::Order::decode(bytes);
             let e = max_o.entry((o.w_id, o.d_id)).or_insert(0);
             *e = (*e).max(o.o_id);
@@ -42,7 +42,7 @@ fn check_district_order_consistency(t: &mut TpccDb) {
 fn check_order_lines(t: &mut TpccDb) {
     let mut orders: Vec<pdl_tpcc::schema::Order> = Vec::new();
     t.order
-        .scan(&mut t.db, |_, bytes| {
+        .scan(&t.db, |_, bytes| {
             orders.push(pdl_tpcc::schema::Order::decode(bytes));
         })
         .unwrap();
@@ -62,7 +62,7 @@ fn check_order_lines(t: &mut TpccDb) {
             .finish();
         let mut n = 0;
         t.idx_order_line
-            .range(&mut t.db, &lo, &hi, |_, _| {
+            .range(&t.db, &lo, &hi, |_, _| {
                 n += 1;
                 true
             })
@@ -75,18 +75,16 @@ fn check_order_lines(t: &mut TpccDb) {
 fn check_new_orders_undelivered(t: &mut TpccDb) {
     let mut new_orders: Vec<pdl_tpcc::schema::NewOrder> = Vec::new();
     t.new_order
-        .scan(&mut t.db, |_, bytes| {
+        .scan(&t.db, |_, bytes| {
             new_orders.push(pdl_tpcc::schema::NewOrder::decode(bytes));
         })
         .unwrap();
     for no in new_orders.iter().step_by(5) {
         let key =
             KeyBuf::new().push_u16(no.w_id as u16).push_u8(no.d_id).push_u32(no.o_id).finish();
-        let rid = t.idx_order.get(&mut t.db, &key).unwrap().expect("order for new-order");
-        let o = t
-            .order
-            .get(&mut t.db, RecordId::from_u64(rid), pdl_tpcc::schema::Order::decode)
-            .unwrap();
+        let rid = t.idx_order.get(&t.db, &key).unwrap().expect("order for new-order");
+        let o =
+            t.order.get(&t.db, RecordId::from_u64(rid), pdl_tpcc::schema::Order::decode).unwrap();
         assert_eq!(o.carrier_id, 0, "new-order rows must be undelivered");
     }
 }
@@ -148,12 +146,12 @@ fn delivery_eventually_drains_when_no_new_orders_arrive() {
     let mut r = TpccRand::new(4);
     // Count initial new-orders, then run only DELIVERY transactions.
     let mut before = 0u32;
-    t.new_order.scan(&mut t.db, |_, _| before += 1).unwrap();
+    t.new_order.scan(&t.db, |_, _| before += 1).unwrap();
     for _ in 0..before {
         pdl_tpcc::run_transaction(&mut t, &mut r, TxnKind::Delivery).unwrap();
     }
     let mut after = 0u32;
-    t.new_order.scan(&mut t.db, |_, _| after += 1).unwrap();
+    t.new_order.scan(&t.db, |_, _| after += 1).unwrap();
     assert_eq!(after, 0, "all initial new-orders deliverable");
     // Delivered orders carry a carrier and stamped lines.
     check_district_order_consistency(&mut t);
