@@ -57,10 +57,13 @@ pub fn run_tpcc_point(
         load(db, tpcc_scale, seed).map_err(|e| CoreError::BadConfig(e.to_string()))?;
     let loaded = t.db.allocated_pages();
 
-    // Re-wrap the store with the experiment's buffer size.
+    // Re-wrap the store with the experiment's buffer size, carrying the
+    // table and index handles across the rebuild.
     let buffer_pages = ((loaded as f64 * buffer_pct / 100.0).round() as usize).max(2);
+    t.detach_structures();
     let store = t.db.into_store().map_err(|e| CoreError::BadConfig(e.to_string()))?;
     t.db = Database::new_with_allocated(store, buffer_pages, loaded);
+    t.attach_structures();
 
     let mut r = TpccRand::new(seed ^ 0xABCD);
     run_mix(&mut t, &mut r, warmup).map_err(|e| CoreError::BadConfig(e.to_string()))?;

@@ -13,9 +13,9 @@
 
 use pdl_core::{build_store, GcPolicy, MethodKind, PageStore, Pdl, ShardedStore, StoreOptions};
 use pdl_flash::{FlashChip, FlashConfig};
-use pdl_storage::{Database, ShardedBufferPool};
+use pdl_storage::{BTree, Database, Durability, HeapFile, Key, KeyBuf, ShardedBufferPool};
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 const PAGES: u64 = 12;
 
@@ -300,6 +300,9 @@ proptest! {
                 );
             }
             db.release_read(epoch);
+            // Teardown: no leaked views, nothing left pinned.
+            prop_assert_eq!(db.buffer_stats().active_views, 0);
+            prop_assert_eq!(db.retained_versions(), 0);
         }
     }
 
@@ -391,6 +394,201 @@ proptest! {
                 pool.release_read(view);
             }
             prop_assert_eq!(pool.retained_versions(), 0, "all views released");
+            prop_assert_eq!(pool.stats().active_views, 0, "the view registry drained");
+        }
+    }
+
+    /// Tentpole oracle for the structure-root log: N-shard databases
+    /// (N in {1, 2, 4}) under writers driving continuous B+-tree splits
+    /// and heap growth, with epoch-long and per-round read views held
+    /// open across the churn. Every scan through a **stale handle** —
+    /// the same `BTree` / `HeapFile` the writer keeps splitting — must
+    /// match the shadow model at the view's open time byte for byte,
+    /// the *current* state must match the committed model even right
+    /// after an abort-after-split (physiological structural undo), and
+    /// a mid-sequence crash + `ShardedStore::recover` + `attach` at the
+    /// last committed roots must land on exactly the committed model.
+    #[test]
+    fn structure_scans_through_stale_handles_match_the_model(
+        rounds in proptest::collection::vec(
+            (proptest::collection::vec(any::<u16>(), 4..20), any::<bool>()),
+            3..7,
+        ),
+        crash_at in 0usize..7,
+    ) {
+        let kind = MethodKind::Pdl { max_diff_size: 128 };
+        let opts = StoreOptions::new(192);
+        // Small pages (256 bytes -> 10 B+-tree entries per node) so the
+        // churn splits leaves and grows the tree constantly.
+        let mut config = FlashConfig::tiny();
+        config.geometry.num_blocks = 64;
+        let tree_key = |k: u16, round: usize, j: usize| -> Key {
+            KeyBuf::new().push_u16(k).push_u8(round as u8).push_u8(j as u8).finish()
+        };
+        let heap_rec = |k: u16, round: usize, j: usize| -> Vec<u8> {
+            let mut rec = vec![0u8; 20];
+            rec[0..2].copy_from_slice(&k.to_le_bytes());
+            rec[2] = round as u8;
+            rec[3] = j as u8;
+            rec
+        };
+        for n in [1usize, 2, 4] {
+            let store =
+                ShardedStore::with_uniform_chips(config, n, kind, opts).unwrap();
+            let mut db = Database::new(Box::new(store), 128)
+                .with_durability(Durability::Commit);
+            let mut tree = BTree::create(&mut db).unwrap();
+            let mut heap = HeapFile::create(&db);
+            // The creations above auto-committed in memory; write them
+            // through so a crash before the first commit still recovers
+            // the empty structures.
+            db.flush().unwrap();
+            let mut tree_model: BTreeMap<Key, u64> = BTreeMap::new();
+            let mut heap_model: BTreeMap<(u64, u16), Vec<u8>> = BTreeMap::new();
+            // Seed a committed baseline.
+            db.begin().unwrap();
+            for j in 0..8u16 {
+                let key = tree_key(j, 99, j as usize);
+                tree.insert(&mut db, &key, j as u64).unwrap();
+                tree_model.insert(key, j as u64);
+                let rec = heap_rec(j, 99, j as usize);
+                let rid = heap.insert(&mut db, &rec).unwrap();
+                heap_model.insert((rid.pid, rid.slot), rec);
+            }
+            db.commit().unwrap();
+            // An epoch-long view pinning this baseline across all churn.
+            let mut epoch = db.begin_read();
+            let mut epoch_tree = tree_model.clone();
+            let mut epoch_heap = heap_model.clone();
+            for (i, (keys, commit)) in rounds.iter().enumerate() {
+                if i == crash_at {
+                    // Crash with a view open: remember only what a real
+                    // system could (the last *committed* roots), recover,
+                    // re-attach, and verify the committed model survived.
+                    let root = tree.current_root(&db);
+                    let pages = heap.pages_in(&db);
+                    let allocated = db.allocated_pages();
+                    db.release_read(epoch);
+                    let chips = db.into_store_without_flush().into_chips();
+                    let store = ShardedStore::recover(chips, kind, opts).unwrap();
+                    db = Database::new_with_allocated(Box::new(store), 128, allocated)
+                        .with_durability(Durability::Commit);
+                    tree = BTree::attach(&db, root);
+                    heap = HeapFile::attach(&db, pages);
+                    let view = db.begin_read();
+                    let snap = db.snapshot(&view);
+                    let mut seen: BTreeMap<Key, u64> = BTreeMap::new();
+                    tree.range_at(&snap, &[0u8; 16], &[0xFF; 16], |k, v| {
+                        seen.insert(*k, v);
+                        true
+                    })
+                    .unwrap();
+                    prop_assert_eq!(&seen, &tree_model,
+                        "{} shards: recovered tree diverged from the committed model", n);
+                    let mut hseen: BTreeMap<(u64, u16), Vec<u8>> = BTreeMap::new();
+                    heap.scan_at(&snap, |rid, bytes| {
+                        hseen.insert((rid.pid, rid.slot), bytes.to_vec());
+                    })
+                    .unwrap();
+                    prop_assert_eq!(&hseen, &heap_model,
+                        "{} shards: recovered heap diverged from the committed model", n);
+                    let _ = snap;
+                    db.release_read(view);
+                    epoch = db.begin_read();
+                    epoch_tree = tree_model.clone();
+                    epoch_heap = heap_model.clone();
+                }
+                let tree_at_open = tree_model.clone();
+                let heap_at_open = heap_model.clone();
+                let view = db.begin_read();
+                let mut tree_staged = tree_model.clone();
+                let mut heap_staged = heap_model.clone();
+                db.begin().unwrap();
+                for (j, k) in keys.iter().enumerate() {
+                    let key = tree_key(*k, i, j);
+                    let val = (i * 1000 + j) as u64;
+                    tree.insert(&mut db, &key, val).unwrap();
+                    tree_staged.insert(key, val);
+                    let rec = heap_rec(*k, i, j);
+                    let rid = heap.insert(&mut db, &rec).unwrap();
+                    heap_staged.insert((rid.pid, rid.slot), rec);
+                }
+                if *commit {
+                    db.commit().unwrap();
+                    tree_model = tree_staged;
+                    heap_model = heap_staged;
+                } else {
+                    db.abort().unwrap();
+                }
+                // The round view, read through the STALE live handles
+                // (their roots kept moving under it), must see exactly
+                // the open-time state.
+                {
+                    let snap = db.snapshot(&view);
+                    let mut seen: BTreeMap<Key, u64> = BTreeMap::new();
+                    tree.range_at(&snap, &[0u8; 16], &[0xFF; 16], |k, v| {
+                        seen.insert(*k, v);
+                        true
+                    })
+                    .unwrap();
+                    prop_assert_eq!(&seen, &tree_at_open,
+                        "{} shards, round {}: stale-handle tree scan diverged from the \
+                         open-time model", n, i);
+                    let mut hseen: BTreeMap<(u64, u16), Vec<u8>> = BTreeMap::new();
+                    heap.scan_at(&snap, |rid, bytes| {
+                        hseen.insert((rid.pid, rid.slot), bytes.to_vec());
+                    })
+                    .unwrap();
+                    prop_assert_eq!(&hseen, &heap_at_open,
+                        "{} shards, round {}: stale-handle heap scan diverged from the \
+                         open-time model", n, i);
+                }
+                db.release_read(view);
+                // Current state must equal the committed model — right
+                // through an abort-after-split (structural undo).
+                let mut cur: BTreeMap<Key, u64> = BTreeMap::new();
+                tree.range(&db, &[0u8; 16], &[0xFF; 16], |k, v| {
+                    cur.insert(*k, v);
+                    true
+                })
+                .unwrap();
+                prop_assert_eq!(&cur, &tree_model,
+                    "{} shards, round {} ({}): current tree diverged", n, i,
+                    if *commit { "committed" } else { "aborted" });
+                let mut hcur: BTreeMap<(u64, u16), Vec<u8>> = BTreeMap::new();
+                heap.scan(&db, |rid, bytes| {
+                    hcur.insert((rid.pid, rid.slot), bytes.to_vec());
+                })
+                .unwrap();
+                prop_assert_eq!(&hcur, &heap_model,
+                    "{} shards, round {} ({}): current heap diverged", n, i,
+                    if *commit { "committed" } else { "aborted" });
+            }
+            // The epoch view still reads its open-time world.
+            {
+                let snap = db.snapshot(&epoch);
+                let mut seen: BTreeMap<Key, u64> = BTreeMap::new();
+                tree.range_at(&snap, &[0u8; 16], &[0xFF; 16], |k, v| {
+                    seen.insert(*k, v);
+                    true
+                })
+                .unwrap();
+                prop_assert_eq!(&seen, &epoch_tree,
+                    "{} shards: epoch tree scan diverged", n);
+                let mut hseen: BTreeMap<(u64, u16), Vec<u8>> = BTreeMap::new();
+                heap.scan_at(&snap, |rid, bytes| {
+                    hseen.insert((rid.pid, rid.slot), bytes.to_vec());
+                })
+                .unwrap();
+                prop_assert_eq!(&hseen, &epoch_heap,
+                    "{} shards: epoch heap scan diverged", n);
+            }
+            db.release_read(epoch);
+            // Teardown: the active-view registry is empty and nothing
+            // stayed pinned (catches future view leaks).
+            prop_assert_eq!(db.buffer_stats().active_views, 0);
+            prop_assert_eq!(db.retained_versions(), 0);
+            prop_assert_eq!(db.retained_struct_versions(), 0);
         }
     }
 

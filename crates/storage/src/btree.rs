@@ -21,7 +21,8 @@
 
 use crate::buffer::{read_u16, read_u64, PageMut};
 use crate::db::Database;
-use crate::view::PageRead;
+use crate::error::StorageError;
+use crate::view::{PageRead, StructId, StructRoot};
 use crate::Result;
 
 /// Index key: 16 bytes, compared lexicographically.
@@ -178,29 +179,84 @@ fn remove_entry_at(page: &mut PageMut, idx: usize) {
 }
 
 /// A B+-tree rooted at a page.
+///
+/// A tree built with [`BTree::create`] (or re-attached with
+/// [`BTree::attach`]) is **registered** in its database's structure-root
+/// log: every committed root move is recorded against the MVCC commit
+/// clock, so *any* handle — however stale — resolves the right root for
+/// whatever it reads through. A snapshot scan descends the root as of the
+/// view's timestamp; a current-state read descends the latest committed
+/// root (plus the open transaction's pending move, for the writer
+/// itself); and [`crate::Database::abort`] rolls a split's root move back
+/// along with the page bytes. [`BTree::open`] still builds a raw,
+/// unregistered handle pinned to a fixed root pid.
 pub struct BTree {
     root: u64,
+    id: Option<StructId>,
 }
 
 impl BTree {
-    /// Create an empty tree (allocates the root leaf).
+    /// Create an empty tree (allocates the root leaf) and register it in
+    /// the database's structure-root log.
     pub fn create(db: &mut Database) -> Result<BTree> {
         let root = db.alloc_page()?;
         db.with_page_mut(root, |p| init_node(p, KIND_LEAF, NO_PID))?;
-        Ok(BTree { root })
+        let id = db.register_struct(StructRoot::BTree { root });
+        Ok(BTree { root, id: Some(id) })
     }
 
+    /// The root pid as of this handle's last operation. Registered trees
+    /// resolve the authoritative root per read through the structure-root
+    /// log; prefer [`BTree::current_root`] where a [`PageRead`] is at
+    /// hand.
     pub fn root_pid(&self) -> u64 {
         self.root
     }
 
-    /// Re-attach a handle at a known root pid — e.g. the root captured
-    /// together with a [`crate::ReadView`], so snapshot scans descend the
-    /// tree exactly as it was when the view opened (the root moves when
-    /// the tree grows; page *contents* are versioned by the pool, the
-    /// handle's root field is not).
+    /// Re-attach a raw handle at a known root pid. The handle is
+    /// *unregistered*: it always descends exactly `root`, which is only
+    /// snapshot-safe if the caller captured the root together with its
+    /// [`crate::ReadView`]. Prefer registered handles (`create` /
+    /// `attach`), which resolve the root per read.
     pub fn open(root: u64) -> BTree {
-        BTree { root }
+        BTree { root, id: None }
+    }
+
+    /// Re-attach a handle at a known root pid *and* register it in the
+    /// structure-root log (e.g. after crash recovery, at the last
+    /// committed root).
+    pub fn attach(db: &Database, root: u64) -> BTree {
+        let id = db.register_struct(StructRoot::BTree { root });
+        BTree { root, id: Some(id) }
+    }
+
+    /// The root this handle descends through `s`: the registered root as
+    /// `s` resolves it (current committed state, or the state at a
+    /// snapshot's timestamp), falling back to the handle's own pid for
+    /// unregistered handles.
+    pub fn current_root<S: PageRead>(&self, s: &S) -> u64 {
+        match self.id.and_then(|id| s.struct_root(id)) {
+            Some(StructRoot::BTree { root }) => root,
+            _ => self.root,
+        }
+    }
+
+    /// Pin the handle at its committed root and drop its registration —
+    /// the structure-root registry lives in the database, so a handle
+    /// that must outlive a database teardown (crash simulation, buffer
+    /// resize re-wrap) detaches first and [`BTree::register`]s in the
+    /// rebuilt database after.
+    pub fn detach(&mut self, db: &Database) {
+        self.root = self.current_root(db);
+        if let Some(id) = self.id.take() {
+            db.deregister_struct(id);
+        }
+    }
+
+    /// Register the handle's current root in `db`'s structure-root log
+    /// (the second half of the detach/register rebuild protocol).
+    pub fn register(&mut self, db: &Database) {
+        self.id = Some(db.register_struct(StructRoot::BTree { root: self.root }));
     }
 
     /// Descend to the leaf for `key` through any [`PageRead`] (the
@@ -209,17 +265,23 @@ impl BTree {
     /// lower-bound child (first duplicate). Returns the path of internal
     /// pids, ending with the leaf pid.
     fn descend<S: PageRead>(&self, s: &S, key: &Key, for_insert: bool) -> Result<Vec<u64>> {
-        let mut path = vec![self.root];
+        let mut path = vec![self.current_root(s)];
         loop {
             let pid = *path.last().expect("non-empty");
-            let next = s.with_page(pid, |p| {
-                if kind(p) == KIND_LEAF {
-                    None
-                } else {
+            let next = s.with_page(pid, |p| match kind(p) {
+                KIND_LEAF => Ok(None),
+                KIND_INTERNAL => {
                     let idx = if for_insert { upper_bound(p, key) } else { lower_bound(p, key) };
-                    Some(if idx == 0 { link(p) } else { entry_val(p, idx - 1) })
+                    Ok(Some(if idx == 0 { link(p) } else { entry_val(p, idx - 1) }))
                 }
-            })?;
+                // A page that is no B+-tree node at all — e.g. a root that
+                // did not exist yet at a snapshot's timestamp. Erroring
+                // here turns a would-be infinite descent into a clean
+                // failure.
+                k => Err(StorageError::PageCorrupt(format!(
+                    "b+-tree node {pid} has unknown kind {k}"
+                ))),
+            })??;
             match next {
                 None => return Ok(path),
                 Some(child) => path.push(child),
@@ -263,6 +325,10 @@ impl BTree {
 
     /// Insert `key -> val` (duplicates allowed).
     pub fn insert(&mut self, db: &mut Database, key: &Key, val: u64) -> Result<()> {
+        // Sync the handle to the authoritative root first: a registered
+        // handle may be stale (another handle split the tree, or an abort
+        // rolled a split back since this handle last wrote).
+        self.root = self.current_root(&*db);
         let path = self.descend(&*db, key, true)?;
         let leaf = *path.last().expect("leaf");
         let cap = capacity(db.page_size());
@@ -326,6 +392,13 @@ impl BTree {
                     p.write_u16(OFF_COUNT, 1);
                 })?;
                 self.root = new_root;
+                // Publish the root move: pending inside a transaction
+                // (committed with it, undone by abort), auto-committed
+                // onto the structure-root log otherwise — so snapshot
+                // readers keep resolving the pre-split root.
+                if let Some(id) = self.id {
+                    db.publish_struct(id, StructRoot::BTree { root: new_root });
+                }
                 return Ok(());
             }
             level -= 1;
@@ -682,9 +755,11 @@ mod tests {
         for v in 0..100u64 {
             t.insert(&mut d, &key(v), v).unwrap();
         }
-        // A snapshot of the tree is the view plus the root at view time.
+        // A raw handle frozen at the view-time root (the pre-root-log
+        // discipline) still works...
         let view = d.begin_read();
         let frozen = BTree::open(t.root_pid());
+        let root_at_view = t.root_pid();
         // Churn hard enough to split leaves and grow the tree while the
         // view is open.
         for v in 100..400u64 {
@@ -693,23 +768,67 @@ mod tests {
         for v in (0..100u64).step_by(2) {
             t.delete(&mut d, &key(v)).unwrap();
         }
-        // The snapshot still sees exactly the first 100 entries...
+        assert_ne!(t.root_pid(), root_at_view, "the churn grew the tree");
+        // The snapshot still sees exactly the first 100 entries — through
+        // the frozen handle AND through the live (stale-rooted) handle:
+        // the structure-root log resolves the view-time root for it.
         let snap = d.snapshot(&view);
-        let mut seen = Vec::new();
-        frozen
-            .range_at(&snap, &key(0), &key(999), |_, v| {
-                seen.push(v);
-                true
-            })
-            .unwrap();
-        assert_eq!(seen, (0..100).collect::<Vec<u64>>());
-        assert_eq!(frozen.get_at(&snap, &key(42)).unwrap(), Some(42));
-        assert_eq!(frozen.get_at(&snap, &key(200)).unwrap(), None, "post-view insert invisible");
+        assert_eq!(t.current_root(&snap), root_at_view, "root resolved as of the view");
+        for handle in [&frozen, &t] {
+            let mut seen = Vec::new();
+            handle
+                .range_at(&snap, &key(0), &key(999), |_, v| {
+                    seen.push(v);
+                    true
+                })
+                .unwrap();
+            assert_eq!(seen, (0..100).collect::<Vec<u64>>());
+            assert_eq!(handle.get_at(&snap, &key(42)).unwrap(), Some(42));
+            assert_eq!(
+                handle.get_at(&snap, &key(200)).unwrap(),
+                None,
+                "post-view insert invisible"
+            );
+        }
         let _ = snap;
         d.release_read(view);
         // ...while current reads see the churned tree.
         assert_eq!(t.get(&d, &key(42)).unwrap(), None, "deleted");
         assert_eq!(t.get(&d, &key(200)).unwrap(), Some(200));
+        t.check_invariants(&d).unwrap();
+    }
+
+    #[test]
+    fn abort_rolls_back_splits_and_root_growth() {
+        let mut d = db();
+        let mut t = BTree::create(&mut d).unwrap();
+        for v in 0..8u64 {
+            t.insert(&mut d, &key(v), v).unwrap();
+        }
+        let root_before = t.current_root(&d);
+        d.begin().unwrap();
+        // Enough inserts to split the root leaf (capacity 10) and grow
+        // the tree inside the transaction...
+        for v in 8..60u64 {
+            t.insert(&mut d, &key(v), v).unwrap();
+        }
+        assert_ne!(t.current_root(&d), root_before, "the transaction grew the tree");
+        d.abort().unwrap();
+        // ...and the abort undoes the growth: root, contents, the lot.
+        assert_eq!(t.current_root(&d), root_before, "root move rolled back");
+        let mut seen = Vec::new();
+        t.range(&d, &key(0), &key(999), |_, v| {
+            seen.push(v);
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, (0..8).collect::<Vec<u64>>());
+        t.check_invariants(&d).unwrap();
+        // The tree is fully usable again after the rollback.
+        for v in 8..30u64 {
+            t.insert(&mut d, &key(v), v).unwrap();
+        }
+        assert_eq!(t.len(&d).unwrap(), 30);
         t.check_invariants(&d).unwrap();
     }
 

@@ -25,8 +25,8 @@
 //! cap-forced discard fail with [`StorageError::SnapshotTooOld`].
 
 use crate::error::StorageError;
-use crate::view::MvccState;
-use crate::{ReadView, Result};
+use crate::view::{MvccState, StructId, StructRoot, ViewRegistry};
+use crate::{ReadGuard, ReadView, Result};
 use pdl_core::{ChangeRange, PageStore, NO_TXN};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -148,6 +148,12 @@ pub struct BufferStats {
     /// Snapshot reads served from a version chain (a committed version or
     /// an in-flight writer's pending undo image) instead of the frame.
     pub version_reads: u64,
+    /// Read views currently open against the pool (a gauge, not a
+    /// counter: set by the pool when the statistics are sampled). A value
+    /// that never returns to zero between workloads is the signature of a
+    /// leaked view pinning version retention forever — hold views through
+    /// [`crate::ReadGuard`] to make leaks impossible.
+    pub active_views: u64,
 }
 
 impl BufferStats {
@@ -161,6 +167,8 @@ impl BufferStats {
     }
 
     /// Fold another cache's statistics into this one (stripe aggregation).
+    /// `active_views` is pool-level (the registry is shared across
+    /// stripes), so it is not summed here; the pool sets it after merging.
     pub fn merge(&mut self, other: &BufferStats) {
         self.hits += other.hits;
         self.misses += other.misses;
@@ -244,15 +252,29 @@ pub(crate) struct FrameCache {
     chains: HashMap<u64, VersionChain>,
     /// Committed versions currently retained across all chains.
     retained: usize,
+    /// Bytes of committed version payload currently retained.
+    retained_bytes: usize,
     /// Retention bound ([`pdl_core::StoreOptions::snapshot_version_cap`]).
     version_cap: usize,
+    /// Byte-accounted retention bound
+    /// ([`pdl_core::StoreOptions::snapshot_retention_bytes`]; 0 =
+    /// unbounded, the count cap alone governs). Counting versions bounds
+    /// memory only when every logical page is the same size; with mixed
+    /// `frames_per_page` configurations a byte budget bounds DRAM
+    /// faithfully. Whichever cap trips first wins.
+    retention_bytes: usize,
     /// Highest commit timestamp ever discarded by the cap: views at or
     /// below it read [`StorageError::SnapshotTooOld`].
     too_old_floor: u64,
 }
 
 impl FrameCache {
-    pub(crate) fn new(capacity: usize, page_size: usize, version_cap: usize) -> FrameCache {
+    pub(crate) fn new(
+        capacity: usize,
+        page_size: usize,
+        version_cap: usize,
+        retention_bytes: usize,
+    ) -> FrameCache {
         let capacity = capacity.max(1);
         FrameCache {
             frames: Vec::with_capacity(capacity.min(1024)),
@@ -264,7 +286,9 @@ impl FrameCache {
             pin_owned: true,
             chains: HashMap::new(),
             retained: 0,
+            retained_bytes: 0,
             version_cap: version_cap.max(1),
+            retention_bytes,
             too_old_floor: 0,
         }
     }
@@ -286,6 +310,11 @@ impl FrameCache {
     /// Committed versions currently retained (diagnostics / tests).
     pub(crate) fn retained_versions(&self) -> usize {
         self.retained
+    }
+
+    /// Bytes of committed version payload currently retained.
+    pub(crate) fn retained_version_bytes(&self) -> usize {
+        self.retained_bytes
     }
 
     pub(crate) fn with_page<B: PageBackend, R>(
@@ -411,30 +440,47 @@ impl FrameCache {
             chain.committed.last().is_none_or(|(ts, _)| *ts < commit_ts),
             "version chain for page {pid} must stay ascending"
         );
+        self.retained_bytes += data.len();
         chain.committed.push((commit_ts, data));
         self.retained += 1;
         self.enforce_cap();
     }
 
-    /// Drop the oldest retained versions until the cap holds, advancing
+    /// Whether retention exceeds either budget: the version-count cap or
+    /// (when configured) the byte budget.
+    fn over_budget(&self) -> bool {
+        self.retained > self.version_cap
+            || (self.retention_bytes > 0 && self.retained_bytes > self.retention_bytes)
+    }
+
+    /// Drop the oldest retained versions until both caps hold, advancing
     /// the snapshot-too-old watermark past everything discarded. A whole
     /// commit's versions always drop together, so a surviving view never
     /// observes half a commit.
     fn enforce_cap(&mut self) {
-        while self.retained > self.version_cap {
+        while self.over_budget() {
             let oldest = self
                 .chains
                 .values()
                 .filter_map(|c| c.committed.first().map(|(ts, _)| *ts))
                 .min()
-                .expect("retained > 0 implies a committed version exists");
+                .expect("over budget implies a committed version exists");
             let mut removed = 0;
+            let mut removed_bytes = 0;
             for chain in self.chains.values_mut() {
                 let before = chain.committed.len();
-                chain.committed.retain(|(ts, _)| *ts > oldest);
+                chain.committed.retain(|(ts, data)| {
+                    if *ts > oldest {
+                        true
+                    } else {
+                        removed_bytes += data.len();
+                        false
+                    }
+                });
                 removed += before - chain.committed.len();
             }
             self.retained -= removed;
+            self.retained_bytes -= removed_bytes;
             self.too_old_floor = self.too_old_floor.max(oldest);
             self.chains.retain(|_, c| !c.is_empty());
         }
@@ -445,13 +491,22 @@ impl FrameCache {
     /// read-view release so the chains shrink back as readers retire.
     pub(crate) fn prune_committed(&mut self, floor: u64) {
         let mut removed = 0;
+        let mut removed_bytes = 0;
         for chain in self.chains.values_mut() {
             let before = chain.committed.len();
-            chain.committed.retain(|(ts, _)| *ts > floor);
+            chain.committed.retain(|(ts, data)| {
+                if *ts > floor {
+                    true
+                } else {
+                    removed_bytes += data.len();
+                    false
+                }
+            });
             removed += before - chain.committed.len();
         }
         if removed > 0 {
             self.retained -= removed;
+            self.retained_bytes -= removed_bytes;
             self.chains.retain(|_, c| !c.is_empty());
         }
     }
@@ -552,6 +607,7 @@ impl FrameCache {
             }
         }
         let mut promoted = 0usize;
+        let mut promoted_bytes = 0usize;
         for (pid, chain) in self.chains.iter_mut() {
             if chain.pending.as_ref().is_some_and(|p| p.txn == txn) {
                 let p = chain.pending.take().expect("just checked");
@@ -560,6 +616,7 @@ impl FrameCache {
                         chain.committed.last().is_none_or(|(c, _)| *c < ts),
                         "version chain for page {pid} must stay ascending"
                     );
+                    promoted_bytes += p.data.len();
                     chain.committed.push((ts, p.data));
                     promoted += 1;
                 }
@@ -567,6 +624,7 @@ impl FrameCache {
         }
         if promoted > 0 {
             self.retained += promoted;
+            self.retained_bytes += promoted_bytes;
         }
         self.chains.retain(|_, c| !c.is_empty());
         if promoted > 0 {
@@ -623,6 +681,7 @@ impl FrameCache {
         self.map.clear();
         self.chains.clear();
         self.retained = 0;
+        self.retained_bytes = 0;
     }
 }
 
@@ -688,8 +747,9 @@ impl BufferPool {
     pub fn new(store: Box<dyn PageStore>, capacity: usize) -> BufferPool {
         let page_size = store.logical_page_size();
         let version_cap = store.options().snapshot_version_cap as usize;
+        let retention_bytes = store.options().snapshot_retention_bytes as usize;
         BufferPool {
-            cache: Mutex::new(FrameCache::new(capacity, page_size, version_cap)),
+            cache: Mutex::new(FrameCache::new(capacity, page_size, version_cap, retention_bytes)),
             store: Mutex::new(store),
             mvcc: Mutex::new(MvccState::default()),
             active_views: AtomicUsize::new(0),
@@ -714,7 +774,9 @@ impl BufferPool {
     }
 
     pub fn stats(&self) -> BufferStats {
-        self.lock_cache().stats()
+        let mut stats = self.lock_cache().stats();
+        stats.active_views = self.active_views.load(Ordering::SeqCst) as u64;
+        stats
     }
 
     /// Run `f` against the underlying page store (exclusive: the store
@@ -749,6 +811,20 @@ impl BufferPool {
         self.lock_cache().prune_committed(floor);
     }
 
+    /// Open a leak-proof snapshot: the returned guard releases the view
+    /// when dropped, so early returns and panics can never freeze the
+    /// version-retention floor.
+    pub fn read_view(&self) -> ReadGuard<'_, BufferPool> {
+        ReadGuard::new(self)
+    }
+
+    /// Run `f` under a freshly opened view, releasing it on every exit
+    /// path (including `?` early returns inside `f` and panics).
+    pub fn with_read_view<R>(&self, f: impl FnOnce(&ReadView) -> R) -> R {
+        let guard = self.read_view();
+        f(guard.view())
+    }
+
     /// Snapshot read of `pid` as of `view`.
     pub fn with_page_at<R>(
         &self,
@@ -762,6 +838,60 @@ impl BufferPool {
     /// Retained committed versions (diagnostics / tests).
     pub fn retained_versions(&self) -> usize {
         self.lock_cache().retained_versions()
+    }
+
+    /// Bytes of retained committed version payload (diagnostics / tests).
+    pub fn retained_version_bytes(&self) -> usize {
+        self.lock_cache().retained_version_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // Structure-root log (see `view.rs`): registered structures resolve
+    // their root state through the same commit clock the page version
+    // chains use, so stale BTree / HeapFile handles are snapshot-safe.
+    // ------------------------------------------------------------------
+
+    /// Register a structure at its creation-time state.
+    pub fn register_struct(&self, root: StructRoot) -> StructId {
+        self.lock_mvcc().register_struct(root)
+    }
+
+    /// Current committed state of a registered structure.
+    pub fn struct_current(&self, id: StructId) -> Option<StructRoot> {
+        self.lock_mvcc().struct_current(id)
+    }
+
+    /// Current committed state of a registered structure, only if newer
+    /// than generation `seen` (see `MvccState::struct_current_if_newer`).
+    pub fn struct_current_if_newer(&self, id: StructId, seen: u64) -> Option<(u64, StructRoot)> {
+        self.lock_mvcc().struct_current_if_newer(id, seen)
+    }
+
+    /// Drop a structure's registration (handle teardown; see
+    /// `MvccState::deregister_struct`).
+    pub fn deregister_struct(&self, id: StructId) {
+        self.lock_mvcc().deregister_struct(id)
+    }
+
+    /// Record an auto-committed structural change (no open transaction):
+    /// the change rides the commit clock as of now — every page command
+    /// it consisted of has already allocated its commit timestamp, so
+    /// views opened before the change resolve the superseded pre-state.
+    pub fn publish_struct(&self, id: StructId, root: StructRoot) {
+        let mut m = self.lock_mvcc();
+        let ts = m.clock;
+        let retain = !m.active.is_empty();
+        m.publish_struct(id, retain.then_some(ts), root);
+    }
+
+    /// Resolve a registered structure's state as of `read_ts`.
+    pub(crate) fn resolve_struct(&self, id: StructId, read_ts: u64) -> Option<StructRoot> {
+        self.lock_mvcc().resolve_struct(id, read_ts)
+    }
+
+    /// Structure-root pre-states currently retained (diagnostics/tests).
+    pub fn retained_struct_versions(&self) -> usize {
+        self.lock_mvcc().retained_struct_versions()
     }
 
     /// Mutable access to a page. The closure's writes through [`PageMut`]
@@ -799,25 +929,34 @@ impl BufferPool {
         self.lock_cache().collect_owned(txn)
     }
 
-    fn alloc_commit_ts(&self) -> Option<u64> {
+    /// Allocate the transaction's commit timestamp and publish its
+    /// structural changes at that timestamp, under one registry lock — so
+    /// a view either predates the whole commit (pages *and* roots) or
+    /// sees all of it.
+    fn alloc_commit_ts(&self, structs: Vec<(StructId, StructRoot)>) -> Option<u64> {
         let mut m = self.lock_mvcc();
         let (ts, retain) = m.alloc_commit();
+        for (id, root) in structs {
+            m.publish_struct(id, retain.then_some(ts), root);
+        }
         retain.then_some(ts)
     }
 
     /// Confirm a durable commit: `txn`'s frames become clean (their
     /// images are on flash) and unowned; pending pre-images become
-    /// committed versions if a read view predates the commit.
-    pub(crate) fn commit_release(&self, txn: u64) {
-        let ts = self.alloc_commit_ts();
+    /// committed versions if a read view predates the commit; `structs`
+    /// are the transaction's structural changes, published at the commit
+    /// timestamp.
+    pub(crate) fn commit_release(&self, txn: u64, structs: Vec<(StructId, StructRoot)>) {
+        let ts = self.alloc_commit_ts(structs);
         self.lock_cache().end_txn(txn, ts, true);
     }
 
     /// Release `txn`'s ownership without any I/O (relaxed-durability
     /// commit): the frames stay dirty and reach flash by ordinary
     /// eviction, exactly as if the writes had been auto-committed.
-    pub(crate) fn release_owned(&self, txn: u64) {
-        let ts = self.alloc_commit_ts();
+    pub(crate) fn release_owned(&self, txn: u64, structs: Vec<(StructId, StructRoot)>) {
+        let ts = self.alloc_commit_ts(structs);
         self.lock_cache().end_txn(txn, ts, false);
     }
 
@@ -849,6 +988,16 @@ impl BufferPool {
     /// lost, exactly as on a power failure).
     pub fn into_store_without_flush(self) -> Box<dyn PageStore> {
         self.store.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl ViewRegistry for BufferPool {
+    fn begin_read(&self) -> ReadView {
+        BufferPool::begin_read(self)
+    }
+
+    fn release_read(&self, view: ReadView) {
+        BufferPool::release_read(self, view)
     }
 }
 
@@ -1027,6 +1176,51 @@ mod tests {
         let view = p.begin_read();
         assert!(p.with_page_at(&view, 0, |_| ()).is_ok());
         p.release_read(view);
+    }
+
+    #[test]
+    fn byte_budget_trips_before_the_count_cap() {
+        let chip = FlashChip::new(FlashConfig::tiny());
+        let store = build_store(
+            chip,
+            MethodKind::Opu,
+            StoreOptions::new(24)
+                .with_snapshot_version_cap(1000)
+                .with_snapshot_retention_bytes(2 * 256),
+        )
+        .unwrap();
+        let p = BufferPool::new(store, 8);
+        p.with_page_mut(0, |page| page.write(0, &[1; 4])).unwrap();
+        let view = p.begin_read();
+        for round in 0..6u8 {
+            p.with_page_mut(round as u64 % 3, |page| page.write(0, &[round + 20; 4])).unwrap();
+        }
+        assert!(
+            p.retained_version_bytes() <= 2 * 256,
+            "the byte budget bounds retention: {} bytes",
+            p.retained_version_bytes()
+        );
+        let err = p.with_page_at(&view, 0, |_| ()).unwrap_err();
+        assert!(matches!(err, StorageError::SnapshotTooOld { .. }), "got {err:?}");
+        p.release_read(view);
+        assert_eq!(p.retained_version_bytes(), 0, "release prunes the byte ledger too");
+    }
+
+    #[test]
+    fn read_guard_releases_on_drop_and_gauges_active_views() {
+        let p = pool(4, MethodKind::Opu);
+        p.with_page_mut(0, |page| page.write(0, &[1; 4])).unwrap();
+        {
+            let guard = p.read_view();
+            assert_eq!(p.stats().active_views, 1, "the gauge counts the open guard");
+            p.with_page_mut(0, |page| page.write(0, &[2; 4])).unwrap();
+            assert_eq!(p.with_page_at(guard.view(), 0, |pg| pg[0]).unwrap(), 1);
+        }
+        assert_eq!(p.stats().active_views, 0, "drop released the view");
+        assert_eq!(p.retained_versions(), 0, "and pruned what it pinned");
+        let r = p.with_read_view(|view| p.with_page_at(view, 0, |pg| pg[0]));
+        assert_eq!(r.unwrap(), 2);
+        assert_eq!(p.stats().active_views, 0, "the closure helper releases on exit");
     }
 
     #[test]

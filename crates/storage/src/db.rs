@@ -13,10 +13,11 @@
 
 use crate::buffer::{BufferPool, BufferStats, PageMut};
 use crate::error::StorageError;
-use crate::view::PageRead;
-use crate::{ReadView, Result};
+use crate::view::{PageRead, StructId, StructRoot, ViewRegistry};
+use crate::{ReadGuard, ReadView, Result};
 use pdl_core::PageStore;
 use pdl_flash::FlashStats;
+use std::collections::HashMap;
 
 /// A record locator: logical page + slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -76,6 +77,16 @@ pub struct Database {
     durability: Durability,
     next_txn: u64,
     current: Option<TxnId>,
+    /// The open transaction's uncommitted structural changes (B+-tree
+    /// roots, heap page lists), keyed by [`StructId`]: published into the
+    /// pool's structure-root log at the commit timestamp, discarded on
+    /// abort. Current-state reads see them (read-your-writes, like the
+    /// in-place frame mutations); snapshot reads never do.
+    txn_structs: HashMap<StructId, StructRoot>,
+    /// Bumped on every rollback (abort or failed durable commit):
+    /// lets heap handles invalidate their free-space estimates, which a
+    /// rollback can leave *under*-estimating restored space.
+    abort_epoch: u64,
 }
 
 impl Database {
@@ -92,6 +103,8 @@ impl Database {
             durability: Durability::Relaxed,
             next_txn,
             current: None,
+            txn_structs: HashMap::new(),
+            abort_epoch: 0,
         }
     }
 
@@ -151,15 +164,16 @@ impl Database {
             .current
             .take()
             .ok_or_else(|| StorageError::TxnState("commit without an open transaction".into()))?;
+        let structs: Vec<(StructId, StructRoot)> = self.txn_structs.drain().collect();
         match self.durability {
             Durability::Relaxed => {
-                self.pool.release_owned(txn);
+                self.pool.release_owned(txn, structs);
                 Ok(())
             }
             Durability::Commit => {
                 let staged = self.pool.collect_owned(txn);
                 if staged.is_empty() {
-                    self.pool.release_owned(txn);
+                    self.pool.release_owned(txn, structs);
                     return Ok(()); // read-only: nothing to make durable
                 }
                 let result = self.pool.with_store(|store| -> Result<()> {
@@ -178,7 +192,7 @@ impl Database {
                 });
                 match result {
                     Ok(()) => {
-                        self.pool.commit_release(txn);
+                        self.pool.commit_release(txn, structs);
                         Ok(())
                     }
                     Err(e) => {
@@ -186,8 +200,10 @@ impl Database {
                         // the frames back to their pre-images (dirty, so
                         // a later write-back also supersedes whatever
                         // tagged staging reached the store) and report
-                        // the transaction failed.
+                        // the transaction failed (`structs` is dropped
+                        // unpublished).
                         let _ = self.pool.rollback(txn);
+                        self.abort_epoch += 1;
                         Err(e)
                     }
                 }
@@ -197,12 +213,25 @@ impl Database {
 
     /// Abort the open transaction: every touched page returns to its
     /// pre-image (the base page plus the last committed differential, as
-    /// cached at first touch).
+    /// cached at first touch), and every structural change the
+    /// transaction made — B+-tree splits, heap-file growth — is undone
+    /// with them: the pending root publications are discarded, so
+    /// registered handles resolve the last *committed* root/page list
+    /// again (physiological structural undo: the pages hold the restored
+    /// bytes, the root log holds the restored shape).
+    ///
+    /// Pages the transaction allocated are deliberately *not* returned
+    /// to the allocator: `alloc_page` callers may hold the pid outside
+    /// any registered structure, and re-issuing it would alias two
+    /// structures onto one page. The leak is bounded (only pages an
+    /// aborted transaction allocated) and the allocator stays monotonic.
     pub fn abort(&mut self) -> Result<()> {
         let txn = self
             .current
             .take()
             .ok_or_else(|| StorageError::TxnState("abort without an open transaction".into()))?;
+        self.txn_structs.clear();
+        self.abort_epoch += 1;
         self.pool.rollback(txn)
     }
 
@@ -222,6 +251,22 @@ impl Database {
         self.pool.release_read(view)
     }
 
+    /// Open a leak-proof snapshot: the returned guard releases the view
+    /// when dropped, so a `?` mid-scan (e.g. on
+    /// [`StorageError::SnapshotTooOld`]) or a panic can never leak the
+    /// view and freeze the version-retention floor.
+    pub fn read_view(&self) -> ReadGuard<'_, Database> {
+        ReadGuard::new(self)
+    }
+
+    /// Run `f` under a freshly opened view, releasing it on every exit
+    /// path — the recommended shape for whole-scan read-only
+    /// transactions.
+    pub fn with_read_view<R>(&self, f: impl FnOnce(&ReadView) -> R) -> R {
+        let guard = self.read_view();
+        f(guard.view())
+    }
+
     /// Snapshot read of one page as of `view`.
     pub fn with_page_at<R>(
         &self,
@@ -237,6 +282,81 @@ impl Database {
     /// scan against one frozen snapshot.
     pub fn snapshot<'a>(&'a self, view: &'a ReadView) -> DbSnapshot<'a> {
         DbSnapshot { db: self, view }
+    }
+
+    // ------------------------------------------------------------------
+    // Structure-root log: registered structures (B+-trees, heap files)
+    // version their root state through the pool's commit clock, so stale
+    // handles and snapshot scans always resolve the right shape.
+    // ------------------------------------------------------------------
+
+    /// Register a structure at its creation-time state. A view opened
+    /// *before* the structure was created is not snapshot-safe for it
+    /// (its pages read as their pre-creation bytes).
+    pub fn register_struct(&self, root: StructRoot) -> StructId {
+        self.pool.register_struct(root)
+    }
+
+    /// The structure's state as the current writer sees it: the open
+    /// transaction's pending change if any, else the last committed
+    /// state.
+    pub fn struct_current(&self, id: StructId) -> Option<StructRoot> {
+        if let Some(root) = self.txn_structs.get(&id) {
+            return Some(root.clone());
+        }
+        self.pool.struct_current(id)
+    }
+
+    /// [`Database::struct_current`] gated on a generation counter: `None`
+    /// when the committed state has not changed since generation `seen`
+    /// (and the open transaction, if any, has no pending change for
+    /// `id`), sparing mirroring handles the clone on their hot path.
+    pub fn struct_current_if_newer(&self, id: StructId, seen: u64) -> Option<(u64, StructRoot)> {
+        if self.txn_structs.contains_key(&id) {
+            // A pending change exists — and only the structure's own
+            // (single) live handle publishes them, so the caller's mirror
+            // already reflects it; the commit will bump the committed
+            // generation and trigger a re-fetch, an abort bumps the
+            // rollback epoch which resets the caller's generation.
+            return None;
+        }
+        self.pool.struct_current_if_newer(id, seen)
+    }
+
+    /// Record a structural change. Inside a transaction it stays pending
+    /// (visible to this writer, published at commit, discarded on abort);
+    /// outside one it auto-commits onto the root log immediately.
+    pub fn publish_struct(&mut self, id: StructId, root: StructRoot) {
+        match self.current {
+            Some(_) => {
+                self.txn_structs.insert(id, root);
+            }
+            None => self.pool.publish_struct(id, root),
+        }
+    }
+
+    /// Drop a structure's registration (handle teardown: `BTree::detach`
+    /// / `HeapFile::detach` call this so dead handles do not strand
+    /// registry entries).
+    pub fn deregister_struct(&self, id: StructId) {
+        self.pool.deregister_struct(id)
+    }
+
+    /// Rollbacks (aborts and failed durable commits) so far — heap
+    /// handles watch this to invalidate free-space estimates a rollback
+    /// made stale.
+    pub fn abort_epoch(&self) -> u64 {
+        self.abort_epoch
+    }
+
+    /// Structure-root pre-states currently retained (diagnostics/tests).
+    pub fn retained_struct_versions(&self) -> usize {
+        self.pool.retained_struct_versions()
+    }
+
+    /// Retained committed page versions (diagnostics/tests).
+    pub fn retained_versions(&self) -> usize {
+        self.pool.retained_versions()
     }
 
     /// Allocate the next logical page.
@@ -320,6 +440,22 @@ impl PageRead for Database {
     fn with_page<R>(&self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         Database::with_page(self, pid, f)
     }
+
+    fn struct_root(&self, id: StructId) -> Option<StructRoot> {
+        // Pending-aware: the open transaction reads its own structural
+        // writes, matching the in-place frame mutations it also sees.
+        self.struct_current(id)
+    }
+}
+
+impl ViewRegistry for Database {
+    fn begin_read(&self) -> ReadView {
+        Database::begin_read(self)
+    }
+
+    fn release_read(&self, view: ReadView) {
+        Database::release_read(self, view)
+    }
 }
 
 /// A [`ReadView`] bound to its database: every read through it resolves
@@ -342,6 +478,13 @@ impl PageRead for DbSnapshot<'_> {
 
     fn with_page<R>(&self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         self.db.with_page_at(self.view, pid, f)
+    }
+
+    fn struct_root(&self, id: StructId) -> Option<StructRoot> {
+        // As of the view: a root moved by a later split resolves to its
+        // pre-split pre-state, never to the open transaction's pending
+        // changes.
+        self.db.pool.resolve_struct(id, self.view.read_ts())
     }
 }
 

@@ -1,18 +1,46 @@
 //! Heap files: unordered record storage over slotted pages with an
 //! in-memory free-space map.
+//!
+//! A heap file built with [`HeapFile::create`] (or re-attached with
+//! [`HeapFile::attach`]) is **registered** in its database's
+//! structure-root log: the ordered page list is versioned by the MVCC
+//! commit clock, so a snapshot scan visits exactly the pages the file had
+//! at the view's timestamp (growth committed later is invisible), and
+//! [`crate::Database::abort`] rolls an uncommitted growth back along with
+//! the page bytes. The free-space map is deliberately *not* versioned:
+//! readers never consult it, and as an approximation it is self-healing —
+//! a stale entry merely costs one failed placement attempt before being
+//! refreshed from the page itself.
 
 use crate::db::{Database, RecordId};
 use crate::error::StorageError;
-use crate::view::PageRead;
+use crate::view::{PageRead, StructId, StructRoot};
 use crate::{slotted, Result};
+use std::collections::HashMap;
 
 /// An unordered collection of variable-length records.
 pub struct HeapFile {
+    /// Registration in the structure-root log ([`HeapFile::new`] builds
+    /// an unregistered file whose page list lives only in this handle).
+    id: Option<StructId>,
+    /// The page list as of this handle's last operation; registered files
+    /// resolve the authoritative list per operation.
     pages: Vec<u64>,
-    /// Approximate usable space per page (post-compaction bytes).
-    fsm: Vec<u16>,
+    /// Approximate usable space per page (post-compaction bytes), keyed
+    /// by pid. Missing entries are treated as "unknown, try it": the
+    /// slotted page itself is the ground truth.
+    fsm: HashMap<u64, u16>,
     /// Where the next first-fit scan starts.
     hint: usize,
+    /// [`Database::abort_epoch`] as of the last sync: a rollback can
+    /// leave `fsm` *under*-estimating restored space (inserts skipped a
+    /// page forever without re-probing it), so estimates are dropped
+    /// wholesale when the epoch moves and re-warm from the pages.
+    fsm_epoch: u64,
+    /// Structure-root generation the mirrored `pages` list reflects
+    /// (`u64::MAX` = unknown, force a fetch): spares the insert hot path
+    /// an O(pages) clone under the registry lock when nothing moved.
+    list_gen: u64,
 }
 
 impl Default for HeapFile {
@@ -22,20 +50,121 @@ impl Default for HeapFile {
 }
 
 impl HeapFile {
+    /// An unregistered heap file: the page list lives only in this
+    /// handle, so snapshot scans are only safe right after the view
+    /// opens. Prefer [`HeapFile::create`].
     pub fn new() -> HeapFile {
-        HeapFile { pages: Vec::new(), fsm: Vec::new(), hint: 0 }
+        HeapFile {
+            id: None,
+            pages: Vec::new(),
+            fsm: HashMap::new(),
+            hint: 0,
+            fsm_epoch: 0,
+            list_gen: u64::MAX,
+        }
     }
 
+    /// Create an empty heap file registered in the database's
+    /// structure-root log.
+    pub fn create(db: &Database) -> HeapFile {
+        let id = db.register_struct(StructRoot::Heap { pages: Vec::new() });
+        HeapFile {
+            id: Some(id),
+            pages: Vec::new(),
+            fsm: HashMap::new(),
+            hint: 0,
+            fsm_epoch: db.abort_epoch(),
+            list_gen: u64::MAX,
+        }
+    }
+
+    /// Re-attach a handle over a known page list *and* register it (e.g.
+    /// after crash recovery, at the last committed list). The free-space
+    /// map starts unknown and re-warms from the pages themselves.
+    pub fn attach(db: &Database, pages: Vec<u64>) -> HeapFile {
+        let id = db.register_struct(StructRoot::Heap { pages: pages.clone() });
+        HeapFile {
+            id: Some(id),
+            pages,
+            fsm: HashMap::new(),
+            hint: 0,
+            fsm_epoch: db.abort_epoch(),
+            list_gen: u64::MAX,
+        }
+    }
+
+    /// Number of pages as of this handle's last operation.
     pub fn num_pages(&self) -> usize {
         self.pages.len()
     }
 
+    /// The page list as of this handle's last operation. For the
+    /// authoritative (or snapshot-resolved) list, use
+    /// [`HeapFile::pages_in`].
     pub fn pages(&self) -> &[u64] {
         &self.pages
     }
 
+    /// The page list as `s` resolves it: the current committed list (plus
+    /// the open transaction's pending growth for the writer itself), or
+    /// the list as of a snapshot's timestamp.
+    pub fn pages_in<S: PageRead>(&self, s: &S) -> Vec<u64> {
+        match self.id.and_then(|id| s.struct_root(id)) {
+            Some(StructRoot::Heap { pages }) => pages,
+            _ => self.pages.clone(),
+        }
+    }
+
+    /// Sync the handle with the database: drop free-space estimates made
+    /// stale by any rollback since the last sync, and (for registered
+    /// files) refresh the mirrored page list from the structure-root log
+    /// when its generation moved — which undoes the local effects of an
+    /// aborted growth. (Each `create`/`attach` registers its own
+    /// structure: one heap file, one live handle.)
+    fn sync(&mut self, db: &Database) {
+        let epoch = db.abort_epoch();
+        if epoch != self.fsm_epoch {
+            self.fsm.clear();
+            self.fsm_epoch = epoch;
+            // A rollback may have discarded a pending growth the mirror
+            // already applied: force a re-fetch.
+            self.list_gen = u64::MAX;
+        }
+        if let Some(id) = self.id {
+            if let Some((gen, StructRoot::Heap { pages })) =
+                db.struct_current_if_newer(id, self.list_gen)
+            {
+                self.pages = pages;
+                self.list_gen = gen;
+            }
+        }
+    }
+
+    /// Pin the handle at its committed page list and drop its
+    /// registration — for carrying the file across a database teardown;
+    /// [`HeapFile::register`] it in the rebuilt database after.
+    pub fn detach(&mut self, db: &Database) {
+        self.pages = self.pages_in(db);
+        if let Some(id) = self.id.take() {
+            db.deregister_struct(id);
+        }
+    }
+
+    /// Register the handle's current page list in `db`'s structure-root
+    /// log (the second half of the detach/register rebuild protocol).
+    pub fn register(&mut self, db: &Database) {
+        self.id = Some(db.register_struct(StructRoot::Heap { pages: self.pages.clone() }));
+    }
+
+    /// Approximate usable bytes of `pid` (unknown pages read as "plenty":
+    /// the attempt itself refreshes the estimate).
+    fn usable(&self, pid: u64) -> usize {
+        self.fsm.get(&pid).copied().map_or(usize::MAX, |v| v as usize)
+    }
+
     /// Insert a record, appending a fresh page when none fits.
     pub fn insert(&mut self, db: &mut Database, bytes: &[u8]) -> Result<RecordId> {
+        self.sync(db);
         // record + slot + slack
         let need = bytes.len() + 8;
         // Try the most recent page first (append-heavy workloads), then a
@@ -47,16 +176,16 @@ impl HeapFile {
         let n = self.pages.len();
         for off in 0..n {
             let i = (self.hint + off) % n;
-            if self.fsm[i] as usize >= need && Some(&i) != candidates.first() {
+            if self.usable(self.pages[i]) >= need && Some(&i) != candidates.first() {
                 candidates.push(i);
                 break;
             }
         }
         for i in candidates {
-            if (self.fsm[i] as usize) < need {
+            let pid = self.pages[i];
+            if self.usable(pid) < need {
                 continue;
             }
-            let pid = self.pages[i];
             let (slot, usable) = db.with_page_mut(pid, |p| {
                 if !slotted::is_formatted(p.as_slice()) {
                     slotted::init(p);
@@ -64,7 +193,7 @@ impl HeapFile {
                 let slot = slotted::insert(p, bytes)?;
                 Ok::<_, StorageError>((slot, slotted::usable_space(p.as_slice())))
             })??;
-            self.fsm[i] = usable as u16;
+            self.fsm.insert(pid, usable as u16);
             if let Some(slot) = slot {
                 self.hint = i;
                 return Ok(RecordId::new(pid, slot));
@@ -78,8 +207,15 @@ impl HeapFile {
             Ok::<_, StorageError>((slot, slotted::usable_space(p.as_slice())))
         })??;
         self.pages.push(pid);
-        self.fsm.push(usable as u16);
+        self.fsm.insert(pid, usable as u16);
         self.hint = self.pages.len() - 1;
+        // Publish the growth: pending inside a transaction (committed
+        // with it, undone by abort), auto-committed onto the
+        // structure-root log otherwise — so snapshot scans keep resolving
+        // the pre-growth page list.
+        if let Some(id) = self.id {
+            db.publish_struct(id, StructRoot::Heap { pages: self.pages.clone() });
+        }
         slot.map(|s| RecordId::new(pid, s)).ok_or(StorageError::TooLarge {
             size: bytes.len(),
             max: slotted::max_record_size(db.page_size()),
@@ -117,9 +253,7 @@ impl HeapFile {
             let ok = slotted::update(p, rid.slot, bytes)?;
             Ok((ok, slotted::usable_space(p.as_slice())))
         })??;
-        if let Some(i) = self.pages.iter().position(|p| *p == rid.pid) {
-            self.fsm[i] = updated.1 as u16;
-        }
+        self.fsm.insert(rid.pid, updated.1 as u16);
         if updated.0 {
             return Ok(rid);
         }
@@ -136,9 +270,7 @@ impl HeapFile {
             }
             Ok(slotted::usable_space(p.as_slice()))
         })??;
-        if let Some(i) = self.pages.iter().position(|p| *p == rid.pid) {
-            self.fsm[i] = usable as u16;
-        }
+        self.fsm.insert(rid.pid, usable as u16);
         Ok(())
     }
 
@@ -147,9 +279,17 @@ impl HeapFile {
         self.scan_at(db, f)
     }
 
-    /// [`HeapFile::scan`] through any [`PageRead`] snapshot.
+    /// [`HeapFile::scan`] through any [`PageRead`] snapshot: the visited
+    /// page list is resolved through the structure-root log, so growth
+    /// committed after the view opened is invisible — even through a
+    /// stale handle.
     pub fn scan_at<S: PageRead>(&self, s: &S, mut f: impl FnMut(RecordId, &[u8])) -> Result<()> {
-        for pid in &self.pages {
+        let resolved = self.id.and_then(|id| s.struct_root(id));
+        let pages: &[u64] = match &resolved {
+            Some(StructRoot::Heap { pages }) => pages,
+            _ => &self.pages,
+        };
+        for pid in pages {
             s.with_page(*pid, |page| {
                 if slotted::is_formatted(page) {
                     for (slot, bytes) in slotted::iter(page) {
@@ -250,5 +390,63 @@ mod tests {
         h.delete(&mut d, rid).unwrap();
         assert!(matches!(h.get(&d, rid, |_| ()), Err(StorageError::RecordNotFound { .. })));
         assert!(h.delete(&mut d, rid).is_err());
+    }
+
+    #[test]
+    fn snapshot_scan_resolves_the_view_time_page_list() {
+        let mut d = db(64);
+        let mut h = HeapFile::create(&d);
+        for i in 0..40u8 {
+            h.insert(&mut d, &[i; 100]).unwrap();
+        }
+        let view = d.begin_read();
+        let pages_at_view = h.pages_in(&d);
+        // Grow the file while the view is open.
+        for i in 40..120u8 {
+            h.insert(&mut d, &[i; 100]).unwrap();
+        }
+        assert!(h.num_pages() > pages_at_view.len(), "the churn grew the file");
+        // The stale handle's snapshot scan resolves the view-time list:
+        // exactly the first 40 records, none of the later growth.
+        let snap = d.snapshot(&view);
+        assert_eq!(h.pages_in(&snap), pages_at_view);
+        let mut seen = Vec::new();
+        h.scan_at(&snap, |_, bytes| seen.push(bytes[0])).unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..40).collect::<Vec<u8>>());
+        let _ = snap;
+        d.release_read(view);
+        // Current scans see everything.
+        let mut n = 0;
+        h.scan(&d, |_, _| n += 1).unwrap();
+        assert_eq!(n, 120);
+    }
+
+    #[test]
+    fn abort_rolls_back_heap_growth() {
+        let mut d = db(64);
+        let mut h = HeapFile::create(&d);
+        for i in 0..10u8 {
+            h.insert(&mut d, &[i; 100]).unwrap();
+        }
+        let pages_before = h.pages_in(&d);
+        d.begin().unwrap();
+        for i in 10..60u8 {
+            h.insert(&mut d, &[i; 100]).unwrap();
+        }
+        assert!(h.pages_in(&d).len() > pages_before.len(), "the transaction grew the file");
+        d.abort().unwrap();
+        assert_eq!(h.pages_in(&d), pages_before, "growth rolled back");
+        let mut seen = Vec::new();
+        h.scan(&d, |_, bytes| seen.push(bytes[0])).unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<u8>>());
+        // The file keeps working after the rollback.
+        for i in 10..30u8 {
+            h.insert(&mut d, &[i; 100]).unwrap();
+        }
+        let mut n = 0;
+        h.scan(&d, |_, _| n += 1).unwrap();
+        assert_eq!(n, 30);
     }
 }

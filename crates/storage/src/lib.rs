@@ -35,7 +35,7 @@ pub use db::{Database, DbSnapshot, Durability, RecordId, TxnId};
 pub use error::StorageError;
 pub use heap::HeapFile;
 pub use sharded::{PoolSnapshot, ShardedBufferPool};
-pub use view::{PageRead, ReadView};
+pub use view::{PageRead, ReadGuard, ReadView, StructId, StructRoot, ViewRegistry};
 
 /// Construct a [`PageMut`] over a raw buffer, for page-format tests and
 /// tools operating outside a buffer pool.

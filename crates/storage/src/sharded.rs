@@ -41,8 +41,8 @@
 use crate::buffer::{BufferStats, FrameCache, NoVersioning, PageBackend, PageMut, VersionSource};
 use crate::db::TxnId;
 use crate::error::StorageError;
-use crate::view::{MvccState, PageRead};
-use crate::{ReadView, Result};
+use crate::view::{MvccState, PageRead, StructId, StructRoot, ViewRegistry};
+use crate::{ReadGuard, ReadView, Result};
 use pdl_core::{ChangeRange, PageStore, ShardedStore};
 use pdl_flash::{FlashStats, WearSummary};
 use std::collections::HashMap;
@@ -111,6 +111,11 @@ pub struct ShardedBufferPool {
     mvcc: Mutex<MvccState>,
     mvcc_cv: Condvar,
     active_views: AtomicUsize,
+    /// Uncommitted structural changes per transaction, published into the
+    /// MVCC registry's structure-root log at the batch commit timestamp
+    /// (discarded on abort). Lock order: `mvcc` before `pending_structs`
+    /// (the only place both are held is the publish phase).
+    pending_structs: Mutex<HashMap<TxnId, Vec<(StructId, StructRoot)>>>,
 }
 
 impl ShardedBufferPool {
@@ -121,9 +126,18 @@ impl ShardedBufferPool {
         let per_stripe = capacity.div_ceil(shards).max(1);
         let page_size = store.logical_page_size();
         let version_cap = store.options().snapshot_version_cap as usize;
+        // The byte budget bounds the POOL, so it is divided across the
+        // stripes (floored at one page each so every stripe can retain
+        // at least one version).
+        let retention_bytes = match store.options().snapshot_retention_bytes as usize {
+            0 => 0,
+            b => (b / shards).max(page_size),
+        };
         let next_txn = AtomicU64::new(store.txn_id_floor());
         let stripes = (0..shards)
-            .map(|_| Mutex::new(FrameCache::new(per_stripe, page_size, version_cap)))
+            .map(|_| {
+                Mutex::new(FrameCache::new(per_stripe, page_size, version_cap, retention_bytes))
+            })
             .collect();
         ShardedBufferPool {
             store,
@@ -134,6 +148,7 @@ impl ShardedBufferPool {
             mvcc: Mutex::new(MvccState::default()),
             mvcc_cv: Condvar::new(),
             active_views: AtomicUsize::new(0),
+            pending_structs: Mutex::new(HashMap::new()),
         }
     }
 
@@ -223,6 +238,19 @@ impl ShardedBufferPool {
         }
     }
 
+    /// Open a leak-proof snapshot: the returned guard releases the view
+    /// when dropped.
+    pub fn read_view(&self) -> ReadGuard<'_, ShardedBufferPool> {
+        ReadGuard::new(self)
+    }
+
+    /// Run `f` under a freshly opened view, releasing it on every exit
+    /// path (early returns and panics included).
+    pub fn with_read_view<R>(&self, f: impl FnOnce(&ReadView) -> R) -> R {
+        let guard = self.read_view();
+        f(guard.view())
+    }
+
     /// Snapshot read of `pid` as of `view`; locks only the owning stripe
     /// and never waits on writers or committers.
     pub fn with_page_at<R>(
@@ -232,6 +260,43 @@ impl ShardedBufferPool {
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
         self.stripe_for(pid).with_page_at(&mut SharedBackend(&self.store), pid, view.read_ts(), f)
+    }
+
+    // ------------------------------------------------------------------
+    // Structure-root log: registered structures version their root state
+    // through the shared commit clock, so snapshot scanners resolve the
+    // structure shape (e.g. a page list) as of their view — never a
+    // half-published shape from a later commit.
+    // ------------------------------------------------------------------
+
+    /// Register a structure at its creation-time state.
+    pub fn register_struct(&self, root: StructRoot) -> StructId {
+        self.lock_mvcc().register_struct(root)
+    }
+
+    /// Current committed state of a registered structure. (Unlike page
+    /// frames, structural state is never shown mid-transaction to other
+    /// threads: live readers see the last committed shape.)
+    pub fn struct_current(&self, id: StructId) -> Option<StructRoot> {
+        self.lock_mvcc().struct_current(id)
+    }
+
+    /// Record a structural change on behalf of `txn`: pending until the
+    /// transaction commits (published at the batch commit timestamp,
+    /// atomically with the batch's page versions) or aborts (discarded).
+    pub fn publish_struct_txn(&self, txn: TxnId, id: StructId, root: StructRoot) {
+        let mut pend = self.pending_structs.lock().unwrap_or_else(|e| e.into_inner());
+        pend.entry(txn).or_default().push((id, root));
+    }
+
+    /// Resolve a registered structure's state as of `view`.
+    pub fn struct_root_at(&self, view: &ReadView, id: StructId) -> Option<StructRoot> {
+        self.lock_mvcc().resolve_struct(id, view.read_ts())
+    }
+
+    /// Structure-root pre-states currently retained (diagnostics/tests).
+    pub fn retained_struct_versions(&self) -> usize {
+        self.lock_mvcc().retained_struct_versions()
     }
 
     /// A [`PageRead`] adapter over `view` (for `BTree::get_at`,
@@ -272,8 +337,10 @@ impl ShardedBufferPool {
         )
     }
 
-    /// Abort `txn`: every touched frame returns to its pre-image.
+    /// Abort `txn`: every touched frame returns to its pre-image, and its
+    /// pending structural changes are discarded (structural undo).
     pub fn abort(&self, txn: TxnId) -> Result<()> {
+        self.pending_structs.lock().unwrap_or_else(|e| e.into_inner()).remove(&txn);
         for s in &self.stripes {
             self.lock_stripe_ref(s).rollback(&mut SharedBackend(&self.store), txn)?;
         }
@@ -367,11 +434,21 @@ impl ShardedBufferPool {
                 // observe half of a cross-shard group commit. Views
                 // already open read the superseded pre-images from the
                 // chains; views opened after the gate lifts read at the
-                // new clock and see the entire batch.
+                // new clock and see the entire batch. The batch members'
+                // structural changes publish under the same lock at the
+                // same timestamp: a view sees a transaction's pages and
+                // its roots move together or not at all.
                 let (commit_ts, retain) = {
                     let mut m = self.lock_mvcc();
                     m.committing = true;
-                    m.alloc_commit()
+                    let (ts, retain) = m.alloc_commit();
+                    let mut pend = self.pending_structs.lock().unwrap_or_else(|e| e.into_inner());
+                    for &t in batch {
+                        for (id, root) in pend.remove(&t).unwrap_or_default() {
+                            m.publish_struct(id, retain.then_some(ts), root);
+                        }
+                    }
+                    (ts, retain)
                 };
                 let version_at = retain.then_some(commit_ts);
                 for &t in batch {
@@ -448,12 +525,14 @@ impl ShardedBufferPool {
         Ok(())
     }
 
-    /// Aggregate cache statistics over all stripes.
+    /// Aggregate cache statistics over all stripes. `active_views` is the
+    /// pool-level gauge (the registry is shared), not a per-stripe sum.
     pub fn stats(&self) -> BufferStats {
         let mut out = BufferStats::default();
         for s in &self.stripes {
             out.merge(&self.lock_stripe_ref(s).stats());
         }
+        out.active_views = self.active_views.load(Ordering::SeqCst) as u64;
         out
     }
 
@@ -508,6 +587,20 @@ impl PageRead for ShardedBufferPool {
     fn with_page<R>(&self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         ShardedBufferPool::with_page(self, pid, f)
     }
+
+    fn struct_root(&self, id: StructId) -> Option<StructRoot> {
+        self.struct_current(id)
+    }
+}
+
+impl ViewRegistry for ShardedBufferPool {
+    fn begin_read(&self) -> ReadView {
+        ShardedBufferPool::begin_read(self)
+    }
+
+    fn release_read(&self, view: ReadView) {
+        ShardedBufferPool::release_read(self, view)
+    }
 }
 
 /// A [`ReadView`] bound to its pool: every read through it resolves at
@@ -530,6 +623,10 @@ impl PageRead for PoolSnapshot<'_> {
 
     fn with_page<R>(&self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         self.pool.with_page_at(self.view, pid, f)
+    }
+
+    fn struct_root(&self, id: StructId) -> Option<StructRoot> {
+        self.pool.struct_root_at(self.view, id)
     }
 }
 
@@ -699,7 +796,10 @@ mod tests {
                 let p = &p;
                 scope.spawn(move || {
                     for _ in 0..ROUNDS {
-                        let view = p.begin_read();
+                        // Guard-style view: released on drop at the end of
+                        // the iteration, leak-proof against panics in the
+                        // assertions below.
+                        let view = p.read_view();
                         for w in 0..WRITERS {
                             let mut stamps = Vec::new();
                             for k in 0..GROUP {
@@ -715,7 +815,6 @@ mod tests {
                                 "torn snapshot of writer {w}: {stamps:?}"
                             );
                         }
-                        p.release_read(view);
                     }
                 });
             }

@@ -168,18 +168,79 @@ impl TpccDb {
             idx_order_line: BTree::create(&mut db)?,
             idx_item: BTree::create(&mut db)?,
             idx_stock: BTree::create(&mut db)?,
-            warehouse: HeapFile::new(),
-            district: HeapFile::new(),
-            customer: HeapFile::new(),
-            history: HeapFile::new(),
-            new_order: HeapFile::new(),
-            order: HeapFile::new(),
-            order_line: HeapFile::new(),
-            item: HeapFile::new(),
-            stock: HeapFile::new(),
+            warehouse: HeapFile::create(&db),
+            district: HeapFile::create(&db),
+            customer: HeapFile::create(&db),
+            history: HeapFile::create(&db),
+            new_order: HeapFile::create(&db),
+            order: HeapFile::create(&db),
+            order_line: HeapFile::create(&db),
+            item: HeapFile::create(&db),
+            stock: HeapFile::create(&db),
             db,
             scale,
         })
+    }
+
+    /// Every structure handle paired with the database: the single
+    /// source of truth for the detach/attach rebuild protocol (a table
+    /// or index added here is automatically carried across re-wraps).
+    #[allow(clippy::type_complexity)]
+    fn structure_handles(&mut self) -> (&Database, [&mut BTree; 10], [&mut HeapFile; 9]) {
+        (
+            &self.db,
+            [
+                &mut self.idx_warehouse,
+                &mut self.idx_district,
+                &mut self.idx_customer,
+                &mut self.idx_customer_name,
+                &mut self.idx_order,
+                &mut self.idx_order_customer,
+                &mut self.idx_new_order,
+                &mut self.idx_order_line,
+                &mut self.idx_item,
+                &mut self.idx_stock,
+            ],
+            [
+                &mut self.warehouse,
+                &mut self.district,
+                &mut self.customer,
+                &mut self.history,
+                &mut self.new_order,
+                &mut self.order,
+                &mut self.order_line,
+                &mut self.item,
+                &mut self.stock,
+            ],
+        )
+    }
+
+    /// Pin every index and heap handle at its last committed structural
+    /// state and drop the registrations. The structure-root registry
+    /// lives inside [`Database`], so call this *before* tearing the
+    /// database down (crash simulation, buffer re-size re-wrap) and
+    /// [`TpccDb::attach_structures`] *after* installing the rebuilt one.
+    pub fn detach_structures(&mut self) {
+        let (db, indexes, heaps) = self.structure_handles();
+        for idx in indexes {
+            idx.detach(db);
+        }
+        for heap in heaps {
+            heap.detach(db);
+        }
+    }
+
+    /// Re-register every index and heap handle in (the rebuilt)
+    /// `self.db` — the second half of the detach/attach rebuild
+    /// protocol.
+    pub fn attach_structures(&mut self) {
+        let (db, indexes, heaps) = self.structure_handles();
+        for idx in indexes {
+            idx.register(db);
+        }
+        for heap in heaps {
+            heap.register(db);
+        }
     }
 
     // ------------------------------------------------------------------

@@ -6,10 +6,12 @@
 //! database is configured with `Durability::Commit` — made durable
 //! all-or-nothing through PDL's differential commit records. The
 //! NEW-ORDER 1% "unused item" rollback (clause 2.4.1.5) exercises
-//! [`Database::abort`]: the district's `D_NEXT_O_ID` advance is written
-//! first and rolled back to its pre-image when an order line names an
-//! invalid item. (Item validation still precedes the structural inserts:
-//! index splits are not transaction-protected — see ROADMAP.)
+//! [`Database::abort`] at the spec's exact position: the invalid item is
+//! detected while its order line is processed, *after* the district
+//! update, the ORDER / NEW-ORDER inserts and every prior line's stock
+//! update and ORDER-LINE insert — so the abort rolls back heap growth
+//! and B+-tree splits too (physiological structural undo through the
+//! structure-root log).
 
 use crate::db::{keys, TpccDb};
 use crate::error::TpccError;
@@ -98,16 +100,18 @@ impl TxnStats {
 pub fn run_transaction(t: &mut TpccDb, r: &mut TpccRand, kind: TxnKind) -> Result<bool> {
     match kind {
         TxnKind::OrderStatus | TxnKind::StockLevel => {
-            let view = t.db.begin_read();
-            let outcome = {
-                let snap = t.db.snapshot(&view);
+            // The leak-proof view bracket: the guard releases the view on
+            // every exit path, so a `?` mid-scan (e.g. "snapshot too
+            // old") can never freeze the version-retention floor.
+            let db = &t.db;
+            db.with_read_view(|view| {
+                let snap = db.snapshot(view);
                 match kind {
                     TxnKind::OrderStatus => order_status(t, r, &snap),
                     _ => stock_level(t, r, &snap),
                 }
-            };
-            t.db.release_read(view);
-            outcome.map(|()| true)
+                .map(|()| true)
+            })
         }
         _ => {
             t.db.begin()?;
@@ -207,17 +211,6 @@ fn new_order(t: &mut TpccDb, r: &mut TpccRand) -> Result<bool> {
     district.next_o_id += 1;
     t.district.update(&mut t.db, d_rid, &district.encode())?;
 
-    // Validate items (clause 2.4.1.5): an invalid item aborts the
-    // transaction, rolling the district update back to its pre-image —
-    // the Rollback-NEW-ORDER path of the `pdl-txn` subsystem.
-    let mut items = Vec::with_capacity(lines.len());
-    for line in &lines {
-        match t.item_row(line.i_id)? {
-            Some(item) => items.push(item),
-            None => return Ok(false), // rollback: "Item number is not valid"
-        }
-    }
-
     // Insert ORDER and NEW-ORDER.
     let order =
         Order { o_id, d_id: d, w_id: w, c_id: c, entry_d: 2, carrier_id: 0, ol_cnt, all_local };
@@ -227,8 +220,17 @@ fn new_order(t: &mut TpccDb, r: &mut TpccRand) -> Result<bool> {
     let no_rid = t.new_order.insert(&mut t.db, &NewOrder { o_id, d_id: d, w_id: w }.encode())?;
     t.idx_new_order.insert(&mut t.db, &keys::new_order(w, d, o_id), no_rid.to_u64())?;
 
-    // Per line: stock update + order-line insert.
-    for (n, (line, item)) in lines.iter().zip(items.iter()).enumerate() {
+    // Per line: item validation + stock update + order-line insert. The
+    // invalid item of the 1% rollback case is detected *here*, at the
+    // spec's exact position (clause 2.4.2.3): by then the district
+    // advance, the ORDER / NEW-ORDER inserts and every prior line's
+    // writes — including any heap growth and B+-tree splits they caused —
+    // have happened, and the abort rolls all of it back (physiological
+    // structural undo).
+    for (n, line) in lines.iter().enumerate() {
+        let Some(item) = t.item_row(line.i_id)? else {
+            return Ok(false); // rollback: "Item number is not valid"
+        };
         let (s_rid, mut stock) = t.stock_row(line.supply_w, line.i_id)?;
         if stock.quantity >= line.quantity as i16 + 10 {
             stock.quantity -= line.quantity as i16;

@@ -24,7 +24,7 @@
 //!   the disciplines, but the serialization structure can).
 
 use pdl_core::PageStore;
-use pdl_storage::{ShardedBufferPool, StorageError};
+use pdl_storage::{PageRead, ShardedBufferPool, StorageError, StructId, StructRoot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -46,6 +46,15 @@ pub struct SnapshotReadConfig {
     pub pages_per_txn: usize,
     /// `true` = the pre-MVCC locked read path; `false` = read views.
     pub locked_baseline: bool,
+    /// Split-heavy structure churn: each writer transaction *changes the
+    /// shape* of a registered structure (its commit-clock-versioned page
+    /// list grows each round, collapsing when it fills its group) in
+    /// addition to stamping the listed pages. Scanners resolve the list
+    /// through the structure-root log at their view and require every
+    /// listed page to carry the view's round stamp — a scan that paired
+    /// its view with the *current* list would read pages that did not
+    /// exist at view time and report torn.
+    pub structure_churn: bool,
 }
 
 impl SnapshotReadConfig {
@@ -57,6 +66,7 @@ impl SnapshotReadConfig {
             txns_per_writer: 64,
             pages_per_txn: 8,
             locked_baseline: false,
+            structure_churn: false,
         }
     }
 
@@ -72,6 +82,11 @@ impl SnapshotReadConfig {
 
     pub fn with_locked_baseline(mut self, locked: bool) -> SnapshotReadConfig {
         self.locked_baseline = locked;
+        self
+    }
+
+    pub fn with_structure_churn(mut self, churn: bool) -> SnapshotReadConfig {
+        self.structure_churn = churn;
         self
     }
 }
@@ -125,14 +140,20 @@ pub fn run_snapshot_read_workload(
         cfg.writers
     );
     // Seed every writer group with stamp 0 so scans are consistent from
-    // the first round.
+    // the first round. In structure-churn mode each writer additionally
+    // registers its page-list structure, one page long to start.
+    let mut struct_ids: Vec<StructId> = Vec::new();
     for w in 0..cfg.writers as u64 {
         let txn = pool.begin();
         for pid in w * group..(w + 1) * group {
             pool.with_page_mut_txn(pid, txn, |page| page.write(0, &0u64.to_le_bytes()))?;
         }
         pool.commit(txn)?;
+        if cfg.structure_churn {
+            struct_ids.push(pool.register_struct(StructRoot::Heap { pages: vec![w * group] }));
+        }
     }
+    let struct_ids = &struct_ids;
 
     let big_lock = Mutex::new(()); // the locked baseline's read path
     let torn = AtomicU64::new(0);
@@ -149,15 +170,34 @@ pub fn run_snapshot_read_workload(
             let cfg = *cfg;
             handles.push(scope.spawn(move || -> pdl_storage::Result<u64> {
                 let mut committed = 0u64;
+                let mut len = 1u64;
                 for round in 1..=cfg.txns_per_writer {
                     let _serial = cfg
                         .locked_baseline
                         .then(|| big_lock.lock().unwrap_or_else(|e| e.into_inner()));
                     let txn = pool.begin();
-                    for pid in w * group..(w + 1) * group {
-                        pool.with_page_mut_txn(pid, txn, |page| {
-                            page.write(0, &round.to_le_bytes())
-                        })?;
+                    if cfg.structure_churn {
+                        // Grow (or collapse) the registered page list and
+                        // stamp exactly the listed pages; the shape change
+                        // and the stamps commit atomically.
+                        len = if len == group { 1 } else { len + 1 };
+                        let pages: Vec<u64> = (w * group..w * group + len).collect();
+                        for &pid in &pages {
+                            pool.with_page_mut_txn(pid, txn, |page| {
+                                page.write(0, &round.to_le_bytes())
+                            })?;
+                        }
+                        pool.publish_struct_txn(
+                            txn,
+                            struct_ids[w as usize],
+                            StructRoot::Heap { pages },
+                        );
+                    } else {
+                        for pid in w * group..(w + 1) * group {
+                            pool.with_page_mut_txn(pid, txn, |page| {
+                                page.write(0, &round.to_le_bytes())
+                            })?;
+                        }
                     }
                     pool.commit(txn)?;
                     committed += 1;
@@ -176,12 +216,21 @@ pub fn run_snapshot_read_workload(
                 while scans < cfg.scans_per_reader {
                     let outcome = if cfg.locked_baseline {
                         let _serial = big_lock.lock().unwrap_or_else(|e| e.into_inner());
-                        scan_current(pool, cfg.writers as u64, group, num_pages)
+                        if cfg.structure_churn {
+                            scan_structs(*pool, struct_ids, group, num_pages)
+                        } else {
+                            scan_current(pool, cfg.writers as u64, group, num_pages)
+                        }
+                    } else if cfg.structure_churn {
+                        // The leak-proof bracket: the guard releases the
+                        // view even on a `?` early return below.
+                        pool.with_read_view(|view| {
+                            scan_structs(&pool.snapshot(view), struct_ids, group, num_pages)
+                        })
                     } else {
-                        let view = pool.begin_read();
-                        let r = scan_snapshot(pool, &view, cfg.writers as u64, group, num_pages);
-                        pool.release_read(view);
-                        r
+                        pool.with_read_view(|view| {
+                            scan_snapshot(pool, view, cfg.writers as u64, group, num_pages)
+                        })
                     };
                     match outcome {
                         Ok(consistent) => {
@@ -259,6 +308,45 @@ fn scan_snapshot(
     Ok(consistent)
 }
 
+/// The split-heavy sweep, generic over the read discipline: resolve
+/// every writer's page-list structure through `s` (a snapshot resolves
+/// through the structure-root log *as of the view*; the locked
+/// baseline's live reader resolves the current list under the global
+/// lock), then require every listed page to carry one uniform round
+/// stamp. A resolver that handed back a shape from a different
+/// commit-clock point than the page bytes would report torn.
+fn scan_structs<S: PageRead>(
+    s: &S,
+    ids: &[StructId],
+    group: u64,
+    num_pages: u64,
+) -> pdl_storage::Result<bool> {
+    let mut consistent = true;
+    for id in ids {
+        let Some(StructRoot::Heap { pages }) = s.struct_root(*id) else {
+            consistent = false;
+            continue;
+        };
+        if pages.is_empty() {
+            consistent = false;
+            continue;
+        }
+        let mut first = None;
+        for pid in pages {
+            let stamp = s.with_page(pid, |pg| u64::from_le_bytes(pg[0..8].try_into().unwrap()))?;
+            match first {
+                None => first = Some(stamp),
+                Some(f) if f != stamp => consistent = false,
+                _ => {}
+            }
+        }
+    }
+    for pid in ids.len() as u64 * group..num_pages {
+        s.with_page(pid, |pg| pg[0])?;
+    }
+    Ok(consistent)
+}
+
 /// The locked baseline's sweep: plain current-state reads (the caller
 /// holds the global lock, which is what makes them consistent).
 fn scan_current(
@@ -318,6 +406,23 @@ mod tests {
         assert_eq!(r.torn_scans, 0, "a view must observe atomic commit prefixes");
         assert!(r.flash_us_max_shard > 0);
         assert!(r.flash_us_total >= r.flash_us_max_shard);
+    }
+
+    #[test]
+    fn structure_churn_scans_resolve_view_time_page_lists() {
+        let p = pool(4, 128, 32);
+        let cfg = SnapshotReadConfig::new(2, 2)
+            .with_scans(6)
+            .with_txns_per_writer(24)
+            .with_structure_churn(true);
+        let r = run_snapshot_read_workload(&p, &cfg).unwrap();
+        assert_eq!(r.scans, 12);
+        assert_eq!(r.committed, 48);
+        assert_eq!(r.torn_scans, 0, "structure shape and page stamps must move atomically");
+        // Teardown: the view registry drained and nothing stayed pinned.
+        assert_eq!(p.stats().active_views, 0);
+        assert_eq!(p.retained_versions(), 0);
+        assert_eq!(p.retained_struct_versions(), 0);
     }
 
     #[test]

@@ -125,11 +125,13 @@ fn tpcc_state_survives_flush_crash_recovery() {
     let allocated = t.db.allocated_pages();
     let num_pages = t.db.io_stats(); // just to exercise the accessor
     let _ = num_pages;
+    t.detach_structures(); // carry committed roots across the teardown
     let store = t.db.into_store().unwrap();
     let opts = *store.options();
     let chip = store.into_chip();
     let store = recover_store(chip, kind, opts).unwrap();
     t.db = Database::new_with_allocated(store, 64, allocated);
+    t.attach_structures();
 
     assert_eq!(t.warehouse_row(1).unwrap().1.ytd, w_ytd);
     assert_eq!(t.district_row(1, 1).unwrap().1.next_o_id, d_next);
@@ -166,11 +168,13 @@ fn durable_commits_survive_an_unflushed_crash() {
     // expose if their district bump leaked.
     let kind = MethodKind::Pdl { max_diff_size: 256 };
     let mut t = build_tpcc(kind, 64);
+    t.detach_structures(); // carry committed roots across the re-wrap
     t.db = {
         let allocated = t.db.allocated_pages();
         let store = t.db.into_store().unwrap(); // flush the loader's writes
         Database::new_with_allocated(store, 64, allocated).with_durability(Durability::Commit)
     };
+    t.attach_structures();
     let mut r = TpccRand::new(9);
     let stats = run_mix(&mut t, &mut r, 150).unwrap();
     assert_eq!(stats.total(), 150);
@@ -179,11 +183,15 @@ fn durable_commits_survive_an_unflushed_crash() {
     let d_next = t.district_row(1, 1).unwrap().1.next_o_id;
     let allocated = t.db.allocated_pages();
     // Crash: no flush, the buffer pool's clean state is lost outright.
+    // Every transaction committed or aborted, so the handles' committed
+    // structural state survives the crash with the commit records.
+    t.detach_structures();
     let store = t.db.into_store_without_flush();
     let opts = *store.options();
     let chip = store.into_chip();
     let store = recover_store(chip, kind, opts).unwrap();
     t.db = Database::new_with_allocated(store, 64, allocated).with_durability(Durability::Commit);
+    t.attach_structures();
 
     assert_eq!(t.warehouse_row(1).unwrap().1.ytd, w_ytd, "committed PAYMENT lost");
     assert_eq!(t.district_row(1, 1).unwrap().1.next_o_id, d_next, "committed NEW-ORDER lost");
