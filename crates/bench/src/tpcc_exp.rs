@@ -73,6 +73,99 @@ pub fn run_tpcc_point(
     Ok((io_us as f64 / txns as f64, loaded))
 }
 
+/// One point of the flash-pipeline (queue-depth) experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct QdPoint {
+    /// Transactions per second of *pipeline* time — the chip's busy
+    /// horizon, which shrinks as deeper queues overlap commands. At
+    /// queue depth 1 this equals the serial Table-1 time sum.
+    pub bound_tps: f64,
+    /// Pipeline busy time of the measured phase, µs.
+    pub pipeline_us: u64,
+    /// Serial (Table-1 sum) flash time of the measured phase, µs.
+    pub serial_us: u64,
+    pub write_amp: f64,
+    pub gc_erases: u64,
+    pub pipeline: pdl_flash::PipelineCounts,
+}
+
+/// One queue-depth point: TPC-C on an **erase-heavy** PDL store. The
+/// physical space barely exceeds the logical footprint (vs Figure 18's
+/// 4x headroom) and the buffer is flushed on a short group-commit
+/// cadence, so garbage collection runs during the measured phase and
+/// its erases — plus the flush bursts of programs — are the commands a
+/// deeper queue can hide (Dayan & Bonnet's GC-scheduling argument).
+/// Same load/warmup/measure protocol as [`run_tpcc_point`].
+pub fn run_tpcc_qd_point(
+    scale: Scale,
+    queue_depth: u32,
+    planes: u32,
+    seed: u64,
+) -> Result<QdPoint, CoreError> {
+    let kind = MethodKind::Pdl { max_diff_size: 256 };
+    let tpcc_scale = tpcc_scale_for(scale);
+    let txns = txns_for(scale);
+    // A long warmup: it must push the append cursor into the reclamation
+    // regime, so the *measured* phase is GC-pressured from its first
+    // transaction.
+    let warmup = txns * 2;
+    // Group-commit cadence: flush the buffer every K transactions, like
+    // a durability checkpoint. Each flush is a burst of programs — the
+    // traffic pattern the pipelined submit-all/drain-all path overlaps.
+    const FLUSH_EVERY: u64 = 5;
+
+    // A tight store: the logical space is just the loaded footprint plus
+    // growth room, and the physical space barely exceeds it (vs Figure
+    // 18's 4x headroom) — the store reclaims constantly, so GC
+    // migrations and erases dominate the command stream.
+    let est = tpcc_scale.estimated_loaded_pages(2048);
+    let num_pages = est + txns + 128;
+    let blocks = (num_pages.div_ceil(64) + 10) as u32;
+    let config = FlashConfig::scaled(blocks).with_queue_depth(queue_depth).with_planes(planes);
+    let store = build_store(FlashChip::new(config), kind, StoreOptions::new(num_pages))?;
+
+    let db = Database::new(store, 256);
+    let mut t: TpccDb =
+        load(db, tpcc_scale, seed).map_err(|e| CoreError::BadConfig(e.to_string()))?;
+    let loaded = t.db.allocated_pages();
+
+    // A generous buffer (30% of the loaded footprint): most re-reads hit
+    // DRAM, while the periodic commit flushes and GC still reach flash —
+    // so the command stream is dominated by program/erase bursts,
+    // exactly the commands a deeper queue can overlap.
+    let buffer_pages = ((loaded as f64 * 30.0 / 100.0).round() as usize).max(2);
+    t.detach_structures();
+    let store = t.db.into_store().map_err(|e| CoreError::BadConfig(e.to_string()))?;
+    t.db = Database::new_with_allocated(store, buffer_pages, loaded);
+    t.attach_structures();
+
+    let mut r = TpccRand::new(seed ^ 0xABCD);
+    let run_chunked = |t: &mut TpccDb, r: &mut TpccRand, total: u64| -> Result<(), CoreError> {
+        let mut done = 0;
+        while done < total {
+            let n = FLUSH_EVERY.min(total - done);
+            run_mix(t, r, n).map_err(|e| CoreError::BadConfig(e.to_string()))?;
+            t.db.flush().map_err(|e| CoreError::BadConfig(e.to_string()))?;
+            done += n;
+        }
+        Ok(())
+    };
+    run_chunked(&mut t, &mut r, warmup)?;
+    t.db.reset_io_stats(); // also rebases the pipeline clock
+    run_chunked(&mut t, &mut r, txns)?;
+
+    let stats = t.db.io_stats();
+    let pipeline_us = t.db.with_store(|s| s.pipeline_busy_us());
+    Ok(QdPoint {
+        bound_tps: txns as f64 / (pipeline_us.max(1) as f64 / 1e6),
+        pipeline_us,
+        serial_us: stats.total().total_us(),
+        write_amp: stats.write_amplification(),
+        gc_erases: stats.gc_erases(),
+        pipeline: stats.pipeline,
+    })
+}
+
 /// Experiment 7 / Figure 18 sweep.
 pub fn exp7(scale: Scale) -> Result<Table, CoreError> {
     let kinds = MethodKind::paper_five();

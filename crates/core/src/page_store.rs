@@ -257,6 +257,22 @@ pub trait PageStore: Send {
     /// write buffer, pending log sectors) out to flash.
     fn flush(&mut self) -> Result<()>;
 
+    /// Read-ahead hint: issue the flash reads that recreating `pid` will
+    /// need, without waiting for them (B+-tree range scans hint the next
+    /// leaf while the current one is consumed). Methods that can't map
+    /// the page cheaply may ignore the hint; the default does nothing.
+    fn prefetch(&mut self, _pid: u64) -> Result<()> {
+        Ok(())
+    }
+
+    /// Pipeline busy time (µs) since the last stats reset — the flash
+    /// critical path under the configured queue depth; on a sharded
+    /// store, the maximum over shards (they are independent chips). At
+    /// queue depth 1 this equals `stats().total().total_us()`.
+    fn pipeline_busy_us(&self) -> u64 {
+        self.chip().pipeline_busy_us()
+    }
+
     /// Access to the underlying chip (statistics, wear, timing).
     ///
     /// # Panics

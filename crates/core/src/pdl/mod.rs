@@ -634,6 +634,12 @@ impl Pdl {
                 self.counters.deferred_marks += 1;
             }
         }
+        // The erase is *submitted*, not waited for: on a chip with queue
+        // depth > 1 it completes in an otherwise-idle queue slot while
+        // the foreground operation that tripped the GC threshold
+        // proceeds (the `overlapped_erases` gauge attributes this).
+        // Failure detection stays synchronous — the emulator reports it
+        // at submission.
         match self.chip.erase_block(victim) {
             Ok(()) => {
                 self.alloc.on_erased(victim);
@@ -813,6 +819,24 @@ impl PageStore for Pdl {
             })?;
             // Step 3: merge the base page with the differential.
             d.apply(out);
+        }
+        Ok(())
+    }
+
+    /// Read-ahead: issue the reads `PDL_Reading` will need — the base
+    /// frames, plus the differential page unless the write buffer already
+    /// holds the page's differential — without waiting on them.
+    fn prefetch(&mut self, pid: u64) -> Result<()> {
+        self.opts.check_pid(pid)?;
+        let entry = self.ppmt[pid as usize];
+        if entry.base[0] == NONE {
+            return Ok(());
+        }
+        for j in 0..self.frames() {
+            self.chip.prefetch_page(Ppn(entry.base[j]))?;
+        }
+        if entry.diff != NONE && self.dwb.get(pid).is_none() {
+            self.chip.prefetch_page(Ppn(entry.diff))?;
         }
         Ok(())
     }

@@ -386,6 +386,21 @@ impl ShardedStore {
         (0..self.shards.len()).map(|s| self.lock_shard(s).wear_summary()).collect()
     }
 
+    /// Concurrent [`PageStore::prefetch`]: hint the owning shard without
+    /// waiting for the reads (range-scan read-ahead).
+    pub fn prefetch_shared(&self, pid: u64) -> Result<()> {
+        let (s, local) = self.locate(pid)?;
+        self.lock_shard(s).prefetch(local)
+    }
+
+    /// Per-shard pipeline busy time (µs) since the last stats reset,
+    /// shard order. The maximum entry is the flash critical path of the
+    /// engine: shards are independent chips, so simulated time advances
+    /// on each in parallel.
+    pub fn per_shard_pipeline_us(&self) -> Vec<u64> {
+        (0..self.shards.len()).map(|s| self.lock_shard(s).pipeline_busy_us()).collect()
+    }
+
     /// Tear down and return every shard's chip, shard order.
     pub fn into_shard_chips(self) -> Vec<FlashChip> {
         self.shards
@@ -427,6 +442,17 @@ impl PageStore for ShardedStore {
             shard.get_mut().unwrap_or_else(|e| e.into_inner()).flush()?;
         }
         Ok(())
+    }
+
+    fn prefetch(&mut self, pid: u64) -> Result<()> {
+        let (s, local) = self.locate(pid)?;
+        self.shards[s].get_mut().unwrap_or_else(|e| e.into_inner()).prefetch(local)
+    }
+
+    fn pipeline_busy_us(&self) -> u64 {
+        // Shards are independent chips: the engine's flash critical path
+        // is the slowest shard, not the sum.
+        self.per_shard_pipeline_us().into_iter().max().unwrap_or(0)
     }
 
     // --- pdl-txn routing (exclusive commit batches, one txn at a time).

@@ -56,11 +56,12 @@ fn apply_op(page: &mut [u8], fill: u8, whole: bool) {
 struct SweepSetup {
     kind: MethodKind,
     opts: StoreOptions,
+    config: FlashConfig,
 }
 
 impl SweepSetup {
     fn build(&self) -> Box<dyn PageStore> {
-        build_store(FlashChip::new(FlashConfig::tiny()), self.kind, self.opts).unwrap()
+        build_store(FlashChip::new(self.config), self.kind, self.opts).unwrap()
     }
 
     /// Run phase 1 (load + pre-crash updates + flush); returns the
@@ -83,12 +84,19 @@ impl SweepSetup {
 
 /// The exhaustive sweep for one method/policy configuration.
 fn sweep(kind: MethodKind, policy: GcPolicy) {
+    sweep_on(kind, policy, FlashConfig::tiny());
+}
+
+/// The sweep body, parameterized over the chip configuration so the same
+/// crash points can be replayed with a deep command queue (crashes with
+/// commands still in flight).
+fn sweep_on(kind: MethodKind, policy: GcPolicy, config: FlashConfig) {
     let mut opts = StoreOptions::new(PAGES).with_gc_policy(policy);
     // A large GC reserve shrinks the normally-allocatable space, so the
     // out-place methods hit reclamation within a short script instead of
     // needing thousands of operations to fill the chip.
     opts.reserve_blocks = 10;
-    let setup = SweepSetup { kind, opts };
+    let setup = SweepSetup { kind, opts, config };
     // IPL turns a whole-page rewrite into dozens of log-sector programs,
     // so a shorter script already exercises several merges (its GC) while
     // keeping the per-index replay affordable.
@@ -207,6 +215,19 @@ fn exhaustive_crash_sweep_pdl_cost_benefit() {
 #[test]
 fn exhaustive_crash_sweep_pdl_hot_cold() {
     sweep(MethodKind::Pdl { max_diff_size: 64 }, GcPolicy::HotCold);
+}
+
+/// The PDL sweep replayed with a 16-deep command queue and 4 planes:
+/// every crash index now lands with commands potentially still in
+/// flight (queued but not drained), and recovery must agree with the
+/// synchronous sweep's legality rules anyway.
+#[test]
+fn exhaustive_crash_sweep_pdl_qd16() {
+    sweep_on(
+        MethodKind::Pdl { max_diff_size: 64 },
+        GcPolicy::Greedy,
+        FlashConfig::tiny().with_queue_depth(16).with_planes(4),
+    );
 }
 
 #[test]

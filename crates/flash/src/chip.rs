@@ -7,6 +7,7 @@
 
 use crate::error::{FlashError, ProgramArea};
 use crate::geometry::{BlockId, FlashConfig, FlashGeometry, FlashTiming, Ppn};
+use crate::pipeline::{CmdKind, Pipeline};
 use crate::spare::SpareInfo;
 use crate::stats::{FlashStats, OpContext, WearSummary};
 use crate::Result;
@@ -58,6 +59,9 @@ pub struct FlashChip {
     erase_limit: Option<u64>,
     /// One-shot injected erase failures (deterministic tests).
     forced_erase_failures: Vec<bool>,
+    /// The command queue: schedules every operation on the simulated
+    /// clock (state mutation stays synchronous; see [`crate::pipeline`]).
+    pipeline: Pipeline,
 }
 
 impl FlashChip {
@@ -78,6 +82,7 @@ impl FlashChip {
             broken: vec![false; g.num_blocks as usize],
             erase_limit: None,
             forced_erase_failures: vec![false; g.num_blocks as usize],
+            pipeline: Pipeline::new(config.pipeline, g.pages_per_block),
         }
     }
 
@@ -121,6 +126,9 @@ impl FlashChip {
 
     pub fn reset_stats(&mut self) {
         self.stats = FlashStats::default();
+        // Re-zero the pipeline's busy clock so the next measurement epoch
+        // reports its own critical path.
+        self.pipeline.rebase();
     }
 
     /// Set who the following operations are attributed to.
@@ -147,7 +155,16 @@ impl FlashChip {
             max_erases: max,
             total_erases: total,
             num_blocks: self.geometry().num_blocks,
+            pipeline: self.stats.pipeline,
         }
+    }
+
+    /// Pipeline busy time (µs) since the last stats reset: the makespan
+    /// of every command submitted, i.e. the chip's critical path under
+    /// the configured queue depth. At queue depth 1 it equals
+    /// `stats().total().total_us()` exactly (the serial model).
+    pub fn pipeline_busy_us(&self) -> u64 {
+        self.pipeline.busy_us()
     }
 
     // ------------------------------------------------------------------
@@ -203,25 +220,48 @@ impl FlashChip {
     // Charging helpers
     // ------------------------------------------------------------------
 
-    fn charge_read(&mut self) {
+    /// Charge and schedule a synchronous page read. If a read-ahead for
+    /// the page is in flight, consume its completion instead of charging
+    /// a second read (the prefetch already paid for it).
+    fn charge_read(&mut self, ppn: Ppn) {
+        if let Some(done) = self.pipeline.take_ready(ppn.0) {
+            self.stats.pipeline.readahead_hits += 1;
+            self.pipeline.wait_until(done, &mut self.stats.pipeline);
+            return;
+        }
         let t = self.config.timing.t_read_us;
+        let block = self.geometry().block_of(ppn).0;
         let c = self.stats.by_context_mut(self.context);
         c.reads += 1;
         c.read_us += t;
+        self.pipeline.submit(CmdKind::Read, block, ppn.0, t, true, &mut self.stats.pipeline);
     }
 
-    fn charge_write(&mut self) {
+    /// Charge and schedule a page program. Programs complete in the
+    /// background (the submitter only stalls on a full queue); the
+    /// dependency edges keep later reads of the block ordered after it.
+    fn charge_write(&mut self, ppn: Ppn) {
         let t = self.config.timing.t_write_us;
+        let block = self.geometry().block_of(ppn).0;
         let c = self.stats.by_context_mut(self.context);
         c.writes += 1;
         c.write_us += t;
+        // Any prefetched image of this page is stale now.
+        self.pipeline.invalidate_page(ppn.0);
+        self.pipeline.submit(CmdKind::Program, block, ppn.0, t, false, &mut self.stats.pipeline);
     }
 
-    fn charge_erase(&mut self) {
+    /// Charge and schedule a block erase. Like programs, erases complete
+    /// in the background — at queue depth > 1 GC's erases land in
+    /// otherwise-idle slots instead of stalling the foreground operation.
+    fn charge_erase(&mut self, block: BlockId) {
         let t = self.config.timing.t_erase_us;
         let c = self.stats.by_context_mut(self.context);
         c.erases += 1;
         c.erase_us += t;
+        self.pipeline.invalidate_block(block.0);
+        // Erases stripe by block; the page argument is unused for them.
+        self.pipeline.submit(CmdKind::Erase, block.0, 0, t, false, &mut self.stats.pipeline);
     }
 
     fn check_ppn(&self, ppn: Ppn) -> Result<()> {
@@ -258,7 +298,7 @@ impl FlashChip {
         buf.data.copy_from_slice(&self.data[dr]);
         let sr = self.spare_range(ppn);
         buf.spare.copy_from_slice(&self.spare[sr]);
-        self.charge_read();
+        self.charge_read(ppn);
         Ok(())
     }
 
@@ -272,7 +312,7 @@ impl FlashChip {
         }
         let dr = self.data_range(ppn);
         out.copy_from_slice(&self.data[dr]);
-        self.charge_read();
+        self.charge_read(ppn);
         Ok(())
     }
 
@@ -283,8 +323,43 @@ impl FlashChip {
         self.check_ppn(ppn)?;
         let sr = self.spare_range(ppn);
         let info = SpareInfo::decode(&self.spare[sr]);
-        self.charge_read();
+        self.charge_read(ppn);
         Ok(info)
+    }
+
+    /// Issue a read-ahead for `ppn`: charges one read to the current
+    /// context and schedules it *without waiting*. A later synchronous
+    /// read of the page consumes the completion (a `readahead_hits`
+    /// gauge tick) instead of charging and waiting again; a program or
+    /// erase touching the page invalidates the prefetched image, and the
+    /// later read is charged in full. Idempotent while in flight.
+    pub fn prefetch_page(&mut self, ppn: Ppn) -> Result<()> {
+        self.check_ppn(ppn)?;
+        if self.pipeline.is_ready(ppn.0) {
+            return Ok(());
+        }
+        let t = self.config.timing.t_read_us;
+        let block = self.geometry().block_of(ppn).0;
+        let c = self.stats.by_context_mut(self.context);
+        c.reads += 1;
+        c.read_us += t;
+        let done =
+            self.pipeline.submit(CmdKind::Read, block, ppn.0, t, false, &mut self.stats.pipeline);
+        self.pipeline.note_ready(ppn.0, done);
+        Ok(())
+    }
+
+    /// Retire completed background commands without advancing the clock;
+    /// returns the number still in flight.
+    pub fn poll(&mut self) -> usize {
+        self.pipeline.poll(&mut self.stats.pipeline)
+    }
+
+    /// Completion barrier: advance the simulated clock past every
+    /// in-flight command (the group-commit leader submits to all shards,
+    /// then drains each).
+    pub fn drain(&mut self) {
+        self.pipeline.drain(&mut self.stats.pipeline);
     }
 
     // ------------------------------------------------------------------
@@ -331,7 +406,7 @@ impl FlashChip {
         and_into(&mut self.spare[sr], spare);
         self.data_programs[p] += 1;
         self.spare_programs[p] += 1;
-        self.charge_write();
+        self.charge_write(ppn);
         Ok(())
     }
 
@@ -363,7 +438,7 @@ impl FlashChip {
         self.destructive_op_gate()?;
         and_into(&mut self.data[target], bytes);
         self.data_programs[p] += 1;
-        self.charge_write();
+        self.charge_write(ppn);
         Ok(())
     }
 
@@ -394,7 +469,7 @@ impl FlashChip {
         self.destructive_op_gate()?;
         and_into(&mut self.spare[target], bytes);
         self.spare_programs[p] += 1;
-        self.charge_write();
+        self.charge_write(ppn);
         Ok(())
     }
 
@@ -431,7 +506,7 @@ impl FlashChip {
         if worn_out || self.forced_erase_failures[block.0 as usize] {
             self.forced_erase_failures[block.0 as usize] = false;
             self.broken[block.0 as usize] = true;
-            self.charge_erase(); // the failed attempt still takes time
+            self.charge_erase(block); // the failed attempt still takes time
             return Err(FlashError::EraseFailed(block));
         }
         let first = g.first_page(block).0 as usize;
@@ -441,7 +516,7 @@ impl FlashChip {
         self.data_programs[first..last].fill(0);
         self.spare_programs[first..last].fill(0);
         self.erase_counts[block.0 as usize] += 1;
-        self.charge_erase();
+        self.charge_erase(block);
         Ok(())
     }
 
@@ -699,5 +774,66 @@ mod tests {
         assert_eq!(w.max_erases, 2);
         assert_eq!(w.total_erases, 3);
         assert_eq!(w.min_erases, 0);
+    }
+
+    #[test]
+    fn depth_one_pipeline_time_equals_serial_sum() {
+        let mut c = chip();
+        let (data, spare) = image(&c, 0x42, PageKind::Data, 1, 1);
+        c.program_page(Ppn(0), &data, &spare).unwrap();
+        let mut out = vec![0u8; c.geometry().data_size];
+        c.read_data(Ppn(0), &mut out).unwrap();
+        c.erase_block(BlockId(1)).unwrap();
+        c.drain();
+        assert_eq!(c.pipeline_busy_us(), c.stats().total().total_us());
+        assert_eq!(c.stats().pipeline.overlapped_erases, 0);
+        assert_eq!(c.stats().pipeline.ordering_violations, 0);
+    }
+
+    #[test]
+    fn prefetch_hit_conserves_read_counts_and_returns_current_data() {
+        let mut c = FlashChip::new(FlashConfig::tiny().with_queue_depth(8));
+        let (data, spare) = image(&c, 0x42, PageKind::Data, 1, 1);
+        c.program_page(Ppn(0), &data, &spare).unwrap();
+        c.prefetch_page(Ppn(0)).unwrap();
+        c.prefetch_page(Ppn(0)).unwrap(); // idempotent while in flight
+        let before = c.stats().total();
+        let mut out = vec![0u8; c.geometry().data_size];
+        c.read_data(Ppn(0), &mut out).unwrap();
+        // The consuming read is free: the prefetch already charged it.
+        assert_eq!(c.stats().total().reads, before.reads);
+        assert_eq!(c.stats().pipeline.readahead_hits, 1);
+        assert_eq!(out, data);
+        // A second read is a fresh charge.
+        c.read_data(Ppn(0), &mut out).unwrap();
+        assert_eq!(c.stats().total().reads, before.reads + 1);
+    }
+
+    #[test]
+    fn stale_prefetch_is_invalidated_by_program() {
+        let mut c = FlashChip::new(FlashConfig::tiny().with_queue_depth(8));
+        c.prefetch_page(Ppn(0)).unwrap();
+        let (data, spare) = image(&c, 0x42, PageKind::Data, 1, 1);
+        c.program_page(Ppn(0), &data, &spare).unwrap();
+        let before = c.stats().total();
+        let mut out = vec![0u8; c.geometry().data_size];
+        c.read_data(Ppn(0), &mut out).unwrap();
+        // The prefetched image went stale: the read is charged in full
+        // and observes the program's data.
+        assert_eq!(c.stats().total().reads, before.reads + 1);
+        assert_eq!(c.stats().pipeline.readahead_hits, 0);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn reset_stats_rebases_the_pipeline_clock() {
+        let mut c = chip();
+        let (data, spare) = image(&c, 0x42, PageKind::Data, 1, 1);
+        c.program_page(Ppn(0), &data, &spare).unwrap();
+        c.reset_stats();
+        assert_eq!(c.pipeline_busy_us(), 0);
+        let mut out = vec![0u8; c.geometry().data_size];
+        c.read_data(Ppn(0), &mut out).unwrap();
+        assert_eq!(c.pipeline_busy_us(), 110);
     }
 }

@@ -30,18 +30,27 @@
 //! [`FlashError::PowerLoss`], which lets crash-recovery algorithms be
 //! tested at every possible interleaving point. Page programming itself is
 //! atomic, matching the chip-level guarantee the paper relies on (§4.5).
+//!
+//! On top of the serial cost model sits a **pipelined command model**
+//! ([`PipelineConfig`], [`FlashChip::prefetch_page`], [`FlashChip::poll`],
+//! [`FlashChip::drain`]): per-chip command queues with configurable depth
+//! and plane-level parallelism, accounted on the same simulated clock
+//! ([`FlashChip::pipeline_busy_us`] is the makespan). At the default queue
+//! depth of 1 the pipeline reproduces the serial sum exactly.
 
 mod chip;
 mod error;
 mod geometry;
+mod pipeline;
 mod spare;
 mod stats;
 
 pub use chip::{FlashChip, PageBuf};
 pub use error::FlashError;
 pub use geometry::{BlockId, FlashConfig, FlashGeometry, FlashTiming, Ppn};
+pub use pipeline::PipelineConfig;
 pub use spare::{fnv1a32, PageKind, SpareInfo, NO_TXN, SPARE_BYTES_USED};
-pub use stats::{FlashStats, OpContext, OpCounts, WearSummary};
+pub use stats::{FlashStats, OpContext, OpCounts, PipelineCounts, WearSummary};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, FlashError>;

@@ -154,6 +154,15 @@ pub struct BufferStats {
     /// leaked view pinning version retention forever — hold views through
     /// [`crate::ReadGuard`] to make leaks impossible.
     pub active_views: u64,
+    /// Sum over group-commit batches of the per-shard flash time their
+    /// record flushes charged, totalled across shards (pool-level, like
+    /// `active_views`: set by the sharded pool, not merged per stripe).
+    pub commit_flush_us_sum: u64,
+    /// Same flushes, but counting only each batch's *slowest* shard — the
+    /// commit critical path when the leader submits to all shards and
+    /// then drains. The gap to `commit_flush_us_sum` is the fan-out time
+    /// the overlapped leader saves over serial per-shard flushing.
+    pub commit_flush_us_max: u64,
 }
 
 impl BufferStats {
@@ -167,8 +176,9 @@ impl BufferStats {
     }
 
     /// Fold another cache's statistics into this one (stripe aggregation).
-    /// `active_views` is pool-level (the registry is shared across
-    /// stripes), so it is not summed here; the pool sets it after merging.
+    /// `active_views` and the commit-flush gauges are pool-level (the
+    /// registry and the group-commit leader are shared across stripes),
+    /// so they are not summed here; the pool sets them after merging.
     pub fn merge(&mut self, other: &BufferStats) {
         self.hits += other.hits;
         self.misses += other.misses;
@@ -305,6 +315,13 @@ impl FrameCache {
 
     pub(crate) fn stats(&self) -> BufferStats {
         self.stats
+    }
+
+    /// Whether `pid` currently occupies a frame (a prefetch hint for a
+    /// cached page would charge a phantom flash read; callers check this
+    /// first).
+    pub(crate) fn is_cached(&self, pid: u64) -> bool {
+        self.map.contains_key(&pid)
     }
 
     /// Committed versions currently retained (diagnostics / tests).
@@ -789,6 +806,17 @@ impl BufferPool {
     /// Read access to the current image of a page.
     pub fn with_page<R>(&self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         self.lock_cache().with_page(&mut StoreBackend(&self.store), pid, f)
+    }
+
+    /// Issue a flash read-ahead for `pid` without waiting. Skipped when
+    /// the page is already buffered (a prefetch would charge a phantom
+    /// read); errors are swallowed — a failed prefetch only means the
+    /// later demand read pays the full latency.
+    pub fn prefetch(&self, pid: u64) {
+        if self.lock_cache().is_cached(pid) {
+            return;
+        }
+        let _ = self.with_store(|s| s.prefetch(pid));
     }
 
     // ------------------------------------------------------------------

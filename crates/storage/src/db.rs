@@ -441,6 +441,10 @@ impl PageRead for Database {
         Database::with_page(self, pid, f)
     }
 
+    fn prefetch(&self, pid: u64) {
+        self.pool.prefetch(pid);
+    }
+
     fn struct_root(&self, id: StructId) -> Option<StructRoot> {
         // Pending-aware: the open transaction reads its own structural
         // writes, matching the in-place frame mutations it also sees.
@@ -478,6 +482,10 @@ impl PageRead for DbSnapshot<'_> {
 
     fn with_page<R>(&self, pid: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         self.db.with_page_at(self.view, pid, f)
+    }
+
+    fn prefetch(&self, pid: u64) {
+        self.db.pool.prefetch(pid);
     }
 
     fn struct_root(&self, id: StructId) -> Option<StructRoot> {

@@ -206,6 +206,15 @@ pub trait PageRead {
         let _ = id;
         None
     }
+
+    /// Read-ahead hint: the caller will read `pid` soon (a range scan
+    /// hints the next leaf while the current one is consumed). Purely an
+    /// optimisation — implementations issue flash reads without waiting,
+    /// skip pages already cached in a frame, and swallow errors (the
+    /// later real read surfaces them); the default does nothing.
+    fn prefetch(&self, pid: u64) {
+        let _ = pid;
+    }
 }
 
 /// The MVCC registry a pool keeps behind a mutex: the commit clock, the

@@ -109,6 +109,13 @@ pub struct SnapshotReadResult {
     /// Maximum per-shard simulated flash time (µs): the engine's
     /// critical path when nothing global serializes the run.
     pub flash_us_max_shard: u64,
+    /// Maximum per-shard *pipeline* busy time (µs): the critical path
+    /// once the command queue overlaps programs/erases with later work.
+    /// Equals [`Self::flash_us_max_shard`] at queue depth 1.
+    pub pipeline_us_max_shard: u64,
+    /// Command-queue gauges of the run, aggregated over the shards
+    /// (`max_inflight` is the run-level peak, not a delta).
+    pub pipeline: pdl_flash::PipelineCounts,
     pub wall: Duration,
 }
 
@@ -159,6 +166,7 @@ pub fn run_snapshot_read_workload(
     let torn = AtomicU64::new(0);
     let retries = AtomicU64::new(0);
     let stats_before = pool.store().per_shard_stats();
+    let pipeline_before = pool.store().per_shard_pipeline_us();
     let cache_before = pool.stats();
     let started = Instant::now();
 
@@ -268,6 +276,22 @@ pub fn run_snapshot_read_workload(
         .zip(stats_before.iter())
         .map(|(a, b)| (a.total() - b.total()).total_us())
         .collect();
+    let pipeline_us_max_shard = pool
+        .store()
+        .per_shard_pipeline_us()
+        .iter()
+        .zip(pipeline_before.iter())
+        .map(|(a, b)| a.saturating_sub(*b))
+        .max()
+        .unwrap_or(0);
+    let mut pipeline = stats_after
+        .iter()
+        .zip(stats_before.iter())
+        .map(|(a, b)| a.delta_since(b).pipeline)
+        .fold(pdl_flash::PipelineCounts::default(), |acc, p| acc + p);
+    // `max_inflight` is a high-water mark, so its delta is 0 whenever the
+    // peak predates the workload; report the run-level peak instead.
+    pipeline.max_inflight = stats_after.iter().map(|s| s.pipeline.max_inflight).max().unwrap_or(0);
     Ok(SnapshotReadResult {
         scans,
         committed,
@@ -276,6 +300,8 @@ pub fn run_snapshot_read_workload(
         version_reads: pool.stats().version_reads - cache_before.version_reads,
         flash_us_total: per_shard_us.iter().sum(),
         flash_us_max_shard: per_shard_us.iter().copied().max().unwrap_or(0),
+        pipeline_us_max_shard,
+        pipeline,
         wall: started.elapsed(),
     })
 }

@@ -1,7 +1,7 @@
 //! Plain-text table formatting for the experiment harness: the bench
 //! targets print the same rows/series the paper's figures plot.
 
-use pdl_flash::WearSummary;
+use pdl_flash::{PipelineCounts, WearSummary};
 use std::fmt::Write as _;
 
 /// Format microseconds with thousands separators, e.g. `12,345 us`.
@@ -126,6 +126,27 @@ pub fn wear_table(title: impl Into<String>, per_shard: &[WearSummary]) -> Table 
     t
 }
 
+/// Pipeline-gauge table: one labelled row per configuration, so a bench
+/// sweeping queue depth can show *why* a config is faster (queue
+/// occupancy, stall time, erases overlapped with foreground work,
+/// read-ahead hits) next to its ops/s.
+pub fn pipeline_table(title: impl Into<String>, rows: &[(String, PipelineCounts)]) -> Table {
+    let mut t = Table::new(
+        title,
+        &["config", "max inflight", "stall (us)", "overlapped erases", "readahead hits"],
+    );
+    for (label, p) in rows {
+        t.row(vec![
+            label.clone(),
+            p.max_inflight.to_string(),
+            format_us((p.queue_stall_ns / 1_000) as f64),
+            p.overlapped_erases.to_string(),
+            p.readahead_hits.to_string(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,8 +154,20 @@ mod tests {
     #[test]
     fn wear_table_aggregates_across_shards() {
         let shards = [
-            WearSummary { min_erases: 2, max_erases: 8, total_erases: 30, num_blocks: 6 },
-            WearSummary { min_erases: 1, max_erases: 9, total_erases: 34, num_blocks: 6 },
+            WearSummary {
+                min_erases: 2,
+                max_erases: 8,
+                total_erases: 30,
+                num_blocks: 6,
+                ..WearSummary::default()
+            },
+            WearSummary {
+                min_erases: 1,
+                max_erases: 9,
+                total_erases: 34,
+                num_blocks: 6,
+                ..WearSummary::default()
+            },
         ];
         let t = wear_table("wear", &shards);
         let s = t.render();
@@ -144,6 +177,22 @@ mod tests {
         assert!(all.contains("12"), "{s}");
         assert!(all.contains("64"), "{s}");
         assert!(all.contains('1') && all.contains('9'), "{s}");
+    }
+
+    #[test]
+    fn pipeline_table_shows_gauges() {
+        let p = PipelineCounts {
+            max_inflight: 16,
+            queue_stall_ns: 2_500_000,
+            overlapped_erases: 7,
+            readahead_hits: 42,
+            ordering_violations: 0,
+        };
+        let s = pipeline_table("pipeline", &[("QD 16".to_string(), p)]).render();
+        assert!(s.contains("QD 16"), "{s}");
+        assert!(s.contains("16"), "{s}");
+        assert!(s.contains("2,500"), "{s}");
+        assert!(s.contains("42"), "{s}");
     }
 
     #[test]
