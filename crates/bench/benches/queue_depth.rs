@@ -30,7 +30,7 @@
 
 use pdl_bench::tpcc_exp::{run_tpcc_qd_point, QdPoint};
 use pdl_core::{MethodKind, ShardedStore, StoreOptions};
-use pdl_flash::{FlashConfig, PipelineCounts};
+use pdl_flash::{FlashConfig, IntegrityCounts, PipelineCounts};
 use pdl_storage::ShardedBufferPool;
 use pdl_workload::{pipeline_table, run_snapshot_read_workload, Scale, SnapshotReadConfig, Table};
 
@@ -48,6 +48,7 @@ struct ReaderPoint {
     pipeline_us: u64,
     serial_us: u64,
     pipeline: PipelineCounts,
+    integrity: IntegrityCounts,
 }
 
 /// Readers workload at one queue depth: bound scan throughput over the
@@ -83,6 +84,7 @@ fn run_readers_point(scale: Scale, depth: u32) -> ReaderPoint {
         pipeline_us: r.pipeline_us_max_shard,
         serial_us: r.flash_us_max_shard,
         pipeline: r.pipeline,
+        integrity: pool.io_stats().integrity,
     }
 }
 
@@ -102,7 +104,8 @@ fn write_json(path: &str, scale: Scale, tpcc: &[(u32, QdPoint)], readers: &[(u32
         s.push_str(&format!(
             "    {{\"queue_depth\": {qd}, \"bound_tps\": {:.2}, \"pipeline_us\": {}, \
              \"serial_us\": {}, \"write_amp\": {:.3}, \"gc_erases\": {}, \"stall_us\": {}, \
-             \"max_inflight\": {}, \"overlapped_erases\": {}, \"readahead_hits\": {}}}{}\n",
+             \"max_inflight\": {}, \"overlapped_erases\": {}, \"readahead_hits\": {}, \
+             \"detected_corruptions\": {}, \"repaired_pages\": {}}}{}\n",
             p.bound_tps,
             p.pipeline_us,
             p.serial_us,
@@ -112,6 +115,8 @@ fn write_json(path: &str, scale: Scale, tpcc: &[(u32, QdPoint)], readers: &[(u32
             p.pipeline.max_inflight,
             p.pipeline.overlapped_erases,
             p.pipeline.readahead_hits,
+            p.integrity.detected_corruptions,
+            p.integrity.repaired_pages,
             if i + 1 < tpcc.len() { "," } else { "" },
         ));
     }
@@ -190,10 +195,10 @@ fn main() {
     }
     println!("{}", t.render());
 
-    let rows: Vec<(String, PipelineCounts)> = tpcc
+    let rows: Vec<(String, PipelineCounts, IntegrityCounts)> = tpcc
         .iter()
-        .map(|(qd, p)| (format!("tpcc QD={qd}"), p.pipeline))
-        .chain(readers.iter().map(|(qd, p)| (format!("readers QD={qd}"), p.pipeline)))
+        .map(|(qd, p)| (format!("tpcc QD={qd}"), p.pipeline, p.integrity))
+        .chain(readers.iter().map(|(qd, p)| (format!("readers QD={qd}"), p.pipeline, p.integrity)))
         .collect();
     println!("{}", pipeline_table("pipeline gauges per configuration", &rows).render());
 

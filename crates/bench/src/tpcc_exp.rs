@@ -87,6 +87,10 @@ pub struct QdPoint {
     pub write_amp: f64,
     pub gc_erases: u64,
     pub pipeline: pdl_flash::PipelineCounts,
+    /// Checksum mismatches detected / pages repaired during the measured
+    /// phase (0/0 on a healthy chip — nonzero means the run served from
+    /// self-repair, which distorts the timing comparison).
+    pub integrity: pdl_flash::IntegrityCounts,
 }
 
 /// One queue-depth point: TPC-C on an **erase-heavy** PDL store. The
@@ -163,6 +167,7 @@ pub fn run_tpcc_qd_point(
         write_amp: stats.write_amplification(),
         gc_erases: stats.gc_erases(),
         pipeline: stats.pipeline,
+        integrity: stats.integrity,
     })
 }
 

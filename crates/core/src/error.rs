@@ -21,6 +21,12 @@ pub enum CoreError {
     /// On-flash state is inconsistent with the in-memory tables; indicates
     /// a bug or external corruption. Carries a description.
     Corruption(String),
+    /// A single-page failure (Graefe & Kuno's fourth failure class): the
+    /// physical page backing `pid` failed checksum verification and no
+    /// redundant source (differential chain, GC twin, checkpoint) could
+    /// rebuild it. The corrupt bytes were NOT served; the page stays
+    /// unreadable until a full overwrite refreshes it.
+    PageCorrupt { pid: u64, ppn: u32 },
 }
 
 impl fmt::Display for CoreError {
@@ -36,6 +42,11 @@ impl fmt::Display for CoreError {
             CoreError::StorageFull => write!(f, "flash storage full: no reclaimable block"),
             CoreError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             CoreError::Corruption(msg) => write!(f, "corrupted store state: {msg}"),
+            CoreError::PageCorrupt { pid, ppn } => write!(
+                f,
+                "logical page {pid} is corrupt (physical page p{ppn} failed checksum, no \
+                 redundant source to repair from)"
+            ),
         }
     }
 }
@@ -59,6 +70,13 @@ impl From<FlashError> for CoreError {
 /// distinguish expected aborts from real failures).
 pub fn is_power_loss(e: &CoreError) -> bool {
     matches!(e, CoreError::Flash(FlashError::PowerLoss))
+}
+
+/// Whether the error reports an unrepairable single-page failure (used by
+/// corruption tests to distinguish a *detected* failure from bad bytes
+/// silently served).
+pub fn is_page_corrupt(e: &CoreError) -> bool {
+    matches!(e, CoreError::PageCorrupt { .. })
 }
 
 #[cfg(test)]

@@ -578,6 +578,24 @@ pub(crate) fn make_spare(
     make_spare_txn(spare_size, kind, tag, ts, pdl_flash::NO_TXN, data)
 }
 
+/// Build a spare-area image for a *migrated* copy of an existing page,
+/// carrying the original's metadata — including its stored checksum —
+/// forward verbatim (only the obsolete mark is reset).
+///
+/// GC/merge relocation paths must use this rather than recomputing a
+/// checksum over the bytes they just read: recomputing would *launder* a
+/// corrupt page (fresh checksum over rotten bytes) and make the damage
+/// undetectable forever. Carrying the original checksum keeps a corrupt
+/// page detectably corrupt wherever it migrates; for an intact page the
+/// result is byte-identical to a fresh checksum.
+pub(crate) fn make_spare_preserving(spare_size: usize, info: &pdl_flash::SpareInfo) -> Vec<u8> {
+    let mut spare = vec![0xFF; spare_size];
+    pdl_flash::SpareInfo { obsolete: false, ..*info }
+        .encode(&mut spare)
+        .expect("spare area large enough");
+    spare
+}
+
 /// Build a spare-area image carrying a commit-visibility transaction tag
 /// (PDL Case-3 base pages written inside a commit batch).
 pub(crate) fn make_spare_txn(

@@ -21,7 +21,7 @@
 mod log;
 
 use crate::error::CoreError;
-use crate::ftl::{make_spare, GcPolicy};
+use crate::ftl::{make_spare, make_spare_preserving, GcPolicy};
 use crate::page_store::{ChangeRange, MethodKind, PageStore, StoreOptions};
 use crate::Result;
 use log::{LogBuf, LogRecord, RECORD_OVERHEAD, SECTOR_HEADER};
@@ -515,15 +515,31 @@ impl Ipl {
         self.ts += 1;
         let k = self.k();
         let mut logical = vec![0u8; self.opts.logical_page_size(ds)];
+        let mut fbuf = pdl_flash::PageBuf::for_chip(&self.chip);
         let first_pid = lb as u64 * self.lppb as u64;
         for slot in 0..self.lppb as u64 {
             let pid = first_pid + slot;
             if pid >= self.opts.num_logical_pages || !self.loaded[pid as usize] {
                 continue;
             }
+            // Original checksum of each frame that failed verification: the
+            // merge applies logs on top of bytes it cannot trust, so the
+            // merged frame keeps the *stale* checksum — a later read still
+            // detects the damage instead of having it laundered by the
+            // rewrite.
+            let mut stale_csum: Vec<Option<u32>> = vec![None; k as usize];
             for j in 0..k {
                 let ppn = self.frame_ppn(pid, j);
-                self.chip.read_data(ppn, &mut logical[(j as usize) * ds..(j as usize + 1) * ds])?;
+                let slice = &mut logical[(j as usize) * ds..(j as usize + 1) * ds];
+                if self.opts.verify_checksums {
+                    self.chip.read_full(ppn, &mut fbuf)?;
+                    if self.chip.verify_read(ppn, &fbuf.data).is_err() {
+                        stale_csum[j as usize] = fbuf.spare_info().map(|i| i.checksum);
+                    }
+                    slice.copy_from_slice(&fbuf.data);
+                } else {
+                    self.chip.read_data(ppn, slice)?;
+                }
             }
             if let Some(records) = per_pid.get(&pid) {
                 for r in records {
@@ -536,7 +552,13 @@ impl Ipl {
                 let ppn = g.page_at(BlockId(new_block), idx);
                 let frame_data = &logical[(j as usize) * ds..(j as usize + 1) * ds];
                 let tag = pid * k as u64 + j as u64;
-                let spare = make_spare(g.spare_size, PageKind::IplData, tag, ts, frame_data);
+                let spare = match stale_csum[j as usize] {
+                    Some(csum) => make_spare_preserving(
+                        g.spare_size,
+                        &pdl_flash::SpareInfo::new(PageKind::IplData, tag, ts, csum),
+                    ),
+                    None => make_spare(g.spare_size, PageKind::IplData, tag, ts, frame_data),
+                };
                 self.chip.program_page(ppn, frame_data, &spare)?;
             }
         }
@@ -573,10 +595,24 @@ impl PageStore for Ipl {
             out.fill(0);
             return Ok(());
         }
-        // Read the original page...
+        // Read the original page... IPL keeps exactly one copy of an
+        // original page (logs are deltas against it), so a checksum failure
+        // here is reported, never repaired or served.
         for j in 0..self.k() {
             let ppn = self.frame_ppn(pid, j);
-            self.chip.read_data(ppn, &mut out[(j as usize) * ds..(j as usize + 1) * ds])?;
+            let slice = &mut out[(j as usize) * ds..(j as usize + 1) * ds];
+            if self.opts.verify_checksums {
+                match self.chip.read_data_verified(ppn, slice) {
+                    Ok(()) => {}
+                    Err(pdl_flash::FlashError::ChecksumMismatch(p)) => {
+                        out.fill(0);
+                        return Err(CoreError::PageCorrupt { pid, ppn: p.0 });
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            } else {
+                self.chip.read_data(ppn, slice)?;
+            }
         }
         // ...then only the log pages holding sectors of this page...
         let lb = (pid / self.lppb as u64) as usize;

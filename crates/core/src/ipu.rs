@@ -13,7 +13,7 @@
 //! cycle (any real FTL knows which pages are free).
 
 use crate::error::CoreError;
-use crate::ftl::make_spare;
+use crate::ftl::{make_spare, make_spare_preserving};
 use crate::page_store::{ChangeRange, MethodKind, PageStore, StoreOptions};
 use crate::Result;
 use pdl_flash::{FlashChip, PageKind, Ppn};
@@ -81,7 +81,7 @@ impl Ipu {
         let g = self.chip.geometry();
         // Step 1: read all (written) pages in the block except the targets.
         let mut buf = pdl_flash::PageBuf::for_chip(&self.chip);
-        let mut preserved: Vec<(u32, Vec<u8>, u64, u64)> = Vec::new(); // (idx, data, tag, ts)
+        let mut preserved: Vec<(u32, Vec<u8>, pdl_flash::SpareInfo)> = Vec::new();
         for idx in 0..g.pages_per_block {
             if targets.iter().any(|(t, _)| *t == idx) {
                 continue;
@@ -96,7 +96,13 @@ impl Ipu {
             let info = buf
                 .spare_info()
                 .ok_or_else(|| CoreError::Corruption(format!("unreadable spare at {ppn}")))?;
-            preserved.push((idx, buf.data.clone(), info.tag, info.ts));
+            if self.opts.verify_checksums {
+                // Count the detection; the page is preserved either way, and
+                // re-programming it below with its *original* checksum keeps
+                // the damage detectable instead of laundering it.
+                let _ = self.chip.verify_read(ppn, &buf.data);
+            }
+            preserved.push((idx, buf.data.clone(), info));
         }
         // Step 2: erase the block.
         self.chip.erase_block(block)?;
@@ -106,10 +112,11 @@ impl Ipu {
             let spare = make_spare(g.spare_size, PageKind::Data, ppn.0 as u64, ts, data);
             self.chip.program_page(ppn, data, &spare)?;
         }
-        // Step 4: write back the preserved pages.
-        for (idx, data, tag, ts) in preserved {
+        // Step 4: write back the preserved pages, carrying their original
+        // spare info (including the stored checksum) forward verbatim.
+        for (idx, data, info) in preserved {
             let ppn = g.page_at(block, idx);
-            let spare = make_spare(g.spare_size, PageKind::Data, tag, ts, &data);
+            let spare = make_spare_preserving(g.spare_size, &info);
             self.chip.program_page(ppn, &data, &spare)?;
         }
         self.block_cycles += 1;
@@ -130,10 +137,21 @@ impl PageStore for Ipu {
         for j in 0..k {
             let frame = (pid * k + j) as usize;
             let slice = &mut out[(j as usize) * ds..(j as usize + 1) * ds];
-            if self.written[frame] {
-                self.chip.read_data(Ppn(frame as u32), slice)?;
-            } else {
+            if !self.written[frame] {
                 slice.fill(0);
+            } else if self.opts.verify_checksums {
+                // Identity mapping: there is no redundant copy of a frame, so
+                // a checksum failure is reported, never repaired or served.
+                match self.chip.read_data_verified(Ppn(frame as u32), slice) {
+                    Ok(()) => {}
+                    Err(pdl_flash::FlashError::ChecksumMismatch(p)) => {
+                        slice.fill(0);
+                        return Err(CoreError::PageCorrupt { pid, ppn: p.0 });
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            } else {
+                self.chip.read_data(Ppn(frame as u32), slice)?;
             }
         }
         Ok(())

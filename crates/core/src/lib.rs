@@ -42,7 +42,7 @@ mod pdl;
 mod shard;
 
 pub use diff::NO_TXN;
-pub use error::{is_power_loss, CoreError};
+pub use error::{is_page_corrupt, is_power_loss, CoreError};
 pub use ftl::GcPolicy;
 pub use ipl::Ipl;
 pub use ipu::Ipu;

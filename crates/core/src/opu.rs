@@ -12,7 +12,8 @@
 
 use crate::error::CoreError;
 use crate::ftl::{
-    make_spare, mark_obsolete_lenient, AllocOutcome, AllocStream, BlockManager, GcPolicy, HeatTable,
+    make_spare, make_spare_preserving, mark_obsolete_lenient, AllocOutcome, AllocStream,
+    BlockManager, GcPolicy, HeatTable,
 };
 use crate::page_store::{ChangeRange, MethodKind, PageStore, StoreOptions};
 use crate::Result;
@@ -228,13 +229,23 @@ impl Opu {
                 // leftovers); it dies with the block.
                 continue;
             }
-            self.chip.read_data(ppn, &mut self.frame_buf)?;
+            if self.opts.verify_checksums {
+                match self.chip.read_data_verified(ppn, &mut self.frame_buf) {
+                    // A corrupt page still migrates (GC must free the
+                    // block), carrying the original checksum below so the
+                    // damage stays detectable at the next read — OPU has
+                    // no redundant source to rebuild from.
+                    Ok(()) | Err(pdl_flash::FlashError::ChecksumMismatch(_)) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            } else {
+                self.chip.read_data(ppn, &mut self.frame_buf)?;
+            }
             // Migration target by page hotness (hot/cold policy): cold
             // survivors must not pollute the blocks hot pages churn.
             let stream = self.stream_for(frame as u64 / self.opts.frames_per_page as u64);
             let q = self.alloc_page(stream)?;
-            let spare =
-                make_spare(g.spare_size, PageKind::Data, frame as u64, info.ts, &self.frame_buf);
+            let spare = make_spare_preserving(g.spare_size, &info);
             self.chip.program_page(q, &self.frame_buf, &spare)?;
             self.map[frame] = q.0;
             self.relocated_pages += 1;
@@ -277,6 +288,16 @@ impl PageStore for Opu {
             let slice = &mut out[(j as usize) * ds..(j as usize + 1) * ds];
             if self.map[frame] == NONE {
                 slice.fill(0);
+            } else if self.opts.verify_checksums {
+                match self.chip.read_data_verified(Ppn(self.map[frame]), slice) {
+                    Ok(()) => {}
+                    // No redundant source: report, never serve.
+                    Err(pdl_flash::FlashError::ChecksumMismatch(p)) => {
+                        slice.fill(0);
+                        return Err(CoreError::PageCorrupt { pid, ppn: p.0 });
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             } else {
                 self.chip.read_data(Ppn(self.map[frame]), slice)?;
             }

@@ -85,6 +85,14 @@ pub struct StoreOptions {
     /// it must hold at least one logical page (validated at
     /// construction).
     pub snapshot_retention_bytes: u64,
+    /// Verify the spare-area FNV-1a checksum on every data-path read
+    /// (default: on). A mismatch surfaces as
+    /// [`pdl_flash::FlashError::ChecksumMismatch`] /
+    /// [`CoreError::PageCorrupt`] instead of silently serving rotten
+    /// bytes; PDL additionally attempts online repair from a redundant
+    /// source. Off reproduces the historical trust-the-media behaviour
+    /// (ablation benches).
+    pub verify_checksums: bool,
 }
 
 impl StoreOptions {
@@ -98,7 +106,15 @@ impl StoreOptions {
             gc_policy: GcPolicy::default(),
             snapshot_version_cap: 1024,
             snapshot_retention_bytes: 0,
+            verify_checksums: true,
         }
+    }
+
+    /// Enable or disable checksum verification on data-path reads
+    /// (default: enabled).
+    pub fn with_verify_checksums(mut self, verify: bool) -> StoreOptions {
+        self.verify_checksums = verify;
+        self
     }
 
     /// Bound the committed page versions retained for snapshot readers

@@ -57,8 +57,8 @@ pub(crate) use checkpoint::{txn_precheck_fast, CheckpointDelta};
 use crate::diff::{CommitRecord, Differential, PageRecord, NO_TXN};
 use crate::error::CoreError;
 use crate::ftl::{
-    make_spare, make_spare_txn, mark_obsolete_lenient, AllocOutcome, AllocStream, BlockManager,
-    GcPolicy, HeatTable,
+    make_spare, make_spare_preserving, make_spare_txn, mark_obsolete_lenient, AllocOutcome,
+    AllocStream, BlockManager, GcPolicy, HeatTable,
 };
 use crate::page_store::{ChangeRange, MethodKind, PageStore, StoreOptions};
 use crate::Result;
@@ -112,6 +112,10 @@ pub(crate) struct PdlCounters {
     /// Obsolete marks deferred past a commit record and applied at
     /// batch finalize.
     pub deferred_marks: u64,
+    /// Single-page failures rebuilt online from a registered twin.
+    pub repaired_pages: u64,
+    /// Logical pages poisoned: corrupt with no redundant source left.
+    pub poisoned_pages: u64,
 }
 
 /// Page-differential logging store.
@@ -164,6 +168,21 @@ pub struct Pdl {
     batch_pins: HashSet<u32>,
     /// Whether a `txn_reserve` .. `txn_finalize` batch is open.
     in_txn_batch: bool,
+    // --- single-page failure handling --------------------------------
+    /// Logical pages known corrupt with no redundant source, mapped to
+    /// the physical page whose checksum failed. Reads report
+    /// [`CoreError::PageCorrupt`] immediately; a full overwrite (which
+    /// needs none of the stored state) heals the page and clears the
+    /// entry.
+    poisoned: HashMap<u64, u32>,
+    /// Single-page repair registry: live base ppn -> byte-identical twin
+    /// still readable on flash (in a block whose erase failed, or a
+    /// recovery duplicate that lost time-stamp resolution).
+    twins: HashMap<u32, u32>,
+    /// `(old, new)` base relocations of the current GC pass; committed
+    /// into `twins` only when the victim's erase fails, leaving the old
+    /// copies readable.
+    gc_moves: Vec<(u32, u32)>,
     // Workhorse buffers.
     base_buf: Vec<u8>,
     frame_buf: Vec<u8>,
@@ -222,6 +241,9 @@ impl Pdl {
             deferred: Vec::new(),
             batch_pins: HashSet::new(),
             in_txn_batch: false,
+            poisoned: HashMap::new(),
+            twins: HashMap::new(),
+            gc_moves: Vec::new(),
             base_buf: vec![0u8; opts.logical_page_size(g.data_size)],
             frame_buf: vec![0u8; g.data_size],
             page_img: vec![0u8; g.data_size],
@@ -502,13 +524,89 @@ impl Pdl {
         Ok(())
     }
 
-    fn read_base_into(&mut self, entry: &PpmtEntry, out: &mut [u8]) -> Result<()> {
+    /// Read `pid`'s base frames into `out`. With verification on, every
+    /// frame is checked against its spare-area checksum; a failing frame
+    /// is rebuilt online from a registered twin when one exists, and
+    /// otherwise poisons the page and reports [`CoreError::PageCorrupt`]
+    /// — corrupt bytes are never returned. The mapping is re-read per
+    /// frame because a repair can trigger GC, which relocates entries.
+    fn read_base_into(&mut self, pid: u64, out: &mut [u8]) -> Result<()> {
         let ds = self.chip.geometry().data_size;
         for j in 0..self.frames() {
-            debug_assert_ne!(entry.base[j], NONE, "base frames are written together");
-            self.chip.read_data(Ppn(entry.base[j]), &mut out[j * ds..(j + 1) * ds])?;
+            let ppn = self.ppmt[pid as usize].base[j];
+            debug_assert_ne!(ppn, NONE, "base frames are written together");
+            let slice = &mut out[j * ds..(j + 1) * ds];
+            if !self.opts.verify_checksums {
+                self.chip.read_data(Ppn(ppn), slice)?;
+                continue;
+            }
+            match self.chip.read_data_verified(Ppn(ppn), slice) {
+                Ok(()) => {}
+                Err(pdl_flash::FlashError::ChecksumMismatch(p)) => {
+                    if self.repair_base_frame(pid, j)? {
+                        slice.copy_from_slice(&self.frame_buf);
+                    } else {
+                        slice.fill(0);
+                        self.poison(pid, p.0);
+                        return Err(CoreError::PageCorrupt { pid, ppn: p.0 });
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
         Ok(())
+    }
+
+    /// Online single-page repair: rebuild base frame `j` of `pid` from a
+    /// byte-identical twin left on flash by a failed GC erase or a
+    /// recovery duplicate. On success the verified-good bytes are left in
+    /// `frame_buf`, re-programmed through the normal allocation path, and
+    /// the corrupt copy is marked obsolete. Costs two flash reads (twin
+    /// spare + data) and one program — no recovery scan.
+    fn repair_base_frame(&mut self, pid: u64, j: usize) -> Result<bool> {
+        // GC inside `ensure_capacity` may relocate the corrupt frame (its
+        // stored checksum travels with it, so it stays detectable) and
+        // re-key the twin registry; fetch the mapping only afterwards.
+        self.ensure_capacity(1)?;
+        let cur = self.ppmt[pid as usize].base[j];
+        let Some(&twin) = self.twins.get(&cur) else { return Ok(false) };
+        let k = self.frames() as u64;
+        let Some(tinfo) = self.chip.read_spare(Ppn(twin))? else { return Ok(false) };
+        if tinfo.kind != PageKind::Base || tinfo.tag != pid * k + j as u64 {
+            return Ok(false); // registry gone stale: not our frame any more
+        }
+        let mut buf = std::mem::take(&mut self.frame_buf);
+        let read = self.chip.read_data_verified(Ppn(twin), &mut buf);
+        self.frame_buf = buf;
+        match read {
+            Ok(()) => {}
+            Err(pdl_flash::FlashError::ChecksumMismatch(_)) => return Ok(false),
+            Err(e) => return Err(e.into()),
+        }
+        let g = self.chip.geometry();
+        let q = self.alloc_page(self.stream_for(pid))?;
+        // The twin passed verification, so the fresh checksum computed
+        // here covers known-good bytes; the original creation time stamp
+        // and the frame's current visibility tag are carried over.
+        let txn = self.base_txn[pid as usize * self.frames() + j];
+        let spare =
+            make_spare_txn(g.spare_size, PageKind::Base, tinfo.tag, tinfo.ts, txn, &self.frame_buf);
+        self.chip.program_page(q, &self.frame_buf, &spare)?;
+        self.twins.remove(&cur);
+        self.twins.insert(q.0, twin);
+        self.mark_dead_page(Ppn(cur), false)?;
+        self.ppmt[pid as usize].base[j] = q.0;
+        self.chip.note_repaired();
+        self.counters.repaired_pages += 1;
+        Ok(true)
+    }
+
+    /// Record that `pid` is corrupt with no redundant source (the failing
+    /// physical page is kept for the error report).
+    fn poison(&mut self, pid: u64, ppn: u32) {
+        if self.poisoned.insert(pid, ppn).is_none() {
+            self.counters.poisoned_pages += 1;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -529,15 +627,38 @@ impl Pdl {
         if entry.base[0] == NONE {
             return self.write_new_base(pid, page, true, txn);
         }
+        if self.poisoned.contains_key(&pid) {
+            // A full overwrite needs none of the unreadable stored state:
+            // write the caller's complete image as a new base, healing
+            // the page.
+            self.write_new_base(pid, page, false, txn)?;
+            self.poisoned.remove(&pid);
+            self.counters.case3 += 1;
+            return Ok(());
+        }
         // Step 1: read the base page (charged to the writing step, as in
         // Figure 12(b) where lighter areas of write bars are read time).
         let mut base = std::mem::take(&mut self.base_buf);
-        let read = self.read_base_into(&entry, &mut base);
+        let read = self.read_base_into(pid, &mut base);
+        if matches!(read, Err(CoreError::PageCorrupt { .. })) {
+            // An unrepairable base frame surfaced during the read (which
+            // poisoned the page); the overwrite in hand heals it. Repair
+            // attempts may have consumed allocations, so top up first.
+            self.base_buf = base;
+            self.ensure_capacity(k)?;
+            self.write_new_base(pid, page, false, txn)?;
+            self.poisoned.remove(&pid);
+            self.counters.case3 += 1;
+            return Ok(());
+        }
         // Step 2: create the differential by comparison.
         let ts = self.next_ts();
         let d = read.map(|()| Differential::compute(pid, ts, &base, page, self.opts.coalesce_gap));
         self.base_buf = base;
         let d = d?.with_txn(txn);
+        // A repair inside the base read may have run GC: re-read the
+        // mapping entry before relying on it below.
+        let entry = self.ppmt[pid as usize];
         if d.is_empty() && entry.diff == NONE && self.dwb.get(pid).is_none() {
             // Nothing changed relative to the stored state.
             self.counters.unchanged_skips += 1;
@@ -599,6 +720,7 @@ impl Pdl {
             .alloc
             .pick_victim_excluding(budget, &self.batch_pins)
             .ok_or(CoreError::StorageFull)?;
+        self.gc_moves.clear();
         let written = self.alloc.written_in(victim);
         let mut staged_from_victim = false;
         for idx in 0..written {
@@ -643,6 +765,8 @@ impl Pdl {
         match self.chip.erase_block(victim) {
             Ok(()) => {
                 self.alloc.on_erased(victim);
+                // Twin copies living in the erased block are gone.
+                self.twins.retain(|_, t| g.block_of(Ppn(*t)) != victim);
             }
             // Bad-block management: everything valid was relocated or
             // compacted, so retire the block and move on — whether its
@@ -653,9 +777,17 @@ impl Pdl {
             Err(pdl_flash::FlashError::EraseFailed(b) | pdl_flash::FlashError::BadBlock(b)) => {
                 self.alloc.retire_block(b);
                 self.counters.bad_blocks += 1;
+                // The failed erase leaves the victim's contents readable:
+                // every base page just relocated out of it now has a
+                // byte-identical twin there — free redundancy for online
+                // single-page repair.
+                for (old, new) in self.gc_moves.drain(..) {
+                    self.twins.insert(new, old);
+                }
             }
             Err(e) => return Err(e.into()),
         }
+        self.gc_moves.clear();
         self.counters.gc_runs += 1;
         Ok(())
     }
@@ -678,6 +810,13 @@ impl Pdl {
         let read = self.chip.read_data(ppn, &mut buf);
         self.frame_buf = buf;
         read?;
+        // Detection during migration: count a mismatch, but keep moving
+        // the frame — with its *original* stored checksum, so the damage
+        // stays detectable at the new location instead of being laundered
+        // by the rewrite. (For an intact frame the preserved checksum is
+        // identical to a freshly computed one.)
+        let corrupt =
+            self.opts.verify_checksums && self.chip.verify_read(ppn, &self.frame_buf).is_err();
         let frame = pid * self.frames() + j;
         let txn = if info.txn != NO_TXN && self.committed.contains(&info.txn) {
             self.base_txn[frame] = NO_TXN;
@@ -691,10 +830,20 @@ impl Pdl {
         // riding the hot stream so it does not pollute a cold block.
         let stream = self.stream_for(pid as u64);
         let q = self.alloc_page(stream)?;
-        let spare =
-            make_spare_txn(g.spare_size, PageKind::Base, info.tag, info.ts, txn, &self.frame_buf);
+        let spare = if corrupt {
+            make_spare_preserving(g.spare_size, &SpareInfo { txn, ..info })
+        } else {
+            make_spare_txn(g.spare_size, PageKind::Base, info.tag, info.ts, txn, &self.frame_buf)
+        };
         self.chip.program_page(q, &self.frame_buf, &spare)?;
         self.ppmt[pid].base[j] = q.0;
+        // Keep the repair registry pointing at the live copy, and record
+        // the move in case the victim's erase fails (old copy becomes a
+        // twin).
+        if let Some(t) = self.twins.remove(&ppn.0) {
+            self.twins.insert(q.0, t);
+        }
+        self.gc_moves.push((ppn.0, q.0));
         self.counters.relocated_bases += 1;
         match stream {
             AllocStream::Hot => self.counters.migrated_hot += 1,
@@ -711,10 +860,20 @@ impl Pdl {
     /// transaction. Returns whether anything was staged.
     fn compact_diff_page(&mut self, ppn: Ppn) -> Result<bool> {
         let mut buf = std::mem::take(&mut self.frame_buf);
-        let read = self.chip.read_data(ppn, &mut buf).map_err(CoreError::from);
-        let parsed = read.and_then(|()| Differential::parse_page(&buf));
+        let read = if self.opts.verify_checksums {
+            self.chip.read_data_verified(ppn, &mut buf)
+        } else {
+            self.chip.read_data(ppn, &mut buf)
+        };
+        let parsed = read.map_err(CoreError::from).and_then(|()| Differential::parse_page(&buf));
         self.frame_buf = buf;
-        let records = parsed?;
+        let records = match parsed {
+            Ok(r) => r,
+            Err(CoreError::Flash(pdl_flash::FlashError::ChecksumMismatch(_))) => {
+                return self.salvage_corrupt_diff_page(ppn)
+            }
+            Err(e) => return Err(e),
+        };
         let mut staged = false;
         for rec in &records {
             match rec {
@@ -781,6 +940,51 @@ impl Pdl {
         self.vdct[ppn.0 as usize] = 0;
         Ok(staged)
     }
+
+    /// A differential page failed verification during compaction: its
+    /// records are unreadable. Every logical page whose only durable
+    /// differential lived here is poisoned (the base alone would be
+    /// silently stale — knowledge of the loss must outlive the mapping
+    /// entry, which is cleared below); pages whose newer differential is
+    /// already staged in the write buffer lose nothing. Live commit
+    /// records stored here are rewritten from the in-memory tables.
+    fn salvage_corrupt_diff_page(&mut self, ppn: Ppn) -> Result<bool> {
+        let mut staged = false;
+        for pid in 0..self.ppmt.len() {
+            if self.ppmt[pid].diff != ppn.0 {
+                continue;
+            }
+            let t = self.diff_txn[pid];
+            if t != NO_TXN {
+                self.diff_txn[pid] = NO_TXN;
+                self.presence_dec(t, Some(ppn.0))?;
+            }
+            self.ppmt[pid].diff = NONE;
+            if self.dwb.get(pid as u64).is_none() {
+                self.poison(pid as u64, ppn.0);
+            }
+        }
+        let lost: Vec<u64> =
+            self.commit_locs.iter().filter(|(_, l)| **l == ppn.0).map(|(t, _)| *t).collect();
+        for txn in lost {
+            self.commit_locs.remove(&txn);
+            if self.presence.get(&txn).copied().unwrap_or(0) > 0 {
+                // Still gating visibility: re-stage a fresh record.
+                if CommitRecord::ENCODED_LEN > self.dwb.free_space() {
+                    self.flush_dwb()?;
+                }
+                let ts = self.next_ts();
+                self.dwb.push_commit(CommitRecord { txn, ts });
+                self.counters.commit_records_restaged += 1;
+                staged = true;
+            } else {
+                self.committed.remove(&txn);
+                self.presence.remove(&txn);
+            }
+        }
+        self.vdct[ppn.0 as usize] = 0;
+        Ok(staged)
+    }
 }
 
 impl PageStore for Pdl {
@@ -794,29 +998,53 @@ impl PageStore for Pdl {
         self.opts.check_pid(pid)?;
         let ds = self.chip.geometry().data_size;
         self.opts.check_page_buf(ds, out)?;
-        let entry = self.ppmt[pid as usize];
-        if entry.base[0] == NONE {
+        if let Some(&ppn) = self.poisoned.get(&pid) {
+            // Known corrupt with no redundant source: report, never
+            // serve. A full overwrite clears this state.
+            out.fill(0);
+            return Err(CoreError::PageCorrupt { pid, ppn });
+        }
+        if self.ppmt[pid as usize].base[0] == NONE {
             out.fill(0);
             return Ok(());
         }
-        // Step 1: read the base page.
-        self.read_base_into(&entry, out)?;
-        // Step 2: find the differential.
+        // Step 1: read the base page (verified; repairs online).
+        self.read_base_into(pid, out)?;
+        // Step 2: find the differential. (Re-read the mapping entry: a
+        // repair in Step 1 can run GC, which moves differential pages.)
+        let entry = self.ppmt[pid as usize];
         if let Some(d) = self.dwb.get(pid) {
             d.apply(out);
             return Ok(());
         }
         if entry.diff != NONE {
             let mut buf = std::mem::take(&mut self.frame_buf);
-            let read = self.chip.read_data(Ppn(entry.diff), &mut buf).map_err(CoreError::from);
-            let found = read.and_then(|()| Differential::find_in_page(&buf, pid));
+            let read = if self.opts.verify_checksums {
+                self.chip.read_data_verified(Ppn(entry.diff), &mut buf)
+            } else {
+                self.chip.read_data(Ppn(entry.diff), &mut buf)
+            };
+            let found =
+                read.map_err(CoreError::from).and_then(|()| Differential::find_in_page(&buf, pid));
             self.frame_buf = buf;
-            let d = found?.ok_or_else(|| {
-                CoreError::Corruption(format!(
-                    "differential for page {pid} missing from differential page {}",
-                    entry.diff
-                ))
-            })?;
+            let d = match found {
+                Ok(Some(d)) => d,
+                Ok(None) => {
+                    return Err(CoreError::Corruption(format!(
+                        "differential for page {pid} missing from differential page {}",
+                        entry.diff
+                    )))
+                }
+                Err(CoreError::Flash(pdl_flash::FlashError::ChecksumMismatch(p))) => {
+                    // The page's only durable differential is unreadable
+                    // and the base alone is stale: serving it would be
+                    // silently wrong. Poison until a full overwrite.
+                    self.poison(pid, p.0);
+                    out.fill(0);
+                    return Err(CoreError::PageCorrupt { pid, ppn: p.0 });
+                }
+                Err(e) => return Err(e),
+            };
             // Step 3: merge the base page with the differential.
             d.apply(out);
         }
@@ -969,6 +1197,8 @@ impl PageStore for Pdl {
             ("txn_commits", c.txn_commits),
             ("commit_records_restaged", c.commit_records_restaged),
             ("deferred_marks", c.deferred_marks),
+            ("repaired_pages", c.repaired_pages),
+            ("poisoned_pages", c.poisoned_pages),
         ]
     }
 

@@ -280,6 +280,19 @@ pub(crate) struct RecoveryTables {
     pub has_record: HashSet<u32>,
     /// Diff pages that lost every differential but hold commit records.
     pending_dead: Vec<u32>,
+    /// Differential pages whose data failed checksum verification,
+    /// with their creation time stamps. They are *not* marked obsolete
+    /// (so a repeated recovery re-detects them); [`RecoveryTables::finish`]
+    /// poisons every logical page they could have superseded.
+    corrupt_diffs: Vec<(u32, u64)>,
+    /// Logical pages that must not be served after this recovery: a
+    /// corrupt differential page may have held their newest state.
+    pub poisoned: HashMap<u64, u32>,
+    /// Byte-identical base duplicates (equal tag and time stamp) left by
+    /// a crash mid-GC-migration: live ppn -> surviving twin. Seed for the
+    /// running store's single-page repair registry.
+    pub twins: HashMap<u32, u32>,
+    verify_checksums: bool,
     frames_per_page: usize,
 }
 
@@ -307,6 +320,10 @@ impl RecoveryTables {
             commit_cands: HashMap::new(),
             has_record: HashSet::new(),
             pending_dead: Vec::new(),
+            corrupt_diffs: Vec::new(),
+            poisoned: HashMap::new(),
+            twins: HashMap::new(),
+            verify_checksums: opts.verify_checksums,
             frames_per_page: k,
         }
     }
@@ -391,6 +408,12 @@ impl RecoveryTables {
                             crate::ftl::mark_obsolete_lenient(chip, old)?;
                         }
                         self.obsolete[g.block_of(old).0 as usize] += 1;
+                        if info.ts == self.frame_ts[frame] {
+                            // Equal-ts duplicates are byte-identical GC
+                            // copies: the loser stays on flash — free
+                            // redundancy for single-page repair.
+                            self.twins.insert(p, cur);
+                        }
                     }
                     self.ppmt[pid].base[j] = p;
                     self.frame_ts[frame] = info.ts;
@@ -407,12 +430,32 @@ impl RecoveryTables {
                 } else {
                     // The table already holds a more recent base page.
                     self.mark_page_obsolete(chip, ppn)?;
+                    if info.ts == self.frame_ts[frame] && cur != NONE {
+                        self.twins.insert(cur, p);
+                    }
                 }
                 Ok(())
             }
             // Case 2: r is a differential page.
             PageKind::Diff => {
-                chip.read_data(ppn, data_buf)?;
+                let read = if self.verify_checksums {
+                    chip.read_data_verified(ppn, data_buf)
+                } else {
+                    chip.read_data(ppn, data_buf)
+                };
+                match read {
+                    Ok(()) => {}
+                    Err(pdl_flash::FlashError::ChecksumMismatch(_)) => {
+                        // The records are unreadable, and any logical page
+                        // whose newest differential lived here would be
+                        // silently stale without one. Deliberately *not*
+                        // marked obsolete: a repeated recovery must
+                        // re-detect it (the poison set is in-memory only).
+                        self.corrupt_diffs.push((p, info.ts));
+                        return Ok(());
+                    }
+                    Err(e) => return Err(e.into()),
+                }
                 let records = match Differential::parse_page(data_buf) {
                     Ok(r) => r,
                     Err(_) => {
@@ -508,6 +551,28 @@ impl RecoveryTables {
             let loc = *cands.iter().min().expect("candidate list is never empty");
             self.vdct[loc as usize] += 1;
             self.commit_locs.insert(*t, loc);
+        }
+        // Single-page failures: a corrupt differential page with creation
+        // time stamp T may have held the newest differential of *any*
+        // logical page whose resolved durable state is older than T (the
+        // records are unreadable, so which pages is unknowable). Poison
+        // every such page — coarse, but sound: availability is lost, wrong
+        // bytes are never served. Pages whose resolved state is newer
+        // than T cannot have been superseded by anything stored there.
+        for (p, pts) in std::mem::take(&mut self.corrupt_diffs) {
+            for pid in 0..self.ppmt.len() {
+                if self.ppmt[pid].base[0] == NONE {
+                    continue;
+                }
+                let newest = (0..k)
+                    .map(|j| self.frame_ts[pid * k + j])
+                    .max()
+                    .unwrap_or(0)
+                    .max(self.diff_ts[pid]);
+                if newest < pts {
+                    self.poisoned.entry(pid as u64).or_insert(p);
+                }
+            }
         }
         // Sweep: pages that lost every differential and whose records
         // turned out dead (or duplicates) are useless now.
@@ -629,6 +694,9 @@ impl Pdl {
             deferred: Vec::new(),
             batch_pins: HashSet::new(),
             in_txn_batch: false,
+            poisoned: tables.poisoned,
+            twins: tables.twins,
+            gc_moves: Vec::new(),
             base_buf: vec![0u8; opts.logical_page_size(g.data_size)],
             frame_buf: vec![0u8; g.data_size],
             page_img: vec![0u8; g.data_size],

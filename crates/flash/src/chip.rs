@@ -156,6 +156,7 @@ impl FlashChip {
             total_erases: total,
             num_blocks: self.geometry().num_blocks,
             pipeline: self.stats.pipeline,
+            integrity: self.stats.integrity,
         }
     }
 
@@ -204,6 +205,37 @@ impl FlashChip {
     /// Whether `block` has failed an erase and is unusable for programs.
     pub fn is_broken(&self, block: BlockId) -> bool {
         self.broken[block.0 as usize]
+    }
+
+    /// Inject a single-page failure: flip bits in the page's data area
+    /// while leaving the spare area (and its stored checksum) intact, so
+    /// a checksum-verifying read detects the damage. Models bit rot /
+    /// partial-page corruption, not a host operation — uncharged and
+    /// invisible to NAND semantics (program counters are untouched).
+    pub fn corrupt_data(&mut self, ppn: Ppn) -> Result<()> {
+        self.check_ppn(ppn)?;
+        let dr = self.data_range(ppn);
+        // XOR a fixed pattern over a span of the data area: deterministic,
+        // guaranteed to change the bytes, and reversible in tests.
+        for b in self.data[dr].iter_mut().take(16) {
+            *b ^= 0x5A;
+        }
+        self.pipeline.invalidate_page(ppn.0);
+        Ok(())
+    }
+
+    /// Inject the spare-side variant of a single-page failure: flip the
+    /// stored checksum bytes while leaving the data area and the rest of
+    /// the spare metadata intact. The page still decodes, but a
+    /// verifying read finds the mismatch.
+    pub fn corrupt_spare(&mut self, ppn: Ppn) -> Result<()> {
+        self.check_ppn(ppn)?;
+        let start = self.spare_range(ppn).start + crate::spare::OFF_CSUM;
+        for b in self.spare[start..start + 4].iter_mut() {
+            *b ^= 0x5A;
+        }
+        self.pipeline.invalidate_page(ppn.0);
+        Ok(())
     }
 
     fn destructive_op_gate(&mut self) -> Result<()> {
@@ -314,6 +346,47 @@ impl FlashChip {
         out.copy_from_slice(&self.data[dr]);
         self.charge_read(ppn);
         Ok(())
+    }
+
+    /// Read the data area and verify it against the spare-area checksum
+    /// written at program time. One read operation (a NAND read streams
+    /// data and spare together, so the verification is free).
+    ///
+    /// `out` is filled either way — on [`FlashError::ChecksumMismatch`]
+    /// it holds the corrupt bytes, which a repair path may still inspect
+    /// but must never serve. Pages whose spare does not decode, was never
+    /// programmed (`Free`), or belongs to an append-only log page
+    /// (`IplLog`, whose data area is programmed incrementally after the
+    /// spare) carry no meaningful data checksum and are not checked.
+    pub fn read_data_verified(&mut self, ppn: Ppn, out: &mut [u8]) -> Result<()> {
+        self.read_data(ppn, out)?;
+        self.verify_read(ppn, out)
+    }
+
+    /// Verify an already-transferred data-area image against the page's
+    /// stored spare-area checksum, without charging another read (a NAND
+    /// read streams data and spare together — callers of
+    /// [`FlashChip::read_full`] use this to get the same detection as
+    /// [`FlashChip::read_data_verified`]). Same skip rules as there.
+    pub fn verify_read(&mut self, ppn: Ppn, data: &[u8]) -> Result<()> {
+        let sr = self.spare_range(ppn);
+        let Some(info) = SpareInfo::decode(&self.spare[sr]) else {
+            return Ok(());
+        };
+        if matches!(info.kind, crate::spare::PageKind::Free | crate::spare::PageKind::IplLog) {
+            return Ok(());
+        }
+        if crate::spare::fnv1a32(data) != info.checksum {
+            self.stats.integrity.detected_corruptions += 1;
+            return Err(FlashError::ChecksumMismatch(ppn));
+        }
+        Ok(())
+    }
+
+    /// Record that a corrupt page was rebuilt byte-for-byte from a
+    /// redundant source and re-programmed elsewhere.
+    pub fn note_repaired(&mut self) {
+        self.stats.integrity.repaired_pages += 1;
     }
 
     /// Read and decode just the spare area. One read operation (the chip
@@ -823,6 +896,65 @@ mod tests {
         assert_eq!(c.stats().total().reads, before.reads + 1);
         assert_eq!(c.stats().pipeline.readahead_hits, 0);
         assert_eq!(out, data);
+    }
+
+    #[test]
+    fn corrupt_data_is_caught_by_verified_read_only() {
+        let mut c = chip();
+        let (data, spare) = image(&c, 0xAB, PageKind::Data, 5, 1);
+        c.program_page(Ppn(3), &data, &spare).unwrap();
+        let mut out = vec![0u8; c.geometry().data_size];
+        c.read_data_verified(Ppn(3), &mut out).unwrap();
+        assert_eq!(out, data);
+        c.corrupt_data(Ppn(3)).unwrap();
+        // The unverified read silently serves the damaged bytes...
+        c.read_data(Ppn(3), &mut out).unwrap();
+        assert_ne!(out, data);
+        assert_eq!(c.stats().integrity.detected_corruptions, 0);
+        // ...the verified read refuses them.
+        let err = c.read_data_verified(Ppn(3), &mut out).unwrap_err();
+        assert_eq!(err, FlashError::ChecksumMismatch(Ppn(3)));
+        assert_eq!(c.stats().integrity.detected_corruptions, 1);
+        // Spare metadata survived the injection.
+        let info = c.read_spare(Ppn(3)).unwrap().unwrap();
+        assert_eq!(info.tag, 5);
+        assert_eq!(info.checksum, fnv1a32(&data));
+        c.note_repaired();
+        assert_eq!(c.wear_summary().integrity.repaired_pages, 1);
+    }
+
+    #[test]
+    fn corrupt_spare_flips_only_the_checksum() {
+        let mut c = chip();
+        let (data, spare) = image(&c, 0x77, PageKind::Data, 9, 4);
+        c.program_page(Ppn(6), &data, &spare).unwrap();
+        c.corrupt_spare(Ppn(6)).unwrap();
+        // Data and the rest of the spare metadata are intact...
+        let mut out = vec![0u8; c.geometry().data_size];
+        c.read_data(Ppn(6), &mut out).unwrap();
+        assert_eq!(out, data);
+        let info = c.read_spare(Ppn(6)).unwrap().unwrap();
+        assert_eq!(info.kind, PageKind::Data);
+        assert_eq!(info.tag, 9);
+        assert_ne!(info.checksum, fnv1a32(&data));
+        // ...so the failure is detected, not mis-decoded.
+        let err = c.read_data_verified(Ppn(6), &mut out).unwrap_err();
+        assert_eq!(err, FlashError::ChecksumMismatch(Ppn(6)));
+    }
+
+    #[test]
+    fn verified_read_skips_unchecksummed_pages() {
+        let mut c = FlashChip::new(FlashConfig::tiny().with_nop_data(4));
+        let mut out = vec![0u8; c.geometry().data_size];
+        // Never-programmed page: nothing to verify.
+        c.read_data_verified(Ppn(0), &mut out).unwrap();
+        // IPL log page: spare written first, data appended later.
+        let mut spare = vec![0xFF; c.geometry().spare_size];
+        SpareInfo::new(PageKind::IplLog, u64::MAX, 1, fnv1a32(&[])).encode(&mut spare).unwrap();
+        c.program_spare(Ppn(1), 0, &spare).unwrap();
+        c.program_partial(Ppn(1), 0, &[0x11; 64]).unwrap();
+        c.read_data_verified(Ppn(1), &mut out).unwrap();
+        assert_eq!(c.stats().integrity.detected_corruptions, 0);
     }
 
     #[test]

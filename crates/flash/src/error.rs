@@ -33,6 +33,11 @@ pub enum FlashError {
     EraseFailed(BlockId),
     /// Program attempted on a block that already failed an erase.
     BadBlock(BlockId),
+    /// The page's data area no longer matches the checksum stored in its
+    /// spare area at program time: a single-page failure (bit rot,
+    /// partial-page corruption). The read transferred the bytes, but the
+    /// caller must not use them.
+    ChecksumMismatch(Ppn),
 }
 
 /// Which page area a program targeted.
@@ -65,6 +70,9 @@ impl fmt::Display for FlashError {
             FlashError::PowerLoss => write!(f, "injected power loss"),
             FlashError::EraseFailed(b) => write!(f, "block {b} failed to erase (worn out)"),
             FlashError::BadBlock(b) => write!(f, "block {b} is bad (previous erase failure)"),
+            FlashError::ChecksumMismatch(p) => {
+                write!(f, "{p}: data area does not match its spare-area checksum (corrupt page)")
+            }
         }
     }
 }

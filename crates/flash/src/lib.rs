@@ -50,7 +50,7 @@ pub use error::FlashError;
 pub use geometry::{BlockId, FlashConfig, FlashGeometry, FlashTiming, Ppn};
 pub use pipeline::PipelineConfig;
 pub use spare::{fnv1a32, PageKind, SpareInfo, NO_TXN, SPARE_BYTES_USED};
-pub use stats::{FlashStats, OpContext, OpCounts, PipelineCounts, WearSummary};
+pub use stats::{FlashStats, IntegrityCounts, OpContext, OpCounts, PipelineCounts, WearSummary};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, FlashError>;

@@ -43,7 +43,7 @@ const OFF_KIND: usize = 0;
 const OFF_OBSOLETE: usize = 1;
 const OFF_TAG: usize = 4;
 const OFF_TS: usize = 12;
-const OFF_CSUM: usize = 20;
+pub(crate) const OFF_CSUM: usize = 20;
 const OFF_TXN: usize = 24;
 
 /// What a physical page currently holds.

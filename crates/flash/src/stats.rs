@@ -170,6 +170,59 @@ impl fmt::Display for PipelineCounts {
     }
 }
 
+/// Single-page failure gauges: checksum mismatches caught on the read
+/// path and pages rebuilt online from a redundant source (Graefe &
+/// Kuno's single-page-failure class).
+///
+/// Like [`PipelineCounts`] these are chip-global, not per-context: a
+/// corruption is a property of the media, not of whoever read it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntegrityCounts {
+    /// Data-area reads whose content no longer matched the spare-area
+    /// checksum written at program time.
+    pub detected_corruptions: u64,
+    /// Corrupt pages rebuilt byte-for-byte from a redundant source
+    /// (differential chain, GC twin, checkpoint) and re-programmed.
+    pub repaired_pages: u64,
+}
+
+impl Add for IntegrityCounts {
+    type Output = IntegrityCounts;
+    fn add(self, o: IntegrityCounts) -> IntegrityCounts {
+        IntegrityCounts {
+            detected_corruptions: self.detected_corruptions + o.detected_corruptions,
+            repaired_pages: self.repaired_pages + o.repaired_pages,
+        }
+    }
+}
+
+impl AddAssign for IntegrityCounts {
+    fn add_assign(&mut self, o: IntegrityCounts) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for IntegrityCounts {
+    type Output = IntegrityCounts;
+    /// Saturating delta between snapshots.
+    fn sub(self, o: IntegrityCounts) -> IntegrityCounts {
+        IntegrityCounts {
+            detected_corruptions: self.detected_corruptions.saturating_sub(o.detected_corruptions),
+            repaired_pages: self.repaired_pages.saturating_sub(o.repaired_pages),
+        }
+    }
+}
+
+impl fmt::Display for IntegrityCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "detected_corruptions={} repaired_pages={}",
+            self.detected_corruptions, self.repaired_pages
+        )
+    }
+}
+
 /// The chip's full statistics ledger.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FlashStats {
@@ -179,6 +232,8 @@ pub struct FlashStats {
     /// Command-queue gauges (global, not per-context; see
     /// [`PipelineCounts`]).
     pub pipeline: PipelineCounts,
+    /// Single-page failure gauges (global; see [`IntegrityCounts`]).
+    pub integrity: IntegrityCounts,
 }
 
 impl FlashStats {
@@ -233,6 +288,7 @@ impl FlashStats {
             gc: self.gc - earlier.gc,
             recovery: self.recovery - earlier.recovery,
             pipeline: self.pipeline - earlier.pipeline,
+            integrity: self.integrity - earlier.integrity,
         }
     }
 }
@@ -253,6 +309,7 @@ impl Add for FlashStats {
             gc: self.gc + o.gc,
             recovery: self.recovery + o.recovery,
             pipeline: self.pipeline + o.pipeline,
+            integrity: self.integrity + o.integrity,
         }
     }
 }
@@ -274,6 +331,9 @@ pub struct WearSummary {
     /// Command-queue gauges of the chip(s) summarised, so speedups from
     /// deeper queues are attributable in the same report.
     pub pipeline: PipelineCounts,
+    /// Single-page failure gauges of the chip(s) summarised, so repair
+    /// activity shows up next to the wear it causes.
+    pub integrity: IntegrityCounts,
 }
 
 impl WearSummary {
@@ -302,13 +362,16 @@ impl WearSummary {
     /// their chips this way; an empty summary is the identity).
     pub fn merge(&mut self, other: &WearSummary) {
         self.pipeline += other.pipeline;
+        self.integrity += other.integrity;
         if other.num_blocks == 0 {
             return;
         }
         if self.num_blocks == 0 {
             let pipeline = self.pipeline;
+            let integrity = self.integrity;
             *self = *other;
             self.pipeline = pipeline;
+            self.integrity = integrity;
             return;
         }
         self.min_erases = self.min_erases.min(other.min_erases);
@@ -465,6 +528,23 @@ mod tests {
         assert_eq!(d.overlapped_erases, 0);
         assert_eq!((a - b).max_inflight, 0);
         assert_eq!((a - b).readahead_hits, 0);
+    }
+
+    #[test]
+    fn integrity_counts_compose() {
+        let a = IntegrityCounts { detected_corruptions: 3, repaired_pages: 2 };
+        let b = IntegrityCounts { detected_corruptions: 1, repaired_pages: 0 };
+        assert_eq!((a + b).detected_corruptions, 4);
+        assert_eq!((a + b) - b, a);
+        // Threaded through FlashStats deltas and WearSummary merges.
+        let s = FlashStats { integrity: a, ..FlashStats::default() };
+        assert_eq!(s.delta_since(&FlashStats::default()).integrity, a);
+        let mut w = WearSummary { integrity: a, ..WearSummary::default() };
+        let other =
+            WearSummary { num_blocks: 4, total_erases: 8, integrity: b, ..WearSummary::default() };
+        w.merge(&other);
+        assert_eq!(w.integrity, a + b);
+        assert_eq!(w.num_blocks, 4);
     }
 
     #[test]

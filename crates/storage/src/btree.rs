@@ -196,8 +196,25 @@ pub struct BTree {
 }
 
 impl BTree {
+    /// Allocate a node page. Registered trees allocate structured: a
+    /// rollback undoes every reference to the new node (page bytes and
+    /// the pending root publication), so the pid is safe to reissue. An
+    /// unregistered handle keeps its root mirror across an abort, so its
+    /// allocations stay raw (stranded-but-counted on rollback).
+    fn alloc_node(&self, db: &mut Database) -> Result<u64> {
+        if self.id.is_some() {
+            db.alloc_page_structured()
+        } else {
+            db.alloc_page()
+        }
+    }
+
     /// Create an empty tree (allocates the root leaf) and register it in
     /// the database's structure-root log.
+    ///
+    /// The root is a *raw* allocation: the registration below outlives
+    /// any rollback of the creating transaction, so the pid must never be
+    /// reissued.
     pub fn create(db: &mut Database) -> Result<BTree> {
         let root = db.alloc_page()?;
         db.with_page_mut(root, |p| init_node(p, KIND_LEAF, NO_PID))?;
@@ -341,7 +358,7 @@ impl BTree {
             return Ok(());
         }
         // Split the leaf, then insert into the proper half.
-        let right = db.alloc_page()?;
+        let right = self.alloc_node(db)?;
         let mid = cap / 2;
         let (sep, moved, old_next) = db.with_page(leaf, |p| {
             let moved: Vec<(Key, u64)> =
@@ -384,7 +401,7 @@ impl BTree {
         loop {
             if level == 0 {
                 // Split reached the root: grow the tree.
-                let new_root = db.alloc_page()?;
+                let new_root = self.alloc_node(db)?;
                 let old_root = self.root;
                 db.with_page_mut(new_root, |p| {
                     init_node(p, KIND_INTERNAL, old_root);
@@ -412,7 +429,7 @@ impl BTree {
                 return Ok(());
             }
             // Split the internal node: promote the middle key.
-            let new_node = db.alloc_page()?;
+            let new_node = self.alloc_node(db)?;
             let mid = cap / 2;
             let (promoted, moved_child0, moved) = db.with_page(parent, |p| {
                 let promoted = entry_key(p, mid);

@@ -163,6 +163,15 @@ pub struct BufferStats {
     /// then drains. The gap to `commit_flush_us_sum` is the fan-out time
     /// the overlapped leader saves over serial per-shard flushing.
     pub commit_flush_us_max: u64,
+    /// Logical pages permanently stranded by rollbacks: raw
+    /// [`crate::Database::alloc_page`] pids an aborted (or
+    /// failed-durable-commit) transaction allocated. The caller may hold
+    /// such a pid outside any registered structure, so the allocator
+    /// cannot reissue it — structure-owned allocations go back to the
+    /// free list instead and never appear here. A gauge set by the
+    /// database when statistics are sampled (like `active_views`), not a
+    /// per-stripe counter.
+    pub leaked_pids: u64,
 }
 
 impl BufferStats {
@@ -176,9 +185,10 @@ impl BufferStats {
     }
 
     /// Fold another cache's statistics into this one (stripe aggregation).
-    /// `active_views` and the commit-flush gauges are pool-level (the
-    /// registry and the group-commit leader are shared across stripes),
-    /// so they are not summed here; the pool sets them after merging.
+    /// `active_views`, the commit-flush gauges and `leaked_pids` are
+    /// pool- or database-level (the registry, the group-commit leader and
+    /// the page allocator are shared across stripes), so they are not
+    /// summed here; their owner sets them after merging.
     pub fn merge(&mut self, other: &BufferStats) {
         self.hits += other.hits;
         self.misses += other.misses;

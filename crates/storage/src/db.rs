@@ -87,6 +87,20 @@ pub struct Database {
     /// lets heap handles invalidate their free-space estimates, which a
     /// rollback can leave *under*-estimating restored space.
     abort_epoch: u64,
+    /// Pages the open transaction allocated, as `(pid, structured)`.
+    /// Structured allocations ([`Database::alloc_page_structured`]) are
+    /// referenced only through page bytes and root publications a
+    /// rollback undoes, so rollback returns them to `free_pids`; raw
+    /// [`Database::alloc_page`] pids may be held by the caller outside
+    /// any registered structure, so rollback strands them (counted in
+    /// `leaked_pids`).
+    txn_allocs: Vec<(u64, bool)>,
+    /// Pids reclaimed from rolled-back structured allocations, reissued
+    /// before the monotonic frontier (`next_pid`) advances.
+    free_pids: Vec<u64>,
+    /// Raw-allocation pids stranded by rollbacks so far (the
+    /// [`BufferStats::leaked_pids`] gauge).
+    leaked_pids: u64,
 }
 
 impl Database {
@@ -105,6 +119,9 @@ impl Database {
             current: None,
             txn_structs: HashMap::new(),
             abort_epoch: 0,
+            txn_allocs: Vec::new(),
+            free_pids: Vec::new(),
+            leaked_pids: 0,
         }
     }
 
@@ -167,12 +184,14 @@ impl Database {
         let structs: Vec<(StructId, StructRoot)> = self.txn_structs.drain().collect();
         match self.durability {
             Durability::Relaxed => {
+                self.txn_allocs.clear();
                 self.pool.release_owned(txn, structs);
                 Ok(())
             }
             Durability::Commit => {
                 let staged = self.pool.collect_owned(txn);
                 if staged.is_empty() {
+                    self.txn_allocs.clear();
                     self.pool.release_owned(txn, structs);
                     return Ok(()); // read-only: nothing to make durable
                 }
@@ -192,6 +211,7 @@ impl Database {
                 });
                 match result {
                     Ok(()) => {
+                        self.txn_allocs.clear();
                         self.pool.commit_release(txn, structs);
                         Ok(())
                     }
@@ -203,6 +223,7 @@ impl Database {
                         // the transaction failed (`structs` is dropped
                         // unpublished).
                         let _ = self.pool.rollback(txn);
+                        self.rollback_allocs();
                         self.abort_epoch += 1;
                         Err(e)
                     }
@@ -220,11 +241,15 @@ impl Database {
     /// again (physiological structural undo: the pages hold the restored
     /// bytes, the root log holds the restored shape).
     ///
-    /// Pages the transaction allocated are deliberately *not* returned
-    /// to the allocator: `alloc_page` callers may hold the pid outside
-    /// any registered structure, and re-issuing it would alias two
-    /// structures onto one page. The leak is bounded (only pages an
-    /// aborted transaction allocated) and the allocator stays monotonic.
+    /// Pages the transaction allocated through
+    /// [`Database::alloc_page_structured`] return to the allocator's free
+    /// list: their only references — page bytes and pending root
+    /// publications — are undone with the rollback, so reissuing them
+    /// cannot alias two structures onto one page. Raw
+    /// [`Database::alloc_page`] pids are *not* reissued (the caller may
+    /// hold them outside any registered structure); they are stranded and
+    /// counted in the [`BufferStats::leaked_pids`] gauge, so the once
+    /// silent leak is at least observable.
     pub fn abort(&mut self) -> Result<()> {
         let txn = self
             .current
@@ -232,7 +257,22 @@ impl Database {
             .ok_or_else(|| StorageError::TxnState("abort without an open transaction".into()))?;
         self.txn_structs.clear();
         self.abort_epoch += 1;
-        self.pool.rollback(txn)
+        let r = self.pool.rollback(txn);
+        self.rollback_allocs();
+        r
+    }
+
+    /// Undo the open transaction's page allocations on a rollback path:
+    /// structured pids go back to the free list, raw pids are stranded
+    /// but counted.
+    fn rollback_allocs(&mut self) {
+        for (pid, structured) in self.txn_allocs.drain(..) {
+            if structured {
+                self.free_pids.push(pid);
+            } else {
+                self.leaked_pids += 1;
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -359,19 +399,53 @@ impl Database {
         self.pool.retained_versions()
     }
 
-    /// Allocate the next logical page.
+    /// Allocate the next logical page for a caller that may keep the pid
+    /// anywhere — including outside every registered structure. If the
+    /// open transaction rolls back, such a pid cannot be reissued safely
+    /// and is stranded (see [`BufferStats::leaked_pids`]); allocations
+    /// owned by a registered structure should use
+    /// [`Database::alloc_page_structured`] instead.
     pub fn alloc_page(&mut self) -> Result<u64> {
-        if self.next_pid >= self.max_pages {
-            return Err(StorageError::OutOfPages);
+        self.alloc_inner(false)
+    }
+
+    /// Allocate a logical page whose only references will be page bytes
+    /// and structure-root publications — both undone by a rollback — so
+    /// an abort (or failed durable commit) can safely return the pid to
+    /// the free list for reissue. B+-tree splits and heap-file growth
+    /// allocate here.
+    pub fn alloc_page_structured(&mut self) -> Result<u64> {
+        self.alloc_inner(true)
+    }
+
+    fn alloc_inner(&mut self, structured: bool) -> Result<u64> {
+        let pid = match self.free_pids.pop() {
+            Some(pid) => pid,
+            None => {
+                if self.next_pid >= self.max_pages {
+                    return Err(StorageError::OutOfPages);
+                }
+                let pid = self.next_pid;
+                self.next_pid += 1;
+                pid
+            }
+        };
+        if self.current.is_some() {
+            self.txn_allocs.push((pid, structured));
         }
-        let pid = self.next_pid;
-        self.next_pid += 1;
         Ok(pid)
     }
 
-    /// Pages allocated so far (the "database size" of Experiment 7).
+    /// Pages allocated so far (the "database size" of Experiment 7): the
+    /// allocation frontier, counting stranded and free-listed pids too.
     pub fn allocated_pages(&self) -> u64 {
         self.next_pid
+    }
+
+    /// Raw-allocation pids stranded by rollbacks so far (the same value
+    /// the [`BufferStats::leaked_pids`] gauge reports).
+    pub fn leaked_pages(&self) -> u64 {
+        self.leaked_pids
     }
 
     pub fn page_size(&self) -> usize {
@@ -393,7 +467,9 @@ impl Database {
     }
 
     pub fn buffer_stats(&self) -> BufferStats {
-        self.pool.stats()
+        let mut stats = self.pool.stats();
+        stats.leaked_pids = self.leaked_pids;
+        stats
     }
 
     /// Flash statistics of the underlying chip.

@@ -199,8 +199,12 @@ impl HeapFile {
                 return Ok(RecordId::new(pid, slot));
             }
         }
-        // Grow the file.
-        let pid = db.alloc_page()?;
+        // Grow the file. Registered files allocate structured (a rollback
+        // undoes the pending page-list publication and the handle resyncs
+        // from the root log, so the pid is safe to reissue); unregistered
+        // handles keep their local list across an abort, so their growth
+        // stays a raw, stranded-on-rollback allocation.
+        let pid = if self.id.is_some() { db.alloc_page_structured() } else { db.alloc_page() }?;
         let (slot, usable) = db.with_page_mut(pid, |p| {
             slotted::init(p);
             let slot = slotted::insert(p, bytes)?;

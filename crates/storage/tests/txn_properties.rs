@@ -333,3 +333,59 @@ fn relaxed_abort_repairs_a_leaked_then_redirtied_frame() {
     back.read_page(0, &mut out).unwrap();
     assert_eq!(&out[0..4], &[7; 4], "abort must repair the leaked aborted image");
 }
+
+#[test]
+fn aborted_structured_growth_returns_pids_to_the_free_list() {
+    // Regression for the abort page leak: pages a rolled-back transaction
+    // allocated for registered structures (heap growth, b+-tree splits)
+    // used to be stranded forever. They are referenced only through page
+    // bytes and root publications the rollback undoes, so the allocator
+    // now reissues them.
+    let mut d = db(32, 16);
+    let mut heap = pdl_storage::HeapFile::create(&d);
+    d.flush().unwrap();
+    let frontier = d.allocated_pages();
+    d.begin().unwrap();
+    for i in 0..40u8 {
+        heap.insert(&mut d, &[i; 32]).unwrap();
+    }
+    assert!(d.allocated_pages() > frontier, "the transaction grew the heap");
+    d.abort().unwrap();
+    assert_eq!(d.buffer_stats().leaked_pids, 0, "structured allocations never leak");
+    let after_abort = d.allocated_pages();
+    // Redoing the same growth reuses the freed pids: the frontier stays
+    // put instead of doubling.
+    d.begin().unwrap();
+    for i in 0..40u8 {
+        heap.insert(&mut d, &[i; 32]).unwrap();
+    }
+    d.commit().unwrap();
+    assert_eq!(d.allocated_pages(), after_abort, "rollback-freed pids were reissued");
+    // The committed records read back intact through the reused pages.
+    let rid = heap.insert(&mut d, &[0xAA; 32]).unwrap();
+    let byte = heap.get(&d, rid, |r| r[0]).unwrap();
+    assert_eq!(byte, 0xAA);
+}
+
+#[test]
+fn aborted_raw_allocations_are_stranded_but_counted() {
+    // Raw `alloc_page` pids may be held by the caller outside any
+    // registered structure, so a rollback cannot reissue them — but the
+    // leak is no longer silent: the gauge counts every stranded pid.
+    let mut d = db(16, 8);
+    d.begin().unwrap();
+    let a = d.alloc_page().unwrap();
+    let b = d.alloc_page().unwrap();
+    d.with_page_mut(a, |p| p.write(0, b"tmp")).unwrap();
+    d.abort().unwrap();
+    assert_eq!(d.buffer_stats().leaked_pids, 2, "both raw pids counted");
+    assert_eq!(d.leaked_pages(), 2);
+    // Stranded pids are never reissued.
+    let next = d.alloc_page().unwrap();
+    assert!(next != a && next != b, "stranded pids must not alias new allocations");
+    // Allocations in committed transactions never touch the gauge.
+    d.begin().unwrap();
+    let _ = d.alloc_page().unwrap();
+    d.commit().unwrap();
+    assert_eq!(d.buffer_stats().leaked_pids, 2);
+}
