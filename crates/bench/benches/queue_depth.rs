@@ -20,19 +20,27 @@
 //!
 //! The bound-throughput columns divide work done by *pipeline busy
 //! time* (the chip's simulated horizon), the same machine-independent
-//! accounting the other benches use. The run also emits
-//! `BENCH_queue_depth.json` for downstream tooling, and with
-//! `PDL_QD_ASSERT=<ratio>` (CI smoke) asserts QD4 >= ratio x QD1 on the
-//! erase-heavy TPC-C case.
+//! accounting the other benches use. The TPC-C points run with the
+//! `pdl-obs` recorder enabled (the QD=1 == serial identity is asserted
+//! *with observation on* — recording must not perturb the simulated
+//! timing), so the run emits `BENCH_queue_depth.json` as a
+//! `pdl-metrics-v1` registry snapshot (per-point gauges plus every
+//! latency histogram) and `obs_out/trace_queue_depth.json`, a Chrome
+//! trace of the QD-16 point asserting >= 2 plane lanes run programs
+//! concurrently. With `PDL_QD_ASSERT=<ratio>` (CI smoke) it asserts
+//! QD4 >= ratio x QD1 on the erase-heavy TPC-C case.
 //!
 //! Run with `cargo bench -p pdl-bench --bench queue_depth`; set
 //! `PDL_SCALE=quick|default|paper` to choose the workload size.
 
-use pdl_bench::tpcc_exp::{run_tpcc_qd_point, QdPoint};
+use pdl_bench::tpcc_exp::{run_tpcc_qd_point_traced, QdObs, QdPoint};
 use pdl_core::{MethodKind, ShardedStore, StoreOptions};
 use pdl_flash::{FlashConfig, IntegrityCounts, PipelineCounts};
+use pdl_obs::{json, max_concurrent_lanes};
 use pdl_storage::ShardedBufferPool;
-use pdl_workload::{pipeline_table, run_snapshot_read_workload, Scale, SnapshotReadConfig, Table};
+use pdl_workload::{
+    obs, pipeline_table, run_snapshot_read_workload, Scale, SnapshotReadConfig, Table,
+};
 
 const DEPTHS: [u32; 3] = [1, 4, 16];
 const PLANES: u32 = 4;
@@ -88,56 +96,41 @@ fn run_readers_point(scale: Scale, depth: u32) -> ReaderPoint {
     }
 }
 
-fn json_escape_free(label: &str) -> &str {
-    label // all labels below are [a-z0-9_]; nothing to escape
-}
-
-fn write_json(path: &str, scale: Scale, tpcc: &[(u32, QdPoint)], readers: &[(u32, ReaderPoint)]) {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str(&format!(
-        "  \"bench\": \"queue_depth\",\n  \"scale\": \"{}\",\n  \"planes\": {PLANES},\n",
-        json_escape_free(scale.label())
-    ));
-    s.push_str("  \"tpcc_erase_heavy\": [\n");
-    for (i, (qd, p)) in tpcc.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"queue_depth\": {qd}, \"bound_tps\": {:.2}, \"pipeline_us\": {}, \
-             \"serial_us\": {}, \"write_amp\": {:.3}, \"gc_erases\": {}, \"stall_us\": {}, \
-             \"max_inflight\": {}, \"overlapped_erases\": {}, \"readahead_hits\": {}, \
-             \"detected_corruptions\": {}, \"repaired_pages\": {}}}{}\n",
-            p.bound_tps,
-            p.pipeline_us,
-            p.serial_us,
-            p.write_amp,
-            p.gc_erases,
-            p.pipeline.queue_stall_ns / 1_000,
-            p.pipeline.max_inflight,
-            p.pipeline.overlapped_erases,
-            p.pipeline.readahead_hits,
-            p.integrity.detected_corruptions,
-            p.integrity.repaired_pages,
-            if i + 1 < tpcc.len() { "," } else { "" },
-        ));
+/// Emit the run as a unified `pdl-metrics-v1` document: every point's
+/// counters under `tpcc.qd<D>.*` / `readers.qd<D>.*`, including the
+/// per-op-class latency histograms the recorder sampled.
+fn write_json(
+    path: &str,
+    scale: Scale,
+    tpcc: &[(u32, QdPoint, QdObs)],
+    readers: &[(u32, ReaderPoint)],
+) {
+    let mut reg = obs::bench_registry("queue_depth", scale.label());
+    reg.set_u64("planes", PLANES as u64);
+    for (qd, p, o) in tpcc {
+        let pre = format!("tpcc.qd{qd}");
+        reg.set_f64(&format!("{pre}.bound_tps"), p.bound_tps);
+        reg.set_u64(&format!("{pre}.pipeline_us"), p.pipeline_us);
+        reg.set_u64(&format!("{pre}.serial_us"), p.serial_us);
+        reg.set_f64(&format!("{pre}.write_amp"), p.write_amp);
+        reg.set_u64(&format!("{pre}.gc_erases"), p.gc_erases);
+        obs::put_pipeline_counts(&mut reg, &format!("{pre}.pipeline"), &p.pipeline);
+        obs::put_integrity_counts(&mut reg, &format!("{pre}.integrity"), &p.integrity);
+        obs::put_recorder_snapshot(&mut reg, &pre, &o.snapshot);
     }
-    s.push_str("  ],\n  \"readers\": [\n");
-    for (i, (qd, p)) in readers.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"queue_depth\": {qd}, \"bound_scans_per_sec\": {:.2}, \"pipeline_us\": {}, \
-             \"serial_us\": {}, \"stall_us\": {}, \"max_inflight\": {}, \
-             \"overlapped_erases\": {}, \"readahead_hits\": {}}}{}\n",
-            p.bound_scans_per_sec,
-            p.pipeline_us,
-            p.serial_us,
-            p.pipeline.queue_stall_ns / 1_000,
-            p.pipeline.max_inflight,
-            p.pipeline.overlapped_erases,
-            p.pipeline.readahead_hits,
-            if i + 1 < readers.len() { "," } else { "" },
-        ));
+    for (qd, p) in readers {
+        let pre = format!("readers.qd{qd}");
+        reg.set_f64(&format!("{pre}.bound_scans_per_sec"), p.bound_scans_per_sec);
+        reg.set_u64(&format!("{pre}.scans"), p.scans);
+        reg.set_u64(&format!("{pre}.pipeline_us"), p.pipeline_us);
+        reg.set_u64(&format!("{pre}.serial_us"), p.serial_us);
+        obs::put_pipeline_counts(&mut reg, &format!("{pre}.pipeline"), &p.pipeline);
+        obs::put_integrity_counts(&mut reg, &format!("{pre}.integrity"), &p.integrity);
     }
-    s.push_str("  ]\n}\n");
-    std::fs::write(path, s).expect("write BENCH_queue_depth.json");
+    let doc = reg.to_json();
+    let parsed = json::parse(&doc).expect("registry emits valid JSON");
+    json::validate_metrics(&parsed).expect("registry emits pdl-metrics-v1");
+    std::fs::write(path, doc).expect("write BENCH_queue_depth.json");
 }
 
 fn main() {
@@ -149,9 +142,12 @@ fn main() {
     );
     println!();
 
-    let tpcc: Vec<(u32, QdPoint)> = DEPTHS
+    let tpcc: Vec<(u32, QdPoint, QdObs)> = DEPTHS
         .iter()
-        .map(|&qd| (qd, run_tpcc_qd_point(scale, qd, PLANES, 0x7C0C).expect("tpcc point")))
+        .map(|&qd| {
+            let (p, o) = run_tpcc_qd_point_traced(scale, qd, PLANES, 0x7C0C).expect("tpcc point");
+            (qd, p, o)
+        })
         .collect();
     let readers: Vec<(u32, ReaderPoint)> =
         DEPTHS.iter().map(|&qd| (qd, run_readers_point(scale, qd))).collect();
@@ -160,7 +156,7 @@ fn main() {
         "erase-heavy TPC-C (GC-pressured, group-commit flush cadence)",
         &["queue depth", "pipeline us", "serial us", "WA", "gc erases", "bound txn/s"],
     );
-    for (qd, p) in &tpcc {
+    for (qd, p, _) in &tpcc {
         t.row(vec![
             qd.to_string(),
             p.pipeline_us.to_string(),
@@ -197,13 +193,28 @@ fn main() {
 
     let rows: Vec<(String, PipelineCounts, IntegrityCounts)> = tpcc
         .iter()
-        .map(|(qd, p)| (format!("tpcc QD={qd}"), p.pipeline, p.integrity))
+        .map(|(qd, p, _)| (format!("tpcc QD={qd}"), p.pipeline, p.integrity))
         .chain(readers.iter().map(|(qd, p)| (format!("readers QD={qd}"), p.pipeline, p.integrity)))
         .collect();
     println!("{}", pipeline_table("pipeline gauges per configuration", &rows).render());
 
     write_json("BENCH_queue_depth.json", scale, &tpcc, &readers);
     println!("wrote BENCH_queue_depth.json");
+
+    // Chrome trace export of the QD=16 measured phase: the pipeline's
+    // schedule, one thread row per plane. The acceptance witness for the
+    // whole pipeline story: >= 2 planes concurrently busy with programs.
+    std::fs::create_dir_all("obs_out").expect("create obs_out");
+    let qd16 = &tpcc[2].2;
+    std::fs::write("obs_out/trace_queue_depth.json", &qd16.trace_json).expect("write trace");
+    let v = json::parse(&qd16.trace_json).expect("trace is valid JSON");
+    json::validate_trace(&v).expect("trace-event shape");
+    let lanes = max_concurrent_lanes(&qd16.snapshot.spans, Some("program"));
+    println!(
+        "QD16 concurrent planes on programs: {lanes} (bar: >= 2); \
+         trace: obs_out/trace_queue_depth.json"
+    );
+    assert!(lanes >= 2, "QD=16 trace must show >= 2 concurrent plane program spans, got {lanes}");
 
     // QD=1 must reproduce the pre-pipeline (serial) accounting exactly,
     // and the bound throughput must improve monotonically with depth.

@@ -81,6 +81,8 @@ fn run(scale: Scale, locked: bool, structure_churn: bool) -> SnapshotReadResult 
         "every scan must observe atomic commit groups \
          (locked={locked}, structure_churn={structure_churn})"
     );
+    assert_eq!(r.buffer.active_views, 0, "a run may not leave read views open");
+    assert_eq!(r.buffer.leaked_pids, 0, "a run may not strand allocated pids");
     r
 }
 
@@ -109,7 +111,17 @@ fn main() {
 
     let mut table = Table::new(
         "scanners racing committing writers",
-        &["read path", "scans", "txns", "torn", "version reads", "bound time us", "bound scans/s"],
+        &[
+            "read path",
+            "scans",
+            "txns",
+            "torn",
+            "version reads",
+            "open views",
+            "leaked pids",
+            "bound time us",
+            "bound scans/s",
+        ],
     );
     for (label, r, tp, us) in [
         ("locked", &locked, locked_tp, locked.flash_us_total),
@@ -122,6 +134,8 @@ fn main() {
             r.committed.to_string(),
             r.torn_scans.to_string(),
             r.version_reads.to_string(),
+            r.buffer.active_views.to_string(),
+            r.buffer.leaked_pids.to_string(),
             us.to_string(),
             format!("{tp:.1}"),
         ]);

@@ -21,13 +21,21 @@
 //! At 16 writers group commit must reach >= 1.5x solo (the pdl-txn
 //! acceptance bar); the run fails loudly if it does not.
 //!
+//! Each pool runs with the recorder on, so the run also reports the
+//! **commit-latency distribution** (simulated-µs p50/p99 per committed
+//! transaction, queue and flush stalls included) for each discipline,
+//! and emits everything as a unified `BENCH_txn_commit.json`
+//! (`pdl-metrics-v1`). The pool's leak gauges (`leaked_pids`,
+//! `active_views`) must read 0 after every run.
+//!
 //! Run with `cargo bench -p pdl-bench --bench txn_commit`; set
 //! `PDL_SCALE=quick|default|paper` to choose the transaction count.
 
 use pdl_core::{MethodKind, ShardedStore, StoreOptions};
 use pdl_flash::FlashConfig;
+use pdl_obs::{json, LatencyClass, RecorderSnapshot};
 use pdl_storage::ShardedBufferPool;
-use pdl_workload::{run_txn_commit_workload, Scale, Table, TxnCommitConfig, TxnCommitResult};
+use pdl_workload::{obs, run_txn_commit_workload, Scale, Table, TxnCommitConfig, TxnCommitResult};
 
 const SHARDS: usize = 4;
 const PAGES: u64 = 512;
@@ -46,7 +54,7 @@ fn build_pool() -> ShardedBufferPool {
         FlashConfig::scaled(64),
         SHARDS,
         MethodKind::Pdl { max_diff_size: 256 },
-        StoreOptions::new(PAGES),
+        StoreOptions::new(PAGES).with_obs(true),
     )
     .expect("store");
     let pool = ShardedBufferPool::new(store, 256);
@@ -57,12 +65,24 @@ fn build_pool() -> ShardedBufferPool {
     pool
 }
 
-fn run(scale: Scale, writers: usize, group: bool) -> TxnCommitResult {
+fn run(scale: Scale, writers: usize, group: bool) -> (TxnCommitResult, RecorderSnapshot) {
     let pool = build_pool();
     let cfg = TxnCommitConfig::new(writers, txns_per_writer(scale, writers))
         .with_pages_per_txn(2)
         .with_group(group);
-    run_txn_commit_workload(&pool, &cfg).expect("workload")
+    let r = run_txn_commit_workload(&pool, &cfg).expect("workload");
+    assert_eq!(r.buffer.leaked_pids, 0, "run stranded pids");
+    assert_eq!(r.buffer.active_views, 0, "run leaked read views");
+    (r, pool.obs_pool_snapshot())
+}
+
+/// Commit-latency distribution of one run: every committed transaction
+/// lands one sample in the solo or group class, whichever its batch
+/// actually experienced.
+fn commit_hist(snap: &RecorderSnapshot) -> pdl_obs::LatencyHistogram {
+    let mut h = snap.hist(LatencyClass::CommitSolo).clone();
+    h.merge(snap.hist(LatencyClass::CommitGroup));
+    h
 }
 
 fn main() {
@@ -76,29 +96,68 @@ fn main() {
 
     let mut table = Table::new(
         "group-commit batch-size sweep",
-        &["writers", "discipline", "txns", "writes/txn", "sim us/txn", "bound tps", "speedup"],
+        &[
+            "writers",
+            "discipline",
+            "txns",
+            "writes/txn",
+            "sim us/txn",
+            "commit p50 us",
+            "commit p99 us",
+            "bound tps",
+            "speedup",
+        ],
     );
+    let mut reg = obs::bench_registry("txn_commit", scale.label());
+    reg.set_u64("shards", SHARDS as u64);
+    reg.set_u64("pages", PAGES);
     let mut ratio_at_16 = 0.0f64;
     for writers in [1usize, 4, 16] {
-        let solo = run(scale, writers, false);
-        let group = run(scale, writers, true);
+        let (solo, solo_snap) = run(scale, writers, false);
+        let (group, group_snap) = run(scale, writers, true);
         let ratio = group.bound_tps() / solo.bound_tps().max(f64::MIN_POSITIVE);
         if writers == 16 {
             ratio_at_16 = ratio;
         }
-        for (label, r, speedup) in [("solo", &solo, 1.0), ("group", &group, ratio)] {
+        for (label, r, snap, speedup) in
+            [("solo", &solo, &solo_snap, 1.0), ("group", &group, &group_snap, ratio)]
+        {
+            let commits = commit_hist(snap);
+            assert_eq!(
+                commits.count(),
+                r.committed,
+                "{writers}x{label}: every commit lands one latency sample"
+            );
             table.row(vec![
                 writers.to_string(),
                 label.to_string(),
                 r.committed.to_string(),
                 format!("{:.2}", r.writes as f64 / r.committed.max(1) as f64),
                 format!("{:.1}", r.flash_us as f64 / r.committed.max(1) as f64),
+                commits.p50_us().to_string(),
+                commits.p99_us().to_string(),
                 format!("{:.0}", r.bound_tps()),
                 format!("{speedup:.2}x"),
             ]);
+            let pre = format!("w{writers}.{label}");
+            reg.set_u64(&format!("{pre}.committed"), r.committed);
+            reg.set_u64(&format!("{pre}.writes"), r.writes);
+            reg.set_u64(&format!("{pre}.flash_us"), r.flash_us);
+            reg.set_f64(&format!("{pre}.bound_tps"), r.bound_tps());
+            obs::put_buffer_stats(&mut reg, &format!("{pre}.buffer"), &r.buffer);
+            // `<pre>.commit.solo.*` / `<pre>.commit.group.*` (whichever
+            // classes the batches actually hit) plus the merged view.
+            obs::put_recorder_snapshot(&mut reg, &pre, snap);
+            reg.set_hist(&format!("{pre}.commit.all"), &commits);
         }
     }
     println!("{}", table.render());
+
+    let doc = reg.to_json();
+    let parsed = json::parse(&doc).expect("registry emits valid JSON");
+    json::validate_metrics(&parsed).expect("registry emits pdl-metrics-v1");
+    std::fs::write("BENCH_txn_commit.json", doc).expect("write BENCH_txn_commit.json");
+    println!("wrote BENCH_txn_commit.json");
     println!(
         "group commit at 16 writers: {ratio_at_16:.2}x solo throughput \
          (acceptance bar: >= 1.5x)"

@@ -93,6 +93,17 @@ pub struct QdPoint {
     pub integrity: pdl_flash::IntegrityCounts,
 }
 
+/// Observability capture of one traced queue-depth point.
+#[derive(Clone, Debug)]
+pub struct QdObs {
+    /// The chip recorder after the measured phase (warm-up is cleared by
+    /// the statistics reset): per-class latency histograms plus the
+    /// attributed span ring.
+    pub snapshot: pdl_obs::RecorderSnapshot,
+    /// Chrome trace-event JSON of the measured phase.
+    pub trace_json: String,
+}
+
 /// One queue-depth point: TPC-C on an **erase-heavy** PDL store. The
 /// physical space barely exceeds the logical footprint (vs Figure 18's
 /// 4x headroom) and the buffer is flushed on a short group-commit
@@ -106,6 +117,28 @@ pub fn run_tpcc_qd_point(
     planes: u32,
     seed: u64,
 ) -> Result<QdPoint, CoreError> {
+    run_tpcc_qd_point_inner(scale, queue_depth, planes, seed, false).map(|(p, _)| p)
+}
+
+/// [`run_tpcc_qd_point`] with the recorder on: same store, same seed,
+/// same protocol, plus the measured phase's histograms and trace.
+pub fn run_tpcc_qd_point_traced(
+    scale: Scale,
+    queue_depth: u32,
+    planes: u32,
+    seed: u64,
+) -> Result<(QdPoint, QdObs), CoreError> {
+    run_tpcc_qd_point_inner(scale, queue_depth, planes, seed, true)
+        .map(|(p, o)| (p, o.expect("obs was enabled")))
+}
+
+fn run_tpcc_qd_point_inner(
+    scale: Scale,
+    queue_depth: u32,
+    planes: u32,
+    seed: u64,
+    obs: bool,
+) -> Result<(QdPoint, Option<QdObs>), CoreError> {
     let kind = MethodKind::Pdl { max_diff_size: 256 };
     let tpcc_scale = tpcc_scale_for(scale);
     let txns = txns_for(scale);
@@ -126,7 +159,8 @@ pub fn run_tpcc_qd_point(
     let num_pages = est + txns + 128;
     let blocks = (num_pages.div_ceil(64) + 10) as u32;
     let config = FlashConfig::scaled(blocks).with_queue_depth(queue_depth).with_planes(planes);
-    let store = build_store(FlashChip::new(config), kind, StoreOptions::new(num_pages))?;
+    let store =
+        build_store(FlashChip::new(config), kind, StoreOptions::new(num_pages).with_obs(obs))?;
 
     let db = Database::new(store, 256);
     let mut t: TpccDb =
@@ -160,7 +194,9 @@ pub fn run_tpcc_qd_point(
 
     let stats = t.db.io_stats();
     let pipeline_us = t.db.with_store(|s| s.pipeline_busy_us());
-    Ok(QdPoint {
+    let capture =
+        obs.then(|| QdObs { snapshot: t.db.obs_snapshot(), trace_json: t.db.obs_trace_json() });
+    let point = QdPoint {
         bound_tps: txns as f64 / (pipeline_us.max(1) as f64 / 1e6),
         pipeline_us,
         serial_us: stats.total().total_us(),
@@ -168,7 +204,8 @@ pub fn run_tpcc_qd_point(
         gc_erases: stats.gc_erases(),
         pipeline: stats.pipeline,
         integrity: stats.integrity,
-    })
+    };
+    Ok((point, capture))
 }
 
 /// Experiment 7 / Figure 18 sweep.

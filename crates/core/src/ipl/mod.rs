@@ -215,6 +215,7 @@ impl Ipl {
         }
 
         chip.set_context(OpContext::Recovery);
+        let scan_t0 = chip.sim_now_us();
         let mut scans: Vec<BlockScan> = vec![BlockScan::default(); g.num_blocks as usize];
         for p in 0..g.num_pages() {
             let ppn = Ppn(p);
@@ -348,6 +349,15 @@ impl Ipl {
                 }
             }
         }
+        crate::page_store::obs_event(
+            &mut chip,
+            pdl_flash::LatencyClass::RecoveryPhase,
+            "recovery",
+            "recovery",
+            scan_t0,
+            0,
+            0,
+        );
         chip.set_context(OpContext::User);
 
         // Any logical block never written gets its identity assignment;
@@ -466,7 +476,17 @@ impl Ipl {
     /// the old block (IPL's garbage collection, footnote 11).
     fn merge(&mut self, lb: usize) -> Result<()> {
         self.chip.set_context(OpContext::Gc);
+        let t0 = self.chip.sim_now_us();
         let result = self.merge_inner(lb);
+        crate::page_store::obs_event(
+            &mut self.chip,
+            pdl_flash::LatencyClass::GcPause,
+            "gc",
+            "gc",
+            t0,
+            self.block_map[lb] as u64,
+            lb as u64,
+        );
         self.chip.set_context(OpContext::User);
         result
     }

@@ -62,6 +62,8 @@ pub fn build_store(
     kind: MethodKind,
     opts: StoreOptions,
 ) -> Result<Box<dyn PageStore>> {
+    let mut chip = chip;
+    chip.set_obs_enabled(opts.obs);
     Ok(match kind {
         MethodKind::Opu => Box::new(Opu::new(chip, opts)?),
         MethodKind::Ipu => Box::new(Ipu::new(chip, opts)?),
@@ -79,6 +81,8 @@ pub fn recover_store(
     kind: MethodKind,
     opts: StoreOptions,
 ) -> Result<Box<dyn PageStore>> {
+    let mut chip = chip;
+    chip.set_obs_enabled(opts.obs);
     Ok(match kind {
         MethodKind::Opu => Box::new(Opu::recover(chip, opts)?),
         MethodKind::Ipu => Box::new(Ipu::recover(chip, opts)?),

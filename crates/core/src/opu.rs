@@ -88,6 +88,7 @@ impl Opu {
         let mut obsolete = vec![0u32; g.num_blocks as usize];
         let mut max_ts = 0u64;
         chip.set_context(OpContext::Recovery);
+        let scan_t0 = chip.sim_now_us();
         for p in 0..g.num_pages() {
             let ppn = Ppn(p);
             let block = g.block_of(ppn).0 as usize;
@@ -129,6 +130,15 @@ impl Opu {
                 obsolete[block] += 1;
             }
         }
+        crate::page_store::obs_event(
+            &mut chip,
+            pdl_flash::LatencyClass::RecoveryPhase,
+            "recovery",
+            "recovery",
+            scan_t0,
+            0,
+            0,
+        );
         chip.set_context(OpContext::User);
         let mut alloc = BlockManager::new(g.num_blocks, g.pages_per_block, opts.reserve_blocks);
         alloc.set_policy(opts.gc_policy);
@@ -204,7 +214,17 @@ impl Opu {
         debug_assert!(!self.in_gc, "nested GC");
         self.in_gc = true;
         self.chip.set_context(OpContext::Gc);
+        let t0 = self.chip.sim_now_us();
         let result = self.gc_inner();
+        crate::page_store::obs_event(
+            &mut self.chip,
+            pdl_flash::LatencyClass::GcPause,
+            "gc",
+            "gc",
+            t0,
+            0,
+            self.gc_runs,
+        );
         self.chip.set_context(OpContext::User);
         self.in_gc = false;
         result

@@ -93,6 +93,32 @@ pub struct StoreOptions {
     /// source. Off reproduces the historical trust-the-media behaviour
     /// (ablation benches).
     pub verify_checksums: bool,
+    /// Enable the observability recorder (latency histograms + span ring
+    /// on the simulated clock; see `pdl_obs`). Default: off — every hook
+    /// is then a single branch and timing claims are untouched.
+    pub obs: bool,
+}
+
+/// Observability hook for composite activities (a GC cycle, a recovery
+/// phase, a repair detour): record one `class` sample and a span from
+/// `t0` to the chip's current simulated horizon. Maintenance spans run
+/// on the lane just past the planes so they stack above the per-plane
+/// command rows in the trace viewer. No-op while recording is disabled.
+pub(crate) fn obs_event(
+    chip: &mut FlashChip,
+    class: pdl_flash::LatencyClass,
+    name: &'static str,
+    ctx: &'static str,
+    t0: u64,
+    block: u64,
+    id: u64,
+) {
+    if !chip.recorder().is_enabled() {
+        return;
+    }
+    let t1 = chip.sim_now_us();
+    let lane = chip.config().pipeline.planes;
+    chip.recorder_mut().event(class, name, ctx, lane, t0, t1, block, id);
 }
 
 impl StoreOptions {
@@ -107,7 +133,14 @@ impl StoreOptions {
             snapshot_version_cap: 1024,
             snapshot_retention_bytes: 0,
             verify_checksums: true,
+            obs: false,
         }
+    }
+
+    /// Enable or disable observability recording (default: disabled).
+    pub fn with_obs(mut self, obs: bool) -> StoreOptions {
+        self.obs = obs;
+        self
     }
 
     /// Enable or disable checksum verification on data-path reads

@@ -564,6 +564,23 @@ impl Pdl {
     /// the corrupt copy is marked obsolete. Costs two flash reads (twin
     /// spare + data) and one program — no recovery scan.
     fn repair_base_frame(&mut self, pid: u64, j: usize) -> Result<bool> {
+        let t0 = self.chip.sim_now_us();
+        let repaired = self.repair_base_frame_inner(pid, j);
+        if matches!(repaired, Ok(true)) {
+            crate::page_store::obs_event(
+                &mut self.chip,
+                pdl_flash::LatencyClass::RepairDetour,
+                "repair",
+                "user",
+                t0,
+                0,
+                pid,
+            );
+        }
+        repaired
+    }
+
+    fn repair_base_frame_inner(&mut self, pid: u64, j: usize) -> Result<bool> {
         // GC inside `ensure_capacity` may relocate the corrupt frame (its
         // stored checksum travels with it, so it stays detectable) and
         // re-key the twin registry; fetch the mapping only afterwards.
@@ -705,7 +722,17 @@ impl Pdl {
         debug_assert!(!self.in_gc, "nested GC");
         self.in_gc = true;
         self.chip.set_context(OpContext::Gc);
+        let t0 = self.chip.sim_now_us();
         let result = self.gc_inner();
+        crate::page_store::obs_event(
+            &mut self.chip,
+            pdl_flash::LatencyClass::GcPause,
+            "gc",
+            "gc",
+            t0,
+            0,
+            self.counters.gc_runs,
+        );
         self.chip.set_context(OpContext::User);
         self.in_gc = false;
         result

@@ -222,6 +222,7 @@ impl TxnVerdict {
 pub(crate) fn txn_precheck(chip: &mut FlashChip, opts: &StoreOptions) -> Result<TxnScan> {
     let g = chip.geometry();
     chip.set_context(OpContext::Recovery);
+    let t0 = chip.sim_now_us();
     let result = (|| -> Result<TxnScan> {
         let mut verdict = TxnVerdict::new(opts.frames_per_page as usize);
         let mut data_buf = vec![0u8; g.data_size];
@@ -244,6 +245,15 @@ pub(crate) fn txn_precheck(chip: &mut FlashChip, opts: &StoreOptions) -> Result<
         }
         Ok(verdict.resolve())
     })();
+    crate::page_store::obs_event(
+        chip,
+        pdl_flash::LatencyClass::RecoveryPhase,
+        "recovery",
+        "recovery",
+        t0,
+        0,
+        0, // phase 0: transaction precheck pass
+    );
     chip.set_context(OpContext::User);
     result
 }
@@ -655,7 +665,17 @@ impl Pdl {
         let g = chip.geometry();
         let presence = {
             chip.set_context(OpContext::Recovery);
+            let t0 = chip.sim_now_us();
             let r = tables.finish(&mut chip);
+            crate::page_store::obs_event(
+                &mut chip,
+                pdl_flash::LatencyClass::RecoveryPhase,
+                "recovery",
+                "recovery",
+                t0,
+                0,
+                2, // phase 2: table finishing / record resolution
+            );
             chip.set_context(OpContext::User);
             r?
         };
@@ -723,6 +743,7 @@ pub(crate) fn scan(
     let g = chip.geometry();
     let mut tables = RecoveryTables::empty(opts, g.num_pages(), g.num_blocks, uncommitted);
     chip.set_context(OpContext::Recovery);
+    let t0 = chip.sim_now_us();
     let result = (|| -> Result<()> {
         let mut data_buf = vec![0u8; g.data_size];
         let first = opts.checkpoint_blocks * g.pages_per_block;
@@ -750,6 +771,15 @@ pub(crate) fn scan(
         }
         Ok(())
     })();
+    crate::page_store::obs_event(
+        chip,
+        pdl_flash::LatencyClass::RecoveryPhase,
+        "recovery",
+        "recovery",
+        t0,
+        0,
+        1, // phase 1: the Figure-11 full scan
+    );
     chip.set_context(OpContext::User);
     result?;
     Ok(tables)

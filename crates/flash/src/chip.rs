@@ -11,6 +11,16 @@ use crate::pipeline::{CmdKind, Pipeline};
 use crate::spare::SpareInfo;
 use crate::stats::{FlashStats, OpContext, WearSummary};
 use crate::Result;
+use pdl_obs::{CtxKind, OpKind, Recorder};
+
+/// Map the attribution ledger's context onto the observability layer's.
+fn ctx_kind(ctx: OpContext) -> CtxKind {
+    match ctx {
+        OpContext::User => CtxKind::User,
+        OpContext::Gc => CtxKind::Gc,
+        OpContext::Recovery => CtxKind::Recovery,
+    }
+}
 
 /// A reusable buffer holding one page image (data + spare), sized for a
 /// particular chip.
@@ -62,6 +72,9 @@ pub struct FlashChip {
     /// The command queue: schedules every operation on the simulated
     /// clock (state mutation stays synchronous; see [`crate::pipeline`]).
     pipeline: Pipeline,
+    /// Observability: per-class latency histograms and the span ring.
+    /// Disabled by default — one branch per charge, nothing recorded.
+    recorder: Recorder,
 }
 
 impl FlashChip {
@@ -83,6 +96,7 @@ impl FlashChip {
             erase_limit: None,
             forced_erase_failures: vec![false; g.num_blocks as usize],
             pipeline: Pipeline::new(config.pipeline, g.pages_per_block),
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -129,6 +143,35 @@ impl FlashChip {
         // Re-zero the pipeline's busy clock so the next measurement epoch
         // reports its own critical path.
         self.pipeline.rebase();
+        // Warm-up traffic does not belong in the measured distributions.
+        self.recorder.clear();
+    }
+
+    /// Enable (or disable) observability recording on this chip. Enabled
+    /// recording never changes what is measured — only what is retained.
+    pub fn set_obs_enabled(&mut self, enabled: bool) {
+        if enabled {
+            self.recorder.enable(pdl_obs::DEFAULT_SPAN_CAPACITY);
+        } else {
+            self.recorder.disable();
+        }
+    }
+
+    /// The chip's recorder (histograms + span ring).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
+
+    /// The simulated clock's current horizon (µs): the time by which
+    /// every submitted command has completed. Higher layers bracket
+    /// composite activities (a GC cycle, a recovery phase) with this to
+    /// place their spans on the same timeline as the flash commands.
+    pub fn sim_now_us(&self) -> u64 {
+        self.pipeline.horizon()
     }
 
     /// Set who the following operations are attributed to.
@@ -266,7 +309,35 @@ impl FlashChip {
         let c = self.stats.by_context_mut(self.context);
         c.reads += 1;
         c.read_us += t;
-        self.pipeline.submit(CmdKind::Read, block, ppn.0, t, true, &mut self.stats.pipeline);
+        let t0 = self.pipeline.now_us();
+        let done =
+            self.pipeline.submit(CmdKind::Read, block, ppn.0, t, true, &mut self.stats.pipeline);
+        if self.recorder.is_enabled() {
+            self.record_op(OpKind::Read, ppn.0, block, t0, done);
+        }
+    }
+
+    /// Observability hook for one scheduled command: the op-class
+    /// histogram sample is the submitter-observed sojourn (queue stall +
+    /// scheduling wait + latency); the span is the plane-execution window
+    /// the pipeline actually scheduled.
+    fn record_op(&mut self, op: OpKind, ppn: u32, block: u32, t0: u64, done: u64) {
+        let planes = self.pipeline.plane_count();
+        let lane = match op {
+            OpKind::Erase => block % planes,
+            OpKind::Read | OpKind::Program => ppn % planes,
+        };
+        let start = self.pipeline.last_start_us();
+        self.recorder.op(
+            op,
+            ctx_kind(self.context),
+            lane,
+            start,
+            done,
+            block as u64,
+            ppn as u64,
+            done.saturating_sub(t0),
+        );
     }
 
     /// Charge and schedule a page program. Programs complete in the
@@ -280,7 +351,18 @@ impl FlashChip {
         c.write_us += t;
         // Any prefetched image of this page is stale now.
         self.pipeline.invalidate_page(ppn.0);
-        self.pipeline.submit(CmdKind::Program, block, ppn.0, t, false, &mut self.stats.pipeline);
+        let t0 = self.pipeline.now_us();
+        let done = self.pipeline.submit(
+            CmdKind::Program,
+            block,
+            ppn.0,
+            t,
+            false,
+            &mut self.stats.pipeline,
+        );
+        if self.recorder.is_enabled() {
+            self.record_op(OpKind::Program, ppn.0, block, t0, done);
+        }
     }
 
     /// Charge and schedule a block erase. Like programs, erases complete
@@ -293,7 +375,12 @@ impl FlashChip {
         c.erase_us += t;
         self.pipeline.invalidate_block(block.0);
         // Erases stripe by block; the page argument is unused for them.
-        self.pipeline.submit(CmdKind::Erase, block.0, 0, t, false, &mut self.stats.pipeline);
+        let t0 = self.pipeline.now_us();
+        let done =
+            self.pipeline.submit(CmdKind::Erase, block.0, 0, t, false, &mut self.stats.pipeline);
+        if self.recorder.is_enabled() {
+            self.record_op(OpKind::Erase, 0, block.0, t0, done);
+        }
     }
 
     fn check_ppn(&self, ppn: Ppn) -> Result<()> {
@@ -416,9 +503,13 @@ impl FlashChip {
         let c = self.stats.by_context_mut(self.context);
         c.reads += 1;
         c.read_us += t;
+        let t0 = self.pipeline.now_us();
         let done =
             self.pipeline.submit(CmdKind::Read, block, ppn.0, t, false, &mut self.stats.pipeline);
         self.pipeline.note_ready(ppn.0, done);
+        if self.recorder.is_enabled() {
+            self.record_op(OpKind::Read, ppn.0, block, t0, done);
+        }
         Ok(())
     }
 
@@ -955,6 +1046,61 @@ mod tests {
         c.program_partial(Ppn(1), 0, &[0x11; 64]).unwrap();
         c.read_data_verified(Ppn(1), &mut out).unwrap();
         assert_eq!(c.stats().integrity.detected_corruptions, 0);
+    }
+
+    #[test]
+    fn obs_recording_never_perturbs_the_ledger_or_the_clock() {
+        // Identical operation sequence with and without the recorder:
+        // OpCounts, pipeline counts and busy clock must match exactly.
+        let run = |obs: bool| -> (FlashStats, u64) {
+            let mut c = chip();
+            c.set_obs_enabled(obs);
+            let (data, spare) = image(&c, 0x42, PageKind::Data, 1, 1);
+            c.program_page(Ppn(0), &data, &spare).unwrap();
+            let mut out = vec![0u8; c.geometry().data_size];
+            c.read_data(Ppn(0), &mut out).unwrap();
+            c.set_context(OpContext::Gc);
+            c.erase_block(BlockId(1)).unwrap();
+            c.set_context(OpContext::User);
+            c.drain();
+            (c.stats(), c.pipeline_busy_us())
+        };
+        let (s_off, t_off) = run(false);
+        let (s_on, t_on) = run(true);
+        assert_eq!(s_off.total(), s_on.total());
+        assert_eq!(s_off.pipeline, s_on.pipeline);
+        assert_eq!(t_off, t_on);
+        assert_eq!(t_on, s_on.total().total_us(), "QD1 stays the serial sum");
+    }
+
+    #[test]
+    fn obs_records_attributed_spans_and_sojourns() {
+        let mut c = chip();
+        c.set_obs_enabled(true);
+        let (data, spare) = image(&c, 0x42, PageKind::Data, 1, 1);
+        c.program_page(Ppn(0), &data, &spare).unwrap();
+        let mut out = vec![0u8; c.geometry().data_size];
+        c.read_data(Ppn(0), &mut out).unwrap();
+        c.set_context(OpContext::Gc);
+        c.erase_block(BlockId(1)).unwrap();
+        let snap = c.recorder().snapshot();
+        assert_eq!(snap.hist(pdl_obs::LatencyClass::ProgramUser).count(), 1);
+        // QD1: the read queued behind the async program — its sojourn is
+        // the stall plus its own latency.
+        assert_eq!(snap.hist(pdl_obs::LatencyClass::ReadUser).max_us(), 1010 + 110);
+        assert_eq!(snap.hist(pdl_obs::LatencyClass::EraseGc).count(), 1);
+        assert_eq!(snap.spans.len(), 3);
+        assert_eq!(snap.spans[0].name, "program");
+        assert_eq!(snap.spans[2].ctx, "gc");
+        // Spans tile the serial timeline.
+        assert_eq!(snap.spans[0].start_us, 0);
+        assert_eq!(snap.spans[1].start_us, 1010);
+        assert_eq!(snap.spans[2].start_us, 1010 + 110);
+        // reset_stats clears the recorded epoch but keeps recording.
+        c.reset_stats();
+        let snap = c.recorder().snapshot();
+        assert!(snap.enabled);
+        assert!(snap.spans.is_empty());
     }
 
     #[test]

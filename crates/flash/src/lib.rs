@@ -52,5 +52,10 @@ pub use pipeline::PipelineConfig;
 pub use spare::{fnv1a32, PageKind, SpareInfo, NO_TXN, SPARE_BYTES_USED};
 pub use stats::{FlashStats, IntegrityCounts, OpContext, OpCounts, PipelineCounts, WearSummary};
 
+// Observability: chips carry a `pdl_obs::Recorder` (latency histograms +
+// span ring), off by default; re-exported so downstream layers name the
+// types without a direct pdl-obs dependency.
+pub use pdl_obs::{CtxKind, LatencyClass, OpKind, Recorder, RecorderSnapshot, Span};
+
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, FlashError>;

@@ -112,6 +112,10 @@ pub(crate) struct Pipeline {
     /// Makespan at the last statistics reset; `busy_us` reports relative
     /// to it.
     base_us: u64,
+    /// Scheduled start of the most recent [`Pipeline::submit`] — the
+    /// observability layer reads it to place the command's span on the
+    /// simulated timeline.
+    last_start_us: u64,
 }
 
 impl Pipeline {
@@ -126,6 +130,7 @@ impl Pipeline {
             inflight: Vec::with_capacity(cfg.queue_depth as usize),
             ready: Vec::new(),
             base_us: 0,
+            last_start_us: 0,
         }
     }
 
@@ -210,6 +215,7 @@ impl Pipeline {
             }
         };
         let done = start + latency_us;
+        self.last_start_us = start;
         if kind == CmdKind::Read {
             // A read that would complete before a program/erase it
             // depends on is an ordering violation (must stay 0).
@@ -291,8 +297,23 @@ impl Pipeline {
 
     /// The makespan: the simulated time by which every submitted command
     /// has completed.
-    fn horizon(&self) -> u64 {
+    pub(crate) fn horizon(&self) -> u64 {
         self.plane_free_us.iter().copied().max().unwrap_or(0).max(self.now_us)
+    }
+
+    /// The submitter's clock (commands issue at or after this time).
+    pub(crate) fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Scheduled start of the most recent submission.
+    pub(crate) fn last_start_us(&self) -> u64 {
+        self.last_start_us
+    }
+
+    /// Number of planes the pipeline schedules across.
+    pub(crate) fn plane_count(&self) -> u32 {
+        self.planes
     }
 
     /// Pipeline busy time (µs) since the last [`Pipeline::rebase`]: the

@@ -1,0 +1,394 @@
+//! Minimal JSON writing and validation.
+//!
+//! This workspace builds offline without serde, so the exporters write
+//! JSON by hand and this module provides the other half: a small
+//! recursive-descent parser (strict enough for round-trip validation of
+//! our own output and for the CI gate that inspects emitted metrics)
+//! plus shape validators for the two schemas the repo emits — the
+//! metrics registry and Chrome trace events.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Object keys keep insertion order (pairs vector)
+/// so validation errors can cite positions; lookup is linear.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Every numeric leaf below `self`, keyed by dotted path — what the
+    /// CI gate walks to find `ordering_violations` and friends.
+    pub fn numeric_leaves(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        fn walk(v: &JsonValue, path: &str, out: &mut BTreeMap<String, f64>) {
+            match v {
+                JsonValue::Num(n) => {
+                    out.insert(path.to_string(), *n);
+                }
+                JsonValue::Arr(items) => {
+                    for (i, item) in items.iter().enumerate() {
+                        walk(item, &format!("{path}[{i}]"), out);
+                    }
+                }
+                JsonValue::Obj(pairs) => {
+                    for (k, val) in pairs {
+                        let p = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                        walk(val, &p, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        walk(self, "", &mut out);
+        out
+    }
+}
+
+/// Escape a string for inclusion inside JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a JSON document. Errors cite the byte offset.
+pub fn parse(s: &str) -> Result<JsonValue, String> {
+    let bytes = s.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at offset {start}"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("bad number '{text}' at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            // Surrogate pairs are not needed by our own
+                            // output; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| format!("invalid UTF-8 at offset {}", self.pos))?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            pairs.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Validate the metrics-registry schema: a top-level object carrying
+/// `"schema": "pdl-metrics-v1"` and a `"metrics"` object whose members
+/// are numbers or strings.
+pub fn validate_metrics(v: &JsonValue) -> Result<(), String> {
+    let schema =
+        v.get("schema").and_then(JsonValue::as_str).ok_or("missing string field 'schema'")?;
+    if schema != crate::registry::SCHEMA {
+        return Err(format!("schema '{schema}' != '{}'", crate::registry::SCHEMA));
+    }
+    let metrics = v.get("metrics").and_then(JsonValue::as_obj).ok_or("missing object 'metrics'")?;
+    for (k, val) in metrics {
+        match val {
+            JsonValue::Num(_) | JsonValue::Str(_) => {}
+            _ => return Err(format!("metric '{k}' is neither number nor string")),
+        }
+    }
+    Ok(())
+}
+
+/// Validate the Chrome trace-event shape: a top-level object whose
+/// `"traceEvents"` array holds objects each carrying `name`, `ph`,
+/// `pid`, `tid`, and (for complete events) numeric `ts` and `dur`.
+pub fn validate_trace(v: &JsonValue) -> Result<(), String> {
+    let events =
+        v.get("traceEvents").and_then(JsonValue::as_arr).ok_or("missing array 'traceEvents'")?;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing 'ph'"))?;
+        for field in ["name"] {
+            if ev.get(field).and_then(JsonValue::as_str).is_none() {
+                return Err(format!("event {i}: missing string '{field}'"));
+            }
+        }
+        for field in ["pid", "tid"] {
+            if ev.get(field).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("event {i}: missing number '{field}'"));
+            }
+        }
+        if ph == "X" {
+            for field in ["ts", "dur"] {
+                if ev.get(field).and_then(JsonValue::as_f64).is_none() {
+                    return Err(format!("event {i}: missing number '{field}'"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v =
+            parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": true, "e": null}, "f": ""}"#)
+                .unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_f64(), Some(-300.0));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("b").unwrap().get("e"), Some(&JsonValue::Null));
+        assert_eq!(v.get("f").unwrap().as_str(), Some(""));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "tru", "\"unterminated", "{} extra", "[01x]"] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let s = "a\"b\\c\nd\te\u{1}f";
+        let doc = format!("{{\"k\":\"{}\"}}", escape(s));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn numeric_leaves_walks_arrays_and_objects() {
+        let v = parse(r#"{"a": {"b": 1}, "c": [{"d": 2}, 3]}"#).unwrap();
+        let leaves = v.numeric_leaves();
+        assert_eq!(leaves.get("a.b"), Some(&1.0));
+        assert_eq!(leaves.get("c[0].d"), Some(&2.0));
+        assert_eq!(leaves.get("c[1]"), Some(&3.0));
+    }
+}

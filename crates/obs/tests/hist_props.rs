@@ -1,0 +1,79 @@
+//! Property tests for the log-bucketed latency histogram: sharded
+//! recording merged into one histogram must equal recording everything
+//! globally, and the bucket geometry must round-trip every sample into
+//! a bucket whose bounds contain it.
+
+use pdl_obs::{bucket_bounds, bucket_index, LatencyHistogram, NUM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Per-shard histograms merged == one global histogram, regardless of
+    /// how the samples are partitioned across shards. This is the
+    /// property the pool's `obs_snapshot()` relies on when it folds
+    /// every shard chip's recorder into one distribution.
+    #[test]
+    fn sharded_merge_equals_global(
+        samples in proptest::collection::vec((any::<u32>(), 0u8..8), 0..300),
+    ) {
+        let mut global = LatencyHistogram::new();
+        let mut shards = vec![LatencyHistogram::new(); 8];
+        for (us, shard) in &samples {
+            let us = *us as u64;
+            global.record(us);
+            shards[*shard as usize].record(us);
+        }
+        let mut merged = LatencyHistogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        prop_assert_eq!(&merged, &global);
+        prop_assert_eq!(merged.count(), samples.len() as u64);
+        prop_assert_eq!(merged.sum_us(), global.sum_us());
+        prop_assert_eq!(merged.p50_us(), global.p50_us());
+        prop_assert_eq!(merged.p99_us(), global.p99_us());
+    }
+
+    /// Bucket round-trip: every value lands in a bucket whose
+    /// `[lo, hi)` bounds contain it, and the bounds tile the u64 axis
+    /// in order (each bucket starts where the previous one ended).
+    #[test]
+    fn bucket_bounds_round_trip(us in any::<u64>()) {
+        let i = bucket_index(us);
+        prop_assert!(i < NUM_BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= us, "bucket {i} lo {lo} > sample {us}");
+        prop_assert!(us < hi || hi == u64::MAX, "bucket {i} hi {hi} <= sample {us}");
+    }
+
+    /// Quantiles stay inside the recorded range: for any non-empty
+    /// sample set, p50/p99 lie within `[min, max]` of the true samples
+    /// rounded up to their bucket's upper bound.
+    #[test]
+    fn quantiles_bracket_the_samples(samples in proptest::collection::vec(1u64..10_000_000, 1..200)) {
+        let mut h = LatencyHistogram::new();
+        for &us in &samples {
+            h.record(us);
+        }
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        for q in [h.p50_us(), h.p90_us(), h.p99_us()] {
+            // A quantile reports its bucket's inclusive upper bound,
+            // clamped to the recorded max; it can never undershoot min.
+            prop_assert!(q >= lo, "quantile {q} below min sample {lo}");
+            prop_assert!(q <= hi, "quantile {q} above max sample {hi}");
+        }
+    }
+}
+
+#[test]
+fn buckets_tile_the_axis_in_order() {
+    let mut prev_hi = 0u64;
+    for i in 0..NUM_BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        assert_eq!(lo, prev_hi, "bucket {i} must start where bucket {} ended", i.wrapping_sub(1));
+        assert!(hi > lo || hi == u64::MAX, "bucket {i} is empty");
+        prev_hi = hi;
+    }
+}

@@ -477,6 +477,28 @@ impl Database {
         self.pool.with_store(|s| s.stats())
     }
 
+    /// Whether observability recording is on (set by `StoreOptions::obs`).
+    pub fn obs_enabled(&self) -> bool {
+        self.pool.with_store(|s| s.options().obs)
+    }
+
+    /// Snapshot of the underlying chip's recorder: latency histograms
+    /// per op class × context, plus the span ring.
+    pub fn obs_snapshot(&self) -> pdl_obs::RecorderSnapshot {
+        self.pool.with_store(|s| s.chip().recorder().snapshot())
+    }
+
+    /// Chrome trace-event JSON of everything the chip recorded.
+    pub fn obs_trace_json(&self) -> String {
+        let snap = self.obs_snapshot();
+        let track = pdl_obs::TraceTrack {
+            name: "chip".to_string(),
+            spans: snap.spans,
+            dropped_spans: snap.dropped_spans,
+        };
+        pdl_obs::chrome_trace(&[track])
+    }
+
     pub fn reset_io_stats(&mut self) {
         self.pool.with_store(|s| s.reset_stats());
     }

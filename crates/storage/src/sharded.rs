@@ -45,6 +45,7 @@ use crate::view::{MvccState, PageRead, StructId, StructRoot, ViewRegistry};
 use crate::{ReadGuard, ReadView, Result};
 use pdl_core::{ChangeRange, PageStore, ShardedStore};
 use pdl_flash::{FlashStats, WearSummary};
+use pdl_obs::{LatencyClass, Recorder, RecorderSnapshot, TraceTrack};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -122,6 +123,10 @@ pub struct ShardedBufferPool {
     /// ...and counting only each batch's slowest shard (the overlapped
     /// leader's critical path). See [`BufferStats::commit_flush_us_max`].
     commit_flush_us_max: AtomicU64,
+    /// Pool-level observability: end-to-end commit-latency histograms
+    /// (solo vs. group) and commit spans, on the shards' simulated
+    /// clocks. Enabled iff the store was built with `StoreOptions::obs`.
+    obs: Mutex<Recorder>,
 }
 
 impl ShardedBufferPool {
@@ -140,6 +145,10 @@ impl ShardedBufferPool {
             b => (b / shards).max(page_size),
         };
         let next_txn = AtomicU64::new(store.txn_id_floor());
+        let mut obs = Recorder::disabled();
+        if store.options().obs {
+            obs.enable(pdl_obs::DEFAULT_SPAN_CAPACITY);
+        }
         let stripes = (0..shards)
             .map(|_| {
                 Mutex::new(FrameCache::new(per_stripe, page_size, version_cap, retention_bytes))
@@ -157,6 +166,7 @@ impl ShardedBufferPool {
             pending_structs: Mutex::new(HashMap::new()),
             commit_flush_us_sum: AtomicU64::new(0),
             commit_flush_us_max: AtomicU64::new(0),
+            obs: Mutex::new(obs),
         }
     }
 
@@ -406,7 +416,7 @@ impl ShardedBufferPool {
                         batch.append(&mut st.pending);
                     }
                 }
-                let result = self.commit_batch(&batch);
+                let result = self.commit_batch(&batch, group);
                 let mut st = self.group.lock().unwrap_or_else(|e| e.into_inner());
                 for t in &batch {
                     if *t != txn {
@@ -425,7 +435,7 @@ impl ShardedBufferPool {
     /// shard behind a single flush, then land every commit record per
     /// shard behind a single flush, then finalize (deferred obsolete
     /// marks). The leader is unique, so at most one batch runs at a time.
-    fn commit_batch(&self, batch: &[TxnId]) -> Result<()> {
+    fn commit_batch(&self, batch: &[TxnId], group: bool) -> Result<()> {
         let n = self.stripes.len();
         // Gather: stripe `s` caches exactly shard `s`'s pages. Frames
         // stay owned (and the undo images stay) until the whole batch is
@@ -445,7 +455,10 @@ impl ShardedBufferPool {
                 }
             }
         }
-        match self.commit_batch_stages(&per_shard, &involved) {
+        // For latency attribution a "group" commit is one that actually
+        // absorbed companions; a group-mode batch of one experiences solo
+        // latency and is classed accordingly.
+        match self.commit_batch_stages(&per_shard, &involved, group && batch.len() > 1) {
             Ok(()) => {
                 // Publish phase: the whole batch shares one commit
                 // timestamp, and view registration is gated while the
@@ -524,10 +537,22 @@ impl ShardedBufferPool {
         &self,
         per_shard: &[Vec<(u64, Vec<u8>, TxnId)>],
         involved: &[Vec<TxnId>],
+        group: bool,
     ) -> Result<()> {
         let n = self.stripes.len();
         let flash_us = |s: usize| self.store.with_shard(s, |st| st.stats().total().total_us());
         let before: Vec<u64> = (0..n).map(flash_us).collect();
+        // Commit-latency observability: the batch's critical path is the
+        // slowest shard's pipeline-busy delta (queue and flush stalls
+        // included). Only sampled while recording is on.
+        let obs_on = self.store.options().obs;
+        let busy_us = |s: usize| self.store.with_shard(s, |st| st.pipeline_busy_us());
+        let obs_before: Vec<u64> = if obs_on { (0..n).map(busy_us).collect() } else { Vec::new() };
+        let obs_t0 = if obs_on {
+            (0..n).map(|s| self.store.with_shard(s, |st| st.chip().sim_now_us())).max().unwrap_or(0)
+        } else {
+            0
+        };
         // Phase 1: every shard's differentials become durable (tagged,
         // not yet visible after a crash).
         self.fan_out(&|s| !per_shard[s].is_empty(), &|s, st| {
@@ -556,6 +581,38 @@ impl ShardedBufferPool {
         self.commit_flush_us_sum.fetch_add(deltas.iter().sum(), Ordering::Relaxed);
         self.commit_flush_us_max
             .fetch_add(deltas.iter().copied().max().unwrap_or(0), Ordering::Relaxed);
+        if obs_on {
+            // The batch's simulated-time critical path: the slowest
+            // shard's flash-busy delta across both flush phases. Every
+            // member transaction experienced it, so each lands one
+            // histogram sample; the batch itself is one span.
+            let sample =
+                (0..n).map(|s| busy_us(s).saturating_sub(obs_before[s])).max().unwrap_or(0);
+            let members: Vec<TxnId> = {
+                let mut m: Vec<TxnId> = involved.iter().flatten().copied().collect();
+                m.sort_unstable();
+                m.dedup();
+                m
+            };
+            let (class, ctx) = if group {
+                (LatencyClass::CommitGroup, "group")
+            } else {
+                (LatencyClass::CommitSolo, "solo")
+            };
+            let mut rec = self.obs.lock().unwrap_or_else(|e| e.into_inner());
+            for _ in 0..members.len().max(1) {
+                rec.record(class, sample);
+            }
+            rec.push_span(pdl_obs::Span {
+                name: "commit",
+                ctx,
+                lane: 0,
+                start_us: obs_t0,
+                dur_us: sample,
+                block: members.len() as u64,
+                id: members.first().copied().unwrap_or(0),
+            });
+        }
         Ok(())
     }
 
@@ -570,6 +627,59 @@ impl ShardedBufferPool {
         out.commit_flush_us_sum = self.commit_flush_us_sum.load(Ordering::Relaxed);
         out.commit_flush_us_max = self.commit_flush_us_max.load(Ordering::Relaxed);
         out
+    }
+
+    // ------------------------------------------------------------------
+    // Observability exports
+    // ------------------------------------------------------------------
+
+    /// Whether observability recording is on for this pool (set by
+    /// `StoreOptions::obs` at store construction).
+    pub fn obs_enabled(&self) -> bool {
+        self.store.options().obs
+    }
+
+    /// Snapshot of the pool-level recorder: commit-latency histograms
+    /// (solo vs. group) and commit spans.
+    pub fn obs_pool_snapshot(&self) -> RecorderSnapshot {
+        self.obs.lock().unwrap_or_else(|e| e.into_inner()).snapshot()
+    }
+
+    /// Per-shard chip recorder snapshots, shard order: flash op-class
+    /// distributions and per-plane command spans.
+    pub fn obs_shard_snapshots(&self) -> Vec<RecorderSnapshot> {
+        let n = self.stripes.len();
+        (0..n).map(|s| self.store.with_shard(s, |st| st.chip().recorder().snapshot())).collect()
+    }
+
+    /// The pool's global distribution view: every shard chip's histograms
+    /// merged element-wise, plus the pool's commit-latency histograms.
+    pub fn obs_snapshot(&self) -> RecorderSnapshot {
+        let mut snaps = self.obs_shard_snapshots();
+        snaps.push(self.obs_pool_snapshot());
+        RecorderSnapshot::merged(&snaps)
+    }
+
+    /// Chrome trace-event JSON over everything recorded: one process row
+    /// per shard chip (threads = planes) plus the pool's commit lane.
+    pub fn obs_trace_json(&self) -> String {
+        let mut tracks: Vec<TraceTrack> = self
+            .obs_shard_snapshots()
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| TraceTrack {
+                name: format!("shard{i}"),
+                spans: s.spans,
+                dropped_spans: s.dropped_spans,
+            })
+            .collect();
+        let p = self.obs_pool_snapshot();
+        tracks.push(TraceTrack {
+            name: "pool".to_string(),
+            spans: p.spans,
+            dropped_spans: p.dropped_spans,
+        });
+        pdl_obs::chrome_trace(&tracks)
     }
 
     /// Aggregate flash statistics of the underlying chips.
@@ -692,6 +802,77 @@ mod tests {
         )
         .unwrap();
         ShardedBufferPool::new(store, capacity)
+    }
+
+    fn obs_pool(shards: usize, pages: u64, capacity: usize) -> ShardedBufferPool {
+        let store = ShardedStore::with_uniform_chips(
+            FlashConfig::tiny(),
+            shards,
+            MethodKind::Pdl { max_diff_size: 128 },
+            StoreOptions::new(pages).with_obs(true),
+        )
+        .unwrap();
+        ShardedBufferPool::new(store, capacity)
+    }
+
+    #[test]
+    fn obs_records_solo_and_group_commit_latency() {
+        let p = obs_pool(2, 16, 8);
+        assert!(p.obs_enabled());
+        // Solo commit: one writer, nobody to group with.
+        let t = p.begin();
+        p.with_page_mut_txn(0, t, |page| page.write(0, &[1])).unwrap();
+        p.commit(t).unwrap();
+        let snap = p.obs_pool_snapshot();
+        let solo = snap.hist(LatencyClass::CommitSolo);
+        assert_eq!(solo.count(), 1);
+        assert!(solo.sum_us() > 0, "a solo commit flushes flash time");
+        assert_eq!(snap.hist(LatencyClass::CommitGroup).count(), 0, "no group yet");
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "commit");
+        assert_eq!(snap.spans[0].ctx, "solo");
+
+        // The merged snapshot folds shard op histograms in with the
+        // pool's commit histograms, and the trace renders both tracks.
+        let merged = p.obs_snapshot();
+        assert!(merged.hist(LatencyClass::ProgramUser).count() > 0, "commit programmed pages");
+        assert!(merged.hist(LatencyClass::CommitSolo).count() > 0);
+        let trace = p.obs_trace_json();
+        assert!(trace.contains("\"pool\""));
+        assert!(trace.contains("\"shard0\""));
+
+        // Group-mode commits racing the gather window: whether or not any
+        // batch actually absorbs companions, every commit lands exactly
+        // one sample in solo or group.
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let p = &p;
+                scope.spawn(move || {
+                    let t = p.begin();
+                    p.with_page_mut_txn(8 + w, t, |page| page.write(0, &[7])).unwrap();
+                    p.commit(t).unwrap();
+                });
+            }
+        });
+        let snap = p.obs_pool_snapshot();
+        let total = snap.hist(LatencyClass::CommitSolo).count()
+            + snap.hist(LatencyClass::CommitGroup).count();
+        assert_eq!(total, 5, "the first solo commit plus one sample per racer");
+    }
+
+    #[test]
+    fn obs_disabled_records_nothing() {
+        let p = pool(2, 16, 8);
+        assert!(!p.obs_enabled());
+        let t = p.begin();
+        p.with_page_mut_txn(0, t, |page| page.write(0, &[1])).unwrap();
+        p.commit(t).unwrap();
+        let snap = p.obs_snapshot();
+        assert!(!snap.enabled);
+        assert_eq!(snap.spans.len(), 0);
+        for class in LatencyClass::ALL {
+            assert_eq!(snap.hist(class).count(), 0, "{}", class.name());
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@
 mod driver;
 mod measure;
 mod mutate;
+pub mod obs;
 mod readers;
 mod report;
 mod scale;

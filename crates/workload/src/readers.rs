@@ -116,6 +116,10 @@ pub struct SnapshotReadResult {
     /// Command-queue gauges of the run, aggregated over the shards
     /// (`max_inflight` is the run-level peak, not a delta).
     pub pipeline: pdl_flash::PipelineCounts,
+    /// Pool statistics sampled at the end of the run. `active_views` and
+    /// `leaked_pids` must both read 0 after a clean teardown — the
+    /// benches assert on them.
+    pub buffer: pdl_storage::BufferStats,
     pub wall: Duration,
 }
 
@@ -302,6 +306,7 @@ pub fn run_snapshot_read_workload(
         flash_us_max_shard: per_shard_us.iter().copied().max().unwrap_or(0),
         pipeline_us_max_shard,
         pipeline,
+        buffer: pool.stats(),
         wall: started.elapsed(),
     })
 }
@@ -432,6 +437,8 @@ mod tests {
         assert_eq!(r.torn_scans, 0, "a view must observe atomic commit prefixes");
         assert!(r.flash_us_max_shard > 0);
         assert!(r.flash_us_total >= r.flash_us_max_shard);
+        assert_eq!(r.buffer.active_views, 0, "every view must be released");
+        assert_eq!(r.buffer.leaked_pids, 0);
     }
 
     #[test]

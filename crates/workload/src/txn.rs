@@ -55,6 +55,10 @@ pub struct TxnCommitResult {
     pub writes: u64,
     /// Simulated flash time consumed by the run (µs).
     pub flash_us: u64,
+    /// Pool statistics sampled at the end of the run. `leaked_pids` and
+    /// `active_views` must both read 0 after a clean run — a nonzero
+    /// value is a leak, and the benches assert on it.
+    pub buffer: pdl_storage::BufferStats,
     pub wall: Duration,
 }
 
@@ -129,6 +133,7 @@ pub fn run_txn_commit_workload(
         committed,
         writes: delta.writes,
         flash_us: delta.total_us(),
+        buffer: pool.stats(),
         wall: started.elapsed(),
     })
 }
@@ -163,6 +168,8 @@ mod tests {
         assert_eq!(r.committed, 20);
         assert!(r.writes > 0);
         assert!(r.bound_tps() > 0.0);
+        assert_eq!(r.buffer.leaked_pids, 0, "no pids may strand in a clean run");
+        assert_eq!(r.buffer.active_views, 0, "no views may outlive the run");
     }
 
     #[test]
