@@ -91,10 +91,10 @@ fn bench_btree(c: &mut Criterion) {
     g.sample_size(20);
     let chip = FlashChip::new(FlashConfig::scaled(64));
     let store = build_store(chip, MethodKind::Opu, StoreOptions::new(1000)).unwrap();
-    let mut db = Database::new(store, 256);
-    let mut tree = BTree::create(&mut db).unwrap();
+    let db = Database::new(store, 256);
+    let tree = BTree::create(&db).unwrap();
     for v in 0..5_000u64 {
-        tree.insert(&mut db, &KeyBuf::new().push_u64(v * 7 % 5_000).finish(), v).unwrap();
+        tree.insert(&db, &KeyBuf::new().push_u64(v * 7 % 5_000).finish(), v).unwrap();
     }
     let mut i = 0u64;
     g.bench_function("get_hot", |b| {
@@ -110,8 +110,8 @@ fn bench_btree(c: &mut Criterion) {
         b.iter(|| {
             next += 1;
             let key = KeyBuf::new().push_u64(10_000 + next % 1_000).finish();
-            tree.insert(&mut db, &key, next).unwrap();
-            tree.delete(&mut db, &key).unwrap()
+            tree.insert(&db, &key, next).unwrap();
+            tree.delete(&db, &key).unwrap()
         })
     });
     g.finish();

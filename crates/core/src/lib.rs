@@ -47,7 +47,9 @@ pub use ftl::GcPolicy;
 pub use ipl::Ipl;
 pub use ipu::Ipu;
 pub use opu::Opu;
-pub use page_store::{ChangeRange, MethodKind, PageStore, StoreOptions};
+pub use page_store::{
+    ChangeRange, MethodKind, PageStore, StoreOptions, StructRootEntry, StructRootsSnapshot,
+};
 pub use pdl::Pdl;
 pub use shard::{shard_pages, ShardedStore};
 

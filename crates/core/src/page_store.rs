@@ -274,6 +274,51 @@ impl StoreOptions {
     }
 }
 
+/// One registered structure's durable root, as persisted in the PDL
+/// checkpoint root region. `kind` distinguishes the handle family the
+/// storage layer rebuilds from it: 0 = B+-tree (a single root pid),
+/// 1 = heap file (the ordered page list).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StructRootEntry {
+    pub id: u64,
+    pub kind: u8,
+    pub pids: Vec<u64>,
+}
+
+impl StructRootEntry {
+    pub const KIND_BTREE: u8 = 0;
+    pub const KIND_HEAP: u8 = 1;
+}
+
+/// A point-in-time snapshot of every registered structure root plus the
+/// page-allocator high-water mark, staged into the commit batch that
+/// created it. Records are full snapshots (not deltas), so recovery only
+/// needs the newest committed one.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StructRootsSnapshot {
+    /// Page-allocator high-water mark at commit time: every pid
+    /// referenced by `entries` is below it, so a rebuilt allocator can
+    /// resume from here without re-walking the structures.
+    pub next_pid: u64,
+    pub entries: Vec<StructRootEntry>,
+}
+
+impl StructRootsSnapshot {
+    /// Exact byte length of the durable record encoding this snapshot
+    /// (header + entries + trailing checksum); see
+    /// `pdl::checkpoint::encode_root_record`.
+    pub fn encoded_len(&self) -> usize {
+        // magic u32 + total_len u32 + version u16 + pad u16 + txn u64 +
+        // next_pid u64 + count u32 = 32 bytes of header.
+        let mut len = 32usize;
+        for e in &self.entries {
+            // id u64 + kind u8 + pad [u8;3] + npids u32 + pids.
+            len += 16 + 8 * e.pids.len();
+        }
+        len + 8 // trailing fnv1a64 checksum
+    }
+}
+
 /// A page-update method: stores logical pages into flash memory.
 ///
 /// The trait is object-safe and `Send`, so `Box<dyn PageStore>` can move
@@ -469,6 +514,43 @@ pub trait PageStore: Send {
     /// [`CoreError::BadConfig`].
     fn checkpoint(&mut self) -> Result<()> {
         Err(CoreError::BadConfig(format!("{} does not support checkpointing", self.name())))
+    }
+
+    /// Stage a durable structure-root record on behalf of `txn`, inside
+    /// an open commit batch (between the page stages and the commit
+    /// record). The record becomes authoritative exactly when `txn`'s
+    /// commit record does — a crash before it rolls both back together.
+    /// PDL with a configured checkpoint root region programs the record
+    /// into the region's live-half tail; everything else (and PDL without
+    /// a root region) accepts and discards it, leaving roots
+    /// memory-resident only.
+    fn txn_stage_struct_roots(&mut self, roots: &StructRootsSnapshot, txn: u64) -> Result<()> {
+        let _ = (roots, txn);
+        Ok(())
+    }
+
+    /// The newest committed structure-root snapshot this store knows
+    /// about — after recovery, the one resolved from the checkpoint
+    /// region ([§4.5]'s mapping-table recovery extended to DBMS roots).
+    /// `None` when the store does not persist roots.
+    fn struct_roots(&self) -> Option<StructRootsSnapshot> {
+        None
+    }
+
+    /// Free bytes remaining in the structure-root log before the next
+    /// checkpoint must compact it (u64::MAX when the store does not
+    /// persist roots, so callers never trigger a checkpoint for it).
+    fn struct_root_log_space(&self) -> u64 {
+        u64::MAX
+    }
+
+    /// Busy time (µs of simulated flash pipeline) accumulated per shard
+    /// since the last stats reset, index = shard. Single-chip stores
+    /// report one entry; the sharded store reports each chip's own
+    /// pipeline clock, whose maximum is the critical-path bound the
+    /// `struct_writers` bench gates on.
+    fn per_shard_busy_us(&self) -> Vec<u64> {
+        vec![self.pipeline_busy_us()]
     }
 }
 

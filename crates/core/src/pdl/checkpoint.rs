@@ -39,16 +39,25 @@ use super::{Pdl, PpmtEntry, NONE};
 use crate::diff::NO_TXN;
 use crate::error::CoreError;
 use crate::ftl::make_spare;
-use crate::page_store::StoreOptions;
+use crate::page_store::{StoreOptions, StructRootEntry, StructRootsSnapshot};
 use crate::Result;
 use pdl_flash::{BlockId, FlashChip, OpContext, PageKind, Ppn, SpareInfo};
 use std::collections::HashSet;
 
 const PAYLOAD_MAGIC: u32 = 0x504C_4B31; // "PLK1"
 const HEADER_MAGIC: u32 = 0x504C_4831; // "PLH1"
-const VERSION: u16 = 2;
+/// Codec v3 appends the registered structure-root snapshot to the
+/// payload; v2 checkpoints (no roots section) still load, with an empty
+/// snapshot — the delta loader accepts both.
+const VERSION: u16 = 3;
+const MIN_VERSION: u16 = 2;
 /// Fixed-size header record at the start of the header page's data area.
 const HEADER_LEN: usize = 4 + 2 + 2 + 8 + 8 + 4 + 4 + 8 + 4;
+
+/// Structure-root records programmed into the live half's tail (after
+/// the header page) between checkpoints; see [`encode_root_record`].
+const ROOT_MAGIC: u32 = 0x504C_5231; // "PLR1"
+const ROOT_VERSION: u16 = 1;
 
 /// 64-bit FNV-1a over a byte slice (block fingerprints, payload checksum).
 fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -94,6 +103,9 @@ fn encode_identity(out: &mut [u8], info: Option<SpareInfo>) {
 struct Stream(Vec<u8>);
 
 impl Stream {
+    fn push_u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
     fn push_u16(&mut self, v: u16) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
@@ -111,6 +123,12 @@ struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
+    fn skip(&mut self, n: usize) -> Result<()> {
+        self.take(n).map(|_| ())
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.at + n > self.bytes.len() {
             return Err(CoreError::Corruption("checkpoint stream truncated".into()));
@@ -128,6 +146,254 @@ impl<'a> Cursor<'a> {
     fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
+}
+
+/// Serialise a structure-root snapshot (shared by the v3 payload section
+/// and the tail records): next_pid u64, count u32, then per entry
+/// id u64, kind u8, pad [u8;3], npids u32, pids u64...
+fn push_roots(s: &mut Stream, roots: &StructRootsSnapshot) {
+    s.push_u64(roots.next_pid);
+    s.push_u32(roots.entries.len() as u32);
+    for e in &roots.entries {
+        s.push_u64(e.id);
+        s.push_u8(e.kind);
+        s.push_u8(0);
+        s.push_u8(0);
+        s.push_u8(0);
+        s.push_u32(e.pids.len() as u32);
+        for p in &e.pids {
+            s.push_u64(*p);
+        }
+    }
+}
+
+fn parse_roots(c: &mut Cursor) -> Result<StructRootsSnapshot> {
+    let next_pid = c.u64()?;
+    let count = c.u32()? as usize;
+    let mut entries = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let id = c.u64()?;
+        let kind = c.u8()?;
+        c.skip(3)?;
+        let npids = c.u32()? as usize;
+        let mut pids = Vec::with_capacity(npids.min(4096));
+        for _ in 0..npids {
+            pids.push(c.u64()?);
+        }
+        entries.push(StructRootEntry { id, kind, pids });
+    }
+    Ok(StructRootsSnapshot { next_pid, entries })
+}
+
+/// Encode one durable structure-root record, staged into `txn`'s commit
+/// batch and programmed into the live half's tail. The record is a full
+/// snapshot (not a delta) guarded by a trailing FNV-1a checksum, so the
+/// tail scan only needs the newest committed one and a torn trailer is
+/// detected and skipped. The length matches
+/// [`StructRootsSnapshot::encoded_len`].
+pub(crate) fn encode_root_record(roots: &StructRootsSnapshot, txn: u64) -> Vec<u8> {
+    let total = roots.encoded_len();
+    let mut s = Stream(Vec::with_capacity(total));
+    s.push_u32(ROOT_MAGIC);
+    s.push_u32(total as u32);
+    s.push_u16(ROOT_VERSION);
+    s.push_u16(0);
+    s.push_u64(txn);
+    push_roots(&mut s, roots);
+    let csum = fnv1a64(&s.0);
+    s.push_u64(csum);
+    debug_assert_eq!(s.0.len(), total, "root record length must match encoded_len");
+    s.0
+}
+
+/// Decode a root record previously written by [`encode_root_record`].
+/// `bytes` must cover the whole record; returns `None` for anything torn
+/// or foreign (bad magic / version / checksum).
+fn decode_root_record(bytes: &[u8]) -> Option<(u64, StructRootsSnapshot)> {
+    if bytes.len() < 32 + 8 {
+        return None;
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let want = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    if fnv1a64(body) != want {
+        return None;
+    }
+    let mut c = Cursor { bytes: body, at: 0 };
+    if c.u32().ok()? != ROOT_MAGIC || c.u32().ok()? as usize != bytes.len() {
+        return None;
+    }
+    if c.u16().ok()? != ROOT_VERSION {
+        return None;
+    }
+    let _pad = c.u16().ok()?;
+    let txn = c.u64().ok()?;
+    let roots = parse_roots(&mut c).ok()?;
+    Some((txn, roots))
+}
+
+/// The structure-root log state resolved at recovery: the authoritative
+/// snapshot, where the live-half tail resumes, and which transaction's
+/// record is currently authoritative (so its commit record stays
+/// retained until the next checkpoint compacts the log).
+pub(crate) struct RootLogState {
+    pub seq: u64,
+    pub live_half: Option<u8>,
+    /// Next free ppn for tail records in the live half.
+    pub tail: u32,
+    /// Exclusive end of the live half (the log is full at `tail ==
+    /// tail_end`).
+    pub tail_end: u32,
+    /// Records were written into half 0 before any checkpoint committed,
+    /// so the first checkpoint must target half 1.
+    pub tail_used: bool,
+    pub roots: StructRootsSnapshot,
+    /// The transaction whose tail record is authoritative (`None` when
+    /// the roots come from the checkpoint payload baseline).
+    pub live_txn: Option<u64>,
+}
+
+/// Resolve the durable structure roots and tail position from the
+/// checkpoint root region: baseline from the newest committed checkpoint
+/// payload (empty for v2), overridden by the newest *committed* tail
+/// record. `is_committed` decides record eligibility from the recovery
+/// tables (commit record present, not torn). Read-only, so running it
+/// twice — a second recovery — resolves identically.
+pub(crate) fn load_root_state(
+    chip: &mut FlashChip,
+    opts: &StoreOptions,
+    is_committed: &dyn Fn(u64) -> bool,
+) -> Result<RootLogState> {
+    let g = chip.geometry();
+    let half_blocks = opts.checkpoint_blocks / 2;
+    let header = find_latest_header(chip, opts)?;
+
+    let (seq, live_half, start, tail_end, mut roots) = match &header {
+        Some(h) => {
+            let half = if h.base_ppn / g.pages_per_block < half_blocks { 0u8 } else { 1 };
+            let end = (half as u32 + 1) * half_blocks * g.pages_per_block;
+            let baseline = load_payload_roots(chip, opts, h)?.unwrap_or_default();
+            (h.seq, Some(half), h.base_ppn + h.payload_pages + 1, end, baseline)
+        }
+        None => (0, None, 0, half_blocks * g.pages_per_block, StructRootsSnapshot::default()),
+    };
+
+    // Scan the tail: records fill sequentially, so the newest committed
+    // one wins and the first free page (or torn trailer) ends the log.
+    let mut at = start;
+    let mut live_txn = None;
+    let mut img = vec![0u8; g.data_size];
+    while at < tail_end {
+        match chip.read_spare(Ppn(at))? {
+            Some(info) if info.kind != PageKind::Free => {}
+            _ => break,
+        }
+        let rec = read_root_record(chip, at, tail_end, &mut img)?;
+        let Some((npages, txn, snap)) = rec else {
+            // Torn trailer: probe past the programmed garbage so new
+            // records never land on half-written pages.
+            while at < tail_end {
+                match chip.read_spare(Ppn(at))? {
+                    Some(info) if info.kind != PageKind::Free => at += 1,
+                    _ => break,
+                }
+            }
+            break;
+        };
+        if is_committed(txn) {
+            roots = snap;
+            live_txn = Some(txn);
+        }
+        at += npages;
+    }
+
+    Ok(RootLogState {
+        seq,
+        live_half,
+        tail: at,
+        tail_end,
+        tail_used: live_half.is_none() && at > start,
+        roots,
+        live_txn,
+    })
+}
+
+/// Read one root record starting at `at`; `Ok(None)` means the bytes
+/// there are torn or foreign. Returns the record's page count so the
+/// caller can advance the scan.
+fn read_root_record(
+    chip: &mut FlashChip,
+    at: u32,
+    end: u32,
+    img: &mut [u8],
+) -> Result<Option<(u32, u64, StructRootsSnapshot)>> {
+    let data_size = img.len();
+    if chip.read_data(Ppn(at), img).is_err() {
+        return Ok(None); // rotten first page: torn record
+    }
+    let magic = u32::from_le_bytes(img[0..4].try_into().unwrap());
+    let total = u32::from_le_bytes(img[4..8].try_into().unwrap()) as usize;
+    if magic != ROOT_MAGIC || total < 40 || total > (end - at) as usize * data_size {
+        return Ok(None);
+    }
+    let npages = total.div_ceil(data_size) as u32;
+    let mut bytes = Vec::with_capacity(npages as usize * data_size);
+    bytes.extend_from_slice(img);
+    for i in 1..npages {
+        if chip.read_data(Ppn(at + i), img).is_err() {
+            return Ok(None);
+        }
+        bytes.extend_from_slice(img);
+    }
+    bytes.truncate(total);
+    Ok(decode_root_record(&bytes).map(|(txn, snap)| (npages, txn, snap)))
+}
+
+/// Parse just the roots section out of a committed checkpoint payload
+/// (`None` for v2 payloads or when the payload fails verification —
+/// callers fall back to an empty baseline).
+fn load_payload_roots(
+    chip: &mut FlashChip,
+    opts: &StoreOptions,
+    header: &Header,
+) -> Result<Option<StructRootsSnapshot>> {
+    let g = chip.geometry();
+    let mut payload = Vec::with_capacity(header.payload_len as usize);
+    let mut img = vec![0u8; g.data_size];
+    for i in 0..header.payload_pages {
+        if chip.read_data(Ppn(header.base_ppn + i), &mut img).is_err() {
+            return Ok(None);
+        }
+        payload.extend_from_slice(&img);
+    }
+    payload.truncate(header.payload_len as usize);
+    if payload.len() != header.payload_len as usize || (fnv1a64(&payload) as u32) != header.csum {
+        return Ok(None);
+    }
+    let nl = opts.num_logical_pages as usize;
+    let k = opts.frames_per_page as usize;
+    let mut c = Cursor { bytes: &payload, at: 0 };
+    if c.u32()? != PAYLOAD_MAGIC {
+        return Ok(None);
+    }
+    let version = c.u16()?;
+    if version < 3 {
+        return Ok(None); // v2: no roots section
+    }
+    // Skip the mapping-table sections (fixed arithmetic given the dims).
+    c.skip(2 + 8 + 4 + 4)?; // k, nl, blocks, pages (already validated by the loader)
+    let blocks = g.num_blocks as usize;
+    c.skip(nl * (k + 1) * 4)?; // ppmt
+    c.skip(nl * k * 8)?; // frame_ts
+    c.skip(nl * 8)?; // diff_ts
+    c.skip(g.num_pages() as usize * 2)?; // vdct
+    c.skip(blocks * 4)?; // written
+    c.skip(blocks * 4)?; // obsolete
+    c.skip(nl * 8)?; // diff_txn
+    c.skip(nl * k * 8)?; // base_txn
+    let n_locs = c.u32()? as usize;
+    c.skip(n_locs * 12)?;
+    c.skip(blocks * 8)?; // fingerprints
+    Ok(Some(parse_roots(&mut c)?))
 }
 
 impl Pdl {
@@ -220,14 +486,22 @@ impl Pdl {
             };
             s.push_u64(fp);
         }
+        // Codec v3: the registered structure roots ride in the payload,
+        // compacting the tail records accumulated since the last
+        // checkpoint into the baseline.
+        push_roots(&mut s, &self.struct_roots);
         let payload = s.0;
         let csum = fnv1a64(&payload);
 
-        // Pick the idle half and erase it.
+        // Pick the idle half and erase it. Before the first checkpoint
+        // the structure-root log grows from page 0 of half 0, so the
+        // first checkpoint must land in half 1 to keep those records
+        // intact until the header page commits their replacement.
         let half_blocks = r / 2;
         let target_half: u8 = match self.ckpt_live_half {
             Some(0) => 1,
-            _ => 0,
+            Some(_) => 0,
+            None => u8::from(self.root_tail_used),
         };
         let first_block = target_half as u32 * half_blocks;
         let half_pages = half_blocks * g.pages_per_block;
@@ -274,24 +548,19 @@ impl Pdl {
 
         self.ckpt_seq = seq;
         self.ckpt_live_half = Some(target_half);
+        // The structure-root log restarts after the new header; the tail
+        // record retaining the previous root-publishing transaction is
+        // superseded by the payload baseline, so its commit-record pin
+        // can drop. (Decremented only now that the header is durable: a
+        // crash anywhere above leaves the old half — and that pin —
+        // authoritative.)
+        self.root_tail = base_ppn + payload_pages + 1;
+        self.root_tail_end = (target_half as u32 + 1) * half_blocks * g.pages_per_block;
+        self.root_tail_used = false;
+        if let Some(t) = self.live_root_txn.take() {
+            self.presence_dec(t, None)?;
+        }
         self.counters.checkpoints += 1;
-        Ok(())
-    }
-
-    /// Discover the live checkpoint half/sequence after recovery so the
-    /// next [`Pdl::checkpoint`] alternates correctly.
-    pub(crate) fn init_checkpoint_state(&mut self) -> Result<()> {
-        let (seq, half) = match find_latest_header(&mut self.chip, &self.opts)? {
-            Some(h) => {
-                let half_blocks = self.opts.checkpoint_blocks / 2;
-                let g = self.chip.geometry();
-                let half = if h.base_ppn / g.pages_per_block < half_blocks { 0u8 } else { 1 };
-                (h.seq, Some(half))
-            }
-            None => (0, None),
-        };
-        self.ckpt_seq = seq;
-        self.ckpt_live_half = half;
         Ok(())
     }
 }
@@ -331,7 +600,7 @@ fn find_latest_header(chip: &mut FlashChip, opts: &StoreOptions) -> Result<Optio
     let mut img = vec![0u8; g.data_size];
     chip.read_data(ppn, &mut img)?;
     let mut c = Cursor { bytes: &img, at: 0 };
-    if c.u32()? != HEADER_MAGIC || c.u16()? != VERSION {
+    if c.u32()? != HEADER_MAGIC || !(MIN_VERSION..=VERSION).contains(&c.u16()?) {
         return Ok(None);
     }
     let _pad = c.u16()?;
@@ -500,8 +769,10 @@ fn load_checkpoint_delta(
     let nl = opts.num_logical_pages as usize;
     let k = opts.frames_per_page as usize;
     let mut c = Cursor { bytes: &payload, at: 0 };
+    // v2 payloads simply end after the fingerprints (no roots section);
+    // the cursor never reads past what each version wrote.
     if c.u32()? != PAYLOAD_MAGIC
-        || c.u16()? != VERSION
+        || !(MIN_VERSION..=VERSION).contains(&c.u16()?)
         || c.u16()? as usize != k
         || c.u64()? as usize != nl
         || c.u32()? != g.num_blocks

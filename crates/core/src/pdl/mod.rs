@@ -60,7 +60,7 @@ use crate::ftl::{
     make_spare, make_spare_preserving, make_spare_txn, mark_obsolete_lenient, AllocOutcome,
     AllocStream, BlockManager, GcPolicy, HeatTable,
 };
-use crate::page_store::{ChangeRange, MethodKind, PageStore, StoreOptions};
+use crate::page_store::{ChangeRange, MethodKind, PageStore, StoreOptions, StructRootsSnapshot};
 use crate::Result;
 use dwb::{DiffWriteBuffer, DwbEntry};
 use pdl_flash::{FlashChip, OpContext, PageKind, Ppn, SpareInfo};
@@ -142,6 +142,25 @@ pub struct Pdl {
     /// sequence number and which root half holds it.
     ckpt_seq: u64,
     ckpt_live_half: Option<u8>,
+    // --- durable structure roots (checkpoint root-region tail log) ----
+    /// Newest *committed* structure-root snapshot (what
+    /// `PageStore::struct_roots` reports and the next checkpoint
+    /// compacts into its payload baseline).
+    struct_roots: StructRootsSnapshot,
+    /// Root record staged in the open commit batch, promoted to
+    /// `struct_roots` at finalize (i.e. once its commit record is
+    /// durable); discarded if the batch never finalizes.
+    pending_roots: Option<(u64, StructRootsSnapshot)>,
+    /// Transaction whose tail record is authoritative: its commit record
+    /// is pinned (one presence ref) until a checkpoint compacts the log.
+    live_root_txn: Option<u64>,
+    /// Next free ppn for tail records in the live half, and the
+    /// exclusive end of that half.
+    root_tail: u32,
+    root_tail_end: u32,
+    /// Records were written into half 0 before any checkpoint existed
+    /// (forces the first checkpoint into half 1).
+    root_tail_used: bool,
     // --- pdl-txn state ---------------------------------------------------
     /// Transaction of each logical page's current durable differential
     /// ([`NO_TXN`] when untagged or absent).
@@ -233,6 +252,16 @@ impl Pdl {
             in_gc: false,
             ckpt_seq: 0,
             ckpt_live_half: None,
+            struct_roots: StructRootsSnapshot::default(),
+            pending_roots: None,
+            live_root_txn: None,
+            root_tail: 0,
+            root_tail_end: if opts.checkpoint_blocks >= 2 {
+                (opts.checkpoint_blocks / 2) * g.pages_per_block
+            } else {
+                0
+            },
+            root_tail_used: false,
             diff_txn: vec![NO_TXN; nl],
             base_txn: vec![NO_TXN; nl * k],
             presence: HashMap::new(),
@@ -1174,6 +1203,57 @@ impl PageStore for Pdl {
         Pdl::checkpoint(self)
     }
 
+    fn txn_stage_struct_roots(&mut self, roots: &StructRootsSnapshot, txn: u64) -> Result<()> {
+        if self.opts.checkpoint_blocks < 2 {
+            return Ok(()); // no root region: roots stay memory-resident
+        }
+        debug_assert!(self.in_txn_batch, "root staging outside a reserve..finalize batch");
+        let record = checkpoint::encode_root_record(roots, txn);
+        let g = self.chip.geometry();
+        let npages = record.len().div_ceil(g.data_size) as u32;
+        if self.root_tail + npages > self.root_tail_end {
+            return Err(CoreError::StorageFull);
+        }
+        // A pending record from a batch that aborted mid-protocol left a
+        // presence ref behind; replace it before taking our own.
+        if let Some((orphan, _)) = self.pending_roots.take() {
+            self.presence_dec(orphan, None)?;
+        }
+        // The record is programmed now but becomes authoritative only if
+        // `txn`'s commit record lands: recovery's tail scan skips records
+        // of torn transactions, so the crash-atomicity of the roots is
+        // exactly the batch's.
+        let ts = self.ts.saturating_sub(1);
+        let mut img = vec![0xFFu8; g.data_size];
+        for (i, chunk) in record.chunks(g.data_size).enumerate() {
+            img.fill(0xFF);
+            img[..chunk.len()].copy_from_slice(chunk);
+            let spare = make_spare(g.spare_size, PageKind::Checkpoint, txn, ts, &img);
+            self.chip.program_page(Ppn(self.root_tail + i as u32), &img, &spare)?;
+        }
+        self.root_tail += npages;
+        if self.ckpt_live_half.is_none() {
+            self.root_tail_used = true;
+        }
+        self.presence_inc(txn);
+        self.pending_roots = Some((txn, roots.clone()));
+        Ok(())
+    }
+
+    fn struct_roots(&self) -> Option<StructRootsSnapshot> {
+        if self.opts.checkpoint_blocks < 2 {
+            return None;
+        }
+        Some(self.struct_roots.clone())
+    }
+
+    fn struct_root_log_space(&self) -> u64 {
+        if self.opts.checkpoint_blocks < 2 {
+            return u64::MAX;
+        }
+        (self.root_tail_end - self.root_tail) as u64 * self.chip.geometry().data_size as u64
+    }
+
     fn txn_finalize(&mut self) -> Result<()> {
         if !self.dwb.is_empty() {
             self.ensure_capacity(1)?;
@@ -1185,6 +1265,15 @@ impl PageStore for Pdl {
         for ppn in std::mem::take(&mut self.deferred) {
             mark_obsolete_lenient(&mut self.chip, ppn)?;
             self.counters.deferred_marks += 1;
+        }
+        // The batch's root record is committed along with it: promote it
+        // to the authoritative snapshot and drop the pin on the previous
+        // root-publishing transaction's commit record.
+        if let Some((txn, snap)) = self.pending_roots.take() {
+            self.struct_roots = snap;
+            if let Some(old) = self.live_root_txn.replace(txn) {
+                self.presence_dec(old, None)?;
+            }
         }
         self.batch_pins.clear();
         self.in_txn_batch = false;

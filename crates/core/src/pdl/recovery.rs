@@ -302,6 +302,11 @@ pub(crate) struct RecoveryTables {
     /// a crash mid-GC-migration: live ppn -> surviving twin. Seed for the
     /// running store's single-page repair registry.
     pub twins: HashMap<u32, u32>,
+    /// Transaction whose structure-root tail record won the root-region
+    /// scan: its commit record takes one extra presence ref in
+    /// [`RecoveryTables::finish`] so the record outlives tag shedding
+    /// until the next checkpoint compacts the root log.
+    pub root_ref: Option<u64>,
     verify_checksums: bool,
     frames_per_page: usize,
 }
@@ -333,6 +338,7 @@ impl RecoveryTables {
             corrupt_diffs: Vec::new(),
             poisoned: HashMap::new(),
             twins: HashMap::new(),
+            root_ref: None,
             verify_checksums: opts.verify_checksums,
             frames_per_page: k,
         }
@@ -546,6 +552,13 @@ impl RecoveryTables {
                 *presence.entry(*t).or_insert(0) += 1;
             }
         }
+        // The authoritative structure-root tail record pins its
+        // transaction's commit record exactly like a live tag would —
+        // added here, before record resolution, so the retention logic
+        // below covers it and the pending-dead sweep never obsoletes it.
+        if let Some(t) = self.root_ref {
+            *presence.entry(t).or_insert(0) += 1;
+        }
         // One live record copy per referenced transaction (the lowest
         // surviving physical page, deterministically, so repeated
         // recoveries agree). The checkpoint fast path pre-counts loaded
@@ -663,6 +676,23 @@ impl Pdl {
         mut tables: RecoveryTables,
     ) -> Result<Pdl> {
         let g = chip.geometry();
+        // Resolve the durable structure roots first: the winning tail
+        // record's transaction must be noted before `finish` runs so its
+        // commit record is retained (and never swept) by the normal
+        // presence machinery.
+        let root_state = if opts.checkpoint_blocks >= 2 {
+            chip.set_context(OpContext::Recovery);
+            let rs = super::checkpoint::load_root_state(&mut chip, &opts, &|t| {
+                (tables.commit_locs.contains_key(&t) || tables.commit_cands.contains_key(&t))
+                    && !tables.uncommitted.contains(&t)
+            });
+            chip.set_context(OpContext::User);
+            let rs = rs?;
+            tables.root_ref = rs.live_txn;
+            Some(rs)
+        } else {
+            None
+        };
         let presence = {
             chip.set_context(OpContext::Recovery);
             let t0 = chip.sim_now_us();
@@ -694,7 +724,14 @@ impl Pdl {
             }
         }
         let committed = tables.commit_locs.keys().copied().collect();
-        let mut pdl = Pdl {
+        let (ckpt_seq, ckpt_live_half, struct_roots, live_root_txn, root_tail, root_tail_end) =
+            match &root_state {
+                Some(rs) => {
+                    (rs.seq, rs.live_half, rs.roots.clone(), rs.live_txn, rs.tail, rs.tail_end)
+                }
+                None => (0, None, Default::default(), None, 0, 0),
+            };
+        let pdl = Pdl {
             opts,
             max_diff_size,
             ppmt: tables.ppmt,
@@ -704,8 +741,14 @@ impl Pdl {
             heat: crate::ftl::HeatTable::new(opts.num_logical_pages),
             ts: tables.max_ts + 1,
             in_gc: false,
-            ckpt_seq: 0,
-            ckpt_live_half: None,
+            ckpt_seq,
+            ckpt_live_half,
+            struct_roots,
+            pending_roots: None,
+            live_root_txn,
+            root_tail,
+            root_tail_end,
+            root_tail_used: root_state.as_ref().map(|rs| rs.tail_used).unwrap_or(false),
             diff_txn: tables.diff_txn,
             base_txn: tables.base_txn,
             presence,
@@ -723,9 +766,6 @@ impl Pdl {
             counters: PdlCounters::default(),
             chip,
         };
-        if opts.checkpoint_blocks > 0 {
-            pdl.init_checkpoint_state()?;
-        }
         Ok(pdl)
     }
 }

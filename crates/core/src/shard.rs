@@ -521,6 +521,34 @@ impl PageStore for ShardedStore {
         (0..self.shards.len()).map(|s| self.lock_shard(s).txn_id_floor()).max().unwrap_or(1)
     }
 
+    fn txn_stage_struct_roots(
+        &mut self,
+        roots: &crate::page_store::StructRootsSnapshot,
+        txn: u64,
+    ) -> Result<()> {
+        // Structure roots live on shard 0's root region. Marking shard 0
+        // staged guarantees it also gets a commit record, so the winner
+        // check at recovery can prove the record's transaction committed
+        // from shard 0's own tables (the torn verdict is already global).
+        self.txn_staged_shards.get_mut().unwrap_or_else(|e| e.into_inner()).insert(0);
+        self.shards[0]
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .txn_stage_struct_roots(roots, txn)
+    }
+
+    fn struct_roots(&self) -> Option<crate::page_store::StructRootsSnapshot> {
+        self.lock_shard(0).struct_roots()
+    }
+
+    fn struct_root_log_space(&self) -> u64 {
+        self.lock_shard(0).struct_root_log_space()
+    }
+
+    fn per_shard_busy_us(&self) -> Vec<u64> {
+        self.per_shard_pipeline_us()
+    }
+
     fn checkpoint(&mut self) -> Result<()> {
         for shard in &mut self.shards {
             shard.get_mut().unwrap_or_else(|e| e.into_inner()).checkpoint()?;

@@ -238,7 +238,7 @@ proptest! {
         ] {
             let chip = FlashChip::new(FlashConfig::tiny());
             let store = build_store(chip, kind, StoreOptions::new(PAGES)).unwrap();
-            let mut db = Database::new(store, 6);
+            let db = Database::new(store, 6);
             for _ in 0..PAGES {
                 db.alloc_page().unwrap();
             }
@@ -437,7 +437,7 @@ proptest! {
                 ShardedStore::with_uniform_chips(config, n, kind, opts).unwrap();
             let mut db = Database::new(Box::new(store), 128)
                 .with_durability(Durability::Commit);
-            let mut tree = BTree::create(&mut db).unwrap();
+            let mut tree = BTree::create(&db).unwrap();
             let mut heap = HeapFile::create(&db);
             // The creations above auto-committed in memory; write them
             // through so a crash before the first commit still recovers
@@ -449,10 +449,10 @@ proptest! {
             db.begin().unwrap();
             for j in 0..8u16 {
                 let key = tree_key(j, 99, j as usize);
-                tree.insert(&mut db, &key, j as u64).unwrap();
+                tree.insert(&db, &key, j as u64).unwrap();
                 tree_model.insert(key, j as u64);
                 let rec = heap_rec(j, 99, j as usize);
-                let rid = heap.insert(&mut db, &rec).unwrap();
+                let rid = heap.insert(&db, &rec).unwrap();
                 heap_model.insert((rid.pid, rid.slot), rec);
             }
             db.commit().unwrap();
@@ -507,10 +507,10 @@ proptest! {
                 for (j, k) in keys.iter().enumerate() {
                     let key = tree_key(*k, i, j);
                     let val = (i * 1000 + j) as u64;
-                    tree.insert(&mut db, &key, val).unwrap();
+                    tree.insert(&db, &key, val).unwrap();
                     tree_staged.insert(key, val);
                     let rec = heap_rec(*k, i, j);
-                    let rid = heap.insert(&mut db, &rec).unwrap();
+                    let rid = heap.insert(&db, &rec).unwrap();
                     heap_staged.insert((rid.pid, rid.slot), rec);
                 }
                 if *commit {

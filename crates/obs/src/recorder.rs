@@ -71,10 +71,14 @@ pub enum LatencyClass {
     RecoveryPhase,
     /// Single-page repair detour on the read path.
     RepairDetour,
+    /// Host-clock wait for a contended per-page latch during a
+    /// structural (B+-tree / heap) mutation. Uncontended acquires record
+    /// nothing, so the distribution is the *contention* profile.
+    LatchWait,
 }
 
 impl LatencyClass {
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 15;
 
     pub const ALL: [LatencyClass; LatencyClass::COUNT] = [
         LatencyClass::ReadUser,
@@ -91,6 +95,7 @@ impl LatencyClass {
         LatencyClass::GcPause,
         LatencyClass::RecoveryPhase,
         LatencyClass::RepairDetour,
+        LatencyClass::LatchWait,
     ];
 
     pub fn index(self) -> usize {
@@ -109,6 +114,7 @@ impl LatencyClass {
             LatencyClass::GcPause => 11,
             LatencyClass::RecoveryPhase => 12,
             LatencyClass::RepairDetour => 13,
+            LatencyClass::LatchWait => 14,
         }
     }
 
@@ -129,6 +135,7 @@ impl LatencyClass {
             LatencyClass::GcPause => "gc_pause",
             LatencyClass::RecoveryPhase => "recovery_phase",
             LatencyClass::RepairDetour => "repair_detour",
+            LatencyClass::LatchWait => "latch_wait",
         }
     }
 

@@ -18,12 +18,41 @@
 //! Deletion is lazy (no rebalancing/merging); underfull pages are absorbed
 //! by future inserts. This matches the benchmark workloads (TPC-C deletes
 //! only `NEW-ORDER` rows, which are continually re-inserted).
+//!
+//! # Concurrent structural writers (latch coupling)
+//!
+//! Every mutation takes `&self` + `&Database` and serializes per *page*
+//! through the buffer pool's latch table, crab-walk style:
+//!
+//! * **Insert** latches root-to-leaf, releasing all ancestors the moment
+//!   the just-latched child is *safe* (non-full: it can absorb a
+//!   separator without splitting). When the leaf must split, the latched
+//!   suffix is exactly the chain of full ancestors the split propagates
+//!   through — topped by a safe node or the root, both still latched.
+//! * **Delete** is lazy (leaf-only), so every child is immediately safe:
+//!   the descent couples parent → child, holding at most two latches, and
+//!   the leaf-chain walk couples strictly left-to-right.
+//! * **Readers take no latches.** Splits are ordered so an unlatched
+//!   reader chasing the leaf chain is never torn: the right node is fully
+//!   written (link inherited) *before* one atomic update command shrinks
+//!   the left node and points its link at the right. A reader that
+//!   descended a pre-split parent lands at most a few leaves left of its
+//!   key and recovers by walking the chain right ([`BTree::get_at`]).
+//!
+//! Deadlock freedom: all writers acquire latches along one global partial
+//! order — tree order (root to leaf) then leaf order (left to right) —
+//! so the wait-for graph cannot cycle. Inside a transaction, a descent
+//! that meets a page dirtied by *another* uncommitted transaction fails
+//! with [`StorageError::TxnConflict`] (see
+//! `Database::with_page_struct`): the caller aborts and retries rather
+//! than navigate geometry that may yet roll back.
 
-use crate::buffer::{read_u16, read_u64, PageMut};
+use crate::buffer::{read_u16, read_u64, PageLatch, PageMut};
 use crate::db::Database;
 use crate::error::StorageError;
 use crate::view::{PageRead, StructId, StructRoot};
 use crate::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Index key: 16 bytes, compared lexicographically.
 pub type Key = [u8; 16];
@@ -190,8 +219,17 @@ fn remove_entry_at(page: &mut PageMut, idx: usize) {
 /// itself); and [`crate::Database::abort`] rolls a split's root move back
 /// along with the page bytes. [`BTree::open`] still builds a raw,
 /// unregistered handle pinned to a fixed root pid.
+///
+/// All operations take `&self`: one registered handle may be shared
+/// across writer threads (`BTree: Sync`), with mutations coupling through
+/// the database's page-latch table. Unregistered ([`BTree::open`])
+/// handles mirror the root locally and are only safe for single-threaded
+/// mutation.
 pub struct BTree {
-    root: u64,
+    /// Root mirror: authoritative for unregistered handles, a cache of
+    /// the last observed root for registered ones (which resolve the
+    /// structure-root log per operation).
+    root: AtomicU64,
     id: Option<StructId>,
 }
 
@@ -201,7 +239,7 @@ impl BTree {
     /// the pending root publication), so the pid is safe to reissue. An
     /// unregistered handle keeps its root mirror across an abort, so its
     /// allocations stay raw (stranded-but-counted on rollback).
-    fn alloc_node(&self, db: &mut Database) -> Result<u64> {
+    fn alloc_node(&self, db: &Database) -> Result<u64> {
         if self.id.is_some() {
             db.alloc_page_structured()
         } else {
@@ -215,11 +253,11 @@ impl BTree {
     /// The root is a *raw* allocation: the registration below outlives
     /// any rollback of the creating transaction, so the pid must never be
     /// reissued.
-    pub fn create(db: &mut Database) -> Result<BTree> {
+    pub fn create(db: &Database) -> Result<BTree> {
         let root = db.alloc_page()?;
         db.with_page_mut(root, |p| init_node(p, KIND_LEAF, NO_PID))?;
         let id = db.register_struct(StructRoot::BTree { root });
-        Ok(BTree { root, id: Some(id) })
+        Ok(BTree { root: AtomicU64::new(root), id: Some(id) })
     }
 
     /// The root pid as of this handle's last operation. Registered trees
@@ -227,7 +265,7 @@ impl BTree {
     /// log; prefer [`BTree::current_root`] where a [`PageRead`] is at
     /// hand.
     pub fn root_pid(&self) -> u64 {
-        self.root
+        self.root.load(Ordering::SeqCst)
     }
 
     /// Re-attach a raw handle at a known root pid. The handle is
@@ -236,15 +274,17 @@ impl BTree {
     /// [`crate::ReadView`]. Prefer registered handles (`create` /
     /// `attach`), which resolve the root per read.
     pub fn open(root: u64) -> BTree {
-        BTree { root, id: None }
+        BTree { root: AtomicU64::new(root), id: None }
     }
 
     /// Re-attach a handle at a known root pid *and* register it in the
-    /// structure-root log (e.g. after crash recovery, at the last
-    /// committed root).
+    /// structure-root log. This is the compatibility path for callers
+    /// that remembered the root themselves; after a crash, prefer
+    /// [`crate::Database::recover_structures`], which rebuilds every
+    /// registered tree from the store's checkpointed root log alone.
     pub fn attach(db: &Database, root: u64) -> BTree {
         let id = db.register_struct(StructRoot::BTree { root });
-        BTree { root, id: Some(id) }
+        BTree { root: AtomicU64::new(root), id: Some(id) }
     }
 
     /// The root this handle descends through `s`: the registered root as
@@ -254,7 +294,7 @@ impl BTree {
     pub fn current_root<S: PageRead>(&self, s: &S) -> u64 {
         match self.id.and_then(|id| s.struct_root(id)) {
             Some(StructRoot::BTree { root }) => root,
-            _ => self.root,
+            _ => self.root.load(Ordering::SeqCst),
         }
     }
 
@@ -264,7 +304,7 @@ impl BTree {
     /// resize re-wrap) detaches first and [`BTree::register`]s in the
     /// rebuilt database after.
     pub fn detach(&mut self, db: &Database) {
-        self.root = self.current_root(db);
+        self.root.store(self.current_root(db), Ordering::SeqCst);
         if let Some(id) = self.id.take() {
             db.deregister_struct(id);
         }
@@ -273,14 +313,14 @@ impl BTree {
     /// Register the handle's current root in `db`'s structure-root log
     /// (the second half of the detach/register rebuild protocol).
     pub fn register(&mut self, db: &Database) {
-        self.id = Some(db.register_struct(StructRoot::BTree { root: self.root }));
+        self.id = Some(db.register_struct(StructRoot::BTree { root: self.root_pid() }));
     }
 
     /// Descend to the leaf for `key` through any [`PageRead`] (the
-    /// current state or a read-view snapshot). `for_insert` picks the
-    /// upper-bound child (append after duplicates); otherwise the
-    /// lower-bound child (first duplicate). Returns the path of internal
-    /// pids, ending with the leaf pid.
+    /// current state or a read-view snapshot) — the unlatched reader
+    /// path. `for_insert` picks the upper-bound child (append after
+    /// duplicates); otherwise the lower-bound child (first duplicate).
+    /// Returns the path of internal pids, ending with the leaf pid.
     fn descend<S: PageRead>(&self, s: &S, key: &Key, for_insert: bool) -> Result<Vec<u64>> {
         let mut path = vec![self.current_root(s)];
         loop {
@@ -307,8 +347,8 @@ impl BTree {
     }
 
     /// Look up the value of the first entry with exactly `key`. Lookups
-    /// never mutate tree structure, so a shared borrow suffices —
-    /// concurrent readers are expressible in the type system.
+    /// never mutate tree structure and take no latches — concurrent
+    /// readers run against concurrent structural writers freely.
     pub fn get(&self, db: &Database, key: &Key) -> Result<Option<u64>> {
         self.get_at(db, key)
     }
@@ -316,99 +356,177 @@ impl BTree {
     /// [`BTree::get`] through any [`PageRead`] — e.g. a
     /// [`crate::DbSnapshot`] or [`crate::PoolSnapshot`] for a snapshot
     /// lookup that is isolated from concurrent writers.
+    ///
+    /// The leaf probe is a *move-right* loop: when every entry in the
+    /// leaf sorts below `key`, the search follows the next-leaf link
+    /// instead of giving up. That covers both a first duplicate sitting
+    /// at the head of the next leaf (key equals a separator) and a
+    /// current-state race where a concurrent split moved the key right
+    /// after this thread's unlatched descent chose its leaf.
     pub fn get_at<S: PageRead>(&self, s: &S, key: &Key) -> Result<Option<u64>> {
         let path = self.descend(s, key, false)?;
-        let leaf = *path.last().expect("leaf");
-        let mut found = s.with_page(leaf, |p| {
-            let idx = lower_bound(p, key);
-            if idx < count(p) && entry_key(p, idx) == *key {
-                Some(entry_val(p, idx))
-            } else {
-                None
+        let mut leaf = *path.last().expect("leaf");
+        loop {
+            enum Probe {
+                Found(u64),
+                Miss,
+                Right(u64),
             }
-        })?;
-        if found.is_none() {
-            // The first match can sit at the head of the next leaf when the
-            // key equals a separator.
-            let next = s.with_page(leaf, link)?;
-            if next != NO_PID {
-                found = s.with_page(next, |p| {
-                    (count(p) > 0 && entry_key(p, 0) == *key).then(|| entry_val(p, 0))
-                })?;
+            let probe = s.with_page(leaf, |p| {
+                let idx = lower_bound(p, key);
+                if idx < count(p) {
+                    if entry_key(p, idx) == *key {
+                        Probe::Found(entry_val(p, idx))
+                    } else {
+                        Probe::Miss
+                    }
+                } else if link(p) != NO_PID {
+                    Probe::Right(link(p))
+                } else {
+                    Probe::Miss
+                }
+            })?;
+            match probe {
+                Probe::Found(v) => return Ok(Some(v)),
+                Probe::Miss => return Ok(None),
+                Probe::Right(next) => leaf = next,
             }
         }
-        Ok(found)
     }
 
     /// Insert `key -> val` (duplicates allowed).
-    pub fn insert(&mut self, db: &mut Database, key: &Key, val: u64) -> Result<()> {
-        // Sync the handle to the authoritative root first: a registered
-        // handle may be stale (another handle split the tree, or an abort
-        // rolled a split back since this handle last wrote).
-        self.root = self.current_root(&*db);
-        let path = self.descend(&*db, key, true)?;
-        let leaf = *path.last().expect("leaf");
+    ///
+    /// Latch-coupled: ancestors are released as soon as the descent
+    /// latches a non-full child, so concurrent inserts into disjoint
+    /// subtrees proceed in parallel and only split-propagation chains
+    /// serialize. The whole descent restarts when the root moved between
+    /// resolving and latching it (another writer grew the tree).
+    pub fn insert(&self, db: &Database, key: &Key, val: u64) -> Result<()> {
         let cap = capacity(db.page_size());
-        let full = db.with_page(leaf, |p| count(p) >= cap)?;
-        if !full {
+        loop {
+            let root = self.current_root(db);
+            // Latch the root, then re-verify it *is* still the root: a
+            // concurrent writer may have grown the tree in the window
+            // between resolving and latching. The verified latch makes
+            // later root growth by this thread race-free — nobody else
+            // can be growing concurrently, they would need this latch.
+            let mut latches: Vec<PageLatch<'_>> = vec![db.latch_page(root)];
+            if self.current_root(db) != root {
+                continue;
+            }
+            if self.id.is_some() {
+                self.root.store(root, Ordering::SeqCst);
+            }
+            // Crab-walk down. `path` and `latches` stay parallel: the
+            // retained prefix is, from the top, a safe node (or the
+            // root) followed by only-full ancestors — exactly the chain
+            // a split must propagate through.
+            let mut path: Vec<u64> = vec![root];
+            loop {
+                let pid = *path.last().expect("non-empty");
+                let next = db.with_page_struct(pid, |p| match kind(p) {
+                    KIND_LEAF => Ok(None),
+                    KIND_INTERNAL => {
+                        let idx = upper_bound(p, key);
+                        Ok(Some(if idx == 0 { link(p) } else { entry_val(p, idx - 1) }))
+                    }
+                    k => Err(StorageError::PageCorrupt(format!(
+                        "b+-tree node {pid} has unknown kind {k}"
+                    ))),
+                })??;
+                let Some(child) = next else { break };
+                let child_latch = db.latch_page(child);
+                let safe = db.with_page_struct(child, |p| count(p) < cap)?;
+                if safe {
+                    // The child absorbs any separator a split below it
+                    // promotes: nothing above can change, release it all.
+                    path.clear();
+                    latches.clear();
+                }
+                path.push(child);
+                latches.push(child_latch);
+            }
+            let leaf = *path.last().expect("leaf");
+            let full = db.with_page(leaf, |p| count(p) >= cap)?;
+            if !full {
+                db.with_page_mut(leaf, |p| {
+                    let idx = upper_bound(p.as_slice(), key);
+                    insert_entry_at(p, idx, key, val);
+                })?;
+                return Ok(());
+            }
+            // Split the leaf, then insert into the proper half. The leaf
+            // was retained un-safe, so every ancestor in `path` is still
+            // latched.
+            let span = db.struct_span_start();
+            let right = self.alloc_node(db)?;
+            let mid = cap / 2;
+            let (sep, moved, old_next) = db.with_page(leaf, |p| {
+                let moved: Vec<(Key, u64)> =
+                    (mid..count(p)).map(|i| (entry_key(p, i), entry_val(p, i))).collect();
+                (moved[0].0, moved, link(p))
+            })?;
+            // Order matters for unlatched leaf-chain readers: the right
+            // node is complete (entries + inherited link) before ONE
+            // update command both shrinks the left node and points its
+            // link at the right — a reader sees the chain pre-split or
+            // post-split, never torn.
+            db.with_page_mut(right, |p| {
+                init_node(p, KIND_LEAF, old_next);
+                for (i, (k, v)) in moved.iter().enumerate() {
+                    write_entry(p, i, k, *v);
+                }
+                p.write_u16(OFF_COUNT, moved.len() as u16);
+            })?;
             db.with_page_mut(leaf, |p| {
+                p.write_u16(OFF_COUNT, mid as u16);
+                p.write_u64(OFF_LINK, right);
+            })?;
+            // Insert the entry into the correct half (both have room now).
+            let target = if *key < sep { leaf } else { right };
+            db.with_page_mut(target, |p| {
                 let idx = upper_bound(p.as_slice(), key);
                 insert_entry_at(p, idx, key, val);
             })?;
-            return Ok(());
+            db.struct_span("split", leaf, span);
+            // Propagate the separator up the latched chain. Latches drop
+            // (in bulk) when this insert returns — after any root
+            // publication, so a restarting writer that re-latches the old
+            // root always observes the published move.
+            return self.insert_into_parent(db, &path[..path.len() - 1], path[0], sep, right);
         }
-        // Split the leaf, then insert into the proper half.
-        let right = self.alloc_node(db)?;
-        let mid = cap / 2;
-        let (sep, moved, old_next) = db.with_page(leaf, |p| {
-            let moved: Vec<(Key, u64)> =
-                (mid..count(p)).map(|i| (entry_key(p, i), entry_val(p, i))).collect();
-            (moved[0].0, moved, link(p))
-        })?;
-        db.with_page_mut(right, |p| {
-            init_node(p, KIND_LEAF, old_next);
-            for (i, (k, v)) in moved.iter().enumerate() {
-                write_entry(p, i, k, *v);
-            }
-            p.write_u16(OFF_COUNT, moved.len() as u16);
-        })?;
-        db.with_page_mut(leaf, |p| {
-            p.write_u16(OFF_COUNT, mid as u16);
-            p.write_u64(OFF_LINK, right);
-        })?;
-        // Insert the entry into the correct half (both have room now).
-        let target = if *key < sep { leaf } else { right };
-        db.with_page_mut(target, |p| {
-            let idx = upper_bound(p.as_slice(), key);
-            insert_entry_at(p, idx, key, val);
-        })?;
-        // Propagate the separator upward.
-        self.insert_into_parent(db, &path[..path.len() - 1], sep, right)
     }
 
-    /// Insert `(sep, right)` into the parent chain after a child split.
+    /// Insert `(sep, right)` into the latched parent chain after a child
+    /// split. `ancestors` are the retained (still latched) ancestors of
+    /// the split child, `top` the subtree's latched apex — a safe node,
+    /// or the verified root when every retained node was full.
     fn insert_into_parent(
-        &mut self,
-        db: &mut Database,
-        path: &[u64],
+        &self,
+        db: &Database,
+        ancestors: &[u64],
+        top: u64,
         sep: Key,
         right: u64,
     ) -> Result<()> {
         let cap = capacity(db.page_size());
         let mut sep = sep;
         let mut right = right;
-        let mut level = path.len();
+        let mut level = ancestors.len();
         loop {
             if level == 0 {
-                // Split reached the root: grow the tree.
+                // Split reached the latched apex with nothing left to
+                // absorb it: `top` is the (verified, still latched) root.
+                // Grow the tree. The new root is unreachable until the
+                // publication below, so it needs no latch.
+                let span = db.struct_span_start();
                 let new_root = self.alloc_node(db)?;
-                let old_root = self.root;
                 db.with_page_mut(new_root, |p| {
-                    init_node(p, KIND_INTERNAL, old_root);
+                    init_node(p, KIND_INTERNAL, top);
                     write_entry(p, 0, &sep, right);
                     p.write_u16(OFF_COUNT, 1);
                 })?;
-                self.root = new_root;
+                self.root.store(new_root, Ordering::SeqCst);
                 // Publish the root move: pending inside a transaction
                 // (committed with it, undone by abort), auto-committed
                 // onto the structure-root log otherwise — so snapshot
@@ -416,10 +534,11 @@ impl BTree {
                 if let Some(id) = self.id {
                     db.publish_struct(id, StructRoot::BTree { root: new_root });
                 }
+                db.struct_span("root-publish", new_root, span);
                 return Ok(());
             }
             level -= 1;
-            let parent = path[level];
+            let parent = ancestors[level];
             let full = db.with_page(parent, |p| count(p) >= cap)?;
             if !full {
                 db.with_page_mut(parent, |p| {
@@ -429,6 +548,7 @@ impl BTree {
                 return Ok(());
             }
             // Split the internal node: promote the middle key.
+            let span = db.struct_span_start();
             let new_node = self.alloc_node(db)?;
             let mid = cap / 2;
             let (promoted, moved_child0, moved) = db.with_page(parent, |p| {
@@ -452,6 +572,7 @@ impl BTree {
                 let idx = upper_bound(p.as_slice(), &sep);
                 insert_entry_at(p, idx, &sep, right);
             })?;
+            db.struct_span("split", parent, span);
             sep = promoted;
             right = new_node;
         }
@@ -520,53 +641,87 @@ impl BTree {
     }
 
     /// Delete the first entry with exactly `key`, returning its value.
-    pub fn delete(&mut self, db: &mut Database, key: &Key) -> Result<Option<u64>> {
+    pub fn delete(&self, db: &Database, key: &Key) -> Result<Option<u64>> {
         self.delete_where(db, key, |_| true)
     }
 
     /// Delete the first entry with `key` whose value equals `val`.
-    pub fn delete_exact(&mut self, db: &mut Database, key: &Key, val: u64) -> Result<bool> {
+    pub fn delete_exact(&self, db: &Database, key: &Key, val: u64) -> Result<bool> {
         Ok(self.delete_where(db, key, |v| v == val)?.is_some())
     }
 
+    /// Latch-coupled lazy delete: leaf-only mutation means every child is
+    /// immediately safe, so the descent holds at most two latches (parent
+    /// released the moment the child is latched) and the duplicate walk
+    /// couples left-to-right along the leaf chain.
+    // `latch` is assigned for its drop timing (RAII coupling), never
+    // read — the assignment's RHS acquires the child before the old
+    // value's drop releases the parent.
+    #[allow(unused_assignments)]
     fn delete_where(
-        &mut self,
-        db: &mut Database,
+        &self,
+        db: &Database,
         key: &Key,
         pred: impl Fn(u64) -> bool,
     ) -> Result<Option<u64>> {
-        let path = self.descend(&*db, key, false)?;
-        let mut leaf = *path.last().expect("leaf");
         loop {
-            enum Outcome {
-                Deleted(u64),
-                NextLeaf(u64),
-                NotFound,
+            let root = self.current_root(db);
+            let mut _latch = db.latch_page(root);
+            if self.current_root(db) != root {
+                continue;
             }
-            let outcome = db.with_page_mut(leaf, |p| {
-                let n = count(p.as_slice());
-                let mut i = lower_bound(p.as_slice(), key);
-                while i < n {
-                    let k = entry_key(p.as_slice(), i);
-                    if k != *key {
-                        return Outcome::NotFound;
+            let mut pid = root;
+            loop {
+                let next = db.with_page_struct(pid, |p| match kind(p) {
+                    KIND_LEAF => Ok(None),
+                    KIND_INTERNAL => {
+                        let idx = lower_bound(p, key);
+                        Ok(Some(if idx == 0 { link(p) } else { entry_val(p, idx - 1) }))
                     }
-                    let v = entry_val(p.as_slice(), i);
-                    if pred(v) {
-                        remove_entry_at(p, i);
-                        return Outcome::Deleted(v);
+                    k => Err(StorageError::PageCorrupt(format!(
+                        "b+-tree node {pid} has unknown kind {k}"
+                    ))),
+                })??;
+                let Some(child) = next else { break };
+                // Child latched before the parent latch drops (the RHS
+                // runs first): the crab's two-latch coupling step.
+                _latch = db.latch_page(child);
+                pid = child;
+            }
+            loop {
+                enum Outcome {
+                    Deleted(u64),
+                    NextLeaf(u64),
+                    NotFound,
+                }
+                let outcome = db.with_page_mut(pid, |p| {
+                    let n = count(p.as_slice());
+                    let mut i = lower_bound(p.as_slice(), key);
+                    while i < n {
+                        let k = entry_key(p.as_slice(), i);
+                        if k != *key {
+                            return Outcome::NotFound;
+                        }
+                        let v = entry_val(p.as_slice(), i);
+                        if pred(v) {
+                            remove_entry_at(p, i);
+                            return Outcome::Deleted(v);
+                        }
+                        i += 1;
                     }
-                    i += 1;
+                    match link(p.as_slice()) {
+                        NO_PID => Outcome::NotFound,
+                        next => Outcome::NextLeaf(next),
+                    }
+                })?;
+                match outcome {
+                    Outcome::Deleted(v) => return Ok(Some(v)),
+                    Outcome::NotFound => return Ok(None),
+                    Outcome::NextLeaf(next) => {
+                        _latch = db.latch_page(next);
+                        pid = next;
+                    }
                 }
-                match link(p.as_slice()) {
-                    NO_PID => Outcome::NotFound,
-                    next => Outcome::NextLeaf(next),
-                }
-            })?;
-            match outcome {
-                Outcome::Deleted(v) => return Ok(Some(v)),
-                Outcome::NotFound => return Ok(None),
-                Outcome::NextLeaf(next) => leaf = next,
             }
         }
     }
@@ -640,10 +795,10 @@ mod tests {
 
     #[test]
     fn insert_and_get_small() {
-        let mut d = db();
-        let mut t = BTree::create(&mut d).unwrap();
+        let d = db();
+        let t = BTree::create(&d).unwrap();
         for v in [5u64, 3, 9, 1, 7] {
-            t.insert(&mut d, &key(v), v * 10).unwrap();
+            t.insert(&d, &key(v), v * 10).unwrap();
         }
         for v in [1u64, 3, 5, 7, 9] {
             assert_eq!(t.get(&d, &key(v)).unwrap(), Some(v * 10));
@@ -653,8 +808,8 @@ mod tests {
 
     #[test]
     fn thousand_inserts_split_to_multiple_levels() {
-        let mut d = db();
-        let mut t = BTree::create(&mut d).unwrap();
+        let d = db();
+        let t = BTree::create(&d).unwrap();
         // Insert shuffled keys.
         let mut order: Vec<u64> = (0..600).collect();
         let mut x = 99u64;
@@ -663,7 +818,7 @@ mod tests {
             order.swap(i, (x % (i as u64 + 1)) as usize);
         }
         for v in &order {
-            t.insert(&mut d, &key(*v), *v).unwrap();
+            t.insert(&d, &key(*v), *v).unwrap();
         }
         for v in 0..600u64 {
             assert_eq!(t.get(&d, &key(v)).unwrap(), Some(v), "key {v}");
@@ -674,10 +829,10 @@ mod tests {
 
     #[test]
     fn range_scan_in_order() {
-        let mut d = db();
-        let mut t = BTree::create(&mut d).unwrap();
+        let d = db();
+        let t = BTree::create(&d).unwrap();
         for v in (0..200u64).rev() {
-            t.insert(&mut d, &key(v), v).unwrap();
+            t.insert(&d, &key(v), v).unwrap();
         }
         let mut seen = Vec::new();
         t.range(&d, &key(50), &key(59), |_, v| {
@@ -690,10 +845,10 @@ mod tests {
 
     #[test]
     fn range_early_stop() {
-        let mut d = db();
-        let mut t = BTree::create(&mut d).unwrap();
+        let d = db();
+        let t = BTree::create(&d).unwrap();
         for v in 0..100u64 {
-            t.insert(&mut d, &key(v), v).unwrap();
+            t.insert(&d, &key(v), v).unwrap();
         }
         let mut seen = 0;
         t.range(&d, &key(0), &key(99), |_, _| {
@@ -706,14 +861,14 @@ mod tests {
 
     #[test]
     fn duplicates_all_visible_and_deletable_by_value() {
-        let mut d = db();
-        let mut t = BTree::create(&mut d).unwrap();
+        let d = db();
+        let t = BTree::create(&d).unwrap();
         // Enough duplicates to cross leaf boundaries.
         for v in 0..30u64 {
-            t.insert(&mut d, &key(42), v).unwrap();
+            t.insert(&d, &key(42), v).unwrap();
         }
-        t.insert(&mut d, &key(41), 1000).unwrap();
-        t.insert(&mut d, &key(43), 2000).unwrap();
+        t.insert(&d, &key(41), 1000).unwrap();
+        t.insert(&d, &key(43), 2000).unwrap();
         let mut vals = Vec::new();
         t.range(&d, &key(42), &key(42), |_, v| {
             vals.push(v);
@@ -723,8 +878,8 @@ mod tests {
         vals.sort_unstable();
         assert_eq!(vals, (0..30).collect::<Vec<u64>>());
         // Targeted delete among duplicates.
-        assert!(t.delete_exact(&mut d, &key(42), 17).unwrap());
-        assert!(!t.delete_exact(&mut d, &key(42), 17).unwrap());
+        assert!(t.delete_exact(&d, &key(42), 17).unwrap());
+        assert!(!t.delete_exact(&d, &key(42), 17).unwrap());
         let mut n = 0;
         t.range(&d, &key(42), &key(42), |_, _| {
             n += 1;
@@ -739,20 +894,20 @@ mod tests {
 
     #[test]
     fn delete_then_reinsert() {
-        let mut d = db();
-        let mut t = BTree::create(&mut d).unwrap();
+        let d = db();
+        let t = BTree::create(&d).unwrap();
         for v in 0..120u64 {
-            t.insert(&mut d, &key(v), v).unwrap();
+            t.insert(&d, &key(v), v).unwrap();
         }
         for v in (0..120u64).step_by(2) {
-            assert_eq!(t.delete(&mut d, &key(v)).unwrap(), Some(v));
+            assert_eq!(t.delete(&d, &key(v)).unwrap(), Some(v));
         }
         for v in (0..120u64).step_by(2) {
             assert_eq!(t.get(&d, &key(v)).unwrap(), None);
             assert_eq!(t.get(&d, &key(v + 1)).unwrap(), Some(v + 1));
         }
         for v in (0..120u64).step_by(2) {
-            t.insert(&mut d, &key(v), v + 500).unwrap();
+            t.insert(&d, &key(v), v + 500).unwrap();
         }
         assert_eq!(t.len(&d).unwrap(), 120);
         t.check_invariants(&d).unwrap();
@@ -760,21 +915,21 @@ mod tests {
 
     #[test]
     fn empty_tree_behaviour() {
-        let mut d = db();
-        let mut t = BTree::create(&mut d).unwrap();
+        let d = db();
+        let t = BTree::create(&d).unwrap();
         assert!(t.is_empty(&d).unwrap());
         assert_eq!(t.get(&d, &key(1)).unwrap(), None);
-        assert_eq!(t.delete(&mut d, &key(1)).unwrap(), None);
-        t.insert(&mut d, &key(1), 1).unwrap();
+        assert_eq!(t.delete(&d, &key(1)).unwrap(), None);
+        t.insert(&d, &key(1), 1).unwrap();
         assert!(!t.is_empty(&d).unwrap());
     }
 
     #[test]
     fn snapshot_scan_is_isolated_from_later_inserts_and_splits() {
-        let mut d = db();
-        let mut t = BTree::create(&mut d).unwrap();
+        let d = db();
+        let t = BTree::create(&d).unwrap();
         for v in 0..100u64 {
-            t.insert(&mut d, &key(v), v).unwrap();
+            t.insert(&d, &key(v), v).unwrap();
         }
         // A raw handle frozen at the view-time root (the pre-root-log
         // discipline) still works...
@@ -784,12 +939,12 @@ mod tests {
         // Churn hard enough to split leaves and grow the tree while the
         // view is open.
         for v in 100..400u64 {
-            t.insert(&mut d, &key(v), v).unwrap();
+            t.insert(&d, &key(v), v).unwrap();
         }
         for v in (0..100u64).step_by(2) {
-            t.delete(&mut d, &key(v)).unwrap();
+            t.delete(&d, &key(v)).unwrap();
         }
-        assert_ne!(t.root_pid(), root_at_view, "the churn grew the tree");
+        assert_ne!(t.current_root(&d), root_at_view, "the churn grew the tree");
         // The snapshot still sees exactly the first 100 entries — through
         // the frozen handle AND through the live (stale-rooted) handle:
         // the structure-root log resolves the view-time root for it.
@@ -821,17 +976,17 @@ mod tests {
 
     #[test]
     fn abort_rolls_back_splits_and_root_growth() {
-        let mut d = db();
-        let mut t = BTree::create(&mut d).unwrap();
+        let d = db();
+        let t = BTree::create(&d).unwrap();
         for v in 0..8u64 {
-            t.insert(&mut d, &key(v), v).unwrap();
+            t.insert(&d, &key(v), v).unwrap();
         }
         let root_before = t.current_root(&d);
         d.begin().unwrap();
         // Enough inserts to split the root leaf (capacity 10) and grow
         // the tree inside the transaction...
         for v in 8..60u64 {
-            t.insert(&mut d, &key(v), v).unwrap();
+            t.insert(&d, &key(v), v).unwrap();
         }
         assert_ne!(t.current_root(&d), root_before, "the transaction grew the tree");
         d.abort().unwrap();
@@ -847,7 +1002,7 @@ mod tests {
         t.check_invariants(&d).unwrap();
         // The tree is fully usable again after the rollback.
         for v in 8..30u64 {
-            t.insert(&mut d, &key(v), v).unwrap();
+            t.insert(&d, &key(v), v).unwrap();
         }
         assert_eq!(t.len(&d).unwrap(), 30);
         t.check_invariants(&d).unwrap();
@@ -856,13 +1011,75 @@ mod tests {
     #[test]
     fn sequential_ascending_inserts() {
         // Worst case for naive split policies; must stay correct.
-        let mut d = db();
-        let mut t = BTree::create(&mut d).unwrap();
+        let d = db();
+        let t = BTree::create(&d).unwrap();
         for v in 0..400u64 {
-            t.insert(&mut d, &key(v), v).unwrap();
+            t.insert(&d, &key(v), v).unwrap();
         }
         assert_eq!(t.len(&d).unwrap(), 400);
         t.check_invariants(&d).unwrap();
         assert_eq!(t.get(&d, &key(399)).unwrap(), Some(399));
+    }
+
+    #[test]
+    fn concurrent_writers_on_one_shared_tree() {
+        // Four auto-committing threads insert disjoint key ranges into
+        // ONE shared tree: latch-coupled descents interleave freely,
+        // splits (including root growth) race, and the final tree must
+        // hold every key exactly once, in order.
+        let d = db();
+        let t = BTree::create(&d).unwrap();
+        const PER: u64 = 150;
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let d = &d;
+                let t = &t;
+                scope.spawn(move || {
+                    for i in 0..PER {
+                        let k = key(w * 10_000 + i);
+                        t.insert(d, &k, w * 10_000 + i).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(&d).unwrap(), 4 * PER as usize);
+        t.check_invariants(&d).unwrap();
+        for w in 0..4u64 {
+            for i in (0..PER).step_by(17) {
+                let v = w * 10_000 + i;
+                assert_eq!(t.get(&d, &key(v)).unwrap(), Some(v), "key {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_and_deletes_race_cleanly() {
+        let d = db();
+        let t = BTree::create(&d).unwrap();
+        for v in 0..200u64 {
+            t.insert(&d, &key(v), v).unwrap();
+        }
+        std::thread::scope(|scope| {
+            let d = &d;
+            let t = &t;
+            scope.spawn(move || {
+                for v in 200..400u64 {
+                    t.insert(d, &key(v), v).unwrap();
+                }
+            });
+            scope.spawn(move || {
+                for v in 0..200u64 {
+                    t.delete(d, &key(v)).unwrap();
+                }
+            });
+        });
+        t.check_invariants(&d).unwrap();
+        let mut seen = Vec::new();
+        t.range(&d, &key(0), &key(999), |_, v| {
+            seen.push(v);
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, (200..400).collect::<Vec<u64>>());
     }
 }

@@ -30,7 +30,9 @@ use crate::{ReadGuard, ReadView, Result};
 use pdl_core::{ChangeRange, PageStore, NO_TXN};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
+use std::thread::ThreadId;
+use std::time::Instant;
 
 /// A mutable view of a buffered page that records which bytes change.
 pub struct PageMut<'a> {
@@ -701,6 +703,19 @@ impl FrameCache {
         Ok(())
     }
 
+    /// The uncommitted transaction currently owning `pid`'s dirty frame
+    /// ([`NO_TXN`] when the page is uncached, clean, or auto-committed).
+    pub(crate) fn dirty_owner(&self, pid: u64) -> u64 {
+        self.map.get(&pid).map_or(NO_TXN, |&idx| {
+            let f = &self.frames[idx];
+            if f.dirty {
+                f.owner
+            } else {
+                NO_TXN
+            }
+        })
+    }
+
     /// Drop every cached page and version chain without writing back
     /// (crash simulation).
     pub(crate) fn clear(&mut self) {
@@ -709,6 +724,82 @@ impl FrameCache {
         self.chains.clear();
         self.retained = 0;
         self.retained_bytes = 0;
+    }
+}
+
+/// The per-page latch table structural writers couple through.
+///
+/// Latches are logical-page-granular and live *outside* the frame cache:
+/// a frame may be evicted and re-faulted while its page stays latched,
+/// and the cache mutex is only ever taken while a latch is already held
+/// (lock order: latch table → cache → store/MVCC), so latch waits never
+/// block readers. Acquisition is blocking and non-reentrant — a thread
+/// latching a page it already holds is a programming error (it would
+/// deadlock against itself) and asserts.
+///
+/// Deadlock freedom follows from the acquisition order: every structural
+/// writer latches strictly along a root-to-leaf descent, and leaf-chain
+/// walks latch strictly left-to-right, so the wait-for graph follows one
+/// global partial order (tree order, then leaf order) and cannot cycle.
+struct LatchTable {
+    held: Mutex<HashMap<u64, ThreadId>>,
+    cv: Condvar,
+}
+
+impl LatchTable {
+    fn new() -> LatchTable {
+        LatchTable { held: Mutex::new(HashMap::new()), cv: Condvar::new() }
+    }
+
+    /// Blocking acquire of `pid`'s latch; returns whether the acquisition
+    /// had to wait (the contention signal the `latch_wait` histogram
+    /// records).
+    fn acquire(&self, pid: u64) -> bool {
+        let me = std::thread::current().id();
+        let mut held = self.held.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(
+            held.get(&pid) != Some(&me),
+            "page latch {pid} is not reentrant: already held by this thread"
+        );
+        let mut contended = false;
+        while held.contains_key(&pid) {
+            contended = true;
+            held = self.cv.wait(held).unwrap_or_else(|e| e.into_inner());
+        }
+        held.insert(pid, me);
+        contended
+    }
+
+    fn release(&self, pid: u64) {
+        let mut held = self.held.lock().unwrap_or_else(|e| e.into_inner());
+        let owner = held.remove(&pid);
+        debug_assert!(owner.is_some(), "released page latch {pid} that was never acquired");
+        drop(held);
+        self.cv.notify_all();
+    }
+}
+
+/// RAII guard for one page latch (see [`BufferPool::latch_page`]):
+/// releases on drop, so early returns and panics cannot strand a latch.
+/// Dropping latches in reverse-acquisition order is not required for
+/// correctness — only the *acquisition* order matters for deadlock
+/// freedom.
+#[must_use = "a page latch blocks other structural writers until dropped"]
+pub struct PageLatch<'p> {
+    pool: &'p BufferPool,
+    pid: u64,
+}
+
+impl PageLatch<'_> {
+    /// The latched logical page.
+    pub fn pid(&self) -> u64 {
+        self.pid
+    }
+}
+
+impl Drop for PageLatch<'_> {
+    fn drop(&mut self) {
+        self.pool.latches.release(self.pid);
     }
 }
 
@@ -766,6 +857,19 @@ pub struct BufferPool {
     mvcc: Mutex<MvccState>,
     active_views: AtomicUsize,
     page_size: usize,
+    /// Per-page latches for structural writers (crab-walk descents).
+    latches: LatchTable,
+    /// Pool-side recorder for host-clock structural observability
+    /// (latch-wait histogram + split/root-publish spans). Disabled unless
+    /// `StoreOptions::obs` is set, in which case `obs` below keeps the
+    /// hot-path cost to one branch.
+    recorder: Mutex<pdl_obs::Recorder>,
+    obs: bool,
+    /// Host-clock epoch the pool's spans are timed against.
+    obs_epoch: Instant,
+    /// Shard count of the backing store — the lane structural spans are
+    /// attributed to (`pid % num_shards`, the stripe mapping).
+    num_shards: u32,
 }
 
 impl BufferPool {
@@ -775,12 +879,23 @@ impl BufferPool {
         let page_size = store.logical_page_size();
         let version_cap = store.options().snapshot_version_cap as usize;
         let retention_bytes = store.options().snapshot_retention_bytes as usize;
+        let obs = store.options().obs;
+        let num_shards = store.num_shards().max(1) as u32;
+        let mut recorder = pdl_obs::Recorder::disabled();
+        if obs {
+            recorder.enable(pdl_obs::DEFAULT_SPAN_CAPACITY);
+        }
         BufferPool {
             cache: Mutex::new(FrameCache::new(capacity, page_size, version_cap, retention_bytes)),
             store: Mutex::new(store),
             mvcc: Mutex::new(MvccState::default()),
             active_views: AtomicUsize::new(0),
             page_size,
+            latches: LatchTable::new(),
+            recorder: Mutex::new(recorder),
+            obs,
+            obs_epoch: Instant::now(),
+            num_shards,
         }
     }
 
@@ -932,6 +1047,70 @@ impl BufferPool {
         self.lock_mvcc().retained_struct_versions()
     }
 
+    /// Every registered structure's current committed state, ascending by
+    /// id — what a durable commit serializes into the store's root log.
+    pub(crate) fn current_roots(&self) -> Vec<(StructId, StructRoot)> {
+        self.lock_mvcc().current_roots()
+    }
+
+    // ------------------------------------------------------------------
+    // Page latches (structural writers) + pool-side observability
+    // ------------------------------------------------------------------
+
+    /// Acquire the latch on logical page `pid`, blocking while another
+    /// thread holds it. Structural writers (B+-tree crab-walk descents,
+    /// heap growth) couple through these; readers never take them. Lock
+    /// order: latches are acquired strictly root-to-leaf (and left-to-
+    /// right along the leaf chain), and the cache/store/MVCC mutexes are
+    /// only taken *under* a latch, never the other way round.
+    pub fn latch_page(&self, pid: u64) -> PageLatch<'_> {
+        if self.obs {
+            let start = Instant::now();
+            if self.latches.acquire(pid) {
+                let waited = start.elapsed().as_micros() as u64;
+                let mut rec = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
+                rec.record(pdl_obs::LatencyClass::LatchWait, waited);
+            }
+        } else {
+            self.latches.acquire(pid);
+        }
+        PageLatch { pool: self, pid }
+    }
+
+    /// Host-clock µs since the pool's observability epoch (`None` when
+    /// observability is off — the one branch disabled recording costs).
+    pub fn obs_now_us(&self) -> Option<u64> {
+        self.obs.then(|| self.obs_epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Record a structural-operation span (`split`, `merge`,
+    /// `root-publish`): `id` is the subject pid, `block` the transaction,
+    /// and the lane is the pid's stripe (`pid % num_shards`), so a trace
+    /// shows concurrent descents as parallel lanes. `start_us` comes from
+    /// [`BufferPool::obs_now_us`]; the call is a no-op when that returned
+    /// `None`.
+    pub fn struct_span(&self, name: &'static str, pid: u64, txn: u64, start_us: Option<u64>) {
+        let Some(start_us) = start_us else { return };
+        let end_us = self.obs_epoch.elapsed().as_micros() as u64;
+        let lane = (pid % self.num_shards as u64) as u32;
+        let mut rec = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
+        rec.push_span(pdl_obs::Span {
+            name,
+            ctx: "struct",
+            lane,
+            start_us,
+            dur_us: end_us.saturating_sub(start_us),
+            block: txn,
+            id: pid,
+        });
+    }
+
+    /// Snapshot of the pool-side recorder: the `latch_wait` contention
+    /// histogram plus the structural-operation spans.
+    pub fn pool_obs_snapshot(&self) -> pdl_obs::RecorderSnapshot {
+        self.recorder.lock().unwrap_or_else(|e| e.into_inner()).snapshot()
+    }
+
     /// Mutable access to a page. The closure's writes through [`PageMut`]
     /// form **one update command**: after it returns, the recorded ranges
     /// are reported to the page store (tightly-coupled methods write their
@@ -961,6 +1140,15 @@ impl BufferPool {
 
     pub(crate) fn set_pin_owned(&self, pin: bool) {
         self.lock_cache().set_pin_owned(pin);
+    }
+
+    /// The uncommitted transaction owning `pid`'s dirty frame, if any
+    /// (see `FrameCache::dirty_owner`). Structural descents check this
+    /// so a writer never navigates another transaction's uncommitted
+    /// split (the physical shape change is not yet authoritative — and
+    /// may yet be rolled back).
+    pub(crate) fn dirty_owner(&self, pid: u64) -> u64 {
+        self.lock_cache().dirty_owner(pid)
     }
 
     pub(crate) fn collect_owned(&self, txn: u64) -> Vec<(u64, Vec<u8>)> {

@@ -30,8 +30,8 @@ pub mod slotted;
 mod view;
 
 pub use btree::{BTree, Key, KeyBuf};
-pub use buffer::{read_u16, read_u64, BufferPool, BufferStats, PageMut};
-pub use db::{Database, DbSnapshot, Durability, RecordId, TxnId};
+pub use buffer::{read_u16, read_u64, BufferPool, BufferStats, PageLatch, PageMut};
+pub use db::{Database, DbSnapshot, Durability, RecordId, RecoveredStructure, TxnId};
 pub use error::StorageError;
 pub use heap::HeapFile;
 pub use sharded::{PoolSnapshot, ShardedBufferPool};

@@ -376,6 +376,17 @@ impl MvccState {
     pub(crate) fn retained_struct_versions(&self) -> usize {
         self.structs.values().map(|s| s.undo.len()).sum()
     }
+
+    /// Every registered structure's current committed state, ascending by
+    /// id — the enumeration a durable commit serializes into the PDL
+    /// checkpoint region's root log (ids are registration-ordered, so the
+    /// stored order is stable across recoveries).
+    pub(crate) fn current_roots(&self) -> Vec<(StructId, StructRoot)> {
+        let mut out: Vec<(StructId, StructRoot)> =
+            self.structs.iter().map(|(id, s)| (*id, s.current.clone())).collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
 }
 
 #[cfg(test)]

@@ -37,18 +37,18 @@ proptest! {
     /// removes one duplicate).
     #[test]
     fn btree_matches_model(ops in proptest::collection::vec(tree_op(), 1..300)) {
-        let mut d = database(MethodKind::Pdl { max_diff_size: 64 });
-        let mut t = BTree::create(&mut d).unwrap();
+        let d = database(MethodKind::Pdl { max_diff_size: 64 });
+        let t = BTree::create(&d).unwrap();
         let mut model: BTreeMap<u16, Vec<u16>> = BTreeMap::new();
         let key = |k: u16| KeyBuf::new().push_u16(k).finish();
         for op in &ops {
             match op {
                 TreeOp::Insert(k, v) => {
-                    t.insert(&mut d, &key(*k), *v as u64).unwrap();
+                    t.insert(&d, &key(*k), *v as u64).unwrap();
                     model.entry(*k).or_default().push(*v);
                 }
                 TreeOp::Delete(k) => {
-                    let got = t.delete(&mut d, &key(*k)).unwrap();
+                    let got = t.delete(&d, &key(*k)).unwrap();
                     match model.get_mut(k) {
                         Some(vals) if !vals.is_empty() => {
                             let v = got.expect("model has a value");
@@ -106,25 +106,25 @@ proptest! {
             MethodKind::Pdl { max_diff_size: 64 },
             MethodKind::Ipl { log_bytes_per_block: 512 },
         ][kind_idx];
-        let mut d = database(kind);
-        let mut h = HeapFile::new();
+        let d = database(kind);
+        let h = HeapFile::new();
         let mut model: Vec<(RecordId, Vec<u8>)> = Vec::new();
         for (op, sel, len) in &ops {
             match op {
                 0 | 3 => {
                     let rec = vec![(*sel % 251) as u8; *len];
-                    let rid = h.insert(&mut d, &rec).unwrap();
+                    let rid = h.insert(&d, &rec).unwrap();
                     model.push((rid, rec));
                 }
                 1 if !model.is_empty() => {
                     let i = *sel as usize % model.len();
                     let (rid, _) = model.remove(i);
-                    h.delete(&mut d, rid).unwrap();
+                    h.delete(&d, rid).unwrap();
                 }
                 2 if !model.is_empty() => {
                     let i = *sel as usize % model.len();
                     let rec = vec![(*sel % 7) as u8 + 1; *len];
-                    let new_rid = h.update(&mut d, model[i].0, &rec).unwrap();
+                    let new_rid = h.update(&d, model[i].0, &rec).unwrap();
                     model[i] = (new_rid, rec);
                 }
                 _ => {}
@@ -147,11 +147,11 @@ proptest! {
         config.geometry.num_blocks = 64;
         let kind = MethodKind::Pdl { max_diff_size: 64 };
         let store = build_store(FlashChip::new(config), kind, StoreOptions::new(320)).unwrap();
-        let mut d = Database::new(store, 2); // brutal pool pressure
-        let mut t = BTree::create(&mut d).unwrap();
+        let d = Database::new(store, 2); // brutal pool pressure
+        let t = BTree::create(&d).unwrap();
         let key = |k: u16| KeyBuf::new().push_u16(k).finish();
         for (i, k) in keys.iter().enumerate() {
-            t.insert(&mut d, &key(*k), i as u64).unwrap();
+            t.insert(&d, &key(*k), i as u64).unwrap();
         }
         for k in &keys {
             prop_assert!(t.get(&d, &key(*k)).unwrap().is_some());

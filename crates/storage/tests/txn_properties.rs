@@ -17,7 +17,7 @@ fn db(pages: u64, buffer: usize) -> Database {
 
 #[test]
 fn committed_transaction_survives_crash_recovery() {
-    let mut d = db(16, 8);
+    let d = db(16, 8);
     for _ in 0..4 {
         let pid = d.alloc_page().unwrap();
         d.with_page_mut(pid, |p| p.write(0, &[0x11; 8])).unwrap();
@@ -40,7 +40,7 @@ fn committed_transaction_survives_crash_recovery() {
 
 #[test]
 fn abort_restores_pre_images_in_memory_and_on_flash() {
-    let mut d = db(16, 8);
+    let d = db(16, 8);
     let pid = d.alloc_page().unwrap();
     d.with_page_mut(pid, |p| p.write(0, b"committed")).unwrap();
     d.flush().unwrap();
@@ -64,7 +64,7 @@ fn abort_restores_pre_images_in_memory_and_on_flash() {
 
 #[test]
 fn uncommitted_pages_never_reach_flash_in_commit_mode() {
-    let mut d = db(16, 8);
+    let d = db(16, 8);
     let pid = d.alloc_page().unwrap();
     d.with_page_mut(pid, |p| p.write(0, b"base")).unwrap();
     d.flush().unwrap();
@@ -85,7 +85,7 @@ fn uncommitted_pages_never_reach_flash_in_commit_mode() {
 fn relaxed_mode_abort_restores_pre_images() {
     let chip = FlashChip::new(FlashConfig::tiny());
     let store = build_store(chip, KIND, StoreOptions::new(16)).unwrap();
-    let mut d = Database::new(store, 2); // tiny pool: txn pages may spill
+    let d = Database::new(store, 2); // tiny pool: txn pages may spill
     for _ in 0..8 {
         let pid = d.alloc_page().unwrap();
         d.with_page_mut(pid, |p| p.write(0, &[7; 4])).unwrap();
@@ -105,7 +105,7 @@ fn relaxed_mode_abort_restores_pre_images() {
 
 #[test]
 fn transaction_state_errors() {
-    let mut d = db(8, 4);
+    let d = db(8, 4);
     assert!(matches!(d.commit(), Err(StorageError::TxnState(_))));
     assert!(matches!(d.abort(), Err(StorageError::TxnState(_))));
     d.begin().unwrap();
@@ -115,7 +115,7 @@ fn transaction_state_errors() {
 
 #[test]
 fn buffer_full_of_pinned_frames_is_reported() {
-    let mut d = db(16, 2); // two frames, both will be pinned
+    let d = db(16, 2); // two frames, both will be pinned
     for _ in 0..16 {
         d.alloc_page().unwrap();
     }
@@ -310,7 +310,7 @@ fn relaxed_abort_repairs_a_leaked_then_redirtied_frame() {
     // *dirty*, so a write-back repairs the leaked store copy.
     let chip = FlashChip::new(FlashConfig::tiny());
     let store = build_store(chip, KIND, StoreOptions::new(16)).unwrap();
-    let mut d = Database::new(store, 2); // two frames force evictions
+    let d = Database::new(store, 2); // two frames force evictions
     for _ in 0..8 {
         let pid = d.alloc_page().unwrap();
         d.with_page_mut(pid, |p| p.write(0, &[7; 4])).unwrap();
@@ -341,13 +341,13 @@ fn aborted_structured_growth_returns_pids_to_the_free_list() {
     // used to be stranded forever. They are referenced only through page
     // bytes and root publications the rollback undoes, so the allocator
     // now reissues them.
-    let mut d = db(32, 16);
-    let mut heap = pdl_storage::HeapFile::create(&d);
+    let d = db(32, 16);
+    let heap = pdl_storage::HeapFile::create(&d);
     d.flush().unwrap();
     let frontier = d.allocated_pages();
     d.begin().unwrap();
     for i in 0..40u8 {
-        heap.insert(&mut d, &[i; 32]).unwrap();
+        heap.insert(&d, &[i; 32]).unwrap();
     }
     assert!(d.allocated_pages() > frontier, "the transaction grew the heap");
     d.abort().unwrap();
@@ -357,12 +357,12 @@ fn aborted_structured_growth_returns_pids_to_the_free_list() {
     // put instead of doubling.
     d.begin().unwrap();
     for i in 0..40u8 {
-        heap.insert(&mut d, &[i; 32]).unwrap();
+        heap.insert(&d, &[i; 32]).unwrap();
     }
     d.commit().unwrap();
     assert_eq!(d.allocated_pages(), after_abort, "rollback-freed pids were reissued");
     // The committed records read back intact through the reused pages.
-    let rid = heap.insert(&mut d, &[0xAA; 32]).unwrap();
+    let rid = heap.insert(&d, &[0xAA; 32]).unwrap();
     let byte = heap.get(&d, rid, |r| r[0]).unwrap();
     assert_eq!(byte, 0xAA);
 }
@@ -372,7 +372,7 @@ fn aborted_raw_allocations_are_stranded_but_counted() {
     // Raw `alloc_page` pids may be held by the caller outside any
     // registered structure, so a rollback cannot reissue them — but the
     // leak is no longer silent: the gauge counts every stranded pid.
-    let mut d = db(16, 8);
+    let d = db(16, 8);
     d.begin().unwrap();
     let a = d.alloc_page().unwrap();
     let b = d.alloc_page().unwrap();

@@ -156,18 +156,18 @@ pub struct TpccDb {
 
 impl TpccDb {
     /// Create the (empty) table and index structures.
-    pub fn create(mut db: Database, scale: TpccScale) -> Result<TpccDb> {
+    pub fn create(db: Database, scale: TpccScale) -> Result<TpccDb> {
         Ok(TpccDb {
-            idx_warehouse: BTree::create(&mut db)?,
-            idx_district: BTree::create(&mut db)?,
-            idx_customer: BTree::create(&mut db)?,
-            idx_customer_name: BTree::create(&mut db)?,
-            idx_order: BTree::create(&mut db)?,
-            idx_order_customer: BTree::create(&mut db)?,
-            idx_new_order: BTree::create(&mut db)?,
-            idx_order_line: BTree::create(&mut db)?,
-            idx_item: BTree::create(&mut db)?,
-            idx_stock: BTree::create(&mut db)?,
+            idx_warehouse: BTree::create(&db)?,
+            idx_district: BTree::create(&db)?,
+            idx_customer: BTree::create(&db)?,
+            idx_customer_name: BTree::create(&db)?,
+            idx_order: BTree::create(&db)?,
+            idx_order_customer: BTree::create(&db)?,
+            idx_new_order: BTree::create(&db)?,
+            idx_order_line: BTree::create(&db)?,
+            idx_item: BTree::create(&db)?,
+            idx_stock: BTree::create(&db)?,
             warehouse: HeapFile::create(&db),
             district: HeapFile::create(&db),
             customer: HeapFile::create(&db),

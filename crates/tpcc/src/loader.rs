@@ -41,8 +41,8 @@ fn load_items(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
             price: r.uniform_f(1.0, 100.0),
             data,
         };
-        let rid = t.item.insert(&mut t.db, &item.encode())?;
-        t.idx_item.insert(&mut t.db, &keys::item(i_id), rid.to_u64())?;
+        let rid = t.item.insert(&t.db, &item.encode())?;
+        t.idx_item.insert(&t.db, &keys::item(i_id), rid.to_u64())?;
     }
     Ok(())
 }
@@ -58,8 +58,8 @@ fn load_warehouse(t: &mut TpccDb, r: &mut TpccRand, w: u32) -> Result<()> {
         tax: r.uniform_f(0.0, 0.2),
         ytd: 300_000.0,
     };
-    let rid = t.warehouse.insert(&mut t.db, &row.encode())?;
-    t.idx_warehouse.insert(&mut t.db, &keys::warehouse(w), rid.to_u64())?;
+    let rid = t.warehouse.insert(&t.db, &row.encode())?;
+    t.idx_warehouse.insert(&t.db, &keys::warehouse(w), rid.to_u64())?;
     Ok(())
 }
 
@@ -79,8 +79,8 @@ fn load_stock(t: &mut TpccDb, r: &mut TpccRand, w: u32) -> Result<()> {
             remote_cnt: 0,
             data,
         };
-        let rid = t.stock.insert(&mut t.db, &row.encode())?;
-        t.idx_stock.insert(&mut t.db, &keys::stock(w, i_id), rid.to_u64())?;
+        let rid = t.stock.insert(&t.db, &row.encode())?;
+        t.idx_stock.insert(&t.db, &keys::stock(w, i_id), rid.to_u64())?;
     }
     Ok(())
 }
@@ -98,8 +98,8 @@ fn load_district(t: &mut TpccDb, r: &mut TpccRand, w: u32, d: u8) -> Result<()> 
         ytd: 30_000.0,
         next_o_id: t.scale.orders_per_district + 1,
     };
-    let rid = t.district.insert(&mut t.db, &row.encode())?;
-    t.idx_district.insert(&mut t.db, &keys::district(w, d), rid.to_u64())?;
+    let rid = t.district.insert(&t.db, &row.encode())?;
+    t.idx_district.insert(&t.db, &keys::district(w, d), rid.to_u64())?;
     Ok(())
 }
 
@@ -129,9 +129,9 @@ fn load_customers(t: &mut TpccDb, r: &mut TpccRand, w: u32, d: u8) -> Result<()>
             delivery_cnt: 0,
             data: r.a_string(100, Customer::DATA_WIDTH),
         };
-        let rid = t.customer.insert(&mut t.db, &row.encode())?;
-        t.idx_customer.insert(&mut t.db, &keys::customer(w, d, c_id), rid.to_u64())?;
-        t.idx_customer_name.insert(&mut t.db, &keys::customer_name(w, d, &last), rid.to_u64())?;
+        let rid = t.customer.insert(&t.db, &row.encode())?;
+        t.idx_customer.insert(&t.db, &keys::customer(w, d, c_id), rid.to_u64())?;
+        t.idx_customer_name.insert(&t.db, &keys::customer_name(w, d, &last), rid.to_u64())?;
 
         // One HISTORY row per customer.
         let h = History {
@@ -144,7 +144,7 @@ fn load_customers(t: &mut TpccDb, r: &mut TpccRand, w: u32, d: u8) -> Result<()>
             amount: 10.0,
             data: r.a_string(12, 24),
         };
-        t.history.insert(&mut t.db, &h.encode())?;
+        t.history.insert(&t.db, &h.encode())?;
     }
     Ok(())
 }
@@ -169,10 +169,10 @@ fn load_orders(t: &mut TpccDb, r: &mut TpccRand, w: u32, d: u8) -> Result<()> {
             ol_cnt,
             all_local: 1,
         };
-        let rid = t.order.insert(&mut t.db, &order.encode())?;
-        t.idx_order.insert(&mut t.db, &keys::order(w, d, o_id), rid.to_u64())?;
+        let rid = t.order.insert(&t.db, &order.encode())?;
+        t.idx_order.insert(&t.db, &keys::order(w, d, o_id), rid.to_u64())?;
         t.idx_order_customer.insert(
-            &mut t.db,
+            &t.db,
             &keys::order_customer(w, d, c_id, o_id),
             rid.to_u64(),
         )?;
@@ -189,17 +189,17 @@ fn load_orders(t: &mut TpccDb, r: &mut TpccRand, w: u32, d: u8) -> Result<()> {
                 amount: if delivered { 0.0 } else { r.uniform_f(0.01, 9_999.99) },
                 dist_info: r.a_string(24, 24),
             };
-            let ol_rid = t.order_line.insert(&mut t.db, &ol.encode())?;
+            let ol_rid = t.order_line.insert(&t.db, &ol.encode())?;
             t.idx_order_line.insert(
-                &mut t.db,
+                &t.db,
                 &keys::order_line(w, d, o_id, number),
                 ol_rid.to_u64(),
             )?;
         }
         if !delivered {
             let no = NewOrder { o_id, d_id: d, w_id: w };
-            let no_rid = t.new_order.insert(&mut t.db, &no.encode())?;
-            t.idx_new_order.insert(&mut t.db, &keys::new_order(w, d, o_id), no_rid.to_u64())?;
+            let no_rid = t.new_order.insert(&t.db, &no.encode())?;
+            t.idx_new_order.insert(&t.db, &keys::new_order(w, d, o_id), no_rid.to_u64())?;
         }
     }
     Ok(())

@@ -209,16 +209,16 @@ fn new_order(t: &mut TpccDb, r: &mut TpccRand) -> Result<bool> {
     // First write: advance D_NEXT_O_ID (clause 2.4.2.2).
     let o_id = district.next_o_id;
     district.next_o_id += 1;
-    t.district.update(&mut t.db, d_rid, &district.encode())?;
+    t.district.update(&t.db, d_rid, &district.encode())?;
 
     // Insert ORDER and NEW-ORDER.
     let order =
         Order { o_id, d_id: d, w_id: w, c_id: c, entry_d: 2, carrier_id: 0, ol_cnt, all_local };
-    let o_rid = t.order.insert(&mut t.db, &order.encode())?;
-    t.idx_order.insert(&mut t.db, &keys::order(w, d, o_id), o_rid.to_u64())?;
-    t.idx_order_customer.insert(&mut t.db, &keys::order_customer(w, d, c, o_id), o_rid.to_u64())?;
-    let no_rid = t.new_order.insert(&mut t.db, &NewOrder { o_id, d_id: d, w_id: w }.encode())?;
-    t.idx_new_order.insert(&mut t.db, &keys::new_order(w, d, o_id), no_rid.to_u64())?;
+    let o_rid = t.order.insert(&t.db, &order.encode())?;
+    t.idx_order.insert(&t.db, &keys::order(w, d, o_id), o_rid.to_u64())?;
+    t.idx_order_customer.insert(&t.db, &keys::order_customer(w, d, c, o_id), o_rid.to_u64())?;
+    let no_rid = t.new_order.insert(&t.db, &NewOrder { o_id, d_id: d, w_id: w }.encode())?;
+    t.idx_new_order.insert(&t.db, &keys::new_order(w, d, o_id), no_rid.to_u64())?;
 
     // Per line: item validation + stock update + order-line insert. The
     // invalid item of the 1% rollback case is detected *here*, at the
@@ -243,7 +243,7 @@ fn new_order(t: &mut TpccDb, r: &mut TpccRand) -> Result<bool> {
             stock.remote_cnt += 1;
         }
         let dist_info = stock.dist[(d - 1) as usize].clone();
-        t.stock.update(&mut t.db, s_rid, &stock.encode())?;
+        t.stock.update(&t.db, s_rid, &stock.encode())?;
 
         let ol = OrderLine {
             o_id,
@@ -257,9 +257,9 @@ fn new_order(t: &mut TpccDb, r: &mut TpccRand) -> Result<bool> {
             amount: line.quantity as f64 * item.price,
             dist_info,
         };
-        let ol_rid = t.order_line.insert(&mut t.db, &ol.encode())?;
+        let ol_rid = t.order_line.insert(&t.db, &ol.encode())?;
         t.idx_order_line.insert(
-            &mut t.db,
+            &t.db,
             &keys::order_line(w, d, o_id, n as u8 + 1),
             ol_rid.to_u64(),
         )?;
@@ -290,10 +290,10 @@ fn payment(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
     // Update warehouse and district YTD.
     let (w_rid, mut warehouse) = t.warehouse_row(w)?;
     warehouse.ytd += amount;
-    t.warehouse.update(&mut t.db, w_rid, &warehouse.encode())?;
+    t.warehouse.update(&t.db, w_rid, &warehouse.encode())?;
     let (d_rid, mut district) = t.district_row(w, d)?;
     district.ytd += amount;
-    t.district.update(&mut t.db, d_rid, &district.encode())?;
+    t.district.update(&t.db, d_rid, &district.encode())?;
 
     // Select the customer: 60% by last name, 40% by id (clause 2.5.1.2).
     let (c_rid, mut customer) = if r.chance(60) {
@@ -324,7 +324,7 @@ fn payment(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
         data.truncate(Customer::DATA_WIDTH);
         customer.data = data;
     }
-    t.customer.update(&mut t.db, c_rid, &customer.encode())?;
+    t.customer.update(&t.db, c_rid, &customer.encode())?;
 
     let history = History {
         c_id: customer.c_id,
@@ -336,7 +336,7 @@ fn payment(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
         amount,
         data: format!("{:.10}    {:.10}", warehouse.name, district.name),
     };
-    t.history.insert(&mut t.db, &history.encode())?;
+    t.history.insert(&t.db, &history.encode())?;
     Ok(())
 }
 
@@ -409,8 +409,8 @@ fn delivery(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
         })?;
         let Some((no_key, no_rid)) = oldest else { continue };
         let no = t.new_order.get(&t.db, no_rid, NewOrder::decode)?;
-        t.new_order.delete(&mut t.db, no_rid)?;
-        t.idx_new_order.delete_exact(&mut t.db, &no_key, no_rid.to_u64())?;
+        t.new_order.delete(&t.db, no_rid)?;
+        t.idx_new_order.delete_exact(&t.db, &no_key, no_rid.to_u64())?;
 
         // Mark the order delivered.
         let o_rid = t
@@ -420,7 +420,7 @@ fn delivery(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
         let o_rid = RecordId::from_u64(o_rid);
         let mut order = t.order.get(&t.db, o_rid, Order::decode)?;
         order.carrier_id = carrier;
-        t.order.update(&mut t.db, o_rid, &order.encode())?;
+        t.order.update(&t.db, o_rid, &order.encode())?;
 
         // Stamp the delivery date on every line, summing the amounts.
         let lo = keys::order_line(w, d, no.o_id, 0);
@@ -435,14 +435,14 @@ fn delivery(t: &mut TpccDb, r: &mut TpccRand) -> Result<()> {
             let mut ol = t.order_line.get(&t.db, rid, OrderLine::decode)?;
             ol.delivery_d = 4;
             total += ol.amount;
-            t.order_line.update(&mut t.db, rid, &ol.encode())?;
+            t.order_line.update(&t.db, rid, &ol.encode())?;
         }
 
         // Credit the customer.
         let (c_rid, mut customer) = t.customer_row(w, d, order.c_id)?;
         customer.balance += total;
         customer.delivery_cnt += 1;
-        t.customer.update(&mut t.db, c_rid, &customer.encode())?;
+        t.customer.update(&t.db, c_rid, &customer.encode())?;
     }
     Ok(())
 }

@@ -27,6 +27,7 @@ pub mod obs;
 mod readers;
 mod report;
 mod scale;
+mod struct_writers;
 mod threaded;
 mod txn;
 
@@ -36,5 +37,6 @@ pub use mutate::{Placement, UpdateGen};
 pub use readers::{run_snapshot_read_workload, SnapshotReadConfig, SnapshotReadResult};
 pub use report::{format_us, pipeline_table, wear_table, Table};
 pub use scale::{chip_for, db_pages_for, Scale};
+pub use struct_writers::{run_struct_writers_workload, StructWritersConfig, StructWritersResult};
 pub use threaded::{run_threaded_update_workload, PageSetMode, ThreadedConfig};
 pub use txn::{run_txn_commit_workload, TxnCommitConfig, TxnCommitResult};

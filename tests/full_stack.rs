@@ -20,9 +20,9 @@ fn btree_and_heap_work_over_every_method_under_pool_pressure() {
     for kind in kinds() {
         let chip = FlashChip::new(FlashConfig::scaled(32));
         let store = build_store(chip, kind, StoreOptions::new(600)).unwrap();
-        let mut db = Database::new(store, 6); // heavy eviction traffic
-        let mut tree = BTree::create(&mut db).unwrap();
-        let mut heap = HeapFile::new();
+        let db = Database::new(store, 6); // heavy eviction traffic
+        let tree = BTree::create(&db).unwrap();
+        let heap = HeapFile::new();
         let mut model: BTreeMap<u64, (RecordId, Vec<u8>)> = BTreeMap::new();
         let mut rng = StdRng::seed_from_u64(0xF00D);
 
@@ -31,9 +31,8 @@ fn btree_and_heap_work_over_every_method_under_pool_pressure() {
                 0..=5 => {
                     // Insert a record and index it.
                     let rec: Vec<u8> = (0..rng.gen_range(20..200)).map(|_| rng.gen()).collect();
-                    let rid = heap.insert(&mut db, &rec).unwrap();
-                    tree.insert(&mut db, &KeyBuf::new().push_u64(i).finish(), rid.to_u64())
-                        .unwrap();
+                    let rid = heap.insert(&db, &rec).unwrap();
+                    tree.insert(&db, &KeyBuf::new().push_u64(i).finish(), rid.to_u64()).unwrap();
                     model.insert(i, (rid, rec));
                 }
                 6..=7 if !model.is_empty() => {
@@ -57,15 +56,11 @@ fn btree_and_heap_work_over_every_method_under_pool_pressure() {
                         let at = rng.gen_range(0..rec.len());
                         rec[at] = rec[at].wrapping_add(1);
                     }
-                    let new_rid = heap.update(&mut db, rid, &rec).unwrap();
+                    let new_rid = heap.update(&db, rid, &rec).unwrap();
                     if new_rid != rid {
-                        tree.delete_exact(
-                            &mut db,
-                            &KeyBuf::new().push_u64(k).finish(),
-                            rid.to_u64(),
-                        )
-                        .unwrap();
-                        tree.insert(&mut db, &KeyBuf::new().push_u64(k).finish(), new_rid.to_u64())
+                        tree.delete_exact(&db, &KeyBuf::new().push_u64(k).finish(), rid.to_u64())
+                            .unwrap();
+                        tree.insert(&db, &KeyBuf::new().push_u64(k).finish(), new_rid.to_u64())
                             .unwrap();
                     }
                     model.insert(k, (new_rid, rec));
@@ -74,8 +69,8 @@ fn btree_and_heap_work_over_every_method_under_pool_pressure() {
                     // Delete.
                     let k = *model.keys().nth(rng.gen_range(0..model.len())).unwrap();
                     let (rid, _) = model.remove(&k).unwrap();
-                    heap.delete(&mut db, rid).unwrap();
-                    tree.delete_exact(&mut db, &KeyBuf::new().push_u64(k).finish(), rid.to_u64())
+                    heap.delete(&db, rid).unwrap();
+                    tree.delete_exact(&db, &KeyBuf::new().push_u64(k).finish(), rid.to_u64())
                         .unwrap();
                 }
                 _ => {}
@@ -99,14 +94,14 @@ fn flushed_stack_survives_crash_and_recovery() {
     for kind in kinds() {
         let chip = FlashChip::new(FlashConfig::scaled(32));
         let store = build_store(chip, kind, StoreOptions::new(600)).unwrap();
-        let mut db = Database::new(store, 16);
-        let mut tree = BTree::create(&mut db).unwrap();
-        let mut heap = HeapFile::new();
+        let db = Database::new(store, 16);
+        let tree = BTree::create(&db).unwrap();
+        let heap = HeapFile::new();
         let mut expectations = Vec::new();
         for i in 0..400u64 {
             let rec = i.to_le_bytes().repeat(4);
-            let rid = heap.insert(&mut db, &rec).unwrap();
-            tree.insert(&mut db, &KeyBuf::new().push_u64(i).finish(), rid.to_u64()).unwrap();
+            let rid = heap.insert(&db, &rec).unwrap();
+            tree.insert(&db, &KeyBuf::new().push_u64(i).finish(), rid.to_u64()).unwrap();
             expectations.push((i, rid, rec));
         }
         db.flush().unwrap();
@@ -130,12 +125,12 @@ fn io_accounting_flows_to_the_chip_through_the_whole_stack() {
     let chip = FlashChip::new(FlashConfig::scaled(32));
     let store =
         build_store(chip, MethodKind::Pdl { max_diff_size: 256 }, StoreOptions::new(600)).unwrap();
-    let mut db = Database::new(store, 4);
-    let mut heap = HeapFile::new();
+    let db = Database::new(store, 4);
+    let heap = HeapFile::new();
     for i in 0..200u64 {
         // Records big enough that the file spans well beyond the 4-frame
         // pool, so the later scan misses the cache.
-        heap.insert(&mut db, &[i as u8; 100]).unwrap();
+        heap.insert(&db, &[i as u8; 100]).unwrap();
     }
     db.flush().unwrap();
     let io = db.io_stats().total();
