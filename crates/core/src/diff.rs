@@ -17,9 +17,20 @@
 //! whose transaction left no commit record behind (aborted, or torn by a
 //! crash mid-commit).
 //!
+//! **Codec v3** adds the *epoch record*: one record proving the durable
+//! commit of a whole batch of transactions, encoded as explicit inclusive
+//! txn-id ranges. Group commit appends one epoch record per batch instead
+//! of one commit record per transaction, and GC compaction coalesces
+//! surviving commit records into epoch records, so long-lived committed
+//! tags stop littering every compaction pass. The ranges are built only
+//! from ids whose commit is being proven — never a blanket claim over an
+//! id interval — so a torn transaction whose id happens to fall between
+//! two committed ids is never falsely proven committed.
+//!
 //! ```text
 //! record := body_len : u16 LE    (length of everything after this field)
-//!           kind     : u8        (0x01 differential, 0x02 commit record)
+//!           kind     : u8        (0x01 differential, 0x02 commit record,
+//!                                 0x03 epoch record)
 //! diff   := pid      : u64 LE    (logical page the differential belongs to)
 //!           ts       : u64 LE    (creation time stamp)
 //!           txn      : u64 LE    (owning transaction; NO_TXN = none)
@@ -27,6 +38,7 @@
 //!           runs     : run*
 //! run    := offset : u16 LE, len : u16 LE, bytes[len]
 //! commit := txn : u64 LE, ts : u64 LE
+//! epoch  := ts : u64 LE, n_ranges : u16 LE, (lo u64, hi u64)*  (inclusive)
 //! ```
 //!
 //! Unlike an update log, which records one update command, a differential
@@ -42,6 +54,7 @@ pub use pdl_flash::NO_TXN;
 
 const KIND_DIFF: u8 = 0x01;
 const KIND_COMMIT: u8 = 0x02;
+const KIND_EPOCH: u8 = 0x03;
 
 /// A contiguous changed byte range.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -96,11 +109,101 @@ impl CommitRecord {
     }
 }
 
+/// An epoch record: proves the durable commit of every transaction id
+/// inside its inclusive ranges, exactly as if each had its own
+/// [`CommitRecord`]. Ranges are built from explicitly enumerated
+/// committed ids, so membership is an exact commit proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EpochRecord {
+    pub ts: u64,
+    /// Inclusive `(lo, hi)` txn-id ranges, ascending and non-overlapping.
+    pub ranges: Vec<(u64, u64)>,
+}
+
+/// Fixed epoch-record overhead: length prefix, kind, ts, range count.
+pub const EPOCH_HEADER: usize = 2 + 1 + 8 + 2;
+
+impl EpochRecord {
+    /// Build an epoch record from a set of committed transaction ids,
+    /// coalescing adjacent ids into ranges. Duplicates are tolerated.
+    pub fn from_ids(ts: u64, ids: &[u64]) -> EpochRecord {
+        let mut sorted: Vec<u64> = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for id in sorted {
+            match ranges.last_mut() {
+                Some((_, hi)) if *hi + 1 == id => *hi = id,
+                _ => ranges.push((id, id)),
+            }
+        }
+        EpochRecord { ts, ranges }
+    }
+
+    /// True when `txn` is proven committed by this record.
+    pub fn contains(&self, txn: u64) -> bool {
+        self.ranges
+            .binary_search_by(|&(lo, hi)| {
+                if txn < lo {
+                    std::cmp::Ordering::Greater
+                } else if txn > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Every member transaction id, expanded from the ranges.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ranges.iter().flat_map(|&(lo, hi)| lo..=hi)
+    }
+
+    /// Number of member transaction ids.
+    pub fn len(&self) -> usize {
+        self.ranges.iter().map(|&(lo, hi)| (hi - lo + 1) as usize).sum()
+    }
+
+    /// True when the record proves no commits at all.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Total encoded size of the record, including the length prefix.
+    pub fn encoded_len(&self) -> usize {
+        EPOCH_HEADER + 16 * self.ranges.len()
+    }
+
+    /// Encode into `out` (must hold at least `encoded_len()` bytes).
+    pub fn encode(&self, out: &mut [u8]) -> Result<usize> {
+        let need = self.encoded_len();
+        if out.len() < need {
+            return Err(CoreError::BadPageSize { expected: need, got: out.len() });
+        }
+        let body_len = need - 2;
+        debug_assert!(body_len < u16::MAX as usize, "epoch record body too large");
+        out[0..2].copy_from_slice(&(body_len as u16).to_le_bytes());
+        out[2] = KIND_EPOCH;
+        out[3..11].copy_from_slice(&self.ts.to_le_bytes());
+        out[11..13].copy_from_slice(&(self.ranges.len() as u16).to_le_bytes());
+        let mut at = EPOCH_HEADER;
+        for &(lo, hi) in &self.ranges {
+            out[at..at + 8].copy_from_slice(&lo.to_le_bytes());
+            out[at + 8..at + 16].copy_from_slice(&hi.to_le_bytes());
+            at += 16;
+        }
+        debug_assert_eq!(at, need);
+        Ok(need)
+    }
+}
+
 /// One record of a differential page's data area.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PageRecord {
     Diff(Differential),
     Commit(CommitRecord),
+    Epoch(EpochRecord),
 }
 
 /// Fixed per-differential overhead: length prefix, kind, pid, ts, txn,
@@ -239,6 +342,34 @@ impl Differential {
                 let txn = u64::from_le_bytes(bytes[3..11].try_into().unwrap());
                 let ts = u64::from_le_bytes(bytes[11..19].try_into().unwrap());
                 Ok(Some((PageRecord::Commit(CommitRecord { txn, ts }), end)))
+            }
+            KIND_EPOCH => {
+                if body_len < EPOCH_HEADER - 2 {
+                    return Err(CoreError::Corruption(format!(
+                        "epoch record body of {body_len} bytes is truncated"
+                    )));
+                }
+                let ts = u64::from_le_bytes(bytes[3..11].try_into().unwrap());
+                let n_ranges = u16::from_le_bytes(bytes[11..13].try_into().unwrap()) as usize;
+                if body_len != EPOCH_HEADER - 2 + 16 * n_ranges {
+                    return Err(CoreError::Corruption(format!(
+                        "epoch record body of {body_len} bytes does not match {n_ranges} ranges"
+                    )));
+                }
+                let mut ranges = Vec::with_capacity(n_ranges);
+                let mut at = EPOCH_HEADER;
+                for _ in 0..n_ranges {
+                    let lo = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+                    let hi = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap());
+                    if lo > hi {
+                        return Err(CoreError::Corruption(format!(
+                            "epoch record range {lo}..{hi} is inverted"
+                        )));
+                    }
+                    ranges.push((lo, hi));
+                    at += 16;
+                }
+                Ok(Some((PageRecord::Epoch(EpochRecord { ts, ranges }), end)))
             }
             KIND_DIFF => {
                 if body_len < RECORD_HEADER - 2 {
@@ -426,6 +557,50 @@ mod tests {
         let (back, used) = Differential::decode(&buf).unwrap().unwrap();
         assert_eq!(used, n);
         assert_eq!(back, PageRecord::Commit(c));
+    }
+
+    #[test]
+    fn epoch_record_round_trips() {
+        let e = EpochRecord::from_ids(77, &[5, 3, 4, 9, 3, 12, 13]);
+        assert_eq!(e.ranges, vec![(3, 5), (9, 9), (12, 13)]);
+        assert_eq!(e.len(), 6);
+        for id in [3, 4, 5, 9, 12, 13] {
+            assert!(e.contains(id), "id {id}");
+        }
+        for id in [0, 2, 6, 8, 10, 11, 14, u64::MAX] {
+            assert!(!e.contains(id), "id {id}");
+        }
+        assert_eq!(e.ids().collect::<Vec<_>>(), vec![3, 4, 5, 9, 12, 13]);
+        let mut buf = vec![0xFFu8; 128];
+        let n = e.encode(&mut buf).unwrap();
+        assert_eq!(n, e.encoded_len());
+        let (back, used) = Differential::decode(&buf).unwrap().unwrap();
+        assert_eq!(used, n);
+        assert_eq!(back, PageRecord::Epoch(e));
+    }
+
+    #[test]
+    fn epoch_never_proves_a_gap_id() {
+        // The motivating safety property: a torn transaction whose id
+        // falls between two committed ids must not be proven committed.
+        let e = EpochRecord::from_ids(1, &[10, 12]);
+        assert_eq!(e.ranges, vec![(10, 10), (12, 12)]);
+        assert!(!e.contains(11));
+    }
+
+    #[test]
+    fn epoch_decode_rejects_bad_shapes() {
+        let e = EpochRecord::from_ids(1, &[1, 2, 3]);
+        let mut buf = vec![0xFFu8; 64];
+        let n = e.encode(&mut buf).unwrap();
+        // Claim one more range than the body holds.
+        let mut wrong = buf.clone();
+        wrong[11..13].copy_from_slice(&2u16.to_le_bytes());
+        assert!(Differential::decode(&wrong[..n]).is_err());
+        // Inverted range.
+        let mut inverted = buf.clone();
+        inverted[EPOCH_HEADER..EPOCH_HEADER + 8].copy_from_slice(&9u64.to_le_bytes());
+        assert!(Differential::decode(&inverted[..n]).is_err());
     }
 
     #[test]

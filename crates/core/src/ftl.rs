@@ -88,6 +88,18 @@ pub struct BlockManager {
     /// hotness gauge the hot/cold policy uses to break victim ties
     /// (hotter block first — its valid pages are about to obsolete).
     hot_allocs: Vec<u32>,
+    /// Retention-ledger pins per block: live spilled pre-image pages an
+    /// active read view may still resolve. Pinned pages are valid pages —
+    /// GC relocates rather than destroys them — but collecting a block
+    /// dense in them churns cold data for no reclaim benefit, so victim
+    /// selection deprioritises such blocks (see
+    /// [`Self::pick_victim_excluding`]).
+    retained: Vec<u32>,
+    /// Times victim selection steered away from a retention-dense block
+    /// that plain policy scoring would have picked (the
+    /// `retention.pinned_skips` gauge). A `Cell` so the read-only
+    /// selection path can record the event.
+    retention_skips: std::cell::Cell<u64>,
 }
 
 /// Garbage-collection victim selection policy.
@@ -130,6 +142,8 @@ impl BlockManager {
             alloc_seq: 0,
             last_alloc: vec![0; num_blocks as usize],
             hot_allocs: vec![0; num_blocks as usize],
+            retained: vec![0; num_blocks as usize],
+            retention_skips: std::cell::Cell::new(0),
         }
     }
 
@@ -365,6 +379,33 @@ impl BlockManager {
         self.obsolete[b] += 1;
     }
 
+    /// Record that `ppn` holds a retention-ledger-pinned page (a spilled
+    /// cold version some active read view may resolve).
+    pub fn note_retained(&mut self, ppn: Ppn) {
+        let b = (ppn.0 / self.pages_per_block) as usize;
+        self.retained[b] += 1;
+    }
+
+    /// Record that the pin on `ppn` was dropped (the page was freed, or
+    /// GC relocated it and re-pinned the new copy).
+    pub fn note_released(&mut self, ppn: Ppn) {
+        let b = (ppn.0 / self.pages_per_block) as usize;
+        debug_assert!(self.retained[b] > 0, "retention pin underflow in block {b}");
+        self.retained[b] = self.retained[b].saturating_sub(1);
+    }
+
+    /// Retention pins currently held in `block` (diagnostics).
+    #[allow(dead_code)]
+    pub fn retained_in(&self, block: BlockId) -> u32 {
+        self.retained[block.0 as usize]
+    }
+
+    /// Times victim selection avoided a retention-dense block plain
+    /// policy scoring would have picked.
+    pub fn retention_skips(&self) -> u64 {
+        self.retention_skips.get()
+    }
+
     /// Choose a GC victim: a `Used` block, preferred according to the
     /// configured [`GcPolicy`], whose live pages can be relocated into at
     /// most `max_valid` free pages and which reclaims at least one page
@@ -375,24 +416,60 @@ impl BlockManager {
         self.pick_victim_excluding(max_valid, &std::collections::HashSet::new())
     }
 
-    /// [`Self::pick_victim`] restricted to blocks outside `pinned`. An
-    /// in-flight transaction commit batch pins the blocks holding its
-    /// pre-images (the superseded base pages and differentials whose
-    /// obsolete marks are deferred until the commit record is durable):
-    /// erasing one would destroy the only state a crash could roll back
-    /// to.
+    /// [`Self::pick_victim`] restricted to blocks outside `pinned`, and
+    /// deprioritising blocks dense in retention-ledger pins.
+    ///
+    /// `pinned` is the *hard* exclusion: an in-flight transaction commit
+    /// batch pins the blocks holding its pre-images (the superseded base
+    /// pages and differentials whose obsolete marks are deferred until
+    /// the commit record is durable) — erasing one would destroy the only
+    /// state a crash could roll back to, and those pages cannot be
+    /// relocated mid-commit.
+    ///
+    /// Retention-ledger pins ([`Self::note_retained`]) are *soft*: the
+    /// spilled cold versions they mark are ordinary valid pages GC can
+    /// relocate, so a retention-dense block is still collectable — it is
+    /// just a poor victim (all churn, little reclaim, and every move
+    /// rewrites a page a reader may be about to fetch). Selection runs in
+    /// two tiers: pin-free blocks compete under plain policy scoring
+    /// first; only when no pin-free victim exists do retention-dense
+    /// blocks compete, least-dense first.
     pub fn pick_victim_excluding(
         &self,
         max_valid: u32,
         pinned: &std::collections::HashSet<u32>,
+    ) -> Option<BlockId> {
+        let clean = self.select_victim(max_valid, pinned, VictimPass::CleanOnly);
+        if let Some(choice) = clean {
+            // Diagnostic: did retention steer the choice away from what
+            // retention-blind policy scoring would have picked?
+            if self.select_victim(max_valid, pinned, VictimPass::Unconstrained) != Some(choice) {
+                self.retention_skips.set(self.retention_skips.get() + 1);
+            }
+            return Some(choice);
+        }
+        self.select_victim(max_valid, pinned, VictimPass::DensityFirst)
+    }
+
+    /// One victim-selection pass; see [`VictimPass`] for the tiers.
+    fn select_victim(
+        &self,
+        max_valid: u32,
+        pinned: &std::collections::HashSet<u32>,
+        pass: VictimPass,
     ) -> Option<BlockId> {
         let mut best: Option<u32> = None;
         let mut best_reclaim = 0u32;
         let mut best_erases = u64::MAX;
         let mut best_hot = 0u32;
         let mut best_score = f64::MIN;
+        let mut best_retained = u32::MAX;
         for b in 0..self.states.len() as u32 {
             if self.states[b as usize] != BlockState::Used || pinned.contains(&b) {
+                continue;
+            }
+            let retained = self.retained[b as usize];
+            if pass == VictimPass::CleanOnly && retained > 0 {
                 continue;
             }
             let valid = self.valid_in(BlockId(b));
@@ -405,7 +482,7 @@ impl BlockManager {
             }
             // Only the cost-benefit policy consults the f64 score.
             let mut score = 0.0f64;
-            let better = match self.policy {
+            let policy_better = match self.policy {
                 GcPolicy::Greedy => best.is_none() || reclaim > best_reclaim,
                 // Separation keeps greedy scoring (it stays near-optimal
                 // once block populations separate, Dayan & Bonnet §3) but
@@ -433,12 +510,22 @@ impl BlockManager {
                     best.is_none() || score > best_score
                 }
             };
+            let better = if best.is_none() {
+                true
+            } else if pass == VictimPass::DensityFirst && retained != best_retained {
+                // Fallback tier: retention density dominates the policy
+                // score — the least-pinned eligible block wins.
+                retained < best_retained
+            } else {
+                policy_better
+            };
             if better {
                 best = Some(b);
                 best_reclaim = reclaim;
                 best_erases = self.erases[b as usize];
                 best_hot = self.hot_allocs[b as usize];
                 best_score = score;
+                best_retained = retained;
             }
         }
         best.map(BlockId)
@@ -461,6 +548,8 @@ impl BlockManager {
         self.obsolete[b] = 0;
         self.erases[b] += 1;
         self.hot_allocs[b] = 0;
+        debug_assert_eq!(self.retained[b], 0, "erasing a block with live retention pins");
+        self.retained[b] = 0;
         self.free.push_back(block.0);
     }
 
@@ -474,6 +563,10 @@ impl BlockManager {
         self.free.clear();
         self.active = None;
         self.active_cold = None;
+        // Retention pins do not survive a crash: the read views holding
+        // them are gone, and recovery marks spill pages dead.
+        self.retained.fill(0);
+        self.retention_skips.set(0);
         for b in 0..self.states.len() {
             if matches!(self.states[b], BlockState::Reserved | BlockState::Bad) {
                 continue;
@@ -494,6 +587,18 @@ impl BlockManager {
     pub fn total_valid(&self) -> u64 {
         (0..self.states.len() as u32).map(|b| self.valid_in(BlockId(b)) as u64).sum()
     }
+}
+
+/// Tiers of one victim-selection scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum VictimPass {
+    /// Only blocks free of retention pins, plain policy ordering.
+    CleanOnly,
+    /// All blocks; fewer retention pins beats the policy score.
+    DensityFirst,
+    /// All blocks, retention-blind policy ordering (the diagnostic
+    /// baseline for the `retention.pinned_skips` gauge).
+    Unconstrained,
 }
 
 /// Per-logical-page update-frequency gauge feeding the hot/cold policy:
@@ -879,6 +984,52 @@ mod tests {
         // Everything counted was reachable; the next page is not.
         assert!(matches!(m.alloc_in(true, AllocStream::Cold), Err(CoreError::StorageFull)));
         assert!(matches!(m.alloc_in(true, AllocStream::Hot), Err(CoreError::StorageFull)));
+    }
+
+    #[test]
+    fn retention_pins_deprioritise_dense_blocks() {
+        let mut m = mgr();
+        let mut pages = Vec::new();
+        for _ in 0..12 {
+            if let AllocOutcome::Page(p) = m.alloc(false).unwrap() {
+                pages.push(p);
+            }
+        }
+        // Block 1 reclaims 3 pages, block 0 reclaims 1: greedy would pick
+        // block 1 — but block 1 holds a ledger-pinned spill page, so the
+        // pin-free block 0 wins and the steer is recorded.
+        m.note_obsolete(pages[0]);
+        m.note_obsolete(pages[4]);
+        m.note_obsolete(pages[5]);
+        m.note_obsolete(pages[6]);
+        m.note_retained(pages[7]);
+        assert_eq!(m.retained_in(BlockId(1)), 1);
+        assert_eq!(m.pick_victim(u32::MAX), Some(BlockId(0)));
+        assert_eq!(m.retention_skips(), 1);
+        // Release the pin: plain greedy scoring resumes.
+        m.note_released(pages[7]);
+        assert_eq!(m.pick_victim(u32::MAX), Some(BlockId(1)));
+        assert_eq!(m.retention_skips(), 1);
+    }
+
+    #[test]
+    fn retention_fallback_prefers_least_dense_block() {
+        let mut m = mgr();
+        let mut pages = Vec::new();
+        for _ in 0..8 {
+            if let AllocOutcome::Page(p) = m.alloc(false).unwrap() {
+                pages.push(p);
+            }
+        }
+        // Both used blocks hold pins, so the clean tier is empty; block 1
+        // reclaims more but is denser in pins, so block 0 wins.
+        m.note_obsolete(pages[1]);
+        m.note_obsolete(pages[4]);
+        m.note_obsolete(pages[5]);
+        m.note_retained(pages[0]);
+        m.note_retained(pages[6]);
+        m.note_retained(pages[7]);
+        assert_eq!(m.pick_victim(u32::MAX), Some(BlockId(0)));
     }
 
     #[test]

@@ -14,13 +14,14 @@
 //! differentials they cover, so a transaction whose records all fit one
 //! page commits atomically with the page program.
 
-use crate::diff::{CommitRecord, Differential};
+use crate::diff::{CommitRecord, Differential, EpochRecord};
 
 /// One buffered record.
 #[derive(Debug)]
 pub(crate) enum DwbEntry {
     Diff(Differential),
     Commit(CommitRecord),
+    Epoch(EpochRecord),
 }
 
 impl DwbEntry {
@@ -28,6 +29,7 @@ impl DwbEntry {
         match self {
             DwbEntry::Diff(d) => d.encoded_len(),
             DwbEntry::Commit(_) => CommitRecord::ENCODED_LEN,
+            DwbEntry::Epoch(e) => e.encoded_len(),
         }
     }
 }
@@ -83,7 +85,7 @@ impl DiffWriteBuffer {
         self.used -= e.encoded_len();
         match e {
             DwbEntry::Diff(d) => Some(d),
-            DwbEntry::Commit(_) => unreachable!("position matched a differential"),
+            _ => unreachable!("position matched a differential"),
         }
     }
 
@@ -103,6 +105,14 @@ impl DiffWriteBuffer {
         debug_assert!(CommitRecord::ENCODED_LEN <= self.free_space(), "dwb overflow");
         self.used += CommitRecord::ENCODED_LEN;
         self.entries.push(DwbEntry::Commit(c));
+    }
+
+    /// Stage an epoch record (codec v3: one record proving a whole
+    /// batch's commits). The caller must have established that it fits.
+    pub fn push_epoch(&mut self, e: EpochRecord) {
+        debug_assert!(e.encoded_len() <= self.free_space(), "dwb overflow");
+        self.used += e.encoded_len();
+        self.entries.push(DwbEntry::Epoch(e));
     }
 
     /// Drain every entry (flush), leaving the buffer empty.
@@ -128,6 +138,14 @@ impl DiffWriteBuffer {
         for e in &self.entries {
             if let DwbEntry::Commit(c) = e {
                 let n = c.encode(&mut out[at..]).expect("dwb accounting guarantees fit");
+                at += n;
+            }
+        }
+        // Epoch records last: like commit records, they must follow every
+        // differential they prove within the page.
+        for e in &self.entries {
+            if let DwbEntry::Epoch(ep) = e {
+                let n = ep.encode(&mut out[at..]).expect("dwb accounting guarantees fit");
                 at += n;
             }
         }

@@ -54,7 +54,7 @@ mod recovery;
 
 pub(crate) use checkpoint::{txn_precheck_fast, CheckpointDelta};
 
-use crate::diff::{CommitRecord, Differential, PageRecord, NO_TXN};
+use crate::diff::{CommitRecord, Differential, EpochRecord, PageRecord, NO_TXN};
 use crate::error::CoreError;
 use crate::ftl::{
     make_spare, make_spare_preserving, make_spare_txn, mark_obsolete_lenient, AllocOutcome,
@@ -116,6 +116,16 @@ pub(crate) struct PdlCounters {
     pub repaired_pages: u64,
     /// Logical pages poisoned: corrupt with no redundant source left.
     pub poisoned_pages: u64,
+    /// Cold MVCC versions spilled to flash for the retention ledger.
+    pub spilled_versions: u64,
+    /// Spilled versions read back for a snapshot reader.
+    pub spill_reads: u64,
+    /// Spill pages GC relocated (never destroyed while pinned).
+    pub spill_relocations: u64,
+    /// Epoch records appended by group commit.
+    pub epoch_commits: u64,
+    /// Committed ids coalesced into epoch records during compaction.
+    pub epoch_coalesced: u64,
 }
 
 /// Page-differential logging store.
@@ -202,6 +212,18 @@ pub struct Pdl {
     /// into `twins` only when the victim's erase fails, leaving the old
     /// copies readable.
     gc_moves: Vec<(u32, u32)>,
+    // --- retention-ledger spill tier ----------------------------------
+    /// Spilled cold versions: handle -> the per-frame ppns holding the
+    /// pre-image. Volatile by design — spill pages cache in-memory
+    /// version-chain state for live read views, and no view survives a
+    /// crash, so recovery starts this empty and GC reclaims any spill
+    /// page it no longer finds here.
+    spills: HashMap<u64, Vec<u32>>,
+    /// Reverse map: spill ppn -> (handle, frame index), so GC can
+    /// relocate a pinned spill page and re-point the handle.
+    spill_rev: HashMap<u32, (u64, u32)>,
+    /// Next spill handle.
+    next_spill: u64,
     // Workhorse buffers.
     base_buf: Vec<u8>,
     frame_buf: Vec<u8>,
@@ -273,6 +295,9 @@ impl Pdl {
             poisoned: HashMap::new(),
             twins: HashMap::new(),
             gc_moves: Vec::new(),
+            spills: HashMap::new(),
+            spill_rev: HashMap::new(),
+            next_spill: 0,
             base_buf: vec![0u8; opts.logical_page_size(g.data_size)],
             frame_buf: vec![0u8; g.data_size],
             page_img: vec![0u8; g.data_size],
@@ -455,8 +480,17 @@ impl Pdl {
         self.page_img = img;
         programmed?;
         // Step 2: update ppmt and vdct for every record in the buffer.
+        // An epoch record counts one vdct reference per member: each
+        // member behaves like its own commit record sharing the location,
+        // so the page stays alive until the last member's presence drops.
         let drained = self.dwb.drain();
-        self.vdct[q.0 as usize] = drained.len() as u16;
+        self.vdct[q.0 as usize] = drained
+            .iter()
+            .map(|e| match e {
+                DwbEntry::Epoch(ep) => ep.len() as u16,
+                _ => 1,
+            })
+            .sum();
         for e in &drained {
             match e {
                 DwbEntry::Diff(d) => {
@@ -477,6 +511,14 @@ impl Pdl {
                     // The record is durable: this is the commit point.
                     self.commit_locs.insert(c.txn, q.0);
                     self.committed.insert(c.txn);
+                }
+                DwbEntry::Epoch(ep) => {
+                    // The epoch record is durable: the commit point of
+                    // every member transaction at once.
+                    for txn in ep.ids() {
+                        self.commit_locs.insert(txn, q.0);
+                        self.committed.insert(txn);
+                    }
                 }
             }
         }
@@ -788,6 +830,7 @@ impl Pdl {
             match info.kind {
                 PageKind::Base => self.relocate_base(ppn, info)?,
                 PageKind::Diff => staged_from_victim |= self.compact_diff_page(ppn)?,
+                PageKind::Spill => self.relocate_spill(ppn, info)?,
                 other => {
                     return Err(CoreError::Corruption(format!(
                         "PDL GC found a {other:?} page at {ppn}"
@@ -908,6 +951,75 @@ impl Pdl {
         Ok(())
     }
 
+    /// Move a live retention-ledger spill page out of a GC victim,
+    /// re-pointing its handle — "GC never reclaims a ledger-pinned
+    /// pre-image" means relocated, never destroyed. A spill page with no
+    /// ledger entry (a crash leftover, or freed moments ago) is dead and
+    /// dies with the block.
+    fn relocate_spill(&mut self, ppn: Ppn, info: SpareInfo) -> Result<()> {
+        let Some(&(handle, j)) = self.spill_rev.get(&ppn.0) else {
+            return Ok(());
+        };
+        let g = self.chip.geometry();
+        let mut buf = std::mem::take(&mut self.frame_buf);
+        let read = self.chip.read_data(ppn, &mut buf);
+        self.frame_buf = buf;
+        read?;
+        // As with base relocation: a failing checksum travels with the
+        // copy (never laundered), surfacing at the reader instead.
+        let corrupt =
+            self.opts.verify_checksums && self.chip.verify_read(ppn, &self.frame_buf).is_err();
+        // Cold by definition: a spilled pre-image is never rewritten.
+        let q = self.alloc_page(AllocStream::Cold)?;
+        let spare = if corrupt {
+            make_spare_preserving(g.spare_size, &info)
+        } else {
+            make_spare(g.spare_size, PageKind::Spill, info.tag, info.ts, &self.frame_buf)
+        };
+        self.chip.program_page(q, &self.frame_buf, &spare)?;
+        self.spill_rev.remove(&ppn.0);
+        self.spill_rev.insert(q.0, (handle, j));
+        self.spills.get_mut(&handle).expect("rev map implies entry")[j as usize] = q.0;
+        self.alloc.note_released(ppn);
+        self.alloc.note_retained(q);
+        self.counters.spill_relocations += 1;
+        Ok(())
+    }
+
+    /// Re-stage durable proof of commit for `ids` through the write
+    /// buffer: a plain commit record for a single id, epoch records
+    /// (chunked to fit the buffer) for more. Returns whether anything was
+    /// staged.
+    fn stage_commit_proofs(&mut self, ids: &[u64]) -> Result<bool> {
+        if ids.is_empty() {
+            return Ok(false);
+        }
+        let ts = self.next_ts();
+        if ids.len() == 1 {
+            if CommitRecord::ENCODED_LEN > self.dwb.free_space() {
+                if !self.in_gc {
+                    self.ensure_capacity(2)?;
+                }
+                self.flush_dwb()?;
+            }
+            self.dwb.push_commit(CommitRecord { txn: ids[0], ts });
+            return Ok(true);
+        }
+        let full = EpochRecord::from_ids(ts, ids);
+        let ranges_per_rec = ((self.dwb.capacity() - crate::diff::EPOCH_HEADER) / 16).max(1);
+        for chunk in full.ranges.chunks(ranges_per_rec) {
+            let rec = EpochRecord { ts, ranges: chunk.to_vec() };
+            if rec.encoded_len() > self.dwb.free_space() {
+                if !self.in_gc {
+                    self.ensure_capacity(2)?;
+                }
+                self.flush_dwb()?;
+            }
+            self.dwb.push_epoch(rec);
+        }
+        Ok(true)
+    }
+
     /// Compaction (§4.1): "for differential pages, we move only valid
     /// differentials into a new differential page". Valid differentials are
     /// re-staged through the write buffer; superseded ones die with the
@@ -931,6 +1043,11 @@ impl Pdl {
             Err(e) => return Err(e),
         };
         let mut staged = false;
+        // Commit proofs found live in this page — per-txn records and
+        // epoch members alike — are coalesced into fresh epoch records at
+        // the end of the pass, so long-lived committed tags cost one
+        // compact record instead of one record each.
+        let mut live_commits: Vec<u64> = Vec::new();
         for rec in &records {
             match rec {
                 PageRecord::Diff(d) => {
@@ -977,12 +1094,7 @@ impl Pdl {
                         continue;
                     }
                     if self.presence.get(&c.txn).copied().unwrap_or(0) > 0 {
-                        if CommitRecord::ENCODED_LEN > self.dwb.free_space() {
-                            self.flush_dwb()?;
-                        }
-                        self.dwb.push_commit(*c);
-                        self.counters.commit_records_restaged += 1;
-                        staged = true;
+                        live_commits.push(c.txn);
                     } else {
                         // Nothing live references the transaction any
                         // more: retire its bookkeeping with the record.
@@ -991,7 +1103,30 @@ impl Pdl {
                         self.presence.remove(&c.txn);
                     }
                 }
+                PageRecord::Epoch(e) => {
+                    // Each member behaves like its own commit record
+                    // sharing this location.
+                    for txn in e.ids() {
+                        if self.commit_locs.get(&txn) != Some(&ppn.0) {
+                            continue;
+                        }
+                        if self.presence.get(&txn).copied().unwrap_or(0) > 0 {
+                            live_commits.push(txn);
+                        } else {
+                            self.commit_locs.remove(&txn);
+                            self.committed.remove(&txn);
+                            self.presence.remove(&txn);
+                        }
+                    }
+                }
             }
+        }
+        if !live_commits.is_empty() {
+            self.counters.commit_records_restaged += live_commits.len() as u64;
+            if live_commits.len() > 1 {
+                self.counters.epoch_coalesced += live_commits.len() as u64;
+            }
+            staged |= self.stage_commit_proofs(&live_commits)?;
         }
         self.vdct[ppn.0 as usize] = 0;
         Ok(staged)
@@ -1022,21 +1157,20 @@ impl Pdl {
         }
         let lost: Vec<u64> =
             self.commit_locs.iter().filter(|(_, l)| **l == ppn.0).map(|(t, _)| *t).collect();
+        let mut lost_live: Vec<u64> = Vec::new();
         for txn in lost {
             self.commit_locs.remove(&txn);
             if self.presence.get(&txn).copied().unwrap_or(0) > 0 {
-                // Still gating visibility: re-stage a fresh record.
-                if CommitRecord::ENCODED_LEN > self.dwb.free_space() {
-                    self.flush_dwb()?;
-                }
-                let ts = self.next_ts();
-                self.dwb.push_commit(CommitRecord { txn, ts });
-                self.counters.commit_records_restaged += 1;
-                staged = true;
+                // Still gating visibility: re-stage fresh proof.
+                lost_live.push(txn);
             } else {
                 self.committed.remove(&txn);
                 self.presence.remove(&txn);
             }
+        }
+        if !lost_live.is_empty() {
+            self.counters.commit_records_restaged += lost_live.len() as u64;
+            staged |= self.stage_commit_proofs(&lost_live)?;
         }
         self.vdct[ppn.0 as usize] = 0;
         Ok(staged)
@@ -1193,6 +1327,92 @@ impl PageStore for Pdl {
         Ok(())
     }
 
+    fn txn_append_commit_epoch(&mut self, txns: &[u64]) -> Result<()> {
+        if txns.is_empty() {
+            return Ok(());
+        }
+        self.stage_commit_proofs(txns)?;
+        self.counters.txn_commits += txns.len() as u64;
+        if txns.len() > 1 {
+            self.counters.epoch_commits += 1;
+        }
+        Ok(())
+    }
+
+    // --- retention-ledger spill tier ----------------------------------
+
+    fn spill_supported(&self) -> bool {
+        true
+    }
+
+    fn spill_page(&mut self, pid: u64, page: &[u8]) -> Result<u64> {
+        self.opts.check_pid(pid)?;
+        let ds = self.chip.geometry().data_size;
+        self.opts.check_page_buf(ds, page)?;
+        let k = self.frames() as u64;
+        self.ensure_capacity(k)?;
+        let g = self.chip.geometry();
+        let ts = self.next_ts();
+        let handle = self.next_spill;
+        self.next_spill += 1;
+        let mut ppns = Vec::with_capacity(k as usize);
+        for (j, frame_data) in page.chunks_exact(ds).enumerate() {
+            // Spilled pre-images are cold by definition (never rewritten),
+            // so they ride the cold stream and stay out of hot blocks.
+            let q = self.alloc_page(AllocStream::Cold)?;
+            let tag = pid * k + j as u64;
+            let spare = make_spare(g.spare_size, PageKind::Spill, tag, ts, frame_data);
+            self.chip.program_page(q, frame_data, &spare)?;
+            self.alloc.note_retained(q);
+            self.spill_rev.insert(q.0, (handle, j as u32));
+            ppns.push(q.0);
+        }
+        self.spills.insert(handle, ppns);
+        self.counters.spilled_versions += 1;
+        Ok(handle)
+    }
+
+    fn read_spill(&mut self, pid: u64, handle: u64, out: &mut [u8]) -> Result<()> {
+        let ds = self.chip.geometry().data_size;
+        self.opts.check_page_buf(ds, out)?;
+        let ppns = self
+            .spills
+            .get(&handle)
+            .cloned()
+            .ok_or_else(|| CoreError::Corruption(format!("unknown spill handle {handle}")))?;
+        for (j, &ppn) in ppns.iter().enumerate() {
+            let slice = &mut out[j * ds..(j + 1) * ds];
+            if self.opts.verify_checksums {
+                match self.chip.read_data_verified(Ppn(ppn), slice) {
+                    Ok(()) => {}
+                    Err(pdl_flash::FlashError::ChecksumMismatch(p)) => {
+                        // A spill page has no twin: the cold version is
+                        // lost. Surface it — the live page is unaffected.
+                        slice.fill(0);
+                        return Err(CoreError::PageCorrupt { pid, ppn: p.0 });
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            } else {
+                self.chip.read_data(Ppn(ppn), slice)?;
+            }
+        }
+        self.counters.spill_reads += 1;
+        Ok(())
+    }
+
+    fn free_spill(&mut self, _pid: u64, handle: u64) -> Result<()> {
+        let Some(ppns) = self.spills.remove(&handle) else {
+            return Ok(()); // already freed: releasing is idempotent
+        };
+        for ppn in ppns {
+            self.spill_rev.remove(&ppn);
+            self.alloc.note_released(Ppn(ppn));
+            self.mark_dead_page(Ppn(ppn), false)?;
+        }
+        Ok(())
+    }
+
     fn txn_id_floor(&self) -> u64 {
         let recorded = self.commit_locs.keys().chain(self.committed.iter()).max().copied();
         let tagged = self.presence.keys().max().copied();
@@ -1315,6 +1535,12 @@ impl PageStore for Pdl {
             ("deferred_marks", c.deferred_marks),
             ("repaired_pages", c.repaired_pages),
             ("poisoned_pages", c.poisoned_pages),
+            ("spilled_versions", c.spilled_versions),
+            ("spill_reads", c.spill_reads),
+            ("spill_relocations", c.spill_relocations),
+            ("epoch_commits", c.epoch_commits),
+            ("epoch_coalesced", c.epoch_coalesced),
+            ("retention_pinned_skips", self.alloc.retention_skips()),
         ]
     }
 

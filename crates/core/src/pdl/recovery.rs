@@ -160,6 +160,13 @@ impl TxnVerdict {
                             }
                         }
                         PageRecord::Commit(c) => self.note_record(c.txn),
+                        // An epoch record proves every member id durably
+                        // committed, exactly as per-txn records would.
+                        PageRecord::Epoch(e) => {
+                            for id in e.ids() {
+                                self.note_record(id);
+                            }
+                        }
                     }
                 }
             }
@@ -486,6 +493,17 @@ impl RecoveryTables {
                             self.commit_cands.entry(c.txn).or_default().push(p);
                             self.has_record.insert(p);
                         }
+                        PageRecord::Epoch(e) => {
+                            // Each member behaves as if it had its own
+                            // record on this page: a candidate location per
+                            // member, sharing the page. finish() then keeps
+                            // the page alive while any member is referenced.
+                            self.max_ts = self.max_ts.max(e.ts);
+                            for id in e.ids() {
+                                self.commit_cands.entry(id).or_default().push(p);
+                            }
+                            self.has_record.insert(p);
+                        }
                         PageRecord::Diff(d) => {
                             if d.txn != NO_TXN && self.uncommitted.contains(&d.txn) {
                                 // Torn transaction: the differential never
@@ -527,6 +545,10 @@ impl RecoveryTables {
                 }
                 Ok(())
             }
+            // Spilled cold MVCC versions are a flash-resident cache of
+            // in-memory retention state; no read view survives a crash, so
+            // every spill page is garbage after one.
+            PageKind::Spill => self.mark_page_obsolete(chip, ppn),
             other => {
                 Err(CoreError::Corruption(format!("PDL recovery found a {other:?} page at {ppn}")))
             }
@@ -759,6 +781,9 @@ impl Pdl {
             in_txn_batch: false,
             poisoned: tables.poisoned,
             twins: tables.twins,
+            spills: HashMap::new(),
+            spill_rev: HashMap::new(),
+            next_spill: 0,
             gc_moves: Vec::new(),
             base_buf: vec![0u8; opts.logical_page_size(g.data_size)],
             frame_buf: vec![0u8; g.data_size],

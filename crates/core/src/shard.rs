@@ -386,6 +386,32 @@ impl ShardedStore {
         (0..self.shards.len()).map(|s| self.lock_shard(s).wear_summary()).collect()
     }
 
+    /// Concurrent [`PageStore::spill_page`]: park a cold version's bytes
+    /// on the owning shard's chip, returning the retention-ledger handle
+    /// plus the flash-cost delta. The handle is shard-local; `pid` routes
+    /// every later [`ShardedStore::read_spill_shared`] /
+    /// [`ShardedStore::free_spill_shared`] back to the same shard, so
+    /// `(pid, handle)` is globally unambiguous.
+    pub fn spill_page_shared(&self, pid: u64, page: &[u8]) -> Result<(u64, FlashStats)> {
+        self.tracked(pid, |s, local| s.spill_page(local, page))
+    }
+
+    /// Concurrent [`PageStore::read_spill`].
+    pub fn read_spill_shared(&self, pid: u64, handle: u64, out: &mut [u8]) -> Result<FlashStats> {
+        Ok(self.tracked(pid, |s, local| s.read_spill(local, handle, out))?.1)
+    }
+
+    /// Concurrent [`PageStore::free_spill`].
+    pub fn free_spill_shared(&self, pid: u64, handle: u64) -> Result<FlashStats> {
+        Ok(self.tracked(pid, |s, local| s.free_spill(local, handle))?.1)
+    }
+
+    /// Whether the shard method supports version spill (uniform across
+    /// shards: they all run the same method).
+    pub fn spill_supported_shared(&self) -> bool {
+        self.lock_shard(0).spill_supported()
+    }
+
     /// Concurrent [`PageStore::prefetch`]: hint the owning shard without
     /// waiting for the reads (range-scan read-ahead).
     pub fn prefetch_shared(&self, pid: u64) -> Result<()> {
@@ -508,6 +534,28 @@ impl PageStore for ShardedStore {
         Ok(())
     }
 
+    fn txn_append_commit_epoch(&mut self, txns: &[u64]) -> Result<()> {
+        // One epoch record per involved shard, mirroring
+        // `txn_append_commit`. The concurrent group-commit coordinator
+        // instead drives per-shard stores through `with_shard` with each
+        // shard's own involved list, so only transactions that actually
+        // staged on a shard are proven there.
+        let staged: Vec<usize> = self
+            .txn_staged_shards
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .copied()
+            .collect();
+        for s in staged {
+            self.shards[s]
+                .get_mut()
+                .unwrap_or_else(|e| e.into_inner())
+                .txn_append_commit_epoch(txns)?;
+        }
+        Ok(())
+    }
+
     fn txn_finalize(&mut self) -> Result<()> {
         self.txn_staged_shards.get_mut().unwrap_or_else(|e| e.into_inner()).clear();
         // txn_reserve opened a batch on every shard; close them all.
@@ -519,6 +567,25 @@ impl PageStore for ShardedStore {
 
     fn txn_id_floor(&self) -> u64 {
         (0..self.shards.len()).map(|s| self.lock_shard(s).txn_id_floor()).max().unwrap_or(1)
+    }
+
+    fn spill_supported(&self) -> bool {
+        self.lock_shard(0).spill_supported()
+    }
+
+    fn spill_page(&mut self, pid: u64, page: &[u8]) -> Result<u64> {
+        let (s, local) = self.locate(pid)?;
+        self.shards[s].get_mut().unwrap_or_else(|e| e.into_inner()).spill_page(local, page)
+    }
+
+    fn read_spill(&mut self, pid: u64, handle: u64, out: &mut [u8]) -> Result<()> {
+        let (s, local) = self.locate(pid)?;
+        self.shards[s].get_mut().unwrap_or_else(|e| e.into_inner()).read_spill(local, handle, out)
+    }
+
+    fn free_spill(&mut self, pid: u64, handle: u64) -> Result<()> {
+        let (s, local) = self.locate(pid)?;
+        self.shards[s].get_mut().unwrap_or_else(|e| e.into_inner()).free_spill(local, handle)
     }
 
     fn txn_stage_struct_roots(

@@ -365,6 +365,132 @@ fn exhaustive_crash_sweep_txn_commits() {
     }
 }
 
+/// The commit-record sweep replayed through **epoch records** (codec v3
+/// kind 0x03): transactions are staged in batches of three and proven by
+/// one epoch record covering the batch's txn-id range instead of three
+/// per-txn records. The verdict at every crash point must agree with
+/// what per-txn records certify — a committed prefix of the script —
+/// and, because one epoch record lands atomically, the prefix must
+/// additionally sit on a batch boundary: an epoch commits all of its
+/// batch or none of it.
+#[test]
+fn exhaustive_crash_sweep_epoch_commits() {
+    const BATCH: usize = 3;
+    let kind = MethodKind::Pdl { max_diff_size: 64 };
+    let mut opts = StoreOptions::new(PAGES);
+    // A batch stages ~3x the pages of one transaction before its epoch
+    // record lands, so the reserve is a notch smaller than the per-txn
+    // sweep's: enough pressure to garbage-collect inside batches without
+    // starving a whole batch's reservation.
+    opts.reserve_blocks = 8;
+    let txns = txn_script(12);
+    let batches = txns.len().div_ceil(BATCH);
+
+    let build = || build_store(FlashChip::new(FlashConfig::tiny()), kind, opts).unwrap();
+    let load = |store: &mut dyn PageStore| -> Vec<Vec<u8>> {
+        let size = store.logical_page_size();
+        let initial: Vec<Vec<u8>> = (0..PAGES).map(|p| vec![p as u8; size]).collect();
+        for pid in 0..PAGES {
+            store.write_page(pid, &initial[pid as usize]).unwrap();
+        }
+        store.flush().unwrap();
+        initial
+    };
+
+    let mut store = build();
+    let size = store.logical_page_size();
+    let mut states: Vec<Vec<Vec<u8>>> = vec![load(store.as_mut())];
+    for txn_pages in &txns {
+        let mut next = states.last().unwrap().clone();
+        for (pid, fill, whole) in txn_pages {
+            apply_op(&mut next[*pid as usize], *fill, *whole);
+        }
+        states.push(next);
+    }
+
+    // One *batch* through the protocol: stage every member, then prove
+    // them all with a single epoch append.
+    let run_batch =
+        |store: &mut dyn PageStore, states: &[Vec<Vec<u8>>], b: usize| -> pdl_core::Result<()> {
+            let lo = b * BATCH;
+            let hi = (lo + BATCH).min(txns.len());
+            let total: u64 = (lo..hi).map(|k| txns[k].len() as u64).sum();
+            store.txn_reserve(total)?;
+            for k in lo..hi {
+                for (pid, _, _) in &txns[k] {
+                    let img = states[k + 1][*pid as usize].clone();
+                    store.txn_stage(*pid, &img, k as u64 + 1)?;
+                }
+            }
+            let ids: Vec<u64> = (lo..hi).map(|k| k as u64 + 1).collect();
+            store.txn_append_commit_epoch(&ids)?;
+            store.txn_finalize()
+        };
+
+    // Dry run: count destructive ops, prove GC ran inside the batches,
+    // and prove the proofs really were epoch records, not a per-txn
+    // fallback.
+    let mut store = build();
+    load(store.as_mut());
+    let before = store.stats();
+    for b in 0..batches {
+        run_batch(store.as_mut(), &states, b).unwrap();
+    }
+    let delta = store.stats().delta_since(&before);
+    assert!(delta.gc.total_ops() > 0, "the epoch workload must garbage-collect ({delta:?})");
+    let epochs =
+        store.counters().iter().find(|(k, _)| *k == "epoch_commits").map(|(_, v)| *v).unwrap_or(0);
+    assert!(epochs >= batches as u64, "every batch must have landed an epoch record");
+    let destructive = delta.total().writes + delta.total().erases;
+
+    for budget in 0..=destructive {
+        let mut store = build();
+        load(store.as_mut());
+        store.chip_mut().arm_fault(budget);
+        for b in 0..batches {
+            match run_batch(store.as_mut(), &states, b) {
+                Ok(()) => {}
+                Err(e) => {
+                    assert!(is_power_loss(&e), "budget {budget}: unexpected error: {e}");
+                    break;
+                }
+            }
+        }
+        let mut chip = store.into_chip();
+        chip.disarm_fault();
+        let mut r = recover_store(chip, kind, opts).unwrap();
+        let mut out = vec![0u8; size];
+        let mut pages_now: Vec<Vec<u8>> = Vec::with_capacity(PAGES as usize);
+        for pid in 0..PAGES {
+            r.read_page(pid, &mut out).unwrap();
+            pages_now.push(out.clone());
+        }
+        // Same verdict space as per-txn records: some committed prefix...
+        let matched = states.iter().position(|s| s == &pages_now);
+        assert!(
+            matched.is_some(),
+            "budget {budget}: recovered state matches no committed prefix — a torn transaction"
+        );
+        // ...and epoch atomicity on top: the prefix ends on a batch
+        // boundary (an epoch record never commits part of its batch).
+        let k = matched.unwrap();
+        assert!(
+            k % BATCH == 0 || k == txns.len(),
+            "budget {budget}: prefix of {k} txns splits an epoch batch"
+        );
+        // A second crash + recovery must agree.
+        let chip = r.into_chip();
+        let mut r2 = recover_store(chip, kind, opts).unwrap();
+        for pid in 0..PAGES {
+            r2.read_page(pid, &mut out).unwrap();
+            assert_eq!(
+                out, pages_now[pid as usize],
+                "budget {budget}: second recovery diverged on page {pid}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 

@@ -70,6 +70,12 @@ pub enum PageKind {
     /// Checkpoint header page (written last; its presence commits the
     /// checkpoint).
     CheckpointHead,
+    /// Spilled cold MVCC version: a committed pre-image frame written to
+    /// flash because DRAM retention pressure would otherwise evict it
+    /// while an active read view still needs it. Spill pages are a cache
+    /// of in-memory state — after a crash no view can reference them, so
+    /// recovery treats them as dead.
+    Spill,
     /// Marked bad (all bits cleared).
     Bad,
 }
@@ -85,6 +91,7 @@ impl PageKind {
             PageKind::IplLog => 0x10,
             PageKind::Checkpoint => 0xC5,
             PageKind::CheckpointHead => 0xC1,
+            PageKind::Spill => 0xA5,
             PageKind::Bad => 0x00,
         }
     }
@@ -99,6 +106,7 @@ impl PageKind {
             0x10 => PageKind::IplLog,
             0xC5 => PageKind::Checkpoint,
             0xC1 => PageKind::CheckpointHead,
+            0xA5 => PageKind::Spill,
             0x00 => PageKind::Bad,
             _ => return None,
         })
@@ -239,6 +247,7 @@ mod tests {
             PageKind::IplLog,
             PageKind::Checkpoint,
             PageKind::CheckpointHead,
+            PageKind::Spill,
             PageKind::Bad,
         ] {
             assert_eq!(PageKind::from_byte(kind.to_byte()), Some(kind));

@@ -75,10 +75,14 @@ pub enum LatencyClass {
     /// structural (B+-tree / heap) mutation. Uncontended acquires record
     /// nothing, so the distribution is the *contention* profile.
     LatchWait,
+    /// Host-clock cost of a snapshot read resolved from the flash
+    /// retention ledger (a cold version spilled out of the DRAM chains):
+    /// the penalty an epoch-long view pays per cold page it touches.
+    ColdVersionRead,
 }
 
 impl LatencyClass {
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 16;
 
     pub const ALL: [LatencyClass; LatencyClass::COUNT] = [
         LatencyClass::ReadUser,
@@ -96,6 +100,7 @@ impl LatencyClass {
         LatencyClass::RecoveryPhase,
         LatencyClass::RepairDetour,
         LatencyClass::LatchWait,
+        LatencyClass::ColdVersionRead,
     ];
 
     pub fn index(self) -> usize {
@@ -115,6 +120,7 @@ impl LatencyClass {
             LatencyClass::RecoveryPhase => 12,
             LatencyClass::RepairDetour => 13,
             LatencyClass::LatchWait => 14,
+            LatencyClass::ColdVersionRead => 15,
         }
     }
 
@@ -136,6 +142,7 @@ impl LatencyClass {
             LatencyClass::RecoveryPhase => "recovery_phase",
             LatencyClass::RepairDetour => "repair_detour",
             LatencyClass::LatchWait => "latch_wait",
+            LatencyClass::ColdVersionRead => "cold_version_read",
         }
     }
 

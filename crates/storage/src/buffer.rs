@@ -21,10 +21,22 @@
 //! had when the view opened — falling back to the pending undo image (an
 //! in-flight writer's pre-image) and finally the current frame. Chains
 //! are pruned when views are released and bounded by
-//! [`pdl_core::StoreOptions::snapshot_version_cap`]; views older than a
-//! cap-forced discard fail with [`StorageError::SnapshotTooOld`].
+//! [`pdl_core::StoreOptions::snapshot_version_cap`] and
+//! [`pdl_core::StoreOptions::snapshot_retention_bytes`].
+//!
+//! # The retention ledger (cold versions on flash)
+//!
+//! When a budget trips and the backing store supports version spill
+//! (PDL does — see [`pdl_core::PageStore::spill_page`]), a discarded
+//! version an active view still needs is **spilled to flash** instead of
+//! lost: its handle joins the chain's ledger entries, and snapshot reads
+//! fall back DRAM chain → ledger → flash read. Ledger entries are freed
+//! when the views that pinned them release. Only when the spill tier is
+//! unavailable (or a spill fails) does the discard advance the too-old
+//! watermark, making [`StorageError::SnapshotTooOld`] the hard-limit
+//! last resort rather than the budget's first response.
 
-use crate::error::StorageError;
+use crate::error::{RetentionTrigger, StorageError};
 use crate::view::{MvccState, StructId, StructRoot, ViewRegistry};
 use crate::{ReadGuard, ReadView, Result};
 use pdl_core::{ChangeRange, PageStore, NO_TXN};
@@ -127,16 +139,21 @@ struct PendingUndo {
 /// The version history of one logical page. `committed` holds
 /// `(commit_ts, image)` pairs in ascending timestamp order, where `image`
 /// is the page as it was *immediately before* the commit at `commit_ts` —
-/// i.e. what a view with `read_ts < commit_ts` must read.
+/// i.e. what a view with `read_ts < commit_ts` must read. `spilled`
+/// holds `(commit_ts, handle)` ledger entries for versions evicted from
+/// DRAM to flash under retention pressure; the cap always evicts a
+/// chain's oldest versions first, so `spilled ++ committed` is the full
+/// history in ascending timestamp order.
 #[derive(Default)]
 struct VersionChain {
     pending: Option<PendingUndo>,
     committed: Vec<(u64, Vec<u8>)>,
+    spilled: Vec<(u64, u64)>,
 }
 
 impl VersionChain {
     fn is_empty(&self) -> bool {
-        self.pending.is_none() && self.committed.is_empty()
+        self.pending.is_none() && self.committed.is_empty() && self.spilled.is_empty()
     }
 }
 
@@ -150,6 +167,15 @@ pub struct BufferStats {
     /// Snapshot reads served from a version chain (a committed version or
     /// an in-flight writer's pending undo image) instead of the frame.
     pub version_reads: u64,
+    /// Committed versions evicted from the DRAM chains into the flash
+    /// retention ledger instead of being discarded (a view needed them).
+    pub spilled_versions: u64,
+    /// Snapshot reads that resolved through a retention-ledger entry (the
+    /// DRAM chain no longer held the version the view needed).
+    pub ledger_hits: u64,
+    /// Ledger hits actually served by a flash read of the spilled image
+    /// (equals `ledger_hits` unless a read-back failed).
+    pub flash_resolves: u64,
     /// Read views currently open against the pool (a gauge, not a
     /// counter: set by the pool when the statistics are sampled). A value
     /// that never returns to zero between workloads is the signature of a
@@ -197,6 +223,9 @@ impl BufferStats {
         self.evictions += other.evictions;
         self.dirty_writebacks += other.dirty_writebacks;
         self.version_reads += other.version_reads;
+        self.spilled_versions += other.spilled_versions;
+        self.ledger_hits += other.ledger_hits;
+        self.flash_resolves += other.flash_resolves;
     }
 }
 
@@ -210,6 +239,32 @@ pub(crate) trait PageBackend {
     fn read(&mut self, pid: u64, out: &mut [u8]) -> Result<()>;
     fn apply(&mut self, pid: u64, page_after: &[u8], changes: &[ChangeRange]) -> Result<()>;
     fn evict(&mut self, pid: u64, page: &[u8]) -> Result<()>;
+
+    /// Whether the store behind this backend can hold spilled cold
+    /// versions (the retention-ledger tier; see
+    /// [`pdl_core::PageStore::spill_supported`]).
+    fn spill_supported(&mut self) -> bool {
+        false
+    }
+
+    /// Spill one committed pre-image to flash; the handle goes into the
+    /// chain's ledger entries.
+    fn spill(&mut self, pid: u64, page: &[u8]) -> Result<u64> {
+        let _ = (pid, page);
+        Err(StorageError::Internal("backend does not support version spill".into()))
+    }
+
+    /// Read a spilled pre-image back (a ledger-resolved snapshot read).
+    fn read_spilled(&mut self, pid: u64, handle: u64, out: &mut [u8]) -> Result<()> {
+        let _ = (pid, handle, out);
+        Err(StorageError::Internal("backend does not support version spill".into()))
+    }
+
+    /// Free a spilled pre-image no remaining view can resolve.
+    fn free_spilled(&mut self, pid: u64, handle: u64) -> Result<()> {
+        let _ = (pid, handle);
+        Err(StorageError::Internal("backend does not support version spill".into()))
+    }
 }
 
 impl PageBackend for Box<dyn PageStore> {
@@ -224,6 +279,22 @@ impl PageBackend for Box<dyn PageStore> {
     fn evict(&mut self, pid: u64, page: &[u8]) -> Result<()> {
         Ok(self.evict_page(pid, page)?)
     }
+
+    fn spill_supported(&mut self) -> bool {
+        (**self).spill_supported()
+    }
+
+    fn spill(&mut self, pid: u64, page: &[u8]) -> Result<u64> {
+        Ok(self.spill_page(pid, page)?)
+    }
+
+    fn read_spilled(&mut self, pid: u64, handle: u64, out: &mut [u8]) -> Result<()> {
+        Ok(self.read_spill(pid, handle, out)?)
+    }
+
+    fn free_spilled(&mut self, pid: u64, handle: u64) -> Result<()> {
+        Ok(self.free_spill(pid, handle)?)
+    }
 }
 
 /// Where auto-committed update commands obtain their commit timestamps.
@@ -234,10 +305,14 @@ impl PageBackend for Box<dyn PageStore> {
 /// the mutation happened and, under the registry lock, either allocates
 /// the commit timestamp (views are active — retain the version) or
 /// returns `None` (nobody can ever need it: any view registered later
-/// reads at a timestamp at or past this commit).
+/// reads at a timestamp at or past this commit). The timestamp comes
+/// paired with the registry's active read-timestamp set (ascending) —
+/// so a retention-budget trip under the same frame lock knows which
+/// evicted versions some view actually resolves to (and must spill)
+/// versus which no reader can ever reach (droppable for free).
 pub(crate) trait VersionSource {
     fn capture_hint(&self) -> bool;
-    fn commit_ts(&self) -> Option<u64>;
+    fn commit_ts(&self) -> Option<(u64, Vec<u64>)>;
 }
 
 /// No snapshot versioning (transactional mutations version at commit
@@ -249,7 +324,7 @@ impl VersionSource for NoVersioning {
         false
     }
 
-    fn commit_ts(&self) -> Option<u64> {
+    fn commit_ts(&self) -> Option<(u64, Vec<u64>)> {
         None
     }
 }
@@ -285,9 +360,13 @@ pub(crate) struct FrameCache {
     /// `frames_per_page` configurations a byte budget bounds DRAM
     /// faithfully. Whichever cap trips first wins.
     retention_bytes: usize,
-    /// Highest commit timestamp ever discarded by the cap: views at or
-    /// below it read [`StorageError::SnapshotTooOld`].
+    /// Highest commit timestamp ever *hard-discarded* by the cap (needed
+    /// by a view but neither retained nor spilled): views at or below it
+    /// read [`StorageError::SnapshotTooOld`]. With the flash retention
+    /// ledger available this only moves when a spill fails.
     too_old_floor: u64,
+    /// What last advanced `too_old_floor` (reported in the error).
+    too_old_trigger: RetentionTrigger,
 }
 
 impl FrameCache {
@@ -312,6 +391,7 @@ impl FrameCache {
             version_cap: version_cap.max(1),
             retention_bytes,
             too_old_floor: 0,
+            too_old_trigger: RetentionTrigger::VersionCap,
         }
     }
 
@@ -358,9 +438,10 @@ impl FrameCache {
         Ok(f(&self.frames[idx].data))
     }
 
-    /// Snapshot read at `read_ts`: the oldest committed version newer
-    /// than the view, else an in-flight writer's pending pre-image, else
-    /// the current frame.
+    /// Snapshot read at `read_ts`: the oldest retained version newer than
+    /// the view — a ledger entry spilled to flash (cold tier), else a
+    /// DRAM-chain committed version — else an in-flight writer's pending
+    /// pre-image, else the current frame.
     pub(crate) fn with_page_at<B: PageBackend, R>(
         &mut self,
         backend: &mut B,
@@ -368,22 +449,54 @@ impl FrameCache {
         read_ts: u64,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
+        Ok(self.with_page_at_traced(backend, pid, read_ts, f)?.0)
+    }
+
+    /// [`Self::with_page_at`] plus whether the read resolved a cold
+    /// version from the flash ledger (the pools time those reads into the
+    /// `cold_version_read` histogram).
+    pub(crate) fn with_page_at_traced<B: PageBackend, R>(
+        &mut self,
+        backend: &mut B,
+        pid: u64,
+        read_ts: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<(R, bool)> {
         if read_ts < self.too_old_floor {
-            return Err(StorageError::SnapshotTooOld { read_ts, floor: self.too_old_floor });
+            return Err(StorageError::SnapshotTooOld {
+                read_ts,
+                floor: self.too_old_floor,
+                trigger: self.too_old_trigger,
+            });
         }
+        // The ledger entries are strictly older than the DRAM-chain
+        // versions (the cap always spills a chain's oldest first), so the
+        // oldest version newer than the view is found ledger-first.
+        let mut cold: Option<u64> = None;
         if let Some(chain) = self.chains.get(&pid) {
-            let versioned = chain
-                .committed
-                .iter()
-                .find(|(commit_ts, _)| *commit_ts > read_ts)
-                .map(|(_, data)| data.as_slice())
-                .or_else(|| chain.pending.as_ref().map(|p| p.data.as_slice()));
-            if let Some(data) = versioned {
-                self.stats.version_reads += 1;
-                return Ok(f(data));
+            cold = chain.spilled.iter().find(|(ts, _)| *ts > read_ts).map(|(_, h)| *h);
+            if cold.is_none() {
+                let versioned = chain
+                    .committed
+                    .iter()
+                    .find(|(commit_ts, _)| *commit_ts > read_ts)
+                    .map(|(_, data)| data.as_slice())
+                    .or_else(|| chain.pending.as_ref().map(|p| p.data.as_slice()));
+                if let Some(data) = versioned {
+                    self.stats.version_reads += 1;
+                    return Ok((f(data), false));
+                }
             }
         }
-        self.with_page(backend, pid, f)
+        if let Some(handle) = cold {
+            self.stats.ledger_hits += 1;
+            let mut image = vec![0u8; self.page_size];
+            backend.read_spilled(pid, handle, &mut image)?;
+            self.stats.flash_resolves += 1;
+            self.stats.version_reads += 1;
+            return Ok((f(&image), true));
+        }
+        Ok((self.with_page(backend, pid, f)?, false))
     }
 
     /// Mutable access on behalf of `txn` ([`NO_TXN`] for the plain
@@ -442,8 +555,8 @@ impl FrameCache {
             // One auto-committed update command = one commit event: retain
             // the pre-image iff a view still needs it.
             if let Some(pre) = auto_pre {
-                if let Some(commit_ts) = vsrc.commit_ts() {
-                    self.push_version(pid, commit_ts, pre);
+                if let Some((commit_ts, active)) = vsrc.commit_ts() {
+                    self.push_version(backend, pid, commit_ts, pre, &active);
                 }
             }
         } else if created_pending {
@@ -463,7 +576,14 @@ impl FrameCache {
         Ok(r)
     }
 
-    fn push_version(&mut self, pid: u64, commit_ts: u64, data: Vec<u8>) {
+    fn push_version<B: PageBackend>(
+        &mut self,
+        backend: &mut B,
+        pid: u64,
+        commit_ts: u64,
+        data: Vec<u8>,
+        active: &[u64],
+    ) {
         let chain = self.chains.entry(pid).or_default();
         debug_assert!(
             chain.committed.last().is_none_or(|(ts, _)| *ts < commit_ts),
@@ -472,7 +592,7 @@ impl FrameCache {
         self.retained_bytes += data.len();
         chain.committed.push((commit_ts, data));
         self.retained += 1;
-        self.enforce_cap();
+        self.enforce_cap(backend, active);
     }
 
     /// Whether retention exceeds either budget: the version-count cap or
@@ -482,12 +602,42 @@ impl FrameCache {
             || (self.retention_bytes > 0 && self.retained_bytes > self.retention_bytes)
     }
 
-    /// Drop the oldest retained versions until both caps hold, advancing
-    /// the snapshot-too-old watermark past everything discarded. A whole
-    /// commit's versions always drop together, so a surviving view never
-    /// observes half a commit.
-    fn enforce_cap(&mut self) {
+    /// Evict the oldest retained versions until both DRAM budgets hold. A
+    /// whole commit's versions always leave DRAM together, so a surviving
+    /// view never observes half a commit. `active` is the ascending set
+    /// of distinct active read timestamps (empty when no view is open).
+    ///
+    /// Eviction is **gap-precise**: a version at `ts` leaves the chain's
+    /// resolution path only for readers in the half-open gap
+    /// `[s_max, ts)`, where `s_max` is the newest timestamp already in
+    /// the chain's spill ledger (0 when none — spills are strictly older
+    /// than everything committed, so the ledger's newest entry is the
+    /// previous resolution boundary). If no active `read_ts` falls in
+    /// that gap, the version is dropped for free: every open view either
+    /// resolves to an older spilled entry or to a younger version still
+    /// in DRAM, and any view opened later reads at the current clock, at
+    /// or past this commit. Only gap-hitting versions are **spilled** to
+    /// the flash retention ledger — without this, an epoch-long view
+    /// would force a full-page ledger program for *every* pre-image the
+    /// write storm evicts (≈ one per page per transaction) instead of
+    /// one per page per view gap, wrecking write throughput far beyond
+    /// the budget the ledger exists to honor.
+    ///
+    /// The snapshot-too-old watermark advances — cutting off the views —
+    /// only when a gap-hitting version is lost (no spill tier, or a
+    /// spill failed), which makes `SnapshotTooOld` the hard-limit last
+    /// resort.
+    fn enforce_cap<B: PageBackend>(&mut self, backend: &mut B, active: &[u64]) {
+        if !self.over_budget() {
+            return;
+        }
+        let can_spill = backend.spill_supported();
         while self.over_budget() {
+            let budget = if self.retained > self.version_cap {
+                RetentionTrigger::VersionCap
+            } else {
+                RetentionTrigger::ByteBudget
+            };
             let oldest = self
                 .chains
                 .values()
@@ -496,32 +646,57 @@ impl FrameCache {
                 .expect("over budget implies a committed version exists");
             let mut removed = 0;
             let mut removed_bytes = 0;
-            for chain in self.chains.values_mut() {
-                let before = chain.committed.len();
-                chain.committed.retain(|(ts, data)| {
-                    if *ts > oldest {
-                        true
-                    } else {
-                        removed_bytes += data.len();
-                        false
+            let mut spilled = 0u64;
+            let mut lost: Option<RetentionTrigger> = None;
+            for (pid, chain) in self.chains.iter_mut() {
+                let cut = chain.committed.partition_point(|(ts, _)| *ts <= oldest);
+                let mut smax = chain.spilled.last().map(|(ts, _)| *ts).unwrap_or(0);
+                for (ts, data) in chain.committed.drain(..cut) {
+                    removed += 1;
+                    removed_bytes += data.len();
+                    // Needed iff some active read_ts lands in [smax, ts):
+                    // such a reader's `first ts > read_ts` resolution is
+                    // exactly this version. (`read_ts == smax` resolves
+                    // past the spilled entry at smax, hence inclusive.)
+                    let lo = active.partition_point(|r| *r < smax);
+                    if active.get(lo).is_none_or(|r| *r >= ts) {
+                        continue; // no active view resolves to it
                     }
-                });
-                removed += before - chain.committed.len();
+                    if can_spill {
+                        match backend.spill(*pid, &data) {
+                            Ok(handle) => {
+                                chain.spilled.push((ts, handle));
+                                smax = ts;
+                                spilled += 1;
+                            }
+                            Err(_) => lost = Some(RetentionTrigger::LedgerMiss),
+                        }
+                    } else {
+                        lost = Some(budget);
+                    }
+                }
             }
             self.retained -= removed;
             self.retained_bytes -= removed_bytes;
-            self.too_old_floor = self.too_old_floor.max(oldest);
+            self.stats.spilled_versions += spilled;
+            if let Some(trigger) = lost {
+                self.too_old_floor = self.too_old_floor.max(oldest);
+                self.too_old_trigger = trigger;
+            }
             self.chains.retain(|_, c| !c.is_empty());
         }
     }
 
     /// Drop committed versions at or below `floor` (the minimum active
-    /// read timestamp; `u64::MAX` when no view remains). Called at
-    /// read-view release so the chains shrink back as readers retire.
-    pub(crate) fn prune_committed(&mut self, floor: u64) {
+    /// read timestamp; `u64::MAX` when no view remains) — and free their
+    /// retention-ledger spills, whose flash pages become reclaimable
+    /// garbage. Called at read-view release so both tiers shrink back as
+    /// readers retire.
+    pub(crate) fn prune_committed<B: PageBackend>(&mut self, backend: &mut B, floor: u64) {
         let mut removed = 0;
         let mut removed_bytes = 0;
-        for chain in self.chains.values_mut() {
+        let mut pruned_any = false;
+        for (pid, chain) in self.chains.iter_mut() {
             let before = chain.committed.len();
             chain.committed.retain(|(ts, data)| {
                 if *ts > floor {
@@ -532,8 +707,15 @@ impl FrameCache {
                 }
             });
             removed += before - chain.committed.len();
+            let cut = chain.spilled.partition_point(|(ts, _)| *ts <= floor);
+            for (_, handle) in chain.spilled.drain(..cut) {
+                pruned_any = true;
+                // Best-effort: a free that fails only leaves the spill
+                // pages to die with their block at the next GC/recovery.
+                let _ = backend.free_spilled(*pid, handle);
+            }
         }
-        if removed > 0 {
+        if removed > 0 || pruned_any {
             self.retained -= removed;
             self.retained_bytes -= removed_bytes;
             self.chains.retain(|_, c| !c.is_empty());
@@ -626,7 +808,14 @@ impl FrameCache {
     /// ever need it). `clean` distinguishes a durable commit (the images
     /// are on flash: frames become clean) from a relaxed commit (frames
     /// stay dirty and reach flash by ordinary eviction).
-    pub(crate) fn end_txn(&mut self, txn: u64, version_at: Option<u64>, clean: bool) {
+    pub(crate) fn end_txn<B: PageBackend>(
+        &mut self,
+        backend: &mut B,
+        txn: u64,
+        version_at: Option<u64>,
+        clean: bool,
+        active: &[u64],
+    ) {
         for f in &mut self.frames {
             if f.owner == txn {
                 f.owner = NO_TXN;
@@ -657,7 +846,7 @@ impl FrameCache {
         }
         self.chains.retain(|_, c| !c.is_empty());
         if promoted > 0 {
-            self.enforce_cap();
+            self.enforce_cap(backend, active);
         }
     }
 
@@ -825,6 +1014,22 @@ impl PageBackend for StoreBackend<'_> {
     fn evict(&mut self, pid: u64, page: &[u8]) -> Result<()> {
         Ok(self.lock().evict_page(pid, page)?)
     }
+
+    fn spill_supported(&mut self) -> bool {
+        self.lock().spill_supported()
+    }
+
+    fn spill(&mut self, pid: u64, page: &[u8]) -> Result<u64> {
+        Ok(self.lock().spill_page(pid, page)?)
+    }
+
+    fn read_spilled(&mut self, pid: u64, handle: u64, out: &mut [u8]) -> Result<()> {
+        Ok(self.lock().read_spill(pid, handle, out)?)
+    }
+
+    fn free_spilled(&mut self, pid: u64, handle: u64) -> Result<()> {
+        Ok(self.lock().free_spill(pid, handle)?)
+    }
 }
 
 /// [`VersionSource`] over a pool's MVCC registry.
@@ -838,10 +1043,10 @@ impl VersionSource for PoolVersioner<'_> {
         self.active_views.load(Ordering::SeqCst) > 0
     }
 
-    fn commit_ts(&self) -> Option<u64> {
+    fn commit_ts(&self) -> Option<(u64, Vec<u64>)> {
         let mut m = self.mvcc.lock().unwrap_or_else(|e| e.into_inner());
         let (ts, retain) = m.alloc_commit();
-        retain.then_some(ts)
+        retain.then(|| (ts, m.active_ts()))
     }
 }
 
@@ -957,11 +1162,12 @@ impl BufferPool {
         ReadView::new(ts)
     }
 
-    /// Release a view, pruning every version no remaining reader needs.
+    /// Release a view, pruning every version no remaining reader needs
+    /// (retention-ledger spills included: their flash pages are freed).
     pub fn release_read(&self, view: ReadView) {
         let floor = self.lock_mvcc().deregister(view.read_ts());
         self.active_views.fetch_sub(1, Ordering::SeqCst);
-        self.lock_cache().prune_committed(floor);
+        self.lock_cache().prune_committed(&mut StoreBackend(&self.store), floor);
     }
 
     /// Open a leak-proof snapshot: the returned guard releases the view
@@ -978,14 +1184,36 @@ impl BufferPool {
         f(guard.view())
     }
 
-    /// Snapshot read of `pid` as of `view`.
+    /// Snapshot read of `pid` as of `view`. A read resolved from the
+    /// flash retention ledger (a cold spilled version) lands a sample in
+    /// the `cold_version_read` histogram when observability is on.
     pub fn with_page_at<R>(
         &self,
         view: &ReadView,
         pid: u64,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
-        self.lock_cache().with_page_at(&mut StoreBackend(&self.store), pid, view.read_ts(), f)
+        if !self.obs {
+            return self.lock_cache().with_page_at(
+                &mut StoreBackend(&self.store),
+                pid,
+                view.read_ts(),
+                f,
+            );
+        }
+        let start = Instant::now();
+        let (r, cold) = self.lock_cache().with_page_at_traced(
+            &mut StoreBackend(&self.store),
+            pid,
+            view.read_ts(),
+            f,
+        )?;
+        if cold {
+            let us = start.elapsed().as_micros() as u64;
+            let mut rec = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
+            rec.record(pdl_obs::LatencyClass::ColdVersionRead, us);
+        }
+        Ok(r)
     }
 
     /// Retained committed versions (diagnostics / tests).
@@ -1158,14 +1386,15 @@ impl BufferPool {
     /// Allocate the transaction's commit timestamp and publish its
     /// structural changes at that timestamp, under one registry lock — so
     /// a view either predates the whole commit (pages *and* roots) or
-    /// sees all of it.
-    fn alloc_commit_ts(&self, structs: Vec<(StructId, StructRoot)>) -> Option<u64> {
+    /// sees all of it. Also returns the registry's active read-timestamp
+    /// set for the gap-precise cap enforcement that follows.
+    fn alloc_commit_ts(&self, structs: Vec<(StructId, StructRoot)>) -> (Option<u64>, Vec<u64>) {
         let mut m = self.lock_mvcc();
         let (ts, retain) = m.alloc_commit();
         for (id, root) in structs {
             m.publish_struct(id, retain.then_some(ts), root);
         }
-        retain.then_some(ts)
+        (retain.then_some(ts), m.active_ts())
     }
 
     /// Confirm a durable commit: `txn`'s frames become clean (their
@@ -1174,16 +1403,16 @@ impl BufferPool {
     /// are the transaction's structural changes, published at the commit
     /// timestamp.
     pub(crate) fn commit_release(&self, txn: u64, structs: Vec<(StructId, StructRoot)>) {
-        let ts = self.alloc_commit_ts(structs);
-        self.lock_cache().end_txn(txn, ts, true);
+        let (ts, active) = self.alloc_commit_ts(structs);
+        self.lock_cache().end_txn(&mut StoreBackend(&self.store), txn, ts, true, &active);
     }
 
     /// Release `txn`'s ownership without any I/O (relaxed-durability
     /// commit): the frames stay dirty and reach flash by ordinary
     /// eviction, exactly as if the writes had been auto-committed.
     pub(crate) fn release_owned(&self, txn: u64, structs: Vec<(StructId, StructRoot)>) {
-        let ts = self.alloc_commit_ts(structs);
-        self.lock_cache().end_txn(txn, ts, false);
+        let (ts, active) = self.alloc_commit_ts(structs);
+        self.lock_cache().end_txn(&mut StoreBackend(&self.store), txn, ts, false, &active);
     }
 
     pub(crate) fn rollback(&self, txn: u64) -> Result<()> {

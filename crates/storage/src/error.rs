@@ -4,6 +4,31 @@ use pdl_core::CoreError;
 use std::error::Error;
 use std::fmt;
 
+/// What forced the retention discard behind a
+/// [`StorageError::SnapshotTooOld`]: which budget tripped, or that the
+/// flash retention ledger could not absorb the evicted version.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetentionTrigger {
+    /// The version-count cap (`StoreOptions::snapshot_version_cap`).
+    VersionCap,
+    /// The byte budget (`StoreOptions::snapshot_retention_bytes`).
+    ByteBudget,
+    /// The budget tripped *and* the flash retention ledger failed to
+    /// absorb a needed version (spill write or read-back failed) — the
+    /// hard-limit last resort when the ledger tier is enabled.
+    LedgerMiss,
+}
+
+impl fmt::Display for RetentionTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RetentionTrigger::VersionCap => "version cap",
+            RetentionTrigger::ByteBudget => "byte budget",
+            RetentionTrigger::LedgerMiss => "ledger miss",
+        })
+    }
+}
+
 /// Errors surfaced by the storage engine.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StorageError {
@@ -26,10 +51,11 @@ pub enum StorageError {
     BufferPinned,
     /// Transaction API misuse (no open transaction, nested begin, ...).
     TxnState(String),
-    /// A read view outlived the pool's version-retention cap
-    /// (`StoreOptions::snapshot_version_cap`): the versions it needs were
-    /// discarded to keep memory flat.
-    SnapshotTooOld { read_ts: u64, floor: u64 },
+    /// A read view outlived the pool's version retention: the versions it
+    /// needs were discarded to keep memory flat (and, when the flash
+    /// retention ledger is enabled, could not be spilled). `trigger` says
+    /// what forced the discard.
+    SnapshotTooOld { read_ts: u64, floor: u64, trigger: RetentionTrigger },
     /// Internal invariant broken.
     Internal(String),
 }
@@ -54,11 +80,12 @@ impl fmt::Display for StorageError {
                 write!(f, "every buffer frame is pinned by uncommitted transactions")
             }
             StorageError::TxnState(msg) => write!(f, "transaction state error: {msg}"),
-            StorageError::SnapshotTooOld { read_ts, floor } => {
+            StorageError::SnapshotTooOld { read_ts, floor, trigger } => {
                 write!(
                     f,
-                    "snapshot too old: view at ts {read_ts} needs versions discarded up to \
-                     ts {floor} (raise StoreOptions::snapshot_version_cap or release views sooner)"
+                    "snapshot too old ({trigger}): view at ts {read_ts} needs versions discarded \
+                     up to ts {floor} (raise StoreOptions::snapshot_version_cap or release views \
+                     sooner)"
                 )
             }
             StorageError::Internal(msg) => write!(f, "internal storage error: {msg}"),

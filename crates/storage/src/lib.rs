@@ -32,7 +32,7 @@ mod view;
 pub use btree::{BTree, Key, KeyBuf};
 pub use buffer::{read_u16, read_u64, BufferPool, BufferStats, PageLatch, PageMut};
 pub use db::{Database, DbSnapshot, Durability, RecordId, RecoveredStructure, TxnId};
-pub use error::StorageError;
+pub use error::{RetentionTrigger, StorageError};
 pub use heap::HeapFile;
 pub use sharded::{PoolSnapshot, ShardedBufferPool};
 pub use view::{PageRead, ReadGuard, ReadView, StructId, StructRoot, ViewRegistry};

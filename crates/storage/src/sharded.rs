@@ -69,6 +69,24 @@ impl PageBackend for SharedBackend<'_> {
         self.0.evict_page_shared(pid, page)?;
         Ok(())
     }
+
+    fn spill_supported(&mut self) -> bool {
+        self.0.spill_supported_shared()
+    }
+
+    fn spill(&mut self, pid: u64, page: &[u8]) -> Result<u64> {
+        Ok(self.0.spill_page_shared(pid, page)?.0)
+    }
+
+    fn read_spilled(&mut self, pid: u64, handle: u64, out: &mut [u8]) -> Result<()> {
+        self.0.read_spill_shared(pid, handle, out)?;
+        Ok(())
+    }
+
+    fn free_spilled(&mut self, pid: u64, handle: u64) -> Result<()> {
+        self.0.free_spill_shared(pid, handle)?;
+        Ok(())
+    }
 }
 
 /// State shared by every committer: the queue the leader drains and the
@@ -93,10 +111,10 @@ impl VersionSource for ShardedVersioner<'_> {
         self.active_views.load(Ordering::SeqCst) > 0
     }
 
-    fn commit_ts(&self) -> Option<u64> {
+    fn commit_ts(&self) -> Option<(u64, Vec<u64>)> {
         let mut m = self.mvcc.lock().unwrap_or_else(|e| e.into_inner());
         let (ts, retain) = m.alloc_commit();
-        retain.then_some(ts)
+        retain.then(|| (ts, m.active_ts()))
     }
 }
 
@@ -263,7 +281,7 @@ impl ShardedBufferPool {
         // nest stripe -> registry); pruning with a momentarily stale
         // floor only keeps versions a little longer, never too short.
         for s in &self.stripes {
-            self.lock_stripe_ref(s).prune_committed(floor);
+            self.lock_stripe_ref(s).prune_committed(&mut SharedBackend(&self.store), floor);
         }
     }
 
@@ -281,14 +299,36 @@ impl ShardedBufferPool {
     }
 
     /// Snapshot read of `pid` as of `view`; locks only the owning stripe
-    /// and never waits on writers or committers.
+    /// and never waits on writers or committers. A read resolved from the
+    /// flash retention ledger (a cold spilled version) lands a sample in
+    /// the `cold_version_read` histogram when observability is on.
     pub fn with_page_at<R>(
         &self,
         view: &ReadView,
         pid: u64,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
-        self.stripe_for(pid).with_page_at(&mut SharedBackend(&self.store), pid, view.read_ts(), f)
+        if !self.store.options().obs {
+            return self.stripe_for(pid).with_page_at(
+                &mut SharedBackend(&self.store),
+                pid,
+                view.read_ts(),
+                f,
+            );
+        }
+        let start = std::time::Instant::now();
+        let (r, cold) = self.stripe_for(pid).with_page_at_traced(
+            &mut SharedBackend(&self.store),
+            pid,
+            view.read_ts(),
+            f,
+        )?;
+        if cold {
+            let us = start.elapsed().as_micros() as u64;
+            let mut rec = self.obs.lock().unwrap_or_else(|e| e.into_inner());
+            rec.record(LatencyClass::ColdVersionRead, us);
+        }
+        Ok(r)
     }
 
     // ------------------------------------------------------------------
@@ -470,7 +510,7 @@ impl ShardedBufferPool {
                 // structural changes publish under the same lock at the
                 // same timestamp: a view sees a transaction's pages and
                 // its roots move together or not at all.
-                let (commit_ts, retain) = {
+                let (commit_ts, retain, active) = {
                     let mut m = self.lock_mvcc();
                     m.committing = true;
                     let (ts, retain) = m.alloc_commit();
@@ -480,12 +520,18 @@ impl ShardedBufferPool {
                             m.publish_struct(id, retain.then_some(ts), root);
                         }
                     }
-                    (ts, retain)
+                    (ts, retain, m.active_ts())
                 };
                 let version_at = retain.then_some(commit_ts);
                 for &t in batch {
                     for s in &self.stripes {
-                        self.lock_stripe_ref(s).end_txn(t, version_at, true);
+                        self.lock_stripe_ref(s).end_txn(
+                            &mut SharedBackend(&self.store),
+                            t,
+                            version_at,
+                            true,
+                            &active,
+                        );
                     }
                 }
                 self.lock_mvcc().committing = false;
@@ -563,12 +609,13 @@ impl ShardedBufferPool {
             }
             st.txn_flush_stage()
         })?;
-        // Phase 2: commit records — the batch's records on each shard
-        // share one flush (often one flash page).
+        // Phase 2: commit records — each shard proves exactly the batch
+        // members that staged to it with one *epoch record* (codec v3)
+        // covering their txn-id ranges, behind a single flush. A batch of
+        // one degenerates to a plain commit record; multi-member batches
+        // stop littering compaction with per-txn tags.
         self.fan_out(&|s| !involved[s].is_empty(), &|s, st| {
-            for t in &involved[s] {
-                st.txn_append_commit(*t)?;
-            }
+            st.txn_append_commit_epoch(&involved[s])?;
             st.txn_flush_stage()
         })?;
         // Phase 3: the superseded pre-images are garbage on every
